@@ -1,0 +1,118 @@
+package mlkv_test
+
+// One testing.B benchmark per paper artifact (Figures 2 and 6–11), each
+// delegating to the same experiment runners that cmd/mlkv-bench uses, at
+// the tiny scale so `go test -bench=.` completes in minutes. Use
+// `go run ./cmd/mlkv-bench -scale small` (or paper) for the full sweeps;
+// EXPERIMENTS.md records representative output.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/bench"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/ycsb"
+
+	mlkv "github.com/llm-db/mlkv-go"
+)
+
+func benchScale() bench.Scale {
+	s := bench.Tiny
+	s.MaxSamples = 2000
+	s.Duration = 300 * time.Millisecond
+	return s
+}
+
+func runFigure(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e := bench.NewEnv(benchScale(), b.TempDir(), io.Discard)
+		if err := e.Run(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2SyncVsAsync regenerates Figure 2 (the data-stall /
+// staleness problem statement).
+func BenchmarkFig2SyncVsAsync(b *testing.B) { runFigure(b, "fig2") }
+
+// BenchmarkFig6Convergence regenerates Figure 6 (end-to-end convergence,
+// native in-memory vs MLKV).
+func BenchmarkFig6Convergence(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig7Backends regenerates Figure 7 (larger-than-memory
+// throughput and energy across mlkv/faster/lsm/bptree and buffer sizes).
+func BenchmarkFig7Backends(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig8Staleness regenerates Figure 8 (throughput vs quality
+// across staleness bounds).
+func BenchmarkFig8Staleness(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9Lookahead regenerates Figure 9 (look-ahead prefetching and
+// the BETA ordering).
+func BenchmarkFig9Lookahead(b *testing.B) { runFigure(b, "fig9") }
+
+// BenchmarkFig10YCSB regenerates Figure 10 (YCSB, MLKV vs FASTER).
+func BenchmarkFig10YCSB(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkFig11EBay regenerates Figure 11 (eBay-like case studies).
+func BenchmarkFig11EBay(b *testing.B) { runFigure(b, "fig11") }
+
+// BenchmarkGetPut measures raw single-key Get+Put latency through the
+// public API with the clock enabled (micro-benchmark, not a paper figure).
+func BenchmarkGetPut(b *testing.B) {
+	m, err := mlkv.Open("bench", 16,
+		mlkv.WithDir(b.TempDir()), mlkv.WithMemory(64<<20), mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	emb := make([]float32, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%100000 + 1)
+		if err := s.Get(k, emb); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Put(k, emb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYCSBZipfian measures raw KV throughput under YCSB-A skew
+// (micro-benchmark feeding Figure 10's shape).
+func BenchmarkYCSBZipfian(b *testing.B) {
+	st, err := faster.Open(faster.Config{
+		Dir: b.TempDir(), ValueSize: 64, RecordsPerPage: 256,
+		MemPages: 64, MutablePages: 24,
+		StalenessBound: faster.BoundAsync, ExpectedKeys: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := kv.WrapFaster(st, "mlkv")
+	defer store.Close()
+	if err := ycsb.Load(store, 1<<16, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := ycsb.Run(ycsb.Options{
+		Store: store, Records: 1 << 16, Threads: 4,
+		ReadFraction: 0.5, Dist: ycsb.Zipfian,
+		MaxOps: int64(b.N) + 1000, Seed: 2, SkipLoad: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput, "ops/s")
+}

@@ -1,0 +1,47 @@
+// Command mlkv-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mlkv-bench -experiment fig7 -scale small -workdir /tmp/mlkv-bench
+//
+// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 all.
+// Scales: tiny (seconds), small (minutes, default), paper (hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/llm-db/mlkv-go/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|all)")
+		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
+		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
+	)
+	flag.Parse()
+
+	scale, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dir := *workdir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "mlkv-bench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+	}
+	fmt.Printf("mlkv-bench: scale=%s workdir=%s\n", scale.Name, dir)
+	env := bench.NewEnv(scale, dir, os.Stdout)
+	if err := env.Run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "mlkv-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command mlkv-train trains one embedding model on a synthetic workload
+// over a chosen storage backend, printing throughput, the stage breakdown,
+// and the convergence curve.
+//
+// Usage:
+//
+//	mlkv-train -task dlrm -backend mlkv -staleness 8 -buffer-mb 64 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/bptree"
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/lsm"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/train"
+)
+
+func main() {
+	var (
+		task      = flag.String("task", "dlrm", "task (dlrm|kge|gnn)")
+		backendN  = flag.String("backend", "mlkv", "backend (mlkv|faster|lsm|bptree|mem)")
+		staleness = flag.Int64("staleness", 8, "staleness bound (MLKV only; -1 disables)")
+		bufferMB  = flag.Int("buffer-mb", 64, "buffer budget")
+		duration  = flag.Duration("duration", 15*time.Second, "training duration")
+		workers   = flag.Int("workers", 4, "training workers")
+		dim       = flag.Int("dim", 16, "embedding dimension")
+		keys      = flag.Uint64("keys", 1_000_000, "entity / key-space size")
+		lookahead = flag.Int("lookahead", 16, "look-ahead depth (0 disables)")
+		dir       = flag.String("dir", "", "data directory (default: temp)")
+	)
+	flag.Parse()
+
+	d := *dir
+	if d == "" {
+		var err error
+		d, err = os.MkdirTemp("", "mlkv-train-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(d)
+	}
+	init := core.UniformInit(0.1, 7)
+	if *task == "kge" {
+		init = core.UniformInit(0.5, 7)
+	}
+	var backend train.Backend
+	switch *backendN {
+	case "mlkv", "faster":
+		bound := *staleness
+		if *backendN == "faster" {
+			bound = core.BoundDisabled
+		}
+		tbl, err := core.OpenTable(core.Options{
+			Dir: d, Dim: *dim, StalenessBound: bound,
+			MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *keys, Init: init,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tbl.Close()
+		backend = train.NewTableBackend(tbl, *backendN == "mlkv" && *lookahead > 0)
+	case "lsm":
+		s, err := lsm.Open(lsm.Config{Dir: d, ValueSize: *dim * 4, CacheBytes: *bufferMB << 19, MemtableBytes: *bufferMB << 19})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		backend = train.NewKVBackend(kv.WrapLSM(s), *dim, init)
+	case "bptree":
+		s, err := bptree.Open(bptree.Config{Dir: d, ValueSize: *dim * 4, PoolPages: (*bufferMB << 20) / 4096})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		backend = train.NewKVBackend(kv.WrapBPTree(s), *dim, init)
+	case "mem":
+		backend = train.NewMemBackend("mem", *dim, init)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendN)
+		os.Exit(2)
+	}
+
+	var res *train.Result
+	var err error
+	eval := *duration / 5
+	switch *task {
+	case "dlrm":
+		gen := data.NewCTRGen(data.CTRConfig{Fields: 8, DenseDim: 4, FieldCard: *keys / 8, Seed: 11})
+		model := models.NewDLRM(models.FFNN, 8, *dim, 4, []int{32}, 13)
+		res, err = train.TrainCTR(train.CTROptions{
+			Gen: gen, Model: model, Backend: backend,
+			Workers: *workers, Mode: train.ModeAsync,
+			DenseLR: 0.05, EmbLR: 0.05, Duration: *duration,
+			LookaheadDepth: *lookahead, EvalEvery: eval,
+		})
+	case "kge":
+		gen := data.NewKGGen(data.KGConfig{Entities: *keys, Relations: 16, Clusters: 32, Seed: 17})
+		model := models.NewKGE(models.DistMult, *dim)
+		res, err = train.TrainKGE(train.KGEOptions{
+			Gen: gen, Model: model, Backend: backend,
+			Workers: *workers, EmbLR: 0.1, Duration: *duration,
+			LookaheadDepth: *lookahead, EvalEvery: eval,
+		})
+	case "gnn":
+		graph := data.NewGraphGen(data.GraphConfig{Nodes: *keys, Classes: 8, Seed: 19})
+		sage := models.NewGraphSage(*dim, 32, 8, 23)
+		res, err = train.TrainGNN(train.GNNOptions{
+			Graph: graph, Kind: train.KindGraphSage, Sage: sage, Backend: backend,
+			Workers: *workers, DenseLR: 0.05, EmbLR: 0.05, Duration: *duration,
+			LookaheadDepth: *lookahead, EvalEvery: eval,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown task %q\n", *task)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tot := res.Stage.Total().Seconds()
+	if tot == 0 {
+		tot = 1
+	}
+	fmt.Printf("task=%s backend=%s samples=%d throughput=%.0f/s\n", *task, res.Backend, res.Samples, res.Throughput)
+	fmt.Printf("latency breakdown: emb=%.1f%% fwd=%.1f%% bwd=%.1f%%\n",
+		res.Stage.Emb.Seconds()/tot*100, res.Stage.Forward.Seconds()/tot*100, res.Stage.Backward.Seconds()/tot*100)
+	fmt.Printf("final metric: %.4f\n", res.FinalMetric)
+	for _, p := range res.Curve {
+		fmt.Printf("  t=%6.1fs metric=%.4f\n", p.Seconds, p.Metric)
+	}
+}

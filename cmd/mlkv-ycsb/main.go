@@ -1,0 +1,89 @@
+// Command mlkv-ycsb runs the YCSB-style NoSQL benchmark (Figure 10)
+// against the MLKV/FASTER engine.
+//
+// Usage:
+//
+//	mlkv-ycsb -records 1000000 -ops 5000000 -threads 8 -dist zipfian \
+//	          -valuesize 64 -buffer-mb 64 -engine mlkv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/ycsb"
+)
+
+func main() {
+	var (
+		records  = flag.Uint64("records", 1<<20, "number of preloaded records")
+		ops      = flag.Int64("ops", 1<<21, "operations to run")
+		threads  = flag.Int("threads", 8, "client threads")
+		distName = flag.String("dist", "zipfian", "request distribution (uniform|zipfian)")
+		vs       = flag.Int("valuesize", 64, "value size in bytes")
+		bufferMB = flag.Int("buffer-mb", 64, "in-memory buffer budget")
+		engine   = flag.String("engine", "mlkv", "engine (mlkv|faster)")
+		readFrac = flag.Float64("read-fraction", 0.5, "fraction of reads")
+		dir      = flag.String("dir", "", "data directory (default: temp)")
+	)
+	flag.Parse()
+
+	var dist ycsb.Distribution
+	switch *distName {
+	case "uniform":
+		dist = ycsb.Uniform
+	case "zipfian":
+		dist = ycsb.Zipfian
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
+		os.Exit(2)
+	}
+	bound := faster.BoundAsync // MLKV: clock maintained, never blocks
+	if *engine == "faster" {
+		bound = -1
+	}
+	d := *dir
+	if d == "" {
+		var err error
+		d, err = os.MkdirTemp("", "mlkv-ycsb-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(d)
+	}
+	recBytes := int64(*vs + 24)
+	const rpp = 256
+	memPages := int64(*bufferMB) << 20 / (recBytes * rpp)
+	if memPages < 4 {
+		memPages = 4
+	}
+	st, err := faster.Open(faster.Config{
+		Dir: d, ValueSize: *vs, RecordsPerPage: rpp,
+		MemPages: int(memPages), MutablePages: int(memPages / 2),
+		StalenessBound: bound, ExpectedKeys: *records,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	store := kv.WrapFaster(st, *engine)
+	defer store.Close()
+
+	fmt.Printf("loading %d records...\n", *records)
+	res, err := ycsb.Run(ycsb.Options{
+		Store: store, Records: *records, Threads: *threads,
+		ReadFraction: *readFrac, Dist: dist, MaxOps: *ops, Seed: 42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("engine=%s dist=%s threads=%d valuesize=%d buffer=%dMB\n",
+		*engine, dist, *threads, *vs, *bufferMB)
+	fmt.Printf("ops=%d reads=%d updates=%d elapsed=%s throughput=%.0f ops/s\n",
+		res.Ops, res.Reads, res.Updates, res.Elapsed.Round(1e6), res.Throughput)
+}

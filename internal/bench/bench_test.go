@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/train"
+	"time"
+)
+
+// TestAllFiguresRunAtTinyScale is the harness integration test: every
+// experiment must execute end to end and emit its table.
+func TestAllFiguresRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	for _, fig := range []string{"fig2", "fig8", "fig10"} {
+		if err := e.Run(fig); err != nil {
+			t.Fatalf("%s: %v\noutput so far:\n%s", fig, err, out.String())
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 2", "Figure 8", "Figure 10", "mlkv", "faster"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig9And11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	sc := Tiny
+	sc.MaxSamples = 1500
+	sc.Duration = 300 * time.Millisecond
+	e := NewEnv(sc, t.TempDir(), &out)
+	for _, fig := range []string{"fig9", "fig11"} {
+		if err := e.Run(fig); err != nil {
+			t.Fatalf("%s: %v\n%s", fig, err, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "BETA") && !strings.Contains(out.String(), "beta") {
+		t.Fatal("fig9b output missing BETA variants")
+	}
+}
+
+func TestFig6And7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	sc := Tiny
+	sc.MaxSamples = 1200
+	sc.Duration = 300 * time.Millisecond
+	e := NewEnv(sc, t.TempDir(), &out)
+	for _, fig := range []string{"fig6", "fig7"} {
+		if err := e.Run(fig); err != nil {
+			t.Fatalf("%s: %v\n%s", fig, err, out.String())
+		}
+	}
+	for _, want := range []string{"lsm", "bptree", "J/batch", "native"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, n := range []string{"tiny", "small", "paper", ""} {
+		if _, err := ScaleByName(n); err != nil {
+			t.Fatalf("scale %q rejected: %v", n, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestJoulesPerBatch(t *testing.T) {
+	res := &train.Result{Samples: 1000}
+	res.Stage.Emb = 2 * time.Second
+	res.Stage.Forward = 1 * time.Second
+	res.Stage.Backward = 1 * time.Second
+	j := JoulesPerBatch(res, 32)
+	if j <= 0 {
+		t.Fatalf("J/batch = %v", j)
+	}
+	// More stall time must cost more energy per batch (same sample count).
+	res2 := &train.Result{Samples: 1000}
+	res2.Stage.Emb = 8 * time.Second
+	res2.Stage.Forward = 1 * time.Second
+	res2.Stage.Backward = 1 * time.Second
+	if JoulesPerBatch(res2, 32) <= j {
+		t.Fatal("stall time should increase energy per batch")
+	}
+	if JoulesPerBatch(&train.Result{}, 32) != 0 {
+		t.Fatal("empty result should cost 0")
+	}
+	_ = models.FFNN
+	_ = data.CTRConfig{}
+}

@@ -1,0 +1,39 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the paper's evaluation, a time-decomposition energy model, and plain-text
+// table/series printers. cmd/mlkv-bench drives it.
+package bench
+
+import "github.com/llm-db/mlkv-go/internal/train"
+
+// Energy model: the paper reports "approximate energy consumption following
+// previous methods [59]–[61]", i.e. device power × busy time. We decompose
+// each training run's wall-clock into embedding-access (storage + disk),
+// compute (forward+backward), and idle, and charge device powers to each.
+// Absolute joules are indicative; the *ordering* across backends follows
+// stall time, which we measure directly.
+const (
+	cpuActiveWatts  = 150.0 // socket under compute
+	cpuIdleWatts    = 40.0  // stalled on I/O
+	acceleratorWatt = 250.0 // the device the compute stage would occupy
+	ssdActiveWatts  = 10.0
+)
+
+// JoulesPerBatch estimates energy per batch of batchSize samples from a
+// training result.
+func JoulesPerBatch(res *train.Result, batchSize int) float64 {
+	if res.Samples == 0 {
+		return 0
+	}
+	total := res.Stage.Total().Seconds()
+	if total == 0 {
+		return 0
+	}
+	compute := (res.Stage.Forward + res.Stage.Backward).Seconds()
+	embAccess := res.Stage.Emb.Seconds()
+	// Compute burns CPU+accelerator; embedding access burns idle CPU + SSD,
+	// while the accelerator idles at a fraction of its active power.
+	joules := compute*(cpuActiveWatts+acceleratorWatt) +
+		embAccess*(cpuIdleWatts+ssdActiveWatts+acceleratorWatt*0.25)
+	perSample := joules / float64(res.Samples)
+	return perSample * float64(batchSize)
+}

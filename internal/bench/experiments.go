@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/bptree"
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/lsm"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/train"
+)
+
+// Scale sizes every experiment. Tests use Tiny; the CLI defaults to Small;
+// Paper raises entity counts toward the datasets of Table II.
+type Scale struct {
+	Name        string
+	Dim         int
+	CTRFields   int
+	CTRCard     uint64
+	KGEntities  uint64
+	GraphNodes  uint64
+	Workers     int
+	Duration    time.Duration // per training run
+	MaxSamples  int64         // cap per run (0 = duration only)
+	BufferKBs   []int         // buffer-size sweep points
+	YCSBRecords uint64
+	YCSBOps     int64
+	ValueSizes  []int
+	Threads     []int
+}
+
+// Tiny is the test scale (sub-second runs).
+var Tiny = Scale{
+	Name: "tiny", Dim: 8, CTRFields: 4, CTRCard: 2000,
+	KGEntities: 2000, GraphNodes: 2000, Workers: 2,
+	Duration: 400 * time.Millisecond, MaxSamples: 4000,
+	BufferKBs:   []int{64, 256},
+	YCSBRecords: 4000, YCSBOps: 20000,
+	ValueSizes: []int{16, 64},
+	Threads:    []int{1, 4},
+}
+
+// Small is the CLI default (minutes on a laptop).
+var Small = Scale{
+	Name: "small", Dim: 16, CTRFields: 8, CTRCard: 200000,
+	KGEntities: 500000, GraphNodes: 200000, Workers: 4,
+	Duration:    5 * time.Second,
+	BufferKBs:   []int{1024, 4096, 16384, 65536},
+	YCSBRecords: 1 << 20, YCSBOps: 2 << 20,
+	ValueSizes: []int{16, 32, 64, 128, 256},
+	Threads:    []int{2, 4, 8, 16, 32},
+}
+
+// Paper approaches the magnitude of Table II (hours; needs disk and RAM).
+var Paper = Scale{
+	Name: "paper", Dim: 16, CTRFields: 26, CTRCard: 30_000_000,
+	KGEntities: 80_000_000, GraphNodes: 100_000_000, Workers: 8,
+	Duration:    10 * time.Minute,
+	BufferKBs:   []int{4 << 20, 8 << 20, 16 << 20, 36 << 20},
+	YCSBRecords: 1 << 27, YCSBOps: 1 << 27,
+	ValueSizes: []int{16, 32, 64, 128, 256},
+	Threads:    []int{2, 4, 8, 16, 32},
+}
+
+// ScaleByName resolves a scale flag value.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (tiny|small|paper)", name)
+}
+
+// Env carries run-wide context.
+type Env struct {
+	Scale   Scale
+	WorkDir string
+	Out     io.Writer
+	n       int
+}
+
+// NewEnv builds an Env writing results to out and data under workDir.
+func NewEnv(scale Scale, workDir string, out io.Writer) *Env {
+	return &Env{Scale: scale, WorkDir: workDir, Out: out}
+}
+
+func (e *Env) dir(tag string) string {
+	e.n++
+	d := filepath.Join(e.WorkDir, fmt.Sprintf("%s-%d", tag, e.n))
+	os.MkdirAll(d, 0o755)
+	return d
+}
+
+func (e *Env) printf(format string, args ...any) {
+	fmt.Fprintf(e.Out, format, args...)
+}
+
+// mlkvTable opens a core.Table sized to bufKB kilobytes of memory.
+func (e *Env) mlkvTable(tag string, dim int, bound int64, bufKB int, expectedKeys uint64, init core.Initializer) (*core.Table, error) {
+	return core.OpenTable(core.Options{
+		Dir: e.dir(tag), Dim: dim, StalenessBound: bound,
+		MemoryBytes: int64(bufKB) << 10, RecordsPerPage: 256,
+		ExpectedKeys: expectedKeys, Init: init,
+	})
+}
+
+// backendSet builds the Figure 7 engine lineup at one buffer size.
+func (e *Env) backendSet(dim int, bound int64, bufKB int, keys uint64, init core.Initializer) (map[string]train.Backend, func(), error) {
+	closers := []func(){}
+	out := map[string]train.Backend{}
+
+	mt, err := e.mlkvTable("mlkv", dim, bound, bufKB, keys, init)
+	if err != nil {
+		return nil, nil, err
+	}
+	closers = append(closers, func() { mt.Close() })
+	out["mlkv"] = train.NewTableBackend(mt, true)
+
+	ft, err := e.mlkvTable("faster", dim, core.BoundDisabled, bufKB, keys, init)
+	if err != nil {
+		return nil, nil, err
+	}
+	closers = append(closers, func() { ft.Close() })
+	out["faster"] = train.NewTableBackend(ft, false)
+
+	ls, err := lsm.Open(lsm.Config{
+		Dir: e.dir("lsm"), ValueSize: dim * 4,
+		MemtableBytes: bufKB << 9, CacheBytes: bufKB << 9, // split budget half/half
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	closers = append(closers, func() { ls.Close() })
+	out["lsm"] = train.NewKVBackend(kv.WrapLSM(ls), dim, init)
+
+	pool := (bufKB << 10) / 4096
+	bt, err := bptree.Open(bptree.Config{
+		Dir: e.dir("bptree"), ValueSize: dim * 4, PoolPages: pool,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	closers = append(closers, func() { bt.Close() })
+	out["bptree"] = train.NewKVBackend(kv.WrapBPTree(bt), dim, init)
+
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	return out, closeAll, nil
+}
+
+// ctrOpts builds standard CTR training options on a backend.
+func (e *Env) ctrOpts(b train.Backend, mode train.Mode, lookahead int) train.CTROptions {
+	s := e.Scale
+	gen := data.NewCTRGen(data.CTRConfig{
+		Fields: s.CTRFields, DenseDim: 4, FieldCard: s.CTRCard, Seed: 11,
+	})
+	model := models.NewDLRM(models.FFNN, s.CTRFields, s.Dim, 4, []int{32}, 13)
+	return train.CTROptions{
+		Gen: gen, Model: model, Backend: b,
+		Workers: s.Workers, Batch: 32, Mode: mode,
+		DenseLR: 0.05, EmbLR: 0.05,
+		Duration: s.Duration, MaxSamples: s.MaxSamples,
+		LookaheadDepth: lookahead,
+	}
+}
+
+func (e *Env) kgeOpts(b train.Backend, lookahead int, beta bool) train.KGEOptions {
+	s := e.Scale
+	gen := data.NewKGGen(data.KGConfig{Entities: s.KGEntities, Relations: 16, Clusters: 32, Seed: 17})
+	model := models.NewKGE(models.DistMult, s.Dim)
+	return train.KGEOptions{
+		Gen: gen, Model: model, Backend: b,
+		Workers: s.Workers, Negatives: 4, EmbLR: 0.1,
+		Duration: s.Duration, MaxSamples: s.MaxSamples,
+		LookaheadDepth: lookahead, BETA: beta,
+	}
+}
+
+func (e *Env) gnnOpts(b train.Backend, lookahead int) train.GNNOptions {
+	s := e.Scale
+	graph := data.NewGraphGen(data.GraphConfig{Nodes: s.GraphNodes, Classes: 8, Seed: 19})
+	sage := models.NewGraphSage(s.Dim, 32, 8, 23)
+	return train.GNNOptions{
+		Graph: graph, Kind: train.KindGraphSage, Sage: sage, Backend: b,
+		Workers: s.Workers, Fanout: 4, Fanout2: 4,
+		DenseLR: 0.05, EmbLR: 0.05, Batch: 16,
+		Duration: s.Duration, MaxSamples: s.MaxSamples,
+		LookaheadDepth: lookahead,
+	}
+}
+
+// kgeInit is the embedding initializer for multiplicative scorers.
+func (e *Env) kgeInit() core.Initializer { return core.UniformInit(0.5, 7) }
+
+// ctrInit initializes CTR/GNN embeddings.
+func (e *Env) ctrInit() core.Initializer { return core.UniformInit(0.1, 7) }

@@ -1,0 +1,124 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Page layout (little-endian). Every page begins with a 16-byte header:
+//
+//	kind:2 | count:2 | pad:4 | next:8       (next links leaf pages)
+//
+// Leaf pages then hold count entries of (key:8 | meta:8 | value:vs).
+// Internal pages hold count keys of 8 bytes followed by count+1 child page
+// IDs of 8 bytes; child[i] covers keys < key[i], child[count] the rest.
+
+const (
+	pageHeaderSize = 16
+	kindLeaf       = uint16(1)
+	kindInternal   = uint16(2)
+	metaTombstone  = uint64(1)
+)
+
+type node struct {
+	data []byte
+	vs   int // value size (leaf entry payload)
+}
+
+func (n node) kind() uint16      { return binary.LittleEndian.Uint16(n.data[0:]) }
+func (n node) setKind(k uint16)  { binary.LittleEndian.PutUint16(n.data[0:], k) }
+func (n node) count() int        { return int(binary.LittleEndian.Uint16(n.data[2:])) }
+func (n node) setCount(c int)    { binary.LittleEndian.PutUint16(n.data[2:], uint16(c)) }
+func (n node) next() uint64      { return binary.LittleEndian.Uint64(n.data[8:]) }
+func (n node) setNext(id uint64) { binary.LittleEndian.PutUint64(n.data[8:], id) }
+
+// --- Leaf accessors ---
+
+func (n node) leafEntrySize() int { return 16 + n.vs }
+
+func leafCapacity(pageSize, vs int) int { return (pageSize - pageHeaderSize) / (16 + vs) }
+
+func (n node) leafKey(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.data[pageHeaderSize+i*n.leafEntrySize():])
+}
+
+func (n node) leafMeta(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.data[pageHeaderSize+i*n.leafEntrySize()+8:])
+}
+
+func (n node) leafVal(i int) []byte {
+	off := pageHeaderSize + i*n.leafEntrySize() + 16
+	return n.data[off : off+n.vs]
+}
+
+func (n node) setLeafEntry(i int, key, meta uint64, val []byte) {
+	off := pageHeaderSize + i*n.leafEntrySize()
+	binary.LittleEndian.PutUint64(n.data[off:], key)
+	binary.LittleEndian.PutUint64(n.data[off+8:], meta)
+	copy(n.data[off+16:off+16+n.vs], val)
+}
+
+// leafSearch returns the position of key, or (insertPos, false).
+func (n node) leafSearch(key uint64) (int, bool) {
+	c := n.count()
+	i := sort.Search(c, func(i int) bool { return n.leafKey(i) >= key })
+	if i < c && n.leafKey(i) == key {
+		return i, true
+	}
+	return i, false
+}
+
+// leafInsertAt shifts entries right and writes the new entry at i.
+func (n node) leafInsertAt(i int, key, meta uint64, val []byte) {
+	es := n.leafEntrySize()
+	c := n.count()
+	start := pageHeaderSize + i*es
+	end := pageHeaderSize + c*es
+	copy(n.data[start+es:end+es], n.data[start:end])
+	n.setLeafEntry(i, key, meta, val)
+	n.setCount(c + 1)
+}
+
+// --- Internal accessors ---
+
+func internalCapacity(pageSize int) int {
+	// count keys (8B) + count+1 children (8B) + header <= pageSize
+	return (pageSize - pageHeaderSize - 8) / 16
+}
+
+func (n node) internalKey(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.data[pageHeaderSize+i*8:])
+}
+
+func (n node) setInternalKey(i int, k uint64) {
+	binary.LittleEndian.PutUint64(n.data[pageHeaderSize+i*8:], k)
+}
+
+func (n node) childOffset(maxKeys int) int { return pageHeaderSize + maxKeys*8 }
+
+func (n node) child(i, maxKeys int) uint64 {
+	return binary.LittleEndian.Uint64(n.data[n.childOffset(maxKeys)+i*8:])
+}
+
+func (n node) setChild(i, maxKeys int, id uint64) {
+	binary.LittleEndian.PutUint64(n.data[n.childOffset(maxKeys)+i*8:], id)
+}
+
+// childFor returns the index of the child covering key.
+func (n node) childFor(key uint64) int {
+	c := n.count()
+	return sort.Search(c, func(i int) bool { return key < n.internalKey(i) })
+}
+
+// internalInsertAt inserts (key, rightChild) at key position i.
+func (n node) internalInsertAt(i int, key, rightChild uint64, maxKeys int) {
+	c := n.count()
+	// Shift keys [i, c) right by one.
+	copy(n.data[pageHeaderSize+(i+1)*8:pageHeaderSize+(c+1)*8], n.data[pageHeaderSize+i*8:pageHeaderSize+c*8])
+	n.setInternalKey(i, key)
+	// Shift children [i+1, c+1) right by one.
+	co := n.childOffset(maxKeys)
+	copy(n.data[co+(i+2)*8:co+(c+2)*8], n.data[co+(i+1)*8:co+(c+1)*8])
+	n.setChild(i+1, maxKeys, rightChild)
+	n.setCount(c + 1)
+}

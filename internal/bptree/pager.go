@@ -1,0 +1,177 @@
+// Package bptree implements a disk-resident B+tree key-value store with a
+// fixed-capacity buffer pool, standing in for WiredTiger as the paper's
+// "industrial-strength B+tree store" baseline (Figure 7). Values are fixed
+// size; updates happen in place on leaf pages; the buffer-pool capacity is
+// the store's "buffer size" knob.
+package bptree
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// pager is the buffer pool: a page table over fixed-size frames with clock
+// eviction and write-back of dirty pages.
+type pager struct {
+	file     *os.File
+	pageSize int
+
+	mu       sync.Mutex
+	frames   map[uint64]*pframe
+	clock    []*pframe
+	hand     int
+	capacity int
+
+	reads  int64
+	writes int64
+	hits   int64
+}
+
+// pframe is one resident page. The content latch (RWMutex) protects data;
+// pins prevent eviction while a caller holds the frame.
+type pframe struct {
+	id    uint64
+	data  []byte
+	dirty bool
+	pins  int
+	ref   bool
+	latch sync.RWMutex
+}
+
+func newPager(file *os.File, pageSize, capacity int) *pager {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &pager{
+		file:     file,
+		pageSize: pageSize,
+		frames:   make(map[uint64]*pframe, capacity),
+		capacity: capacity,
+	}
+}
+
+// fetch pins page id into the pool, reading it from disk on a miss.
+func (p *pager) fetch(id uint64) (*pframe, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		f.ref = true
+		p.hits++
+		p.mu.Unlock()
+		return f, nil
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	p.frames[id] = f
+	p.reads++
+	p.mu.Unlock()
+	// Read outside the pool lock; the frame is invisible to others only
+	// through the map, and it is pinned, so nobody can evict it. Concurrent
+	// fetchers of the same id could observe partially read data, so the read
+	// happens under the frame's write latch.
+	f.latch.Lock()
+	_, err = p.file.ReadAt(f.data, int64(id)*int64(p.pageSize))
+	f.latch.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.frames, id)
+		f.pins = 0
+		p.mu.Unlock()
+		return nil, fmt.Errorf("bptree: read page %d: %w", id, err)
+	}
+	return f, nil
+}
+
+// fetchNew pins a frame for a fresh page (no disk read).
+func (p *pager) fetchNew(id uint64) (*pframe, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[id]; ok {
+		return nil, fmt.Errorf("bptree: page %d already resident", id)
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = true
+	p.frames[id] = f
+	return f, nil
+}
+
+// allocFrameLocked returns a free frame, evicting an unpinned page if the
+// pool is full. Caller holds p.mu.
+func (p *pager) allocFrameLocked() (*pframe, error) {
+	if len(p.clock) < p.capacity {
+		f := &pframe{data: make([]byte, p.pageSize)}
+		p.clock = append(p.clock, f)
+		return f, nil
+	}
+	for sweep := 0; sweep < 2*len(p.clock)+1; sweep++ {
+		f := p.clock[p.hand]
+		p.hand = (p.hand + 1) % len(p.clock)
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if _, err := p.file.WriteAt(f.data, int64(f.id)*int64(p.pageSize)); err != nil {
+				return nil, fmt.Errorf("bptree: evict page %d: %w", f.id, err)
+			}
+			p.writes++
+			f.dirty = false
+		}
+		delete(p.frames, f.id)
+		return f, nil
+	}
+	return nil, fmt.Errorf("bptree: buffer pool exhausted (%d frames, all pinned)", p.capacity)
+}
+
+// unpin releases the caller's pin, marking the page dirty if modified.
+func (p *pager) unpin(f *pframe, dirty bool) {
+	p.mu.Lock()
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	p.mu.Unlock()
+}
+
+// flushAll writes every dirty resident page back to disk.
+func (p *pager) flushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if _, err := p.file.WriteAt(f.data, int64(f.id)*int64(p.pageSize)); err != nil {
+				return err
+			}
+			p.writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// stats reports I/O counters.
+func (p *pager) stats() (reads, writes, hits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reads, p.writes, p.hits
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is an application-side embedding cache — the other Lookahead
+// destination in Figure 5(b). Frameworks with their own caching policies
+// (e.g. PERSIA's LRU, BETA's partition buffer) prefetch into it and consult
+// it before calling Get, trading staleness-tracking for zero storage calls.
+//
+// It is a sharded LRU keyed by embedding ID.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+	dim    int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	fillCh   chan fillReq
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[uint64]*list.Element
+	order *list.List
+}
+
+type cacheEntry struct {
+	key uint64
+	val []float32
+}
+
+type fillReq struct {
+	t    *Table
+	keys []uint64
+}
+
+// NewCache builds a cache holding capacity embeddings of dimension dim,
+// spread over 16 shards, with a background fill worker serving
+// Lookahead(DestAppCache) requests.
+func NewCache(capacity, dim int) *Cache {
+	const nShards = 16
+	perShard := capacity / nShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards: make([]cacheShard, nShards),
+		mask:   nShards - 1,
+		dim:    dim,
+		fillCh: make(chan fillReq, 1024),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: perShard, items: make(map[uint64]*list.Element), order: list.New()}
+	}
+	go c.fillLoop()
+	return c
+}
+
+// Close stops the fill worker.
+func (c *Cache) Close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		<-c.done
+	})
+}
+
+// Get returns the cached embedding, copying into dst.
+func (c *Cache) Get(key uint64, dst []float32) bool {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	sh.order.MoveToFront(el)
+	copy(dst, el.Value.(*cacheEntry).val)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// Put inserts or refreshes an embedding.
+func (c *Cache) Put(key uint64, val []float32) {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		copy(el.Value.(*cacheEntry).val, val)
+		sh.order.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, val: append([]float32(nil), val...)}
+	sh.items[key] = sh.order.PushFront(e)
+	for sh.order.Len() > sh.cap {
+		tail := sh.order.Back()
+		sh.order.Remove(tail)
+		delete(sh.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// Invalidate drops a key (call after updating its embedding in the store).
+func (c *Cache) Invalidate(key uint64) {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.order.Remove(el)
+		delete(sh.items, key)
+	}
+	sh.mu.Unlock()
+}
+
+// Stats reports hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached embeddings.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].order.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// requestFill enqueues an asynchronous cache fill (Lookahead/DestAppCache).
+func (c *Cache) requestFill(t *Table, keys []uint64) {
+	cp := append([]uint64(nil), keys...)
+	select {
+	case c.fillCh <- fillReq{t: t, keys: cp}:
+	default: // queue full: drop, prefetching is best-effort
+	}
+}
+
+func (c *Cache) fillLoop() {
+	defer close(c.done)
+	var sess *Session
+	var sessTable *Table
+	defer func() {
+		if sess != nil {
+			sess.Close()
+		}
+	}()
+	dst := make([]float32, c.dim)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case req := <-c.fillCh:
+			if sessTable != req.t {
+				if sess != nil {
+					sess.Close()
+				}
+				var err error
+				sess, err = req.t.NewSession()
+				if err != nil {
+					continue
+				}
+				sessTable = req.t
+			}
+			for _, k := range req.keys {
+				// Peek: cache fills must not perturb the vector clock.
+				if found, err := sess.Peek(k, dst); err == nil && found {
+					c.Put(k, dst)
+				}
+			}
+		}
+	}
+}

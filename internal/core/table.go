@@ -1,0 +1,387 @@
+// Package core implements MLKV proper: the embedding-table abstraction the
+// paper's §III exposes to ML frameworks. A Table stores one embedding table
+// (fixed dimension) in a FASTER-style hybrid-log store with MLKV's
+// bounded-staleness consistency, and adds the Lookahead interface — an
+// asynchronous prefetch pool that moves disk-resident embeddings into the
+// store's mutable memory buffer (or an application-side cache) ahead of use.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// Bounds for Options.StalenessBound with paper-aligned names.
+const (
+	// BoundBSP trains bulk-synchronous: a read waits for every outstanding
+	// update on the record.
+	BoundBSP = int64(0)
+	// BoundASP trains fully asynchronously (INT64_MAX, per §III-C1).
+	BoundASP = faster.BoundAsync
+	// BoundDisabled turns the vector clock off (plain FASTER semantics).
+	BoundDisabled = int64(-1)
+)
+
+// Initializer produces the initial embedding for a key seen for the first
+// time. dst has the table's dimension; it arrives zeroed.
+type Initializer func(key uint64, dst []float32)
+
+// UniformInit returns an Initializer drawing i.i.d. values from
+// [-scale, scale), seeded per key so initialization is deterministic.
+func UniformInit(scale float32, seed uint64) Initializer {
+	return func(key uint64, dst []float32) {
+		r := util.NewRNG(util.Mix64(key) ^ seed)
+		for i := range dst {
+			dst[i] = (r.Float32()*2 - 1) * scale
+		}
+	}
+}
+
+// Options configures a Table.
+type Options struct {
+	// Dir is the table's storage directory.
+	Dir string
+	// Dim is the embedding dimension.
+	Dim int
+	// StalenessBound is the consistency knob (§III-C1): BoundBSP, BoundASP,
+	// BoundDisabled, or any positive SSP bound.
+	StalenessBound int64
+	// MemoryBytes is the in-memory buffer budget (the paper's "buffer
+	// size"). Default 64 MiB.
+	MemoryBytes int64
+	// MutableFraction is the share of the buffer accepting in-place
+	// updates. Default 0.5.
+	MutableFraction float64
+	// ExpectedKeys sizes the hash index.
+	ExpectedKeys uint64
+	// PrefetchWorkers is the Lookahead pool size. Default 2.
+	PrefetchWorkers int
+	// PrefetchQueue is the Lookahead queue capacity. Default 4096.
+	PrefetchQueue int
+	// Init initializes first-touch embeddings. Default: zeros.
+	Init Initializer
+	// RecordsPerPage overrides the log page granularity (power of two).
+	RecordsPerPage int
+}
+
+// Table is one embedding table. It is safe for concurrent use through
+// per-goroutine Sessions.
+type Table struct {
+	store *faster.Store
+	dir   string
+	dim   int
+	vs    int
+	init  Initializer
+
+	prefetchCh      chan uint64
+	prefetchStop    chan struct{}
+	prefetchDone    chan struct{}
+	prefetchDropped atomic.Int64
+	prefetched      atomic.Int64
+}
+
+// OpenTable creates or recovers an embedding table.
+func OpenTable(opts Options) (*Table, error) {
+	if opts.Dim <= 0 {
+		return nil, errors.New("core: Dim must be positive")
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("core: Dir is required")
+	}
+	if opts.MemoryBytes == 0 {
+		opts.MemoryBytes = 64 << 20
+	}
+	if opts.MutableFraction == 0 {
+		opts.MutableFraction = 0.5
+	}
+	if opts.PrefetchWorkers == 0 {
+		opts.PrefetchWorkers = 2
+	}
+	if opts.PrefetchQueue == 0 {
+		opts.PrefetchQueue = 4096
+	}
+	vs := opts.Dim * 4
+	rpp := opts.RecordsPerPage
+	if rpp == 0 {
+		rpp = 1024
+	}
+	recBytes := int64(vs + 24)
+	memPages := int(opts.MemoryBytes / (recBytes * int64(rpp)))
+	if memPages < 4 {
+		memPages = 4
+	}
+	mutPages := int(float64(memPages) * opts.MutableFraction)
+	if mutPages < 1 {
+		mutPages = 1
+	}
+	if mutPages > memPages-2 {
+		mutPages = memPages - 2
+	}
+	st, err := faster.Open(faster.Config{
+		Dir:            opts.Dir,
+		ValueSize:      vs,
+		RecordsPerPage: rpp,
+		MemPages:       memPages,
+		MutablePages:   mutPages,
+		ExpectedKeys:   opts.ExpectedKeys,
+		StalenessBound: opts.StalenessBound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		store:        st,
+		dir:          opts.Dir,
+		dim:          opts.Dim,
+		vs:           vs,
+		init:         opts.Init,
+		prefetchCh:   make(chan uint64, opts.PrefetchQueue),
+		prefetchStop: make(chan struct{}),
+		prefetchDone: make(chan struct{}),
+	}
+	go t.prefetchPool(opts.PrefetchWorkers)
+	return t, nil
+}
+
+// Dim returns the embedding dimension.
+func (t *Table) Dim() int { return t.dim }
+
+// Store exposes the underlying engine (benchmarks and diagnostics).
+func (t *Table) Store() *faster.Store { return t.store }
+
+// SetStalenessBound adjusts the consistency bound at runtime.
+func (t *Table) SetStalenessBound(b int64) { t.store.SetStalenessBound(b) }
+
+// Checkpoint makes the table durable (call at a training barrier).
+func (t *Table) Checkpoint() error { return t.store.Checkpoint() }
+
+// Close stops the prefetch pool and closes the store.
+func (t *Table) Close() error {
+	close(t.prefetchStop)
+	<-t.prefetchDone
+	return t.store.Close()
+}
+
+// PrefetchStats reports Lookahead activity: copies made into the memory
+// buffer and requests dropped due to a full queue.
+func (t *Table) PrefetchStats() (copied, dropped int64) {
+	return t.store.Stats().PrefetchCopies, t.prefetchDropped.Load()
+}
+
+// prefetchPool runs the Lookahead workers.
+func (t *Table) prefetchPool(workers int) {
+	defer close(t.prefetchDone)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s, err := t.store.NewSession()
+			if err != nil {
+				return
+			}
+			defer s.Close()
+			for {
+				select {
+				case <-t.prefetchStop:
+					return
+				case key := <-t.prefetchCh:
+					if _, err := s.Prefetch(key); err == nil {
+						t.prefetched.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// Session is one worker's handle onto the table. Not safe for concurrent
+// use; create one per goroutine.
+type Session struct {
+	t   *Table
+	s   *faster.Session
+	buf []byte
+}
+
+// NewSession registers a session.
+func (t *Table) NewSession() (*Session, error) {
+	s, err := t.store.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{t: t, s: s, buf: make([]byte, t.vs)}, nil
+}
+
+// Close unregisters the session.
+func (s *Session) Close() { s.s.Close() }
+
+// Get reads the embedding for key into dst (len == Dim), initializing it on
+// first touch. It participates in the bounded-staleness protocol (§III-C1).
+func (s *Session) Get(key uint64, dst []float32) error {
+	if len(dst) != s.t.dim {
+		return fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
+	}
+	for {
+		found, err := s.s.Get(key, s.buf)
+		if err != nil {
+			return err
+		}
+		if found {
+			bytesToFloats(s.buf, dst)
+			return nil
+		}
+		// First touch: initialize atomically, then retry the Get so the
+		// vector-clock accounting matches a normal read.
+		if err := s.initKey(key); err != nil {
+			return err
+		}
+	}
+}
+
+// initKey writes the initial embedding if key is still absent.
+func (s *Session) initKey(key uint64) error {
+	return s.s.RMW(key, func(cur []byte, exists bool) {
+		if exists || s.t.init == nil {
+			return
+		}
+		tmp := make([]float32, s.t.dim)
+		s.t.init(key, tmp)
+		floatsToBytes(tmp, cur)
+	})
+}
+
+// GetBatch reads len(keys) embeddings into dst (len == len(keys)*Dim).
+// Duplicate keys each perform their own clocked read; deduplicate in the
+// caller if the training step applies one combined update.
+func (s *Session) GetBatch(keys []uint64, dst []float32) error {
+	if len(dst) != len(keys)*s.t.dim {
+		return fmt.Errorf("core: dst length %d != %d keys × dim %d", len(dst), len(keys), s.t.dim)
+	}
+	for i, k := range keys {
+		if err := s.Get(k, dst[i*s.t.dim:(i+1)*s.t.dim]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Peek reads without touching the vector clock (evaluation path).
+func (s *Session) Peek(key uint64, dst []float32) (bool, error) {
+	if len(dst) != s.t.dim {
+		return false, fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
+	}
+	found, err := s.s.Peek(key, s.buf)
+	if found {
+		bytesToFloats(s.buf, dst)
+	}
+	return found, err
+}
+
+// Put upserts the embedding for key (the backward-propagation write of
+// Figure 3, line 17). Puts never wait on the staleness bound.
+func (s *Session) Put(key uint64, val []float32) error {
+	if len(val) != s.t.dim {
+		return fmt.Errorf("core: val length %d != dim %d", len(val), s.t.dim)
+	}
+	floatsToBytes(val, s.buf)
+	return s.s.Put(key, s.buf)
+}
+
+// PutBatch upserts len(keys) embeddings from vals (len == len(keys)*Dim).
+func (s *Session) PutBatch(keys []uint64, vals []float32) error {
+	if len(vals) != len(keys)*s.t.dim {
+		return fmt.Errorf("core: vals length %d != %d keys × dim %d", len(vals), len(keys), s.t.dim)
+	}
+	for i, k := range keys {
+		if err := s.Put(k, vals[i*s.t.dim:(i+1)*s.t.dim]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyGradient performs emb ← emb − lr·grad as a single storage-side
+// read-modify-write (the Rmw path of Figure 4, step 8).
+func (s *Session) ApplyGradient(key uint64, grad []float32, lr float32) error {
+	if len(grad) != s.t.dim {
+		return fmt.Errorf("core: grad length %d != dim %d", len(grad), s.t.dim)
+	}
+	return s.s.RMW(key, func(cur []byte, exists bool) {
+		for i := 0; i < s.t.dim; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(cur[i*4:]))
+			v -= lr * grad[i]
+			binary.LittleEndian.PutUint32(cur[i*4:], math.Float32bits(v))
+		}
+	})
+}
+
+// Delete removes key's embedding.
+func (s *Session) Delete(key uint64) error { return s.s.Delete(key) }
+
+// LookaheadDest selects where Lookahead materializes embeddings (Fig. 5b).
+type LookaheadDest int
+
+const (
+	// DestStorageBuffer copies disk-resident records into MLKV's mutable
+	// memory buffer (the default, and the paper's headline optimization:
+	// it is not limited by the staleness bound).
+	DestStorageBuffer LookaheadDest = iota
+	// DestAppCache loads values into an application-provided Cache,
+	// equivalent to conventional prefetching.
+	DestAppCache
+)
+
+// Lookahead asynchronously warms the given keys (§III-C2). It never blocks:
+// requests beyond the queue capacity are dropped (and counted). With
+// DestAppCache, cache must be non-nil.
+func (s *Session) Lookahead(keys []uint64, dest LookaheadDest, cache *Cache) error {
+	switch dest {
+	case DestStorageBuffer:
+		for _, k := range keys {
+			select {
+			case s.t.prefetchCh <- k:
+			default:
+				s.t.prefetchDropped.Add(1)
+			}
+		}
+		return nil
+	case DestAppCache:
+		if cache == nil {
+			return errors.New("core: DestAppCache requires a cache")
+		}
+		cache.requestFill(s.t, keys)
+		return nil
+	}
+	return fmt.Errorf("core: unknown Lookahead destination %d", dest)
+}
+
+// DiskUsage reports the size of the table's log file in bytes.
+func (t *Table) DiskUsage() (int64, error) {
+	fi, err := os.Stat(filepath.Join(t.dir, "hlog.dat"))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func bytesToFloats(src []byte, dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
+func floatsToBytes(src []float32, dst []byte) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
+	}
+}

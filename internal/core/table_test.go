@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+func testTable(t *testing.T, dim int, bound int64) *Table {
+	t.Helper()
+	tbl, err := OpenTable(Options{
+		Dir:            t.TempDir(),
+		Dim:            dim,
+		StalenessBound: bound,
+		MemoryBytes:    1 << 20,
+		RecordsPerPage: 64,
+		Init:           UniformInit(0.1, 42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tbl.Close() })
+	return tbl
+}
+
+func TestTableGetInitializesFirstTouch(t *testing.T) {
+	tbl := testTable(t, 8, BoundDisabled)
+	s, err := tbl.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	emb := make([]float32, 8)
+	if err := s.Get(1, emb); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, v := range emb {
+		if v != 0 {
+			nonzero = true
+		}
+		if v < -0.1 || v >= 0.1 {
+			t.Fatalf("init out of range: %v", v)
+		}
+	}
+	if !nonzero {
+		t.Fatal("initializer produced all zeros")
+	}
+	// Same key, same init — deterministic.
+	emb2 := make([]float32, 8)
+	if err := s.Get(1, emb2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range emb {
+		if emb[i] != emb2[i] {
+			t.Fatal("initialized embedding unstable")
+		}
+	}
+}
+
+func TestTablePutGetRoundTrip(t *testing.T) {
+	tbl := testTable(t, 4, BoundDisabled)
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	want := []float32{1.5, -2.25, 3.125, -0.0625}
+	if err := s.Put(7, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 4)
+	if err := s.Get(7, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dim %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableBatchOps(t *testing.T) {
+	tbl := testTable(t, 4, BoundDisabled)
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	keys := []uint64{1, 2, 3}
+	vals := make([]float32, 12)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	if err := s.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 12)
+	if err := s.GetBatch(keys, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestTableDimValidation(t *testing.T) {
+	tbl := testTable(t, 4, BoundDisabled)
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	if err := s.Get(1, make([]float32, 3)); err == nil {
+		t.Fatal("wrong dim accepted in Get")
+	}
+	if err := s.Put(1, make([]float32, 5)); err == nil {
+		t.Fatal("wrong dim accepted in Put")
+	}
+	if err := s.GetBatch([]uint64{1, 2}, make([]float32, 7)); err == nil {
+		t.Fatal("wrong batch size accepted")
+	}
+}
+
+func TestApplyGradient(t *testing.T) {
+	tbl := testTable(t, 4, BoundDisabled)
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	s.Put(1, []float32{1, 1, 1, 1})
+	if err := s.ApplyGradient(1, []float32{1, 2, 3, 4}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 4)
+	s.Get(1, got)
+	want := []float32{0.5, 0, -0.5, -1}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-6 {
+			t.Fatalf("dim %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLookaheadStorageBufferWarmsDiskRecords(t *testing.T) {
+	// A 64 KiB buffer holds ~1100 records of dim 8; writing 6000 evicts the
+	// early keys to disk.
+	tbl, err := OpenTable(Options{
+		Dir:            t.TempDir(),
+		Dim:            8,
+		StalenessBound: 4,
+		MemoryBytes:    64 << 10,
+		RecordsPerPage: 64,
+		Init:           UniformInit(0.1, 42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	// Write enough embeddings to evict the early keys to disk.
+	emb := make([]float32, 8)
+	const n = 6000
+	for k := uint64(1); k <= n; k++ {
+		for i := range emb {
+			emb[i] = float32(k)
+		}
+		if err := s.Put(k, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prefetch early (cold) keys and wait for copies to land.
+	cold := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := s.Lookahead(cold, DestStorageBuffer, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		copied, _ := tbl.PrefetchStats()
+		if copied >= int64(len(cold)) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	copied, dropped := tbl.PrefetchStats()
+	if copied < int64(len(cold)) {
+		t.Fatalf("prefetch copied %d of %d (dropped %d)", copied, len(cold), dropped)
+	}
+	// The subsequent Gets should be disk-free.
+	before := tbl.Store().Stats().DiskReads
+	for _, k := range cold {
+		if err := s.Get(k, emb); err != nil {
+			t.Fatal(err)
+		}
+		if emb[0] != float32(k) {
+			t.Fatalf("key %d: wrong value after prefetch", k)
+		}
+		if err := s.Put(k, emb); err != nil { // balance the clock
+			t.Fatal(err)
+		}
+	}
+	after := tbl.Store().Stats().DiskReads
+	if after != before {
+		t.Fatalf("gets after lookahead hit disk %d times", after-before)
+	}
+}
+
+func TestLookaheadAppCache(t *testing.T) {
+	tbl := testTable(t, 8, 4)
+	s, _ := tbl.NewSession()
+	defer s.Close()
+	emb := make([]float32, 8)
+	for k := uint64(1); k <= 100; k++ {
+		for i := range emb {
+			emb[i] = float32(k)
+		}
+		s.Put(k, emb)
+	}
+	cache := NewCache(64, 8)
+	defer cache.Close()
+	if err := s.Lookahead([]uint64{5, 6, 7}, DestAppCache, cache); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := make([]float32, 8)
+	if !cache.Get(5, got) {
+		t.Fatal("key 5 not in app cache after Lookahead")
+	}
+	if got[0] != 5 {
+		t.Fatalf("cached value wrong: %v", got[0])
+	}
+	if err := s.Lookahead([]uint64{1}, DestAppCache, nil); err == nil {
+		t.Fatal("nil cache accepted for DestAppCache")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(16, 2) // 16 slots over 16 shards => 1 per shard
+	defer c.Close()
+	for k := uint64(0); k < 64; k++ {
+		c.Put(k, []float32{float32(k), 0})
+	}
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+	// Most recent key per shard must be resident.
+	got := make([]float32, 2)
+	if !c.Get(63, got) {
+		t.Fatal("most recent key evicted")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(32, 2)
+	defer c.Close()
+	c.Put(1, []float32{1, 2})
+	c.Invalidate(1)
+	if c.Get(1, make([]float32, 2)) {
+		t.Fatal("invalidated key still cached")
+	}
+}
+
+func TestTableConcurrentTraining(t *testing.T) {
+	// Simulated async training: workers Get, compute, Put, with a bound.
+	tbl := testTable(t, 8, 8)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			s, err := tbl.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			r := util.NewRNG(seed)
+			emb := make([]float32, 8)
+			for i := 0; i < 500; i++ {
+				k := r.Uint64n(200) + 1
+				if err := s.Get(k, emb); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range emb {
+					emb[j] += 0.001
+				}
+				if err := s.Put(k, emb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+}
+
+func TestTableCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Dir: dir, Dim: 4, StalenessBound: BoundDisabled,
+		MemoryBytes: 1 << 20, RecordsPerPage: 64,
+	}
+	tbl, err := OpenTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tbl.NewSession()
+	s.Put(1, []float32{1, 2, 3, 4})
+	s.Close()
+	if err := tbl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Close()
+
+	tbl2, err := OpenTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	s2, _ := tbl2.NewSession()
+	defer s2.Close()
+	got := make([]float32, 4)
+	if err := s2.Get(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[3] != 4 {
+		t.Fatalf("restored embedding wrong: %v", got)
+	}
+}
+
+func TestOpenTableValidation(t *testing.T) {
+	if _, err := OpenTable(Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("Dim 0 accepted")
+	}
+	if _, err := OpenTable(Options{Dim: 4}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}
+
+func TestBoundModesSmoke(t *testing.T) {
+	for _, bound := range []int64{BoundDisabled, BoundBSP, 4, BoundASP} {
+		tbl := testTable(t, 4, bound)
+		s, _ := tbl.NewSession()
+		emb := make([]float32, 4)
+		for k := uint64(1); k <= 50; k++ {
+			if err := s.Get(k, emb); err != nil {
+				t.Fatalf("bound %d: %v", bound, err)
+			}
+			if err := s.Put(k, emb); err != nil {
+				t.Fatalf("bound %d: %v", bound, err)
+			}
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,109 @@
+package data
+
+import (
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// KGConfig parameterizes a synthetic knowledge graph (Freebase/WikiKG-like).
+type KGConfig struct {
+	Entities  uint64
+	Relations int
+	Clusters  int     // planted structure: relations map cluster→cluster
+	Zipf      float64 // head-entity popularity skew
+	// Seed fixes the planted cluster structure; Stream seeds the sample
+	// stream (one per worker).
+	Seed   uint64
+	Stream uint64
+}
+
+// Triple is one (head, relation, tail) fact.
+type Triple struct {
+	H uint64
+	R int
+	T uint64
+}
+
+// KGGen streams triples from a planted cluster structure: each entity
+// belongs to a cluster; relation r deterministically maps cluster c to
+// cluster σ_r(c); true triples connect a head to a uniform tail of the
+// mapped cluster. A link-prediction model can learn the structure, so
+// Hits@k climbs with training.
+type KGGen struct {
+	cfg KGConfig
+	rng *util.RNG
+	pop *util.Zipf
+}
+
+// NewKGGen builds a generator.
+func NewKGGen(cfg KGConfig) *KGGen {
+	if cfg.Entities == 0 {
+		cfg.Entities = 100000
+	}
+	if cfg.Relations == 0 {
+		cfg.Relations = 16
+	}
+	if cfg.Clusters == 0 {
+		cfg.Clusters = 32
+	}
+	if cfg.Zipf == 0 {
+		cfg.Zipf = 0.8
+	}
+	g := &KGGen{cfg: cfg, rng: util.NewRNG(cfg.Seed ^ util.Mix64(cfg.Stream) ^ 0x4b39)}
+	g.pop = util.NewZipf(g.rng.Split(), cfg.Entities, cfg.Zipf)
+	return g
+}
+
+// Config returns the effective configuration.
+func (g *KGGen) Config() KGConfig { return g.cfg }
+
+// clusterOf assigns entities to clusters deterministically.
+func (g *KGGen) clusterOf(e uint64) int {
+	return int(util.Mix64(e^g.cfg.Seed) % uint64(g.cfg.Clusters))
+}
+
+// mapped returns σ_r(c), the target cluster of relation r from cluster c.
+func (g *KGGen) mapped(r, c int) int {
+	return int(util.Mix64(uint64(r)<<32|uint64(c)^g.cfg.Seed) % uint64(g.cfg.Clusters))
+}
+
+// Next draws one true triple.
+func (g *KGGen) Next() Triple {
+	h := g.pop.Next()
+	r := int(g.rng.Uint64n(uint64(g.cfg.Relations)))
+	target := g.mapped(r, g.clusterOf(h))
+	// Rejection-sample a tail from the target cluster.
+	var t uint64
+	for {
+		t = g.rng.Uint64n(g.cfg.Entities)
+		if g.clusterOf(t) == target {
+			break
+		}
+	}
+	return Triple{H: h, R: r, T: t}
+}
+
+// IsTrue reports whether (h, r, t) respects the planted structure (used to
+// sanity-check negative sampling).
+func (g *KGGen) IsTrue(tr Triple) bool {
+	return g.clusterOf(tr.T) == g.mapped(tr.R, g.clusterOf(tr.H))
+}
+
+// NegativeTail draws a corrupted tail outside the target cluster.
+func (g *KGGen) NegativeTail(tr Triple) uint64 {
+	target := g.mapped(tr.R, g.clusterOf(tr.H))
+	for {
+		t := g.rng.Uint64n(g.cfg.Entities)
+		if g.clusterOf(t) != target {
+			return t
+		}
+	}
+}
+
+// Batch draws n triples.
+func (g *KGGen) Batch(n int) []Triple {
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

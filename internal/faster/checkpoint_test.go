@@ -1,0 +1,195 @@
+package faster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir, ValueSize: 16, RecordsPerPage: 32, MemPages: 6,
+		MutablePages: 2, StalenessBound: -1, ExpectedKeys: 4096,
+	}
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := st.NewSession()
+	const n = 500
+	for k := uint64(1); k <= n; k++ {
+		if err := s.Put(k, val(16, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite some keys so recovery must pick the newest version.
+	for k := uint64(1); k <= 50; k++ {
+		if err := s.Put(k, val(16, k+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete(60)
+	s.Close()
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, _ := st2.NewSession()
+	defer s2.Close()
+	dst := make([]byte, 16)
+	for k := uint64(1); k <= n; k++ {
+		found, err := s2.Get(k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 60 {
+			if found {
+				t.Fatal("deleted key resurrected by recovery")
+			}
+			continue
+		}
+		if !found {
+			t.Fatalf("key %d lost in recovery", k)
+		}
+		want := val(16, k)
+		if k <= 50 {
+			want = val(16, k+1000)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("key %d recovered wrong version", k)
+		}
+	}
+	// The recovered store accepts new writes.
+	if err := s2.Put(9999, val(16, 9999)); err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := s2.Get(9999, dst); !found || !bytes.Equal(dst, val(16, 9999)) {
+		t.Fatal("write after recovery failed")
+	}
+}
+
+func TestRecoverPreservesStaleness(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir, ValueSize: 8, RecordsPerPage: 32, MemPages: 6,
+		MutablePages: 2, StalenessBound: 100,
+	}
+	st, _ := Open(cfg)
+	s, _ := st.NewSession()
+	s.Put(1, val(8, 1))
+	dst := make([]byte, 8)
+	for i := 0; i < 5; i++ {
+		s.Get(1, dst) // staleness -> 5
+	}
+	s.Close()
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, _ := Open(cfg)
+	defer st2.Close()
+	s2, _ := st2.NewSession()
+	defer s2.Close()
+	if stal := recordStaleness(t, st2, s2, 1); stal != 5 {
+		t.Fatalf("recovered staleness = %d, want 5", stal)
+	}
+}
+
+func TestOpenWithoutCheckpointStartsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, ValueSize: 8, RecordsPerPage: 32, MemPages: 6, MutablePages: 2, StalenessBound: -1}
+	st, _ := Open(cfg)
+	s, _ := st.NewSession()
+	s.Put(1, val(8, 1))
+	s.Close()
+	st.Close() // no checkpoint
+
+	st2, _ := Open(cfg)
+	defer st2.Close()
+	s2, _ := st2.NewSession()
+	defer s2.Close()
+	dst := make([]byte, 8)
+	if found, _ := s2.Get(1, dst); found {
+		t.Fatal("store without checkpoint should start empty")
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, ValueSize: 8, RecordsPerPage: 32, MemPages: 6, MutablePages: 2, StalenessBound: -1}
+	st, _ := Open(cfg)
+	s, _ := st.NewSession()
+	s.Put(1, val(8, 1))
+	s.Close()
+	st.Checkpoint()
+	st.Close()
+
+	// Flip a byte in the metadata.
+	meta := filepath.Join(dir, metaFile)
+	buf, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[10] ^= 0xff
+	os.WriteFile(meta, buf, 0o644)
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("corrupt checkpoint should be rejected")
+	}
+
+	// Truncated metadata likewise.
+	os.WriteFile(meta, buf[:7], 0o644)
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("truncated checkpoint should be rejected")
+	}
+}
+
+func TestCheckpointValueSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, ValueSize: 8, RecordsPerPage: 32, MemPages: 6, MutablePages: 2, StalenessBound: -1}
+	st, _ := Open(cfg)
+	st.Checkpoint()
+	st.Close()
+	cfg.ValueSize = 16
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("ValueSize mismatch should be rejected")
+	}
+}
+
+func TestCheckpointTwice(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, ValueSize: 8, RecordsPerPage: 32, MemPages: 6, MutablePages: 2, StalenessBound: -1}
+	st, _ := Open(cfg)
+	s, _ := st.NewSession()
+	s.Put(1, val(8, 1))
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(2, val(8, 2))
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	st.Close()
+
+	st2, _ := Open(cfg)
+	defer st2.Close()
+	s2, _ := st2.NewSession()
+	defer s2.Close()
+	dst := make([]byte, 8)
+	for k := uint64(1); k <= 2; k++ {
+		if found, _ := s2.Get(k, dst); !found || !bytes.Equal(dst, val(8, k)) {
+			t.Fatalf("key %d lost across incremental checkpoints", k)
+		}
+	}
+}

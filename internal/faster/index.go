@@ -1,0 +1,220 @@
+package faster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// The hash index maps key hashes to hash-chain head addresses in the hybrid
+// log, following FASTER's design: an array of cache-line-sized buckets, each
+// holding seven tag+address entries plus one overflow-bucket link, updated
+// exclusively with compare-and-swap. Insertion of a fresh hash entry uses
+// the two-phase "tentative bit" protocol so two racing threads never
+// establish duplicate entries for the same tag.
+
+// Index entry word layout: tentative(1) | tag(15) | address(48).
+const (
+	entryTentativeBit = uint64(1) << 63
+	entryTagShift     = 48
+	entryTagMask      = uint64(1<<15) - 1
+	entryAddrMask     = uint64(1<<48) - 1
+
+	entriesPerBucket = 7 // the 8th slot links to an overflow bucket
+)
+
+func packEntry(tag, addr uint64) uint64 {
+	return tag<<entryTagShift | addr&entryAddrMask
+}
+
+func entryTag(e uint64) uint64  { return (e >> entryTagShift) & entryTagMask }
+func entryAddr(e uint64) uint64 { return e & entryAddrMask }
+
+type bucket struct {
+	entries  [entriesPerBucket]atomic.Uint64
+	overflow atomic.Uint64 // 1-based index into the overflow arena; 0 = none
+}
+
+// index is the latch-free hash table. The main bucket array is sized at
+// construction; overflow buckets absorb collisions beyond seven tags per
+// bucket and are allocated from a growable chunked arena. The chunk
+// directory is copy-on-write so bucket pointers handed to readers remain
+// stable across growth.
+type index struct {
+	buckets   []bucket
+	mask      uint64
+	chunks    atomic.Pointer[[]*arenaChunk]
+	arenaNext atomic.Uint64 // last allocated overflow id (ids are 1-based)
+	growMu    sync.Mutex
+}
+
+const arenaChunkBits = 8 // 256 overflow buckets per chunk
+
+type arenaChunk [1 << arenaChunkBits]bucket
+
+// newIndex creates an index with at least minBuckets buckets (rounded up to
+// a power of two).
+func newIndex(minBuckets uint64) *index {
+	n := util.NextPow2(minBuckets)
+	ix := &index{
+		buckets: make([]bucket, n),
+		mask:    n - 1,
+	}
+	initial := []*arenaChunk{new(arenaChunk)}
+	ix.chunks.Store(&initial)
+	return ix
+}
+
+// overflowBucket resolves a 1-based overflow bucket id.
+func (ix *index) overflowBucket(id uint64) *bucket {
+	i := id - 1
+	chunks := *ix.chunks.Load()
+	return &chunks[i>>arenaChunkBits][i&(1<<arenaChunkBits-1)]
+}
+
+// allocOverflow reserves a fresh overflow bucket and returns its id,
+// growing the chunk directory as needed.
+func (ix *index) allocOverflow() uint64 {
+	id := ix.arenaNext.Add(1)
+	need := (id - 1) >> arenaChunkBits
+	for uint64(len(*ix.chunks.Load())) <= need {
+		ix.growMu.Lock()
+		cur := ix.chunks.Load()
+		if uint64(len(*cur)) <= need {
+			grown := make([]*arenaChunk, len(*cur)+1)
+			copy(grown, *cur)
+			grown[len(*cur)] = new(arenaChunk)
+			ix.chunks.Store(&grown)
+		}
+		ix.growMu.Unlock()
+	}
+	return id
+}
+
+// tagOf derives the 15-bit entry tag from a key hash. Tag 0 is reserved to
+// mean "free entry", so the top bit of the tag is forced on.
+func tagOf(hash uint64) uint64 {
+	return (hash>>49)&entryTagMask | 1<<14
+}
+
+// find returns the entry word slot for hash if present, else nil.
+func (ix *index) find(hash uint64) *atomic.Uint64 {
+	tag := tagOf(hash)
+	b := &ix.buckets[hash&ix.mask]
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			e := b.entries[i].Load()
+			if e != 0 && e&entryTentativeBit == 0 && entryTag(e) == tag {
+				return &b.entries[i]
+			}
+		}
+		ov := b.overflow.Load()
+		if ov == 0 {
+			return nil
+		}
+		b = ix.overflowBucket(ov)
+	}
+}
+
+// findOrCreate returns the entry slot for hash, creating it (with address
+// InvalidAddr) if absent. The tentative-bit protocol guarantees that
+// concurrent creators converge on a single slot per (bucket, tag).
+func (ix *index) findOrCreate(hash uint64) *atomic.Uint64 {
+	tag := tagOf(hash)
+	root := &ix.buckets[hash&ix.mask]
+	for {
+		// Pass 1: existing non-tentative entry?
+		if slot := ix.find(hash); slot != nil {
+			return slot
+		}
+		// Pass 2: claim a free slot tentatively.
+		slot, ok := ix.claimFree(root, tag)
+		if !ok {
+			continue // chain mutated under us; retry
+		}
+		// Pass 3: scan for a duplicate (another thread may have claimed or
+		// published the same tag concurrently).
+		if ix.hasDuplicate(root, tag, slot) {
+			slot.Store(0) // back off; retry from the top
+			continue
+		}
+		// Safe to publish: clear the tentative bit.
+		slot.Store(packEntry(tag, InvalidAddr))
+		return slot
+	}
+}
+
+// claimFree CASes the first empty slot in the bucket chain to a tentative
+// entry for tag, extending the chain with an overflow bucket if required.
+func (ix *index) claimFree(b *bucket, tag uint64) (*atomic.Uint64, bool) {
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if b.entries[i].Load() == 0 {
+				if b.entries[i].CompareAndSwap(0, entryTentativeBit|packEntry(tag, InvalidAddr)) {
+					return &b.entries[i], true
+				}
+				return nil, false // lost the race; caller rescans
+			}
+		}
+		ov := b.overflow.Load()
+		if ov == 0 {
+			idx := ix.allocOverflow()
+			if !b.overflow.CompareAndSwap(0, idx) {
+				// Another thread linked an overflow bucket first; the arena
+				// slot we reserved is simply wasted.
+				ov = b.overflow.Load()
+			} else {
+				ov = idx
+			}
+		}
+		b = ix.overflowBucket(ov)
+	}
+}
+
+// hasDuplicate reports whether any entry other than self in the bucket
+// chain carries tag (tentative or not).
+func (ix *index) hasDuplicate(b *bucket, tag uint64, self *atomic.Uint64) bool {
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			s := &b.entries[i]
+			if s == self {
+				continue
+			}
+			e := s.Load()
+			if e != 0 && entryTag(e) == tag {
+				return true
+			}
+		}
+		ov := b.overflow.Load()
+		if ov == 0 {
+			return false
+		}
+		b = ix.overflowBucket(ov)
+	}
+}
+
+// entryCount returns the number of published entries (diagnostics only).
+func (ix *index) entryCount() int {
+	count := 0
+	scan := func(b *bucket) uint64 {
+		for i := 0; i < entriesPerBucket; i++ {
+			e := b.entries[i].Load()
+			if e != 0 && e&entryTentativeBit == 0 {
+				count++
+			}
+		}
+		return b.overflow.Load()
+	}
+	for i := range ix.buckets {
+		b := &ix.buckets[i]
+		for {
+			ov := scan(b)
+			if ov == 0 {
+				break
+			}
+			b = ix.overflowBucket(ov)
+		}
+	}
+	return count
+}

@@ -1,0 +1,398 @@
+package faster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/epoch"
+)
+
+// hybridLog is FASTER's hybrid log: a logical address space of fixed-size
+// records backed by a circular buffer of in-memory page frames and a single
+// append-only file. Addresses partition into four regions:
+//
+//	[tail ......... roAddr)   mutable   — in-place updates allowed
+//	[roAddr .. safeRoAddr)    fuzzy     — boundary is draining; ops retry
+//	[safeRoAddr ..... head)   read-only — in-memory, immutable values
+//	[head ............. 1]    disk      — positional reads from the file
+//
+// (Regions listed from the newest address down; roAddr >= safeRoAddr >=
+// headAddr always holds.) Page frames recycle only after the page is flushed
+// and an epoch drain guarantees no latch-free reader still holds a frame
+// reference.
+type hybridLog struct {
+	valueSize int
+	recSize   int // disk footprint per record
+	rpp       int // records per page (power of two)
+	pageShift uint
+	pageMask  uint64
+	memPages  int
+	mutPages  int
+
+	file *os.File
+	em   *epoch.Manager
+
+	nextAddr   atomic.Uint64 // next record index to allocate
+	roAddr     atomic.Uint64 // first mutable address
+	safeRoAddr atomic.Uint64 // ro boundary all sessions have observed
+	headAddr   atomic.Uint64 // first in-memory address
+
+	frames []frame
+
+	// Flush pipeline. frozenEnq tracks the highest page whose flush has been
+	// enqueued; flushedPage is the contiguous flushed watermark.
+	flushCh     chan int64
+	enqMu       sync.Mutex
+	frozenEnq   int64
+	flushMu     sync.Mutex
+	flushCond   *sync.Cond
+	flushedPage int64
+	flushErr    error
+	flushDone   chan struct{}
+	syncWrites  bool
+
+	frameMu   sync.Mutex
+	frameCond *sync.Cond
+
+	stats *Stats
+}
+
+// frame is one in-memory page. holds is the logical page number currently
+// materialized: -1 while the frame awaits reset, pages are published by the
+// initializing allocator after the previous occupant is flushed and drained.
+type frame struct {
+	holds atomic.Int64
+	freed atomic.Bool // set by the epoch action that releases the old page
+	hdrs  []atomic.Uint64
+	keys  []uint64
+	prevs []uint64
+	vals  []byte
+}
+
+func newHybridLog(path string, valueSize, recsPerPage, memPages, mutPages int, syncWrites bool, em *epoch.Manager, stats *Stats) (*hybridLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("faster: open log: %w", err)
+	}
+	l := &hybridLog{
+		valueSize:  valueSize,
+		recSize:    diskRecSize(valueSize),
+		rpp:        recsPerPage,
+		memPages:   memPages,
+		mutPages:   mutPages,
+		file:       f,
+		em:         em,
+		flushCh:    make(chan int64, 4*memPages),
+		flushDone:  make(chan struct{}),
+		syncWrites: syncWrites,
+		stats:      stats,
+	}
+	for s := uint(0); 1<<s < recsPerPage; s++ {
+		l.pageShift = s + 1
+	}
+	if 1<<l.pageShift != recsPerPage {
+		f.Close()
+		return nil, fmt.Errorf("faster: RecordsPerPage %d is not a power of two", recsPerPage)
+	}
+	l.pageMask = uint64(recsPerPage - 1)
+	l.frames = make([]frame, memPages)
+	for i := range l.frames {
+		l.frames[i].holds.Store(-1)
+		l.frames[i].hdrs = make([]atomic.Uint64, recsPerPage)
+		l.frames[i].keys = make([]uint64, recsPerPage)
+		l.frames[i].prevs = make([]uint64, recsPerPage)
+		l.frames[i].vals = make([]byte, recsPerPage*valueSize)
+	}
+	l.flushCond = sync.NewCond(&l.flushMu)
+	l.frameCond = sync.NewCond(&l.frameMu)
+	l.flushedPage = -1
+	l.frozenEnq = -1
+
+	// Address 0 is reserved as InvalidAddr; allocation starts at 1 within
+	// page 0, which is materialized eagerly.
+	l.nextAddr.Store(1)
+	l.headAddr.Store(1)
+	l.roAddr.Store(1)
+	l.safeRoAddr.Store(1)
+	l.frames[0].holds.Store(0)
+
+	go l.flusher()
+	return l, nil
+}
+
+func (l *hybridLog) pageOf(addr uint64) int64 { return int64(addr >> l.pageShift) }
+func (l *hybridLog) slotOf(addr uint64) int   { return int(addr & l.pageMask) }
+
+// frameFor returns the frame materializing page p. Callers must hold epoch
+// protection and have verified the address is at or above headAddr.
+func (l *hybridLog) frameFor(p int64) *frame {
+	return &l.frames[int(p)%l.memPages]
+}
+
+// allocate reserves one record slot and returns its address. The calling
+// session must be protected; allocate may Refresh the session while waiting
+// on page turnover, so callers must not hold frame references across it.
+func (l *hybridLog) allocate(s *epoch.Session) uint64 {
+	addr := l.nextAddr.Add(1) - 1
+	p := l.pageOf(addr)
+	if l.slotOf(addr) == 0 {
+		l.openPage(p, s)
+	} else {
+		l.waitPageReady(p, s)
+	}
+	return addr
+}
+
+// openPage is run by the allocator that received the first slot of page p.
+// It freezes pages that leave the mutable window, waits for the frame's
+// previous occupant to be flushed and epoch-released, resets the frame, and
+// publishes it.
+func (l *hybridLog) openPage(p int64, s *epoch.Session) {
+	// 1. Advance the read-only boundary so the mutable window ends at p.
+	if frozen := p - int64(l.mutPages); frozen >= 0 {
+		newRO := uint64(frozen+1) << l.pageShift
+		for {
+			cur := l.roAddr.Load()
+			if newRO <= cur {
+				break
+			}
+			if l.roAddr.CompareAndSwap(cur, newRO) {
+				l.em.BumpWith(func() { l.onROBoundaryDrained(newRO, frozen) })
+				break
+			}
+		}
+	}
+
+	// 2. Recycle the frame. Its previous occupant (if any) must be flushed,
+	// evicted past the head boundary, and epoch-drained.
+	f := l.frameFor(p)
+	victim := p - int64(l.memPages)
+	if victim >= 0 {
+		l.waitFlushed(victim, s)
+
+		newHead := uint64(victim+1) << l.pageShift
+		for {
+			cur := l.headAddr.Load()
+			if newHead <= cur {
+				break
+			}
+			if l.headAddr.CompareAndSwap(cur, newHead) {
+				break
+			}
+		}
+		l.em.BumpWith(func() { f.freed.Store(true); l.broadcastFrames() })
+		l.frameMu.Lock()
+		for !f.freed.Load() {
+			l.frameMu.Unlock()
+			s.Refresh() // our own refresh lets the drain complete
+			runtime.Gosched()
+			l.frameMu.Lock()
+		}
+		l.frameMu.Unlock()
+	}
+
+	// 3. Reset and publish.
+	for i := range f.hdrs {
+		f.hdrs[i].Store(0)
+	}
+	clearUint64(f.keys)
+	clearUint64(f.prevs)
+	f.freed.Store(false)
+	f.holds.Store(p)
+	l.broadcastFrames()
+}
+
+func clearUint64(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// onROBoundaryDrained runs once every session has observed the read-only
+// boundary at newRO: it publishes the safe boundary and enqueues the newly
+// frozen pages for flushing, in order and exactly once.
+func (l *hybridLog) onROBoundaryDrained(newRO uint64, upTo int64) {
+	for {
+		cur := l.safeRoAddr.Load()
+		if newRO <= cur {
+			break
+		}
+		if l.safeRoAddr.CompareAndSwap(cur, newRO) {
+			break
+		}
+	}
+	l.enqMu.Lock()
+	for q := l.frozenEnq + 1; q <= upTo; q++ {
+		l.flushCh <- q
+	}
+	if upTo > l.frozenEnq {
+		l.frozenEnq = upTo
+	}
+	l.enqMu.Unlock()
+}
+
+func (l *hybridLog) broadcastFrames() {
+	l.frameMu.Lock()
+	l.frameCond.Broadcast()
+	l.frameMu.Unlock()
+}
+
+// waitPageReady blocks until page p is materialized, refreshing the
+// caller's epoch so drains can proceed.
+func (l *hybridLog) waitPageReady(p int64, s *epoch.Session) {
+	f := l.frameFor(p)
+	for f.holds.Load() != p {
+		s.Refresh()
+		runtime.Gosched()
+	}
+}
+
+// waitFlushed blocks until page p has been written to disk.
+func (l *hybridLog) waitFlushed(p int64, s *epoch.Session) {
+	for {
+		l.flushMu.Lock()
+		done := l.flushedPage >= p
+		err := l.flushErr
+		l.flushMu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("faster: log flush failed: %v", err))
+		}
+		if done {
+			return
+		}
+		s.Refresh()
+		runtime.Gosched()
+	}
+}
+
+// flusher serializes frozen pages to the log file in page order.
+func (l *hybridLog) flusher() {
+	defer close(l.flushDone)
+	buf := make([]byte, l.rpp*l.recSize)
+	for p := range l.flushCh {
+		if p < 0 { // shutdown sentinel
+			return
+		}
+		f := l.frameFor(p)
+		if f.holds.Load() != p {
+			l.failFlush(fmt.Errorf("flush page %d: frame holds %d", p, f.holds.Load()))
+			return
+		}
+		for i := 0; i < l.rpp; i++ {
+			off := i * l.recSize
+			h := f.hdrs[i].Load() &^ lockedBit
+			binary.LittleEndian.PutUint64(buf[off:], h)
+			binary.LittleEndian.PutUint64(buf[off+8:], f.keys[i])
+			binary.LittleEndian.PutUint64(buf[off+16:], f.prevs[i])
+			copy(buf[off+24:off+l.recSize], f.vals[i*l.valueSize:(i+1)*l.valueSize])
+		}
+		if _, err := l.file.WriteAt(buf, p*int64(len(buf))); err != nil {
+			l.failFlush(fmt.Errorf("flush page %d: %w", p, err))
+			return
+		}
+		if l.syncWrites {
+			if err := l.file.Sync(); err != nil {
+				l.failFlush(fmt.Errorf("sync page %d: %w", p, err))
+				return
+			}
+		}
+		l.stats.FlushedPages.Add(1)
+		l.stats.BytesFlushed.Add(int64(len(buf)))
+		l.flushMu.Lock()
+		l.flushedPage = p
+		l.flushCond.Broadcast()
+		l.flushMu.Unlock()
+	}
+}
+
+func (l *hybridLog) failFlush(err error) {
+	l.flushMu.Lock()
+	l.flushErr = err
+	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+}
+
+// diskRecord is a parsed on-disk record.
+type diskRecord struct {
+	hdr  uint64
+	key  uint64
+	prev uint64 // packed prev word (address + tombstone)
+	val  []byte
+}
+
+// readDisk reads the record at addr from the log file.
+func (l *hybridLog) readDisk(addr uint64, valBuf []byte) (diskRecord, error) {
+	buf := make([]byte, l.recSize)
+	if _, err := l.file.ReadAt(buf, int64(addr)*int64(l.recSize)); err != nil {
+		return diskRecord{}, fmt.Errorf("faster: read record %d: %w", addr, err)
+	}
+	l.stats.DiskReads.Add(1)
+	rec := diskRecord{
+		hdr:  binary.LittleEndian.Uint64(buf),
+		key:  binary.LittleEndian.Uint64(buf[8:]),
+		prev: binary.LittleEndian.Uint64(buf[16:]),
+	}
+	if valBuf == nil {
+		valBuf = make([]byte, l.valueSize)
+	}
+	copy(valBuf, buf[24:24+l.valueSize])
+	rec.val = valBuf[:l.valueSize]
+	return rec, nil
+}
+
+// flushAll freezes and flushes every allocated page up to and including the
+// current tail page. Callers must guarantee no concurrent operations (it is
+// used by Checkpoint and Close).
+func (l *hybridLog) flushAll() error {
+	tail := l.nextAddr.Load()
+	if tail <= 1 {
+		return nil
+	}
+	lastPage := l.pageOf(tail - 1)
+	buf := make([]byte, l.rpp*l.recSize)
+	// Let the background flusher finish everything already enqueued so we
+	// never write a page concurrently with it.
+	l.enqMu.Lock()
+	enqueued := l.frozenEnq
+	l.enqMu.Unlock()
+	l.flushMu.Lock()
+	for l.flushedPage < enqueued && l.flushErr == nil {
+		l.flushMu.Unlock()
+		runtime.Gosched()
+		l.flushMu.Lock()
+	}
+	from := l.flushedPage + 1
+	err := l.flushErr
+	l.flushMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for p := from; p <= lastPage; p++ {
+		f := l.frameFor(p)
+		if f.holds.Load() != p {
+			continue // already evicted and flushed
+		}
+		for i := 0; i < l.rpp; i++ {
+			off := i * l.recSize
+			binary.LittleEndian.PutUint64(buf[off:], f.hdrs[i].Load()&^lockedBit)
+			binary.LittleEndian.PutUint64(buf[off+8:], f.keys[i])
+			binary.LittleEndian.PutUint64(buf[off+16:], f.prevs[i])
+			copy(buf[off+24:off+l.recSize], f.vals[i*l.valueSize:(i+1)*l.valueSize])
+		}
+		if _, err := l.file.WriteAt(buf, p*int64(len(buf))); err != nil {
+			return fmt.Errorf("faster: flushAll page %d: %w", p, err)
+		}
+	}
+	return l.file.Sync()
+}
+
+// close stops the flusher and closes the file.
+func (l *hybridLog) close() error {
+	l.flushCh <- -1
+	<-l.flushDone
+	return l.file.Close()
+}

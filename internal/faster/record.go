@@ -1,0 +1,107 @@
+// Package faster implements a log-structured, latch-free, disk-backed
+// key-value store modeled on FASTER (Chandramouli et al., VLDB 2018), the
+// storage substrate MLKV is built on. Records live in a hybrid log: a
+// mutable in-memory tail region (in-place updates), an immutable in-memory
+// read-only region (read-copy-update), and disk (direct positional reads).
+//
+// The store natively implements MLKV's record format (Fig. 5a of the paper):
+// each record carries a 64-bit atomic header word packing
+//
+//	locked(1) | replaced(1) | generation(30) | staleness(32)
+//
+// used both as a latch-free record lock and — when bounded-staleness
+// consistency is enabled — as a per-record vector clock.
+package faster
+
+// Header word bit layout. The paper steals the unused bits of FASTER's
+// record-level lock word: 1 lock bit, 1 replaced bit, 30 generation bits,
+// and 32 staleness bits.
+const (
+	lockedBit   = uint64(1) << 63
+	replacedBit = uint64(1) << 62
+	genShift    = 32
+	genMask     = uint64(1<<30) - 1
+	stalMask    = uint64(1<<32) - 1
+)
+
+// Locked reports whether the header word has the lock bit set.
+func Locked(h uint64) bool { return h&lockedBit != 0 }
+
+// Replaced reports whether the record was superseded by a copy elsewhere.
+func Replaced(h uint64) bool { return h&replacedBit != 0 }
+
+// Generation extracts the 30-bit record generation.
+func Generation(h uint64) uint64 { return (h >> genShift) & genMask }
+
+// Staleness extracts the 32-bit staleness counter (the per-record vector
+// clock: the number of outstanding reads whose corresponding updates have
+// not yet been applied).
+func Staleness(h uint64) uint64 { return h & stalMask }
+
+// PackHeader builds a header word from its fields.
+func PackHeader(locked, replaced bool, gen, stal uint64) uint64 {
+	h := (gen&genMask)<<genShift | stal&stalMask
+	if locked {
+		h |= lockedBit
+	}
+	if replaced {
+		h |= replacedBit
+	}
+	return h
+}
+
+// withLock returns h with the lock bit set and the staleness counter
+// adjusted by delta (+1 for Get, -1 for Put, floored at zero), implementing
+// the single-CAS acquire described in §III-C1.
+func withLock(h uint64, delta int) uint64 {
+	s := Staleness(h)
+	switch {
+	case delta > 0:
+		if s < stalMask {
+			s++
+		}
+	case delta < 0:
+		if s > 0 {
+			s--
+		}
+	}
+	return h&^stalMask | s | lockedBit
+}
+
+// releaseHeader returns the header to store on unlock: lock cleared and the
+// generation advanced when the value was modified.
+func releaseHeader(h uint64, bumpGen bool) uint64 {
+	h &^= lockedBit
+	if bumpGen {
+		g := (Generation(h) + 1) & genMask
+		h = h&^(genMask<<genShift) | g<<genShift
+	}
+	return h
+}
+
+// Prev-word layout: 48-bit previous-record address, one tombstone flag.
+const (
+	addrMask     = uint64(1<<48) - 1
+	tombstoneBit = uint64(1) << 63
+)
+
+// InvalidAddr marks the end of a hash chain. Valid record addresses start
+// at 1 (slot 0 of page 0 is never allocated).
+const InvalidAddr = uint64(0)
+
+func packPrev(prev uint64, tombstone bool) uint64 {
+	w := prev & addrMask
+	if tombstone {
+		w |= tombstoneBit
+	}
+	return w
+}
+
+func prevAddr(w uint64) uint64  { return w & addrMask }
+func isTombstone(w uint64) bool { return w&tombstoneBit != 0 }
+
+// Disk record layout: header(8) | key(8) | prevWord(8) | value(valueSize).
+const diskRecOverhead = 24
+
+// diskRecSize returns the on-disk footprint of one record.
+func diskRecSize(valueSize int) int { return diskRecOverhead + valueSize }

@@ -1,0 +1,89 @@
+package faster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderPackUnpack(t *testing.T) {
+	f := func(locked, replaced bool, gen, stal uint64) bool {
+		gen &= genMask
+		stal &= stalMask
+		h := PackHeader(locked, replaced, gen, stal)
+		return Locked(h) == locked && Replaced(h) == replaced &&
+			Generation(h) == gen && Staleness(h) == stal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithLockIncrementsStaleness(t *testing.T) {
+	h := PackHeader(false, false, 5, 7)
+	l := withLock(h, +1)
+	if !Locked(l) || Staleness(l) != 8 || Generation(l) != 5 {
+		t.Fatalf("withLock(+1): locked=%v stal=%d gen=%d", Locked(l), Staleness(l), Generation(l))
+	}
+	l = withLock(h, -1)
+	if !Locked(l) || Staleness(l) != 6 {
+		t.Fatalf("withLock(-1): stal=%d", Staleness(l))
+	}
+	l = withLock(h, 0)
+	if !Locked(l) || Staleness(l) != 7 {
+		t.Fatalf("withLock(0): stal=%d", Staleness(l))
+	}
+}
+
+func TestWithLockStalenessSaturates(t *testing.T) {
+	h := PackHeader(false, false, 0, 0)
+	if s := Staleness(withLock(h, -1)); s != 0 {
+		t.Fatalf("staleness underflowed to %d", s)
+	}
+	h = PackHeader(false, false, 0, stalMask)
+	if s := Staleness(withLock(h, +1)); s != stalMask {
+		t.Fatalf("staleness overflowed to %d", s)
+	}
+}
+
+func TestReleaseHeader(t *testing.T) {
+	h := PackHeader(true, false, 5, 3)
+	r := releaseHeader(h, false)
+	if Locked(r) || Generation(r) != 5 || Staleness(r) != 3 {
+		t.Fatalf("release without bump: %x", r)
+	}
+	r = releaseHeader(h, true)
+	if Locked(r) || Generation(r) != 6 || Staleness(r) != 3 {
+		t.Fatalf("release with bump: gen=%d stal=%d", Generation(r), Staleness(r))
+	}
+}
+
+func TestGenerationWraps(t *testing.T) {
+	h := PackHeader(true, false, genMask, 0)
+	r := releaseHeader(h, true)
+	if Generation(r) != 0 {
+		t.Fatalf("generation should wrap to 0, got %d", Generation(r))
+	}
+}
+
+func TestPrevWord(t *testing.T) {
+	f := func(addr uint64, tomb bool) bool {
+		addr &= addrMask
+		w := packPrev(addr, tomb)
+		return prevAddr(w) == addr && isTombstone(w) == tomb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplacedBitSurvivesLockCycle(t *testing.T) {
+	h := PackHeader(false, true, 9, 2)
+	l := withLock(h, +1)
+	if !Replaced(l) {
+		t.Fatal("replaced bit lost on lock")
+	}
+	r := releaseHeader(l, false)
+	if !Replaced(r) {
+		t.Fatal("replaced bit lost on release")
+	}
+}

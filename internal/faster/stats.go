@@ -1,0 +1,75 @@
+package faster
+
+import "sync/atomic"
+
+// Stats holds the store's operation counters. All fields are updated with
+// atomics on the hot path and read via snapshot.
+type Stats struct {
+	Gets             atomic.Int64
+	Puts             atomic.Int64
+	RMWs             atomic.Int64
+	Deletes          atomic.Int64
+	MemHits          atomic.Int64
+	DiskReads        atomic.Int64
+	InPlaceUpdates   atomic.Int64
+	RCUAppends       atomic.Int64
+	PrefetchCopies   atomic.Int64
+	AbandonedAppends atomic.Int64
+	StalenessWaits   atomic.Int64
+	FlushedPages     atomic.Int64
+	BytesFlushed     atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Gets             int64
+	Puts             int64
+	RMWs             int64
+	Deletes          int64
+	MemHits          int64
+	DiskReads        int64
+	InPlaceUpdates   int64
+	RCUAppends       int64
+	PrefetchCopies   int64
+	AbandonedAppends int64
+	StalenessWaits   int64
+	FlushedPages     int64
+	BytesFlushed     int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Gets:             s.Gets.Load(),
+		Puts:             s.Puts.Load(),
+		RMWs:             s.RMWs.Load(),
+		Deletes:          s.Deletes.Load(),
+		MemHits:          s.MemHits.Load(),
+		DiskReads:        s.DiskReads.Load(),
+		InPlaceUpdates:   s.InPlaceUpdates.Load(),
+		RCUAppends:       s.RCUAppends.Load(),
+		PrefetchCopies:   s.PrefetchCopies.Load(),
+		AbandonedAppends: s.AbandonedAppends.Load(),
+		StalenessWaits:   s.StalenessWaits.Load(),
+		FlushedPages:     s.FlushedPages.Load(),
+		BytesFlushed:     s.BytesFlushed.Load(),
+	}
+}
+
+// Sub returns the element-wise difference a-b (for interval measurements).
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Gets:             a.Gets - b.Gets,
+		Puts:             a.Puts - b.Puts,
+		RMWs:             a.RMWs - b.RMWs,
+		Deletes:          a.Deletes - b.Deletes,
+		MemHits:          a.MemHits - b.MemHits,
+		DiskReads:        a.DiskReads - b.DiskReads,
+		InPlaceUpdates:   a.InPlaceUpdates - b.InPlaceUpdates,
+		RCUAppends:       a.RCUAppends - b.RCUAppends,
+		PrefetchCopies:   a.PrefetchCopies - b.PrefetchCopies,
+		AbandonedAppends: a.AbandonedAppends - b.AbandonedAppends,
+		StalenessWaits:   a.StalenessWaits - b.StalenessWaits,
+		FlushedPages:     a.FlushedPages - b.FlushedPages,
+		BytesFlushed:     a.BytesFlushed - b.BytesFlushed,
+	}
+}

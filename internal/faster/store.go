@@ -1,0 +1,635 @@
+package faster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/epoch"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the directory holding the log and checkpoint files.
+	Dir string
+	// ValueSize is the fixed value payload size in bytes (an embedding
+	// table's dim × 4 for float32 vectors).
+	ValueSize int
+	// RecordsPerPage is the number of records per log page (power of two).
+	RecordsPerPage int
+	// MemPages is the number of in-memory page frames: the store's memory
+	// budget is roughly MemPages × RecordsPerPage × (ValueSize + 40) bytes.
+	MemPages int
+	// MutablePages is how many of the newest pages accept in-place updates.
+	// Must be at least 1 and at most MemPages-2.
+	MutablePages int
+	// IndexBuckets is the hash-index size; defaults to one bucket per
+	// expected 4 keys if ExpectedKeys is set, else 64Ki.
+	IndexBuckets uint64
+	// ExpectedKeys sizes the index when IndexBuckets is zero.
+	ExpectedKeys uint64
+	// StalenessBound configures MLKV's bounded-staleness consistency:
+	//   <0               — disabled (plain FASTER semantics; the lock word
+	//                      is still used, the vector clock is not),
+	//   0                — BSP (a read waits until no update is outstanding),
+	//   1..2^31          — SSP with the given bound,
+	//   BoundAsync       — ASP (clock maintained, never blocks).
+	StalenessBound int64
+	// SyncWrites fsyncs every flushed page (off for benchmarks, as in the
+	// paper's NVMe setup).
+	SyncWrites bool
+	// MaxSessions bounds concurrent sessions (default 512).
+	MaxSessions int
+}
+
+// BoundAsync is the staleness bound representing fully asynchronous (ASP)
+// training; in practice INT64_MAX, as §III-C1 prescribes.
+const BoundAsync = int64(math.MaxInt64)
+
+func (c *Config) setDefaults() error {
+	if c.ValueSize <= 0 {
+		return errors.New("faster: ValueSize must be positive")
+	}
+	if c.RecordsPerPage == 0 {
+		c.RecordsPerPage = 1024
+	}
+	if c.MemPages == 0 {
+		c.MemPages = 64
+	}
+	if c.MutablePages == 0 {
+		c.MutablePages = c.MemPages / 4
+	}
+	if c.MutablePages < 1 {
+		c.MutablePages = 1
+	}
+	if c.MutablePages > c.MemPages-2 {
+		return fmt.Errorf("faster: MutablePages (%d) must be <= MemPages-2 (%d)", c.MutablePages, c.MemPages-2)
+	}
+	if c.IndexBuckets == 0 {
+		if c.ExpectedKeys > 0 {
+			c.IndexBuckets = c.ExpectedKeys/4 + 1
+		} else {
+			c.IndexBuckets = 1 << 16
+		}
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 512
+	}
+	return nil
+}
+
+// Store is a FASTER-style hybrid-log key-value store with MLKV's
+// bounded-staleness extension. All operations go through a Session.
+type Store struct {
+	cfg   Config
+	em    *epoch.Manager
+	ix    *index
+	log   *hybridLog
+	stats Stats
+	bound atomic.Int64 // current staleness bound (mutable at runtime)
+}
+
+// Open creates or opens a store in cfg.Dir. If a checkpoint exists it is
+// recovered; otherwise the store starts empty.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("faster: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg}
+	st.bound.Store(cfg.StalenessBound)
+	st.em = epoch.NewManager(cfg.MaxSessions)
+	st.ix = newIndex(cfg.IndexBuckets)
+	var err error
+	st.log, err = newHybridLog(filepath.Join(cfg.Dir, "hlog.dat"), cfg.ValueSize,
+		cfg.RecordsPerPage, cfg.MemPages, cfg.MutablePages, cfg.SyncWrites, st.em, &st.stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.maybeRecover(); err != nil {
+		st.log.close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// Close flushes the in-memory tail and releases resources.
+func (st *Store) Close() error {
+	st.em.Drain()
+	if err := st.log.flushAll(); err != nil {
+		st.log.close()
+		return err
+	}
+	return st.log.close()
+}
+
+// ValueSize returns the fixed value payload size.
+func (st *Store) ValueSize() int { return st.cfg.ValueSize }
+
+// SetStalenessBound changes the staleness bound at runtime (used by the
+// benchmark harness to sweep bounds without reopening the store).
+func (st *Store) SetStalenessBound(b int64) { st.bound.Store(b) }
+
+// StalenessBound returns the current bound.
+func (st *Store) StalenessBound() int64 { return st.bound.Load() }
+
+// Stats returns a snapshot of operation counters.
+func (st *Store) Stats() StatsSnapshot { return st.stats.snapshot() }
+
+// MemoryBytes reports the approximate in-memory footprint of the log frames.
+func (st *Store) MemoryBytes() int64 {
+	per := int64(st.cfg.RecordsPerPage) * int64(st.cfg.ValueSize+3*8)
+	return per * int64(st.cfg.MemPages)
+}
+
+// Session is a registered participant in the store's epoch protocol. It is
+// not safe for concurrent use; each goroutine needs its own session.
+type Session struct {
+	st      *Store
+	es      *epoch.Session
+	scratch []byte
+}
+
+// NewSession registers a session. It returns an error if MaxSessions are
+// already active.
+func (st *Store) NewSession() (*Session, error) {
+	es := st.em.Register()
+	if es == nil {
+		return nil, errors.New("faster: too many sessions")
+	}
+	return &Session{st: st, es: es, scratch: make([]byte, st.cfg.ValueSize)}, nil
+}
+
+// Close unregisters the session.
+func (s *Session) Close() { s.es.Unregister() }
+
+// Address regions, newest to oldest.
+type region int
+
+const (
+	regionMutable region = iota
+	regionFuzzy
+	regionReadOnly
+	regionDisk
+)
+
+func (st *Store) regionOf(addr uint64) region {
+	if addr >= st.log.roAddr.Load() {
+		return regionMutable
+	}
+	if addr >= st.log.safeRoAddr.Load() {
+		return regionFuzzy
+	}
+	if addr >= st.log.headAddr.Load() {
+		return regionReadOnly
+	}
+	return regionDisk
+}
+
+// memRecord locates addr's frame slot. Valid only under epoch protection
+// for addresses at or above the head boundary.
+func (st *Store) memRecord(addr uint64) (*frame, int) {
+	p := st.log.pageOf(addr)
+	f := st.log.frameFor(p)
+	if f.holds.Load() != p {
+		return nil, 0
+	}
+	return f, st.log.slotOf(addr)
+}
+
+// chainHit is the outcome of a hash-chain walk.
+type chainHit struct {
+	entry    *atomic.Uint64
+	entryVal uint64 // entry word at lookup time (CAS expectation)
+	addr     uint64 // record address, InvalidAddr if key absent
+	tomb     bool
+	reg      region
+	f        *frame // set for in-memory hits
+	slot     int
+	diskRec  diskRecord // set for disk hits
+}
+
+// findKey walks the hash chain for key. Must be called under protection.
+// create controls whether a missing index entry is established.
+func (s *Session) findKey(key uint64, create bool) (chainHit, error) {
+	st := s.st
+	hash := util.HashKey(key)
+	var entry *atomic.Uint64
+	if create {
+		entry = st.ix.findOrCreate(hash)
+	} else {
+		entry = st.ix.find(hash)
+		if entry == nil {
+			return chainHit{}, nil
+		}
+	}
+	ev := entry.Load()
+	hit := chainHit{entry: entry, entryVal: ev, addr: entryAddr(ev)}
+	addr := hit.addr
+	for addr != InvalidAddr {
+		reg := st.regionOf(addr)
+		if reg == regionDisk {
+			rec, err := st.log.readDisk(addr, s.scratch)
+			if err != nil {
+				return chainHit{}, err
+			}
+			if rec.key == key {
+				hit.addr, hit.reg, hit.diskRec = addr, regionDisk, rec
+				hit.tomb = isTombstone(rec.prev)
+				return hit, nil
+			}
+			addr = prevAddr(rec.prev)
+			continue
+		}
+		f, slot := st.memRecord(addr)
+		if f == nil {
+			// Frame turned over beneath us (we raced a region change);
+			// reclassify as disk on the next iteration.
+			continue
+		}
+		if f.keys[slot] == key {
+			hit.addr, hit.reg, hit.f, hit.slot = addr, reg, f, slot
+			hit.tomb = isTombstone(f.prevs[slot])
+			return hit, nil
+		}
+		addr = prevAddr(f.prevs[slot])
+	}
+	hit.addr = InvalidAddr
+	return hit, nil
+}
+
+// ErrValueSize is returned when a caller buffer does not match ValueSize.
+var ErrValueSize = errors.New("faster: buffer length must equal ValueSize")
+
+// Get reads the value for key into dst. Under bounded-staleness consistency
+// it implements the paper's protocol: wait until the record's staleness
+// counter is within the bound, then atomically {lock, staleness+1}, copy the
+// value, and release. Cold records (read-only region or disk) are first
+// copied to the mutable tail with their vector clock preserved.
+// Returns found=false for absent or deleted keys.
+func (s *Session) Get(key uint64, dst []byte) (bool, error) {
+	if len(dst) != s.st.cfg.ValueSize {
+		return false, ErrValueSize
+	}
+	s.st.stats.Gets.Add(1)
+	bound := s.st.bound.Load()
+	s.es.Protect()
+	defer s.es.Unprotect()
+	for attempt := 0; ; attempt++ {
+		hit, err := s.findKey(key, false)
+		if err != nil {
+			return false, err
+		}
+		if hit.addr == InvalidAddr || hit.tomb {
+			return false, nil
+		}
+		done, found, err := s.getOnce(key, hit, dst, bound)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return found, nil
+		}
+		s.backoff(attempt)
+	}
+}
+
+// getOnce attempts the Get against one located record version. done=false
+// means the caller must re-resolve the chain and retry.
+func (s *Session) getOnce(key uint64, hit chainHit, dst []byte, bound int64) (done, found bool, err error) {
+	st := s.st
+	switch hit.reg {
+	case regionMutable:
+		h := hit.f.hdrs[hit.slot].Load()
+		if Locked(h) || Replaced(h) {
+			return false, false, nil
+		}
+		if bound >= 0 && int64(Staleness(h)) > bound {
+			st.stats.StalenessWaits.Add(1)
+			return false, false, nil
+		}
+		delta := 0
+		if bound >= 0 {
+			delta = 1
+		}
+		if !hit.f.hdrs[hit.slot].CompareAndSwap(h, withLock(h, delta)) {
+			return false, false, nil
+		}
+		copy(dst, hit.f.vals[hit.slot*st.cfg.ValueSize:(hit.slot+1)*st.cfg.ValueSize])
+		hit.f.hdrs[hit.slot].Store(releaseHeader(withLock(h, delta), false))
+		st.stats.MemHits.Add(1)
+		return true, true, nil
+
+	case regionFuzzy:
+		// The read-only boundary is draining; wait for it to settle.
+		s.es.Refresh()
+		return false, false, nil
+
+	case regionReadOnly:
+		if bound < 0 {
+			// Plain FASTER read: values are immutable here, no lock needed.
+			copy(dst, hit.f.vals[hit.slot*st.cfg.ValueSize:(hit.slot+1)*st.cfg.ValueSize])
+			st.stats.MemHits.Add(1)
+			return true, true, nil
+		}
+		// BSC requires mutating the vector clock, which frozen pages cannot
+		// do consistently: copy the record to the mutable tail (clock
+		// preserved) and retry there.
+		h := hit.f.hdrs[hit.slot].Load()
+		if bound >= 0 && int64(Staleness(h)) > bound {
+			st.stats.StalenessWaits.Add(1)
+			s.es.Refresh()
+			return false, false, nil
+		}
+		copy(s.scratch, hit.f.vals[hit.slot*st.cfg.ValueSize:(hit.slot+1)*st.cfg.ValueSize])
+		s.copyToTail(key, h&^lockedBit, s.scratch, hit)
+		return false, false, nil
+
+	case regionDisk:
+		if bound < 0 {
+			copy(dst, hit.diskRec.val)
+			return true, true, nil
+		}
+		h := hit.diskRec.hdr
+		if int64(Staleness(h)) > bound {
+			st.stats.StalenessWaits.Add(1)
+			s.es.Refresh()
+			return false, false, nil
+		}
+		// diskRec.val aliases s.scratch (findKey read into it).
+		s.copyToTail(key, h&^lockedBit, hit.diskRec.val, hit)
+		return false, false, nil
+	}
+	return false, false, nil
+}
+
+// Peek reads the value for key without touching the vector clock and
+// without copying cold records to the tail. Used for evaluation and
+// diagnostics; it never blocks on staleness.
+func (s *Session) Peek(key uint64, dst []byte) (bool, error) {
+	if len(dst) != s.st.cfg.ValueSize {
+		return false, ErrValueSize
+	}
+	s.es.Protect()
+	defer s.es.Unprotect()
+	for attempt := 0; ; attempt++ {
+		hit, err := s.findKey(key, false)
+		if err != nil {
+			return false, err
+		}
+		if hit.addr == InvalidAddr || hit.tomb {
+			return false, nil
+		}
+		switch hit.reg {
+		case regionDisk:
+			copy(dst, hit.diskRec.val)
+			return true, nil
+		case regionReadOnly:
+			copy(dst, hit.f.vals[hit.slot*s.st.cfg.ValueSize:(hit.slot+1)*s.st.cfg.ValueSize])
+			return true, nil
+		default: // mutable or fuzzy: locked read for value atomicity
+			h := hit.f.hdrs[hit.slot].Load()
+			if Locked(h) || Replaced(h) {
+				s.backoff(attempt)
+				continue
+			}
+			if !hit.f.hdrs[hit.slot].CompareAndSwap(h, h|lockedBit) {
+				s.backoff(attempt)
+				continue
+			}
+			copy(dst, hit.f.vals[hit.slot*s.st.cfg.ValueSize:(hit.slot+1)*s.st.cfg.ValueSize])
+			hit.f.hdrs[hit.slot].Store(h)
+			return true, nil
+		}
+	}
+}
+
+// Put upserts the value for key. Under BSC it atomically {lock,
+// staleness-1}s in the mutable region (a Put never waits on the bound —
+// it only reduces staleness) and bumps the record generation on release.
+// Cold or absent records get a new version appended at the tail.
+func (s *Session) Put(key uint64, val []byte) error {
+	if len(val) != s.st.cfg.ValueSize {
+		return ErrValueSize
+	}
+	s.st.stats.Puts.Add(1)
+	return s.update(key, func(cur []byte, _ bool) {
+		copy(cur, val)
+	})
+}
+
+// RMW applies fn to the current value (zeroed if the key is absent) as a
+// single atomic read-modify-write: in place in the mutable region, by
+// append elsewhere. It follows Put's staleness semantics.
+func (s *Session) RMW(key uint64, fn func(cur []byte, exists bool)) error {
+	s.st.stats.RMWs.Add(1)
+	return s.update(key, fn)
+}
+
+func (s *Session) update(key uint64, fn func(cur []byte, exists bool)) error {
+	bound := s.st.bound.Load()
+	s.es.Protect()
+	defer s.es.Unprotect()
+	for attempt := 0; ; attempt++ {
+		hit, err := s.findKey(key, true)
+		if err != nil {
+			return err
+		}
+		done, err := s.updateOnce(key, hit, fn, bound)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		s.backoff(attempt)
+	}
+}
+
+func (s *Session) updateOnce(key uint64, hit chainHit, fn func([]byte, bool), bound int64) (bool, error) {
+	st := s.st
+	vs := st.cfg.ValueSize
+	exists := hit.addr != InvalidAddr && !hit.tomb
+
+	if exists && hit.reg == regionMutable {
+		h := hit.f.hdrs[hit.slot].Load()
+		if Locked(h) || Replaced(h) {
+			return false, nil
+		}
+		delta := 0
+		if bound >= 0 {
+			delta = -1
+		}
+		if !hit.f.hdrs[hit.slot].CompareAndSwap(h, withLock(h, delta)) {
+			return false, nil
+		}
+		fn(hit.f.vals[hit.slot*vs:(hit.slot+1)*vs], true)
+		hit.f.hdrs[hit.slot].Store(releaseHeader(withLock(h, delta), true))
+		st.stats.InPlaceUpdates.Add(1)
+		return true, nil
+	}
+	if exists && hit.reg == regionFuzzy {
+		s.es.Refresh()
+		return false, nil
+	}
+
+	// Append path (RCU): build the new version in scratch.
+	var newHdr uint64
+	if !exists {
+		clearBytes(s.scratch)
+		fn(s.scratch, false)
+		newHdr = PackHeader(false, false, 0, 0)
+	} else {
+		var oldHdr uint64
+		switch hit.reg {
+		case regionReadOnly:
+			oldHdr = hit.f.hdrs[hit.slot].Load()
+			copy(s.scratch, hit.f.vals[hit.slot*vs:(hit.slot+1)*vs])
+		case regionDisk:
+			oldHdr = hit.diskRec.hdr
+			// diskRec.val already aliases scratch.
+		}
+		fn(s.scratch, true)
+		stal := Staleness(oldHdr)
+		if bound >= 0 && stal > 0 {
+			stal--
+		}
+		newHdr = PackHeader(false, false, (Generation(oldHdr)+1)&genMask, stal)
+	}
+	if s.copyToTail(key, newHdr, s.scratch, hit) {
+		st.stats.RCUAppends.Add(1)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Delete appends a tombstone for key. Subsequent Gets report not-found.
+func (s *Session) Delete(key uint64) error {
+	s.st.stats.Deletes.Add(1)
+	s.es.Protect()
+	defer s.es.Unprotect()
+	for attempt := 0; ; attempt++ {
+		hit, err := s.findKey(key, true)
+		if err != nil {
+			return err
+		}
+		if hit.addr == InvalidAddr || hit.tomb {
+			return nil // nothing to delete
+		}
+		clearBytes(s.scratch)
+		if s.appendRecord(key, PackHeader(false, false, 0, 0), s.scratch, hit, true) {
+			return nil
+		}
+		s.backoff(attempt)
+	}
+}
+
+// Prefetch implements the storage half of MLKV's look-ahead prefetching
+// (§III-C2): if key's newest version lives on disk, copy it — vector clock
+// intact — into the mutable tail so a future Get will not stall. Records
+// already in memory (including the immutable region, per the paper, to
+// avoid redundant page writes) are left alone. Returns true if a copy was
+// made.
+func (s *Session) Prefetch(key uint64) (bool, error) {
+	s.es.Protect()
+	defer s.es.Unprotect()
+	hit, err := s.findKey(key, false)
+	if err != nil {
+		return false, err
+	}
+	if hit.addr == InvalidAddr || hit.tomb || hit.reg != regionDisk {
+		return false, nil
+	}
+	if s.copyToTail(key, hit.diskRec.hdr&^lockedBit, hit.diskRec.val, hit) {
+		s.st.stats.PrefetchCopies.Add(1)
+		return true, nil
+	}
+	return false, nil
+}
+
+// copyToTail appends a record carrying hdr/val for key with the chain head
+// captured in hit as its predecessor, then CASes the index entry. Returns
+// false if the chain moved (caller retries or abandons).
+func (s *Session) copyToTail(key uint64, hdr uint64, val []byte, hit chainHit) bool {
+	return s.appendRecordHdr(key, hdr, val, hit, false)
+}
+
+func (s *Session) appendRecord(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) bool {
+	return s.appendRecordHdr(key, hdr, val, hit, tomb)
+}
+
+func (s *Session) appendRecordHdr(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) bool {
+	st := s.st
+	// allocate may Refresh the session; hit.entryVal remains a valid CAS
+	// expectation (addresses are stable), but frame pointers in hit must
+	// not be dereferenced after this point.
+	addr := st.log.allocate(s.es)
+	f, slot := st.memRecord(addr)
+	if f == nil {
+		panic("faster: fresh tail record not in memory")
+	}
+	vs := st.cfg.ValueSize
+	f.keys[slot] = key
+	f.prevs[slot] = packPrev(entryAddr(hit.entryVal), tomb)
+	copy(f.vals[slot*vs:(slot+1)*vs], val)
+	f.hdrs[slot].Store(hdr)
+	tag := entryTag(hit.entryVal)
+	if tag == 0 {
+		tag = tagOf(util.HashKey(key))
+	}
+	if hit.entry.CompareAndSwap(hit.entryVal, packEntry(tag, addr)) {
+		if hit.addr != InvalidAddr && hit.reg != regionDisk {
+			// Mark the superseded version so stragglers that cached its
+			// address observe the bit and re-resolve. The frame pointer in
+			// hit is stale after allocate (which may have refreshed our
+			// epoch), so re-resolve the address; if the page was recycled
+			// the old version is on disk and already shadowed.
+			if of, oslot := st.memRecord(hit.addr); of != nil {
+				for {
+					h := of.hdrs[oslot].Load()
+					if Replaced(h) || of.hdrs[oslot].CompareAndSwap(h, h|replacedBit) {
+						break
+					}
+				}
+			}
+		}
+		return true
+	}
+	// Lost the race: abandon the allocated record (it is unreachable).
+	st.stats.AbandonedAppends.Add(1)
+	return false
+}
+
+// backoff refreshes the session's epoch and yields, bounding live-lock in
+// contended retry loops.
+func (s *Session) backoff(attempt int) {
+	s.es.Refresh()
+	if attempt > 4 {
+		runtime.Gosched()
+	}
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// TailAddr returns the next address to be allocated (diagnostics).
+func (st *Store) TailAddr() uint64 { return st.log.nextAddr.Load() }
+
+// HeadAddr returns the first in-memory address (diagnostics).
+func (st *Store) HeadAddr() uint64 { return st.log.headAddr.Load() }
+
+// ReadOnlyAddr returns the first mutable address (diagnostics).
+func (st *Store) ReadOnlyAddr() uint64 { return st.log.roAddr.Load() }

@@ -1,0 +1,55 @@
+package kv
+
+import (
+	"github.com/llm-db/mlkv-go/internal/bptree"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/lsm"
+)
+
+// WrapLSM adapts an LSM store to the Store interface.
+func WrapLSM(s *lsm.Store) Store { return lsmStore{s} }
+
+type lsmStore struct{ s *lsm.Store }
+
+func (w lsmStore) NewSession() (Session, error) { return w.s.NewSession() }
+func (w lsmStore) ValueSize() int               { return w.s.ValueSize() }
+func (w lsmStore) Name() string                 { return w.s.Name() }
+func (w lsmStore) Close() error                 { return w.s.Close() }
+
+// WrapBPTree adapts a B+tree store to the Store interface.
+func WrapBPTree(s *bptree.Store) Store { return btStore{s} }
+
+type btStore struct{ s *bptree.Store }
+
+func (w btStore) NewSession() (Session, error) { return w.s.NewSession() }
+func (w btStore) ValueSize() int               { return w.s.ValueSize() }
+func (w btStore) Name() string                 { return w.s.Name() }
+func (w btStore) Close() error                 { return w.s.Close() }
+
+// WrapFaster adapts a FASTER store to the Store interface (used by the
+// YCSB harness, which works on raw bytes).
+func WrapFaster(s *faster.Store, name string) Store { return fkStore{s: s, name: name} }
+
+type fkStore struct {
+	s    *faster.Store
+	name string
+}
+
+func (w fkStore) NewSession() (Session, error) {
+	s, err := w.s.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return fkSession{s}, nil
+}
+func (w fkStore) ValueSize() int { return w.s.ValueSize() }
+func (w fkStore) Name() string   { return w.name }
+func (w fkStore) Close() error   { return w.s.Close() }
+
+type fkSession struct{ s *faster.Session }
+
+func (se fkSession) Get(key uint64, dst []byte) (bool, error) { return se.s.Get(key, dst) }
+func (se fkSession) Put(key uint64, val []byte) error         { return se.s.Put(key, val) }
+func (se fkSession) Delete(key uint64) error                  { return se.s.Delete(key) }
+func (se fkSession) Prefetch(key uint64) (bool, error)        { return se.s.Prefetch(key) }
+func (se fkSession) Close()                                   { se.s.Close() }

@@ -1,0 +1,34 @@
+// Package kv defines the backend-neutral key-value interface that the
+// training pipelines and benchmarks run against, plus adapters for each
+// engine (MLKV/FASTER hybrid-log, LSM-tree, disk B+tree, sharded memory).
+// It mirrors how the paper integrates PERSIA/DGL/DGL-KE with FASTER,
+// RocksDB, and WiredTiger behind one embedding-access layer.
+package kv
+
+// Store is a disk-backed key-value store with fixed-size values.
+type Store interface {
+	// NewSession returns a handle for one worker goroutine. Sessions are
+	// not safe for concurrent use; the Store itself is.
+	NewSession() (Session, error)
+	// ValueSize is the fixed value payload in bytes.
+	ValueSize() int
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Close releases resources.
+	Close() error
+}
+
+// Session is one worker's operation handle.
+type Session interface {
+	// Get reads key's value into dst (len must equal ValueSize).
+	Get(key uint64, dst []byte) (bool, error)
+	// Put upserts key's value.
+	Put(key uint64, val []byte) error
+	// Delete removes key.
+	Delete(key uint64) error
+	// Prefetch hints that key will be read soon. Engines without native
+	// prefetch return false immediately.
+	Prefetch(key uint64) (bool, error)
+	// Close releases the session.
+	Close()
+}

@@ -1,0 +1,81 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/bptree"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/lsm"
+)
+
+// TestAdaptersBehaveUniformly drives every engine through the shared
+// interface with the same operation sequence.
+func TestAdaptersBehaveUniformly(t *testing.T) {
+	const vs = 16
+	stores := map[string]Store{}
+
+	fst, err := faster.Open(faster.Config{
+		Dir: t.TempDir(), ValueSize: vs, RecordsPerPage: 64,
+		MemPages: 8, MutablePages: 3, StalenessBound: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["faster"] = WrapFaster(fst, "faster")
+
+	ls, err := lsm.Open(lsm.Config{Dir: t.TempDir(), ValueSize: vs, MemtableBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["lsm"] = WrapLSM(ls)
+
+	bt, err := bptree.Open(bptree.Config{Dir: t.TempDir(), ValueSize: vs, PageSize: 512, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["bptree"] = WrapBPTree(bt)
+
+	for name, s := range stores {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if s.ValueSize() != vs {
+				t.Fatalf("ValueSize = %d", s.ValueSize())
+			}
+			if s.Name() == "" {
+				t.Fatal("empty Name")
+			}
+			se, err := s.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer se.Close()
+			val := bytes.Repeat([]byte{7}, vs)
+			for k := uint64(1); k <= 200; k++ {
+				if err := se.Put(k, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dst := make([]byte, vs)
+			for k := uint64(1); k <= 200; k++ {
+				found, err := se.Get(k, dst)
+				if err != nil || !found || !bytes.Equal(dst, val) {
+					t.Fatalf("key %d: found=%v err=%v", k, found, err)
+				}
+			}
+			if err := se.Delete(5); err != nil {
+				t.Fatal(err)
+			}
+			if found, _ := se.Get(5, dst); found {
+				t.Fatal("deleted key visible")
+			}
+			if _, err := se.Prefetch(6); err != nil {
+				t.Fatal(err)
+			}
+			if found, _ := se.Get(9999, dst); found {
+				t.Fatal("phantom key")
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-capacity-bounded LRU cache over SSTable data blocks,
+// the analogue of RocksDB's block cache. The configured capacity is the
+// store's "buffer size" knob in the paper's Figure 7 sweeps.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	order    *list.List // front = most recent; values are *cacheItem
+	items    map[cacheKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	file  uint64
+	block int
+}
+
+type cacheItem struct {
+	key  cacheKey
+	data []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(file uint64, block int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{file, block}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).data, true
+}
+
+func (c *blockCache) put(file uint64, block int, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{file, block}
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&cacheItem{key: k, data: data})
+	c.used += len(data)
+	for c.used > c.capacity && c.order.Len() > 1 {
+		el := c.order.Back()
+		item := el.Value.(*cacheItem)
+		c.order.Remove(el)
+		delete(c.items, item.key)
+		c.used -= len(item.data)
+	}
+}
+
+// dropFile evicts every cached block of a compacted-away file.
+func (c *blockCache) dropFile(file uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		item := el.Value.(*cacheItem)
+		if item.key.file == file {
+			c.order.Remove(el)
+			delete(c.items, item.key)
+			c.used -= len(item.data)
+		}
+		el = next
+	}
+}
+
+// stats reports hit/miss counters.
+func (c *blockCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,317 @@
+package lsm
+
+import (
+	"sort"
+)
+
+// Leveled compaction in the RocksDB style: when L0 accumulates cfg.L0Limit
+// tables, all of L0 merges with the overlapping part of L1; when level i's
+// byte size exceeds its budget (base × ratio^i), one table merges down into
+// i+1. Newer versions win; tombstones are dropped when the merge output
+// lands on the bottom-most populated level.
+
+// maybeCompact runs compactions until no level is over budget.
+func (s *Store) maybeCompact() error {
+	s.compacting.Lock()
+	defer s.compacting.Unlock()
+	for {
+		worked, err := s.compactOnce()
+		if err != nil {
+			return err
+		}
+		if !worked {
+			return nil
+		}
+	}
+}
+
+func (s *Store) compactOnce() (bool, error) {
+	v := s.ver.Load()
+	if len(v.levels[0]) >= s.cfg.L0Limit {
+		return true, s.compactL0(v)
+	}
+	base := int64(s.cfg.MemtableBytes) * int64(s.cfg.LevelRatio)
+	budget := base
+	for li := 1; li < len(v.levels); li++ {
+		if levelBytes(v.levels[li]) > budget {
+			return true, s.compactLevel(v, li)
+		}
+		budget *= int64(s.cfg.LevelRatio)
+	}
+	return false, nil
+}
+
+func levelBytes(lvl []*sstable) int64 {
+	var sum int64
+	for _, t := range lvl {
+		sum += int64(t.entries) * int64(t.recSize)
+	}
+	return sum
+}
+
+// compactL0 merges every L0 table with the overlapping span of L1.
+func (s *Store) compactL0(v *version) error {
+	inputs := append([]*sstable(nil), v.levels[0]...)
+	var lo, hi uint64 = ^uint64(0), 0
+	for _, t := range inputs {
+		if t.entries == 0 {
+			continue
+		}
+		if t.minKey < lo {
+			lo = t.minKey
+		}
+		if t.maxKey > hi {
+			hi = t.maxKey
+		}
+	}
+	var l1Keep, l1In []*sstable
+	if len(v.levels) > 1 {
+		for _, t := range v.levels[1] {
+			if t.entries > 0 && t.maxKey >= lo && t.minKey <= hi {
+				l1In = append(l1In, t)
+			} else {
+				l1Keep = append(l1Keep, t)
+			}
+		}
+	}
+	// Merge priority: L0 newest-first, then L1 (older than all of L0).
+	ordered := make([]*sstable, 0, len(inputs)+len(l1In))
+	for i := len(inputs) - 1; i >= 0; i-- {
+		ordered = append(ordered, inputs[i])
+	}
+	ordered = append(ordered, l1In...)
+	bottom := len(v.levels) <= 2 // output lands on the lowest populated level
+	if len(v.levels) > 2 {
+		bottom = levelsEmptyBelow(v, 2)
+	}
+	outs, err := s.mergeTables(ordered, bottom)
+	if err != nil {
+		return err
+	}
+	newL1 := append(append([]*sstable(nil), l1Keep...), outs...)
+	sort.Slice(newL1, func(a, b int) bool { return newL1[a].minKey < newL1[b].minKey })
+
+	s.mu.Lock()
+	cur := s.ver.Load()
+	nv := cloneVersion(cur)
+	// L0 may have grown since we snapshotted; keep the tables we did not eat.
+	nv.levels[0] = diffTables(cur.levels[0], inputs)
+	if len(nv.levels) < 2 {
+		nv.levels = append(nv.levels, nil)
+	}
+	nv.levels[1] = newL1
+	s.ver.Store(nv)
+	s.retireTables(append(inputs, l1In...))
+	err = s.saveManifest()
+	s.mu.Unlock()
+	return err
+}
+
+// compactLevel pushes one table from level li down into li+1.
+func (s *Store) compactLevel(v *version, li int) error {
+	lvl := v.levels[li]
+	if len(lvl) == 0 {
+		return nil
+	}
+	// Pick the table with the smallest min key (simple deterministic choice).
+	pick := lvl[0]
+	for _, t := range lvl {
+		if t.minKey < pick.minKey {
+			pick = t
+		}
+	}
+	var nextKeep, nextIn []*sstable
+	if len(v.levels) > li+1 {
+		for _, t := range v.levels[li+1] {
+			if t.entries > 0 && t.maxKey >= pick.minKey && t.minKey <= pick.maxKey {
+				nextIn = append(nextIn, t)
+			} else {
+				nextKeep = append(nextKeep, t)
+			}
+		}
+	}
+	bottom := levelsEmptyBelow(v, li+2)
+	outs, err := s.mergeTables(append([]*sstable{pick}, nextIn...), bottom)
+	if err != nil {
+		return err
+	}
+	newNext := append(append([]*sstable(nil), nextKeep...), outs...)
+	sort.Slice(newNext, func(a, b int) bool { return newNext[a].minKey < newNext[b].minKey })
+
+	s.mu.Lock()
+	cur := s.ver.Load()
+	nv := cloneVersion(cur)
+	nv.levels[li] = diffTables(cur.levels[li], []*sstable{pick})
+	if len(nv.levels) < li+2 {
+		nv.levels = append(nv.levels, nil)
+	}
+	nv.levels[li+1] = newNext
+	s.ver.Store(nv)
+	s.retireTables(append([]*sstable{pick}, nextIn...))
+	err = s.saveManifest()
+	s.mu.Unlock()
+	return err
+}
+
+func levelsEmptyBelow(v *version, from int) bool {
+	for li := from; li < len(v.levels); li++ {
+		if len(v.levels[li]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// diffTables returns have minus remove (by identity).
+func diffTables(have, remove []*sstable) []*sstable {
+	rm := make(map[*sstable]bool, len(remove))
+	for _, t := range remove {
+		rm[t] = true
+	}
+	var out []*sstable
+	for _, t := range have {
+		if !rm[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// retireTables moves replaced tables to the obsolete list and evicts their
+// cached blocks. Files are closed and unlinked at Store.Close so that
+// readers holding an older version snapshot never see a closed file.
+// Callers hold s.mu.
+func (s *Store) retireTables(ts []*sstable) {
+	for _, t := range ts {
+		s.cache.dropFile(t.num)
+	}
+	s.obsolete = append(s.obsolete, ts...)
+}
+
+// mergeTables k-way-merges the inputs (inputs[0] has the highest priority
+// on key ties) and writes the result as a run of new tables.
+func (s *Store) mergeTables(inputs []*sstable, dropTombstones bool) ([]*sstable, error) {
+	// Load all records per input lazily via iterators. Inputs at our scale
+	// are modest; stream block by block.
+	iters := make([]*tableIter, len(inputs))
+	for i, t := range inputs {
+		iters[i] = newTableIter(t)
+	}
+	var outs []*sstable
+	var pending []tableRec
+	flushRun := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		s.mu.Lock()
+		num := s.nextFile
+		s.nextFile++
+		s.mu.Unlock()
+		t, err := writeTable(s.tablePath(num), num, pending, s.cfg.ValueSize)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, t)
+		pending = nil
+		return nil
+	}
+	for {
+		// Find the smallest current key; on ties the lowest input index wins.
+		best := -1
+		for i, it := range iters {
+			if !it.valid() {
+				continue
+			}
+			if best == -1 || it.key() < iters[best].key() {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		k := iters[best].key()
+		rec := iters[best].rec()
+		// Advance every iterator past k (shadowed duplicates).
+		for _, it := range iters {
+			for it.valid() && it.key() == k {
+				if err := it.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if rec.tomb && dropTombstones {
+			continue
+		}
+		pending = append(pending, rec)
+		if len(pending) >= s.cfg.TableEntries {
+			if err := flushRun(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flushRun(); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// tableIter streams a table's records in order.
+type tableIter struct {
+	t     *sstable
+	block []byte
+	bIdx  int
+	i     int
+	n     int
+	err   error
+}
+
+func newTableIter(t *sstable) *tableIter {
+	it := &tableIter{t: t, bIdx: -1}
+	it.err = it.loadNextBlock()
+	return it
+}
+
+func (it *tableIter) loadNextBlock() error {
+	it.bIdx++
+	if it.bIdx >= it.t.blocks {
+		it.block = nil
+		return nil
+	}
+	blk, err := it.t.readBlock(it.bIdx, nil)
+	if err != nil {
+		return err
+	}
+	it.block = blk
+	it.i = 0
+	it.n = len(blk) / it.t.recSize
+	return nil
+}
+
+func (it *tableIter) valid() bool { return it.err == nil && it.block != nil }
+
+func (it *tableIter) key() uint64 {
+	off := it.i * it.t.recSize
+	return leUint64(it.block[off:])
+}
+
+func (it *tableIter) rec() tableRec {
+	off := it.i * it.t.recSize
+	return tableRec{
+		key:  leUint64(it.block[off:]),
+		tomb: leUint64(it.block[off+8:])&metaTombstone != 0,
+		val:  append([]byte(nil), it.block[off+16:off+it.t.recSize]...),
+	}
+}
+
+func (it *tableIter) next() error {
+	it.i++
+	if it.i >= it.n {
+		it.err = it.loadNextBlock()
+	}
+	return it.err
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,127 @@
+// Package lsm implements a RocksDB-style log-structured merge-tree store:
+// an in-memory memtable (skip list) with a write-ahead log, immutable
+// memtables flushed to block-based sorted-string tables with Bloom filters,
+// leveled background compaction, and an LRU block cache. It serves as the
+// paper's "industrial-strength LSM store" baseline (RocksDB in Figure 7).
+package lsm
+
+import (
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+const maxSkipLevel = 16
+
+// entry is one memtable record. Value is nil for tombstones.
+type entry struct {
+	key  uint64
+	val  []byte
+	tomb bool
+	next [maxSkipLevel]*entry
+}
+
+// memtable is a skip list over uint64 keys. A single RWMutex guards it:
+// RocksDB's memtable also funnels writers through a WAL append lock, so the
+// baseline's write path is comparably serialized.
+type memtable struct {
+	mu    sync.RWMutex
+	head  *entry
+	level int
+	size  int // bytes of payload, for flush threshold accounting
+	n     int
+	rng   *util.RNG
+}
+
+func newMemtable(seed uint64) *memtable {
+	return &memtable{head: &entry{}, level: 1, rng: util.NewRNG(seed)}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key. A nil val records a tombstone.
+func (m *memtable) put(key uint64, val []byte, tomb bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var update [maxSkipLevel]*entry
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if nx := x.next[0]; nx != nil && nx.key == key {
+		m.size += len(val) - len(nx.val)
+		nx.val = append(nx.val[:0], val...)
+		nx.tomb = tomb
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	e := &entry{key: key, val: append([]byte(nil), val...), tomb: tomb}
+	for i := 0; i < lvl; i++ {
+		e.next[i] = update[i].next[i]
+		update[i].next[i] = e
+	}
+	m.size += len(val) + 24
+	m.n++
+}
+
+// get looks key up. ok reports presence (including tombstones).
+func (m *memtable) get(key uint64, dst []byte) (ok, tomb bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x == nil || x.key != key {
+		return false, false
+	}
+	if x.tomb {
+		return true, true
+	}
+	copy(dst, x.val)
+	return true, false
+}
+
+// bytes returns the approximate payload size.
+func (m *memtable) bytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// count returns the number of entries.
+func (m *memtable) count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// all returns the entries in key order (used by flush; the memtable must be
+// immutable by then).
+func (m *memtable) all() []entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]entry, 0, m.n)
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, entry{key: x.key, val: x.val, tomb: x.tomb})
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package models implements the embedding models the paper evaluates:
+// DLRMs (FFNN and DCN) for click-through-rate prediction, knowledge-graph
+// embedding scorers (DistMult and ComplEx) for link prediction, and GNNs
+// (GraphSage and GAT) for node classification. Each model consumes
+// embeddings fetched from storage and produces gradients with respect to
+// them, which the training pipelines write back through MLKV's Put/RMW.
+package models
+
+import (
+	"fmt"
+
+	"github.com/llm-db/mlkv-go/internal/nn"
+	"github.com/llm-db/mlkv-go/internal/tensor"
+)
+
+// DLRMKind selects the dense architecture.
+type DLRMKind int
+
+const (
+	// FFNN is a plain fully connected tower over [dense ‖ embeddings].
+	FFNN DLRMKind = iota
+	// DCN adds a cross network in parallel with the deep tower.
+	DCN
+)
+
+func (k DLRMKind) String() string {
+	if k == DCN {
+		return "DCN"
+	}
+	return "FFNN"
+}
+
+// DLRM is a deep-learning recommendation model: m categorical fields embed
+// to Dim-vectors (fetched from storage), concatenated with DenseDim dense
+// features, and fed to the dense network.
+type DLRM struct {
+	Kind     DLRMKind
+	Fields   int
+	Dim      int
+	DenseDim int
+
+	ffnn  *nn.MLP        // FFNN tower (Kind == FFNN)
+	cross *nn.CrossStack // DCN pieces (Kind == DCN)
+	deep  *nn.MLP
+	comb  *nn.MLP
+}
+
+// NewDLRM builds a DLRM. hidden configures the tower widths.
+func NewDLRM(kind DLRMKind, fields, dim, denseDim int, hidden []int, seed uint64) *DLRM {
+	in := denseDim + fields*dim
+	m := &DLRM{Kind: kind, Fields: fields, Dim: dim, DenseDim: denseDim}
+	switch kind {
+	case FFNN:
+		sizes := append([]int{in}, hidden...)
+		sizes = append(sizes, 1)
+		m.ffnn = nn.NewMLP(sizes, seed)
+	case DCN:
+		m.cross = nn.NewCrossStack(in, 3, seed)
+		deepSizes := append([]int{in}, hidden...)
+		m.deep = nn.NewMLP(deepSizes, seed+1)
+		m.comb = nn.NewMLP([]int{in + hidden[len(hidden)-1], 1}, seed+2)
+	}
+	return m
+}
+
+// InputDim returns the dense-network input width.
+func (m *DLRM) InputDim() int { return m.DenseDim + m.Fields*m.Dim }
+
+// DLRMWorker holds one goroutine's activations and gradient accumulators.
+type DLRMWorker struct {
+	m     *DLRM
+	x0    []float32
+	dEmb  []float32
+	ffnn  *nn.MLPWorker
+	cross *nn.CrossWorker
+	deep  *nn.MLPWorker
+	comb  *nn.MLPWorker
+	cat   []float32 // DCN: [crossOut ‖ deepOut]
+	dcat  []float32
+}
+
+// NewWorker allocates a worker context.
+func (m *DLRM) NewWorker() *DLRMWorker {
+	w := &DLRMWorker{
+		m:    m,
+		x0:   make([]float32, m.InputDim()),
+		dEmb: make([]float32, m.Fields*m.Dim),
+	}
+	switch m.Kind {
+	case FFNN:
+		w.ffnn = m.ffnn.NewWorker()
+	case DCN:
+		w.cross = m.cross.NewWorker()
+		w.deep = m.deep.NewWorker()
+		w.comb = m.comb.NewWorker()
+		hid := m.deep.Sizes[len(m.deep.Sizes)-1]
+		w.cat = make([]float32, m.InputDim()+hid)
+		w.dcat = make([]float32, m.InputDim()+hid)
+	}
+	return w
+}
+
+// Forward computes the CTR logit for one sample. embs is the concatenation
+// of the Fields embeddings (Fields×Dim floats).
+func (w *DLRMWorker) Forward(dense, embs []float32) (float32, error) {
+	m := w.m
+	if len(dense) != m.DenseDim || len(embs) != m.Fields*m.Dim {
+		return 0, fmt.Errorf("models: DLRM input dims (%d,%d) != (%d,%d)", len(dense), len(embs), m.DenseDim, m.Fields*m.Dim)
+	}
+	copy(w.x0, dense)
+	copy(w.x0[m.DenseDim:], embs)
+	switch m.Kind {
+	case FFNN:
+		return w.ffnn.Forward(w.x0)[0], nil
+	default: // DCN
+		co := w.cross.Forward(w.x0)
+		do := w.deep.Forward(w.x0)
+		copy(w.cat, co)
+		copy(w.cat[len(co):], do)
+		return w.comb.Forward(w.cat)[0], nil
+	}
+}
+
+// Backward accumulates dense-parameter gradients for the last Forward and
+// returns the gradient w.r.t. the embeddings (worker-owned slice).
+func (w *DLRMWorker) Backward(dLogit float32) []float32 {
+	m := w.m
+	switch m.Kind {
+	case FFNN:
+		dx := w.ffnn.Backward([]float32{dLogit})
+		copy(w.dEmb, dx[m.DenseDim:])
+	default: // DCN
+		dcat := w.comb.Backward([]float32{dLogit})
+		copy(w.dcat, dcat)
+		in := m.InputDim()
+		dxc := w.cross.Backward(w.dcat[:in])
+		dxd := w.deep.Backward(w.dcat[in:])
+		for i := 0; i < m.Fields*m.Dim; i++ {
+			w.dEmb[i] = dxc[m.DenseDim+i] + dxd[m.DenseDim+i]
+		}
+	}
+	return w.dEmb
+}
+
+// Step runs forward + loss + backward for one labeled sample and returns
+// (loss, predicted probability, embedding gradient).
+func (w *DLRMWorker) Step(dense, embs []float32, label float32) (loss, prob float32, dEmb []float32, err error) {
+	logit, err := w.Forward(dense, embs)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	loss, dLogit := nn.BCEWithLogits(logit, label)
+	dEmb = w.Backward(dLogit)
+	return loss, tensor.Sigmoid(logit), dEmb, nil
+}
+
+// Predict computes the probability without touching gradients.
+func (w *DLRMWorker) Predict(dense, embs []float32) (float32, error) {
+	logit, err := w.Forward(dense, embs)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.Sigmoid(logit), nil
+}
+
+// Apply folds accumulated dense gradients into the shared parameters.
+func (w *DLRMWorker) Apply(lr float32) {
+	switch w.m.Kind {
+	case FFNN:
+		w.ffnn.Apply(lr)
+	default:
+		w.comb.Apply(lr)
+		w.cross.Apply(lr)
+		w.deep.Apply(lr)
+	}
+}

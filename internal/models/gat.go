@@ -1,0 +1,261 @@
+package models
+
+import (
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/nn"
+	"github.com/llm-db/mlkv-go/internal/tensor"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// GAT is a two-layer, single-head graph attention network (Veličković et
+// al., ICLR'18) for node classification. Each layer projects inputs with W
+// and aggregates a neighborhood (self included) with attention weights
+//
+//	s_x = leakyrelu(aS·q_self + aN·q_x),  α = softmax(s),  out = relu(Σ α q)
+//
+// using the decomposed attention form of the original paper.
+type GAT struct {
+	Mu      sync.RWMutex
+	Dim     int
+	Hidden  int
+	Classes int
+	W1      []float32 // Hidden × Dim
+	A1s     []float32 // Hidden
+	A1n     []float32
+	W2      []float32 // Hidden × Hidden
+	A2s     []float32
+	A2n     []float32
+	Wc      []float32 // Classes × Hidden
+}
+
+const leakySlope = 0.2
+
+// NewGAT builds the model.
+func NewGAT(dim, hidden, classes int, seed uint64) *GAT {
+	r := util.NewRNG(seed)
+	mk := func(n, fan int) []float32 {
+		w := make([]float32, n)
+		scale := float32(2.44948974) / float32(fan)
+		for i := range w {
+			w[i] = (r.Float32()*2 - 1) * scale
+		}
+		return w
+	}
+	return &GAT{
+		Dim: dim, Hidden: hidden, Classes: classes,
+		W1: mk(hidden*dim, dim), A1s: mk(hidden, hidden), A1n: mk(hidden, hidden),
+		W2: mk(hidden*hidden, hidden), A2s: mk(hidden, hidden), A2n: mk(hidden, hidden),
+		Wc: mk(classes*hidden, hidden),
+	}
+}
+
+// attnState captures one attention aggregation for backprop.
+type attnState struct {
+	q     [][]float32 // projected inputs, q[0] = self
+	score []float32   // pre-softmax attention logits
+	alpha []float32
+	out   []float32 // post-relu aggregate
+	pre   []float32 // pre-relu aggregate
+}
+
+func newAttnState(n, hidden int) *attnState {
+	st := &attnState{
+		score: make([]float32, n),
+		alpha: make([]float32, n),
+		out:   make([]float32, hidden),
+		pre:   make([]float32, hidden),
+	}
+	for i := 0; i < n; i++ {
+		st.q = append(st.q, make([]float32, hidden))
+	}
+	return st
+}
+
+// attnForward computes one attention aggregation. w (rows×cols) projects
+// each input; aS/aN are the decomposed attention vectors.
+func attnForward(st *attnState, w []float32, rows, cols int, aS, aN []float32, inputs [][]float32) {
+	n := len(inputs)
+	for i := 0; i < n; i++ {
+		tensor.MatVec(w, rows, cols, inputs[i], st.q[i])
+	}
+	selfTerm := tensor.Dot(aS, st.q[0])
+	for i := 0; i < n; i++ {
+		s := selfTerm + tensor.Dot(aN, st.q[i])
+		if s < 0 {
+			s *= leakySlope
+		}
+		st.score[i] = s
+	}
+	tensor.Softmax(st.score[:n], st.alpha[:n])
+	tensor.Zero(st.pre)
+	for i := 0; i < n; i++ {
+		tensor.Axpy(st.alpha[i], st.q[i], st.pre)
+	}
+	copy(st.out, st.pre)
+	tensor.ReLU(st.out)
+}
+
+// attnBackward backpropagates dOut through the aggregation, accumulating
+// dW/dAS/dAN and writing input gradients into dInputs.
+func attnBackward(st *attnState, w []float32, rows, cols int, aS, aN []float32,
+	inputs [][]float32, dOut []float32, dW, dAS, dAN []float32, dInputs [][]float32) {
+	n := len(inputs)
+	dPre := append([]float32(nil), dOut...)
+	tensor.ReLUGrad(st.out, dPre)
+
+	// pre = Σ α_i q_i
+	dAlpha := make([]float32, n)
+	dQ := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		dAlpha[i] = tensor.Dot(dPre, st.q[i])
+		dQ[i] = make([]float32, rows)
+		tensor.Axpy(st.alpha[i], dPre, dQ[i])
+	}
+	// Softmax backward: ds_i = α_i (dα_i − Σ_j α_j dα_j).
+	var dot float32
+	for j := 0; j < n; j++ {
+		dot += st.alpha[j] * dAlpha[j]
+	}
+	dScore := make([]float32, n)
+	for i := 0; i < n; i++ {
+		dScore[i] = st.alpha[i] * (dAlpha[i] - dot)
+		if st.score[i] < 0 {
+			dScore[i] *= leakySlope
+		}
+	}
+	// score_i = aS·q_0 + aN·q_i (pre-leaky).
+	var dSelfScore float32
+	for i := 0; i < n; i++ {
+		dSelfScore += dScore[i]
+		tensor.Axpy(dScore[i], st.q[i], dAN)
+		tensor.Axpy(dScore[i], aN, dQ[i])
+	}
+	tensor.Axpy(dSelfScore, st.q[0], dAS)
+	tensor.Axpy(dSelfScore, aS, dQ[0])
+	// q_i = W·x_i.
+	for i := 0; i < n; i++ {
+		tensor.OuterAcc(dW, rows, cols, dQ[i], inputs[i])
+		tensor.MatVecT(w, rows, cols, dQ[i], dInputs[i])
+	}
+}
+
+// GATWorker holds per-goroutine state. Layer-1 aggregates each of the
+// fanout+1 layer-1 nodes over its own fanout2+1 inputs (self + sampled
+// neighborhood); layer 2 aggregates the fanout+1 z¹ vectors.
+type GATWorker struct {
+	m       *GAT
+	fanout  int
+	fanout2 int
+
+	st1 []*attnState
+	st2 *attnState
+	z1  [][]float32
+	prb []float32
+	dLg []float32
+
+	dW1, dA1s, dA1n []float32
+	dW2, dA2s, dA2n []float32
+	dWc             []float32
+	dIn             [][][]float32 // per layer-1 node, per input, Dim grads
+	dz1             [][]float32
+	n               int
+}
+
+// NewWorker allocates a worker for fanout layer-1 neighbors, each with
+// fanout2 layer-2 neighbors.
+func (g *GAT) NewWorker(fanout, fanout2 int) *GATWorker {
+	w := &GATWorker{
+		m: g, fanout: fanout, fanout2: fanout2,
+		st2: newAttnState(fanout+1, g.Hidden),
+		prb: make([]float32, g.Classes),
+		dLg: make([]float32, g.Classes),
+		dW1: make([]float32, len(g.W1)), dA1s: make([]float32, len(g.A1s)), dA1n: make([]float32, len(g.A1n)),
+		dW2: make([]float32, len(g.W2)), dA2s: make([]float32, len(g.A2s)), dA2n: make([]float32, len(g.A2n)),
+		dWc: make([]float32, len(g.Wc)),
+	}
+	for i := 0; i <= fanout; i++ {
+		w.st1 = append(w.st1, newAttnState(fanout2+1, g.Hidden))
+		w.z1 = append(w.z1, make([]float32, g.Hidden))
+		w.dz1 = append(w.dz1, make([]float32, g.Hidden))
+		grads := make([][]float32, fanout2+1)
+		for j := range grads {
+			grads[j] = make([]float32, g.Dim)
+		}
+		w.dIn = append(w.dIn, grads)
+	}
+	return w
+}
+
+// Forward computes logits. inputs[i] holds the fanout2+1 embeddings feeding
+// layer-1 node i (inputs[i][0] is that node's own embedding); node 0 is the
+// classification target.
+func (w *GATWorker) Forward(inputs [][][]float32) []float32 {
+	g := w.m
+	g.Mu.RLock()
+	defer g.Mu.RUnlock()
+	for i := 0; i <= w.fanout; i++ {
+		attnForward(w.st1[i], g.W1, g.Hidden, g.Dim, g.A1s, g.A1n, inputs[i])
+		copy(w.z1[i], w.st1[i].out)
+	}
+	attnForward(w.st2, g.W2, g.Hidden, g.Hidden, g.A2s, g.A2n, w.z1)
+	logits := make([]float32, g.Classes)
+	tensor.MatVec(g.Wc, g.Classes, g.Hidden, w.st2.out, logits)
+	return logits
+}
+
+// Step runs forward + softmax CE + backward; returns loss, prediction, and
+// the gradient for every input embedding (worker-owned, shaped like inputs).
+func (w *GATWorker) Step(inputs [][][]float32, label int) (loss float32, pred int, dIn [][][]float32) {
+	g := w.m
+	logits := w.Forward(inputs)
+	loss = nn.SoftmaxCE(logits, label, w.prb, w.dLg)
+	pred = tensor.ArgMax(logits)
+
+	g.Mu.RLock()
+	defer g.Mu.RUnlock()
+	tensor.OuterAcc(w.dWc, g.Classes, g.Hidden, w.dLg, w.st2.out)
+	dz2 := make([]float32, g.Hidden)
+	tensor.MatVecT(g.Wc, g.Classes, g.Hidden, w.dLg, dz2)
+	for i := range w.dz1 {
+		tensor.Zero(w.dz1[i])
+	}
+	attnBackward(w.st2, g.W2, g.Hidden, g.Hidden, g.A2s, g.A2n, w.z1, dz2,
+		w.dW2, w.dA2s, w.dA2n, w.dz1)
+	for i := 0; i <= w.fanout; i++ {
+		for j := range w.dIn[i] {
+			tensor.Zero(w.dIn[i][j])
+		}
+		attnBackward(w.st1[i], g.W1, g.Hidden, g.Dim, g.A1s, g.A1n, inputs[i],
+			w.dz1[i], w.dW1, w.dA1s, w.dA1n, w.dIn[i])
+	}
+	w.n++
+	return loss, pred, w.dIn
+}
+
+// Predict returns the argmax class.
+func (w *GATWorker) Predict(inputs [][][]float32) int {
+	return tensor.ArgMax(w.Forward(inputs))
+}
+
+// Apply folds accumulated gradients into the shared parameters.
+func (w *GATWorker) Apply(lr float32) {
+	if w.n == 0 {
+		return
+	}
+	g := w.m
+	s := -lr / float32(w.n)
+	g.Mu.Lock()
+	tensor.Axpy(s, w.dW1, g.W1)
+	tensor.Axpy(s, w.dA1s, g.A1s)
+	tensor.Axpy(s, w.dA1n, g.A1n)
+	tensor.Axpy(s, w.dW2, g.W2)
+	tensor.Axpy(s, w.dA2s, g.A2s)
+	tensor.Axpy(s, w.dA2n, g.A2n)
+	tensor.Axpy(s, w.dWc, g.Wc)
+	g.Mu.Unlock()
+	for _, b := range [][]float32{w.dW1, w.dA1s, w.dA1n, w.dW2, w.dA2s, w.dA2n, w.dWc} {
+		tensor.Zero(b)
+	}
+	w.n = 0
+}

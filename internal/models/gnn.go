@@ -1,0 +1,194 @@
+package models
+
+import (
+	"math"
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/nn"
+	"github.com/llm-db/mlkv-go/internal/tensor"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+func logf32(x float32) float32 { return float32(math.Log(float64(x))) }
+func expf32(x float32) float32 { return float32(math.Exp(float64(x))) }
+
+// GraphSage is a two-layer GraphSAGE node classifier (Hamilton et al.,
+// NeurIPS'17) with mean aggregation:
+//
+//	z¹_u = relu(W1s·e_u + W1n·mean_{w∈N₂(u)} e_w)
+//	z²_v = relu(W2s·z¹_v + W2n·mean_{u∈N₁(v)} z¹_u)
+//	logits = Wc·z²_v
+//
+// Node features e are trainable embeddings fetched from storage; gradients
+// flow back to every sampled node.
+type GraphSage struct {
+	Mu      sync.RWMutex
+	Dim     int
+	Hidden  int
+	Classes int
+	W1s     []float32 // Hidden × Dim
+	W1n     []float32 // Hidden × Dim
+	W2s     []float32 // Hidden × Hidden
+	W2n     []float32 // Hidden × Hidden
+	Wc      []float32 // Classes × Hidden
+}
+
+// NewGraphSage builds the model with uniform initialization.
+func NewGraphSage(dim, hidden, classes int, seed uint64) *GraphSage {
+	r := util.NewRNG(seed)
+	mk := func(rows, cols int) []float32 {
+		w := make([]float32, rows*cols)
+		scale := float32(2.44948974) / float32(cols)
+		for i := range w {
+			w[i] = (r.Float32()*2 - 1) * scale
+		}
+		return w
+	}
+	return &GraphSage{
+		Dim: dim, Hidden: hidden, Classes: classes,
+		W1s: mk(hidden, dim), W1n: mk(hidden, dim),
+		W2s: mk(hidden, hidden), W2n: mk(hidden, hidden),
+		Wc: mk(classes, hidden),
+	}
+}
+
+// SageWorker holds per-goroutine activations and gradient accumulators for
+// a fixed layer-1 fan-out (1 self + fanout neighbors).
+type SageWorker struct {
+	m      *GraphSage
+	fanout int
+
+	pre1 [][]float32 // pre-activation of z¹ per layer-1 node
+	z1   [][]float32
+	m1   []float32 // mean of neighbor z¹
+	pre2 []float32
+	z2   []float32
+	prb  []float32
+	dLg  []float32
+
+	dW1s, dW1n, dW2s, dW2n, dWc []float32
+	dSelf                       [][]float32 // grad per layer-1 node's self emb
+	dMean                       [][]float32 // grad per layer-1 node's neighborhood mean
+	n                           int
+}
+
+// NewWorker allocates a worker for the given layer-1 fan-out.
+func (g *GraphSage) NewWorker(fanout int) *SageWorker {
+	w := &SageWorker{
+		m: g, fanout: fanout,
+		m1:   make([]float32, g.Hidden),
+		pre2: make([]float32, g.Hidden),
+		z2:   make([]float32, g.Hidden),
+		prb:  make([]float32, g.Classes),
+		dLg:  make([]float32, g.Classes),
+		dW1s: make([]float32, len(g.W1s)), dW1n: make([]float32, len(g.W1n)),
+		dW2s: make([]float32, len(g.W2s)), dW2n: make([]float32, len(g.W2n)),
+		dWc: make([]float32, len(g.Wc)),
+	}
+	for i := 0; i <= fanout; i++ {
+		w.pre1 = append(w.pre1, make([]float32, g.Hidden))
+		w.z1 = append(w.z1, make([]float32, g.Hidden))
+		w.dSelf = append(w.dSelf, make([]float32, g.Dim))
+		w.dMean = append(w.dMean, make([]float32, g.Dim))
+	}
+	return w
+}
+
+// Forward computes class logits. eSelf[0] is the target node's embedding,
+// eSelf[1..fanout] its sampled neighbors'; eMean[i] is the mean embedding
+// of node i's own sampled neighborhood. Slices must have fanout+1 entries.
+func (w *SageWorker) Forward(eSelf, eMean [][]float32) []float32 {
+	g := w.m
+	g.Mu.RLock()
+	defer g.Mu.RUnlock()
+	tmp := make([]float32, g.Hidden)
+	for i := 0; i <= w.fanout; i++ {
+		tensor.MatVec(g.W1s, g.Hidden, g.Dim, eSelf[i], w.pre1[i])
+		tensor.MatVec(g.W1n, g.Hidden, g.Dim, eMean[i], tmp)
+		tensor.Axpy(1, tmp, w.pre1[i])
+		copy(w.z1[i], w.pre1[i])
+		tensor.ReLU(w.z1[i])
+	}
+	tensor.Zero(w.m1)
+	for i := 1; i <= w.fanout; i++ {
+		tensor.Axpy(1/float32(w.fanout), w.z1[i], w.m1)
+	}
+	tensor.MatVec(g.W2s, g.Hidden, g.Hidden, w.z1[0], w.pre2)
+	tensor.MatVec(g.W2n, g.Hidden, g.Hidden, w.m1, tmp)
+	tensor.Axpy(1, tmp, w.pre2)
+	copy(w.z2, w.pre2)
+	tensor.ReLU(w.z2)
+	logits := make([]float32, g.Classes)
+	tensor.MatVec(g.Wc, g.Classes, g.Hidden, w.z2, logits)
+	return logits
+}
+
+// Step runs forward, softmax cross-entropy, and backward for one labeled
+// node. It returns the loss, predicted class, and gradients w.r.t. each
+// layer-1 node's self embedding and neighborhood-mean (worker-owned).
+func (w *SageWorker) Step(eSelf, eMean [][]float32, label int) (loss float32, pred int, dSelf, dMean [][]float32) {
+	g := w.m
+	logits := w.Forward(eSelf, eMean)
+	loss = nn.SoftmaxCE(logits, label, w.prb, w.dLg)
+	pred = tensor.ArgMax(logits)
+
+	g.Mu.RLock()
+	defer g.Mu.RUnlock()
+	// Classifier.
+	tensor.OuterAcc(w.dWc, g.Classes, g.Hidden, w.dLg, w.z2)
+	dz2 := make([]float32, g.Hidden)
+	tensor.MatVecT(g.Wc, g.Classes, g.Hidden, w.dLg, dz2)
+	tensor.ReLUGrad(w.z2, dz2)
+	// Layer 2.
+	tensor.OuterAcc(w.dW2s, g.Hidden, g.Hidden, dz2, w.z1[0])
+	tensor.OuterAcc(w.dW2n, g.Hidden, g.Hidden, dz2, w.m1)
+	dz1self := make([]float32, g.Hidden)
+	dm1 := make([]float32, g.Hidden)
+	tensor.MatVecT(g.W2s, g.Hidden, g.Hidden, dz2, dz1self)
+	tensor.MatVecT(g.W2n, g.Hidden, g.Hidden, dz2, dm1)
+	// Layer 1, per node.
+	dz1 := make([]float32, g.Hidden)
+	for i := 0; i <= w.fanout; i++ {
+		if i == 0 {
+			copy(dz1, dz1self)
+		} else {
+			for j := range dz1 {
+				dz1[j] = dm1[j] / float32(w.fanout)
+			}
+		}
+		tensor.ReLUGrad(w.z1[i], dz1)
+		tensor.OuterAcc(w.dW1s, g.Hidden, g.Dim, dz1, eSelf[i])
+		tensor.OuterAcc(w.dW1n, g.Hidden, g.Dim, dz1, eMean[i])
+		tensor.MatVecT(g.W1s, g.Hidden, g.Dim, dz1, w.dSelf[i])
+		tensor.MatVecT(g.W1n, g.Hidden, g.Dim, dz1, w.dMean[i])
+	}
+	w.n++
+	return loss, pred, w.dSelf, w.dMean
+}
+
+// Predict returns the argmax class without recording gradients.
+func (w *SageWorker) Predict(eSelf, eMean [][]float32) int {
+	return tensor.ArgMax(w.Forward(eSelf, eMean))
+}
+
+// Apply folds accumulated gradients into the shared parameters.
+func (w *SageWorker) Apply(lr float32) {
+	if w.n == 0 {
+		return
+	}
+	g := w.m
+	s := -lr / float32(w.n)
+	g.Mu.Lock()
+	tensor.Axpy(s, w.dW1s, g.W1s)
+	tensor.Axpy(s, w.dW1n, g.W1n)
+	tensor.Axpy(s, w.dW2s, g.W2s)
+	tensor.Axpy(s, w.dW2n, g.W2n)
+	tensor.Axpy(s, w.dWc, g.Wc)
+	g.Mu.Unlock()
+	tensor.Zero(w.dW1s)
+	tensor.Zero(w.dW1n)
+	tensor.Zero(w.dW2s)
+	tensor.Zero(w.dW2n)
+	tensor.Zero(w.dWc)
+	w.n = 0
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/tensor"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+func log64(x float64) float64 { return math.Log(x) }
+
+// CrossStack implements DCN's cross network (Wang et al., ADKDD'17):
+//
+//	x_{l+1} = x_0 · (w_lᵀ x_l) + b_l + x_l
+//
+// which models bounded-degree feature interactions explicitly. Combined
+// with an MLP tower it forms the paper's "DCN" DLRM variant.
+type CrossStack struct {
+	Mu     sync.RWMutex
+	Dim    int
+	Layers int
+	W      [][]float32 // one weight vector per layer
+	B      [][]float32
+}
+
+// NewCrossStack builds a cross network for inputs of the given dimension.
+func NewCrossStack(dim, layers int, seed uint64) *CrossStack {
+	r := util.NewRNG(seed)
+	c := &CrossStack{Dim: dim, Layers: layers}
+	for l := 0; l < layers; l++ {
+		w := make([]float32, dim)
+		scale := float32(1.0 / float32(dim))
+		for i := range w {
+			w[i] = (r.Float32()*2 - 1) * scale
+		}
+		c.W = append(c.W, w)
+		c.B = append(c.B, make([]float32, dim))
+	}
+	return c
+}
+
+// CrossWorker holds per-goroutine activations and gradient accumulators.
+type CrossWorker struct {
+	c   *CrossStack
+	xs  [][]float32 // xs[l] = input to layer l; xs[Layers] = output
+	dot []float32   // w_l · x_l per layer
+	dW  [][]float32
+	dB  [][]float32
+	dx  []float32
+	n   int
+}
+
+// NewWorker allocates a worker context.
+func (c *CrossStack) NewWorker() *CrossWorker {
+	w := &CrossWorker{c: c, dot: make([]float32, c.Layers), dx: make([]float32, c.Dim)}
+	for l := 0; l <= c.Layers; l++ {
+		w.xs = append(w.xs, make([]float32, c.Dim))
+	}
+	for l := 0; l < c.Layers; l++ {
+		w.dW = append(w.dW, make([]float32, c.Dim))
+		w.dB = append(w.dB, make([]float32, c.Dim))
+	}
+	return w
+}
+
+// Forward runs the cross stack; the returned slice is worker-owned.
+func (w *CrossWorker) Forward(x0 []float32) []float32 {
+	c := w.c
+	c.Mu.RLock()
+	defer c.Mu.RUnlock()
+	copy(w.xs[0], x0)
+	for l := 0; l < c.Layers; l++ {
+		d := tensor.Dot(c.W[l], w.xs[l])
+		w.dot[l] = d
+		out := w.xs[l+1]
+		for i := 0; i < c.Dim; i++ {
+			out[i] = w.xs[0][i]*d + c.B[l][i] + w.xs[l][i]
+		}
+	}
+	return w.xs[c.Layers]
+}
+
+// Backward accumulates gradients given dOut and returns dLoss/dx0.
+func (w *CrossWorker) Backward(dOut []float32) []float32 {
+	c := w.c
+	c.Mu.RLock()
+	defer c.Mu.RUnlock()
+	dx := append([]float32(nil), dOut...)
+	dx0 := make([]float32, c.Dim)
+	for l := c.Layers - 1; l >= 0; l-- {
+		// x_{l+1} = x0·d + b + x_l with d = w·x_l.
+		// ∂L/∂d   = dx · x0
+		dd := tensor.Dot(dx, w.xs[0])
+		// ∂L/∂x0 += dx · d   (direct term; x0 also feeds shallower layers)
+		tensor.Axpy(w.dot[l], dx, dx0)
+		// ∂L/∂b  += dx
+		tensor.Axpy(1, dx, w.dB[l])
+		// ∂L/∂w  += dd · x_l
+		tensor.Axpy(dd, w.xs[l], w.dW[l])
+		// ∂L/∂x_l = dx + dd·w
+		for i := 0; i < c.Dim; i++ {
+			dx[i] += dd * c.W[l][i]
+		}
+	}
+	// The layer-0 input is x0 itself: fold in the skip-path gradient.
+	tensor.Axpy(1, dx, dx0)
+	copy(w.dx, dx0)
+	w.n++
+	return w.dx
+}
+
+// Apply folds accumulated gradients into the shared parameters.
+func (w *CrossWorker) Apply(lr float32) {
+	if w.n == 0 {
+		return
+	}
+	c := w.c
+	scale := -lr / float32(w.n)
+	c.Mu.Lock()
+	for l := 0; l < c.Layers; l++ {
+		tensor.Axpy(scale, w.dW[l], c.W[l])
+		tensor.Axpy(scale, w.dB[l], c.B[l])
+		tensor.Zero(w.dW[l])
+		tensor.Zero(w.dB[l])
+	}
+	c.Mu.Unlock()
+	w.n = 0
+}

@@ -1,0 +1,156 @@
+// Package nn implements the dense neural-network substrate: multi-layer
+// perceptrons and DCN cross layers with hand-written backpropagation, plus
+// binary-cross-entropy and softmax losses. Weights live in a shared Params
+// set guarded by an RWMutex — workers run forward/backward under the read
+// lock and apply accumulated gradients under the write lock, mirroring the
+// synchronized dense-parameter updates that DL frameworks (DDP/AllReduce)
+// perform while MLKV handles the sparse embeddings asynchronously.
+package nn
+
+import (
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/tensor"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// MLP is a fully connected network with ReLU hidden activations and a
+// linear output layer.
+type MLP struct {
+	Mu    sync.RWMutex
+	Sizes []int       // e.g. [in, 64, 32, 1]
+	W     [][]float32 // W[l] is Sizes[l+1] × Sizes[l], row-major
+	B     [][]float32
+}
+
+// NewMLP builds an MLP with He-style uniform initialization.
+func NewMLP(sizes []int, seed uint64) *MLP {
+	r := util.NewRNG(seed)
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float32, in*out)
+		scale := float32(2.44948974 / float32(in)) // ~sqrt(6/in)
+		for i := range w {
+			w[i] = (r.Float32()*2 - 1) * scale
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float32, out))
+	}
+	return m
+}
+
+// MLPWorker holds one goroutine's activations and gradient accumulators.
+type MLPWorker struct {
+	m    *MLP
+	acts [][]float32 // acts[0] = input copy, acts[l+1] = layer l output
+	dW   [][]float32
+	dB   [][]float32
+	dx   [][]float32
+	n    int // accumulated examples
+}
+
+// NewWorker allocates a worker context.
+func (m *MLP) NewWorker() *MLPWorker {
+	w := &MLPWorker{m: m}
+	w.acts = append(w.acts, make([]float32, m.Sizes[0]))
+	for l := 0; l < len(m.W); l++ {
+		w.acts = append(w.acts, make([]float32, m.Sizes[l+1]))
+		w.dW = append(w.dW, make([]float32, len(m.W[l])))
+		w.dB = append(w.dB, make([]float32, len(m.B[l])))
+		w.dx = append(w.dx, make([]float32, m.Sizes[l]))
+	}
+	return w
+}
+
+// Forward runs the network on x (len Sizes[0]) and returns the output
+// activations (len Sizes[last]). The returned slice is owned by the worker.
+func (w *MLPWorker) Forward(x []float32) []float32 {
+	m := w.m
+	m.Mu.RLock()
+	defer m.Mu.RUnlock()
+	copy(w.acts[0], x)
+	for l := 0; l < len(m.W); l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		tensor.MatVec(m.W[l], out, in, w.acts[l], w.acts[l+1])
+		for i := 0; i < out; i++ {
+			w.acts[l+1][i] += m.B[l][i]
+		}
+		if l != len(m.W)-1 {
+			tensor.ReLU(w.acts[l+1])
+		}
+	}
+	return w.acts[len(w.acts)-1]
+}
+
+// Backward accumulates gradients for the last Forward call given dOut
+// (gradient of the loss w.r.t. the output) and returns the gradient w.r.t.
+// the input (owned by the worker, valid until the next call).
+func (w *MLPWorker) Backward(dOut []float32) []float32 {
+	m := w.m
+	m.Mu.RLock()
+	defer m.Mu.RUnlock()
+	L := len(m.W)
+	dy := append([]float32(nil), dOut...)
+	for l := L - 1; l >= 0; l-- {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		if l != L-1 {
+			tensor.ReLUGrad(w.acts[l+1], dy)
+		}
+		tensor.OuterAcc(w.dW[l], out, in, dy, w.acts[l])
+		tensor.Axpy(1, dy, w.dB[l])
+		tensor.MatVecT(m.W[l], out, in, dy, w.dx[l])
+		dy = w.dx[l]
+	}
+	w.n++
+	return w.dx[0]
+}
+
+// Apply folds the worker's accumulated gradients into the shared weights
+// with SGD (mean gradient × lr) and clears the accumulators.
+func (w *MLPWorker) Apply(lr float32) {
+	if w.n == 0 {
+		return
+	}
+	m := w.m
+	scale := -lr / float32(w.n)
+	m.Mu.Lock()
+	for l := range m.W {
+		tensor.Axpy(scale, w.dW[l], m.W[l])
+		tensor.Axpy(scale, w.dB[l], m.B[l])
+		tensor.Zero(w.dW[l])
+		tensor.Zero(w.dB[l])
+	}
+	m.Mu.Unlock()
+	w.n = 0
+}
+
+// BCEWithLogits returns the binary-cross-entropy loss and dLoss/dLogit for
+// a single logit and 0/1 label.
+func BCEWithLogits(logit float32, label float32) (loss, dLogit float32) {
+	p := tensor.Sigmoid(logit)
+	eps := float32(1e-7)
+	if label > 0.5 {
+		loss = -logf(p + eps)
+	} else {
+		loss = -logf(1 - p + eps)
+	}
+	return loss, p - label
+}
+
+// SoftmaxCE returns the cross-entropy loss and writes dLoss/dLogits into
+// dLogits for an integer class label.
+func SoftmaxCE(logits []float32, label int, probs, dLogits []float32) float32 {
+	tensor.Softmax(logits, probs)
+	eps := float32(1e-7)
+	loss := -logf(probs[label] + eps)
+	for i := range probs {
+		dLogits[i] = probs[i]
+	}
+	dLogits[label] -= 1
+	return loss
+}
+
+func logf(x float32) float32 {
+	return float32(log64(float64(x)))
+}

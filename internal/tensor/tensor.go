@@ -1,0 +1,138 @@
+// Package tensor provides the small float32 vector/matrix kernels the
+// neural-network substrate is built from. Everything operates on flat
+// []float32 buffers; matrices are row-major.
+package tensor
+
+import "math"
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float32, x, y []float32) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale computes x *= alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// MatVec computes y = W·x for W (rows×cols, row-major).
+func MatVec(w []float32, rows, cols int, x, y []float32) {
+	for r := 0; r < rows; r++ {
+		y[r] = Dot(w[r*cols:(r+1)*cols], x)
+	}
+}
+
+// MatVecT computes y = Wᵀ·x for W (rows×cols); x has rows elements, y cols.
+func MatVecT(w []float32, rows, cols int, x, y []float32) {
+	for c := 0; c < cols; c++ {
+		y[c] = 0
+	}
+	for r := 0; r < rows; r++ {
+		Axpy(x[r], w[r*cols:(r+1)*cols], y)
+	}
+}
+
+// OuterAcc accumulates dW += dy ⊗ x into W-shaped dw (rows×cols).
+func OuterAcc(dw []float32, rows, cols int, dy, x []float32) {
+	for r := 0; r < rows; r++ {
+		Axpy(dy[r], x, dw[r*cols:(r+1)*cols])
+	}
+}
+
+// ReLU computes y = max(x, 0) in place and records the mask in x itself.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// ReLUGrad zeroes dy where the forward activation was clamped.
+func ReLUGrad(act, dy []float32) {
+	for i := range dy {
+		if act[i] <= 0 {
+			dy[i] = 0
+		}
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x) with overflow guards.
+func Sigmoid(x float32) float32 {
+	if x >= 0 {
+		z := float32(math.Exp(float64(-x)))
+		return 1 / (1 + z)
+	}
+	z := float32(math.Exp(float64(x)))
+	return z / (1 + z)
+}
+
+// Softmax writes the softmax of logits into probs.
+func Softmax(logits, probs []float32) {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for i, v := range logits {
+		e := float32(math.Exp(float64(v - maxv)))
+		probs[i] = e
+		sum += e
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+}
+
+// ArgMax returns the index of the largest element.
+func ArgMax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Zero clears x.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v * v
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// ClipInPlace clamps every element to [-c, c].
+func ClipInPlace(x []float32, c float32) {
+	for i, v := range x {
+		if v > c {
+			x[i] = c
+		} else if v < -c {
+			x[i] = -c
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package train implements the training pipelines of the paper's
+// evaluation: synchronous (BSP), bounded-staleness (SSP), and fully
+// asynchronous (ASP) out-of-core training of DLRM, KGE, and GNN models over
+// pluggable embedding backends (MLKV, plain FASTER, LSM, B+tree, sharded
+// memory), with per-stage time instrumentation (embedding access, forward,
+// backward) and periodic quality evaluation — everything needed to
+// regenerate Figures 2 and 6–11.
+package train
+
+import (
+	"sync"
+
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// Backend abstracts an embedding store for the trainers.
+type Backend interface {
+	// Name identifies the engine in results.
+	Name() string
+	// NewHandle returns a per-worker handle.
+	NewHandle() (Handle, error)
+	// Dim is the embedding dimension.
+	Dim() int
+}
+
+// Handle is one worker's embedding-store handle.
+type Handle interface {
+	// Get reads (initializing on first touch) under the engine's
+	// consistency protocol.
+	Get(key uint64, dst []float32) error
+	// Put writes an updated embedding.
+	Put(key uint64, val []float32) error
+	// Peek reads without consistency effects (evaluation). Missing keys
+	// leave dst zeroed and return false.
+	Peek(key uint64, dst []float32) (bool, error)
+	// Lookahead hints that keys will be read soon (best-effort, async).
+	Lookahead(keys []uint64)
+	// Close releases the handle.
+	Close()
+}
+
+// --- MLKV / FASTER backend (core.Table) ---
+
+// TableBackend adapts a core.Table. With StalenessBound disabled it *is*
+// the plain-FASTER baseline; with a bound it is MLKV.
+type TableBackend struct {
+	T            *Table
+	UseLookahead bool
+}
+
+// Table aliases core.Table for brevity in this package.
+type Table = core.Table
+
+// NewTableBackend wraps a table. useLookahead enables DestStorageBuffer
+// prefetching for Lookahead calls (MLKV); when false Lookahead is a no-op
+// (plain FASTER, which has no such interface).
+func NewTableBackend(t *core.Table, useLookahead bool) *TableBackend {
+	return &TableBackend{T: t, UseLookahead: useLookahead}
+}
+
+// Name identifies the engine.
+func (b *TableBackend) Name() string {
+	if b.T.Store().StalenessBound() >= 0 {
+		return "mlkv"
+	}
+	return "faster"
+}
+
+// Dim returns the embedding dimension.
+func (b *TableBackend) Dim() int { return b.T.Dim() }
+
+// NewHandle registers a session.
+func (b *TableBackend) NewHandle() (Handle, error) {
+	s, err := b.T.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &tableHandle{b: b, s: s}, nil
+}
+
+type tableHandle struct {
+	b *TableBackend
+	s *core.Session
+}
+
+func (h *tableHandle) Get(key uint64, dst []float32) error { return h.s.Get(key, dst) }
+func (h *tableHandle) Put(key uint64, val []float32) error { return h.s.Put(key, val) }
+func (h *tableHandle) Peek(key uint64, dst []float32) (bool, error) {
+	return h.s.Peek(key, dst)
+}
+func (h *tableHandle) Lookahead(keys []uint64) {
+	if h.b.UseLookahead {
+		h.s.Lookahead(keys, core.DestStorageBuffer, nil)
+	}
+}
+func (h *tableHandle) Close() { h.s.Close() }
+
+// --- kv.Store backend (LSM, B+tree) ---
+
+// KVBackend adapts a byte-interface kv.Store, adding float32 conversion
+// and first-touch initialization on the application side — exactly how the
+// paper's "framework + RocksDB/WiredTiger" integrations offload embeddings.
+type KVBackend struct {
+	S    kv.Store
+	DimN int
+	Init core.Initializer
+}
+
+// NewKVBackend wraps a store.
+func NewKVBackend(s kv.Store, dim int, init core.Initializer) *KVBackend {
+	return &KVBackend{S: s, DimN: dim, Init: init}
+}
+
+// Name identifies the engine.
+func (b *KVBackend) Name() string { return b.S.Name() }
+
+// Dim returns the embedding dimension.
+func (b *KVBackend) Dim() int { return b.DimN }
+
+// NewHandle returns a session adapter.
+func (b *KVBackend) NewHandle() (Handle, error) {
+	s, err := b.S.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &kvHandle{b: b, s: s, buf: make([]byte, b.DimN*4)}, nil
+}
+
+type kvHandle struct {
+	b   *KVBackend
+	s   kv.Session
+	buf []byte
+}
+
+func (h *kvHandle) Get(key uint64, dst []float32) error {
+	found, err := h.s.Get(key, h.buf)
+	if err != nil {
+		return err
+	}
+	if !found {
+		if h.b.Init != nil {
+			h.b.Init(key, dst)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		floats32ToBytes(dst, h.buf)
+		return h.s.Put(key, h.buf)
+	}
+	bytesToFloats32(h.buf, dst)
+	return nil
+}
+
+func (h *kvHandle) Put(key uint64, val []float32) error {
+	floats32ToBytes(val, h.buf)
+	return h.s.Put(key, h.buf)
+}
+
+func (h *kvHandle) Peek(key uint64, dst []float32) (bool, error) {
+	found, err := h.s.Get(key, h.buf)
+	if found {
+		bytesToFloats32(h.buf, dst)
+	}
+	return found, err
+}
+
+func (h *kvHandle) Lookahead(keys []uint64) {
+	for _, k := range keys {
+		h.s.Prefetch(k)
+	}
+}
+
+func (h *kvHandle) Close() { h.s.Close() }
+
+// --- sharded in-memory backend ---
+
+// MemBackend is a sharded in-memory embedding store: the stand-in both for
+// specialized frameworks' proprietary in-memory storage (Figure 6's
+// baselines) and for DGL-DDP's two-instance RAM deployment (Figure 11a).
+type MemBackend struct {
+	NameStr string
+	DimN    int
+	Init    core.Initializer
+	shards  []memShard
+	mask    uint64
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]float32
+}
+
+// NewMemBackend builds an in-memory backend with 64 shards.
+func NewMemBackend(name string, dim int, init core.Initializer) *MemBackend {
+	const n = 64
+	b := &MemBackend{NameStr: name, DimN: dim, Init: init, shards: make([]memShard, n), mask: n - 1}
+	for i := range b.shards {
+		b.shards[i].m = make(map[uint64][]float32)
+	}
+	return b
+}
+
+// Name identifies the engine.
+func (b *MemBackend) Name() string { return b.NameStr }
+
+// Dim returns the embedding dimension.
+func (b *MemBackend) Dim() int { return b.DimN }
+
+// NewHandle returns a handle (the backend is internally synchronized).
+func (b *MemBackend) NewHandle() (Handle, error) { return &memHandle{b: b}, nil }
+
+type memHandle struct{ b *MemBackend }
+
+func (h *memHandle) Get(key uint64, dst []float32) error {
+	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	if ok {
+		copy(dst, v)
+		sh.mu.RUnlock()
+		return nil
+	}
+	sh.mu.RUnlock()
+	if h.b.Init != nil {
+		h.b.Init(key, dst)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	sh.mu.Lock()
+	if v, ok := sh.m[key]; ok {
+		copy(dst, v)
+	} else {
+		sh.m[key] = append([]float32(nil), dst...)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+func (h *memHandle) Put(key uint64, val []float32) error {
+	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh.mu.Lock()
+	if v, ok := sh.m[key]; ok {
+		copy(v, val)
+	} else {
+		sh.m[key] = append([]float32(nil), val...)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+func (h *memHandle) Peek(key uint64, dst []float32) (bool, error) {
+	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	if ok {
+		copy(dst, v)
+	}
+	sh.mu.RUnlock()
+	return ok, nil
+}
+
+func (h *memHandle) Lookahead([]uint64) {}
+func (h *memHandle) Close()             {}
+
+func bytesToFloats32(src []byte, dst []float32) {
+	for i := range dst {
+		bits := uint32(src[i*4]) | uint32(src[i*4+1])<<8 | uint32(src[i*4+2])<<16 | uint32(src[i*4+3])<<24
+		dst[i] = f32frombits(bits)
+	}
+}
+
+func floats32ToBytes(src []float32, dst []byte) {
+	for i, v := range src {
+		bits := f32bits(v)
+		dst[i*4] = byte(bits)
+		dst[i*4+1] = byte(bits >> 8)
+		dst[i*4+2] = byte(bits >> 16)
+		dst[i*4+3] = byte(bits >> 24)
+	}
+}

@@ -1,0 +1,386 @@
+package train
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Mode selects the consistency discipline of the training pipeline. The
+// storage-level staleness bound lives in the backend; Mode controls the
+// pipeline structure (per-batch barriers for sync training).
+type Mode int
+
+const (
+	// ModeSync barriers all workers after every batch (BSP, Figure 2
+	// "Sync"): embedding reads always see the previous batch's updates.
+	ModeSync Mode = iota
+	// ModeAsync lets workers free-run; consistency comes only from the
+	// backend's staleness bound (SSP / ASP).
+	ModeAsync
+)
+
+// StageTimes decomposes per-sample latency (Figure 2 left).
+type StageTimes struct {
+	Emb      time.Duration // embedding Get + Put (data stalls land here)
+	Forward  time.Duration
+	Backward time.Duration
+}
+
+// Total returns the sum of stages.
+func (s StageTimes) Total() time.Duration { return s.Emb + s.Forward + s.Backward }
+
+// CurvePoint is one quality measurement on the convergence curve.
+type CurvePoint struct {
+	Seconds float64
+	Metric  float64 // AUC, accuracy, or Hits@k depending on task
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Backend     string
+	Samples     int64
+	Elapsed     time.Duration
+	Throughput  float64 // samples/s
+	Stage       StageTimes
+	Curve       []CurvePoint
+	FinalMetric float64
+}
+
+// CTROptions configures DLRM CTR training (the paper's PERSIA workload).
+type CTROptions struct {
+	Gen        *data.CTRGen
+	Model      *models.DLRM
+	Backend    Backend
+	Workers    int
+	Batch      int // samples per worker between dense-weight applies
+	Mode       Mode
+	DenseLR    float32
+	EmbLR      float32
+	Duration   time.Duration // wall-clock budget
+	MaxSamples int64         // optional hard cap (0 = unlimited)
+
+	LookaheadDepth int // samples generated ahead and prefetched (0 = off)
+
+	EvalEvery   time.Duration // 0 disables the convergence curve
+	EvalSamples int
+
+	// BatchSyncDelay simulates a distributed data-parallel gradient
+	// exchange after every batch (the DDP baseline of Figure 11a).
+	BatchSyncDelay time.Duration
+}
+
+// TrainCTR runs DLRM training and returns throughput, stage breakdown, and
+// the AUC-over-time curve.
+func TrainCTR(opts CTROptions) (*Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.Batch == 0 {
+		opts.Batch = 32
+	}
+	if opts.EvalSamples == 0 {
+		opts.EvalSamples = 2000
+	}
+	res := &Result{Backend: opts.Backend.Name()}
+	var sampleCount atomic.Int64
+	var embNS, fwdNS, bwdNS atomic.Int64
+	stop := make(chan struct{})
+	start := time.Now()
+
+	// Fixed evaluation set: same planted ground truth, disjoint stream.
+	evalGen := data.NewCTRGen(withStream(opts.Gen.Config(), 0xe7a1))
+	evalSet := evalGen.Batch(opts.EvalSamples)
+
+	var curveMu sync.Mutex
+	evalDone := make(chan struct{})
+	if opts.EvalEvery > 0 {
+		go func() {
+			defer close(evalDone)
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				return
+			}
+			defer h.Close()
+			w := opts.Model.NewWorker()
+			tick := time.NewTicker(opts.EvalEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					auc := evalCTRAUC(opts, h, w, evalSet)
+					curveMu.Lock()
+					res.Curve = append(res.Curve, CurvePoint{Seconds: time.Since(start).Seconds(), Metric: auc})
+					curveMu.Unlock()
+				}
+			}
+		}()
+	} else {
+		close(evalDone)
+	}
+
+	var wg sync.WaitGroup
+	var barrier *syncBarrier
+	if opts.Mode == ModeSync {
+		barrier = newSyncBarrier(opts.Workers)
+	}
+	errCh := make(chan error, opts.Workers)
+	for wID := 0; wID < opts.Workers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer h.Close()
+			worker := opts.Model.NewWorker()
+			gen := data.NewCTRGen(withStream(opts.Gen.Config(), uint64(wID)*7919+1))
+			dim := opts.Model.Dim
+			embs := make([]float32, opts.Model.Fields*dim)
+
+			// Look-ahead pipeline: generate ahead, prefetch keys.
+			var pending []data.CTRSample
+			nextSample := func() data.CTRSample {
+				if opts.LookaheadDepth <= 0 {
+					return gen.Next()
+				}
+				for len(pending) <= opts.LookaheadDepth {
+					s := gen.Next()
+					h.Lookahead(s.Keys)
+					pending = append(pending, s)
+				}
+				s := pending[0]
+				pending = pending[1:]
+				return s
+			}
+
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fieldOrder := make([]int, opts.Model.Fields)
+				for b := 0; b < opts.Batch; b++ {
+					s := nextSample()
+
+					// Acquire embedding reads in ascending key order: under
+					// small staleness bounds Gets are blocking token
+					// acquisitions, and a global order keeps the cross-worker
+					// wait graph acyclic. Fields draw from disjoint key
+					// ranges, so there are no intra-sample duplicates.
+					for i := range fieldOrder {
+						fieldOrder[i] = i
+					}
+					sortFieldsByKey(fieldOrder, s.Keys)
+					t0 := time.Now()
+					for _, f := range fieldOrder {
+						if err := h.Get(s.Keys[f], embs[f*dim:(f+1)*dim]); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					t1 := time.Now()
+					logit, err := worker.Forward(s.Dense, embs)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					t2 := time.Now()
+					loss, dLogit := bceLogit(logit, s.Label)
+					_ = loss
+					dEmb := worker.Backward(dLogit)
+					t3 := time.Now()
+					for f, k := range s.Keys {
+						seg := embs[f*dim : (f+1)*dim]
+						for i := 0; i < dim; i++ {
+							seg[i] -= opts.EmbLR * dEmb[f*dim+i]
+						}
+						if err := h.Put(k, seg); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					t4 := time.Now()
+					embNS.Add(int64(t1.Sub(t0) + t4.Sub(t3)))
+					fwdNS.Add(int64(t2.Sub(t1)))
+					bwdNS.Add(int64(t3.Sub(t2)))
+					n := sampleCount.Add(1)
+					if opts.MaxSamples > 0 && n >= opts.MaxSamples {
+						safeClose(stop)
+						worker.Apply(opts.DenseLR)
+						return
+					}
+				}
+				worker.Apply(opts.DenseLR)
+				if opts.BatchSyncDelay > 0 {
+					time.Sleep(opts.BatchSyncDelay)
+				}
+				if barrier != nil && !barrier.wait(stop) {
+					return
+				}
+				if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+					safeClose(stop)
+					return
+				}
+			}
+		}(wID)
+	}
+	wg.Wait()
+	safeClose(stop)
+	<-evalDone
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res.Samples = sampleCount.Load()
+	res.Elapsed = time.Since(start)
+	res.Throughput = float64(res.Samples) / res.Elapsed.Seconds()
+	res.Stage = StageTimes{
+		Emb:      time.Duration(embNS.Load()),
+		Forward:  time.Duration(fwdNS.Load()),
+		Backward: time.Duration(bwdNS.Load()),
+	}
+	// Final quality measurement.
+	h, err := opts.Backend.NewHandle()
+	if err == nil {
+		w := opts.Model.NewWorker()
+		res.FinalMetric = evalCTRAUC(opts, h, w, evalSet)
+		h.Close()
+	}
+	return res, nil
+}
+
+// evalCTRAUC scores the fixed evaluation set with Peek (no clock effects).
+func evalCTRAUC(opts CTROptions, h Handle, w *models.DLRMWorker, evalSet []data.CTRSample) float64 {
+	dim := opts.Model.Dim
+	embs := make([]float32, opts.Model.Fields*dim)
+	scores := make([]float64, len(evalSet))
+	labels := make([]int, len(evalSet))
+	for i, s := range evalSet {
+		for f, k := range s.Keys {
+			seg := embs[f*dim : (f+1)*dim]
+			if found, _ := h.Peek(k, seg); !found {
+				for j := range seg {
+					seg[j] = 0
+				}
+			}
+		}
+		p, err := w.Predict(s.Dense, embs)
+		if err != nil {
+			return 0.5
+		}
+		scores[i] = float64(p)
+		labels[i] = int(s.Label)
+	}
+	return util.AUC(scores, labels)
+}
+
+func bceLogit(logit, label float32) (float32, float32) {
+	p := 1 / (1 + float32(math.Exp(float64(-logit))))
+	eps := float32(1e-7)
+	var loss float32
+	if label > 0.5 {
+		loss = -float32(math.Log(float64(p + eps)))
+	} else {
+		loss = -float32(math.Log(float64(1 - p + eps)))
+	}
+	return loss, p - label
+}
+
+func withStream(cfg data.CTRConfig, stream uint64) data.CTRConfig {
+	cfg.Stream = stream
+	return cfg
+}
+
+// sortFieldsByKey orders field indices by their sample key (insertion sort;
+// field counts are small).
+func sortFieldsByKey(fields []int, keys []uint64) {
+	for i := 1; i < len(fields); i++ {
+		for j := i; j > 0 && keys[fields[j]] < keys[fields[j-1]]; j-- {
+			fields[j], fields[j-1] = fields[j-1], fields[j]
+		}
+	}
+}
+
+// sortU64 sorts keys ascending (insertion sort; per-sample key sets are
+// small).
+func sortU64(keys []uint64) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// syncBarrier is a reusable barrier that also honours the stop channel.
+type syncBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newSyncBarrier(n int) *syncBarrier {
+	b := &syncBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive or stop closes; it returns
+// false when stopping.
+func (b *syncBarrier) wait(stop <-chan struct{}) bool {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		case <-done:
+		}
+	}()
+	for gen == b.gen {
+		select {
+		case <-stop:
+			b.mu.Unlock()
+			close(done)
+			return false
+		default:
+		}
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	close(done)
+	return true
+}
+
+func safeClose(ch chan struct{}) {
+	defer func() { recover() }()
+	close(ch)
+}

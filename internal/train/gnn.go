@@ -1,0 +1,414 @@
+package train
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// GNNKind selects the model for the GNN trainer.
+type GNNKind int
+
+const (
+	// KindGraphSage trains the mean-aggregating GraphSAGE model.
+	KindGraphSage GNNKind = iota
+	// KindGAT trains the attention model.
+	KindGAT
+)
+
+// GNNOptions configures node-classification training (the paper's DGL
+// workload, and the eBay case studies).
+type GNNOptions struct {
+	Graph      *data.GraphGen
+	Kind       GNNKind
+	Sage       *models.GraphSage // required for KindGraphSage
+	Gat        *models.GAT       // required for KindGAT
+	Backend    Backend
+	Workers    int
+	Fanout     int // layer-1 neighbors
+	Fanout2    int // layer-2 neighbors per layer-1 node
+	DenseLR    float32
+	EmbLR      float32
+	Batch      int
+	Duration   time.Duration
+	MaxSamples int64
+
+	LookaheadDepth int
+
+	EvalEvery time.Duration
+	EvalNodes int
+
+	BatchSyncDelay time.Duration // DDP simulation (Figure 11a)
+}
+
+// TrainGNN runs node-classification training; the curve metric is accuracy
+// in percent.
+func TrainGNN(opts GNNOptions) (*Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.Fanout == 0 {
+		opts.Fanout = 4
+	}
+	if opts.Fanout2 == 0 {
+		opts.Fanout2 = 4
+	}
+	if opts.Batch == 0 {
+		opts.Batch = 16
+	}
+	if opts.EvalNodes == 0 {
+		opts.EvalNodes = 500
+	}
+	res := &Result{Backend: opts.Backend.Name()}
+	var sampleCount atomic.Int64
+	var embNS, fwdNS, bwdNS atomic.Int64
+	stop := make(chan struct{})
+	start := time.Now()
+
+	var curveMu sync.Mutex
+	evalDone := make(chan struct{})
+	if opts.EvalEvery > 0 {
+		go func() {
+			defer close(evalDone)
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				return
+			}
+			defer h.Close()
+			tick := time.NewTicker(opts.EvalEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					acc := evalGNNAccuracy(opts, h)
+					curveMu.Lock()
+					res.Curve = append(res.Curve, CurvePoint{Seconds: time.Since(start).Seconds(), Metric: acc})
+					curveMu.Unlock()
+				}
+			}
+		}()
+	} else {
+		close(evalDone)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Workers)
+	for wID := 0; wID < opts.Workers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer h.Close()
+			w := newGNNWorker(opts, uint64(wID))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for b := 0; b < opts.Batch; b++ {
+					te, tf, tb, err := w.step(h)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					embNS.Add(int64(te))
+					fwdNS.Add(int64(tf))
+					bwdNS.Add(int64(tb))
+					n := sampleCount.Add(1)
+					if opts.MaxSamples > 0 && n >= opts.MaxSamples {
+						safeClose(stop)
+						w.apply()
+						return
+					}
+				}
+				w.apply()
+				if opts.BatchSyncDelay > 0 {
+					time.Sleep(opts.BatchSyncDelay)
+				}
+				if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+					safeClose(stop)
+					return
+				}
+			}
+		}(wID)
+	}
+	wg.Wait()
+	safeClose(stop)
+	<-evalDone
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res.Samples = sampleCount.Load()
+	res.Elapsed = time.Since(start)
+	res.Throughput = float64(res.Samples) / res.Elapsed.Seconds()
+	res.Stage = StageTimes{
+		Emb:      time.Duration(embNS.Load()),
+		Forward:  time.Duration(fwdNS.Load()),
+		Backward: time.Duration(bwdNS.Load()),
+	}
+	if h, err := opts.Backend.NewHandle(); err == nil {
+		res.FinalMetric = evalGNNAccuracy(opts, h)
+		h.Close()
+	}
+	return res, nil
+}
+
+// gnnWorker assembles neighborhoods, runs the model, and scatters
+// embedding gradients back to storage with per-unique-node dedup (so every
+// Get has exactly one matching Put, keeping the vector clock balanced).
+type gnnWorker struct {
+	opts GNNOptions
+	rng  *util.RNG
+	salt uint64
+	dim  int
+
+	sage *models.SageWorker
+	gat  *models.GATWorker
+
+	nodes1 []uint64   // {v} ∪ N1
+	nbh    [][]uint64 // N2 per layer-1 node
+	eSelf  [][]float32
+	eMean  [][]float32
+	inputs [][][]float32
+	embOf  map[uint64][]float32
+	gradOf map[uint64][]float32
+}
+
+func newGNNWorker(opts GNNOptions, wID uint64) *gnnWorker {
+	w := &gnnWorker{
+		opts:   opts,
+		rng:    util.NewRNG(wID*31 + 7),
+		salt:   wID,
+		embOf:  make(map[uint64][]float32),
+		gradOf: make(map[uint64][]float32),
+	}
+	n1 := opts.Fanout + 1
+	w.nodes1 = make([]uint64, n1)
+	w.nbh = make([][]uint64, n1)
+	switch opts.Kind {
+	case KindGraphSage:
+		w.dim = opts.Sage.Dim
+		w.sage = opts.Sage.NewWorker(opts.Fanout)
+		for i := 0; i < n1; i++ {
+			w.eSelf = append(w.eSelf, make([]float32, w.dim))
+			w.eMean = append(w.eMean, make([]float32, w.dim))
+		}
+	case KindGAT:
+		w.dim = opts.Gat.Dim
+		w.gat = opts.Gat.NewWorker(opts.Fanout, opts.Fanout2)
+		for i := 0; i < n1; i++ {
+			row := make([][]float32, opts.Fanout2+1)
+			for j := range row {
+				row[j] = make([]float32, w.dim)
+			}
+			w.inputs = append(w.inputs, row)
+		}
+	}
+	return w
+}
+
+// sample draws the neighborhood for one training node.
+func (w *gnnWorker) sample() {
+	g := w.opts.Graph
+	v := g.TrainNode(w.rng)
+	w.nodes1[0] = v
+	n1 := g.SampleNeighbors(v, w.opts.Fanout, w.salt^w.rng.Uint64())
+	copy(w.nodes1[1:], n1)
+	for i, u := range w.nodes1 {
+		w.nbh[i] = g.SampleNeighbors(u, w.opts.Fanout2, w.salt^w.rng.Uint64())
+	}
+}
+
+// fetch loads every unique node embedding once.
+func (w *gnnWorker) fetch(h Handle) error {
+	for k := range w.embOf {
+		delete(w.embOf, k)
+	}
+	for k := range w.gradOf {
+		delete(w.gradOf, k)
+	}
+	// Collect the unique node set, then acquire reads in ascending key
+	// order: under small staleness bounds Gets are blocking token
+	// acquisitions, and a global order keeps the wait graph acyclic.
+	var order []uint64
+	collect := func(u uint64) {
+		if _, ok := w.embOf[u]; !ok {
+			w.embOf[u] = nil
+			order = append(order, u)
+		}
+	}
+	for i, u := range w.nodes1 {
+		collect(u)
+		for _, x := range w.nbh[i] {
+			collect(x)
+		}
+	}
+	sortU64(order)
+	for _, u := range order {
+		e := make([]float32, w.dim)
+		if err := h.Get(u, e); err != nil {
+			return err
+		}
+		w.embOf[u] = e
+	}
+	return nil
+}
+
+// step trains on one sampled neighborhood, returning stage durations.
+func (w *gnnWorker) step(h Handle) (embT, fwdT, bwdT time.Duration, err error) {
+	w.sample()
+	if w.opts.LookaheadDepth > 0 {
+		// Prefetch the *next* node's neighborhood before fetching this one.
+		g := w.opts.Graph
+		nv := g.TrainNode(w.rng.Split())
+		keys := append([]uint64{nv}, g.SampleNeighbors(nv, w.opts.Fanout, w.salt)...)
+		h.Lookahead(keys)
+	}
+	t0 := time.Now()
+	if err := w.fetch(h); err != nil {
+		return 0, 0, 0, err
+	}
+	t1 := time.Now()
+
+	label := w.opts.Graph.Label(w.nodes1[0])
+	var t2 time.Time
+	switch w.opts.Kind {
+	case KindGraphSage:
+		for i, u := range w.nodes1 {
+			copy(w.eSelf[i], w.embOf[u])
+			mean := w.eMean[i]
+			zero32(mean)
+			for _, x := range w.nbh[i] {
+				e := w.embOf[x]
+				for d := 0; d < w.dim; d++ {
+					mean[d] += e[d] / float32(len(w.nbh[i]))
+				}
+			}
+		}
+		// Forward+backward happen inside Step; split timing evenly.
+		_, _, dSelf, dMean := w.sage.Step(w.eSelf, w.eMean, label)
+		t2 = time.Now()
+		for i, u := range w.nodes1 {
+			w.accGrad(u, dSelf[i], 1)
+			for _, x := range w.nbh[i] {
+				w.accGrad(x, dMean[i], 1/float32(len(w.nbh[i])))
+			}
+		}
+	case KindGAT:
+		for i, u := range w.nodes1 {
+			copy(w.inputs[i][0], w.embOf[u])
+			for j, x := range w.nbh[i] {
+				copy(w.inputs[i][j+1], w.embOf[x])
+			}
+		}
+		_, _, dIn := w.gat.Step(w.inputs, label)
+		t2 = time.Now()
+		for i, u := range w.nodes1 {
+			w.accGrad(u, dIn[i][0], 1)
+			for j, x := range w.nbh[i] {
+				w.accGrad(x, dIn[i][j+1], 1)
+			}
+		}
+	}
+
+	// Apply and write back each unique node once.
+	for u, g := range w.gradOf {
+		e := w.embOf[u]
+		for d := 0; d < w.dim; d++ {
+			e[d] -= w.opts.EmbLR * g[d]
+		}
+	}
+	t3 := time.Now()
+	for u := range w.gradOf {
+		if err := h.Put(u, w.embOf[u]); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	// Nodes fetched but without gradient still owe a Put (clock balance).
+	for u, e := range w.embOf {
+		if _, ok := w.gradOf[u]; !ok {
+			if err := h.Put(u, e); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	t4 := time.Now()
+	half := t2.Sub(t1) / 2
+	return t1.Sub(t0) + t4.Sub(t3), half, t2.Sub(t1) - half + t3.Sub(t2), nil
+}
+
+func (w *gnnWorker) accGrad(u uint64, g []float32, scale float32) {
+	acc, ok := w.gradOf[u]
+	if !ok {
+		acc = make([]float32, w.dim)
+		w.gradOf[u] = acc
+	}
+	for d := 0; d < w.dim; d++ {
+		acc[d] += scale * g[d]
+	}
+}
+
+func (w *gnnWorker) apply() {
+	switch w.opts.Kind {
+	case KindGraphSage:
+		w.sage.Apply(w.opts.DenseLR)
+	case KindGAT:
+		w.gat.Apply(w.opts.DenseLR)
+	}
+}
+
+// evalGNNAccuracy scores fresh nodes with Peek.
+func evalGNNAccuracy(opts GNNOptions, h Handle) float64 {
+	w := newGNNWorker(opts, 0xe7a1)
+	correct := 0
+	peek := func(u uint64, dst []float32) {
+		if found, _ := h.Peek(u, dst); !found {
+			zero32(dst)
+		}
+	}
+	for i := 0; i < opts.EvalNodes; i++ {
+		w.sample()
+		label := opts.Graph.Label(w.nodes1[0])
+		var pred int
+		switch opts.Kind {
+		case KindGraphSage:
+			for j, u := range w.nodes1 {
+				peek(u, w.eSelf[j])
+				zero32(w.eMean[j])
+				tmp := make([]float32, w.dim)
+				for _, x := range w.nbh[j] {
+					peek(x, tmp)
+					for d := 0; d < w.dim; d++ {
+						w.eMean[j][d] += tmp[d] / float32(len(w.nbh[j]))
+					}
+				}
+			}
+			pred = w.sage.Predict(w.eSelf, w.eMean)
+		case KindGAT:
+			for j, u := range w.nodes1 {
+				peek(u, w.inputs[j][0])
+				for jj, x := range w.nbh[j] {
+					peek(x, w.inputs[j][jj+1])
+				}
+			}
+			pred = w.gat.Predict(w.inputs)
+		}
+		if pred == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(opts.EvalNodes) * 100
+}

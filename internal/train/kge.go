@@ -1,0 +1,386 @@
+package train
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// RelationKeyBase offsets relation embeddings away from entity keys within
+// the same table (relations are few; entities are billions).
+const RelationKeyBase = uint64(1) << 48
+
+// KGEOptions configures knowledge-graph-embedding training (the paper's
+// DGL-KE workload).
+type KGEOptions struct {
+	Gen        *data.KGGen
+	Model      *models.KGE
+	Backend    Backend
+	Workers    int
+	Negatives  int
+	EmbLR      float32
+	Duration   time.Duration
+	MaxSamples int64
+
+	LookaheadDepth int
+
+	// BETA enables Marius-style partition-ordered training: entities are
+	// range-partitioned, only triples inside the buffered partition pair
+	// train, and partition swaps Lookahead the incoming partition
+	// (Figure 9b's "BETA" variants).
+	BETA           bool
+	BETAPartitions int
+	BETABuffer     int
+
+	EvalEvery   time.Duration
+	EvalTriples int
+	EvalNegs    int
+	HitsK       int
+}
+
+// TrainKGE runs link-prediction training; the curve metric is Hits@K.
+func TrainKGE(opts KGEOptions) (*Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.Negatives == 0 {
+		opts.Negatives = 4
+	}
+	if opts.EvalTriples == 0 {
+		opts.EvalTriples = 300
+	}
+	if opts.EvalNegs == 0 {
+		opts.EvalNegs = 30
+	}
+	if opts.HitsK == 0 {
+		opts.HitsK = 10
+	}
+	if opts.BETA {
+		if opts.BETAPartitions == 0 {
+			opts.BETAPartitions = 8
+		}
+		if opts.BETABuffer == 0 {
+			opts.BETABuffer = opts.BETAPartitions / 2
+		}
+	}
+	dim := opts.Model.Dim
+	res := &Result{Backend: opts.Backend.Name()}
+	var sampleCount atomic.Int64
+	var embNS, fwdNS, bwdNS atomic.Int64
+	stop := make(chan struct{})
+	start := time.Now()
+
+	evalCfg := opts.Gen.Config()
+	evalCfg.Stream = 31337
+	evalGen := data.NewKGGen(evalCfg)
+	evalSet := evalGen.Batch(opts.EvalTriples)
+
+	var curveMu sync.Mutex
+	evalDone := make(chan struct{})
+	if opts.EvalEvery > 0 {
+		go func() {
+			defer close(evalDone)
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				return
+			}
+			defer h.Close()
+			tick := time.NewTicker(opts.EvalEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					hits := evalHits(opts, h, evalGen, evalSet)
+					curveMu.Lock()
+					res.Curve = append(res.Curve, CurvePoint{Seconds: time.Since(start).Seconds(), Metric: hits})
+					curveMu.Unlock()
+				}
+			}
+		}()
+	} else {
+		close(evalDone)
+	}
+
+	// BETA partition schedule, shared across workers.
+	var sched *betaSchedule
+	if opts.BETA {
+		sched = newBetaSchedule(opts.Gen.Config().Entities, opts.BETAPartitions, opts.BETABuffer)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Workers)
+	for wID := 0; wID < opts.Workers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			h, err := opts.Backend.NewHandle()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer h.Close()
+			cfg := opts.Gen.Config()
+			cfg.Stream = uint64(wID)*6151 + 1
+			gen := data.NewKGGen(cfg)
+			rng := util.NewRNG(uint64(wID) + 17)
+
+			dh := make([]float32, dim)
+			dr := make([]float32, dim)
+			dt := make([]float32, dim)
+			dNeg := make([][]float32, opts.Negatives)
+			negEmb := make([][]float32, opts.Negatives)
+			negKeys := make([]uint64, opts.Negatives)
+			for i := range dNeg {
+				dNeg[i] = make([]float32, dim)
+			}
+			embOf := make(map[uint64][]float32)
+			var keyOrder []uint64
+			var pending []data.Triple
+
+			nextTriple := func() data.Triple {
+				for {
+					if opts.LookaheadDepth > 0 {
+						for len(pending) <= opts.LookaheadDepth {
+							tr := gen.Next()
+							if sched == nil || sched.admits(tr) {
+								h.Lookahead([]uint64{tr.H, tr.T})
+								pending = append(pending, tr)
+							}
+						}
+						tr := pending[0]
+						pending = pending[1:]
+						return tr
+					}
+					tr := gen.Next()
+					if sched == nil || sched.admits(tr) {
+						return tr
+					}
+				}
+			}
+
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := nextTriple()
+				for i := range negKeys {
+					negKeys[i] = gen.NegativeTail(tr)
+				}
+				rKey := RelationKeyBase + uint64(tr.R)
+				// Deduplicate and sort the sample's key set, then acquire
+				// reads in ascending key order: under small staleness
+				// bounds a Get is a blocking token acquisition, and a
+				// global acquisition order keeps the wait graph acyclic
+				// (no deadlock between workers, none against ourselves).
+				for k := range embOf {
+					delete(embOf, k)
+				}
+				keyOrder = keyOrder[:0]
+				for _, k := range append([]uint64{tr.H, rKey, tr.T}, negKeys...) {
+					if _, ok := embOf[k]; !ok {
+						embOf[k] = nil
+						keyOrder = append(keyOrder, k)
+					}
+				}
+				sortU64(keyOrder)
+				t0 := time.Now()
+				for _, k := range keyOrder {
+					e := make([]float32, dim)
+					if err := h.Get(k, e); err != nil {
+						errCh <- err
+						return
+					}
+					embOf[k] = e
+				}
+				hEmb, rEmb, tEmb := embOf[tr.H], embOf[rKey], embOf[tr.T]
+				for i, nk := range negKeys {
+					negEmb[i] = embOf[nk]
+				}
+				t1 := time.Now()
+				zero32(dh)
+				zero32(dr)
+				zero32(dt)
+				for i := range dNeg {
+					zero32(dNeg[i])
+				}
+				opts.Model.TripleLoss(hEmb, rEmb, tEmb, negEmb, dh, dr, dt, dNeg)
+				t2 := time.Now()
+				// Duplicated keys alias one buffer, so gradient applications
+				// compose; each unique key gets exactly one Put, matching
+				// its single Get on the vector clock.
+				applyGrad(hEmb, dh, opts.EmbLR)
+				applyGrad(rEmb, dr, opts.EmbLR)
+				applyGrad(tEmb, dt, opts.EmbLR)
+				for i := range negKeys {
+					applyGrad(negEmb[i], dNeg[i], opts.EmbLR)
+				}
+				for _, k := range keyOrder {
+					if err := h.Put(k, embOf[k]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				t3 := time.Now()
+				embNS.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
+				fwdNS.Add(int64(t2.Sub(t1)) / 2)
+				bwdNS.Add(int64(t2.Sub(t1)) - int64(t2.Sub(t1))/2)
+				n := sampleCount.Add(1)
+				if opts.MaxSamples > 0 && n >= opts.MaxSamples {
+					safeClose(stop)
+					return
+				}
+				if sched != nil && rng.Uint64n(64) == 0 {
+					// Periodically advance the partition schedule; the
+					// incoming partition is prefetched via Lookahead.
+					if in := sched.maybeAdvance(n); in != nil {
+						h.Lookahead(in)
+					}
+				}
+				if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+					safeClose(stop)
+					return
+				}
+			}
+		}(wID)
+	}
+	wg.Wait()
+	safeClose(stop)
+	<-evalDone
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res.Samples = sampleCount.Load()
+	res.Elapsed = time.Since(start)
+	res.Throughput = float64(res.Samples) / res.Elapsed.Seconds()
+	res.Stage = StageTimes{
+		Emb:      time.Duration(embNS.Load()),
+		Forward:  time.Duration(fwdNS.Load()),
+		Backward: time.Duration(bwdNS.Load()),
+	}
+	if h, err := opts.Backend.NewHandle(); err == nil {
+		res.FinalMetric = evalHits(opts, h, evalGen, evalSet)
+		h.Close()
+	}
+	return res, nil
+}
+
+// evalHits computes Hits@K over the fixed evaluation triples using Peek.
+func evalHits(opts KGEOptions, h Handle, gen *data.KGGen, evalSet []data.Triple) float64 {
+	dim := opts.Model.Dim
+	hEmb := make([]float32, dim)
+	rEmb := make([]float32, dim)
+	tEmb := make([]float32, dim)
+	negs := make([][]float32, opts.EvalNegs)
+	for i := range negs {
+		negs[i] = make([]float32, dim)
+	}
+	hits := 0
+	for _, tr := range evalSet {
+		peekOrZero(h, tr.H, hEmb)
+		peekOrZero(h, RelationKeyBase+uint64(tr.R), rEmb)
+		peekOrZero(h, tr.T, tEmb)
+		for i := range negs {
+			peekOrZero(h, gen.NegativeTail(tr), negs[i])
+		}
+		hits += opts.Model.HitsAtK(hEmb, rEmb, tEmb, negs, opts.HitsK)
+	}
+	return float64(hits) / float64(len(evalSet)) * 100
+}
+
+func peekOrZero(h Handle, key uint64, dst []float32) {
+	if found, _ := h.Peek(key, dst); !found {
+		zero32(dst)
+	}
+}
+
+func zero32(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func applyGrad(emb, grad []float32, lr float32) {
+	for i := range emb {
+		emb[i] -= lr * grad[i]
+	}
+}
+
+// betaSchedule rotates a buffer of entity partitions in the spirit of
+// Marius' BETA (buffer-aware edge traversal) ordering: training admits only
+// triples whose endpoints fall in buffered partitions, maximizing reuse of
+// in-memory embeddings between swaps.
+type betaSchedule struct {
+	mu         sync.Mutex
+	entities   uint64
+	partitions int
+	buffer     []int
+	nextPart   int
+	lastSwap   int64
+}
+
+func newBetaSchedule(entities uint64, partitions, buffer int) *betaSchedule {
+	s := &betaSchedule{entities: entities, partitions: partitions}
+	for i := 0; i < buffer; i++ {
+		s.buffer = append(s.buffer, i)
+	}
+	s.nextPart = buffer % partitions
+	return s
+}
+
+func (s *betaSchedule) partOf(e uint64) int {
+	return int(e * uint64(s.partitions) / s.entities)
+}
+
+// admits reports whether both endpoints are buffered.
+func (s *betaSchedule) admits(tr data.Triple) bool {
+	ph, pt := s.partOf(tr.H), s.partOf(tr.T)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	okH, okT := false, false
+	for _, p := range s.buffer {
+		if p == ph {
+			okH = true
+		}
+		if p == pt {
+			okT = true
+		}
+	}
+	return okH && okT
+}
+
+// maybeAdvance swaps the oldest buffered partition for the next one every
+// swapInterval samples and returns the keys of the incoming partition for
+// prefetching (capped to avoid flooding the queue).
+func (s *betaSchedule) maybeAdvance(samples int64) []uint64 {
+	const swapInterval = 2000
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if samples-s.lastSwap < swapInterval {
+		return nil
+	}
+	s.lastSwap = samples
+	incoming := s.nextPart
+	s.nextPart = (s.nextPart + 1) % s.partitions
+	copy(s.buffer, s.buffer[1:])
+	s.buffer[len(s.buffer)-1] = incoming
+	lo := uint64(incoming) * s.entities / uint64(s.partitions)
+	hi := uint64(incoming+1) * s.entities / uint64(s.partitions)
+	if hi-lo > 4096 {
+		hi = lo + 4096
+	}
+	keys := make([]uint64, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		keys = append(keys, e)
+	}
+	return keys
+}

@@ -1,0 +1,112 @@
+package util
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfBounds(t *testing.T) {
+	r := NewRNG(1)
+	z := NewZipf(r, 1000, 0.99)
+	for i := 0; i < 100000; i++ {
+		if v := z.Next(); v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(2)
+	const n = 10000
+	z := NewZipf(r, n, 0.99)
+	counts := make([]int, n)
+	const draws = 500000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 must dominate and the head must be heavy: top 1% of items should
+	// cover the majority of draws under theta=0.99.
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("head item count %d not much larger than median item %d", counts[0], counts[n/2])
+	}
+	head := 0
+	for i := 0; i < n/100; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / draws; frac < 0.5 {
+		t.Errorf("top 1%% of items covered only %.2f of draws, want > 0.5", frac)
+	}
+}
+
+func TestZipfMatchesExactDistributionSmallN(t *testing.T) {
+	r := NewRNG(3)
+	const n = 4
+	const theta = 0.5
+	z := NewZipf(r, n, theta)
+	counts := make([]float64, n)
+	const draws = 400000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	zn := 0.0
+	for i := 1; i <= n; i++ {
+		zn += 1 / math.Pow(float64(i), theta)
+	}
+	for i := 0; i < n; i++ {
+		want := (1 / math.Pow(float64(i+1), theta)) / zn
+		got := counts[i] / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("item %d: got frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestScrambledZipfSpreadsHotKeys(t *testing.T) {
+	r := NewRNG(4)
+	const n = 1 << 16
+	s := NewScrambledZipf(r, n, 0.99)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[s.Next()]++
+	}
+	// Find the hottest key; it should not be key 0 or clustered at low IDs.
+	var hot uint64
+	best := 0
+	lowID := 0
+	for k, c := range counts {
+		if c > best {
+			best, hot = c, k
+		}
+		if k < 16 {
+			lowID += c
+		}
+	}
+	if best < 100 {
+		t.Errorf("expected a hot key, hottest %d had only %d draws", hot, best)
+	}
+	if float64(lowID) > 0.05*100000 {
+		t.Errorf("low IDs got %d draws; scrambling should spread the head", lowID)
+	}
+}
+
+func TestZetaTailApproximation(t *testing.T) {
+	// The closed form for n > 2^20 must agree with brute force at the seam.
+	const theta = 0.99
+	exact := zeta(1<<20, theta)
+	if approx := zeta(1<<20, theta); math.Abs(approx-exact) > 1e-9 {
+		t.Fatalf("seam mismatch: %v vs %v", approx, exact)
+	}
+	big := zeta(1<<21, theta)
+	if big <= exact {
+		t.Fatalf("zeta must grow with n: %v <= %v", big, exact)
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 0.99)
+}

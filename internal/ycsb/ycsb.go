@@ -1,0 +1,183 @@
+// Package ycsb implements the YCSB-style NoSQL benchmark the paper uses to
+// isolate storage overhead from application code (§IV-E, Figure 10):
+// a configurable read/update mix over uniform or zipfian key popularity,
+// run by N concurrent client threads against any kv.Store.
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// Distribution selects the request popularity distribution.
+type Distribution int
+
+const (
+	// Uniform draws keys uniformly.
+	Uniform Distribution = iota
+	// Zipfian draws keys with YCSB's scrambled-zipfian skew (θ = 0.99).
+	Zipfian
+)
+
+func (d Distribution) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// Options configures a workload run.
+type Options struct {
+	Store        kv.Store
+	Records      uint64 // key space (loaded before the run)
+	Threads      int
+	ReadFraction float64 // 0.5 = YCSB-A
+	Dist         Distribution
+	Duration     time.Duration
+	MaxOps       int64 // optional cap (0 = duration-bound)
+	Seed         uint64
+	SkipLoad     bool // reuse a pre-loaded store
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops        int64
+	Reads      int64
+	Updates    int64
+	NotFound   int64
+	Elapsed    time.Duration
+	Throughput float64 // ops/s
+}
+
+// Load populates keys [0, Records) with deterministic values.
+func Load(store kv.Store, records uint64, seed uint64) error {
+	s, err := store.NewSession()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	vs := store.ValueSize()
+	buf := make([]byte, vs)
+	for k := uint64(0); k < records; k++ {
+		fillValue(buf, k, seed)
+		if err := s.Put(k, buf); err != nil {
+			return fmt.Errorf("ycsb: load key %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func fillValue(buf []byte, key, seed uint64) {
+	r := util.NewRNG(key ^ seed)
+	for i := range buf {
+		buf[i] = byte(r.Uint64())
+	}
+}
+
+// Run executes the workload and reports throughput.
+func Run(opts Options) (*Result, error) {
+	if opts.Threads == 0 {
+		opts.Threads = 4
+	}
+	if opts.ReadFraction == 0 {
+		opts.ReadFraction = 0.5
+	}
+	if opts.Records == 0 {
+		opts.Records = 100000
+	}
+	if !opts.SkipLoad {
+		if err := Load(opts.Store, opts.Records, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	var ops, reads, updates, notFound atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Threads)
+	start := time.Now()
+	for th := 0; th < opts.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			s, err := opts.Store.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			r := util.NewRNG(opts.Seed + uint64(th)*104729 + 1)
+			var zipf *util.ScrambledZipf
+			if opts.Dist == Zipfian {
+				zipf = util.NewScrambledZipf(r.Split(), opts.Records, 0.99)
+			}
+			vs := opts.Store.ValueSize()
+			buf := make([]byte, vs)
+			for i := 0; ; i++ {
+				if i%256 == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+						safeClose(stop)
+						return
+					}
+				}
+				var key uint64
+				if zipf != nil {
+					key = zipf.Next()
+				} else {
+					key = r.Uint64n(opts.Records)
+				}
+				if r.Float64() < opts.ReadFraction {
+					found, err := s.Get(key, buf)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !found {
+						notFound.Add(1)
+					}
+					reads.Add(1)
+				} else {
+					fillValue(buf, key, opts.Seed+uint64(i))
+					if err := s.Put(key, buf); err != nil {
+						errCh <- err
+						return
+					}
+					updates.Add(1)
+				}
+				if n := ops.Add(1); opts.MaxOps > 0 && n >= opts.MaxOps {
+					safeClose(stop)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	safeClose(stop)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	res.Ops = ops.Load()
+	res.Reads = reads.Load()
+	res.Updates = updates.Load()
+	res.NotFound = notFound.Load()
+	res.Elapsed = time.Since(start)
+	res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+func safeClose(ch chan struct{}) {
+	defer func() { recover() }()
+	close(ch)
+}

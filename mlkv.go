@@ -1,0 +1,224 @@
+// Package mlkv is the public API of MLKV-Go, a reproduction of "MLKV:
+// Efficiently Scaling up Large Embedding Model Training with Disk-based
+// Key-Value Storage" (He et al., ICDE 2025).
+//
+// MLKV stores embedding tables in a FASTER-style disk-backed hybrid log and
+// adds two optimizations that specialized training frameworks previously
+// implemented privately: bounded-staleness consistency (a per-record vector
+// clock packed into the record lock word) and look-ahead prefetching (an
+// asynchronous interface that moves disk-resident embeddings into the
+// mutable memory buffer beyond the staleness window).
+//
+// Mirroring Figure 3 of the paper:
+//
+//	model, _ := mlkv.Open("ctr-model", dim, mlkv.WithStalenessBound(4))
+//	defer model.Close()
+//	sess, _ := model.NewSession()
+//	defer sess.Close()
+//
+//	emb := make([]float32, dim)
+//	for _, batch := range loader {
+//	    sess.Lookahead(batch.FutureKeys)        // hide disk access
+//	    for _, k := range batch.Keys {
+//	        sess.Get(k, emb)                    // forward pass input
+//	        ...                                  // compute gradient
+//	        sess.Put(k, updated)                // backward pass write
+//	    }
+//	}
+package mlkv
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/llm-db/mlkv-go/internal/core"
+)
+
+// Staleness bounds with paper-aligned names (§III-C1).
+const (
+	// BSP (bound 0): a read waits until no update is outstanding on the
+	// record — bulk-synchronous training.
+	BSP = int64(0)
+	// ASP (INT64_MAX): the vector clock is maintained but never blocks —
+	// fully asynchronous training.
+	ASP = int64(math.MaxInt64)
+	// Disabled (-1): plain FASTER semantics, no vector clock.
+	Disabled = int64(-1)
+)
+
+// Option customizes Open.
+type Option func(*config)
+
+type config struct {
+	dir       string
+	bound     int64
+	memory    int64
+	keys      uint64
+	initScale float32
+	workers   int
+}
+
+// WithDir places the model's storage under dir (default: ./mlkv-data).
+func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
+
+// WithStalenessBound sets the consistency bound: BSP, ASP, Disabled, or any
+// positive SSP bound.
+func WithStalenessBound(b int64) Option { return func(c *config) { c.bound = b } }
+
+// WithMemory sets the in-memory buffer budget in bytes (the paper's
+// "buffer size"; default 256 MiB).
+func WithMemory(bytes int64) Option { return func(c *config) { c.memory = bytes } }
+
+// WithExpectedKeys sizes the hash index for the expected embedding count.
+func WithExpectedKeys(n uint64) Option { return func(c *config) { c.keys = n } }
+
+// WithInitScale sets the uniform first-touch initialization range
+// [-scale, scale) (default 0.05; 0 keeps zeros).
+func WithInitScale(s float32) Option { return func(c *config) { c.initScale = s } }
+
+// WithPrefetchWorkers sizes the Lookahead worker pool (default 2).
+func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Model is one embedding model: a named, disk-backed embedding table.
+type Model struct {
+	table *core.Table
+	id    string
+}
+
+// Open creates or recovers the embedding model id with the given embedding
+// dimension — the Open(model_id, dim, staleness_bound) interface of §III-A.
+func Open(id string, dim int, opts ...Option) (*Model, error) {
+	if id == "" {
+		return nil, errors.New("mlkv: model id is required")
+	}
+	cfg := config{
+		dir:       "mlkv-data",
+		bound:     4,
+		memory:    256 << 20,
+		initScale: 0.05,
+		workers:   2,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dir := filepath.Join(cfg.dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var init core.Initializer
+	if cfg.initScale > 0 {
+		init = core.UniformInit(cfg.initScale, 0x6d6c6b76)
+	}
+	t, err := core.OpenTable(core.Options{
+		Dir:             dir,
+		Dim:             dim,
+		StalenessBound:  cfg.bound,
+		MemoryBytes:     cfg.memory,
+		ExpectedKeys:    cfg.keys,
+		PrefetchWorkers: cfg.workers,
+		Init:            init,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{table: t, id: id}, nil
+}
+
+// ID returns the model identifier.
+func (m *Model) ID() string { return m.id }
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.table.Dim() }
+
+// SetStalenessBound adjusts the consistency bound at runtime.
+func (m *Model) SetStalenessBound(b int64) { m.table.SetStalenessBound(b) }
+
+// Checkpoint persists the model durably; call it at a training barrier
+// (the paper checkpoints local NVMe state to durable storage periodically).
+func (m *Model) Checkpoint() error { return m.table.Checkpoint() }
+
+// Stats reports storage counters useful for diagnosing data stalls.
+type Stats struct {
+	Gets           int64
+	Puts           int64
+	DiskReads      int64
+	MemHits        int64
+	StalenessWaits int64
+	PrefetchCopies int64
+}
+
+// Stats returns a snapshot of storage counters.
+func (m *Model) Stats() Stats {
+	s := m.table.Store().Stats()
+	return Stats{
+		Gets:           s.Gets,
+		Puts:           s.Puts,
+		DiskReads:      s.DiskReads,
+		MemHits:        s.MemHits,
+		StalenessWaits: s.StalenessWaits,
+		PrefetchCopies: s.PrefetchCopies,
+	}
+}
+
+// Close releases the model.
+func (m *Model) Close() error { return m.table.Close() }
+
+// Session is one goroutine's handle. Sessions are cheap; create one per
+// worker and close it when done.
+type Session struct {
+	s *core.Session
+}
+
+// NewSession registers a session.
+func (m *Model) NewSession() (*Session, error) {
+	s, err := m.table.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Close unregisters the session.
+func (s *Session) Close() { s.s.Close() }
+
+// Get reads the embedding for key into dst (len == Dim), initializing on
+// first touch, under the bounded-staleness protocol: it waits until the
+// record's outstanding-update count is within the bound, then atomically
+// increments it.
+func (s *Session) Get(key uint64, dst []float32) error { return s.s.Get(key, dst) }
+
+// GetBatch reads len(keys) embeddings into dst (len == len(keys)*Dim).
+func (s *Session) GetBatch(keys []uint64, dst []float32) error {
+	return s.s.GetBatch(keys, dst)
+}
+
+// Put upserts the embedding for key, decrementing the record's
+// outstanding-update count. Puts never wait.
+func (s *Session) Put(key uint64, val []float32) error { return s.s.Put(key, val) }
+
+// PutBatch upserts len(keys) embeddings from vals.
+func (s *Session) PutBatch(keys []uint64, vals []float32) error {
+	return s.s.PutBatch(keys, vals)
+}
+
+// RMW applies emb ← emb − lr·grad atomically in storage.
+func (s *Session) RMW(key uint64, grad []float32, lr float32) error {
+	return s.s.ApplyGradient(key, grad, lr)
+}
+
+// Peek reads without consistency effects (for evaluation/inference).
+func (s *Session) Peek(key uint64, dst []float32) (bool, error) {
+	return s.s.Peek(key, dst)
+}
+
+// Delete removes key's embedding.
+func (s *Session) Delete(key uint64) error { return s.s.Delete(key) }
+
+// Lookahead asynchronously copies the given keys' embeddings from disk into
+// MLKV's mutable memory buffer ahead of use (§III-C2). Unlike conventional
+// prefetching it is not limited by the staleness bound. It never blocks.
+func (s *Session) Lookahead(keys []uint64) error {
+	return s.s.Lookahead(keys, core.DestStorageBuffer, nil)
+}
