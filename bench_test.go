@@ -89,6 +89,47 @@ func BenchmarkGetPut(b *testing.B) {
 	}
 }
 
+// benchShardedZipf measures Zipf read-heavy KV throughput over a store
+// hash-partitioned across the given shard count, with the total memory
+// budget held fixed, under durable (fsync-per-page) writes. The 1-vs-4
+// pair quantifies the shard router's win: one store serializes every log
+// append behind a single flusher's fsync stream, while independent
+// per-shard logs overlap their flushes.
+func benchShardedZipf(b *testing.B, shards int) {
+	b.Helper()
+	const records = 1 << 19
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: b.TempDir(), Shards: shards, ValueSize: 64,
+		MemoryBytes: 512 * 256 * (64 + 24), ExpectedKeys: records,
+		MutableFraction: 0.375,
+		StalenessBound:  faster.BoundAsync, SyncWrites: true,
+	}, "mlkv-sharded")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	if err := ycsb.Load(store, records, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := ycsb.Run(ycsb.Options{
+		Store: store, Records: records, Threads: 8,
+		ReadFraction: 0.9, Dist: ycsb.Zipfian,
+		MaxOps: int64(b.N) + 1000, Seed: 2, SkipLoad: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput, "ops/s")
+}
+
+// BenchmarkZipfUnsharded is the 1-shard baseline for the sharding pair.
+func BenchmarkZipfUnsharded(b *testing.B) { benchShardedZipf(b, 1) }
+
+// BenchmarkZipfSharded4 runs the same workload hash-partitioned across 4
+// store instances under the same total memory budget.
+func BenchmarkZipfSharded4(b *testing.B) { benchShardedZipf(b, 4) }
+
 // BenchmarkYCSBZipfian measures raw KV throughput under YCSB-A skew
 // (micro-benchmark feeding Figure 10's shape).
 func BenchmarkYCSBZipfian(b *testing.B) {

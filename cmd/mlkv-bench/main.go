@@ -1,11 +1,15 @@
-// Command mlkv-bench regenerates the paper's tables and figures.
+// Command mlkv-bench regenerates the paper's tables and figures, plus the
+// post-paper sharding sweep.
 //
 // Usage:
 //
 //	mlkv-bench -experiment fig7 -scale small -workdir /tmp/mlkv-bench
+//	mlkv-bench -experiment shards -scale small
 //
-// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 all.
+// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards all.
 // Scales: tiny (seconds), small (minutes, default), paper (hours).
+// -shards partitions every table the figX experiments open (the "shards"
+// experiment sweeps shard counts itself).
 package main
 
 import (
@@ -18,9 +22,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
+		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")
 	)
 	flag.Parse()
 
@@ -38,8 +43,9 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 	}
-	fmt.Printf("mlkv-bench: scale=%s workdir=%s\n", scale.Name, dir)
+	fmt.Printf("mlkv-bench: scale=%s workdir=%s shards=%d\n", scale.Name, dir, *shards)
 	env := bench.NewEnv(scale, dir, os.Stdout)
+	env.Shards = *shards
 	if err := env.Run(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mlkv-bench:", err)
 		os.Exit(1)

@@ -1,10 +1,12 @@
 // Command mlkv-ycsb runs the YCSB-style NoSQL benchmark (Figure 10)
-// against the MLKV/FASTER engine.
+// against the MLKV/FASTER engine, optionally hash-partitioned across
+// multiple shards (-shards) to compare sharded against unsharded
+// throughput under the same total memory budget.
 //
 // Usage:
 //
 //	mlkv-ycsb -records 1000000 -ops 5000000 -threads 8 -dist zipfian \
-//	          -valuesize 64 -buffer-mb 64 -engine mlkv
+//	          -valuesize 64 -buffer-mb 64 -engine mlkv -shards 4
 package main
 
 import (
@@ -24,12 +26,18 @@ func main() {
 		threads  = flag.Int("threads", 8, "client threads")
 		distName = flag.String("dist", "zipfian", "request distribution (uniform|zipfian)")
 		vs       = flag.Int("valuesize", 64, "value size in bytes")
-		bufferMB = flag.Int("buffer-mb", 64, "in-memory buffer budget")
+		bufferMB = flag.Int("buffer-mb", 64, "in-memory buffer budget (total, split across shards)")
 		engine   = flag.String("engine", "mlkv", "engine (mlkv|faster)")
 		readFrac = flag.Float64("read-fraction", 0.5, "fraction of reads")
 		dir      = flag.String("dir", "", "data directory (default: temp)")
+		shards   = flag.Int("shards", 1, "hash partitions (independent store instances)")
+		sync     = flag.Bool("sync", false, "fsync every flushed log page (durable-NVMe mode)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	var dist ycsb.Distribution
 	switch *distName {
@@ -55,22 +63,15 @@ func main() {
 		}
 		defer os.RemoveAll(d)
 	}
-	recBytes := int64(*vs + 24)
-	const rpp = 256
-	memPages := int64(*bufferMB) << 20 / (recBytes * rpp)
-	if memPages < 4 {
-		memPages = 4
-	}
-	st, err := faster.Open(faster.Config{
-		Dir: d, ValueSize: *vs, RecordsPerPage: rpp,
-		MemPages: int(memPages), MutablePages: int(memPages / 2),
-		StalenessBound: bound, ExpectedKeys: *records,
-	})
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: d, Shards: *shards, ValueSize: *vs, RecordsPerPage: 256,
+		MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *records,
+		StalenessBound: bound, SyncWrites: *sync,
+	}, *engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	store := kv.WrapFaster(st, *engine)
 	defer store.Close()
 
 	fmt.Printf("loading %d records...\n", *records)
@@ -82,8 +83,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("engine=%s dist=%s threads=%d valuesize=%d buffer=%dMB\n",
-		*engine, dist, *threads, *vs, *bufferMB)
+	fmt.Printf("engine=%s dist=%s threads=%d valuesize=%d buffer=%dMB shards=%d\n",
+		*engine, dist, *threads, *vs, *bufferMB, *shards)
 	fmt.Printf("ops=%d reads=%d updates=%d elapsed=%s throughput=%.0f ops/s\n",
 		res.Ops, res.Reads, res.Updates, res.Elapsed.Round(1e6), res.Throughput)
 }

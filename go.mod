@@ -1,0 +1,3 @@
+module github.com/llm-db/mlkv-go
+
+go 1.24

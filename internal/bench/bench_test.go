@@ -32,6 +32,39 @@ func TestAllFiguresRunAtTinyScale(t *testing.T) {
 	}
 }
 
+// TestShardSweepRunsAtTinyScale covers the post-paper sharding experiment:
+// it must run every shard count end to end and report a speedup column.
+func TestShardSweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	if err := e.Run("shards"); err != nil {
+		t.Fatalf("shards: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Sharding", "speedup", "shards"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFiguresRunSharded re-runs a figure with every table partitioned,
+// covering the Env.Shards threading end to end.
+func TestFiguresRunSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	e.Shards = 2
+	if err := e.Run("fig8"); err != nil {
+		t.Fatalf("fig8 sharded: %v\n%s", err, out.String())
+	}
+}
+
 func TestFig9And11(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration harness; skipped in -short")

@@ -86,7 +86,11 @@ type Env struct {
 	Scale   Scale
 	WorkDir string
 	Out     io.Writer
-	n       int
+	// Shards hash-partitions every MLKV/FASTER table the experiments open
+	// (0 or 1 = unsharded). The "shards" experiment sweeps shard counts
+	// itself and ignores this.
+	Shards int
+	n      int
 }
 
 // NewEnv builds an Env writing results to out and data under workDir.
@@ -105,10 +109,11 @@ func (e *Env) printf(format string, args ...any) {
 	fmt.Fprintf(e.Out, format, args...)
 }
 
-// mlkvTable opens a core.Table sized to bufKB kilobytes of memory.
+// mlkvTable opens a core.Table sized to bufKB kilobytes of memory,
+// partitioned across e.Shards shards.
 func (e *Env) mlkvTable(tag string, dim int, bound int64, bufKB int, expectedKeys uint64, init core.Initializer) (*core.Table, error) {
 	return core.OpenTable(core.Options{
-		Dir: e.dir(tag), Dim: dim, StalenessBound: bound,
+		Dir: e.dir(tag), Dim: dim, StalenessBound: bound, Shards: e.Shards,
 		MemoryBytes: int64(bufKB) << 10, RecordsPerPage: 256,
 		ExpectedKeys: expectedKeys, Init: init,
 	})

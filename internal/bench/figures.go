@@ -464,6 +464,61 @@ func (e *Env) Fig11() error {
 	return nil
 }
 
+// ShardSweep goes beyond the paper: it measures how hash-partitioning the
+// store across independent instances (each with its own hybrid log, index,
+// and epoch domain) scales a Zipf read-heavy YCSB workload, holding the
+// total memory budget, index budget, and thread count fixed. The speedup
+// column is throughput relative to the unsharded store.
+func (e *Env) ShardSweep() error {
+	e.printf("== Sharding: YCSB zipfian read-heavy throughput vs shard count ==\n")
+	threads := e.Scale.Threads[len(e.Scale.Threads)-1]
+	if threads < 4 {
+		threads = 4
+	}
+	vs := e.Scale.ValueSizes[0]
+	bufKB := e.Scale.BufferKBs[0]
+	e.printf("records=%d ops=%d threads=%d valuesize=%d buffer=%dKB read-fraction=0.9 sync-writes\n",
+		e.Scale.YCSBRecords, e.Scale.YCSBOps, threads, vs, bufKB)
+	e.printf("%-8s %12s %9s\n", "shards", "ops/s", "speedup")
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		thr, err := e.runShardedYCSB(shards, threads, vs, bufKB)
+		if err != nil {
+			return err
+		}
+		if shards == 1 {
+			base = thr
+		}
+		e.printf("%-8d %12.0f %8.2fx\n", shards, thr, thr/base)
+	}
+	return nil
+}
+
+// runShardedYCSB runs one Zipf read-heavy YCSB configuration over a store
+// hash-partitioned across the given shard count, splitting the bufKB
+// memory budget evenly. Durable (fsync-per-page) writes: that is where a
+// single store's lone flusher serializes every log append behind one fsync
+// stream, and where independent per-shard logs overlap their flushes.
+func (e *Env) runShardedYCSB(shards, threads, vs, bufKB int) (float64, error) {
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: e.dir("shardsweep"), Shards: shards, ValueSize: vs,
+		MemoryBytes: int64(bufKB) << 10, ExpectedKeys: e.Scale.YCSBRecords,
+		StalenessBound: faster.BoundAsync, SyncWrites: true,
+	}, fmt.Sprintf("mlkv-%dshard", shards))
+	if err != nil {
+		return 0, err
+	}
+	defer store.Close()
+	res, err := ycsb.Run(ycsb.Options{
+		Store: store, Records: e.Scale.YCSBRecords, Threads: threads,
+		ReadFraction: 0.9, Dist: ycsb.Zipfian, MaxOps: e.Scale.YCSBOps, Seed: 42,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
 // Run dispatches one experiment by name.
 func (e *Env) Run(name string) error {
 	switch name {
@@ -481,13 +536,15 @@ func (e *Env) Run(name string) error {
 		return e.Fig10()
 	case "fig11":
 		return e.Fig11()
+	case "shards":
+		return e.ShardSweep()
 	case "all":
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|all)", name)
+	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|all)", name)
 }

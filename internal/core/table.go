@@ -13,6 +13,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
@@ -51,6 +52,13 @@ type Options struct {
 	Dir string
 	// Dim is the embedding dimension.
 	Dim int
+	// Shards is the number of independent FASTER store instances the key
+	// space is hash-partitioned across (each with its own hybrid log, hash
+	// index, and epoch domain). Batch operations fan out across shards in
+	// parallel. Default 1: a single store, laid out exactly as unsharded
+	// tables always were. The memory budget and expected-key sizing are
+	// split evenly across shards.
+	Shards int
 	// StalenessBound is the consistency knob (§III-C1): BoundBSP, BoundASP,
 	// BoundDisabled, or any positive SSP bound.
 	StalenessBound int64
@@ -72,14 +80,15 @@ type Options struct {
 	RecordsPerPage int
 }
 
-// Table is one embedding table. It is safe for concurrent use through
-// per-goroutine Sessions.
+// Table is one embedding table, hash-partitioned across one or more FASTER
+// stores. It is safe for concurrent use through per-goroutine Sessions.
 type Table struct {
-	store *faster.Store
-	dir   string
-	dim   int
-	vs    int
-	init  Initializer
+	stores []*faster.Store // one per shard, in shard order
+	dirs   []string        // per-shard storage directories
+	dir    string
+	dim    int
+	vs     int
+	init   Initializer
 
 	prefetchCh      chan uint64
 	prefetchStop    chan struct{}
@@ -95,6 +104,12 @@ func OpenTable(opts Options) (*Table, error) {
 	}
 	if opts.Dir == "" {
 		return nil, errors.New("core: Dir is required")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", opts.Shards)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
 	}
 	if opts.MemoryBytes == 0 {
 		opts.MemoryBytes = 64 << 20
@@ -113,8 +128,16 @@ func OpenTable(opts Options) (*Table, error) {
 	if rpp == 0 {
 		rpp = 1024
 	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := util.ValidateShardMeta(opts.Dir, opts.Shards); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Split the memory and index budgets evenly: S shards together use the
+	// same resources one unsharded store would.
 	recBytes := int64(vs + 24)
-	memPages := int(opts.MemoryBytes / (recBytes * int64(rpp)))
+	memPages := int(opts.MemoryBytes / int64(opts.Shards) / (recBytes * int64(rpp)))
 	if memPages < 4 {
 		memPages = 4
 	}
@@ -125,20 +148,41 @@ func OpenTable(opts Options) (*Table, error) {
 	if mutPages > memPages-2 {
 		mutPages = memPages - 2
 	}
-	st, err := faster.Open(faster.Config{
-		Dir:            opts.Dir,
-		ValueSize:      vs,
-		RecordsPerPage: rpp,
-		MemPages:       memPages,
-		MutablePages:   mutPages,
-		ExpectedKeys:   opts.ExpectedKeys,
-		StalenessBound: opts.StalenessBound,
-	})
-	if err != nil {
+	keysPerShard := opts.ExpectedKeys / uint64(opts.Shards)
+	if opts.ExpectedKeys > 0 && keysPerShard == 0 {
+		keysPerShard = 1
+	}
+	dirs := shardDirs(opts.Dir, opts.Shards)
+	stores := make([]*faster.Store, 0, opts.Shards)
+	for _, d := range dirs {
+		st, err := faster.Open(faster.Config{
+			Dir:            d,
+			ValueSize:      vs,
+			RecordsPerPage: rpp,
+			MemPages:       memPages,
+			MutablePages:   mutPages,
+			ExpectedKeys:   keysPerShard,
+			StalenessBound: opts.StalenessBound,
+		})
+		if err != nil {
+			for _, prev := range stores {
+				prev.Close()
+			}
+			return nil, err
+		}
+		stores = append(stores, st)
+	}
+	// Persist the shard count only now that every shard opened, so a
+	// failed open never pins the directory to a count holding no data.
+	if err := util.WriteShardMeta(opts.Dir, opts.Shards); err != nil {
+		for _, prev := range stores {
+			prev.Close()
+		}
 		return nil, err
 	}
 	t := &Table{
-		store:        st,
+		stores:       stores,
+		dirs:         dirs,
 		dir:          opts.Dir,
 		dim:          opts.Dim,
 		vs:           vs,
@@ -154,46 +198,94 @@ func OpenTable(opts Options) (*Table, error) {
 // Dim returns the embedding dimension.
 func (t *Table) Dim() int { return t.dim }
 
-// Store exposes the underlying engine (benchmarks and diagnostics).
-func (t *Table) Store() *faster.Store { return t.store }
+// Store exposes the first shard's engine. With one shard (the default)
+// that is the whole table; with more it is a representative for
+// configuration reads such as the staleness bound, which all shards share.
+// Use Stores or StoreStats for whole-table views.
+func (t *Table) Store() *faster.Store { return t.stores[0] }
 
-// SetStalenessBound adjusts the consistency bound at runtime.
-func (t *Table) SetStalenessBound(b int64) { t.store.SetStalenessBound(b) }
+// SetStalenessBound adjusts the consistency bound at runtime, on every
+// shard.
+func (t *Table) SetStalenessBound(b int64) {
+	for _, st := range t.stores {
+		st.SetStalenessBound(b)
+	}
+}
 
-// Checkpoint makes the table durable (call at a training barrier).
-func (t *Table) Checkpoint() error { return t.store.Checkpoint() }
+// Checkpoint makes the table durable (call at a training barrier). Shards
+// checkpoint in parallel; the first error is returned.
+func (t *Table) Checkpoint() error {
+	if len(t.stores) == 1 {
+		return t.stores[0].Checkpoint()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(t.stores))
+	for i, st := range t.stores {
+		wg.Add(1)
+		go func(i int, st *faster.Store) {
+			defer wg.Done()
+			errs[i] = st.Checkpoint()
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-// Close stops the prefetch pool and closes the store.
+// Close stops the prefetch pool and closes every shard, returning the
+// first error.
 func (t *Table) Close() error {
 	close(t.prefetchStop)
 	<-t.prefetchDone
-	return t.store.Close()
+	var first error
+	for _, st := range t.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // PrefetchStats reports Lookahead activity: copies made into the memory
 // buffer and requests dropped due to a full queue.
 func (t *Table) PrefetchStats() (copied, dropped int64) {
-	return t.store.Stats().PrefetchCopies, t.prefetchDropped.Load()
+	return t.StoreStats().PrefetchCopies, t.prefetchDropped.Load()
 }
 
-// prefetchPool runs the Lookahead workers.
+// prefetchPool runs the Lookahead workers. Each worker holds a session on
+// every shard and routes requests to the key's owner.
 func (t *Table) prefetchPool(workers int) {
 	defer close(t.prefetchDone)
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
-			s, err := t.store.NewSession()
-			if err != nil {
-				return
+			sess := make([]*faster.Session, len(t.stores))
+			for i, st := range t.stores {
+				s, err := st.NewSession()
+				if err != nil {
+					for _, prev := range sess[:i] {
+						prev.Close()
+					}
+					return
+				}
+				sess[i] = s
 			}
-			defer s.Close()
+			defer func() {
+				for _, s := range sess {
+					s.Close()
+				}
+			}()
 			for {
 				select {
 				case <-t.prefetchStop:
 					return
 				case key := <-t.prefetchCh:
-					if _, err := s.Prefetch(key); err == nil {
+					if _, err := sess[t.shardOf(key)].Prefetch(key); err == nil {
 						t.prefetched.Add(1)
 					}
 				}
@@ -205,25 +297,42 @@ func (t *Table) prefetchPool(workers int) {
 	}
 }
 
-// Session is one worker's handle onto the table. Not safe for concurrent
-// use; create one per goroutine.
+// Session is one worker's handle onto the table: one faster session per
+// shard plus a per-shard scratch buffer. Not safe for concurrent use;
+// create one per goroutine. (During a batch fan-out the session internally
+// drives its shards from parallel goroutines, but each shard's session and
+// scratch are touched by exactly one of them.)
 type Session struct {
-	t   *Table
-	s   *faster.Session
-	buf []byte
+	t      *Table
+	ss     []*faster.Session // one per shard, in shard order
+	bufs   [][]byte          // per-shard scratch, t.vs bytes each
+	groups [][]int           // reusable per-shard index groups for batches
 }
 
-// NewSession registers a session.
+// NewSession registers a session on every shard.
 func (t *Table) NewSession() (*Session, error) {
-	s, err := t.store.NewSession()
-	if err != nil {
-		return nil, err
+	ss := make([]*faster.Session, len(t.stores))
+	bufs := make([][]byte, len(t.stores))
+	for i, st := range t.stores {
+		s, err := st.NewSession()
+		if err != nil {
+			for _, prev := range ss[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		ss[i] = s
+		bufs[i] = make([]byte, t.vs)
 	}
-	return &Session{t: t, s: s, buf: make([]byte, t.vs)}, nil
+	return &Session{t: t, ss: ss, bufs: bufs}, nil
 }
 
-// Close unregisters the session.
-func (s *Session) Close() { s.s.Close() }
+// Close unregisters the session from every shard.
+func (s *Session) Close() {
+	for _, fs := range s.ss {
+		fs.Close()
+	}
+}
 
 // Get reads the embedding for key into dst (len == Dim), initializing it on
 // first touch. It participates in the bounded-staleness protocol (§III-C1).
@@ -231,26 +340,33 @@ func (s *Session) Get(key uint64, dst []float32) error {
 	if len(dst) != s.t.dim {
 		return fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
 	}
+	return s.getOn(s.t.shardOf(key), key, dst)
+}
+
+// getOn runs the clocked read against one shard, using that shard's
+// session and scratch.
+func (s *Session) getOn(sh int, key uint64, dst []float32) error {
+	fs, buf := s.ss[sh], s.bufs[sh]
 	for {
-		found, err := s.s.Get(key, s.buf)
+		found, err := fs.Get(key, buf)
 		if err != nil {
 			return err
 		}
 		if found {
-			bytesToFloats(s.buf, dst)
+			bytesToFloats(buf, dst)
 			return nil
 		}
 		// First touch: initialize atomically, then retry the Get so the
 		// vector-clock accounting matches a normal read.
-		if err := s.initKey(key); err != nil {
+		if err := s.initKey(fs, key); err != nil {
 			return err
 		}
 	}
 }
 
 // initKey writes the initial embedding if key is still absent.
-func (s *Session) initKey(key uint64) error {
-	return s.s.RMW(key, func(cur []byte, exists bool) {
+func (s *Session) initKey(fs *faster.Session, key uint64) error {
+	return fs.RMW(key, func(cur []byte, exists bool) {
 		if exists || s.t.init == nil {
 			return
 		}
@@ -260,19 +376,31 @@ func (s *Session) initKey(key uint64) error {
 	})
 }
 
-// GetBatch reads len(keys) embeddings into dst (len == len(keys)*Dim).
+// GetBatch reads len(keys) embeddings into dst (len == len(keys)*Dim),
+// fanning the per-shard key groups out in parallel on a sharded table.
 // Duplicate keys each perform their own clocked read; deduplicate in the
 // caller if the training step applies one combined update.
 func (s *Session) GetBatch(keys []uint64, dst []float32) error {
 	if len(dst) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: dst length %d != %d keys × dim %d", len(dst), len(keys), s.t.dim)
 	}
-	for i, k := range keys {
-		if err := s.Get(k, dst[i*s.t.dim:(i+1)*s.t.dim]); err != nil {
-			return err
+	dim := s.t.dim
+	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin {
+		for i, k := range keys {
+			if err := s.getOn(s.t.shardOf(k), k, dst[i*dim:(i+1)*dim]); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+	return s.fanOut(s.groupByShard(keys), func(sh int, idxs []int) error {
+		for _, i := range idxs {
+			if err := s.getOn(sh, keys[i], dst[i*dim:(i+1)*dim]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Peek reads without touching the vector clock (evaluation path).
@@ -280,9 +408,10 @@ func (s *Session) Peek(key uint64, dst []float32) (bool, error) {
 	if len(dst) != s.t.dim {
 		return false, fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
 	}
-	found, err := s.s.Peek(key, s.buf)
+	sh := s.t.shardOf(key)
+	found, err := s.ss[sh].Peek(key, s.bufs[sh])
 	if found {
-		bytesToFloats(s.buf, dst)
+		bytesToFloats(s.bufs[sh], dst)
 	}
 	return found, err
 }
@@ -293,21 +422,39 @@ func (s *Session) Put(key uint64, val []float32) error {
 	if len(val) != s.t.dim {
 		return fmt.Errorf("core: val length %d != dim %d", len(val), s.t.dim)
 	}
-	floatsToBytes(val, s.buf)
-	return s.s.Put(key, s.buf)
+	return s.putOn(s.t.shardOf(key), key, val)
 }
 
-// PutBatch upserts len(keys) embeddings from vals (len == len(keys)*Dim).
+// putOn runs the upsert against one shard, using that shard's session and
+// scratch.
+func (s *Session) putOn(sh int, key uint64, val []float32) error {
+	floatsToBytes(val, s.bufs[sh])
+	return s.ss[sh].Put(key, s.bufs[sh])
+}
+
+// PutBatch upserts len(keys) embeddings from vals (len == len(keys)*Dim),
+// fanning the per-shard key groups out in parallel on a sharded table.
 func (s *Session) PutBatch(keys []uint64, vals []float32) error {
 	if len(vals) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: vals length %d != %d keys × dim %d", len(vals), len(keys), s.t.dim)
 	}
-	for i, k := range keys {
-		if err := s.Put(k, vals[i*s.t.dim:(i+1)*s.t.dim]); err != nil {
-			return err
+	dim := s.t.dim
+	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin {
+		for i, k := range keys {
+			if err := s.putOn(s.t.shardOf(k), k, vals[i*dim:(i+1)*dim]); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+	return s.fanOut(s.groupByShard(keys), func(sh int, idxs []int) error {
+		for _, i := range idxs {
+			if err := s.putOn(sh, keys[i], vals[i*dim:(i+1)*dim]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // ApplyGradient performs emb ← emb − lr·grad as a single storage-side
@@ -316,7 +463,7 @@ func (s *Session) ApplyGradient(key uint64, grad []float32, lr float32) error {
 	if len(grad) != s.t.dim {
 		return fmt.Errorf("core: grad length %d != dim %d", len(grad), s.t.dim)
 	}
-	return s.s.RMW(key, func(cur []byte, exists bool) {
+	return s.ss[s.t.shardOf(key)].RMW(key, func(cur []byte, exists bool) {
 		for i := 0; i < s.t.dim; i++ {
 			v := math.Float32frombits(binary.LittleEndian.Uint32(cur[i*4:]))
 			v -= lr * grad[i]
@@ -326,7 +473,9 @@ func (s *Session) ApplyGradient(key uint64, grad []float32, lr float32) error {
 }
 
 // Delete removes key's embedding.
-func (s *Session) Delete(key uint64) error { return s.s.Delete(key) }
+func (s *Session) Delete(key uint64) error {
+	return s.ss[s.t.shardOf(key)].Delete(key)
+}
 
 // LookaheadDest selects where Lookahead materializes embeddings (Fig. 5b).
 type LookaheadDest int
@@ -365,13 +514,18 @@ func (s *Session) Lookahead(keys []uint64, dest LookaheadDest, cache *Cache) err
 	return fmt.Errorf("core: unknown Lookahead destination %d", dest)
 }
 
-// DiskUsage reports the size of the table's log file in bytes.
+// DiskUsage reports the total size of the table's log files in bytes,
+// summed across shards.
 func (t *Table) DiskUsage() (int64, error) {
-	fi, err := os.Stat(filepath.Join(t.dir, "hlog.dat"))
-	if err != nil {
-		return 0, err
+	var total int64
+	for _, d := range t.dirs {
+		fi, err := os.Stat(filepath.Join(d, "hlog.dat"))
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
 	}
-	return fi.Size(), nil
+	return total, nil
 }
 
 func bytesToFloats(src []byte, dst []float32) {

@@ -87,8 +87,14 @@ func (st *Store) recover(tail uint64) error {
 		}
 		key := binary.LittleEndian.Uint64(rec[8:])
 		hdr := binary.LittleEndian.Uint64(rec)
-		if hdr == 0 && key == 0 && binary.LittleEndian.Uint64(rec[16:]) == 0 {
-			continue // unallocated slot in a partially filled page
+		if hdr == 0 && key == 0 && binary.LittleEndian.Uint64(rec[16:]) == 0 && allZero(rec[24:]) {
+			// Unallocated slot: the gap between a previous checkpoint's tail
+			// and the page boundary allocation resumed at. A genuine first
+			// record of key 0 also has hdr 0 and no predecessor, so only an
+			// entirely zero record (value included) is treated as a gap —
+			// the one casualty is an all-zero embedding for key 0, which
+			// recovers as absent-and-reinitialized-to-zeros.
+			continue
 		}
 		hash := hashOfKey(key)
 		entry := st.ix.findOrCreate(hash)
@@ -120,4 +126,14 @@ func (st *Store) recover(tail uint64) error {
 func hashOfKey(key uint64) uint64 {
 	// Mirrors the hashing used by Session.findKey.
 	return util.HashKey(key)
+}
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -193,3 +193,46 @@ func TestCheckpointTwice(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoverKeyZero(t *testing.T) {
+	// Regression: key 0's first version has header 0 and no predecessor,
+	// which the recovery scan used to misread as an unallocated gap slot
+	// and drop. Only fully zero records (value included) are gaps.
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir, ValueSize: 16, RecordsPerPage: 32, MemPages: 6,
+		MutablePages: 2, StalenessBound: 0, ExpectedKeys: 64,
+	}
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := st.NewSession()
+	want := val(16, 12345)
+	if err := s.Put(0, want); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, _ := st2.NewSession()
+	defer s2.Close()
+	got := make([]byte, 16)
+	found, err := s2.Peek(0, got)
+	if err != nil || !found {
+		t.Fatalf("key 0 after recovery: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("key 0 value: got %v want %v", got, want)
+	}
+}

@@ -55,6 +55,26 @@ func (s *Stats) snapshot() StatsSnapshot {
 	}
 }
 
+// Add returns the element-wise sum a+b (for merging per-shard snapshots
+// into one top-level view).
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Gets:             a.Gets + b.Gets,
+		Puts:             a.Puts + b.Puts,
+		RMWs:             a.RMWs + b.RMWs,
+		Deletes:          a.Deletes + b.Deletes,
+		MemHits:          a.MemHits + b.MemHits,
+		DiskReads:        a.DiskReads + b.DiskReads,
+		InPlaceUpdates:   a.InPlaceUpdates + b.InPlaceUpdates,
+		RCUAppends:       a.RCUAppends + b.RCUAppends,
+		PrefetchCopies:   a.PrefetchCopies + b.PrefetchCopies,
+		AbandonedAppends: a.AbandonedAppends + b.AbandonedAppends,
+		StalenessWaits:   a.StalenessWaits + b.StalenessWaits,
+		FlushedPages:     a.FlushedPages + b.FlushedPages,
+		BytesFlushed:     a.BytesFlushed + b.BytesFlushed,
+	}
+}
+
 // Sub returns the element-wise difference a-b (for interval measurements).
 func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{

@@ -4,6 +4,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/bptree"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/lsm"
+	"github.com/llm-db/mlkv-go/internal/util"
 )
 
 // WrapLSM adapts an LSM store to the Store interface.
@@ -53,3 +54,65 @@ func (se fkSession) Put(key uint64, val []byte) error         { return se.s.Put(
 func (se fkSession) Delete(key uint64) error                  { return se.s.Delete(key) }
 func (se fkSession) Prefetch(key uint64) (bool, error)        { return se.s.Prefetch(key) }
 func (se fkSession) Close()                                   { se.s.Close() }
+
+// WrapFasterShards adapts a hash-partitioned set of FASTER stores to the
+// Store interface: every operation routes to the shard util.ShardOf
+// assigns its key, the same placement the core shard router uses. The
+// stores must share one ValueSize. A single store degenerates to
+// WrapFaster, so 1-vs-N comparisons measure sharding alone, not adapter
+// overhead.
+func WrapFasterShards(stores []*faster.Store, name string) Store {
+	if len(stores) == 1 {
+		return WrapFaster(stores[0], name)
+	}
+	return fkShardStore{stores: stores, name: name}
+}
+
+type fkShardStore struct {
+	stores []*faster.Store
+	name   string
+}
+
+func (w fkShardStore) NewSession() (Session, error) {
+	ss := make([]*faster.Session, len(w.stores))
+	for i, st := range w.stores {
+		s, err := st.NewSession()
+		if err != nil {
+			for _, prev := range ss[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		ss[i] = s
+	}
+	return fkShardSession{ss: ss}, nil
+}
+
+func (w fkShardStore) ValueSize() int { return w.stores[0].ValueSize() }
+func (w fkShardStore) Name() string   { return w.name }
+
+func (w fkShardStore) Close() error {
+	var first error
+	for _, st := range w.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type fkShardSession struct{ ss []*faster.Session }
+
+func (se fkShardSession) route(key uint64) *faster.Session {
+	return se.ss[util.ShardOf(key, len(se.ss))]
+}
+
+func (se fkShardSession) Get(key uint64, dst []byte) (bool, error) { return se.route(key).Get(key, dst) }
+func (se fkShardSession) Put(key uint64, val []byte) error         { return se.route(key).Put(key, val) }
+func (se fkShardSession) Delete(key uint64) error                  { return se.route(key).Delete(key) }
+func (se fkShardSession) Prefetch(key uint64) (bool, error)        { return se.route(key).Prefetch(key) }
+func (se fkShardSession) Close() {
+	for _, s := range se.ss {
+		s.Close()
+	}
+}

@@ -36,6 +36,19 @@ func TestAdaptersBehaveUniformly(t *testing.T) {
 	}
 	stores["bptree"] = WrapBPTree(bt)
 
+	shardSet := make([]*faster.Store, 4)
+	for i := range shardSet {
+		st, err := faster.Open(faster.Config{
+			Dir: t.TempDir(), ValueSize: vs, RecordsPerPage: 64,
+			MemPages: 8, MutablePages: 3, StalenessBound: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardSet[i] = st
+	}
+	stores["faster-sharded"] = WrapFasterShards(shardSet, "faster-sharded")
+
 	for name, s := range stores {
 		name, s := name, s
 		t.Run(name, func(t *testing.T) {

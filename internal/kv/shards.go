@@ -1,0 +1,104 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// ShardedConfig sizes a hash-partitioned FASTER store set. The memory and
+// expected-key budgets are totals: S shards together use the same
+// resources one unsharded store would, so 1-vs-N comparisons are fair.
+type ShardedConfig struct {
+	// Dir is the root directory. One shard stores directly in it; more
+	// get shard-NNN subdirectories. The shard count is recorded in a
+	// metadata file and a mismatched reopen is refused.
+	Dir string
+	// Shards is the partition count (0 and 1 both mean unsharded).
+	Shards int
+	// ValueSize is the fixed value payload in bytes.
+	ValueSize int
+	// RecordsPerPage is the log page granularity (default 256).
+	RecordsPerPage int
+	// MemoryBytes is the total in-memory buffer budget across all shards.
+	MemoryBytes int64
+	// MutableFraction is the share of each shard's pages accepting
+	// in-place updates (default 0.5).
+	MutableFraction float64
+	// ExpectedKeys sizes the hash indexes (total across all shards).
+	ExpectedKeys uint64
+	// StalenessBound configures the vector clock (see faster.Config).
+	StalenessBound int64
+	// SyncWrites fsyncs every flushed log page.
+	SyncWrites bool
+}
+
+// OpenFasterShards opens cfg.Shards FASTER stores under cfg.Dir and wraps
+// them as one Store routing by util.ShardOf — the one place the
+// benchmarks and CLIs derive a sharded store set from a total budget, so
+// the split policy and the shard-count guard cannot drift between them.
+func OpenFasterShards(cfg ShardedConfig, name string) (Store, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.RecordsPerPage == 0 {
+		cfg.RecordsPerPage = 256
+	}
+	if cfg.MutableFraction == 0 {
+		cfg.MutableFraction = 0.5
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := util.ValidateShardMeta(cfg.Dir, cfg.Shards); err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	recBytes := int64(cfg.ValueSize + 24)
+	memPages := int(cfg.MemoryBytes / int64(cfg.Shards) / (recBytes * int64(cfg.RecordsPerPage)))
+	if memPages < 4 {
+		memPages = 4
+	}
+	mutPages := int(float64(memPages) * cfg.MutableFraction)
+	if mutPages < 1 {
+		mutPages = 1
+	}
+	if mutPages > memPages-2 {
+		mutPages = memPages - 2
+	}
+	stores := make([]*faster.Store, cfg.Shards)
+	for i := range stores {
+		d := cfg.Dir
+		if cfg.Shards > 1 {
+			d = filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))
+		}
+		st, err := faster.Open(faster.Config{
+			Dir:            d,
+			ValueSize:      cfg.ValueSize,
+			RecordsPerPage: cfg.RecordsPerPage,
+			MemPages:       memPages,
+			MutablePages:   mutPages,
+			ExpectedKeys:   cfg.ExpectedKeys / uint64(cfg.Shards),
+			StalenessBound: cfg.StalenessBound,
+			SyncWrites:     cfg.SyncWrites,
+		})
+		if err != nil {
+			for _, prev := range stores[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		stores[i] = st
+	}
+	// Persist the count only after every shard opened, so a failed open
+	// never pins the directory.
+	if err := util.WriteShardMeta(cfg.Dir, cfg.Shards); err != nil {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, err
+	}
+	return WrapFasterShards(stores, name), nil
+}

@@ -23,6 +23,7 @@ const (
 	DCN
 )
 
+// String names the interaction variant for benchmark output.
 func (k DLRMKind) String() string {
 	if k == DCN {
 		return "DCN"

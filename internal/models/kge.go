@@ -16,6 +16,7 @@ const (
 	ComplEx
 )
 
+// String names the scoring function for benchmark output.
 func (k KGEKind) String() string {
 	if k == ComplEx {
 		return "ComplEx"

@@ -18,6 +18,18 @@ func HashKey(key uint64) uint64 {
 	return Mix64(key ^ 0x9e3779b97f4a7c15)
 }
 
+// ShardOf maps a record key to one of shards hash partitions. It mixes the
+// key with a constant distinct from HashKey's so that shard placement and
+// in-shard index placement stay uncorrelated; every layer that partitions a
+// key space (core's shard router, kv's sharded adapter) must use this one
+// function so they agree on placement.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(Mix64(key^0xc2b2ae3d27d4eb4f) % uint64(shards))
+}
+
 // NextPow2 returns the smallest power of two >= v (and at least 1).
 func NextPow2(v uint64) uint64 {
 	if v == 0 {

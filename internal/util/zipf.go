@@ -10,13 +10,14 @@ import "math"
 // Billion-Record Synthetic Databases" (the same derivation YCSB uses), which
 // samples in O(1) per draw after O(n)-free constant setup.
 type Zipf struct {
-	rng   *RNG
-	n     uint64
-	theta float64
-	alpha float64
-	zetan float64
-	eta   float64
-	half  float64 // zeta(2, theta)
+	rng     *RNG
+	n       uint64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	half    float64 // zeta(2, theta)
+	rank1Lo float64 // 1 + 0.5^theta: the CDF boundary between ranks 1 and 2
 }
 
 // NewZipf returns a sampler over [0, n) with skew theta (0 < theta < 1;
@@ -33,6 +34,7 @@ func NewZipf(rng *RNG, n uint64, theta float64) *Zipf {
 	z.half = zeta(2, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.half/z.zetan)
+	z.rank1Lo = 1 + math.Pow(0.5, theta)
 	return z
 }
 
@@ -43,7 +45,7 @@ func (z *Zipf) Next() uint64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < z.rank1Lo {
 		return 1
 	}
 	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))

@@ -24,6 +24,7 @@ const (
 	Zipfian
 )
 
+// String names the distribution for benchmark output.
 func (d Distribution) String() string {
 	if d == Zipfian {
 		return "zipfian"

@@ -58,6 +58,7 @@ type config struct {
 	keys      uint64
 	initScale float32
 	workers   int
+	shards    int
 }
 
 // WithDir places the model's storage under dir (default: ./mlkv-data).
@@ -80,6 +81,15 @@ func WithInitScale(s float32) Option { return func(c *config) { c.initScale = s 
 
 // WithPrefetchWorkers sizes the Lookahead worker pool (default 2).
 func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithShards hash-partitions the embedding table across n independent
+// FASTER store instances, each with its own hybrid log, hash index, and
+// epoch domain. Batch operations (GetBatch, PutBatch) group keys by shard
+// and fan out across shards in parallel, and concurrent sessions contend
+// on n log tails instead of one. The memory budget is split evenly across
+// shards. Default 1 (unsharded, the paper's configuration). A table must
+// be reopened with the shard count it was created with.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // Model is one embedding model: a named, disk-backed embedding table.
 type Model struct {
@@ -114,6 +124,7 @@ func Open(id string, dim int, opts ...Option) (*Model, error) {
 	t, err := core.OpenTable(core.Options{
 		Dir:             dir,
 		Dim:             dim,
+		Shards:          cfg.shards,
 		StalenessBound:  cfg.bound,
 		MemoryBytes:     cfg.memory,
 		ExpectedKeys:    cfg.keys,
@@ -132,6 +143,10 @@ func (m *Model) ID() string { return m.id }
 // Dim returns the embedding dimension.
 func (m *Model) Dim() int { return m.table.Dim() }
 
+// Shards returns the number of hash partitions backing the model (see
+// WithShards).
+func (m *Model) Shards() int { return m.table.Shards() }
+
 // SetStalenessBound adjusts the consistency bound at runtime.
 func (m *Model) SetStalenessBound(b int64) { m.table.SetStalenessBound(b) }
 
@@ -149,9 +164,9 @@ type Stats struct {
 	PrefetchCopies int64
 }
 
-// Stats returns a snapshot of storage counters.
+// Stats returns a snapshot of storage counters, summed across shards.
 func (m *Model) Stats() Stats {
-	s := m.table.Store().Stats()
+	s := m.table.StoreStats()
 	return Stats{
 		Gets:           s.Gets,
 		Puts:           s.Puts,

@@ -1,6 +1,7 @@
 package mlkv_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -170,5 +171,61 @@ func TestOpenValidation(t *testing.T) {
 	}
 	if _, err := mlkv.Open("x", 0, mlkv.WithDir(t.TempDir())); err == nil {
 		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestShardedModel(t *testing.T) {
+	m := openModel(t, mlkv.WithShards(4), mlkv.WithStalenessBound(mlkv.ASP))
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", m.Shards())
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := m.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			keys := make([]uint64, 64)
+			vals := make([]float32, 64*8)
+			got := make([]float32, 64*8)
+			for i := range keys {
+				keys[i] = uint64(i * 17)
+				for j := 0; j < 8; j++ {
+					vals[i*8+j] = float32(keys[i]) + float32(j)
+				}
+			}
+			for iter := 0; iter < 10; iter++ {
+				if err := s.PutBatch(keys, vals); err != nil {
+					errCh <- err
+					return
+				}
+				if err := s.GetBatch(keys, got); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					if got[i] != vals[i] {
+						errCh <- fmt.Errorf("worker %d iter %d: got[%d]=%v want %v",
+							w, iter, i, got[i], vals[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Puts == 0 || st.Gets == 0 {
+		t.Fatalf("merged stats empty: %+v", st)
 	}
 }
