@@ -1,15 +1,17 @@
 // Command mlkv-bench regenerates the paper's tables and figures, plus the
-// post-paper sharding sweep.
+// post-paper sharding and network-serving sweeps.
 //
 // Usage:
 //
 //	mlkv-bench -experiment fig7 -scale small -workdir /tmp/mlkv-bench
 //	mlkv-bench -experiment shards -scale small
+//	mlkv-bench -experiment network -scale small
 //
-// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards all.
+// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards network all.
 // Scales: tiny (seconds), small (minutes, default), paper (hours).
 // -shards partitions every table the figX experiments open (the "shards"
-// experiment sweeps shard counts itself).
+// experiment sweeps shard counts itself; "network" compares in-process
+// against a loopback mlkv-server at batch sizes 1/32/256).
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
 		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")

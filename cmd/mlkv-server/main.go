@@ -1,0 +1,148 @@
+// Command mlkv-server serves a (optionally hash-partitioned) MLKV/FASTER
+// store over TCP using the internal/wire framed binary protocol, turning
+// the embedding store into a shared network service: many remote trainers
+// or inference workers drive one sharded store concurrently, each server
+// connection acting like one local worker session.
+//
+// Usage:
+//
+//	mlkv-server -addr 127.0.0.1:7070 -dir /data/mlkv -shards 4 \
+//	            -valuesize 64 -buffer-mb 64 -records 1000000 -sync \
+//	            -debug-addr 127.0.0.1:7071
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
+// requests finish and flush, sessions drain, the store is checkpointed
+// when -sync is set, and the final merged counters print. A second signal
+// exits immediately.
+//
+// With -debug-addr set, an HTTP listener exposes expvar at /debug/vars,
+// including the store's merged operation counters (mlkv_store) and the
+// server's connection/request counters (mlkv_server).
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		debugAddr = flag.String("debug-addr", "", "optional HTTP listen address for expvar (/debug/vars)")
+		dir       = flag.String("dir", "", "data directory (default: temp, deleted on exit)")
+		shards    = flag.Int("shards", 1, "hash partitions (independent store instances)")
+		vs        = flag.Int("valuesize", 64, "value size in bytes")
+		bufferMB  = flag.Int("buffer-mb", 64, "in-memory buffer budget (total, split across shards)")
+		records   = flag.Uint64("records", 1<<20, "expected key count (sizes the hash indexes)")
+		engine    = flag.String("engine", "mlkv", "engine semantics (mlkv|faster)")
+		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint on shutdown")
+		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
+	)
+	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	bound := faster.BoundAsync
+	if *engine == "faster" {
+		bound = -1
+	}
+	d := *dir
+	if d == "" {
+		var err error
+		d, err = os.MkdirTemp("", "mlkv-server-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+	}
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: d, Shards: *shards, ValueSize: *vs, RecordsPerPage: 256,
+		MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *records,
+		StalenessBound: bound, SyncWrites: *sync,
+	}, *engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	srv := server.New(server.Config{Store: store, Logf: log.Printf})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mlkv-server: serving %s (shards=%d valuesize=%d buffer=%dMB sync=%v) on %s",
+		*engine, *shards, *vs, *bufferMB, *sync, ln.Addr())
+
+	if *debugAddr != "" {
+		expvar.Publish("mlkv_store", expvar.Func(func() any {
+			if sr, ok := store.(kv.StatsReporter); ok {
+				return sr.Stats()
+			}
+			return nil
+		}))
+		expvar.Publish("mlkv_server", expvar.Func(func() any { return srv.Stats() }))
+		go func() {
+			log.Printf("mlkv-server: expvar on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("mlkv-server: debug listener: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("mlkv-server: %s: draining (again to force exit)", sig)
+		go func() {
+			<-sigCh
+			log.Fatal("mlkv-server: forced exit")
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("mlkv-server: drain incomplete: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			log.Printf("mlkv-server: serve: %v", err)
+		}
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *sync {
+		if cp, ok := store.(kv.Checkpointer); ok {
+			log.Printf("mlkv-server: checkpointing")
+			if err := cp.Checkpoint(); err != nil {
+				log.Printf("mlkv-server: checkpoint: %v", err)
+			}
+		}
+	}
+	st := srv.Stats()
+	log.Printf("mlkv-server: served %d requests (%d batch keys, %d errors) over %d connections",
+		st.Requests, st.BatchKeys, st.Errors, st.ConnsAccepted)
+	if sr, ok := store.(kv.StatsReporter); ok {
+		s := sr.Stats()
+		log.Printf("mlkv-server: store gets=%d puts=%d deletes=%d memhits=%d diskreads=%d flushed=%dB",
+			s.Gets, s.Puts, s.Deletes, s.MemHits, s.DiskReads, s.BytesFlushed)
+	}
+}

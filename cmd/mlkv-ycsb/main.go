@@ -1,19 +1,30 @@
 // Command mlkv-ycsb runs the YCSB-style NoSQL benchmark (Figure 10)
-// against the MLKV/FASTER engine, optionally hash-partitioned across
-// multiple shards (-shards) to compare sharded against unsharded
-// throughput under the same total memory budget.
+// against the MLKV/FASTER engine — in-process, optionally hash-partitioned
+// across multiple shards (-shards), or against a remote mlkv-server
+// (-addr), where every client thread gets its own pooled connection and
+// the load phase ships batched frames.
 //
 // Usage:
 //
 //	mlkv-ycsb -records 1000000 -ops 5000000 -threads 8 -dist zipfian \
 //	          -valuesize 64 -buffer-mb 64 -engine mlkv -shards 4
+//	mlkv-ycsb -addr 127.0.0.1:7070 -records 100000 -ops 1000000 -threads 8
+//
+// SIGINT/SIGTERM end the run gracefully: workers finish their current
+// operation, the partial result and engine counters print, and (locally,
+// with -sync) the store is checkpointed. A second signal exits
+// immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"github.com/llm-db/mlkv-go/internal/client"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/ycsb"
@@ -25,13 +36,14 @@ func main() {
 		ops      = flag.Int64("ops", 1<<21, "operations to run")
 		threads  = flag.Int("threads", 8, "client threads")
 		distName = flag.String("dist", "zipfian", "request distribution (uniform|zipfian)")
-		vs       = flag.Int("valuesize", 64, "value size in bytes")
+		vs       = flag.Int("valuesize", 64, "value size in bytes (local engines)")
 		bufferMB = flag.Int("buffer-mb", 64, "in-memory buffer budget (total, split across shards)")
 		engine   = flag.String("engine", "mlkv", "engine (mlkv|faster)")
 		readFrac = flag.Float64("read-fraction", 0.5, "fraction of reads")
 		dir      = flag.String("dir", "", "data directory (default: temp)")
 		shards   = flag.Int("shards", 1, "hash partitions (independent store instances)")
-		sync     = flag.Bool("sync", false, "fsync every flushed log page (durable-NVMe mode)")
+		sync     = flag.Bool("sync", false, "fsync every flushed log page; checkpoint at the end")
+		addr     = flag.String("addr", "", "run against a remote mlkv-server at this address instead of in-process")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -49,42 +61,98 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
-	bound := faster.BoundAsync // MLKV: clock maintained, never blocks
-	if *engine == "faster" {
-		bound = -1
-	}
-	d := *dir
-	if d == "" {
-		var err error
-		d, err = os.MkdirTemp("", "mlkv-ycsb-*")
+
+	var store kv.Store
+	if *addr != "" {
+		// Remote: the server owns the engine configuration; one pooled
+		// connection per client thread keeps the fan-out on the server's
+		// side equal to the local run's session count.
+		cl, err := client.Dial(*addr, client.Options{Conns: *threads})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer os.RemoveAll(d)
-	}
-	store, err := kv.OpenFasterShards(kv.ShardedConfig{
-		Dir: d, Shards: *shards, ValueSize: *vs, RecordsPerPage: 256,
-		MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *records,
-		StalenessBound: bound, SyncWrites: *sync,
-	}, *engine)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		store = cl
+		fmt.Printf("remote store %s at %s: valuesize=%d shards=%d\n",
+			cl.Name(), *addr, cl.ValueSize(), cl.Shards())
+	} else {
+		bound := faster.BoundAsync // MLKV: clock maintained, never blocks
+		if *engine == "faster" {
+			bound = -1
+		}
+		d := *dir
+		if d == "" {
+			var err error
+			d, err = os.MkdirTemp("", "mlkv-ycsb-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(d)
+		}
+		var err error
+		store, err = kv.OpenFasterShards(kv.ShardedConfig{
+			Dir: d, Shards: *shards, ValueSize: *vs, RecordsPerPage: 256,
+			MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *records,
+			StalenessBound: bound, SyncWrites: *sync,
+		}, *engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	defer store.Close()
+
+	// Graceful interrupt: close the stop channel so workers wind down and
+	// the partial result prints; a second signal force-exits.
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Println("\ninterrupt: draining workers (again to force exit)")
+		close(stop)
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "forced exit")
+		os.Exit(130)
+	}()
 
 	fmt.Printf("loading %d records...\n", *records)
 	res, err := ycsb.Run(ycsb.Options{
 		Store: store, Records: *records, Threads: *threads,
 		ReadFraction: *readFrac, Dist: dist, MaxOps: *ops, Seed: 42,
+		Stop: stop,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, ycsb.ErrLoadInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("engine=%s dist=%s threads=%d valuesize=%d buffer=%dMB shards=%d\n",
-		*engine, dist, *threads, *vs, *bufferMB, *shards)
+	if *sync && *addr == "" {
+		if cp, ok := store.(kv.Checkpointer); ok {
+			if err := cp.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			}
+		}
+	}
+	fmt.Printf("engine=%s dist=%s threads=%d valuesize=%d shards=%d\n",
+		store.Name(), dist, *threads, store.ValueSize(), storeShards(store, *shards))
 	fmt.Printf("ops=%d reads=%d updates=%d elapsed=%s throughput=%.0f ops/s\n",
 		res.Ops, res.Reads, res.Updates, res.Elapsed.Round(1e6), res.Throughput)
+	if sr, ok := store.(kv.StatsReporter); ok {
+		s := sr.Stats()
+		fmt.Printf("store: gets=%d puts=%d memhits=%d diskreads=%d inplace=%d rcu=%d flushed=%dB\n",
+			s.Gets, s.Puts, s.MemHits, s.DiskReads, s.InPlaceUpdates, s.RCUAppends, s.BytesFlushed)
+	}
+}
+
+// storeShards reports the store's actual partition count (the server's,
+// when remote) falling back to the local flag.
+func storeShards(store kv.Store, flagShards int) int {
+	if sh, ok := store.(kv.Sharded); ok {
+		return sh.Shards()
+	}
+	return flagShards
 }

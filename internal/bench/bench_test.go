@@ -139,3 +139,22 @@ func TestJoulesPerBatch(t *testing.T) {
 	_ = models.FFNN
 	_ = data.CTRConfig{}
 }
+
+// TestNetworkSweepRunsAtTinyScale covers the serving-layer experiment:
+// local vs loopback throughput must be measured at every batch size.
+func TestNetworkSweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	if err := e.Run("network"); err != nil {
+		t.Fatalf("network: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"loopback", "remote-keys/s", "ratio", "256"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -538,13 +538,15 @@ func (e *Env) Run(name string) error {
 		return e.Fig11()
 	case "shards":
 		return e.ShardSweep()
+	case "network":
+		return e.NetworkSweep()
 	case "all":
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards"} {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|all)", name)
+	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|all)", name)
 }

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/server"
+	"github.com/llm-db/mlkv-go/internal/util"
+	"github.com/llm-db/mlkv-go/internal/ycsb"
+)
+
+// NetworkSweep measures what the serving layer costs: the same sharded
+// store is driven first in-process and then through mlkv-server over
+// loopback, at batch sizes 1, 32, and 256 keys per GetBatch. Batch size 1
+// pays one framed round trip per key and shows the wire's floor; at 256
+// keys per frame the round trip amortizes across the batch and the server
+// fans the frame into the shards as one batched read, which is what lets
+// remote throughput approach the in-process number.
+func (e *Env) NetworkSweep() error {
+	shards := e.Shards
+	if shards <= 1 {
+		shards = 4
+	}
+	workers := e.Scale.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	vs := e.Scale.ValueSizes[0]
+	dur := e.Scale.Duration / 2
+	if dur < 200*time.Millisecond {
+		dur = 200 * time.Millisecond
+	}
+	records := e.Scale.YCSBRecords
+
+	e.printf("== Network: in-process vs loopback mlkv-server, zipfian GetBatch ==\n")
+	e.printf("records=%d shards=%d workers=%d valuesize=%d buffer=%dKB\n",
+		records, shards, workers, vs, e.Scale.BufferKBs[0])
+
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: e.dir("network"), Shards: shards, ValueSize: vs,
+		MemoryBytes: int64(e.Scale.BufferKBs[0]) << 10, ExpectedKeys: records,
+		StalenessBound: faster.BoundAsync,
+	}, "mlkv")
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if err := ycsb.Load(store, records, 42); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{Store: store})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	cl, err := client.Dial(ln.Addr().String(), client.Options{Conns: workers})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	e.printf("%-8s %14s %14s %8s\n", "batch", "local-keys/s", "remote-keys/s", "ratio")
+	for _, batch := range []int{1, 32, 256} {
+		local, err := measureGetBatch(store, records, batch, workers, dur)
+		if err != nil {
+			return err
+		}
+		remote, err := measureGetBatch(cl, records, batch, workers, dur)
+		if err != nil {
+			return err
+		}
+		e.printf("%-8d %14.0f %14.0f %7.2fx\n", batch, local, remote, local/remote)
+	}
+	return nil
+}
+
+// measureGetBatch runs workers sessions issuing zipfian GetBatch calls of
+// the given batch size for roughly dur, returning keys read per second.
+func measureGetBatch(store kv.Store, records uint64, batch, workers int, dur time.Duration) (float64, error) {
+	vs := store.ValueSize()
+	var keysRead atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := store.NewSession()
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer s.Close()
+			zipf := util.NewScrambledZipf(util.NewRNG(uint64(97+w)), records, 0.99)
+			keys := make([]uint64, batch)
+			vals := make([]byte, batch*vs)
+			found := make([]bool, batch)
+			for time.Since(start) < dur {
+				for i := range keys {
+					keys[i] = zipf.Next()
+				}
+				if err := kv.SessionGetBatch(s, vs, keys, vals, found); err != nil {
+					fail(err)
+					return
+				}
+				keysRead.Add(int64(batch))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, fmt.Errorf("bench: network measure: %w", firstErr)
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(keysRead.Load()) / elapsed, nil
+}

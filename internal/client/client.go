@@ -1,0 +1,375 @@
+// Package client is the remote face of an mlkv-server: a connection pool
+// speaking the internal/wire protocol, exposed through the same
+// kv.Store/kv.Session interfaces the in-process engines implement, so the
+// YCSB harness, benchmark sweeps, and examples run against a remote store
+// unchanged.
+//
+// Sessions are assigned to pooled connections round-robin. Every
+// connection has a reader goroutine that demultiplexes responses by
+// correlation ID, so sessions sharing a connection pipeline their
+// requests: the second request is on the wire before the first response
+// returns. Batch operations travel as single frames and fan into the
+// server's sharded store as one batched call — the unit that amortizes
+// the network round trip.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// Options configures Dial.
+type Options struct {
+	// Conns is the pool size (default 2). Each server connection is
+	// served by one store session and handled serially on the server, so
+	// parallelism across the store is min(Conns, concurrent sessions);
+	// sessions beyond Conns share connections via pipelining. Set it to
+	// the worker count for full fan-out.
+	Conns int
+	// MaxFrame bounds incoming response frames (default wire.DefaultMaxFrame).
+	MaxFrame uint32
+	// DialTimeout bounds each TCP connect (default 5s).
+	DialTimeout time.Duration
+	// MaxKeysPerFrame splits larger batches into multiple frames (default
+	// 4096, capped at wire.MaxBatchKeys).
+	MaxKeysPerFrame int
+}
+
+// Client is a remote kv.Store. It also implements kv.Checkpointer,
+// kv.StatsReporter, and kv.Sharded by delegating to the server.
+type Client struct {
+	opts      Options
+	conns     []*conn
+	next      atomic.Uint64
+	valueSize int
+	shards    int
+	name      string
+}
+
+// Dial connects the pool and performs the HELLO handshake.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 2
+	}
+	if opts.MaxFrame == 0 {
+		opts.MaxFrame = wire.DefaultMaxFrame
+	}
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.MaxKeysPerFrame <= 0 || opts.MaxKeysPerFrame > wire.MaxBatchKeys {
+		opts.MaxKeysPerFrame = 4096
+	}
+	c := &Client{opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		cn, err := dialConn(addr, opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cn)
+	}
+	p, err := c.conns[0].roundTrip(wire.OpHello, wire.EncodeHello())
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	vs, shards, name, err := wire.DecodeHelloResp(p)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	c.valueSize, c.shards, c.name = vs, shards, name
+	return c, nil
+}
+
+// ValueSize returns the server store's fixed value payload size.
+func (c *Client) ValueSize() int { return c.valueSize }
+
+// Shards returns the server store's hash-partition count.
+func (c *Client) Shards() int { return c.shards }
+
+// Name identifies the remote engine in benchmark output.
+func (c *Client) Name() string { return "remote(" + c.name + ")" }
+
+// Close tears down every pooled connection; outstanding requests fail.
+func (c *Client) Close() error {
+	var first error
+	for _, cn := range c.conns {
+		if err := cn.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pick returns the next pooled connection round-robin.
+func (c *Client) pick() *conn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// NewSession returns a session bound to one pooled connection. Like every
+// kv.Session it is single-goroutine; sessions sharing a connection
+// pipeline their requests.
+func (c *Client) NewSession() (kv.Session, error) {
+	return &session{c: c, cn: c.pick(), vs: c.valueSize}, nil
+}
+
+// Checkpoint asks the server to make the store durable.
+func (c *Client) Checkpoint() error {
+	_, err := c.pick().roundTrip(wire.OpCheckpoint, nil)
+	return err
+}
+
+// Stats fetches the server store's merged operation counters.
+func (c *Client) Stats() faster.StatsSnapshot {
+	p, err := c.pick().roundTrip(wire.OpStats, nil)
+	if err != nil {
+		return faster.StatsSnapshot{}
+	}
+	s, err := wire.DecodeStatsResp(p)
+	if err != nil {
+		return faster.StatsSnapshot{}
+	}
+	return s
+}
+
+// session is one worker's remote handle.
+type session struct {
+	c  *Client
+	cn *conn
+	vs int
+}
+
+func (s *session) Get(key uint64, dst []byte) (bool, error) {
+	if len(dst) != s.vs {
+		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
+	}
+	p, err := s.cn.roundTrip(wire.OpGet, wire.EncodeKey(key))
+	if err != nil {
+		return false, err
+	}
+	return wire.DecodeGetResp(p, dst)
+}
+
+func (s *session) Put(key uint64, val []byte) error {
+	if len(val) != s.vs {
+		return fmt.Errorf("client: val length %d != value size %d", len(val), s.vs)
+	}
+	_, err := s.cn.roundTrip(wire.OpPut, wire.EncodePut(key, val))
+	return err
+}
+
+func (s *session) Delete(key uint64) error {
+	_, err := s.cn.roundTrip(wire.OpDelete, wire.EncodeKey(key))
+	return err
+}
+
+// Prefetch ships a one-key LOOKAHEAD; true means the server copied the
+// record toward memory.
+func (s *session) Prefetch(key uint64) (bool, error) {
+	n, err := s.Lookahead([]uint64{key})
+	return n > 0, err
+}
+
+// Lookahead asks the server to prefetch keys, returning how many records
+// it copied toward memory.
+func (s *session) Lookahead(keys []uint64) (int, error) {
+	total := 0
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > s.c.opts.MaxKeysPerFrame {
+			chunk = chunk[:s.c.opts.MaxKeysPerFrame]
+		}
+		keys = keys[len(chunk):]
+		p, err := s.cn.roundTrip(wire.OpLookahead, wire.EncodeKeys(chunk))
+		if err != nil {
+			return total, err
+		}
+		n, err := wire.DecodeUint32(p)
+		if err != nil {
+			return total, err
+		}
+		total += int(n)
+	}
+	return total, nil
+}
+
+// GetBatch implements kv.BatchSession: one frame per MaxKeysPerFrame
+// chunk, each fanned into the server's sharded store as a single batched
+// read.
+func (s *session) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	vs := s.vs
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > s.c.opts.MaxKeysPerFrame {
+			n = s.c.opts.MaxKeysPerFrame
+		}
+		p, err := s.cn.roundTrip(wire.OpGetBatch, wire.EncodeKeys(keys[:n]))
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs]); err != nil {
+			return err
+		}
+		keys, found, vals = keys[n:], found[n:], vals[n*vs:]
+	}
+	return nil
+}
+
+// PutBatch implements kv.BatchSession.
+func (s *session) PutBatch(keys []uint64, vals []byte) error {
+	vs := s.vs
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > s.c.opts.MaxKeysPerFrame {
+			n = s.c.opts.MaxKeysPerFrame
+		}
+		if _, err := s.cn.roundTrip(wire.OpPutBatch, wire.EncodePutBatch(keys[:n], vals[:n*vs])); err != nil {
+			return err
+		}
+		keys, vals = keys[n:], vals[n*vs:]
+	}
+	return nil
+}
+
+// Close releases the session. The pooled connection stays open for other
+// sessions.
+func (s *session) Close() {}
+
+// conn is one pooled connection with a demultiplexing reader goroutine.
+type conn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes across sessions
+
+	pmu     sync.Mutex
+	pending map[uint32]chan response
+	closed  bool
+	failure error
+
+	nextID atomic.Uint32
+	done   chan struct{}
+}
+
+type response struct {
+	op      wire.Op
+	payload []byte
+}
+
+func dialConn(addr string, opts Options) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency matters more than segment count
+	}
+	cn := &conn{
+		c:       nc,
+		bw:      bufio.NewWriterSize(nc, connBufSize),
+		pending: make(map[uint32]chan response),
+		done:    make(chan struct{}),
+	}
+	go cn.readLoop(opts.MaxFrame)
+	return cn, nil
+}
+
+const connBufSize = 64 << 10
+
+// readLoop demultiplexes responses to their waiting round trips until the
+// connection dies, then fails everything still pending.
+func (cn *conn) readLoop(maxFrame uint32) {
+	br := bufio.NewReaderSize(cn.c, connBufSize)
+	var err error
+	for {
+		var f wire.Frame
+		f, err = wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			break
+		}
+		cn.pmu.Lock()
+		ch, ok := cn.pending[f.CorrID]
+		delete(cn.pending, f.CorrID)
+		cn.pmu.Unlock()
+		if ok {
+			ch <- response{op: f.Op, payload: f.Payload}
+		}
+	}
+	cn.pmu.Lock()
+	if cn.failure == nil {
+		cn.failure = fmt.Errorf("client: connection lost: %w", err)
+	}
+	for id, ch := range cn.pending {
+		delete(cn.pending, id)
+		close(ch)
+	}
+	cn.pmu.Unlock()
+	close(cn.done)
+}
+
+// roundTrip sends one request and blocks for its response. Concurrent
+// calls pipeline: writes interleave under wmu and the read loop routes
+// each response to its caller.
+func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
+	id := cn.nextID.Add(1)
+	ch := make(chan response, 1)
+	cn.pmu.Lock()
+	if cn.closed || cn.failure != nil {
+		err := cn.failure
+		cn.pmu.Unlock()
+		if err == nil {
+			err = errors.New("client: connection closed")
+		}
+		return nil, err
+	}
+	cn.pending[id] = ch
+	cn.pmu.Unlock()
+
+	cn.wmu.Lock()
+	err := wire.WriteFrame(cn.bw, id, op, payload)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.pmu.Lock()
+		delete(cn.pending, id)
+		cn.pmu.Unlock()
+		return nil, err
+	}
+
+	r, ok := <-ch
+	if !ok {
+		cn.pmu.Lock()
+		err := cn.failure
+		cn.pmu.Unlock()
+		return nil, err
+	}
+	switch r.op {
+	case wire.RespOK:
+		return r.payload, nil
+	case wire.RespErr:
+		return nil, errors.New(string(r.payload))
+	}
+	return nil, fmt.Errorf("client: unexpected response opcode %s", r.op)
+}
+
+func (cn *conn) close() error {
+	cn.pmu.Lock()
+	cn.closed = true
+	cn.pmu.Unlock()
+	err := cn.c.Close()
+	<-cn.done // reader has failed all pending and exited
+	return err
+}

@@ -95,6 +95,7 @@ type Table struct {
 	prefetchDone    chan struct{}
 	prefetchDropped atomic.Int64
 	prefetched      atomic.Int64
+	activeSessions  atomic.Int64
 }
 
 // OpenTable creates or recovers an embedding table.
@@ -307,6 +308,7 @@ type Session struct {
 	ss     []*faster.Session // one per shard, in shard order
 	bufs   [][]byte          // per-shard scratch, t.vs bytes each
 	groups [][]int           // reusable per-shard index groups for batches
+	closed bool
 }
 
 // NewSession registers a session on every shard.
@@ -324,11 +326,23 @@ func (t *Table) NewSession() (*Session, error) {
 		ss[i] = s
 		bufs[i] = make([]byte, t.vs)
 	}
+	t.activeSessions.Add(1)
 	return &Session{t: t, ss: ss, bufs: bufs}, nil
 }
 
-// Close unregisters the session from every shard.
+// ActiveSessions reports how many sessions are currently open — the
+// lifecycle hook a serving front-end uses to decide when a drain has
+// finished and for load diagnostics.
+func (t *Table) ActiveSessions() int64 { return t.activeSessions.Load() }
+
+// Close unregisters the session from every shard. Closing twice is safe;
+// only the first call releases the shard sessions.
 func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.t.activeSessions.Add(-1)
 	for _, fs := range s.ss {
 		fs.Close()
 	}

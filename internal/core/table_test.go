@@ -353,3 +353,34 @@ func TestBoundModesSmoke(t *testing.T) {
 		s.Close()
 	}
 }
+
+// TestActiveSessions covers the serving layer's lifecycle hook: the count
+// tracks opens and closes, and double-close does not double-count.
+func TestActiveSessions(t *testing.T) {
+	tbl := testTable(t, 4, BoundDisabled)
+	if n := tbl.ActiveSessions(); n != 0 {
+		t.Fatalf("fresh table has %d sessions", n)
+	}
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := tbl.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+		if n := tbl.ActiveSessions(); n != int64(i+1) {
+			t.Fatalf("after %d opens: count %d", i+1, n)
+		}
+	}
+	sessions[0].Close()
+	sessions[0].Close() // idempotent
+	if n := tbl.ActiveSessions(); n != 2 {
+		t.Fatalf("after double-close: count %d", n)
+	}
+	for _, s := range sessions[1:] {
+		s.Close()
+	}
+	if n := tbl.ActiveSessions(); n != 0 {
+		t.Fatalf("after all closes: count %d", n)
+	}
+}

@@ -1,6 +1,8 @@
 package kv
 
 import (
+	"sync"
+
 	"github.com/llm-db/mlkv-go/internal/bptree"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/lsm"
@@ -43,9 +45,12 @@ func (w fkStore) NewSession() (Session, error) {
 	}
 	return fkSession{s}, nil
 }
-func (w fkStore) ValueSize() int { return w.s.ValueSize() }
-func (w fkStore) Name() string   { return w.name }
-func (w fkStore) Close() error   { return w.s.Close() }
+func (w fkStore) ValueSize() int              { return w.s.ValueSize() }
+func (w fkStore) Name() string                { return w.name }
+func (w fkStore) Close() error                { return w.s.Close() }
+func (w fkStore) Checkpoint() error           { return w.s.Checkpoint() }
+func (w fkStore) Stats() faster.StatsSnapshot { return w.s.Stats() }
+func (w fkStore) Shards() int                 { return 1 }
 
 type fkSession struct{ s *faster.Session }
 
@@ -85,11 +90,12 @@ func (w fkShardStore) NewSession() (Session, error) {
 		}
 		ss[i] = s
 	}
-	return fkShardSession{ss: ss}, nil
+	return &fkShardSession{ss: ss, groups: make([][]int, len(ss))}, nil
 }
 
 func (w fkShardStore) ValueSize() int { return w.stores[0].ValueSize() }
 func (w fkShardStore) Name() string   { return w.name }
+func (w fkShardStore) Shards() int    { return len(w.stores) }
 
 func (w fkShardStore) Close() error {
 	var first error
@@ -101,18 +107,146 @@ func (w fkShardStore) Close() error {
 	return first
 }
 
-type fkShardSession struct{ ss []*faster.Session }
+// Checkpoint makes every shard durable, in parallel; the first error by
+// shard order is returned.
+func (w fkShardStore) Checkpoint() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.stores))
+	for i, st := range w.stores {
+		wg.Add(1)
+		go func(i int, st *faster.Store) {
+			defer wg.Done()
+			errs[i] = st.Checkpoint()
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-func (se fkShardSession) route(key uint64) *faster.Session {
+// Stats returns the element-wise sum of every shard's counters.
+func (w fkShardStore) Stats() faster.StatsSnapshot {
+	var sum faster.StatsSnapshot
+	for _, st := range w.stores {
+		sum = sum.Add(st.Stats())
+	}
+	return sum
+}
+
+type fkShardSession struct {
+	ss     []*faster.Session
+	groups [][]int // reusable per-shard index groups for batches
+}
+
+func (se *fkShardSession) route(key uint64) *faster.Session {
 	return se.ss[util.ShardOf(key, len(se.ss))]
 }
 
-func (se fkShardSession) Get(key uint64, dst []byte) (bool, error) { return se.route(key).Get(key, dst) }
-func (se fkShardSession) Put(key uint64, val []byte) error         { return se.route(key).Put(key, val) }
-func (se fkShardSession) Delete(key uint64) error                  { return se.route(key).Delete(key) }
-func (se fkShardSession) Prefetch(key uint64) (bool, error)        { return se.route(key).Prefetch(key) }
-func (se fkShardSession) Close() {
+func (se *fkShardSession) Get(key uint64, dst []byte) (bool, error) {
+	return se.route(key).Get(key, dst)
+}
+func (se *fkShardSession) Put(key uint64, val []byte) error  { return se.route(key).Put(key, val) }
+func (se *fkShardSession) Delete(key uint64) error           { return se.route(key).Delete(key) }
+func (se *fkShardSession) Prefetch(key uint64) (bool, error) { return se.route(key).Prefetch(key) }
+func (se *fkShardSession) Close() {
 	for _, s := range se.ss {
 		s.Close()
 	}
+}
+
+// batchFanoutMin matches the core router's threshold: below it, goroutine
+// spawn costs more than the handful of routed operations it would overlap.
+const batchFanoutMin = 16
+
+// GetBatch implements BatchSession: keys group by owning shard and the
+// per-shard groups run in parallel goroutines. Within one call each
+// shard's faster session is driven by exactly one goroutine, preserving
+// the engine's single-goroutine session contract.
+func (se *fkShardSession) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	vs := len(vals) / len(keys)
+	return se.fanOut(keys, func(sh int, idxs []int) error {
+		s := se.ss[sh]
+		for _, i := range idxs {
+			slot := vals[i*vs : (i+1)*vs]
+			ok, err := s.Get(keys[i], slot)
+			if err != nil {
+				return err
+			}
+			found[i] = ok
+			if !ok {
+				clear(slot)
+			}
+		}
+		return nil
+	})
+}
+
+// PutBatch implements BatchSession with the same per-shard fan-out.
+func (se *fkShardSession) PutBatch(keys []uint64, vals []byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	vs := len(vals) / len(keys)
+	return se.fanOut(keys, func(sh int, idxs []int) error {
+		s := se.ss[sh]
+		for _, i := range idxs {
+			if err := s.Put(keys[i], vals[i*vs:(i+1)*vs]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// fanOut groups the indices of keys by owning shard into the session's
+// reusable group buffers and runs op over each non-empty group — serially
+// for small batches, in one goroutine per shard otherwise. The first
+// error by shard order is returned.
+func (se *fkShardSession) fanOut(keys []uint64, op func(shard int, idxs []int) error) error {
+	n := len(se.ss)
+	groups := se.groups
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	for i, k := range keys {
+		sh := util.ShardOf(k, n)
+		groups[sh] = append(groups[sh], i)
+	}
+	if len(keys) < batchFanoutMin {
+		for sh, idxs := range groups {
+			if len(idxs) == 0 {
+				continue
+			}
+			if err := op(sh, idxs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for sh, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			errs[sh] = op(sh, idxs)
+		}(sh, idxs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

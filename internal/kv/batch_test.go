@@ -1,0 +1,160 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/lsm"
+)
+
+func openShardSet(t *testing.T, shards, vs int) Store {
+	t.Helper()
+	set := make([]*faster.Store, shards)
+	for i := range set {
+		st, err := faster.Open(faster.Config{
+			Dir: t.TempDir(), ValueSize: vs, RecordsPerPage: 64,
+			MemPages: 8, MutablePages: 3, StalenessBound: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set[i] = st
+	}
+	return WrapFasterShards(set, "sharded")
+}
+
+// TestBatchHelpers drives SessionGetBatch/SessionPutBatch over both the
+// native sharded path and the per-key fallback (LSM), asserting identical
+// observable behavior: values round-trip, missing keys report found=false
+// with zeroed slots, deletes are visible to batch reads.
+func TestBatchHelpers(t *testing.T) {
+	const vs = 16
+	stores := map[string]Store{"sharded": openShardSet(t, 4, vs)}
+	ls, err := lsm.Open(lsm.Config{Dir: t.TempDir(), ValueSize: vs, MemtableBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["lsm-fallback"] = WrapLSM(ls)
+
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			defer store.Close()
+			s, err := store.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			const n = 300 // above batchFanoutMin so the fan-out path runs
+			keys := make([]uint64, n)
+			vals := make([]byte, n*vs)
+			for i := range keys {
+				keys[i] = uint64(i * 7)
+				for j := 0; j < vs; j++ {
+					vals[i*vs+j] = byte(i + j)
+				}
+			}
+			if err := SessionPutBatch(s, vs, keys, vals); err != nil {
+				t.Fatal(err)
+			}
+
+			got := make([]byte, n*vs)
+			found := make([]bool, n)
+			if err := SessionGetBatch(s, vs, keys, got, found); err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if !found[i] {
+					t.Fatalf("key %d missing", keys[i])
+				}
+			}
+			if !bytes.Equal(got, vals) {
+				t.Fatal("batch values differ from what was written")
+			}
+
+			// Deleted and never-written keys: found=false, zeroed slots.
+			if err := s.Delete(keys[3]); err != nil {
+				t.Fatal(err)
+			}
+			probe := []uint64{keys[3], 1<<60 + 9, keys[4]}
+			pv := bytes.Repeat([]byte{0xee}, len(probe)*vs) // dirt the buffer
+			pf := make([]bool, len(probe))
+			if err := SessionGetBatch(s, vs, probe, pv, pf); err != nil {
+				t.Fatal(err)
+			}
+			if pf[0] || pf[1] || !pf[2] {
+				t.Fatalf("found = %v, want [false false true]", pf)
+			}
+			for i := 0; i < 2*vs; i++ {
+				if pv[i] != 0 {
+					t.Fatalf("missing key slot not zeroed at byte %d", i)
+				}
+			}
+
+			// Size validation.
+			if err := SessionGetBatch(s, vs, keys, got[:1], found); err == nil {
+				t.Fatal("undersized vals accepted")
+			}
+			if err := SessionPutBatch(s, vs, keys, vals[:1]); err == nil {
+				t.Fatal("undersized vals accepted")
+			}
+		})
+	}
+}
+
+// TestShardedBatchConcurrent exercises the parallel fan-out from many
+// sessions at once (meaningful under -race).
+func TestShardedBatchConcurrent(t *testing.T) {
+	const vs, workers, batch = 8, 4, 64
+	store := openShardSet(t, 4, vs)
+	defer store.Close()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := store.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			keys := make([]uint64, batch)
+			vals := make([]byte, batch*vs)
+			for i := range keys {
+				keys[i] = uint64(w*batch + i)
+				vals[i*vs] = byte(w)
+			}
+			for round := 0; round < 20; round++ {
+				if err := SessionPutBatch(s, vs, keys, vals); err != nil {
+					errCh <- err
+					return
+				}
+				got := make([]byte, batch*vs)
+				found := make([]bool, batch)
+				if err := SessionGetBatch(s, vs, keys, got, found); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range keys {
+					if !found[i] || got[i*vs] != byte(w) {
+						errCh <- fmt.Errorf("worker %d round %d: key %d found=%v val=%d",
+							w, round, keys[i], found[i], got[i*vs])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // RocksDB, and WiredTiger behind one embedding-access layer.
 package kv
 
+import (
+	"fmt"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+)
+
 // Store is a disk-backed key-value store with fixed-size values.
 type Store interface {
 	// NewSession returns a handle for one worker goroutine. Sessions are
@@ -31,4 +37,80 @@ type Session interface {
 	Prefetch(key uint64) (bool, error)
 	// Close releases the session.
 	Close()
+}
+
+// BatchSession is an optional Session extension for engines with a native
+// batch path (the sharded adapter fans a batch out across shards in
+// parallel; the network client ships it as one frame). Callers should go
+// through SessionGetBatch/SessionPutBatch, which fall back to per-key
+// loops on plain sessions.
+type BatchSession interface {
+	Session
+	// GetBatch reads len(keys) values into vals (len(keys)×ValueSize),
+	// recording presence in found and zeroing the value slot of any
+	// missing key.
+	GetBatch(keys []uint64, vals []byte, found []bool) error
+	// PutBatch upserts len(keys) values from vals.
+	PutBatch(keys []uint64, vals []byte) error
+}
+
+// Checkpointer is an optional Store extension for engines that can make
+// their contents durable on demand.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// StatsReporter is an optional Store extension exposing the engine's
+// merged operation counters (summed across shards for a sharded store).
+type StatsReporter interface {
+	Stats() faster.StatsSnapshot
+}
+
+// Sharded is an optional Store extension reporting the hash-partition
+// count backing the store.
+type Sharded interface {
+	Shards() int
+}
+
+// SessionGetBatch reads len(keys) values into vals (len(keys)×valueSize)
+// through s's native batch path when it has one, else key by key. Missing
+// keys get found[i]=false and a zeroed value slot either way.
+func SessionGetBatch(s Session, valueSize int, keys []uint64, vals []byte, found []bool) error {
+	if len(vals) != len(keys)*valueSize || len(found) != len(keys) {
+		return fmt.Errorf("kv: GetBatch buffers sized %d/%d for %d keys × %d bytes",
+			len(vals), len(found), len(keys), valueSize)
+	}
+	if bs, ok := s.(BatchSession); ok {
+		return bs.GetBatch(keys, vals, found)
+	}
+	for i, k := range keys {
+		slot := vals[i*valueSize : (i+1)*valueSize]
+		ok, err := s.Get(k, slot)
+		if err != nil {
+			return err
+		}
+		found[i] = ok
+		if !ok {
+			clear(slot)
+		}
+	}
+	return nil
+}
+
+// SessionPutBatch upserts len(keys) values from vals through s's native
+// batch path when it has one, else key by key.
+func SessionPutBatch(s Session, valueSize int, keys []uint64, vals []byte) error {
+	if len(vals) != len(keys)*valueSize {
+		return fmt.Errorf("kv: PutBatch vals sized %d for %d keys × %d bytes",
+			len(vals), len(keys), valueSize)
+	}
+	if bs, ok := s.(BatchSession); ok {
+		return bs.PutBatch(keys, vals)
+	}
+	for i, k := range keys {
+		if err := s.Put(k, vals[i*valueSize:(i+1)*valueSize]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,378 @@
+// Package server is mlkv's network front-end: a TCP listener speaking the
+// internal/wire framed protocol over any kv.Store. Each connection gets
+// its own store session (the per-worker handle the engine expects) and is
+// handled by one goroutine, so a remote client maps onto the store exactly
+// like a local worker thread; batch frames fan into the sharded store as
+// one batched operation. Shutdown drains: in-flight requests finish and
+// their responses flush before connections close.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// connBufSize sizes the per-connection read/write buffers: large enough
+// that a typical batch frame needs one syscall, small enough that a
+// thousand idle connections stay cheap.
+const connBufSize = 64 << 10
+
+func newReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, connBufSize) }
+func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, connBufSize) }
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the backing store. Batch frames use its native batch path
+	// when it has one (kv.BatchSession); CHECKPOINT and STATS require
+	// kv.Checkpointer / kv.StatsReporter and answer an error otherwise.
+	Store kv.Store
+	// MaxFrame bounds incoming frame sizes (default wire.DefaultMaxFrame).
+	MaxFrame uint32
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the server's own counters (the store's operation
+// counters travel separately, over the STATS op).
+type Stats struct {
+	ConnsAccepted int64
+	ConnsActive   int64
+	Requests      int64
+	BatchKeys     int64 // keys carried by GETBATCH/PUTBATCH frames
+	Errors        int64 // requests answered with RespErr
+}
+
+// Server serves one kv.Store over TCP.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	// draining is atomic because every handler checks it per request;
+	// conns/ln stay behind mu.
+	draining atomic.Bool
+
+	wg sync.WaitGroup // one per live connection
+
+	connsAccepted atomic.Int64
+	connsActive   atomic.Int64
+	requests      atomic.Int64
+	batchKeys     atomic.Int64
+	errorsSent    atomic.Int64
+}
+
+// New builds a Server; call Serve or ListenAndServe to start it.
+func New(cfg Config) *Server {
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil) or a
+// listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.draining.Load() {
+		return errors.New("server: already shut down")
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsAccepted.Add(1)
+		s.connsActive.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.connsActive.Add(-1)
+				s.wg.Done()
+			}()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting, then drains: every connection finishes the
+// request it is processing, flushes its responses, and closes. If ctx
+// expires first the stragglers are closed forcibly. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	// Nudge handlers out of their blocking reads; requests already being
+	// processed are unaffected (deadlines only bound reads).
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsAccepted: s.connsAccepted.Load(),
+		ConnsActive:   s.connsActive.Load(),
+		Requests:      s.requests.Load(),
+		BatchKeys:     s.batchKeys.Load(),
+		Errors:        s.errorsSent.Load(),
+	}
+}
+
+// connState carries one connection's reusable buffers so steady-state
+// request handling does not allocate per frame beyond the frame body.
+type connState struct {
+	sess    kv.Session
+	vs      int
+	keys    []uint64
+	found   []bool
+	scratch []byte // vs bytes, single-key GET staging
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer c.Close()
+	sess, err := s.cfg.Store.NewSession()
+	if err != nil {
+		s.cfg.Logf("server: %s: session: %v", c.RemoteAddr(), err)
+		return
+	}
+	defer sess.Close()
+	vs := s.cfg.Store.ValueSize()
+	st := &connState{sess: sess, vs: vs, scratch: make([]byte, vs)}
+	br := newReader(c)
+	bw := newWriter(c)
+	defer bw.Flush()
+	for {
+		f, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// io.EOF: client hung up. Deadline errors: Shutdown nudged us.
+			// Anything else is a framing violation; either way the
+			// connection is done. Responses already written still flush.
+			return
+		}
+		respOp, payload, fatal := s.handle(st, f.Op, f.Payload)
+		s.requests.Add(1)
+		if respOp == wire.RespErr {
+			s.errorsSent.Add(1)
+		}
+		if err := wire.WriteFrame(bw, f.CorrID, respOp, payload); err != nil {
+			return
+		}
+		// Flush when the pipeline drains (no bytes waiting) so pipelined
+		// clients get batched writes and single-shot clients get answers.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if fatal || s.draining.Load() {
+			return
+		}
+	}
+}
+
+// handle services one request frame. fatal marks protocol violations that
+// should end the connection after the error response is sent.
+func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, payload []byte, fatal bool) {
+	fail := func(err error) (wire.Op, []byte, bool) {
+		return wire.RespErr, []byte(err.Error()), false
+	}
+	switch op {
+	case wire.OpHello:
+		v, err := wire.DecodeHello(p)
+		if err != nil {
+			return fail(err)
+		}
+		if v != wire.Version {
+			op, pl, _ := fail(fmt.Errorf("server: protocol version %d, want %d", v, wire.Version))
+			return op, pl, true
+		}
+		shards := 1
+		if sh, ok := s.cfg.Store.(kv.Sharded); ok {
+			shards = sh.Shards()
+		}
+		return wire.RespOK, wire.EncodeHelloResp(st.vs, shards, s.cfg.Store.Name()), false
+
+	case wire.OpGet:
+		key, err := wire.DecodeKey(p)
+		if err != nil {
+			return fail(err)
+		}
+		found, err := st.sess.Get(key, st.scratch)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, wire.EncodeGetResp(found, st.scratch), false
+
+	case wire.OpPut:
+		key, val, err := wire.DecodePut(p, st.vs)
+		if err != nil {
+			return fail(err)
+		}
+		if err := st.sess.Put(key, val); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpDelete:
+		key, err := wire.DecodeKey(p)
+		if err != nil {
+			return fail(err)
+		}
+		if err := st.sess.Delete(key); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpGetBatch:
+		keys, err := wire.DecodeKeys(p, st.keys)
+		if err != nil {
+			return fail(err)
+		}
+		st.keys = keys
+		n := len(keys)
+		s.batchKeys.Add(int64(n))
+		// Build the response in place: found flags and values land
+		// directly in the outgoing payload, one batched store call.
+		out := make([]byte, 4+n+n*st.vs)
+		binary.LittleEndian.PutUint32(out, uint32(n))
+		vals := out[4+n:]
+		st.found = grow(st.found, n)
+		if err := kv.SessionGetBatch(st.sess, st.vs, keys, vals, st.found); err != nil {
+			return fail(err)
+		}
+		for i, f := range st.found {
+			if f {
+				out[4+i] = 1
+			}
+		}
+		return wire.RespOK, out, false
+
+	case wire.OpPutBatch:
+		keys, vals, err := wire.DecodePutBatch(p, st.vs, st.keys)
+		if err != nil {
+			return fail(err)
+		}
+		st.keys = keys
+		s.batchKeys.Add(int64(len(keys)))
+		if err := kv.SessionPutBatch(st.sess, st.vs, keys, vals); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpLookahead:
+		keys, err := wire.DecodeKeys(p, st.keys)
+		if err != nil {
+			return fail(err)
+		}
+		st.keys = keys
+		var copied uint32
+		for _, k := range keys {
+			ok, err := st.sess.Prefetch(k)
+			if err != nil {
+				return fail(err)
+			}
+			if ok {
+				copied++
+			}
+		}
+		return wire.RespOK, wire.EncodeUint32(copied), false
+
+	case wire.OpCheckpoint:
+		cp, ok := s.cfg.Store.(kv.Checkpointer)
+		if !ok {
+			return fail(fmt.Errorf("server: engine %s cannot checkpoint", s.cfg.Store.Name()))
+		}
+		if err := cp.Checkpoint(); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpStats:
+		sr, ok := s.cfg.Store.(kv.StatsReporter)
+		if !ok {
+			return fail(fmt.Errorf("server: engine %s reports no stats", s.cfg.Store.Name()))
+		}
+		return wire.RespOK, wire.EncodeStatsResp(sr.Stats()), false
+	}
+	return fail(fmt.Errorf("server: unknown opcode %d", uint8(op)))
+}
+
+func grow(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}

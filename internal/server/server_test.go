@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// startServer opens a 4-shard store under dir and serves it on loopback,
+// returning the dial address and a shutdown func.
+func startServer(t *testing.T, dir string, vs int) (string, *Server, func()) {
+	t.Helper()
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: dir, Shards: 4, ValueSize: vs, RecordsPerPage: 64,
+		MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12, StalenessBound: -1,
+	}, "mlkv-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: store})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		store.Close()
+	}
+	return ln.Addr().String(), srv, stop
+}
+
+// TestRemoteRoundTrip drives the whole single-key surface through a real
+// TCP connection: handshake, put, get, delete, prefetch, value-size guard.
+func TestRemoteRoundTrip(t *testing.T) {
+	const vs = 32
+	addr, _, stop := startServer(t, t.TempDir(), vs)
+	defer stop()
+
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.ValueSize() != vs {
+		t.Fatalf("ValueSize = %d, want %d", cl.ValueSize(), vs)
+	}
+	if cl.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", cl.Shards())
+	}
+	if !strings.Contains(cl.Name(), "mlkv-test") {
+		t.Fatalf("Name = %q", cl.Name())
+	}
+
+	s, err := cl.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{0xab}, vs)
+	dst := make([]byte, vs)
+	if found, _ := s.Get(1, dst); found {
+		t.Fatal("fresh store has key 1")
+	}
+	if err := s.Put(1, val); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := s.Get(1, dst); err != nil || !found || !bytes.Equal(dst, val) {
+		t.Fatalf("get after put: found=%v err=%v", found, err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := s.Get(1, dst); found {
+		t.Fatal("key survived delete")
+	}
+	if _, err := s.Prefetch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, val[:3]); err == nil {
+		t.Fatal("short value accepted")
+	}
+}
+
+// TestRemoteBatchConcurrent runs many sessions over a small pool (forcing
+// pipelining) doing disjoint batched writes and reads, then checks the
+// server's view of the data and its batch counters.
+func TestRemoteBatchConcurrent(t *testing.T) {
+	const vs, workers, batch, rounds = 16, 8, 256, 5
+	addr, srv, stop := startServer(t, t.TempDir(), vs)
+	defer stop()
+
+	cl, err := client.Dial(addr, client.Options{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := cl.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			keys := make([]uint64, batch)
+			vals := make([]byte, batch*vs)
+			for i := range keys {
+				keys[i] = uint64(w*batch + i)
+				vals[i*vs] = byte(w + 1)
+				vals[i*vs+1] = byte(i)
+			}
+			got := make([]byte, batch*vs)
+			found := make([]bool, batch)
+			for r := 0; r < rounds; r++ {
+				if err := kv.SessionPutBatch(s, vs, keys, vals); err != nil {
+					errCh <- err
+					return
+				}
+				if err := kv.SessionGetBatch(s, vs, keys, got, found); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range keys {
+					if !found[i] {
+						errCh <- fmt.Errorf("worker %d round %d: key %d missing", w, r, keys[i])
+						return
+					}
+				}
+				if !bytes.Equal(got, vals) {
+					errCh <- fmt.Errorf("worker %d round %d: batch values differ", w, r)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	wantKeys := int64(workers * batch * rounds * 2)
+	if st.BatchKeys != wantKeys {
+		t.Fatalf("BatchKeys = %d, want %d", st.BatchKeys, wantKeys)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("server answered %d errors", st.Errors)
+	}
+}
+
+// TestRemoteStatsAndCheckpoint exercises the STATS and CHECKPOINT ops:
+// counters reflect remote traffic and a checkpoint lands metadata in
+// every shard directory.
+func TestRemoteStatsAndCheckpoint(t *testing.T) {
+	const vs = 8
+	dir := t.TempDir()
+	addr, _, stop := startServer(t, dir, vs)
+	defer stop()
+
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s, _ := cl.NewSession()
+	defer s.Close()
+	val := make([]byte, vs)
+	for k := uint64(0); k < 100; k++ {
+		if err := s.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]byte, vs)
+	for k := uint64(0); k < 100; k++ {
+		if _, err := s.Get(k, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := cl.Stats()
+	if snap.Puts < 100 || snap.Gets < 100 {
+		t.Fatalf("remote stats missed traffic: %+v", snap)
+	}
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p := filepath.Join(dir, "shard-00"+string(rune('0'+i)), "CHECKPOINT")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("shard %d checkpoint missing: %v", i, err)
+		}
+	}
+}
+
+// TestGracefulShutdownDrains verifies in-flight pipelined requests get
+// their responses before connections close, and that the server refuses
+// new work afterward.
+func TestGracefulShutdownDrains(t *testing.T) {
+	const vs = 16
+	addr, srv, stop := startServer(t, t.TempDir(), vs)
+	defer stop() // Shutdown is idempotent; this releases the store
+	cl, err := client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s, _ := cl.NewSession()
+	val := make([]byte, vs)
+	// Lay down traffic so the drain has something in flight, then shut
+	// down concurrently with a writer.
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for k := uint64(0); k < 2000; k++ {
+			if err = s.Put(k, val); err != nil {
+				break
+			}
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The writer either finished cleanly or observed the connection close
+	// once the drain completed — but it must return, not hang on a
+	// swallowed response. (<-done doubles as the hang check: the test
+	// binary would time out.)
+	<-done
+	if _, err := client.Dial(addr, client.Options{Conns: 1}); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestProtocolErrorPaths talks raw frames to the server: bad opcodes and
+// oversized batches must answer RespErr without killing the connection;
+// a version mismatch must answer RespErr and then close it.
+func TestProtocolErrorPaths(t *testing.T) {
+	const vs = 8
+	addr, _, stop := startServer(t, t.TempDir(), vs)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Unknown opcode → RespErr, connection lives.
+	if err := wire.WriteFrame(nc, 1, wire.Op(99), nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr || f.CorrID != 1 {
+		t.Fatalf("unknown op: %+v err=%v", f, err)
+	}
+
+	// Oversized batch count → RespErr, connection lives.
+	huge := make([]byte, 4)
+	huge[0], huge[1], huge[2] = 0xff, 0xff, 0xff
+	if err := wire.WriteFrame(nc, 2, wire.OpGetBatch, huge); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr || f.CorrID != 2 {
+		t.Fatalf("oversized batch: %+v err=%v", f, err)
+	}
+
+	// Mis-sized PUT → RespErr, connection lives.
+	if err := wire.WriteFrame(nc, 3, wire.OpPut, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr || f.CorrID != 3 {
+		t.Fatalf("short put: %+v err=%v", f, err)
+	}
+
+	// The connection still works.
+	if err := wire.WriteFrame(nc, 4, wire.OpGet, wire.EncodeKey(7)); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespOK {
+		t.Fatalf("get after errors: %+v err=%v", f, err)
+	}
+
+	// Version mismatch → RespErr then close.
+	bad := wire.EncodeHello()
+	bad[0] = 99
+	if err := wire.WriteFrame(nc, 5, wire.OpHello, bad); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr {
+		t.Fatalf("version mismatch: %+v err=%v", f, err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(nc, 0); err == nil {
+		t.Fatal("connection survived version mismatch")
+	}
+}

@@ -1,0 +1,178 @@
+// Package wire defines the framed binary protocol spoken between
+// mlkv-server and its clients. Every message — request or response — is one
+// frame:
+//
+//	uint32  length   (bytes that follow: corrID + op + payload, so >= 5)
+//	uint32  corrID   (correlation id, echoed verbatim in the response)
+//	uint8   op       (request opcode, or RespOK/RespErr in a response)
+//	[]byte  payload  (op-specific, see payload.go)
+//
+// All integers are little-endian. Correlation IDs let a client pipeline
+// many requests on one connection and match responses as they arrive; the
+// server today answers in request order, but clients must not rely on
+// that. Frames longer than the reader's limit are refused before the body
+// is read, so a corrupt or hostile length prefix cannot force a giant
+// allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a frame type.
+type Op uint8
+
+// Request opcodes.
+const (
+	// OpHello opens a connection: the client announces its protocol
+	// Version and learns the store's value size, shard count, and name.
+	OpHello Op = 1 + iota
+	// OpGet reads one key.
+	OpGet
+	// OpPut upserts one key.
+	OpPut
+	// OpDelete removes one key.
+	OpDelete
+	// OpGetBatch reads up to MaxBatchKeys keys in one frame; the server
+	// fans the batch into the sharded store as one batched operation.
+	OpGetBatch
+	// OpPutBatch upserts up to MaxBatchKeys keys in one frame.
+	OpPutBatch
+	// OpLookahead asks the store to prefetch keys toward memory (the
+	// network face of MLKV's look-ahead interface).
+	OpLookahead
+	// OpCheckpoint makes the store durable.
+	OpCheckpoint
+	// OpStats fetches the store's merged operation counters.
+	OpStats
+)
+
+// Response opcodes.
+const (
+	// RespOK carries the op-specific response payload.
+	RespOK Op = 0x80
+	// RespErr carries a UTF-8 error message; the connection stays usable.
+	RespErr Op = 0x81
+)
+
+// String names the opcode for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "HELLO"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpGetBatch:
+		return "GETBATCH"
+	case OpPutBatch:
+		return "PUTBATCH"
+	case OpLookahead:
+		return "LOOKAHEAD"
+	case OpCheckpoint:
+		return "CHECKPOINT"
+	case OpStats:
+		return "STATS"
+	case RespOK:
+		return "OK"
+	case RespErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Version is the protocol revision carried in HELLO. A server refuses a
+// mismatched client rather than guessing at payload layouts.
+const Version = 1
+
+const (
+	// minLength is the smallest legal length field: corrID + op.
+	minLength = 5
+	// headerSize is the fixed frame prefix: length + corrID + op.
+	headerSize = 9
+)
+
+// DefaultMaxFrame bounds the length field when the caller passes 0 to
+// ReadFrame: 16 MiB, comfortably above the largest legal batch frame.
+const DefaultMaxFrame = 16 << 20
+
+// MaxBatchKeys bounds keys per GETBATCH/PUTBATCH/LOOKAHEAD frame so the
+// response (one found byte plus one value per key) stays well under
+// DefaultMaxFrame at the largest value sizes the benchmarks use.
+const MaxBatchKeys = 32768
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge reports a length prefix beyond the reader's limit.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrMalformed reports a length prefix too small to hold a header.
+	ErrMalformed = errors.New("wire: malformed frame")
+	// ErrShortPayload reports a payload shorter than its op requires.
+	ErrShortPayload = errors.New("wire: payload truncated")
+)
+
+// Frame is one decoded frame. Payload aliases the buffer ReadFrame
+// allocated and is valid until the caller discards it.
+type Frame struct {
+	CorrID  uint32
+	Op      Op
+	Payload []byte
+}
+
+// WriteFrame writes one frame. The caller batches frames by passing a
+// buffered writer and flushing when its pipeline drains.
+func WriteFrame(w io.Writer, corrID uint32, op Op, payload []byte) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(minLength+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], corrID)
+	hdr[8] = byte(op)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, refusing length fields above maxFrame
+// (DefaultMaxFrame if 0) before allocating the body. A clean EOF between
+// frames returns io.EOF; EOF inside a frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxFrame uint32) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < minLength {
+		return Frame{}, fmt.Errorf("%w: length %d < %d", ErrMalformed, n, minLength)
+	}
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("%w: length %d > limit %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		CorrID:  binary.LittleEndian.Uint32(body[0:]),
+		Op:      Op(body[4]),
+		Payload: body[minLength:],
+	}, nil
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+)
+
+// Payload layouts, one section per op. Every decoder checks lengths
+// exactly — a payload with trailing or missing bytes is an error, never a
+// silent truncation — and returns ErrShortPayload-wrapped errors so the
+// server can answer RespErr without dropping the connection.
+
+// EncodeHello builds the HELLO request: uint32 version.
+func EncodeHello() []byte {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, Version)
+	return p
+}
+
+// DecodeHello parses a HELLO request.
+func DecodeHello(p []byte) (version uint32, err error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("%w: HELLO wants 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// EncodeHelloResp builds the HELLO response: uint32 valueSize | uint32
+// shards | name bytes.
+func EncodeHelloResp(valueSize, shards int, name string) []byte {
+	p := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint32(p[0:], uint32(valueSize))
+	binary.LittleEndian.PutUint32(p[4:], uint32(shards))
+	copy(p[8:], name)
+	return p
+}
+
+// DecodeHelloResp parses a HELLO response.
+func DecodeHelloResp(p []byte) (valueSize, shards int, name string, err error) {
+	if len(p) < 8 {
+		return 0, 0, "", fmt.Errorf("%w: HELLO response wants >= 8 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[0:])),
+		int(binary.LittleEndian.Uint32(p[4:])),
+		string(p[8:]), nil
+}
+
+// EncodeKey builds a single-key request payload (GET, DELETE).
+func EncodeKey(key uint64) []byte {
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint64(p, key)
+	return p
+}
+
+// DecodeKey parses a single-key request.
+func DecodeKey(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: key wants 8 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// EncodePut builds a PUT request: uint64 key | valueSize value bytes.
+func EncodePut(key uint64, val []byte) []byte {
+	p := make([]byte, 8+len(val))
+	binary.LittleEndian.PutUint64(p, key)
+	copy(p[8:], val)
+	return p
+}
+
+// DecodePut parses a PUT request; val aliases p.
+func DecodePut(p []byte, valueSize int) (key uint64, val []byte, err error) {
+	if len(p) != 8+valueSize {
+		return 0, nil, fmt.Errorf("%w: PUT wants %d bytes, got %d", ErrShortPayload, 8+valueSize, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// EncodeGetResp builds a GET response: uint8 found | value (present only
+// when found).
+func EncodeGetResp(found bool, val []byte) []byte {
+	if !found {
+		return []byte{0}
+	}
+	p := make([]byte, 1+len(val))
+	p[0] = 1
+	copy(p[1:], val)
+	return p
+}
+
+// DecodeGetResp parses a GET response into dst (len == valueSize).
+func DecodeGetResp(p []byte, dst []byte) (bool, error) {
+	if len(p) < 1 {
+		return false, fmt.Errorf("%w: empty GET response", ErrShortPayload)
+	}
+	if p[0] == 0 {
+		if len(p) != 1 {
+			return false, fmt.Errorf("%w: GET miss carries %d extra bytes", ErrShortPayload, len(p)-1)
+		}
+		return false, nil
+	}
+	if len(p) != 1+len(dst) {
+		return false, fmt.Errorf("%w: GET hit wants %d bytes, got %d", ErrShortPayload, 1+len(dst), len(p))
+	}
+	copy(dst, p[1:])
+	return true, nil
+}
+
+// EncodeKeys builds a key-list request (GETBATCH, LOOKAHEAD): uint32 n |
+// n×uint64 keys.
+func EncodeKeys(keys []uint64) []byte {
+	p := make([]byte, 4+8*len(keys))
+	binary.LittleEndian.PutUint32(p, uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(p[4+8*i:], k)
+	}
+	return p
+}
+
+// DecodeKeys parses a key-list request, appending into buf (which may be
+// nil) to let callers reuse one slice across frames.
+func DecodeKeys(p []byte, buf []uint64) ([]uint64, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: key list wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > MaxBatchKeys {
+		return nil, fmt.Errorf("wire: batch of %d keys exceeds limit %d", n, MaxBatchKeys)
+	}
+	if len(p) != 4+8*n {
+		return nil, fmt.Errorf("%w: %d-key list wants %d bytes, got %d", ErrShortPayload, n, 4+8*n, len(p))
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, binary.LittleEndian.Uint64(p[4+8*i:]))
+	}
+	return buf, nil
+}
+
+// EncodePutBatch builds a PUTBATCH request: uint32 n | n×uint64 keys |
+// n×valueSize values.
+func EncodePutBatch(keys []uint64, vals []byte) []byte {
+	p := make([]byte, 4+8*len(keys)+len(vals))
+	binary.LittleEndian.PutUint32(p, uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(p[4+8*i:], k)
+	}
+	copy(p[4+8*len(keys):], vals)
+	return p
+}
+
+// DecodePutBatch parses a PUTBATCH request; vals aliases p.
+func DecodePutBatch(p []byte, valueSize int, buf []uint64) (keys []uint64, vals []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("%w: PUTBATCH wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > MaxBatchKeys {
+		return nil, nil, fmt.Errorf("wire: batch of %d keys exceeds limit %d", n, MaxBatchKeys)
+	}
+	want := 4 + n*(8+valueSize)
+	if len(p) != want {
+		return nil, nil, fmt.Errorf("%w: %d-key PUTBATCH wants %d bytes, got %d", ErrShortPayload, n, want, len(p))
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, binary.LittleEndian.Uint64(p[4+8*i:]))
+	}
+	return buf, p[4+8*n:], nil
+}
+
+// EncodeGetBatchResp builds a GETBATCH response: uint32 n | n found bytes
+// | n×valueSize values (missing keys zeroed, keeping offsets fixed).
+func EncodeGetBatchResp(found []bool, vals []byte) []byte {
+	n := len(found)
+	p := make([]byte, 4+n+len(vals))
+	binary.LittleEndian.PutUint32(p, uint32(n))
+	for i, f := range found {
+		if f {
+			p[4+i] = 1
+		}
+	}
+	copy(p[4+n:], vals)
+	return p
+}
+
+// DecodeGetBatchResp parses a GETBATCH response into found (len n) and
+// vals (len n×valueSize).
+func DecodeGetBatchResp(p []byte, valueSize int, found []bool, vals []byte) error {
+	if len(p) < 4 {
+		return fmt.Errorf("%w: GETBATCH response wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n != len(found) {
+		return fmt.Errorf("wire: GETBATCH response for %d keys, expected %d", n, len(found))
+	}
+	want := 4 + n*(1+valueSize)
+	if len(p) != want {
+		return fmt.Errorf("%w: %d-key GETBATCH response wants %d bytes, got %d", ErrShortPayload, n, want, len(p))
+	}
+	for i := range found {
+		found[i] = p[4+i] != 0
+	}
+	copy(vals, p[4+n:])
+	return nil
+}
+
+// EncodeUint32 builds a bare counter payload (LOOKAHEAD response).
+func EncodeUint32(v uint32) []byte {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, v)
+	return p
+}
+
+// DecodeUint32 parses a bare counter payload.
+func DecodeUint32(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("%w: counter wants 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// statsFields lists the snapshot's counters in wire order. Appending new
+// counters at the end keeps old readers working: the response carries its
+// own field count and each side reads the prefix both understand.
+func statsFields(s *faster.StatsSnapshot) []*int64 {
+	return []*int64{
+		&s.Gets, &s.Puts, &s.RMWs, &s.Deletes, &s.MemHits, &s.DiskReads,
+		&s.InPlaceUpdates, &s.RCUAppends, &s.PrefetchCopies,
+		&s.AbandonedAppends, &s.StalenessWaits, &s.FlushedPages,
+		&s.BytesFlushed,
+	}
+}
+
+// EncodeStatsResp builds a STATS response: uint32 field count | count
+// int64 counters in statsFields order.
+func EncodeStatsResp(s faster.StatsSnapshot) []byte {
+	fields := statsFields(&s)
+	p := make([]byte, 4+8*len(fields))
+	binary.LittleEndian.PutUint32(p, uint32(len(fields)))
+	for i, f := range fields {
+		binary.LittleEndian.PutUint64(p[4+8*i:], uint64(*f))
+	}
+	return p
+}
+
+// DecodeStatsResp parses a STATS response, tolerating a server that
+// reports more trailing counters than this client knows.
+func DecodeStatsResp(p []byte) (faster.StatsSnapshot, error) {
+	var s faster.StatsSnapshot
+	if len(p) < 4 {
+		return s, fmt.Errorf("%w: STATS response wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if len(p) != 4+8*n {
+		return s, fmt.Errorf("%w: %d-field STATS response wants %d bytes, got %d", ErrShortPayload, n, 4+8*n, len(p))
+	}
+	fields := statsFields(&s)
+	if n < len(fields) {
+		return s, fmt.Errorf("wire: STATS response has %d fields, need %d", n, len(fields))
+	}
+	for i, f := range fields {
+		*f = int64(binary.LittleEndian.Uint64(p[4+8*i:]))
+	}
+	return s, nil
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// TestFrameRoundTrip is the frame-layer property test: random frames must
+// survive a write/read cycle byte-exactly, alone and back to back.
+func TestFrameRoundTrip(t *testing.T) {
+	r := util.NewRNG(1)
+	var buf bytes.Buffer
+	type sent struct {
+		corrID  uint32
+		op      Op
+		payload []byte
+	}
+	var frames []sent
+	for i := 0; i < 200; i++ {
+		f := sent{
+			corrID: uint32(r.Uint64()),
+			op:     Op(r.Uint64n(256)),
+		}
+		n := int(r.Uint64n(512))
+		f.payload = make([]byte, n)
+		for j := range f.payload {
+			f.payload[j] = byte(r.Uint64())
+		}
+		if err := WriteFrame(&buf, f.corrID, f.op, f.payload); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.CorrID != want.corrID || got.Op != want.op || !bytes.Equal(got.Payload, want.payload) {
+			t.Fatalf("frame %d mismatch: got corr=%d op=%d %d bytes, want corr=%d op=%d %d bytes",
+				i, got.CorrID, got.Op, len(got.Payload), want.corrID, want.op, len(want.payload))
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: want io.EOF, got %v", err)
+	}
+}
+
+// TestFrameTruncated cuts a valid frame at every byte boundary: all but
+// the zero-length cut must yield io.ErrUnexpectedEOF, never a partial
+// frame or a hang.
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 7, OpPut, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		_, err := ReadFrame(bytes.NewReader(whole[:cut]), 0)
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF
+		}
+		if !errors.Is(err, want) {
+			t.Fatalf("cut at %d: want %v, got %v", cut, want, err)
+		}
+	}
+}
+
+// TestFrameLimits covers the oversized- and malformed-length error paths.
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, OpGet, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// A length below corrID+op can never frame a message.
+	if _, err := ReadFrame(bytes.NewReader([]byte{4, 0, 0, 0, 9, 9, 9, 9}), 0); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}
+
+// TestPayloadRoundTrips drives every op payload through encode/decode with
+// randomized contents.
+func TestPayloadRoundTrips(t *testing.T) {
+	r := util.NewRNG(2)
+	const vs = 24
+	randVal := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Uint64())
+		}
+		return b
+	}
+	randKeys := func(n int) []uint64 {
+		ks := make([]uint64, n)
+		for i := range ks {
+			ks[i] = r.Uint64()
+		}
+		return ks
+	}
+
+	if v, err := DecodeHello(EncodeHello()); err != nil || v != Version {
+		t.Fatalf("hello: v=%d err=%v", v, err)
+	}
+	if vsz, sh, name, err := DecodeHelloResp(EncodeHelloResp(vs, 4, "mlkv")); err != nil || vsz != vs || sh != 4 || name != "mlkv" {
+		t.Fatalf("hello resp: %d %d %q %v", vsz, sh, name, err)
+	}
+	if k, err := DecodeKey(EncodeKey(0xdeadbeef)); err != nil || k != 0xdeadbeef {
+		t.Fatalf("key: %x %v", k, err)
+	}
+
+	val := randVal(vs)
+	k2, v2, err := DecodePut(EncodePut(42, val), vs)
+	if err != nil || k2 != 42 || !bytes.Equal(v2, val) {
+		t.Fatalf("put: %d %v", k2, err)
+	}
+
+	dst := make([]byte, vs)
+	if found, err := DecodeGetResp(EncodeGetResp(true, val), dst); err != nil || !found || !bytes.Equal(dst, val) {
+		t.Fatalf("get hit: %v %v", found, err)
+	}
+	if found, err := DecodeGetResp(EncodeGetResp(false, nil), dst); err != nil || found {
+		t.Fatalf("get miss: %v %v", found, err)
+	}
+
+	for _, n := range []int{0, 1, 7, 256} {
+		keys := randKeys(n)
+		got, err := DecodeKeys(EncodeKeys(keys), nil)
+		if err != nil || len(got) != n {
+			t.Fatalf("keys n=%d: len=%d %v", n, len(got), err)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("keys n=%d: [%d] = %d want %d", n, i, got[i], keys[i])
+			}
+		}
+
+		vals := randVal(n * vs)
+		gk, gv, err := DecodePutBatch(EncodePutBatch(keys, vals), vs, nil)
+		if err != nil || len(gk) != n || !bytes.Equal(gv, vals) {
+			t.Fatalf("putbatch n=%d: %v", n, err)
+		}
+
+		found := make([]bool, n)
+		for i := range found {
+			found[i] = r.Uint64n(2) == 1
+		}
+		df, dv := make([]bool, n), make([]byte, n*vs)
+		if err := DecodeGetBatchResp(EncodeGetBatchResp(found, vals), vs, df, dv); err != nil {
+			t.Fatalf("getbatch resp n=%d: %v", n, err)
+		}
+		for i := range found {
+			if df[i] != found[i] {
+				t.Fatalf("getbatch resp n=%d: found[%d] = %v", n, i, df[i])
+			}
+		}
+		if !bytes.Equal(dv, vals) {
+			t.Fatalf("getbatch resp n=%d: values differ", n)
+		}
+	}
+
+	if v, err := DecodeUint32(EncodeUint32(77)); err != nil || v != 77 {
+		t.Fatalf("uint32: %d %v", v, err)
+	}
+
+	snap := faster.StatsSnapshot{Gets: 1, Puts: 2, RMWs: 3, Deletes: 4,
+		MemHits: 5, DiskReads: 6, InPlaceUpdates: 7, RCUAppends: 8,
+		PrefetchCopies: 9, AbandonedAppends: 10, StalenessWaits: 11,
+		FlushedPages: 12, BytesFlushed: 13}
+	got, err := DecodeStatsResp(EncodeStatsResp(snap))
+	if err != nil || got != snap {
+		t.Fatalf("stats: %+v %v", got, err)
+	}
+}
+
+// TestDecodeRejectsTruncation feeds every decoder every proper prefix of a
+// valid payload: each must error (never panic, never accept).
+func TestDecodeRejectsTruncation(t *testing.T) {
+	const vs = 16
+	keys := []uint64{1, 2, 3}
+	vals := bytes.Repeat([]byte{9}, 3*vs)
+	found := []bool{true, false, true}
+	cases := []struct {
+		name    string
+		payload []byte
+		decode  func([]byte) error
+	}{
+		{"hello", EncodeHello(), func(p []byte) error { _, err := DecodeHello(p); return err }},
+		{"helloResp", EncodeHelloResp(vs, 2, "x"), func(p []byte) error { _, _, _, err := DecodeHelloResp(p); return err }},
+		{"key", EncodeKey(5), func(p []byte) error { _, err := DecodeKey(p); return err }},
+		{"put", EncodePut(5, vals[:vs]), func(p []byte) error { _, _, err := DecodePut(p, vs); return err }},
+		{"getRespHit", EncodeGetResp(true, vals[:vs]), func(p []byte) error {
+			_, err := DecodeGetResp(p, make([]byte, vs))
+			return err
+		}},
+		{"keys", EncodeKeys(keys), func(p []byte) error { _, err := DecodeKeys(p, nil); return err }},
+		{"putBatch", EncodePutBatch(keys, vals), func(p []byte) error { _, _, err := DecodePutBatch(p, vs, nil); return err }},
+		{"getBatchResp", EncodeGetBatchResp(found, vals), func(p []byte) error {
+			return DecodeGetBatchResp(p, vs, make([]bool, 3), make([]byte, 3*vs))
+		}},
+		{"uint32", EncodeUint32(9), func(p []byte) error { _, err := DecodeUint32(p); return err }},
+		{"stats", EncodeStatsResp(faster.StatsSnapshot{Gets: 1}), func(p []byte) error { _, err := DecodeStatsResp(p); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.decode(tc.payload); err != nil {
+			t.Fatalf("%s: valid payload rejected: %v", tc.name, err)
+		}
+		for cut := 0; cut < len(tc.payload); cut++ {
+			if tc.name == "helloResp" && cut >= 8 {
+				continue // a shorter name tail is still a valid response
+			}
+			if err := tc.decode(tc.payload[:cut]); err == nil {
+				t.Fatalf("%s: accepted %d/%d-byte prefix", tc.name, cut, len(tc.payload))
+			}
+		}
+		if err := tc.decode(append(append([]byte{}, tc.payload...), 0)); err == nil && tc.name != "helloResp" {
+			// helloResp legitimately carries a variable-length name tail.
+			t.Fatalf("%s: accepted payload with a trailing byte", tc.name)
+		}
+	}
+}
+
+// TestBatchLimit verifies the decoder refuses batches beyond MaxBatchKeys
+// before reading key data.
+func TestBatchLimit(t *testing.T) {
+	p := make([]byte, 4)
+	p[0], p[1], p[2] = 0xff, 0xff, 0xff // n = 16M, far over the limit
+	if _, err := DecodeKeys(p, nil); err == nil {
+		t.Fatal("oversized key count accepted")
+	}
+	if _, _, err := DecodePutBatch(p, 8, nil); err == nil {
+		t.Fatal("oversized PUTBATCH count accepted")
+	}
+}

@@ -5,6 +5,7 @@
 package ycsb
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,11 @@ type Options struct {
 	MaxOps       int64 // optional cap (0 = duration-bound)
 	Seed         uint64
 	SkipLoad     bool // reuse a pre-loaded store
+	// Stop, when non-nil, ends the run early once closed: a load phase in
+	// progress stops at the next batch (Run returns ErrLoadInterrupted),
+	// and running workers finish their current operation and Run returns
+	// the partial result. Used for graceful SIGINT/SIGTERM handling.
+	Stop <-chan struct{}
 }
 
 // Result summarizes a run.
@@ -55,19 +61,46 @@ type Result struct {
 	Throughput float64 // ops/s
 }
 
-// Load populates keys [0, Records) with deterministic values.
+// loadBatch is the load phase's batch granularity: large enough that a
+// sharded store fans out and a remote store amortizes round trips, small
+// enough to stay well under the wire protocol's per-frame key limit.
+const loadBatch = 1024
+
+// ErrLoadInterrupted reports a load phase cut short by a stop signal.
+var ErrLoadInterrupted = errors.New("ycsb: load interrupted")
+
+// Load populates keys [0, Records) with deterministic values, in batches
+// so sharded stores fan the writes out and remote stores ship one frame
+// per batch instead of one round trip per key.
 func Load(store kv.Store, records uint64, seed uint64) error {
+	return load(store, records, seed, nil)
+}
+
+// load is Load plus a stop channel checked between batches, so a
+// multi-minute preload answers an interrupt promptly.
+func load(store kv.Store, records uint64, seed uint64, stop <-chan struct{}) error {
 	s, err := store.NewSession()
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	vs := store.ValueSize()
-	buf := make([]byte, vs)
+	keys := make([]uint64, 0, loadBatch)
+	vals := make([]byte, 0, loadBatch*vs)
 	for k := uint64(0); k < records; k++ {
-		fillValue(buf, k, seed)
-		if err := s.Put(k, buf); err != nil {
-			return fmt.Errorf("ycsb: load key %d: %w", k, err)
+		keys = append(keys, k)
+		vals = vals[:len(vals)+vs]
+		fillValue(vals[len(vals)-vs:], k, seed)
+		if len(keys) == loadBatch || k == records-1 {
+			if err := kv.SessionPutBatch(s, vs, keys, vals); err != nil {
+				return fmt.Errorf("ycsb: load keys %d..%d: %w", keys[0], k, err)
+			}
+			keys, vals = keys[:0], vals[:0]
+			select {
+			case <-stop:
+				return fmt.Errorf("%w after %d of %d records", ErrLoadInterrupted, k+1, records)
+			default:
+			}
 		}
 	}
 	return nil
@@ -92,7 +125,7 @@ func Run(opts Options) (*Result, error) {
 		opts.Records = 100000
 	}
 	if !opts.SkipLoad {
-		if err := Load(opts.Store, opts.Records, opts.Seed); err != nil {
+		if err := load(opts.Store, opts.Records, opts.Seed, opts.Stop); err != nil {
 			return nil, err
 		}
 	}
@@ -123,6 +156,9 @@ func Run(opts Options) (*Result, error) {
 				if i%256 == 0 {
 					select {
 					case <-stop:
+						return
+					case <-opts.Stop: // nil when unset: never ready
+						safeClose(stop)
 						return
 					default:
 					}

@@ -2,6 +2,7 @@ package ycsb
 
 import (
 	"testing"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
@@ -84,5 +85,30 @@ func TestYCSBSkipLoad(t *testing.T) {
 	}
 	if res.Updates != 0 {
 		t.Fatal("read-only run performed updates")
+	}
+}
+
+// TestYCSBStops covers the graceful-interrupt path: closing Stop ends an
+// otherwise unbounded run promptly with a usable partial result.
+func TestYCSBStops(t *testing.T) {
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	start := time.Now()
+	res, err := Run(Options{
+		Store: fasterStore(t, -1), Records: 2000, Threads: 4,
+		ReadFraction: 0.5, Dist: Uniform, Seed: 4,
+		Duration: time.Hour, Stop: stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stop took %s", elapsed)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no partial result survived the stop")
 	}
 }

@@ -177,6 +177,10 @@ func (m *Model) Stats() Stats {
 	}
 }
 
+// ActiveSessions reports how many sessions are currently open on the
+// model (serving front-ends use it to track drains and load).
+func (m *Model) ActiveSessions() int64 { return m.table.ActiveSessions() }
+
 // Close releases the model.
 func (m *Model) Close() error { return m.table.Close() }
 
