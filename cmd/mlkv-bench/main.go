@@ -6,12 +6,15 @@
 //	mlkv-bench -experiment fig7 -scale small -workdir /tmp/mlkv-bench
 //	mlkv-bench -experiment shards -scale small
 //	mlkv-bench -experiment network -scale small
+//	mlkv-bench -experiment trainbatch -scale small
 //
-// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards network all.
-// Scales: tiny (seconds), small (minutes, default), paper (hours).
-// -shards partitions every table the figX experiments open (the "shards"
-// experiment sweeps shard counts itself; "network" compares in-process
-// against a loopback mlkv-server at batch sizes 1/32/256).
+// Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards network
+// trainbatch all. Scales: tiny (seconds), small (minutes, default), paper
+// (hours). -shards partitions every table the figX experiments open (the
+// "shards" experiment sweeps shard counts itself; "network" compares
+// in-process against a loopback mlkv-server at batch sizes 1/32/256;
+// "trainbatch" compares scalar vs batched gather/scatter DLRM training,
+// locally and over loopback).
 package main
 
 import (
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
 		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")

@@ -48,6 +48,7 @@ func main() {
 		bufferMB  = flag.Int("buffer-mb", 64, "in-memory buffer budget (total, split across shards)")
 		records   = flag.Uint64("records", 1<<20, "expected key count (sizes the hash indexes)")
 		engine    = flag.String("engine", "mlkv", "engine semantics (mlkv|faster)")
+		staleness = flag.Int64("staleness", -2, "staleness bound for mlkv: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint on shutdown")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
 	)
@@ -56,9 +57,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
-	bound := faster.BoundAsync
+	bound := *staleness
+	if bound == -2 {
+		bound = faster.BoundAsync
+	} else if bound < 0 {
+		fmt.Fprintf(os.Stderr, "-staleness must be -2 (asp) or >= 0 (bsp/ssp), got %d\n", bound)
+		os.Exit(2)
+	}
 	if *engine == "faster" {
-		bound = -1
+		bound = -1 // clock off entirely
 	}
 	d := *dir
 	if d == "" {
@@ -84,8 +91,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("mlkv-server: serving %s (shards=%d valuesize=%d buffer=%dMB sync=%v) on %s",
-		*engine, *shards, *vs, *bufferMB, *sync, ln.Addr())
+	boundStr := "asp"
+	switch {
+	case bound < 0:
+		boundStr = "off"
+	case bound == 0:
+		boundStr = "bsp"
+	case bound != faster.BoundAsync:
+		boundStr = fmt.Sprintf("ssp(%d)", bound)
+	}
+	log.Printf("mlkv-server: serving %s (shards=%d valuesize=%d buffer=%dMB staleness=%s sync=%v) on %s",
+		*engine, *shards, *vs, *bufferMB, boundStr, *sync, ln.Addr())
 
 	if *debugAddr != "" {
 		expvar.Publish("mlkv_store", expvar.Func(func() any {

@@ -1,10 +1,18 @@
 // Command mlkv-train trains one embedding model on a synthetic workload
-// over a chosen storage backend, printing throughput, the stage breakdown,
-// and the convergence curve.
+// over a chosen storage backend — or, with -addr, against a live
+// mlkv-server over the pipelined wire protocol — printing throughput, the
+// stage breakdown, and the convergence curve.
 //
 // Usage:
 //
 //	mlkv-train -task dlrm -backend mlkv -staleness 8 -buffer-mb 64 -duration 30s
+//	mlkv-train -task dlrm -addr 127.0.0.1:7070 -duration 30s
+//
+// Remote training requires the server's -valuesize to equal 4×dim (the
+// default dim 16 matches -valuesize 64). Each training step travels as one
+// GETBATCH and one PUTBATCH frame; -scalar forces the legacy one-call-per-
+// key path for comparison. For BSP over the network, run the server with
+// -staleness 0 and train with -mode sync.
 package main
 
 import (
@@ -26,69 +34,101 @@ func main() {
 	var (
 		task      = flag.String("task", "dlrm", "task (dlrm|kge|gnn)")
 		backendN  = flag.String("backend", "mlkv", "backend (mlkv|faster|lsm|bptree|mem)")
+		addr      = flag.String("addr", "", "train against a running mlkv-server at this address (overrides -backend)")
+		conns     = flag.Int("conns", 0, "remote connection pool size (default: workers+2)")
 		staleness = flag.Int64("staleness", 8, "staleness bound (MLKV only; -1 disables)")
 		bufferMB  = flag.Int("buffer-mb", 64, "buffer budget")
 		duration  = flag.Duration("duration", 15*time.Second, "training duration")
+		maxSamp   = flag.Int64("max-samples", 0, "stop after this many samples (0 = duration only); use it to compare configurations at equal work")
 		workers   = flag.Int("workers", 4, "training workers")
 		dim       = flag.Int("dim", 16, "embedding dimension")
 		keys      = flag.Uint64("keys", 1_000_000, "entity / key-space size")
 		lookahead = flag.Int("lookahead", 16, "look-ahead depth (0 disables)")
+		scalar    = flag.Bool("scalar", false, "use the per-key access path instead of batched gather/scatter")
+		modeN     = flag.String("mode", "async", "pipeline structure for dlrm (async|sync); sync barriers every minibatch (BSP)")
 		dir       = flag.String("dir", "", "data directory (default: temp)")
 	)
 	flag.Parse()
+	mode := train.ModeAsync
+	switch *modeN {
+	case "async":
+	case "sync":
+		mode = train.ModeSync
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (async|sync)\n", *modeN)
+		os.Exit(2)
+	}
 
-	d := *dir
-	if d == "" {
-		var err error
-		d, err = os.MkdirTemp("", "mlkv-train-*")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer os.RemoveAll(d)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	init := core.UniformInit(0.1, 7)
 	if *task == "kge" {
 		init = core.UniformInit(0.5, 7)
 	}
+
 	var backend train.Backend
-	switch *backendN {
-	case "mlkv", "faster":
-		bound := *staleness
-		if *backendN == "faster" {
-			bound = core.BoundDisabled
+	if *addr != "" {
+		nc := *conns
+		if nc <= 0 {
+			// One connection per training worker (a BSP worker's blocked
+			// read must not queue behind its unblocker's write on a shared
+			// connection) plus slack for the evaluation handle and the
+			// remote backend's lookahead worker.
+			nc = *workers + 2
 		}
-		tbl, err := core.OpenTable(core.Options{
-			Dir: d, Dim: *dim, StalenessBound: bound,
-			MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *keys, Init: init,
-		})
+		rb, err := train.DialRemote(*addr, *dim, init, nc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		defer tbl.Close()
-		backend = train.NewTableBackend(tbl, *backendN == "mlkv" && *lookahead > 0)
-	case "lsm":
-		s, err := lsm.Open(lsm.Config{Dir: d, ValueSize: *dim * 4, CacheBytes: *bufferMB << 19, MemtableBytes: *bufferMB << 19})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		defer rb.Close()
+		backend = rb
+	} else {
+		d := *dir
+		if d == "" {
+			var err error
+			d, err = os.MkdirTemp("", "mlkv-train-*")
+			if err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(d)
 		}
-		defer s.Close()
-		backend = train.NewKVBackend(kv.WrapLSM(s), *dim, init)
-	case "bptree":
-		s, err := bptree.Open(bptree.Config{Dir: d, ValueSize: *dim * 4, PoolPages: (*bufferMB << 20) / 4096})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		switch *backendN {
+		case "mlkv", "faster":
+			bound := *staleness
+			if *backendN == "faster" {
+				bound = core.BoundDisabled
+			}
+			tbl, err := core.OpenTable(core.Options{
+				Dir: d, Dim: *dim, StalenessBound: bound,
+				MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *keys, Init: init,
+			})
+			if err != nil {
+				fail(err)
+			}
+			defer tbl.Close()
+			backend = train.NewTableBackend(tbl, *backendN == "mlkv" && *lookahead > 0)
+		case "lsm":
+			s, err := lsm.Open(lsm.Config{Dir: d, ValueSize: *dim * 4, CacheBytes: *bufferMB << 19, MemtableBytes: *bufferMB << 19})
+			if err != nil {
+				fail(err)
+			}
+			defer s.Close()
+			backend = train.NewKVBackend(kv.WrapLSM(s), *dim, init)
+		case "bptree":
+			s, err := bptree.Open(bptree.Config{Dir: d, ValueSize: *dim * 4, PoolPages: (*bufferMB << 20) / 4096})
+			if err != nil {
+				fail(err)
+			}
+			defer s.Close()
+			backend = train.NewKVBackend(kv.WrapBPTree(s), *dim, init)
+		case "mem":
+			backend = train.NewMemBackend("mem", *dim, init)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendN)
+			os.Exit(2)
 		}
-		defer s.Close()
-		backend = train.NewKVBackend(kv.WrapBPTree(s), *dim, init)
-	case "mem":
-		backend = train.NewMemBackend("mem", *dim, init)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendN)
-		os.Exit(2)
 	}
 
 	var res *train.Result
@@ -100,8 +140,8 @@ func main() {
 		model := models.NewDLRM(models.FFNN, 8, *dim, 4, []int{32}, 13)
 		res, err = train.TrainCTR(train.CTROptions{
 			Gen: gen, Model: model, Backend: backend,
-			Workers: *workers, Mode: train.ModeAsync,
-			DenseLR: 0.05, EmbLR: 0.05, Duration: *duration,
+			Workers: *workers, Mode: mode, Scalar: *scalar,
+			DenseLR: 0.05, EmbLR: 0.05, Duration: *duration, MaxSamples: *maxSamp,
 			LookaheadDepth: *lookahead, EvalEvery: eval,
 		})
 	case "kge":
@@ -109,7 +149,7 @@ func main() {
 		model := models.NewKGE(models.DistMult, *dim)
 		res, err = train.TrainKGE(train.KGEOptions{
 			Gen: gen, Model: model, Backend: backend,
-			Workers: *workers, EmbLR: 0.1, Duration: *duration,
+			Workers: *workers, EmbLR: 0.1, Duration: *duration, MaxSamples: *maxSamp, Scalar: *scalar,
 			LookaheadDepth: *lookahead, EvalEvery: eval,
 		})
 	case "gnn":
@@ -117,7 +157,7 @@ func main() {
 		sage := models.NewGraphSage(*dim, 32, 8, 23)
 		res, err = train.TrainGNN(train.GNNOptions{
 			Graph: graph, Kind: train.KindGraphSage, Sage: sage, Backend: backend,
-			Workers: *workers, DenseLR: 0.05, EmbLR: 0.05, Duration: *duration,
+			Workers: *workers, DenseLR: 0.05, EmbLR: 0.05, Duration: *duration, MaxSamples: *maxSamp, Scalar: *scalar,
 			LookaheadDepth: *lookahead, EvalEvery: eval,
 		})
 	default:
@@ -125,14 +165,17 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	tot := res.Stage.Total().Seconds()
 	if tot == 0 {
 		tot = 1
 	}
-	fmt.Printf("task=%s backend=%s samples=%d throughput=%.0f/s\n", *task, res.Backend, res.Samples, res.Throughput)
+	path := "batched"
+	if *scalar {
+		path = "scalar"
+	}
+	fmt.Printf("task=%s backend=%s path=%s samples=%d throughput=%.0f/s\n", *task, res.Backend, path, res.Samples, res.Throughput)
 	fmt.Printf("latency breakdown: emb=%.1f%% fwd=%.1f%% bwd=%.1f%%\n",
 		res.Stage.Emb.Seconds()/tot*100, res.Stage.Forward.Seconds()/tot*100, res.Stage.Backward.Seconds()/tot*100)
 	fmt.Printf("final metric: %.4f\n", res.FinalMetric)

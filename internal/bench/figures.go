@@ -540,13 +540,15 @@ func (e *Env) Run(name string) error {
 		return e.ShardSweep()
 	case "network":
 		return e.NetworkSweep()
+	case "trainbatch":
+		return e.TrainBatchSweep()
 	case "all":
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network"} {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|all)", name)
+	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|all)", name)
 }

@@ -161,6 +161,20 @@ func (s *session) Get(key uint64, dst []byte) (bool, error) {
 	return wire.DecodeGetResp(p, dst)
 }
 
+// Peek implements kv.PeekSession: a clock-free read on the server, so
+// remote evaluation never acquires staleness tokens that would stall
+// training reads.
+func (s *session) Peek(key uint64, dst []byte) (bool, error) {
+	if len(dst) != s.vs {
+		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
+	}
+	p, err := s.cn.roundTrip(wire.OpPeek, wire.EncodeKey(key))
+	if err != nil {
+		return false, err
+	}
+	return wire.DecodeGetResp(p, dst)
+}
+
 func (s *session) Put(key uint64, val []byte) error {
 	if len(val) != s.vs {
 		return fmt.Errorf("client: val length %d != value size %d", len(val), s.vs)

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/tensor"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
 
@@ -367,7 +368,7 @@ func (s *Session) getOn(sh int, key uint64, dst []float32) error {
 			return err
 		}
 		if found {
-			bytesToFloats(buf, dst)
+			tensor.BytesToF32s(buf, dst)
 			return nil
 		}
 		// First touch: initialize atomically, then retry the Get so the
@@ -386,7 +387,7 @@ func (s *Session) initKey(fs *faster.Session, key uint64) error {
 		}
 		tmp := make([]float32, s.t.dim)
 		s.t.init(key, tmp)
-		floatsToBytes(tmp, cur)
+		tensor.F32sToBytes(tmp, cur)
 	})
 }
 
@@ -394,12 +395,21 @@ func (s *Session) initKey(fs *faster.Session, key uint64) error {
 // fanning the per-shard key groups out in parallel on a sharded table.
 // Duplicate keys each perform their own clocked read; deduplicate in the
 // caller if the training step applies one combined update.
+//
+// Under a blocking staleness bound (BSP or finite SSP) the batch runs
+// sequentially in the caller's key order instead of fanning out: a clocked
+// Get is a token acquisition that only the matching Put releases, so two
+// sessions acquiring different shards in parallel could each hold a key
+// the other is blocked on. Callers that may block (the trainers) pass
+// unique keys in ascending order, which keeps the cross-session wait
+// graph acyclic exactly as it does on the scalar path.
 func (s *Session) GetBatch(keys []uint64, dst []float32) error {
 	if len(dst) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: dst length %d != %d keys × dim %d", len(dst), len(keys), s.t.dim)
 	}
 	dim := s.t.dim
-	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin {
+	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin ||
+		faster.BlockingBound(s.t.stores[0].StalenessBound()) {
 		for i, k := range keys {
 			if err := s.getOn(s.t.shardOf(k), k, dst[i*dim:(i+1)*dim]); err != nil {
 				return err
@@ -425,7 +435,7 @@ func (s *Session) Peek(key uint64, dst []float32) (bool, error) {
 	sh := s.t.shardOf(key)
 	found, err := s.ss[sh].Peek(key, s.bufs[sh])
 	if found {
-		bytesToFloats(s.bufs[sh], dst)
+		tensor.BytesToF32s(s.bufs[sh], dst)
 	}
 	return found, err
 }
@@ -442,7 +452,7 @@ func (s *Session) Put(key uint64, val []float32) error {
 // putOn runs the upsert against one shard, using that shard's session and
 // scratch.
 func (s *Session) putOn(sh int, key uint64, val []float32) error {
-	floatsToBytes(val, s.bufs[sh])
+	tensor.F32sToBytes(val, s.bufs[sh])
 	return s.ss[sh].Put(key, s.bufs[sh])
 }
 
@@ -542,14 +552,3 @@ func (t *Table) DiskUsage() (int64, error) {
 	return total, nil
 }
 
-func bytesToFloats(src []byte, dst []float32) {
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
-	}
-}
-
-func floatsToBytes(src []float32, dst []byte) {
-	for i, v := range src {
-		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
-	}
-}

@@ -143,6 +143,14 @@ func (st *Store) SetStalenessBound(b int64) { st.bound.Store(b) }
 // StalenessBound returns the current bound.
 func (st *Store) StalenessBound() int64 { return st.bound.Load() }
 
+// BlockingBound reports whether clocked reads under bound can wait on the
+// vector clock. Only then does batch ordering matter for deadlock freedom:
+// with the clock disabled (bound < 0) or fully asynchronous (BoundAsync) a
+// Get never blocks, so batched reads are free to fan out across shards in
+// parallel. Under a blocking bound a Get is a token acquisition that only
+// the matching Put releases, and acquisitions must keep a global order.
+func BlockingBound(bound int64) bool { return bound >= 0 && bound != BoundAsync }
+
 // Stats returns a snapshot of operation counters.
 func (st *Store) Stats() StatsSnapshot { return st.stats.snapshot() }
 

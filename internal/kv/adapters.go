@@ -54,11 +54,12 @@ func (w fkStore) Shards() int                 { return 1 }
 
 type fkSession struct{ s *faster.Session }
 
-func (se fkSession) Get(key uint64, dst []byte) (bool, error) { return se.s.Get(key, dst) }
-func (se fkSession) Put(key uint64, val []byte) error         { return se.s.Put(key, val) }
-func (se fkSession) Delete(key uint64) error                  { return se.s.Delete(key) }
-func (se fkSession) Prefetch(key uint64) (bool, error)        { return se.s.Prefetch(key) }
-func (se fkSession) Close()                                   { se.s.Close() }
+func (se fkSession) Get(key uint64, dst []byte) (bool, error)  { return se.s.Get(key, dst) }
+func (se fkSession) Put(key uint64, val []byte) error          { return se.s.Put(key, val) }
+func (se fkSession) Delete(key uint64) error                   { return se.s.Delete(key) }
+func (se fkSession) Prefetch(key uint64) (bool, error)         { return se.s.Prefetch(key) }
+func (se fkSession) Peek(key uint64, dst []byte) (bool, error) { return se.s.Peek(key, dst) }
+func (se fkSession) Close()                                    { se.s.Close() }
 
 // WrapFasterShards adapts a hash-partitioned set of FASTER stores to the
 // Store interface: every operation routes to the shard util.ShardOf
@@ -90,7 +91,7 @@ func (w fkShardStore) NewSession() (Session, error) {
 		}
 		ss[i] = s
 	}
-	return &fkShardSession{ss: ss, groups: make([][]int, len(ss))}, nil
+	return &fkShardSession{ss: ss, groups: make([][]int, len(ss)), st0: w.stores[0]}, nil
 }
 
 func (w fkShardStore) ValueSize() int { return w.stores[0].ValueSize() }
@@ -139,7 +140,8 @@ func (w fkShardStore) Stats() faster.StatsSnapshot {
 
 type fkShardSession struct {
 	ss     []*faster.Session
-	groups [][]int // reusable per-shard index groups for batches
+	groups [][]int       // reusable per-shard index groups for batches
+	st0    *faster.Store // representative for the shared staleness bound
 }
 
 func (se *fkShardSession) route(key uint64) *faster.Session {
@@ -152,6 +154,9 @@ func (se *fkShardSession) Get(key uint64, dst []byte) (bool, error) {
 func (se *fkShardSession) Put(key uint64, val []byte) error  { return se.route(key).Put(key, val) }
 func (se *fkShardSession) Delete(key uint64) error           { return se.route(key).Delete(key) }
 func (se *fkShardSession) Prefetch(key uint64) (bool, error) { return se.route(key).Prefetch(key) }
+func (se *fkShardSession) Peek(key uint64, dst []byte) (bool, error) {
+	return se.route(key).Peek(key, dst)
+}
 func (se *fkShardSession) Close() {
 	for _, s := range se.ss {
 		s.Close()
@@ -171,6 +176,25 @@ func (se *fkShardSession) GetBatch(keys []uint64, vals []byte, found []bool) err
 		return nil
 	}
 	vs := len(vals) / len(keys)
+	// Under a blocking staleness bound (BSP or finite SSP) clocked reads
+	// are token acquisitions that must keep the caller's global key order,
+	// or two sessions' parallel per-shard groups could each hold a token
+	// the other is blocked on. Run the batch serially in caller order —
+	// exactly what core.Session.GetBatch does for the same reason.
+	if faster.BlockingBound(se.st0.StalenessBound()) {
+		for i, k := range keys {
+			slot := vals[i*vs : (i+1)*vs]
+			ok, err := se.route(k).Get(k, slot)
+			if err != nil {
+				return err
+			}
+			found[i] = ok
+			if !ok {
+				clear(slot)
+			}
+		}
+		return nil
+	}
 	return se.fanOut(keys, func(sh int, idxs []int) error {
 		s := se.ss[sh]
 		for _, i := range idxs {

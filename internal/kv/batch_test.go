@@ -11,12 +11,16 @@ import (
 )
 
 func openShardSet(t *testing.T, shards, vs int) Store {
+	return openShardSetBound(t, shards, vs, -1)
+}
+
+func openShardSetBound(t *testing.T, shards, vs int, bound int64) Store {
 	t.Helper()
 	set := make([]*faster.Store, shards)
 	for i := range set {
 		st, err := faster.Open(faster.Config{
 			Dir: t.TempDir(), ValueSize: vs, RecordsPerPage: 64,
-			MemPages: 8, MutablePages: 3, StalenessBound: -1,
+			MemPages: 8, MutablePages: 3, StalenessBound: bound,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -102,6 +106,97 @@ func TestBatchHelpers(t *testing.T) {
 				t.Fatal("undersized vals accepted")
 			}
 		})
+	}
+}
+
+// TestSessionPeekAndLookahead drives the optional Peek/Lookahead seams
+// over a store that implements them natively (sharded FASTER) and one
+// that relies on the helpers' fallbacks (LSM).
+func TestSessionPeekAndLookahead(t *testing.T) {
+	const vs = 8
+	stores := map[string]Store{"sharded": openShardSet(t, 4, vs)}
+	ls, err := lsm.Open(lsm.Config{Dir: t.TempDir(), ValueSize: vs, MemtableBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["lsm-fallback"] = WrapLSM(ls)
+
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			defer store.Close()
+			s, err := store.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			keys := []uint64{2, 40, 77, 1 << 33}
+			val := make([]byte, vs)
+			for _, k := range keys {
+				for i := range val {
+					val[i] = byte(k) + byte(i)
+				}
+				if err := s.Put(k, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make([]byte, vs)
+			for _, k := range keys {
+				found, err := SessionPeek(s, k, got)
+				if err != nil || !found {
+					t.Fatalf("peek %d: found=%v err=%v", k, found, err)
+				}
+				if got[0] != byte(k) {
+					t.Fatalf("peek %d read %d", k, got[0])
+				}
+			}
+			if found, err := SessionPeek(s, 0xdead_beef, got); err != nil || found {
+				t.Fatalf("peek of missing key: found=%v err=%v", found, err)
+			}
+			if _, err := SessionLookahead(s, keys); err != nil {
+				t.Fatalf("lookahead: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardedBatchBlockingBoundSerial covers the GetBatch ordering gate:
+// under BSP (bound 0) the sharded adapter must run batches serially in
+// caller order, and a balanced get-then-put loop must make progress.
+func TestShardedBatchBlockingBoundSerial(t *testing.T) {
+	const vs = 8
+	store := openShardSetBound(t, 4, vs, 0)
+	defer store.Close()
+	s, err := store.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 64 // above batchFanoutMin: without the gate this would fan out
+	keys := make([]uint64, n)
+	vals := make([]byte, n*vs)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i*vs] = byte(i)
+	}
+	if err := SessionPutBatch(s, vs, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n*vs)
+	found := make([]bool, n)
+	for round := 0; round < 3; round++ {
+		if err := SessionGetBatch(s, vs, keys, got, found); err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			if !found[i] || got[i*vs] != byte(i) {
+				t.Fatalf("round %d key %d: found=%v val=%d", round, keys[i], found[i], got[i*vs])
+			}
+		}
+		// Release the tokens the clocked reads acquired.
+		if err := SessionPutBatch(s, vs, keys, got); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -54,6 +54,27 @@ type BatchSession interface {
 	PutBatch(keys []uint64, vals []byte) error
 }
 
+// PeekSession is an optional Session extension for engines whose reads
+// normally have consistency effects (MLKV's clocked Gets). Peek reads
+// without them: no vector-clock participation, no copy toward the mutable
+// tail. Evaluation traffic goes through SessionPeek so scoring a model
+// never acquires clock tokens that would stall training reads.
+type PeekSession interface {
+	Session
+	// Peek reads key's value into dst without consistency effects.
+	Peek(key uint64, dst []byte) (bool, error)
+}
+
+// LookaheadSession is an optional Session extension for engines with a
+// native batched prefetch: the network client ships one LOOKAHEAD frame
+// instead of one Prefetch round trip per key.
+type LookaheadSession interface {
+	Session
+	// Lookahead hints that keys will be read soon, returning how many
+	// records the engine reports moving toward memory.
+	Lookahead(keys []uint64) (int, error)
+}
+
 // Checkpointer is an optional Store extension for engines that can make
 // their contents durable on demand.
 type Checkpointer interface {
@@ -70,6 +91,36 @@ type StatsReporter interface {
 // count backing the store.
 type Sharded interface {
 	Shards() int
+}
+
+// SessionPeek reads key without consistency effects when s supports it,
+// falling back to a plain Get — which, for the clock-free engines that
+// lack Peek (LSM, B+tree), is the same thing.
+func SessionPeek(s Session, key uint64, dst []byte) (bool, error) {
+	if ps, ok := s.(PeekSession); ok {
+		return ps.Peek(key, dst)
+	}
+	return s.Get(key, dst)
+}
+
+// SessionLookahead hints that keys will be read soon — as one batched call
+// when the engine has one, else one Prefetch per key — returning how many
+// records the engine reports moving toward memory.
+func SessionLookahead(s Session, keys []uint64) (int, error) {
+	if ls, ok := s.(LookaheadSession); ok {
+		return ls.Lookahead(keys)
+	}
+	n := 0
+	for _, k := range keys {
+		ok, err := s.Prefetch(k)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // SessionGetBatch reads len(keys) values into vals (len(keys)×valueSize)

@@ -201,6 +201,9 @@ type connState struct {
 
 func (s *Server) handleConn(c net.Conn) {
 	defer c.Close()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // responses are latency-bound, like the client's requests
+	}
 	sess, err := s.cfg.Store.NewSession()
 	if err != nil {
 		s.cfg.Logf("server: %s: session: %v", c.RemoteAddr(), err)
@@ -269,6 +272,17 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		found, err := st.sess.Get(key, st.scratch)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, wire.EncodeGetResp(found, st.scratch), false
+
+	case wire.OpPeek:
+		key, err := wire.DecodeKey(p)
+		if err != nil {
+			return fail(err)
+		}
+		found, err := kv.SessionPeek(st.sess, key, st.scratch)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,28 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The storage layers all persist embeddings as little-endian IEEE-754
+// float32 words. These two helpers are the one codec every layer shares
+// (core tables, the train KV/remote backends, benchmarks); keeping a
+// single definition stops the byte order from drifting between the
+// in-process and on-the-wire representations.
+
+// BytesToF32s decodes len(dst) little-endian float32 words from src into
+// dst. src must hold at least 4*len(dst) bytes.
+func BytesToF32s(src []byte, dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
+// F32sToBytes encodes src as little-endian float32 words into dst, which
+// must hold at least 4*len(src) bytes.
+func F32sToBytes(src []float32, dst []byte) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
+	}
+}

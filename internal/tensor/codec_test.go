@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestF32CodecRoundTrip(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, -0.25, math.MaxFloat32, math.SmallestNonzeroFloat32,
+		float32(math.Inf(1)), float32(math.Inf(-1)), 3.14159, -2.71828}
+	buf := make([]byte, 4*len(src))
+	F32sToBytes(src, buf)
+	got := make([]float32, len(src))
+	BytesToF32s(buf, got)
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("index %d: %x -> %x", i, math.Float32bits(src[i]), math.Float32bits(got[i]))
+		}
+	}
+}
+
+func TestF32CodecNaN(t *testing.T) {
+	src := []float32{float32(math.NaN())}
+	buf := make([]byte, 4)
+	F32sToBytes(src, buf)
+	got := make([]float32, 1)
+	BytesToF32s(buf, got)
+	if !math.IsNaN(float64(got[0])) {
+		t.Fatalf("NaN round-tripped to %v", got[0])
+	}
+}
+
+func TestF32CodecLittleEndian(t *testing.T) {
+	buf := make([]byte, 4)
+	F32sToBytes([]float32{1.0}, buf) // 0x3f800000
+	want := [4]byte{0x00, 0x00, 0x80, 0x3f}
+	if [4]byte(buf) != want {
+		t.Fatalf("encoding of 1.0 = % x, want % x", buf, want[:])
+	}
+}
+
+func BenchmarkF32sToBytes(b *testing.B) {
+	src := make([]float32, 64) // a typical embedding vector
+	for i := range src {
+		src[i] = float32(i) * 0.125
+	}
+	dst := make([]byte, 4*len(src))
+	b.SetBytes(int64(len(dst)))
+	for i := 0; i < b.N; i++ {
+		F32sToBytes(src, dst)
+	}
+}
+
+func BenchmarkBytesToF32s(b *testing.B) {
+	src := make([]byte, 4*64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]float32, 64)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		BytesToF32s(src, dst)
+	}
+}

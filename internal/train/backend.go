@@ -2,16 +2,25 @@
 // evaluation: synchronous (BSP), bounded-staleness (SSP), and fully
 // asynchronous (ASP) out-of-core training of DLRM, KGE, and GNN models over
 // pluggable embedding backends (MLKV, plain FASTER, LSM, B+tree, sharded
-// memory), with per-stage time instrumentation (embedding access, forward,
-// backward) and periodic quality evaluation — everything needed to
-// regenerate Figures 2 and 6–11.
+// memory, or a remote mlkv-server), with per-stage time instrumentation
+// (embedding access, forward, backward) and periodic quality evaluation —
+// everything needed to regenerate Figures 2 and 6–11.
+//
+// All three trainers access storage through the batched gather/scatter
+// path (gather.go): the minibatch's keys are deduplicated and sorted, one
+// GetBatch fetches every unique embedding, gradients accumulate per unique
+// key, and one PutBatch writes everything back — so the vector-clock
+// protocol applies to each unique key exactly once per step, and a remote
+// backend pays two framed round trips per step instead of two per key.
 package train
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/tensor"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
 
@@ -26,12 +35,27 @@ type Backend interface {
 }
 
 // Handle is one worker's embedding-store handle.
+//
+// Clock discipline: under a bounded-staleness backend a Get (or a key's
+// slot in a GetBatch) acquires a staleness token that only the matching
+// Put releases, so every key read by Get/GetBatch must be written back by
+// exactly one Put/PutBatch before the step ends. Batch calls that may
+// block (any finite bound) additionally require unique keys in ascending
+// order, which keeps the cross-worker wait graph acyclic; the gather
+// helper enforces both invariants for the trainers.
 type Handle interface {
 	// Get reads (initializing on first touch) under the engine's
 	// consistency protocol.
 	Get(key uint64, dst []float32) error
+	// GetBatch reads len(keys) embeddings into dst (len(keys)*Dim),
+	// initializing missing keys on first touch, as one batched storage
+	// call where the engine has one.
+	GetBatch(keys []uint64, dst []float32) error
 	// Put writes an updated embedding.
 	Put(key uint64, val []float32) error
+	// PutBatch writes len(keys) embeddings from vals (len(keys)*Dim) as
+	// one batched storage call where the engine has one.
+	PutBatch(keys []uint64, vals []float32) error
 	// Peek reads without consistency effects (evaluation). Missing keys
 	// leave dst zeroed and return false.
 	Peek(key uint64, dst []float32) (bool, error)
@@ -86,7 +110,13 @@ type tableHandle struct {
 }
 
 func (h *tableHandle) Get(key uint64, dst []float32) error { return h.s.Get(key, dst) }
+func (h *tableHandle) GetBatch(keys []uint64, dst []float32) error {
+	return h.s.GetBatch(keys, dst)
+}
 func (h *tableHandle) Put(key uint64, val []float32) error { return h.s.Put(key, val) }
+func (h *tableHandle) PutBatch(keys []uint64, vals []float32) error {
+	return h.s.PutBatch(keys, vals)
+}
 func (h *tableHandle) Peek(key uint64, dst []float32) (bool, error) {
 	return h.s.Peek(key, dst)
 }
@@ -97,7 +127,7 @@ func (h *tableHandle) Lookahead(keys []uint64) {
 }
 func (h *tableHandle) Close() { h.s.Close() }
 
-// --- kv.Store backend (LSM, B+tree) ---
+// --- kv.Store backend (LSM, B+tree, remote) ---
 
 // KVBackend adapts a byte-interface kv.Store, adding float32 conversion
 // and first-touch initialization on the application side — exactly how the
@@ -131,7 +161,21 @@ func (b *KVBackend) NewHandle() (Handle, error) {
 type kvHandle struct {
 	b   *KVBackend
 	s   kv.Session
-	buf []byte
+	buf []byte // one value, scalar-path staging
+
+	// Batch-path scratch, grown on demand and reused across steps.
+	bbuf     []byte
+	found    []bool
+	missKeys []uint64
+	missVals []byte
+}
+
+func (h *kvHandle) initInto(key uint64, dst []float32) {
+	if h.b.Init != nil {
+		h.b.Init(key, dst)
+		return
+	}
+	zero32(dst)
 }
 
 func (h *kvHandle) Get(key uint64, dst []float32) error {
@@ -140,40 +184,89 @@ func (h *kvHandle) Get(key uint64, dst []float32) error {
 		return err
 	}
 	if !found {
-		if h.b.Init != nil {
-			h.b.Init(key, dst)
-		} else {
-			for i := range dst {
-				dst[i] = 0
-			}
-		}
-		floats32ToBytes(dst, h.buf)
+		h.initInto(key, dst)
+		tensor.F32sToBytes(dst, h.buf)
 		return h.s.Put(key, h.buf)
 	}
-	bytesToFloats32(h.buf, dst)
+	tensor.BytesToF32s(h.buf, dst)
 	return nil
 }
 
+// GetBatch issues one batched read, then initializes and writes back the
+// missing keys with one batched write — the first-touch protocol of the
+// scalar path, paid once per step instead of once per key.
+func (h *kvHandle) GetBatch(keys []uint64, dst []float32) error {
+	dim := h.b.DimN
+	if len(dst) != len(keys)*dim {
+		return fmt.Errorf("train: dst length %d != %d keys × dim %d", len(dst), len(keys), dim)
+	}
+	vs := dim * 4
+	h.bbuf = grow(h.bbuf, len(keys)*vs)
+	h.found = grow(h.found, len(keys))
+	if err := kv.SessionGetBatch(h.s, vs, keys, h.bbuf, h.found); err != nil {
+		return err
+	}
+	h.missKeys = h.missKeys[:0]
+	h.missVals = h.missVals[:0]
+	for i, ok := range h.found {
+		seg := dst[i*dim : (i+1)*dim]
+		if ok {
+			tensor.BytesToF32s(h.bbuf[i*vs:], seg)
+			continue
+		}
+		h.initInto(keys[i], seg)
+		h.missKeys = append(h.missKeys, keys[i])
+		n := len(h.missVals)
+		h.missVals = append(h.missVals, make([]byte, vs)...)
+		tensor.F32sToBytes(seg, h.missVals[n:])
+	}
+	if len(h.missKeys) == 0 {
+		return nil
+	}
+	return kv.SessionPutBatch(h.s, vs, h.missKeys, h.missVals)
+}
+
 func (h *kvHandle) Put(key uint64, val []float32) error {
-	floats32ToBytes(val, h.buf)
+	tensor.F32sToBytes(val, h.buf)
 	return h.s.Put(key, h.buf)
 }
 
+func (h *kvHandle) PutBatch(keys []uint64, vals []float32) error {
+	dim := h.b.DimN
+	if len(vals) != len(keys)*dim {
+		return fmt.Errorf("train: vals length %d != %d keys × dim %d", len(vals), len(keys), dim)
+	}
+	vs := dim * 4
+	h.bbuf = grow(h.bbuf, len(keys)*vs)
+	tensor.F32sToBytes(vals, h.bbuf)
+	return kv.SessionPutBatch(h.s, vs, keys, h.bbuf[:len(keys)*vs])
+}
+
 func (h *kvHandle) Peek(key uint64, dst []float32) (bool, error) {
-	found, err := h.s.Get(key, h.buf)
+	found, err := kv.SessionPeek(h.s, key, h.buf)
 	if found {
-		bytesToFloats32(h.buf, dst)
+		tensor.BytesToF32s(h.buf, dst)
 	}
 	return found, err
 }
 
+// Lookahead ships the whole key list as one batched call when the session
+// supports it (one LOOKAHEAD frame on the network client) instead of one
+// Prefetch per key.
 func (h *kvHandle) Lookahead(keys []uint64) {
-	for _, k := range keys {
-		h.s.Prefetch(k)
-	}
+	kv.SessionLookahead(h.s, keys)
 }
 
 func (h *kvHandle) Close() { h.s.Close() }
+
+// grow resizes a reusable scratch slice to n elements without preserving
+// contents (callers overwrite the whole slice).
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
 
 // --- sharded in-memory backend ---
 
@@ -210,12 +303,20 @@ func (b *MemBackend) Name() string { return b.NameStr }
 func (b *MemBackend) Dim() int { return b.DimN }
 
 // NewHandle returns a handle (the backend is internally synchronized).
-func (b *MemBackend) NewHandle() (Handle, error) { return &memHandle{b: b}, nil }
+func (b *MemBackend) NewHandle() (Handle, error) {
+	return &memHandle{b: b, groups: make([][]int, len(b.shards))}, nil
+}
 
-type memHandle struct{ b *MemBackend }
+type memHandle struct {
+	b      *MemBackend
+	groups [][]int // reusable per-shard index groups for batches
+	miss   []int   // reusable per-shard miss list
+}
+
+func (b *MemBackend) shardOf(key uint64) int { return int(util.Mix64(key) & b.mask) }
 
 func (h *memHandle) Get(key uint64, dst []float32) error {
-	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh := &h.b.shards[h.b.shardOf(key)]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	if ok {
@@ -227,9 +328,7 @@ func (h *memHandle) Get(key uint64, dst []float32) error {
 	if h.b.Init != nil {
 		h.b.Init(key, dst)
 	} else {
-		for i := range dst {
-			dst[i] = 0
-		}
+		zero32(dst)
 	}
 	sh.mu.Lock()
 	if v, ok := sh.m[key]; ok {
@@ -241,8 +340,56 @@ func (h *memHandle) Get(key uint64, dst []float32) error {
 	return nil
 }
 
+// GetBatch groups the batch's keys by shard and takes each shard lock once
+// per group instead of once per key; misses are initialized outside the
+// lock and inserted under one write lock per shard.
+func (h *memHandle) GetBatch(keys []uint64, dst []float32) error {
+	dim := h.b.DimN
+	if len(dst) != len(keys)*dim {
+		return fmt.Errorf("train: dst length %d != %d keys × dim %d", len(dst), len(keys), dim)
+	}
+	for sh, idxs := range h.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := &h.b.shards[sh]
+		h.miss = h.miss[:0]
+		s.mu.RLock()
+		for _, i := range idxs {
+			if v, ok := s.m[keys[i]]; ok {
+				copy(dst[i*dim:(i+1)*dim], v)
+			} else {
+				h.miss = append(h.miss, i)
+			}
+		}
+		s.mu.RUnlock()
+		if len(h.miss) == 0 {
+			continue
+		}
+		for _, i := range h.miss {
+			seg := dst[i*dim : (i+1)*dim]
+			if h.b.Init != nil {
+				h.b.Init(keys[i], seg)
+			} else {
+				zero32(seg)
+			}
+		}
+		s.mu.Lock()
+		for _, i := range h.miss {
+			seg := dst[i*dim : (i+1)*dim]
+			if v, ok := s.m[keys[i]]; ok {
+				copy(seg, v) // raced with another worker's first touch
+			} else {
+				s.m[keys[i]] = append([]float32(nil), seg...)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
 func (h *memHandle) Put(key uint64, val []float32) error {
-	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh := &h.b.shards[h.b.shardOf(key)]
 	sh.mu.Lock()
 	if v, ok := sh.m[key]; ok {
 		copy(v, val)
@@ -253,8 +400,44 @@ func (h *memHandle) Put(key uint64, val []float32) error {
 	return nil
 }
 
+// PutBatch takes each shard lock once per per-shard group.
+func (h *memHandle) PutBatch(keys []uint64, vals []float32) error {
+	dim := h.b.DimN
+	if len(vals) != len(keys)*dim {
+		return fmt.Errorf("train: vals length %d != %d keys × dim %d", len(vals), len(keys), dim)
+	}
+	for sh, idxs := range h.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := &h.b.shards[sh]
+		s.mu.Lock()
+		for _, i := range idxs {
+			val := vals[i*dim : (i+1)*dim]
+			if v, ok := s.m[keys[i]]; ok {
+				copy(v, val)
+			} else {
+				s.m[keys[i]] = append([]float32(nil), val...)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func (h *memHandle) groupByShard(keys []uint64) [][]int {
+	for i := range h.groups {
+		h.groups[i] = h.groups[i][:0]
+	}
+	for i, k := range keys {
+		sh := h.b.shardOf(k)
+		h.groups[sh] = append(h.groups[sh], i)
+	}
+	return h.groups
+}
+
 func (h *memHandle) Peek(key uint64, dst []float32) (bool, error) {
-	sh := &h.b.shards[util.Mix64(key)&h.b.mask]
+	sh := &h.b.shards[h.b.shardOf(key)]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	if ok {
@@ -266,20 +449,3 @@ func (h *memHandle) Peek(key uint64, dst []float32) (bool, error) {
 
 func (h *memHandle) Lookahead([]uint64) {}
 func (h *memHandle) Close()             {}
-
-func bytesToFloats32(src []byte, dst []float32) {
-	for i := range dst {
-		bits := uint32(src[i*4]) | uint32(src[i*4+1])<<8 | uint32(src[i*4+2])<<16 | uint32(src[i*4+3])<<24
-		dst[i] = f32frombits(bits)
-	}
-}
-
-func floats32ToBytes(src []float32, dst []byte) {
-	for i, v := range src {
-		bits := f32bits(v)
-		dst[i*4] = byte(bits)
-		dst[i*4+1] = byte(bits >> 8)
-		dst[i*4+2] = byte(bits >> 16)
-		dst[i*4+3] = byte(bits >> 24)
-	}
-}

@@ -1,0 +1,282 @@
+package train
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/bptree"
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/models"
+	"github.com/llm-db/mlkv-go/internal/server"
+)
+
+const confDim = 8
+
+var confInit = core.UniformInit(0.05, 1)
+
+// confBackends builds one instance of every Handle implementation: MLKV
+// table (clock on), plain FASTER (clock off), B+tree through the KV
+// adapter, sharded memory, and a remote backend speaking the wire
+// protocol to a loopback mlkv-server. Each comes fresh (empty store).
+func confBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	out := map[string]Backend{
+		"mlkv":   mlkvBackend(t, confDim, core.BoundASP),
+		"faster": mlkvBackend(t, confDim, core.BoundDisabled),
+		"mem":    NewMemBackend("mem", confDim, confInit),
+	}
+
+	bt, err := bptree.Open(bptree.Config{Dir: t.TempDir(), ValueSize: confDim * 4, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bt.Close() })
+	out["bptree"] = NewKVBackend(kv.WrapBPTree(bt), confDim, confInit)
+
+	out["remote"] = remoteBackend(t, confDim, 0, core.BoundASP)
+	return out
+}
+
+// remoteBackend serves a fresh sharded store on loopback and dials it.
+// maxSessions sizes the connection pool (0 = a small default).
+func remoteBackend(t *testing.T, dim, conns int, bound int64) *RemoteBackend {
+	t.Helper()
+	if conns <= 0 {
+		conns = 4
+	}
+	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+		Dir: t.TempDir(), Shards: 4, ValueSize: dim * 4, RecordsPerPage: 64,
+		MemoryBytes: 1 << 20, StalenessBound: bound,
+	}, "mlkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	rb, err := DialRemote(ln.Addr().String(), dim, confInit, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rb.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+		store.Close()
+	})
+	return rb
+}
+
+func f32Eq(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHandleConformance runs the same observable-behavior contract over
+// every backend: first-touch init is deterministic and persistent,
+// GetBatch and scalar Get agree, PutBatch round-trips, Peek sees the last
+// Put and misses on unknown keys, Lookahead is a safe no-op at worst.
+// Reads and writes stay balanced so the clocked backends' vector clocks
+// never strand a token.
+func TestHandleConformance(t *testing.T) {
+	for name, b := range confBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if b.Dim() != confDim {
+				t.Fatalf("Dim() = %d, want %d", b.Dim(), confDim)
+			}
+			h, err := b.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+
+			keys := []uint64{3, 11, 42, 77, 99, 500, 12345, 1<<40 + 7}
+			dim := b.Dim()
+
+			// First touch through the batch path: every slot must hold the
+			// deterministic initializer's output.
+			got := make([]float32, len(keys)*dim)
+			if err := h.GetBatch(keys, got); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float32, dim)
+			for i, k := range keys {
+				confInit(k, want)
+				if !f32Eq(got[i*dim:(i+1)*dim], want) {
+					t.Fatalf("key %d: first-touch GetBatch = %v, want %v", k, got[i*dim:(i+1)*dim], want)
+				}
+			}
+			if err := h.PutBatch(keys, got); err != nil { // release the read tokens
+				t.Fatal(err)
+			}
+
+			// Scalar Get must see exactly what the batch saw (the init
+			// persisted; no re-initialization on later reads).
+			one := make([]float32, dim)
+			for i, k := range keys {
+				if err := h.Get(k, one); err != nil {
+					t.Fatal(err)
+				}
+				if !f32Eq(one, got[i*dim:(i+1)*dim]) {
+					t.Fatalf("key %d: scalar Get %v != batch value %v", k, one, got[i*dim:(i+1)*dim])
+				}
+				if err := h.Put(k, one); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// PutBatch round-trip with distinct values.
+			vals := make([]float32, len(keys)*dim)
+			for i := range vals {
+				vals[i] = float32(i) * 0.25
+			}
+			if err := h.PutBatch(keys, vals); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.GetBatch(keys, got); err != nil {
+				t.Fatal(err)
+			}
+			if !f32Eq(got, vals) {
+				t.Fatal("GetBatch after PutBatch returned different values")
+			}
+			if err := h.PutBatch(keys, got); err != nil {
+				t.Fatal(err)
+			}
+
+			// Peek-after-Put: sees the last write, no clock effects, and
+			// misses cleanly on a never-touched key.
+			if found, err := h.Peek(keys[0], one); err != nil || !found {
+				t.Fatalf("Peek(%d): found=%v err=%v", keys[0], found, err)
+			}
+			if !f32Eq(one, vals[:dim]) {
+				t.Fatalf("Peek read %v, want %v", one, vals[:dim])
+			}
+			if found, err := h.Peek(0xdead_beef_0001, one); err != nil || found {
+				t.Fatalf("Peek of missing key: found=%v err=%v", found, err)
+			}
+
+			// Lookahead must be safe on any backend (async hint or no-op).
+			h.Lookahead(keys)
+		})
+	}
+}
+
+// TestGatherDedupAndScatter pins the gather contract: duplicate adds
+// collapse to one slot, keys sort ascending, duplicate gradients sum, and
+// scatter applies each unique key's combined update exactly once.
+func TestGatherDedupAndScatter(t *testing.T) {
+	const dim = 4
+	for _, scalar := range []bool{false, true} {
+		b := NewMemBackend("mem", dim, nil) // zero-init
+		h, err := b.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newGather(dim, scalar)
+		g.reset()
+		for _, k := range []uint64{9, 5, 9, 7, 5, 9} {
+			g.add(k)
+		}
+		if g.keyCount() != 3 {
+			t.Fatalf("scalar=%v: %d unique keys, want 3", scalar, g.keyCount())
+		}
+		if err := g.fetch(h); err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []uint64{5, 7, 9} {
+			if g.keys[i] != want {
+				t.Fatalf("scalar=%v: keys[%d] = %d, want %d (ascending)", scalar, i, g.keys[i], want)
+			}
+		}
+		// Duplicate keys alias one embedding slot.
+		g.emb(9)[0] = 42
+		if g.emb(9)[0] != 42 {
+			t.Fatal("emb(9) not aliased")
+		}
+		// Gradients accumulate per unique key; scatter applies once.
+		g.accumulate(9, []float32{1, 0, 0, 0}, 1)
+		g.accumulate(9, []float32{2, 0, 0, 0}, 1)
+		g.accumulate(5, []float32{1, 1, 1, 1}, 0.5)
+		if err := g.scatter(h, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float32, dim)
+		if found, _ := h.Peek(9, out); !found || out[0] != 42-3 {
+			t.Fatalf("scalar=%v: key 9 = %v, want first elem %v", scalar, out, 42-3)
+		}
+		if found, _ := h.Peek(5, out); !found || out[0] != -0.5 {
+			t.Fatalf("scalar=%v: key 5 = %v, want first elem -0.5", scalar, out)
+		}
+		if found, _ := h.Peek(7, out); !found || out[0] != 0 {
+			t.Fatalf("scalar=%v: key 7 = %v, want zeros (fetched, no grad, still written)", scalar, out)
+		}
+		h.Close()
+	}
+}
+
+// TestTrainCTRScalarPath keeps the legacy per-key access path working end
+// to end (the trainbatch bench's baseline) under BSP sync training.
+func TestTrainCTRScalarPath(t *testing.T) {
+	gen := data.NewCTRGen(data.CTRConfig{Fields: 3, DenseDim: 2, FieldCard: 200, Seed: 11})
+	model := models.NewDLRM(models.FFNN, 3, 4, 2, []int{8}, 13)
+	res, err := TrainCTR(CTROptions{
+		Gen: gen, Model: model, Backend: mlkvBackend(t, 4, core.BoundBSP),
+		Workers: 3, Batch: 8, Mode: ModeSync, Scalar: true,
+		DenseLR: 0.05, EmbLR: 0.05,
+		MaxSamples: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 2000 {
+		t.Fatalf("scalar sync training stalled at %d samples", res.Samples)
+	}
+}
+
+// TestTrainCTRRemoteBSP trains DLRM against a loopback mlkv-server whose
+// store enforces BSP (staleness bound 0) with sync workers — the full
+// remote-training path: batched gather/scatter as GETBATCH/PUTBATCH
+// frames, serial in-order clocked reads on the server, clock balance
+// across steps, clock-free PEEK evaluation.
+func TestTrainCTRRemoteBSP(t *testing.T) {
+	const workers = 2
+	rb := remoteBackend(t, confDim, workers+2, core.BoundBSP)
+	gen := data.NewCTRGen(data.CTRConfig{Fields: 3, DenseDim: 2, FieldCard: 200, Seed: 7})
+	model := models.NewDLRM(models.FFNN, 3, confDim, 2, []int{8}, 9)
+	res, err := TrainCTR(CTROptions{
+		Gen: gen, Model: model, Backend: rb,
+		Workers: workers, Batch: 8, Mode: ModeSync,
+		DenseLR: 0.05, EmbLR: 0.05,
+		MaxSamples: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "remote(mlkv)" {
+		t.Fatalf("backend name %q", res.Backend)
+	}
+	if res.Samples < 1500 {
+		t.Fatalf("remote BSP training stalled at %d samples", res.Samples)
+	}
+	if res.FinalMetric <= 0 {
+		t.Fatalf("final AUC = %v", res.FinalMetric)
+	}
+}

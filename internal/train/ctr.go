@@ -2,6 +2,7 @@ package train
 
 import (
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,9 +11,6 @@ import (
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
-
-func f32bits(v float32) uint32     { return math.Float32bits(v) }
-func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
 
 // Mode selects the consistency discipline of the training pipeline. The
 // storage-level staleness bound lives in the backend; Mode controls the
@@ -69,6 +67,12 @@ type CTROptions struct {
 	MaxSamples int64         // optional hard cap (0 = unlimited)
 
 	LookaheadDepth int // samples generated ahead and prefetched (0 = off)
+
+	// Scalar forces the legacy per-key Get/Put access path: one storage
+	// call per key instead of one batched gather and one batched scatter
+	// per minibatch. The trainbatch bench uses it to measure what batching
+	// buys; key ordering, dedup, and clock balance are identical either way.
+	Scalar bool
 
 	EvalEvery   time.Duration // 0 disables the convergence curve
 	EvalSamples int
@@ -149,6 +153,8 @@ func TrainCTR(opts CTROptions) (*Result, error) {
 			gen := data.NewCTRGen(withStream(opts.Gen.Config(), uint64(wID)*7919+1))
 			dim := opts.Model.Dim
 			embs := make([]float32, opts.Model.Fields*dim)
+			g := newGather(dim, opts.Scalar)
+			samples := make([]data.CTRSample, 0, opts.Batch)
 
 			// Look-ahead pipeline: generate ahead, prefetch keys.
 			var pending []data.CTRSample
@@ -172,59 +178,72 @@ func TrainCTR(opts CTROptions) (*Result, error) {
 					return
 				default:
 				}
-				fieldOrder := make([]int, opts.Model.Fields)
+				// One step = one minibatch: collect the samples, dedup their
+				// keys, fetch every unique embedding with one batched gather
+				// (ascending order — under small staleness bounds clocked
+				// reads are blocking token acquisitions, and a global order
+				// keeps the cross-worker wait graph acyclic).
+				samples = samples[:0]
+				g.reset()
 				for b := 0; b < opts.Batch; b++ {
 					s := nextSample()
-
-					// Acquire embedding reads in ascending key order: under
-					// small staleness bounds Gets are blocking token
-					// acquisitions, and a global order keeps the cross-worker
-					// wait graph acyclic. Fields draw from disjoint key
-					// ranges, so there are no intra-sample duplicates.
-					for i := range fieldOrder {
-						fieldOrder[i] = i
+					samples = append(samples, s)
+					// Fields draw from disjoint key ranges, so duplicates
+					// only arise across samples; add dedups them.
+					for _, k := range s.Keys {
+						g.add(k)
 					}
-					sortFieldsByKey(fieldOrder, s.Keys)
-					t0 := time.Now()
-					for _, f := range fieldOrder {
-						if err := h.Get(s.Keys[f], embs[f*dim:(f+1)*dim]); err != nil {
-							errCh <- err
-							return
-						}
+				}
+				t0 := time.Now()
+				if err := g.fetch(h); err != nil {
+					errCh <- err
+					return
+				}
+				t1 := time.Now()
+				var fwdD, bwdD time.Duration
+				capped := false
+				for _, s := range samples {
+					for f, k := range s.Keys {
+						copy(embs[f*dim:(f+1)*dim], g.emb(k))
 					}
-					t1 := time.Now()
+					tf := time.Now()
 					logit, err := worker.Forward(s.Dense, embs)
 					if err != nil {
 						errCh <- err
 						return
 					}
-					t2 := time.Now()
-					loss, dLogit := bceLogit(logit, s.Label)
-					_ = loss
+					tb := time.Now()
+					_, dLogit := bceLogit(logit, s.Label)
 					dEmb := worker.Backward(dLogit)
-					t3 := time.Now()
 					for f, k := range s.Keys {
-						seg := embs[f*dim : (f+1)*dim]
-						for i := 0; i < dim; i++ {
-							seg[i] -= opts.EmbLR * dEmb[f*dim+i]
-						}
-						if err := h.Put(k, seg); err != nil {
-							errCh <- err
-							return
-						}
+						g.accumulate(k, dEmb[f*dim:(f+1)*dim], 1)
 					}
-					t4 := time.Now()
-					embNS.Add(int64(t1.Sub(t0) + t4.Sub(t3)))
-					fwdNS.Add(int64(t2.Sub(t1)))
-					bwdNS.Add(int64(t3.Sub(t2)))
+					td := time.Now()
+					fwdD += tb.Sub(tf)
+					bwdD += td.Sub(tb)
 					n := sampleCount.Add(1)
 					if opts.MaxSamples > 0 && n >= opts.MaxSamples {
-						safeClose(stop)
-						worker.Apply(opts.DenseLR)
-						return
+						capped = true
+						break
 					}
 				}
+				// Scatter before anything can stop the worker: every fetched
+				// key owes its write-back (clock balance), even on the final
+				// truncated minibatch.
+				t2 := time.Now()
+				if err := g.scatter(h, opts.EmbLR); err != nil {
+					errCh <- err
+					return
+				}
+				t3 := time.Now()
+				embNS.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
+				fwdNS.Add(int64(fwdD))
+				bwdNS.Add(int64(bwdD))
 				worker.Apply(opts.DenseLR)
+				if capped {
+					safeClose(stop)
+					return
+				}
 				if opts.BatchSyncDelay > 0 {
 					time.Sleep(opts.BatchSyncDelay)
 				}
@@ -307,24 +326,11 @@ func withStream(cfg data.CTRConfig, stream uint64) data.CTRConfig {
 	return cfg
 }
 
-// sortFieldsByKey orders field indices by their sample key (insertion sort;
-// field counts are small).
-func sortFieldsByKey(fields []int, keys []uint64) {
-	for i := 1; i < len(fields); i++ {
-		for j := i; j > 0 && keys[fields[j]] < keys[fields[j-1]]; j-- {
-			fields[j], fields[j-1] = fields[j-1], fields[j]
-		}
-	}
-}
-
-// sortU64 sorts keys ascending (insertion sort; per-sample key sets are
-// small).
+// sortU64 sorts keys ascending. Per-step unique key sets reach a few
+// hundred entries (CTR minibatches), so this is the stdlib sort rather
+// than an insertion sort.
 func sortU64(keys []uint64) {
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	slices.Sort(keys)
 }
 
 // syncBarrier is a reusable barrier that also honours the stop channel.

@@ -39,6 +39,10 @@ type GNNOptions struct {
 
 	LookaheadDepth int
 
+	// Scalar forces the legacy per-key Get/Put access path (see
+	// CTROptions.Scalar).
+	Scalar bool
+
 	EvalEvery time.Duration
 	EvalNodes int
 
@@ -167,8 +171,10 @@ func TrainGNN(opts GNNOptions) (*Result, error) {
 }
 
 // gnnWorker assembles neighborhoods, runs the model, and scatters
-// embedding gradients back to storage with per-unique-node dedup (so every
-// Get has exactly one matching Put, keeping the vector clock balanced).
+// embedding gradients back to storage through the shared gather: the
+// neighborhood's unique nodes are fetched with one batched read and
+// written back with one batched write (so every clocked read has exactly
+// one matching write, keeping the vector clock balanced).
 type gnnWorker struct {
 	opts GNNOptions
 	rng  *util.RNG
@@ -183,17 +189,14 @@ type gnnWorker struct {
 	eSelf  [][]float32
 	eMean  [][]float32
 	inputs [][][]float32
-	embOf  map[uint64][]float32
-	gradOf map[uint64][]float32
+	g      *gather
 }
 
 func newGNNWorker(opts GNNOptions, wID uint64) *gnnWorker {
 	w := &gnnWorker{
-		opts:   opts,
-		rng:    util.NewRNG(wID*31 + 7),
-		salt:   wID,
-		embOf:  make(map[uint64][]float32),
-		gradOf: make(map[uint64][]float32),
+		opts: opts,
+		rng:  util.NewRNG(wID*31 + 7),
+		salt: wID,
 	}
 	n1 := opts.Fanout + 1
 	w.nodes1 = make([]uint64, n1)
@@ -217,6 +220,7 @@ func newGNNWorker(opts GNNOptions, wID uint64) *gnnWorker {
 			w.inputs = append(w.inputs, row)
 		}
 	}
+	w.g = newGather(w.dim, opts.Scalar)
 	return w
 }
 
@@ -232,39 +236,19 @@ func (w *gnnWorker) sample() {
 	}
 }
 
-// fetch loads every unique node embedding once.
+// fetch loads every unique node embedding once: the gather dedups the
+// neighborhood, sorts it ascending (a global acquisition order keeps the
+// wait graph acyclic under blocking staleness bounds), and issues one
+// batched read.
 func (w *gnnWorker) fetch(h Handle) error {
-	for k := range w.embOf {
-		delete(w.embOf, k)
-	}
-	for k := range w.gradOf {
-		delete(w.gradOf, k)
-	}
-	// Collect the unique node set, then acquire reads in ascending key
-	// order: under small staleness bounds Gets are blocking token
-	// acquisitions, and a global order keeps the wait graph acyclic.
-	var order []uint64
-	collect := func(u uint64) {
-		if _, ok := w.embOf[u]; !ok {
-			w.embOf[u] = nil
-			order = append(order, u)
-		}
-	}
+	w.g.reset()
 	for i, u := range w.nodes1 {
-		collect(u)
+		w.g.add(u)
 		for _, x := range w.nbh[i] {
-			collect(x)
+			w.g.add(x)
 		}
 	}
-	sortU64(order)
-	for _, u := range order {
-		e := make([]float32, w.dim)
-		if err := h.Get(u, e); err != nil {
-			return err
-		}
-		w.embOf[u] = e
-	}
-	return nil
+	return w.g.fetch(h)
 }
 
 // step trains on one sampled neighborhood, returning stage durations.
@@ -288,11 +272,11 @@ func (w *gnnWorker) step(h Handle) (embT, fwdT, bwdT time.Duration, err error) {
 	switch w.opts.Kind {
 	case KindGraphSage:
 		for i, u := range w.nodes1 {
-			copy(w.eSelf[i], w.embOf[u])
+			copy(w.eSelf[i], w.g.emb(u))
 			mean := w.eMean[i]
 			zero32(mean)
 			for _, x := range w.nbh[i] {
-				e := w.embOf[x]
+				e := w.g.emb(x)
 				for d := 0; d < w.dim; d++ {
 					mean[d] += e[d] / float32(len(w.nbh[i]))
 				}
@@ -302,63 +286,37 @@ func (w *gnnWorker) step(h Handle) (embT, fwdT, bwdT time.Duration, err error) {
 		_, _, dSelf, dMean := w.sage.Step(w.eSelf, w.eMean, label)
 		t2 = time.Now()
 		for i, u := range w.nodes1 {
-			w.accGrad(u, dSelf[i], 1)
+			w.g.accumulate(u, dSelf[i], 1)
 			for _, x := range w.nbh[i] {
-				w.accGrad(x, dMean[i], 1/float32(len(w.nbh[i])))
+				w.g.accumulate(x, dMean[i], 1/float32(len(w.nbh[i])))
 			}
 		}
 	case KindGAT:
 		for i, u := range w.nodes1 {
-			copy(w.inputs[i][0], w.embOf[u])
+			copy(w.inputs[i][0], w.g.emb(u))
 			for j, x := range w.nbh[i] {
-				copy(w.inputs[i][j+1], w.embOf[x])
+				copy(w.inputs[i][j+1], w.g.emb(x))
 			}
 		}
 		_, _, dIn := w.gat.Step(w.inputs, label)
 		t2 = time.Now()
 		for i, u := range w.nodes1 {
-			w.accGrad(u, dIn[i][0], 1)
+			w.g.accumulate(u, dIn[i][0], 1)
 			for j, x := range w.nbh[i] {
-				w.accGrad(x, dIn[i][j+1], 1)
+				w.g.accumulate(x, dIn[i][j+1], 1)
 			}
 		}
 	}
 
-	// Apply and write back each unique node once.
-	for u, g := range w.gradOf {
-		e := w.embOf[u]
-		for d := 0; d < w.dim; d++ {
-			e[d] -= w.opts.EmbLR * g[d]
-		}
-	}
+	// Apply and write back each unique node once — including nodes fetched
+	// without gradient, which still owe their write (clock balance).
 	t3 := time.Now()
-	for u := range w.gradOf {
-		if err := h.Put(u, w.embOf[u]); err != nil {
-			return 0, 0, 0, err
-		}
-	}
-	// Nodes fetched but without gradient still owe a Put (clock balance).
-	for u, e := range w.embOf {
-		if _, ok := w.gradOf[u]; !ok {
-			if err := h.Put(u, e); err != nil {
-				return 0, 0, 0, err
-			}
-		}
+	if err := w.g.scatter(h, w.opts.EmbLR); err != nil {
+		return 0, 0, 0, err
 	}
 	t4 := time.Now()
 	half := t2.Sub(t1) / 2
 	return t1.Sub(t0) + t4.Sub(t3), half, t2.Sub(t1) - half + t3.Sub(t2), nil
-}
-
-func (w *gnnWorker) accGrad(u uint64, g []float32, scale float32) {
-	acc, ok := w.gradOf[u]
-	if !ok {
-		acc = make([]float32, w.dim)
-		w.gradOf[u] = acc
-	}
-	for d := 0; d < w.dim; d++ {
-		acc[d] += scale * g[d]
-	}
 }
 
 func (w *gnnWorker) apply() {

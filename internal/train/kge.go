@@ -28,6 +28,10 @@ type KGEOptions struct {
 
 	LookaheadDepth int
 
+	// Scalar forces the legacy per-key Get/Put access path (see
+	// CTROptions.Scalar).
+	Scalar bool
+
 	// BETA enables Marius-style partition-ordered training: entities are
 	// range-partitioned, only triples inside the buffered partition pair
 	// train, and partition swaps Lookahead the incoming partition
@@ -139,8 +143,7 @@ func TrainKGE(opts KGEOptions) (*Result, error) {
 			for i := range dNeg {
 				dNeg[i] = make([]float32, dim)
 			}
-			embOf := make(map[uint64][]float32)
-			var keyOrder []uint64
+			g := newGather(dim, opts.Scalar)
 			var pending []data.Triple
 
 			nextTriple := func() data.Triple {
@@ -175,34 +178,28 @@ func TrainKGE(opts KGEOptions) (*Result, error) {
 					negKeys[i] = gen.NegativeTail(tr)
 				}
 				rKey := RelationKeyBase + uint64(tr.R)
-				// Deduplicate and sort the sample's key set, then acquire
-				// reads in ascending key order: under small staleness
-				// bounds a Get is a blocking token acquisition, and a
-				// global acquisition order keeps the wait graph acyclic
-				// (no deadlock between workers, none against ourselves).
-				for k := range embOf {
-					delete(embOf, k)
+				// One step = one triple plus its negatives: the gather
+				// dedups the key set, fetches it with one batched read in
+				// ascending order (keeping cross-worker token acquisitions
+				// in a global order under blocking bounds), and the scatter
+				// writes each unique key back exactly once — so gradients of
+				// duplicated keys compose and the vector clock stays
+				// balanced, as on the scalar path.
+				g.reset()
+				g.add(tr.H)
+				g.add(rKey)
+				g.add(tr.T)
+				for _, k := range negKeys {
+					g.add(k)
 				}
-				keyOrder = keyOrder[:0]
-				for _, k := range append([]uint64{tr.H, rKey, tr.T}, negKeys...) {
-					if _, ok := embOf[k]; !ok {
-						embOf[k] = nil
-						keyOrder = append(keyOrder, k)
-					}
-				}
-				sortU64(keyOrder)
 				t0 := time.Now()
-				for _, k := range keyOrder {
-					e := make([]float32, dim)
-					if err := h.Get(k, e); err != nil {
-						errCh <- err
-						return
-					}
-					embOf[k] = e
+				if err := g.fetch(h); err != nil {
+					errCh <- err
+					return
 				}
-				hEmb, rEmb, tEmb := embOf[tr.H], embOf[rKey], embOf[tr.T]
+				hEmb, rEmb, tEmb := g.emb(tr.H), g.emb(rKey), g.emb(tr.T)
 				for i, nk := range negKeys {
-					negEmb[i] = embOf[nk]
+					negEmb[i] = g.emb(nk)
 				}
 				t1 := time.Now()
 				zero32(dh)
@@ -213,20 +210,15 @@ func TrainKGE(opts KGEOptions) (*Result, error) {
 				}
 				opts.Model.TripleLoss(hEmb, rEmb, tEmb, negEmb, dh, dr, dt, dNeg)
 				t2 := time.Now()
-				// Duplicated keys alias one buffer, so gradient applications
-				// compose; each unique key gets exactly one Put, matching
-				// its single Get on the vector clock.
-				applyGrad(hEmb, dh, opts.EmbLR)
-				applyGrad(rEmb, dr, opts.EmbLR)
-				applyGrad(tEmb, dt, opts.EmbLR)
-				for i := range negKeys {
-					applyGrad(negEmb[i], dNeg[i], opts.EmbLR)
+				g.accumulate(tr.H, dh, 1)
+				g.accumulate(rKey, dr, 1)
+				g.accumulate(tr.T, dt, 1)
+				for i, nk := range negKeys {
+					g.accumulate(nk, dNeg[i], 1)
 				}
-				for _, k := range keyOrder {
-					if err := h.Put(k, embOf[k]); err != nil {
-						errCh <- err
-						return
-					}
+				if err := g.scatter(h, opts.EmbLR); err != nil {
+					errCh <- err
+					return
 				}
 				t3 := time.Now()
 				embNS.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
@@ -306,12 +298,6 @@ func peekOrZero(h Handle, key uint64, dst []float32) {
 func zero32(x []float32) {
 	for i := range x {
 		x[i] = 0
-	}
-}
-
-func applyGrad(emb, grad []float32, lr float32) {
-	for i := range emb {
-		emb[i] -= lr * grad[i]
 	}
 }
 

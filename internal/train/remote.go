@@ -1,0 +1,122 @@
+package train
+
+import (
+	"fmt"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/kv"
+)
+
+// RemoteBackend trains against a live mlkv-server: every handle is a
+// session of an internal/client connection pool speaking the pipelined
+// wire protocol, so a worker's per-step gather and scatter travel as one
+// GETBATCH and one PUTBATCH frame, Lookahead hints as one LOOKAHEAD
+// frame, and evaluation reads as clock-free PEEKs. First-touch
+// initialization runs on the trainer side (the server stores raw bytes),
+// seeded per key so every worker initializes a given embedding
+// identically.
+type RemoteBackend struct {
+	*KVBackend
+	c *client.Client
+
+	// Lookahead hints are fire-and-forget on a local table but a blocking
+	// round trip on the wire, so remote handles hand them to a background
+	// worker with its own session; a full queue drops the hint, matching
+	// core.Table's prefetch-pool semantics. lookCh is never closed —
+	// handles may race Lookahead against Close, and a hint sent after
+	// shutdown simply sits in (or falls off) the queue.
+	lookCh   chan []uint64
+	lookStop chan struct{}
+	lookDone chan struct{}
+}
+
+// DialRemote connects conns pooled connections to a mlkv-server at addr
+// and validates that the server's value size matches dim float32s.
+//
+// conns must be at least the number of concurrently training handles.
+// Under a blocking staleness bound (BSP or finite SSP) a clocked read can
+// wait for another worker's write; two workers sharing one connection
+// would also share the server's per-connection handler goroutine, and the
+// blocked worker's frame would stall the very write that unblocks it.
+func DialRemote(addr string, dim int, init core.Initializer, conns int) (*RemoteBackend, error) {
+	c, err := client.Dial(addr, client.Options{Conns: conns})
+	if err != nil {
+		return nil, err
+	}
+	if vs := c.ValueSize(); vs != dim*4 {
+		c.Close()
+		return nil, fmt.Errorf("train: server value size %d B != dim %d × 4 B (start mlkv-server with -valuesize %d)",
+			vs, dim, dim*4)
+	}
+	b := &RemoteBackend{
+		KVBackend: NewKVBackend(c, dim, init),
+		c:         c,
+		lookCh:    make(chan []uint64, 1024),
+		lookStop:  make(chan struct{}),
+		lookDone:  make(chan struct{}),
+	}
+	go b.lookaheadWorker()
+	return b, nil
+}
+
+func (b *RemoteBackend) lookaheadWorker() {
+	defer close(b.lookDone)
+	s, err := b.c.NewSession()
+	if err != nil {
+		return
+	}
+	defer s.Close()
+	for {
+		select {
+		case <-b.lookStop:
+			return
+		case keys := <-b.lookCh:
+			// Hints are best-effort: a transient server error drops this
+			// hint, not the whole prefetch pipeline. Once the pool closes,
+			// lookStop is already closed and the next iteration exits.
+			if _, err := kv.SessionLookahead(s, keys); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// NewHandle returns a remote session whose Lookahead is asynchronous.
+func (b *RemoteBackend) NewHandle() (Handle, error) {
+	h, err := b.KVBackend.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &remoteHandle{Handle: h, b: b}, nil
+}
+
+type remoteHandle struct {
+	Handle
+	b *RemoteBackend
+}
+
+// Lookahead enqueues the hint for the backend's prefetch worker, which
+// ships it as one LOOKAHEAD frame; hints beyond the queue capacity drop.
+func (h *remoteHandle) Lookahead(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	cp := append([]uint64(nil), keys...) // caller reuses its slice
+	select {
+	case h.b.lookCh <- cp:
+	default:
+	}
+}
+
+// Client exposes the underlying connection pool (stats, checkpoint).
+func (b *RemoteBackend) Client() *client.Client { return b.c }
+
+// Close stops the prefetch worker and tears down the connection pool;
+// open handles fail afterwards (and their Lookahead hints drop).
+func (b *RemoteBackend) Close() error {
+	close(b.lookStop)
+	err := b.c.Close()
+	<-b.lookDone
+	return err
+}

@@ -48,6 +48,13 @@ const (
 	OpCheckpoint
 	// OpStats fetches the store's merged operation counters.
 	OpStats
+	// OpPeek reads one key without consistency effects: no vector-clock
+	// participation, no copy-to-tail. Evaluation traffic uses it so scoring
+	// a model never leaves clock tokens that would stall training reads.
+	// Payload layouts match GET. (Servers predating this op answer RespErr
+	// and keep the connection usable; the request ops above keep their
+	// values.)
+	OpPeek
 )
 
 // Response opcodes.
@@ -79,6 +86,8 @@ func (o Op) String() string {
 		return "CHECKPOINT"
 	case OpStats:
 		return "STATS"
+	case OpPeek:
+		return "PEEK"
 	case RespOK:
 		return "OK"
 	case RespErr:
