@@ -1,0 +1,414 @@
+package mlkv_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	mlkv "github.com/llm-db/mlkv-go"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/server"
+)
+
+// startTestServer serves a lazily-opening model registry on loopback and
+// returns an "mlkv://" target for it.
+func startTestServer(t *testing.T, bound int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	reg := server.NewRegistry(server.RegistryConfig{
+		DefaultShards: 2,
+		DefaultBound:  bound,
+		Opener: func(id string, dim, shards int, b int64) (kv.Store, error) {
+			return kv.OpenFasterShards(kv.ShardedConfig{
+				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+				RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
+				StalenessBound: b,
+			}, "mlkv")
+		},
+	})
+	srv := server.New(server.Config{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		reg.Close()
+	})
+	return mlkv.Scheme + ln.Addr().String()
+}
+
+// withTargets runs fn once against a local directory DB and once against
+// a live loopback mlkv-server — the conformance harness: the public API
+// must behave identically over both drivers.
+func withTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB)) {
+	t.Run("local", func(t *testing.T) {
+		db, err := mlkv.Connect(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		fn(t, db)
+	})
+	t.Run("remote", func(t *testing.T) {
+		db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		fn(t, db)
+	})
+}
+
+func f32sEq(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAPITwoModels opens two models with differing dimensions on one DB
+// and drives the full session surface on both: first-touch Get,
+// batch round trips, Peek, Lookahead, Delete, Checkpoint, and stats.
+func TestAPITwoModels(t *testing.T) {
+	withTargets(t, func(t *testing.T, db *mlkv.DB) {
+		a, err := db.Open("conf-a", 8, mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := db.Open("conf-b", 4, mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		if a.Dim() != 8 || b.Dim() != 4 {
+			t.Fatalf("dims: %d/%d", a.Dim(), b.Dim())
+		}
+		// Dim mismatch on an existing model is refused on either driver.
+		if _, err := db.Open("conf-a", 16); err == nil {
+			t.Fatal("dim mismatch accepted")
+		}
+
+		sa, err := a.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sa.Close()
+		sb, err := b.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sb.Close()
+
+		// First touch initializes deterministically; the same key on the
+		// two models is independent state.
+		embA := make([]float32, 8)
+		if err := sa.Get(7, embA); err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.Put(7, embA); err != nil {
+			t.Fatal(err)
+		}
+		wantB := []float32{1, 2, 3, 4}
+		if err := sb.Put(7, wantB); err != nil {
+			t.Fatal(err)
+		}
+		gotB := make([]float32, 4)
+		if found, err := sb.Peek(7, gotB); err != nil || !found || !f32sEq(gotB, wantB) {
+			t.Fatalf("model b key 7: found=%v err=%v got=%v", found, err, gotB)
+		}
+		gotA := make([]float32, 8)
+		if found, err := sa.Peek(7, gotA); err != nil || !found || !f32sEq(gotA, embA) {
+			t.Fatalf("model a key 7 clobbered: found=%v err=%v got=%v", found, err, gotA)
+		}
+
+		// Batch round trip on model a.
+		keys := []uint64{100, 101, 102, 103}
+		vals := make([]float32, len(keys)*8)
+		for i := range vals {
+			vals[i] = float32(i) * 0.5
+		}
+		if err := sa.PutBatch(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, len(vals))
+		if err := sa.GetBatch(keys, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.PutBatch(keys, got); err != nil { // balance the clock
+			t.Fatal(err)
+		}
+		if !f32sEq(got, vals) {
+			t.Fatal("batch round trip mismatch")
+		}
+
+		// Lookahead is asynchronous and safe on both drivers.
+		if err := sa.Lookahead(keys); err != nil {
+			t.Fatal(err)
+		}
+
+		// RMW applies the gradient step.
+		grad := make([]float32, 8)
+		grad[0] = 2
+		if err := sa.RMW(100, grad, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if found, err := sa.Peek(100, gotA); err != nil || !found || gotA[0] != vals[0]-1 {
+			t.Fatalf("RMW: found=%v err=%v got=%v want first %v", found, err, gotA[0], vals[0]-1)
+		}
+
+		// Delete removes the key on the right model only.
+		if err := sb.Delete(7); err != nil {
+			t.Fatal(err)
+		}
+		if found, _ := sb.Peek(7, gotB); found {
+			t.Fatal("model b key 7 survived delete")
+		}
+		if found, _ := sa.Peek(7, gotA); !found {
+			t.Fatal("model a key 7 vanished with model b's delete")
+		}
+
+		if err := a.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := a.StatsCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Gets == 0 || st.Puts == 0 || st.BatchGets == 0 || st.BatchPuts == 0 {
+			t.Fatalf("stats dropped counters: %+v", st)
+		}
+	})
+}
+
+// TestAPIFirstTouchParity pins the property the CI quickstart-divergence
+// check relies on: the same key initializes to the same embedding whether
+// the model is local or remote (the remote driver runs the same seeded
+// initializer client-side).
+func TestAPIFirstTouchParity(t *testing.T) {
+	read := func(t *testing.T, db *mlkv.DB) []float32 {
+		m, err := db.Open("parity", 8, mlkv.WithStalenessBound(mlkv.ASP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		s, err := m.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		out := make([]float32, 8)
+		if err := s.Get(42, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(42, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	local, err := mlkv.Connect(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	lv := read(t, local)
+	rv := read(t, remote)
+	if !f32sEq(lv, rv) {
+		t.Fatalf("first-touch values diverge: local=%v remote=%v", lv, rv)
+	}
+}
+
+// TestAPICtxCancellation pins the context contract on both drivers: a
+// clocked read stalled on the staleness bound (BSP, token held by another
+// session) returns ctx.Err() at the deadline instead of waiting, holds no
+// token afterward, and the stalled key becomes readable once the
+// releasing write lands.
+func TestAPICtxCancellation(t *testing.T) {
+	run := func(t *testing.T, db *mlkv.DB) {
+		m, err := db.Open("cancel", 4, mlkv.WithStalenessBound(mlkv.BSP), mlkv.WithMemory(4<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		s1, err := m.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s1.Close()
+		s2, err := m.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+
+		emb := make([]float32, 4)
+		const key = 9
+		// Create the key with a balanced clock first (remote first touch
+		// initializes client-side without acquiring a token), then have
+		// s1 acquire the token with a clocked read of the existing record.
+		if err := s1.Get(key, emb); err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.Put(key, emb); err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.Get(key, emb); err != nil {
+			t.Fatal(err)
+		}
+		// s2's read must stall on the bound and give up at the deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		err = s2.GetCtx(ctx, key, emb)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("stalled read returned %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("cancelled read did not return promptly")
+		}
+		// The releasing write unblocks the key; the cancelled read left
+		// no token behind, so one Get/Put cycle balances cleanly.
+		if err := s1.Put(key, emb); err != nil {
+			t.Fatal(err)
+		}
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := s2.GetCtx(ctx2, key, emb); err != nil {
+			t.Fatalf("read after release: %v", err)
+		}
+		if err := s2.Put(key, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("local", func(t *testing.T) {
+		db, err := mlkv.Connect(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		run(t, db)
+	})
+	t.Run("remote", func(t *testing.T) {
+		// Two conns: the stalled read's connection handler blocks on the
+		// server until the releasing write arrives on the other one.
+		db, err := mlkv.Connect(startTestServer(t, mlkv.BSP), mlkv.WithConns(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		run(t, db)
+	})
+}
+
+// TestAPIRemoteSessionRelease verifies the public remote driver detaches
+// sessions: the server's per-model gauge follows Session.Close.
+func TestAPIRemoteSessionRelease(t *testing.T) {
+	db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := db.Open("release", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s1, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ActiveSessions(); n != 2 {
+		t.Fatalf("ActiveSessions = %d, want 2", n)
+	}
+	s1.Close()
+	if n := m.ActiveSessions(); n != 1 {
+		t.Fatalf("ActiveSessions = %d after one close, want 1", n)
+	}
+	s2.Close()
+	if n := m.ActiveSessions(); n != 0 {
+		t.Fatalf("ActiveSessions = %d after both closed, want 0", n)
+	}
+}
+
+// TestAPISharedModelClose pins handle semantics: opening a name twice
+// shares the model, and double-closing one handle releases its reference
+// exactly once — the sibling handle keeps working.
+func TestAPISharedModelClose(t *testing.T) {
+	withTargets(t, func(t *testing.T, db *mlkv.DB) {
+		m1, err := db.Open("shared", 4, mlkv.WithStalenessBound(mlkv.ASP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := db.Open("shared", 4, mlkv.WithStalenessBound(mlkv.ASP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m1.Close(); err != nil { // double close of one handle
+			t.Fatal(err)
+		}
+		s, err := m2.NewSession()
+		if err != nil {
+			t.Fatalf("sibling handle broken after double close: %v", err)
+		}
+		emb := make([]float32, 4)
+		if err := s.Get(1, emb); err != nil {
+			t.Fatalf("sibling session broken: %v", err)
+		}
+		if err := s.Put(1, emb); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAPIOpenValidation pins the public-surface validation errors.
+func TestAPIOpenValidation(t *testing.T) {
+	withTargets(t, func(t *testing.T, db *mlkv.DB) {
+		if _, err := db.Open("", 8); err == nil {
+			t.Fatal("empty id accepted")
+		}
+		if _, err := db.Open("x", 0); err == nil {
+			t.Fatal("zero dim accepted")
+		}
+	})
+	if _, err := mlkv.Connect(""); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := mlkv.Connect(mlkv.Scheme); err == nil {
+		t.Fatal("empty remote address accepted")
+	}
+}

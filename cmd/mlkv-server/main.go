@@ -1,23 +1,30 @@
-// Command mlkv-server serves a (optionally hash-partitioned) MLKV/FASTER
-// store over TCP using the internal/wire framed binary protocol, turning
-// the embedding store into a shared network service: many remote trainers
-// or inference workers drive one sharded store concurrently, each server
-// connection acting like one local worker session.
+// Command mlkv-server serves named embedding models over TCP using the
+// internal/wire framed binary protocol — a shared multi-tenant embedding
+// storage service: clients mlkv.Connect("mlkv://host:port") and Open any
+// number of named models, which the server creates lazily under its data
+// directory on the first OPEN (one optionally hash-partitioned MLKV/FASTER
+// store per model). Many remote trainers or inference workers drive the
+// models concurrently, each server connection acting like one local worker
+// session per model it attaches.
 //
 // Usage:
 //
 //	mlkv-server -addr 127.0.0.1:7070 -dir /data/mlkv -shards 4 \
-//	            -valuesize 64 -buffer-mb 64 -records 1000000 -sync \
+//	            -buffer-mb 64 -records 1000000 -sync \
 //	            -debug-addr 127.0.0.1:7071
 //
+// Flags size each model the server opens: -shards, -buffer-mb, -records,
+// and -staleness are per-model defaults (an OPEN may request its own shard
+// count and staleness bound; dimensions always come from the client).
+//
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
-// requests finish and flush, sessions drain, the store is checkpointed
-// when -sync is set, and the final merged counters print. A second signal
-// exits immediately.
+// requests finish and flush, sessions drain, every model is checkpointed
+// when -sync is set, and the final per-model counters print. A second
+// signal exits immediately.
 //
 // With -debug-addr set, an HTTP listener exposes expvar at /debug/vars,
-// including the store's merged operation counters (mlkv_store) and the
-// server's connection/request counters (mlkv_server).
+// including per-model counters (mlkv_models) and the server's
+// connection/request counters (mlkv_server).
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,14 +50,13 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
 		debugAddr = flag.String("debug-addr", "", "optional HTTP listen address for expvar (/debug/vars)")
-		dir       = flag.String("dir", "", "data directory (default: temp, deleted on exit)")
-		shards    = flag.Int("shards", 1, "hash partitions (independent store instances)")
-		vs        = flag.Int("valuesize", 64, "value size in bytes")
-		bufferMB  = flag.Int("buffer-mb", 64, "in-memory buffer budget (total, split across shards)")
-		records   = flag.Uint64("records", 1<<20, "expected key count (sizes the hash indexes)")
+		dir       = flag.String("dir", "", "data directory, one subdirectory per model (default: temp, deleted on exit)")
+		shards    = flag.Int("shards", 1, "default hash partitions per model (an OPEN may request its own)")
+		bufferMB  = flag.Int("buffer-mb", 64, "per-model in-memory buffer budget (total, split across its shards)")
+		records   = flag.Uint64("records", 1<<20, "expected key count per model (sizes the hash indexes)")
 		engine    = flag.String("engine", "mlkv", "engine semantics (mlkv|faster)")
-		staleness = flag.Int64("staleness", -2, "staleness bound for mlkv: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
-		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint on shutdown")
+		staleness = flag.Int64("staleness", -2, "default staleness bound for new models: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
+		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
 	)
 	flag.Parse()
@@ -57,15 +64,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
-	bound := *staleness
-	if bound == -2 {
-		bound = faster.BoundAsync
-	} else if bound < 0 {
-		fmt.Fprintf(os.Stderr, "-staleness must be -2 (asp) or >= 0 (bsp/ssp), got %d\n", bound)
+	defaultBound := *staleness
+	if defaultBound == -2 {
+		defaultBound = faster.BoundAsync
+	} else if defaultBound < 0 {
+		fmt.Fprintf(os.Stderr, "-staleness must be -2 (asp) or >= 0 (bsp/ssp), got %d\n", defaultBound)
 		os.Exit(2)
 	}
 	if *engine == "faster" {
-		bound = -1 // clock off entirely
+		defaultBound = -1 // clock off entirely
 	}
 	d := *dir
 	if d == "" {
@@ -76,39 +83,41 @@ func main() {
 		}
 		defer os.RemoveAll(d)
 	}
-	store, err := kv.OpenFasterShards(kv.ShardedConfig{
-		Dir: d, Shards: *shards, ValueSize: *vs, RecordsPerPage: 256,
-		MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *records,
-		StalenessBound: bound, SyncWrites: *sync,
-	}, *engine)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer store.Close()
 
-	srv := server.New(server.Config{Store: store, Logf: log.Printf})
+	reg := server.NewRegistry(server.RegistryConfig{
+		DefaultShards: *shards,
+		DefaultBound:  defaultBound,
+		Name:          *engine,
+		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
+			if *engine == "faster" {
+				bound = -1
+			}
+			log.Printf("mlkv-server: opening model %q (dim=%d shards=%d staleness=%s)",
+				id, dim, shards, boundName(bound))
+			return kv.OpenFasterShards(kv.ShardedConfig{
+				Dir: filepath.Join(d, id), Shards: shards, ValueSize: dim * 4,
+				RecordsPerPage: 256, MemoryBytes: int64(*bufferMB) << 20,
+				ExpectedKeys: *records, StalenessBound: bound, SyncWrites: *sync,
+			}, *engine)
+		},
+	})
+	defer reg.Close()
+
+	srv := server.New(server.Config{Registry: reg, Logf: log.Printf})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	boundStr := "asp"
-	switch {
-	case bound < 0:
-		boundStr = "off"
-	case bound == 0:
-		boundStr = "bsp"
-	case bound != faster.BoundAsync:
-		boundStr = fmt.Sprintf("ssp(%d)", bound)
-	}
-	log.Printf("mlkv-server: serving %s (shards=%d valuesize=%d buffer=%dMB staleness=%s sync=%v) on %s",
-		*engine, *shards, *vs, *bufferMB, boundStr, *sync, ln.Addr())
+	log.Printf("mlkv-server: serving %s models (default shards=%d buffer=%dMB/model staleness=%s sync=%v) on %s",
+		*engine, *shards, *bufferMB, boundName(defaultBound), *sync, ln.Addr())
 
 	if *debugAddr != "" {
-		expvar.Publish("mlkv_store", expvar.Func(func() any {
-			if sr, ok := store.(kv.StatsReporter); ok {
-				return sr.Stats()
+		expvar.Publish("mlkv_models", expvar.Func(func() any {
+			out := map[string]any{}
+			for _, m := range reg.Models() {
+				out[m.ID()] = m.Stats()
 			}
-			return nil
+			return out
 		}))
 		expvar.Publish("mlkv_server", expvar.Func(func() any { return srv.Stats() }))
 		go func() {
@@ -146,19 +155,31 @@ func main() {
 	}
 
 	if *sync {
-		if cp, ok := store.(kv.Checkpointer); ok {
-			log.Printf("mlkv-server: checkpointing")
-			if err := cp.Checkpoint(); err != nil {
-				log.Printf("mlkv-server: checkpoint: %v", err)
-			}
+		log.Printf("mlkv-server: checkpointing all models")
+		if err := reg.Checkpoint(); err != nil {
+			log.Printf("mlkv-server: checkpoint: %v", err)
 		}
 	}
 	st := srv.Stats()
 	log.Printf("mlkv-server: served %d requests (%d batch keys, %d errors) over %d connections",
 		st.Requests, st.BatchKeys, st.Errors, st.ConnsAccepted)
-	if sr, ok := store.(kv.StatsReporter); ok {
-		s := sr.Stats()
-		log.Printf("mlkv-server: store gets=%d puts=%d deletes=%d memhits=%d diskreads=%d flushed=%dB",
-			s.Gets, s.Puts, s.Deletes, s.MemHits, s.DiskReads, s.BytesFlushed)
+	for _, m := range reg.Models() {
+		s := m.Stats()
+		log.Printf("mlkv-server: model %q: gets=%d puts=%d batchGets=%d batchPuts=%d lookaheadFrames=%d sessions=%d memhits=%d diskreads=%d flushed=%dB",
+			m.ID(), s.Gets, s.Puts, s.BatchGets, s.BatchPuts, s.LookaheadFrames,
+			s.ActiveSessions, s.MemHits, s.DiskReads, s.BytesFlushed)
 	}
+}
+
+// boundName renders a staleness bound the way the flags spell it.
+func boundName(bound int64) string {
+	switch {
+	case bound < 0:
+		return "off"
+	case bound == 0:
+		return "bsp"
+	case bound == faster.BoundAsync:
+		return "asp"
+	}
+	return fmt.Sprintf("ssp(%d)", bound)
 }

@@ -8,11 +8,12 @@
 //	mlkv-train -task dlrm -backend mlkv -staleness 8 -buffer-mb 64 -duration 30s
 //	mlkv-train -task dlrm -addr 127.0.0.1:7070 -duration 30s
 //
-// Remote training requires the server's -valuesize to equal 4×dim (the
-// default dim 16 matches -valuesize 64). Each training step travels as one
-// GETBATCH and one PUTBATCH frame; -scalar forces the legacy one-call-per-
-// key path for comparison. For BSP over the network, run the server with
-// -staleness 0 and train with -mode sync.
+// Remote training goes through the public mlkv API: the trainer connects
+// to "mlkv://addr" and opens the named model (-model, default the task
+// name) with its dimension — the server creates it on first open. Each
+// training step travels as one GETBATCH and one PUTBATCH frame; -scalar
+// forces the legacy one-call-per-key path for comparison. For BSP over
+// the network, run the server with -staleness 0 and train with -mode sync.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/bptree"
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/data"
@@ -35,6 +37,7 @@ func main() {
 		task      = flag.String("task", "dlrm", "task (dlrm|kge|gnn)")
 		backendN  = flag.String("backend", "mlkv", "backend (mlkv|faster|lsm|bptree|mem)")
 		addr      = flag.String("addr", "", "train against a running mlkv-server at this address (overrides -backend)")
+		modelID   = flag.String("model", "", "model name on the server (default: the task name)")
 		conns     = flag.Int("conns", 0, "remote connection pool size (default: workers+2)")
 		staleness = flag.Int64("staleness", 8, "staleness bound (MLKV only; -1 disables)")
 		bufferMB  = flag.Int("buffer-mb", 64, "buffer budget")
@@ -78,7 +81,11 @@ func main() {
 			// remote backend's lookahead worker.
 			nc = *workers + 2
 		}
-		rb, err := train.DialRemote(*addr, *dim, init, nc)
+		model := *modelID
+		if model == "" {
+			model = *task
+		}
+		rb, err := train.DialRemote(*addr, model, *dim, init, nc)
 		if err != nil {
 			fail(err)
 		}
@@ -96,19 +103,31 @@ func main() {
 		}
 		switch *backendN {
 		case "mlkv", "faster":
+			// The public API against a local directory target — the same
+			// code path a remote run takes, minus the wire.
 			bound := *staleness
 			if *backendN == "faster" {
-				bound = core.BoundDisabled
+				bound = mlkv.Disabled
 			}
-			tbl, err := core.OpenTable(core.Options{
-				Dir: d, Dim: *dim, StalenessBound: bound,
-				MemoryBytes: int64(*bufferMB) << 20, ExpectedKeys: *keys, Init: init,
-			})
+			db, err := mlkv.Connect(d)
 			if err != nil {
 				fail(err)
 			}
-			defer tbl.Close()
-			backend = train.NewTableBackend(tbl, *backendN == "mlkv" && *lookahead > 0)
+			defer db.Close()
+			model := *modelID
+			if model == "" {
+				model = *task
+			}
+			mdl, err := db.Open(model, *dim,
+				mlkv.WithStalenessBound(bound),
+				mlkv.WithMemory(int64(*bufferMB)<<20),
+				mlkv.WithExpectedKeys(*keys),
+				mlkv.WithInitializer(init))
+			if err != nil {
+				fail(err)
+			}
+			defer mdl.Close()
+			backend = train.NewModelBackend(mdl, *backendN == "mlkv" && *lookahead > 0)
 		case "lsm":
 			s, err := lsm.Open(lsm.Config{Dir: d, ValueSize: *dim * 4, CacheBytes: *bufferMB << 19, MemtableBytes: *bufferMB << 19})
 			if err != nil {

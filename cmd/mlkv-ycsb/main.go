@@ -1,8 +1,9 @@
 // Command mlkv-ycsb runs the YCSB-style NoSQL benchmark (Figure 10)
 // against the MLKV/FASTER engine — in-process, optionally hash-partitioned
 // across multiple shards (-shards), or against a remote mlkv-server
-// (-addr), where every client thread gets its own pooled connection and
-// the load phase ships batched frames.
+// (-addr), opening the named model (-model, created on first open) with
+// every client thread on its own pooled connection and the load phase
+// shipping batched frames.
 //
 // Usage:
 //
@@ -24,7 +25,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/driver"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/ycsb"
@@ -44,6 +45,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "hash partitions (independent store instances)")
 		sync     = flag.Bool("sync", false, "fsync every flushed log page; checkpoint at the end")
 		addr     = flag.String("addr", "", "run against a remote mlkv-server at this address instead of in-process")
+		model    = flag.String("model", "ycsb", "model name to open on the remote server")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -64,17 +66,23 @@ func main() {
 
 	var store kv.Store
 	if *addr != "" {
-		// Remote: the server owns the engine configuration; one pooled
-		// connection per client thread keeps the fan-out on the server's
-		// side equal to the local run's session count.
-		cl, err := client.Dial(*addr, client.Options{Conns: *threads})
+		// Remote: open the named model on the server (created on first
+		// open; the server owns buffer sizing). Models are float32-typed,
+		// so -valuesize must be a multiple of 4. One pooled connection
+		// per client thread keeps the fan-out on the server's side equal
+		// to the local run's session count.
+		if *vs%4 != 0 {
+			fmt.Fprintf(os.Stderr, "-valuesize must be a multiple of 4 for a remote model, got %d\n", *vs)
+			os.Exit(2)
+		}
+		cl, err := driver.DialKV(*addr, *model, *vs/4, *threads)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		store = cl
-		fmt.Printf("remote store %s at %s: valuesize=%d shards=%d\n",
-			cl.Name(), *addr, cl.ValueSize(), cl.Shards())
+		fmt.Printf("remote store %s model %q at %s: valuesize=%d shards=%d\n",
+			cl.Name(), *model, *addr, cl.ValueSize(), storeShards(cl, 1))
 	} else {
 		bound := faster.BoundAsync // MLKV: clock maintained, never blocks
 		if *engine == "faster" {

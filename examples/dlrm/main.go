@@ -1,5 +1,8 @@
 // DLRM click-through-rate training on a synthetic Criteo-like click log,
 // with embeddings out-of-core in MLKV (the paper's PERSIA-MLKV scenario).
+// The optional argument is the storage target — a directory or
+// "mlkv://host:port" — so the same program trains against local disk or a
+// shared embedding server.
 package main
 
 import (
@@ -8,46 +11,59 @@ import (
 	"os"
 	"time"
 
-	"github.com/llm-db/mlkv-go/internal/core"
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/data"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/train"
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "mlkv-dlrm-*")
-	if err != nil {
-		log.Fatal(err)
+	target := ""
+	if len(os.Args) > 1 {
+		target = os.Args[1]
 	}
-	defer os.RemoveAll(dir)
+	if target == "" {
+		dir, err := os.MkdirTemp("", "mlkv-dlrm-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		target = dir
+	}
 
 	const (
-		fields = 8
-		dim    = 16
+		fields  = 8
+		dim     = 16
+		workers = 4
 	)
-	// A 16 MiB buffer over an 800k-key table: larger-than-memory training.
-	tbl, err := core.OpenTable(core.Options{
-		Dir: dir, Dim: dim,
-		StalenessBound: 8, // SSP
-		MemoryBytes:    16 << 20,
-		ExpectedKeys:   800_000,
-		Init:           core.UniformInit(0.1, 7),
-	})
+	db, err := mlkv.Connect(target, mlkv.WithConns(workers+2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tbl.Close()
+	defer db.Close()
+
+	// A 16 MiB buffer over an 800k-key table: larger-than-memory training.
+	model, err := db.Open("dlrm", dim,
+		mlkv.WithStalenessBound(8), // SSP
+		mlkv.WithMemory(16<<20),
+		mlkv.WithExpectedKeys(800_000),
+		mlkv.WithInitScale(0.1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer model.Close()
 
 	gen := data.NewCTRGen(data.CTRConfig{
 		Fields: fields, DenseDim: 4, FieldCard: 100_000, Zipf: 0.9, Seed: 11,
 	})
-	model := models.NewDLRM(models.DCN, fields, dim, 4, []int{32}, 13)
+	dcn := models.NewDLRM(models.DCN, fields, dim, 4, []int{32}, 13)
 
-	fmt.Println("training DCN for 10s with look-ahead prefetching...")
+	fmt.Printf("training DCN for 10s with look-ahead prefetching on %s...\n", model.EngineName())
 	res, err := train.TrainCTR(train.CTROptions{
-		Gen: gen, Model: model,
-		Backend: train.NewTableBackend(tbl, true),
-		Workers: 4, Mode: train.ModeAsync,
+		Gen: gen, Model: dcn,
+		Backend: train.NewModelBackend(model, true),
+		Workers: workers, Mode: train.ModeAsync,
 		DenseLR: 0.05, EmbLR: 0.05,
 		Duration:       10 * time.Second,
 		LookaheadDepth: 16,
@@ -61,6 +77,7 @@ func main() {
 		fmt.Printf("  t=%5.1fs AUC=%.4f\n", p.Seconds, p.Metric)
 	}
 	fmt.Printf("final AUC: %.4f\n", res.FinalMetric)
-	copied, dropped := tbl.PrefetchStats()
-	fmt.Printf("lookahead: %d embeddings copied to the memory buffer, %d requests dropped\n", copied, dropped)
+	st := model.Stats()
+	fmt.Printf("lookahead: %d embeddings copied to the memory buffer, %d requests dropped\n",
+		st.PrefetchCopies, st.PrefetchDropped)
 }

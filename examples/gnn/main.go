@@ -1,6 +1,7 @@
 // GraphSage node classification on a synthetic power-law community graph
 // with node embeddings out-of-core in MLKV (the paper's DGL-MLKV scenario,
-// and the shape of the eBay risk-detection case studies).
+// and the shape of the eBay risk-detection case studies). The optional
+// argument is the storage target — a directory or "mlkv://host:port".
 package main
 
 import (
@@ -9,45 +10,58 @@ import (
 	"os"
 	"time"
 
-	"github.com/llm-db/mlkv-go/internal/core"
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/data"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/train"
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "mlkv-gnn-*")
-	if err != nil {
-		log.Fatal(err)
+	target := ""
+	if len(os.Args) > 1 {
+		target = os.Args[1]
 	}
-	defer os.RemoveAll(dir)
+	if target == "" {
+		dir, err := os.MkdirTemp("", "mlkv-gnn-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		target = dir
+	}
 
 	const (
 		dim     = 16
 		classes = 8
+		workers = 4
 	)
-	tbl, err := core.OpenTable(core.Options{
-		Dir: dir, Dim: dim,
-		StalenessBound: 8,
-		MemoryBytes:    16 << 20,
-		ExpectedKeys:   200_000,
-		Init:           core.UniformInit(0.3, 7),
-	})
+	db, err := mlkv.Connect(target, mlkv.WithConns(workers+2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tbl.Close()
+	defer db.Close()
+
+	model, err := db.Open("gnn", dim,
+		mlkv.WithStalenessBound(8),
+		mlkv.WithMemory(16<<20),
+		mlkv.WithExpectedKeys(200_000),
+		mlkv.WithInitScale(0.3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer model.Close()
 
 	graph := data.NewGraphGen(data.GraphConfig{
 		Nodes: 200_000, Classes: classes, AvgDegree: 12, Homophily: 0.85, Seed: 19,
 	})
 	sage := models.NewGraphSage(dim, 32, classes, 23)
 
-	fmt.Println("training GraphSage for 10s...")
+	fmt.Printf("training GraphSage for 10s on %s...\n", model.EngineName())
 	res, err := train.TrainGNN(train.GNNOptions{
 		Graph: graph, Kind: train.KindGraphSage, Sage: sage,
-		Backend: train.NewTableBackend(tbl, true),
-		Workers: 4, Fanout: 4, Fanout2: 4,
+		Backend: train.NewModelBackend(model, true),
+		Workers: workers, Fanout: 4, Fanout2: 4,
 		DenseLR: 0.05, EmbLR: 0.1,
 		Duration:       10 * time.Second,
 		LookaheadDepth: 8,

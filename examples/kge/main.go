@@ -1,6 +1,7 @@
 // Knowledge-graph-embedding link prediction (DistMult) with Marius-style
 // BETA partition ordering over MLKV (the paper's DGL-KE-MLKV scenario,
-// Figure 9b).
+// Figure 9b). The optional argument is the storage target — a directory
+// or "mlkv://host:port".
 package main
 
 import (
@@ -9,42 +10,57 @@ import (
 	"os"
 	"time"
 
-	"github.com/llm-db/mlkv-go/internal/core"
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/data"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/train"
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "mlkv-kge-*")
-	if err != nil {
-		log.Fatal(err)
+	target := ""
+	if len(os.Args) > 1 {
+		target = os.Args[1]
 	}
-	defer os.RemoveAll(dir)
+	if target == "" {
+		dir, err := os.MkdirTemp("", "mlkv-kge-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		target = dir
+	}
 
-	const dim = 16
-	tbl, err := core.OpenTable(core.Options{
-		Dir: dir, Dim: dim,
-		StalenessBound: 8,
-		MemoryBytes:    16 << 20,
-		ExpectedKeys:   500_000,
-		Init:           core.UniformInit(0.5, 7), // multiplicative scorers need scale
-	})
+	const (
+		dim     = 16
+		workers = 4
+	)
+	db, err := mlkv.Connect(target, mlkv.WithConns(workers+2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tbl.Close()
+	defer db.Close()
+
+	model, err := db.Open("kge", dim,
+		mlkv.WithStalenessBound(8),
+		mlkv.WithMemory(16<<20),
+		mlkv.WithExpectedKeys(500_000),
+		mlkv.WithInitScale(0.5), // multiplicative scorers need scale
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer model.Close()
 
 	gen := data.NewKGGen(data.KGConfig{
 		Entities: 500_000, Relations: 16, Clusters: 32, Seed: 17,
 	})
-	model := models.NewKGE(models.DistMult, dim)
+	distmult := models.NewKGE(models.DistMult, dim)
 
-	fmt.Println("training DistMult for 10s with BETA partition ordering...")
+	fmt.Printf("training DistMult for 10s with BETA partition ordering on %s...\n", model.EngineName())
 	res, err := train.TrainKGE(train.KGEOptions{
-		Gen: gen, Model: model,
-		Backend: train.NewTableBackend(tbl, true),
-		Workers: 4, Negatives: 4, EmbLR: 0.1,
+		Gen: gen, Model: distmult,
+		Backend: train.NewModelBackend(model, true),
+		Workers: workers, Negatives: 4, EmbLR: 0.1,
 		Duration:       10 * time.Second,
 		BETA:           true,
 		BETAPartitions: 8, BETABuffer: 4,

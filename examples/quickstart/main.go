@@ -1,25 +1,51 @@
-// Quickstart: the Open/Get/Put/Lookahead lifecycle of Figure 3.
+// Quickstart: the Connect/Open/Get/Put/Lookahead lifecycle of Figure 3.
+//
+// The one optional argument is the storage target — a directory, or a
+// running mlkv-server as "mlkv://host:port". The program is identical for
+// both: it opens two named models (differing dimensions) on the target,
+// runs the Figure-3 training loop on one, and prints the same
+// deterministic output either way.
+//
+//	go run ./examples/quickstart                      # temp directory
+//	go run ./examples/quickstart /data/mlkv           # local directory
+//	go run ./examples/quickstart mlkv://127.0.0.1:7070
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	mlkv "github.com/llm-db/mlkv-go"
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "mlkv-quickstart-*")
+	target := ""
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+	if target == "" {
+		dir, err := os.MkdirTemp("", "mlkv-quickstart-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		target = dir
+	}
+
+	// One DB serves any number of named models, local or remote.
+	db, err := mlkv.Connect(target, mlkv.WithConns(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer db.Close()
 
+	// Open an 8-dim model with a staleness bound of 4 (SSP) and a second,
+	// 4-dim model — two models, two dimensions, one storage service.
 	const dim = 8
-	// Open an embedding model with a staleness bound of 4 (SSP).
-	model, err := mlkv.Open("quickstart", dim,
-		mlkv.WithDir(dir),
+	model, err := db.Open("quickstart-ctr", dim,
 		mlkv.WithStalenessBound(4),
 		mlkv.WithMemory(16<<20),
 	)
@@ -27,6 +53,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer model.Close()
+	side, err := db.Open("quickstart-kge", 4,
+		mlkv.WithStalenessBound(mlkv.ASP),
+		mlkv.WithMemory(8<<20),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer side.Close()
+	fmt.Printf("models: %s dim=%d, %s dim=%d\n", model.ID(), model.Dim(), side.ID(), side.Dim())
 
 	sess, err := model.NewSession()
 	if err != nil {
@@ -35,7 +70,7 @@ func main() {
 	defer sess.Close()
 
 	// Tell MLKV which embeddings the next batch will need; the prefetch
-	// pool moves disk-resident ones into the memory buffer asynchronously.
+	// machinery moves disk-resident ones toward memory asynchronously.
 	batch := []uint64{1, 2, 3}
 	if err := sess.Lookahead(batch); err != nil {
 		log.Fatal(err)
@@ -57,22 +92,54 @@ func main() {
 		}
 	}
 
-	// Gradient application can also run inside storage as an atomic RMW.
+	// Gradient application can also run as an atomic RMW.
 	grad := make([]float32, dim)
 	grad[0] = 1.0
 	if err := sess.RMW(1, grad, 0.1); err != nil {
 		log.Fatal(err)
 	}
 
+	// Every operation has a context variant: deadlines bound staleness
+	// waits locally and network round trips remotely.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := sess.GetCtx(ctx, 2, emb); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.PutCtx(ctx, 2, emb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedding[2][0] after updates: %.3f\n", emb[0])
+
 	if found, err := sess.Peek(1, emb); err != nil || !found {
 		log.Fatalf("peek: found=%v err=%v", found, err)
 	}
 	fmt.Printf("embedding[1][0] after updates: %.3f\n", emb[0])
 
+	// The second model is independent: its own dimension, its own keys.
+	sideSess, err := side.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sideSess.Close()
+	keys := []uint64{10, 11}
+	vals := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := sideSess.PutBatch(keys, vals); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]float32, len(vals))
+	if err := sideSess.GetBatch(keys, got); err != nil {
+		log.Fatal(err)
+	}
+	if err := sideSess.PutBatch(keys, got); err != nil { // balance the clock
+		log.Fatal(err)
+	}
+	fmt.Printf("side model batch round-trip: %.0f %.0f ... %.0f\n", got[0], got[1], got[len(got)-1])
+
 	if err := model.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
 	st := model.Stats()
-	fmt.Printf("gets=%d puts=%d diskReads=%d\n", st.Gets, st.Puts, st.DiskReads)
+	fmt.Printf("counters recorded: gets=%v puts=%v\n", st.Gets > 0, st.Puts > 0)
 	fmt.Println("quickstart done")
 }

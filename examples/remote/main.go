@@ -1,7 +1,9 @@
-// Remote quickstart: serve a sharded store over loopback with the
-// mlkv-server machinery, then drive it through the network client — the
-// same kv.Store interface the in-process engines implement, so everything
-// that runs locally (YCSB, benchmarks, this loop) runs remotely unchanged.
+// Remote quickstart: start an in-process mlkv-server hosting named models
+// (the machinery cmd/mlkv-server wraps in flags), then connect to it with
+// the same public API a local directory target uses — mlkv.Connect on an
+// "mlkv://" target. Two models with different dimensions share the one
+// server; batches travel as single frames and fan into each model's
+// sharded store in parallel.
 package main
 
 import (
@@ -10,9 +12,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"time"
 
-	"github.com/llm-db/mlkv-go/internal/client"
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/server"
 )
@@ -24,20 +27,22 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// A 4-shard store: one embedding table partitioned across four
-	// independent hybrid logs, exactly what cmd/mlkv-server opens.
-	const valueSize = 32 // an 8-dim float32 embedding
-	store, err := kv.OpenFasterShards(kv.ShardedConfig{
-		Dir: dir, Shards: 4, ValueSize: valueSize,
-		MemoryBytes: 8 << 20, ExpectedKeys: 10000,
-	}, "mlkv")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer store.Close()
+	// A model registry that lazily opens a 4-shard store per named model —
+	// exactly what cmd/mlkv-server builds from its flags.
+	reg := server.NewRegistry(server.RegistryConfig{
+		DefaultShards: 4,
+		DefaultBound:  mlkv.ASP,
+		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
+			return kv.OpenFasterShards(kv.ShardedConfig{
+				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+				MemoryBytes: 8 << 20, ExpectedKeys: 10000, StalenessBound: bound,
+			}, "mlkv")
+		},
+	})
+	defer reg.Close()
 
-	// Serve it on loopback (cmd/mlkv-server does this with flags).
-	srv := server.New(server.Config{Store: store})
+	// Serve it on loopback.
+	srv := server.New(server.Config{Registry: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -45,17 +50,27 @@ func main() {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
-	// Dial it back. The client is a kv.Store; sessions pipeline over a
-	// small connection pool and batches travel as single frames.
-	cl, err := client.Dial(ln.Addr().String(), client.Options{Conns: 2})
+	// Connect with the public API — the same call, and everything after
+	// it, that a local directory target would use.
+	db, err := mlkv.Connect(mlkv.Scheme+ln.Addr().String(), mlkv.WithConns(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cl.Close()
-	fmt.Printf("connected to %s: valuesize=%d shards=%d\n",
-		cl.Name(), cl.ValueSize(), cl.Shards())
+	defer db.Close()
 
-	sess, err := cl.NewSession()
+	// Two named models, two dimensions, one server.
+	ctr, err := db.Open("ctr-model", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kge, err := db.Open("kge-model", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected to %s: %s (dim=%d, %d shards), %s (dim=%d, %d shards)\n",
+		db.Target(), ctr.ID(), ctr.Dim(), ctr.Shards(), kge.ID(), kge.Dim(), kge.Shards())
+
+	sess, err := ctr.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,37 +80,34 @@ func main() {
 	// frame across all four shards in parallel.
 	const n = 256
 	keys := make([]uint64, n)
-	vals := make([]byte, n*valueSize)
+	vals := make([]float32, n*8)
 	for i := range keys {
 		keys[i] = uint64(i)
-		vals[i*valueSize] = byte(i)
+		vals[i*8] = float32(i)
 	}
-	if err := kv.SessionPutBatch(sess, valueSize, keys, vals); err != nil {
+	if err := sess.PutBatch(keys, vals); err != nil {
 		log.Fatal(err)
 	}
+	got := make([]float32, n*8)
+	if err := sess.GetBatch(keys, got); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.PutBatch(keys, got); err != nil { // balance the clock
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote and read back %d embeddings in one frame each (got[255][0]=%.0f)\n", n, got[255*8])
 
-	got := make([]byte, n*valueSize)
-	found := make([]bool, n)
-	if err := kv.SessionGetBatch(sess, valueSize, keys, got, found); err != nil {
+	// Model-level ops travel over the wire too, and the server accounts
+	// remote sessions truthfully (this process holds one on ctr-model).
+	if err := ctr.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
-	hits := 0
-	for _, f := range found {
-		if f {
-			hits++
-		}
-	}
-	fmt.Printf("wrote and read back %d embeddings in one frame each (%d hits)\n", n, hits)
-
-	// Store-level ops travel over the wire too.
-	if err := cl.Checkpoint(); err != nil {
-		log.Fatal(err)
-	}
-	stats := cl.Stats()
-	fmt.Printf("server counters: gets=%d puts=%d memhits=%d\n",
-		stats.Gets, stats.Puts, stats.MemHits)
+	stats := ctr.Stats()
+	fmt.Printf("server counters for %s: gets=%d puts=%d batchGets=%d batchPuts=%d sessions=%d\n",
+		ctr.ID(), stats.Gets, stats.Puts, stats.BatchGets, stats.BatchPuts, ctr.ActiveSessions())
 
 	// Graceful drain: in-flight requests finish before connections close.
+	sess.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

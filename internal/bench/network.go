@@ -8,7 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/driver"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/server"
@@ -56,7 +56,11 @@ func (e *Env) NetworkSweep() error {
 		return err
 	}
 
-	srv := server.New(server.Config{Store: store})
+	reg := server.NewRegistry(server.RegistryConfig{})
+	if _, err := reg.Add("network", vs/4, store); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{Registry: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -69,7 +73,7 @@ func (e *Env) NetworkSweep() error {
 		srv.Shutdown(ctx)
 		<-serveErr
 	}()
-	cl, err := client.Dial(ln.Addr().String(), client.Options{Conns: workers})
+	cl, err := driver.DialKV(ln.Addr().String(), "network", vs/4, workers)
 	if err != nil {
 		return err
 	}

@@ -102,7 +102,11 @@ func (e *Env) runTrainBatchCTR(scalar, remote bool, bufKB int, keys uint64) (*tr
 		return nil, err
 	}
 	defer store.Close()
-	srv := server.New(server.Config{Store: store})
+	reg := server.NewRegistry(server.RegistryConfig{})
+	if _, err := reg.Add("trainbatch", e.Scale.Dim, store); err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{Registry: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -115,7 +119,7 @@ func (e *Env) runTrainBatchCTR(scalar, remote bool, bufKB int, keys uint64) (*tr
 		srv.Shutdown(ctx)
 		<-serveErr
 	}()
-	rb, err := train.DialRemote(ln.Addr().String(), e.Scale.Dim, e.ctrInit(), e.Scale.Workers+2)
+	rb, err := train.DialRemote(ln.Addr().String(), "trainbatch", e.Scale.Dim, e.ctrInit(), e.Scale.Workers+2)
 	if err != nil {
 		return nil, err
 	}

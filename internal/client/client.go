@@ -1,23 +1,30 @@
 // Package client is the remote face of an mlkv-server: a connection pool
-// speaking the internal/wire protocol, exposed through the same
-// kv.Store/kv.Session interfaces the in-process engines implement, so the
-// YCSB harness, benchmark sweeps, and examples run against a remote store
-// unchanged.
+// speaking the internal/wire protocol, from which callers open any number
+// of named models — the network half of the paper's
+// Open(model_id, dim, staleness_bound) interface. Each opened Model
+// exposes the same kv.Store/kv.Session interfaces the in-process engines
+// implement, so the YCSB harness, benchmark sweeps, and examples run
+// against a remote model unchanged.
 //
-// Sessions are assigned to pooled connections round-robin. Every
-// connection has a reader goroutine that demultiplexes responses by
-// correlation ID, so sessions sharing a connection pipeline their
-// requests: the second request is on the wire before the first response
-// returns. Batch operations travel as single frames and fan into the
-// server's sharded store as one batched call — the unit that amortizes
-// the network round trip.
+// Sessions are assigned to pooled connections round-robin and announce
+// themselves to the server with an ATTACH frame (and a DETACH on Close),
+// so the server's per-model session accounting tracks remote workers
+// truthfully. Every connection has a reader goroutine that demultiplexes
+// responses by correlation ID, so sessions sharing a connection pipeline
+// their requests: the second request is on the wire before the first
+// response returns. Batch operations travel as single frames and fan into
+// the server's sharded store as one batched call — the unit that
+// amortizes the network round trip.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,10 +37,11 @@ import (
 // Options configures Dial.
 type Options struct {
 	// Conns is the pool size (default 2). Each server connection is
-	// served by one store session and handled serially on the server, so
-	// parallelism across the store is min(Conns, concurrent sessions);
-	// sessions beyond Conns share connections via pipelining. Set it to
-	// the worker count for full fan-out.
+	// served by one engine session per attached model and handled
+	// serially on the server, so parallelism across a model is
+	// min(Conns, concurrent sessions); sessions beyond Conns share
+	// connections via pipelining. Set it to the worker count for full
+	// fan-out.
 	Conns int
 	// MaxFrame bounds incoming response frames (default wire.DefaultMaxFrame).
 	MaxFrame uint32
@@ -44,18 +52,17 @@ type Options struct {
 	MaxKeysPerFrame int
 }
 
-// Client is a remote kv.Store. It also implements kv.Checkpointer,
-// kv.StatsReporter, and kv.Sharded by delegating to the server.
+// Client is a connection pool onto one mlkv-server. Models are opened
+// from it with OpenModel; the Client itself carries no store state.
 type Client struct {
-	opts      Options
-	conns     []*conn
-	next      atomic.Uint64
-	valueSize int
-	shards    int
-	name      string
+	opts       Options
+	conns      []*conn
+	next       atomic.Uint64
+	serverName string
 }
 
-// Dial connects the pool and performs the HELLO handshake.
+// Dial connects the pool and performs the HELLO handshake, failing fast
+// on a protocol-version mismatch.
 func Dial(addr string, opts Options) (*Client, error) {
 	if opts.Conns <= 0 {
 		opts.Conns = 2
@@ -83,25 +90,20 @@ func Dial(addr string, opts Options) (*Client, error) {
 		c.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
-	vs, shards, name, err := wire.DecodeHelloResp(p)
+	_, name, err := wire.DecodeHelloResp(p)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
-	c.valueSize, c.shards, c.name = vs, shards, name
+	c.serverName = name
 	return c, nil
 }
 
-// ValueSize returns the server store's fixed value payload size.
-func (c *Client) ValueSize() int { return c.valueSize }
+// ServerName identifies the server (from the HELLO response).
+func (c *Client) ServerName() string { return c.serverName }
 
-// Shards returns the server store's hash-partition count.
-func (c *Client) Shards() int { return c.shards }
-
-// Name identifies the remote engine in benchmark output.
-func (c *Client) Name() string { return "remote(" + c.name + ")" }
-
-// Close tears down every pooled connection; outstanding requests fail.
+// Close tears down every pooled connection; outstanding requests and all
+// models opened from this client fail afterwards.
 func (c *Client) Close() error {
 	var first error
 	for _, cn := range c.conns {
@@ -117,95 +119,232 @@ func (c *Client) pick() *conn {
 	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
 }
 
-// NewSession returns a session bound to one pooled connection. Like every
-// kv.Session it is single-goroutine; sessions sharing a connection
-// pipeline their requests.
-func (c *Client) NewSession() (kv.Session, error) {
-	return &session{c: c, cn: c.pick(), vs: c.valueSize}, nil
+// OpenSpec names the model an OpenModel call wants.
+type OpenSpec struct {
+	// ID is the model name (letters, digits, '.', '_', '-').
+	ID string
+	// Dim is the embedding dimension; must match an existing model.
+	Dim int
+	// Shards requests a hash-partition count for a newly created model
+	// (0 lets the server choose; advisory for an existing model).
+	Shards int
+	// Bound is the staleness bound to apply; wire.BoundUnset keeps the
+	// server's default (new model) or the current bound (existing model).
+	Bound int64
 }
 
-// Checkpoint asks the server to make the store durable.
-func (c *Client) Checkpoint() error {
-	_, err := c.pick().roundTrip(wire.OpCheckpoint, nil)
+// OpenModel creates or looks up the named model on the server and returns
+// its handle. Opening the same name twice returns equivalent models — the
+// server deduplicates by name.
+func (c *Client) OpenModel(ctx context.Context, spec OpenSpec) (*Model, error) {
+	p, err := c.pick().roundTripCtx(ctx, wire.OpOpen, wire.EncodeOpen(spec.ID, spec.Dim, spec.Shards, spec.Bound))
+	if err != nil {
+		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
+	}
+	handle, dim, shards, bound, engine, err := wire.DecodeOpenResp(p)
+	if err != nil {
+		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
+	}
+	if dim != spec.Dim {
+		return nil, fmt.Errorf("client: model %q: server dim %d != requested %d", spec.ID, dim, spec.Dim)
+	}
+	return &Model{c: c, handle: handle, id: spec.ID, dim: dim, shards: shards, bound: bound, engine: engine}, nil
+}
+
+// Model is one named model on the server: a remote kv.Store. It also
+// implements kv.Checkpointer, kv.StatsReporter, and kv.Sharded by
+// delegating to the server.
+type Model struct {
+	c      *Client
+	handle uint32
+	id     string
+	dim    int
+	shards int
+	bound  int64
+	engine string
+}
+
+// ID returns the model name.
+func (m *Model) ID() string { return m.id }
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// ValueSize returns the model's fixed value payload size (Dim × 4).
+func (m *Model) ValueSize() int { return m.dim * 4 }
+
+// Shards returns the server store's hash-partition count.
+func (m *Model) Shards() int { return m.shards }
+
+// StalenessBound returns the bound in effect when the model was opened.
+func (m *Model) StalenessBound() int64 { return m.bound }
+
+// Name identifies the remote engine in benchmark output.
+func (m *Model) Name() string { return "remote(" + m.engine + ")" }
+
+// Close releases nothing on the server (the registry owns the model's
+// lifecycle); it exists to satisfy kv.Store. Close the Client to tear
+// down the connections.
+func (m *Model) Close() error { return nil }
+
+// Checkpoint asks the server to make the model durable.
+func (m *Model) Checkpoint() error { return m.CheckpointCtx(context.Background()) }
+
+// CheckpointCtx is Checkpoint bounded by ctx.
+func (m *Model) CheckpointCtx(ctx context.Context) error {
+	_, err := m.c.pick().roundTripCtx(ctx, wire.OpCheckpoint, wire.EncodeHandle(m.handle))
 	return err
 }
 
-// Stats fetches the server store's merged operation counters.
-func (c *Client) Stats() faster.StatsSnapshot {
-	p, err := c.pick().roundTrip(wire.OpStats, nil)
+// Stats fetches the engine's merged operation counters (kv.StatsReporter).
+func (m *Model) Stats() faster.StatsSnapshot {
+	s, err := m.ModelStats(context.Background())
 	if err != nil {
 		return faster.StatsSnapshot{}
 	}
-	s, err := wire.DecodeStatsResp(p)
+	return s.StatsSnapshot
+}
+
+// ModelStats fetches the full per-model counter set: engine counters plus
+// the server's batch/lookahead frame counts and active-session gauge.
+func (m *Model) ModelStats(ctx context.Context) (wire.ModelStats, error) {
+	p, err := m.c.pick().roundTripCtx(ctx, wire.OpStats, wire.EncodeHandle(m.handle))
 	if err != nil {
-		return faster.StatsSnapshot{}
+		return wire.ModelStats{}, err
 	}
-	return s
+	return wire.DecodeStatsResp(p)
 }
 
-// session is one worker's remote handle.
-type session struct {
-	c  *Client
-	cn *conn
-	vs int
+// NewSession returns a session bound to one pooled connection, announced
+// to the server with an ATTACH frame. Like every kv.Session it is
+// single-goroutine; sessions sharing a connection pipeline.
+func (m *Model) NewSession() (kv.Session, error) {
+	return m.NewSessionCtx(context.Background())
 }
 
-func (s *session) Get(key uint64, dst []byte) (bool, error) {
+// NewSessionCtx is NewSession bounded by ctx.
+func (m *Model) NewSessionCtx(ctx context.Context) (*Session, error) {
+	cn := m.c.pick()
+	if _, err := cn.roundTripCtx(ctx, wire.OpAttach, wire.EncodeHandle(m.handle)); err != nil {
+		return nil, fmt.Errorf("client: attach to model %q: %w", m.id, err)
+	}
+	return &Session{m: m, cn: cn, vs: m.dim * 4}, nil
+}
+
+// Session is one worker's remote handle onto a model.
+type Session struct {
+	m      *Model
+	cn     *conn
+	vs     int
+	closed bool
+}
+
+func (s *Session) Get(key uint64, dst []byte) (bool, error) {
+	return s.GetCtx(context.Background(), key, dst)
+}
+
+// GetCtx reads one key, honoring ctx end to end: the frame carries the
+// context's remaining budget so a clocked read stalled on the staleness
+// bound gives up on the server at the deadline (stranding no token), and
+// the round trip itself returns ctx.Err() if ctx ends first.
+func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
-	p, err := s.cn.roundTrip(wire.OpGet, wire.EncodeKey(key))
+	p, err := s.cn.roundTripCtx(ctx, wire.OpGet, wire.EncodeGet(s.m.handle, key, waitMsFrom(ctx)))
 	if err != nil {
+		// Near the deadline the server's "gave up" error and our own
+		// timer race; the caller asked for ctx semantics either way.
+		if cerr := ctx.Err(); cerr != nil {
+			return false, cerr
+		}
 		return false, err
 	}
 	return wire.DecodeGetResp(p, dst)
+}
+
+// waitMsFrom converts ctx's remaining budget to the wire's wait field
+// (0 = no deadline, wait forever).
+func waitMsFrom(ctx context.Context) uint32 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms <= 0 {
+		return 1
+	}
+	if ms >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
 }
 
 // Peek implements kv.PeekSession: a clock-free read on the server, so
 // remote evaluation never acquires staleness tokens that would stall
 // training reads.
-func (s *session) Peek(key uint64, dst []byte) (bool, error) {
+func (s *Session) Peek(key uint64, dst []byte) (bool, error) {
+	return s.PeekCtx(context.Background(), key, dst)
+}
+
+// PeekCtx is Peek bounded by ctx.
+func (s *Session) PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
-	p, err := s.cn.roundTrip(wire.OpPeek, wire.EncodeKey(key))
+	p, err := s.cn.roundTripCtx(ctx, wire.OpPeek, wire.EncodeKey(s.m.handle, key))
 	if err != nil {
 		return false, err
 	}
 	return wire.DecodeGetResp(p, dst)
 }
 
-func (s *session) Put(key uint64, val []byte) error {
+func (s *Session) Put(key uint64, val []byte) error {
+	return s.PutCtx(context.Background(), key, val)
+}
+
+// PutCtx is Put bounded by ctx.
+func (s *Session) PutCtx(ctx context.Context, key uint64, val []byte) error {
 	if len(val) != s.vs {
 		return fmt.Errorf("client: val length %d != value size %d", len(val), s.vs)
 	}
-	_, err := s.cn.roundTrip(wire.OpPut, wire.EncodePut(key, val))
+	_, err := s.cn.roundTripCtx(ctx, wire.OpPut, wire.EncodePut(s.m.handle, key, val))
 	return err
 }
 
-func (s *session) Delete(key uint64) error {
-	_, err := s.cn.roundTrip(wire.OpDelete, wire.EncodeKey(key))
+func (s *Session) Delete(key uint64) error {
+	return s.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (s *Session) DeleteCtx(ctx context.Context, key uint64) error {
+	_, err := s.cn.roundTripCtx(ctx, wire.OpDelete, wire.EncodeKey(s.m.handle, key))
 	return err
 }
 
 // Prefetch ships a one-key LOOKAHEAD; true means the server copied the
 // record toward memory.
-func (s *session) Prefetch(key uint64) (bool, error) {
+func (s *Session) Prefetch(key uint64) (bool, error) {
 	n, err := s.Lookahead([]uint64{key})
 	return n > 0, err
 }
 
 // Lookahead asks the server to prefetch keys, returning how many records
 // it copied toward memory.
-func (s *session) Lookahead(keys []uint64) (int, error) {
+func (s *Session) Lookahead(keys []uint64) (int, error) {
+	return s.LookaheadCtx(context.Background(), keys)
+}
+
+// LookaheadCtx is Lookahead bounded by ctx.
+func (s *Session) LookaheadCtx(ctx context.Context, keys []uint64) (int, error) {
 	total := 0
 	for len(keys) > 0 {
 		chunk := keys
-		if len(chunk) > s.c.opts.MaxKeysPerFrame {
-			chunk = chunk[:s.c.opts.MaxKeysPerFrame]
+		if len(chunk) > s.m.c.opts.MaxKeysPerFrame {
+			chunk = chunk[:s.m.c.opts.MaxKeysPerFrame]
 		}
 		keys = keys[len(chunk):]
-		p, err := s.cn.roundTrip(wire.OpLookahead, wire.EncodeKeys(chunk))
+		p, err := s.cn.roundTripCtx(ctx, wire.OpLookahead, wire.EncodeKeys(s.m.handle, chunk))
 		if err != nil {
 			return total, err
 		}
@@ -221,15 +360,25 @@ func (s *session) Lookahead(keys []uint64) (int, error) {
 // GetBatch implements kv.BatchSession: one frame per MaxKeysPerFrame
 // chunk, each fanned into the server's sharded store as a single batched
 // read.
-func (s *session) GetBatch(keys []uint64, vals []byte, found []bool) error {
+func (s *Session) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	return s.GetBatchCtx(context.Background(), keys, vals, found)
+}
+
+// GetBatchCtx is GetBatch bounded by ctx end to end: checked per frame on
+// the round trip, and carried in each frame so a stalled batch gives up
+// on the server at the deadline (see GetCtx).
+func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
 	vs := s.vs
 	for len(keys) > 0 {
 		n := len(keys)
-		if n > s.c.opts.MaxKeysPerFrame {
-			n = s.c.opts.MaxKeysPerFrame
+		if n > s.m.c.opts.MaxKeysPerFrame {
+			n = s.m.c.opts.MaxKeysPerFrame
 		}
-		p, err := s.cn.roundTrip(wire.OpGetBatch, wire.EncodeKeys(keys[:n]))
+		p, err := s.cn.roundTripCtx(ctx, wire.OpGetBatch, wire.EncodeGetBatch(s.m.handle, waitMsFrom(ctx), keys[:n]))
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return err
 		}
 		if err := wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs]); err != nil {
@@ -241,14 +390,19 @@ func (s *session) GetBatch(keys []uint64, vals []byte, found []bool) error {
 }
 
 // PutBatch implements kv.BatchSession.
-func (s *session) PutBatch(keys []uint64, vals []byte) error {
+func (s *Session) PutBatch(keys []uint64, vals []byte) error {
+	return s.PutBatchCtx(context.Background(), keys, vals)
+}
+
+// PutBatchCtx is PutBatch bounded by ctx, checked per frame.
+func (s *Session) PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) error {
 	vs := s.vs
 	for len(keys) > 0 {
 		n := len(keys)
-		if n > s.c.opts.MaxKeysPerFrame {
-			n = s.c.opts.MaxKeysPerFrame
+		if n > s.m.c.opts.MaxKeysPerFrame {
+			n = s.m.c.opts.MaxKeysPerFrame
 		}
-		if _, err := s.cn.roundTrip(wire.OpPutBatch, wire.EncodePutBatch(keys[:n], vals[:n*vs])); err != nil {
+		if _, err := s.cn.roundTripCtx(ctx, wire.OpPutBatch, wire.EncodePutBatch(s.m.handle, keys[:n], vals[:n*vs])); err != nil {
 			return err
 		}
 		keys, vals = keys[n:], vals[n*vs:]
@@ -256,9 +410,17 @@ func (s *session) PutBatch(keys []uint64, vals []byte) error {
 	return nil
 }
 
-// Close releases the session. The pooled connection stays open for other
-// sessions.
-func (s *session) Close() {}
+// Close releases the session: a DETACH frame tells the server to drop it
+// from the model's active-session accounting (best effort — a dead
+// connection already released it server-side). The pooled connection
+// stays open for other sessions. Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.cn.roundTrip(wire.OpDetach, wire.EncodeHandle(s.m.handle))
+}
 
 // conn is one pooled connection with a demultiplexing reader goroutine.
 type conn struct {
@@ -317,6 +479,8 @@ func (cn *conn) readLoop(maxFrame uint32) {
 		delete(cn.pending, f.CorrID)
 		cn.pmu.Unlock()
 		if ok {
+			// Buffered (cap 1): a caller that gave up on ctx is not
+			// reading, and the response must not stall the loop.
 			ch <- response{op: f.Op, payload: f.Payload}
 		}
 	}
@@ -336,6 +500,16 @@ func (cn *conn) readLoop(maxFrame uint32) {
 // calls pipeline: writes interleave under wmu and the read loop routes
 // each response to its caller.
 func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
+	return cn.roundTripCtx(context.Background(), op, payload)
+}
+
+// roundTripCtx is roundTrip bounded by ctx: if ctx ends first the caller
+// gets ctx.Err() and the eventual response is dropped by the read loop.
+// The request itself is not retracted — the server will still process it.
+func (cn *conn) roundTripCtx(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	id := cn.nextID.Add(1)
 	ch := make(chan response, 1)
 	cn.pmu.Lock()
@@ -363,7 +537,15 @@ func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	r, ok := <-ch
+	var r response
+	var ok bool
+	select {
+	case r, ok = <-ch:
+	case <-ctx.Done():
+		// Abandon the round trip. Leave the pending entry for the read
+		// loop: the buffered channel absorbs the late response.
+		return nil, ctx.Err()
+	}
 	if !ok {
 		cn.pmu.Lock()
 		err := cn.failure
@@ -374,9 +556,23 @@ func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 	case wire.RespOK:
 		return r.payload, nil
 	case wire.RespErr:
-		return nil, errors.New(string(r.payload))
+		return nil, respError(string(r.payload))
 	}
 	return nil, fmt.Errorf("client: unexpected response opcode %s", r.op)
+}
+
+// respError rebuilds a server error. Deadline/cancellation errors — a
+// read that gave up server-side at the wait budget this client put on the
+// wire — come back as the canonical context errors so errors.Is works
+// across the network boundary.
+func respError(msg string) error {
+	switch {
+	case strings.Contains(msg, context.DeadlineExceeded.Error()):
+		return fmt.Errorf("client: server gave up: %w", context.DeadlineExceeded)
+	case strings.Contains(msg, context.Canceled.Error()):
+		return fmt.Errorf("client: server gave up: %w", context.Canceled)
+	}
+	return errors.New(msg)
 }
 
 func (cn *conn) close() error {

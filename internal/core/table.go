@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -97,6 +98,9 @@ type Table struct {
 	prefetchDropped atomic.Int64
 	prefetched      atomic.Int64
 	activeSessions  atomic.Int64
+	batchGets       atomic.Int64
+	batchPuts       atomic.Int64
+	lookaheadCalls  atomic.Int64
 }
 
 // OpenTable creates or recovers an embedding table.
@@ -258,6 +262,32 @@ func (t *Table) PrefetchStats() (copied, dropped int64) {
 	return t.StoreStats().PrefetchCopies, t.prefetchDropped.Load()
 }
 
+// TableStats is the table-level counter snapshot: the engine counters
+// summed across shards plus the counters that only exist above the engine
+// (batch calls, Lookahead calls, dropped prefetch requests).
+type TableStats struct {
+	faster.StatsSnapshot
+	// BatchGets / BatchPuts count GetBatch / PutBatch calls (each may
+	// cover thousands of keys; the per-key counts are in Gets/Puts).
+	BatchGets int64
+	BatchPuts int64
+	// LookaheadCalls counts Lookahead invocations.
+	LookaheadCalls int64
+	// PrefetchDropped counts Lookahead keys dropped on a full queue.
+	PrefetchDropped int64
+}
+
+// TableStats returns the full table-level counter snapshot.
+func (t *Table) TableStats() TableStats {
+	return TableStats{
+		StatsSnapshot:   t.StoreStats(),
+		BatchGets:       t.batchGets.Load(),
+		BatchPuts:       t.batchPuts.Load(),
+		LookaheadCalls:  t.lookaheadCalls.Load(),
+		PrefetchDropped: t.prefetchDropped.Load(),
+	}
+}
+
 // prefetchPool runs the Lookahead workers. Each worker holds a session on
 // every shard and routes requests to the key's owner.
 func (t *Table) prefetchPool(workers int) {
@@ -352,18 +382,25 @@ func (s *Session) Close() {
 // Get reads the embedding for key into dst (len == Dim), initializing it on
 // first touch. It participates in the bounded-staleness protocol (§III-C1).
 func (s *Session) Get(key uint64, dst []float32) error {
+	return s.GetCtx(context.Background(), key, dst)
+}
+
+// GetCtx is Get with cancellation: a read stalled on the staleness bound
+// returns ctx.Err() when ctx ends instead of waiting for the releasing
+// write. No token is held after a cancelled read.
+func (s *Session) GetCtx(ctx context.Context, key uint64, dst []float32) error {
 	if len(dst) != s.t.dim {
 		return fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
 	}
-	return s.getOn(s.t.shardOf(key), key, dst)
+	return s.getOn(ctx, s.t.shardOf(key), key, dst)
 }
 
 // getOn runs the clocked read against one shard, using that shard's
 // session and scratch.
-func (s *Session) getOn(sh int, key uint64, dst []float32) error {
+func (s *Session) getOn(ctx context.Context, sh int, key uint64, dst []float32) error {
 	fs, buf := s.ss[sh], s.bufs[sh]
 	for {
-		found, err := fs.Get(key, buf)
+		found, err := fs.GetCtx(ctx, key, buf)
 		if err != nil {
 			return err
 		}
@@ -404,14 +441,21 @@ func (s *Session) initKey(fs *faster.Session, key uint64) error {
 // unique keys in ascending order, which keeps the cross-session wait
 // graph acyclic exactly as it does on the scalar path.
 func (s *Session) GetBatch(keys []uint64, dst []float32) error {
+	return s.GetBatchCtx(context.Background(), keys, dst)
+}
+
+// GetBatchCtx is GetBatch with cancellation, checked on every key's
+// clocked read (see GetCtx).
+func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, dst []float32) error {
 	if len(dst) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: dst length %d != %d keys × dim %d", len(dst), len(keys), s.t.dim)
 	}
+	s.t.batchGets.Add(1)
 	dim := s.t.dim
 	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin ||
 		faster.BlockingBound(s.t.stores[0].StalenessBound()) {
 		for i, k := range keys {
-			if err := s.getOn(s.t.shardOf(k), k, dst[i*dim:(i+1)*dim]); err != nil {
+			if err := s.getOn(ctx, s.t.shardOf(k), k, dst[i*dim:(i+1)*dim]); err != nil {
 				return err
 			}
 		}
@@ -419,7 +463,7 @@ func (s *Session) GetBatch(keys []uint64, dst []float32) error {
 	}
 	return s.fanOut(s.groupByShard(keys), func(sh int, idxs []int) error {
 		for _, i := range idxs {
-			if err := s.getOn(sh, keys[i], dst[i*dim:(i+1)*dim]); err != nil {
+			if err := s.getOn(ctx, sh, keys[i], dst[i*dim:(i+1)*dim]); err != nil {
 				return err
 			}
 		}
@@ -462,6 +506,7 @@ func (s *Session) PutBatch(keys []uint64, vals []float32) error {
 	if len(vals) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: vals length %d != %d keys × dim %d", len(vals), len(keys), s.t.dim)
 	}
+	s.t.batchPuts.Add(1)
 	dim := s.t.dim
 	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin {
 		for i, k := range keys {
@@ -518,6 +563,7 @@ const (
 // requests beyond the queue capacity are dropped (and counted). With
 // DestAppCache, cache must be non-nil.
 func (s *Session) Lookahead(keys []uint64, dest LookaheadDest, cache *Cache) error {
+	s.t.lookaheadCalls.Add(1)
 	switch dest {
 	case DestStorageBuffer:
 		for _, k := range keys {
@@ -551,4 +597,3 @@ func (t *Table) DiskUsage() (int64, error) {
 	}
 	return total, nil
 }
-

@@ -1,0 +1,133 @@
+// Package driver is the seam between mlkv's public API and the places an
+// embedding model can live: a local disk directory (the in-process
+// core.Table engine) or a remote mlkv-server (the internal/client pool
+// speaking the wire protocol). The public mlkv package programs against
+// the DB/Model/Session interfaces here, so application code is identical
+// against either target — the paper's Open(model_id, dim, staleness_bound)
+// served locally or as a shared storage service.
+//
+// Every operation is context-first: deadlines and cancellation are
+// honored on staleness waits (local) and network round trips (remote).
+// The public package supplies context.Background() for its convenience
+// wrappers.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/core"
+)
+
+// Scheme prefixes a remote target: "mlkv://host:port". Anything else is
+// a local directory.
+const Scheme = "mlkv://"
+
+// IsRemote reports whether target names a remote mlkv-server.
+func IsRemote(target string) bool { return strings.HasPrefix(target, Scheme) }
+
+// ConnectOptions configures Connect for remote targets (local ones ignore
+// it).
+type ConnectOptions struct {
+	// Conns is the connection-pool size (default 2). Size it to the
+	// number of concurrently blocking sessions: under BSP or finite SSP a
+	// blocked remote read must not queue behind the write that unblocks
+	// it on a shared connection.
+	Conns int
+	// DialTimeout bounds each TCP connect (default 5s).
+	DialTimeout time.Duration
+}
+
+// Config carries one model's open parameters across the seam.
+type Config struct {
+	// Dim is the embedding dimension.
+	Dim int
+	// Shards is the hash-partition count (0 = target default).
+	Shards int
+	// Bound is the staleness bound; applied only when BoundSet.
+	Bound    int64
+	BoundSet bool
+	// MemoryBytes / ExpectedKeys / PrefetchWorkers size the local engine;
+	// a remote server owns its own sizing and ignores them.
+	MemoryBytes     int64
+	ExpectedKeys    uint64
+	PrefetchWorkers int
+	// Init produces first-touch embeddings. The local engine runs it
+	// inside storage; the remote driver runs it client-side on a miss and
+	// writes the result back, so a given key initializes identically on
+	// every worker (seed it deterministically).
+	Init core.Initializer
+}
+
+// Stats is the driver-neutral counter snapshot behind mlkv.Stats.
+type Stats struct {
+	Gets, Puts, RMWs, Deletes       int64
+	MemHits, DiskReads              int64
+	InPlaceUpdates, RCUAppends      int64
+	StalenessWaits                  int64
+	PrefetchCopies, PrefetchDropped int64
+	FlushedPages, BytesFlushed      int64
+	BatchGets, BatchPuts            int64
+	LookaheadCalls                  int64
+}
+
+// DB is one target: a local data directory or a remote server.
+type DB interface {
+	// Open creates or looks up the named model.
+	Open(ctx context.Context, id string, cfg Config) (Model, error)
+	// Target echoes the Connect target string.
+	Target() string
+	// Close releases the target: open models for a local DB, the
+	// connection pool for a remote one.
+	Close() error
+}
+
+// Model is one named embedding model behind either driver.
+type Model interface {
+	ID() string
+	Dim() int
+	Shards() int
+	// EngineName identifies the backing engine ("mlkv", "faster", or
+	// "remote(<engine>)").
+	EngineName() string
+	StalenessBound() int64
+	SetStalenessBound(ctx context.Context, b int64) error
+	Checkpoint(ctx context.Context) error
+	Stats(ctx context.Context) (Stats, error)
+	ActiveSessions(ctx context.Context) (int64, error)
+	NewSession(ctx context.Context) (Session, error)
+	Close() error
+}
+
+// Session is one worker's handle. Not safe for concurrent use.
+type Session interface {
+	Get(ctx context.Context, key uint64, dst []float32) error
+	GetBatch(ctx context.Context, keys []uint64, dst []float32) error
+	Put(ctx context.Context, key uint64, val []float32) error
+	PutBatch(ctx context.Context, keys []uint64, vals []float32) error
+	RMW(ctx context.Context, key uint64, grad []float32, lr float32) error
+	Peek(ctx context.Context, key uint64, dst []float32) (bool, error)
+	Delete(ctx context.Context, key uint64) error
+	// Lookahead is asynchronous on both drivers and never blocks; hints
+	// beyond the queue capacity are dropped (and counted).
+	Lookahead(keys []uint64) error
+	Close()
+}
+
+// Connect opens a target. "mlkv://host:port" dials a server; anything
+// else is a local directory (created on first Open).
+func Connect(target string, opts ConnectOptions) (DB, error) {
+	if target == "" {
+		return nil, fmt.Errorf("driver: empty target")
+	}
+	if IsRemote(target) {
+		addr := strings.TrimPrefix(target, Scheme)
+		if addr == "" {
+			return nil, fmt.Errorf("driver: target %q has no address", target)
+		}
+		return connectRemote(target, addr, opts)
+	}
+	return &localDB{dir: target, models: make(map[string]*localModel)}, nil
+}

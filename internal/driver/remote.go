@@ -1,0 +1,375 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/tensor"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// remoteDB is a connection pool onto one mlkv-server; models open over
+// the wire with OPEN frames and all data moves through internal/tensor's
+// float32 codecs. This package is the only one that may import
+// internal/client — everything else reaches a server through the public
+// API (or DialKV below).
+type remoteDB struct {
+	target string
+	c      *client.Client
+}
+
+func connectRemote(target, addr string, opts ConnectOptions) (DB, error) {
+	c, err := client.Dial(addr, client.Options{
+		Conns:       opts.Conns,
+		DialTimeout: opts.DialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteDB{target: target, c: c}, nil
+}
+
+func (db *remoteDB) Target() string { return db.target }
+
+func (db *remoteDB) Open(ctx context.Context, id string, cfg Config) (Model, error) {
+	bound := wire.BoundUnset
+	if cfg.BoundSet {
+		bound = cfg.Bound
+	}
+	cm, err := db.c.OpenModel(ctx, client.OpenSpec{
+		ID: id, Dim: cfg.Dim, Shards: cfg.Shards, Bound: bound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteModel{
+		db:       db,
+		m:        cm,
+		init:     cfg.Init,
+		lookCh:   make(chan []uint64, 1024),
+		lookStop: make(chan struct{}),
+		lookDone: make(chan struct{}),
+	}, nil
+}
+
+// Close tears down the connection pool; models and sessions opened from
+// this DB fail afterwards (and their Lookahead hints drop).
+func (db *remoteDB) Close() error { return db.c.Close() }
+
+// remoteModel is one named model on the server. Lookahead hints are
+// fire-and-forget on a local table but a blocking round trip on the wire,
+// so the model hands them to a background worker with its own session
+// (started on the first hint); a full queue drops the hint, matching
+// core.Table's prefetch-pool semantics.
+type remoteModel struct {
+	db   *remoteDB
+	m    *client.Model
+	init core.Initializer
+
+	// lookMu orders worker start against Close, so a hint racing a Close
+	// can never start a worker Close no longer sees.
+	lookMu      sync.Mutex
+	lookStarted bool
+	lookClosed  bool
+	lookCh      chan []uint64
+	lookStop    chan struct{}
+	lookDone    chan struct{}
+	lookDropped atomic.Int64
+}
+
+func (m *remoteModel) ID() string            { return m.m.ID() }
+func (m *remoteModel) Dim() int              { return m.m.Dim() }
+func (m *remoteModel) Shards() int           { return m.m.Shards() }
+func (m *remoteModel) EngineName() string    { return m.m.Name() }
+func (m *remoteModel) StalenessBound() int64 { return m.m.StalenessBound() }
+
+// SetStalenessBound re-opens the model with an explicit bound — the wire
+// protocol's way to adjust an existing model's consistency.
+func (m *remoteModel) SetStalenessBound(ctx context.Context, b int64) error {
+	_, err := m.db.c.OpenModel(ctx, client.OpenSpec{
+		ID: m.m.ID(), Dim: m.m.Dim(), Bound: b,
+	})
+	return err
+}
+
+func (m *remoteModel) Checkpoint(ctx context.Context) error { return m.m.CheckpointCtx(ctx) }
+
+func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
+	ms, err := m.m.ModelStats(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
+		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
+		InPlaceUpdates: ms.InPlaceUpdates, RCUAppends: ms.RCUAppends,
+		StalenessWaits: ms.StalenessWaits,
+		PrefetchCopies: ms.PrefetchCopies, PrefetchDropped: m.lookDropped.Load(),
+		FlushedPages: ms.FlushedPages, BytesFlushed: ms.BytesFlushed,
+		BatchGets: ms.BatchGets, BatchPuts: ms.BatchPuts,
+		LookaheadCalls: ms.LookaheadFrames,
+	}, nil
+}
+
+// ActiveSessions reports the server's attach-minus-detach balance for the
+// model — every remote client's sessions, not just this process's.
+func (m *remoteModel) ActiveSessions(ctx context.Context) (int64, error) {
+	ms, err := m.m.ModelStats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return ms.ActiveSessions, nil
+}
+
+func (m *remoteModel) NewSession(ctx context.Context) (Session, error) {
+	s, err := m.m.NewSessionCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	vs := m.m.Dim() * 4
+	return &remoteSession{m: m, s: s, buf: make([]byte, vs)}, nil
+}
+
+// Close stops the lookahead worker. The server keeps the model open (the
+// registry owns its lifecycle); the pool closes with the DB. Idempotent.
+func (m *remoteModel) Close() error {
+	m.lookMu.Lock()
+	if m.lookClosed {
+		m.lookMu.Unlock()
+		return nil
+	}
+	m.lookClosed = true
+	started := m.lookStarted
+	m.lookMu.Unlock()
+	if started {
+		close(m.lookStop)
+		<-m.lookDone
+	}
+	return nil
+}
+
+// lookaheadWorker drains the hint queue into LOOKAHEAD frames on its own
+// session. Hints are best-effort: a transient server error drops this
+// hint, not the pipeline.
+func (m *remoteModel) lookaheadWorker() {
+	defer close(m.lookDone)
+	s, err := m.m.NewSession()
+	if err != nil {
+		return
+	}
+	defer s.Close()
+	ls := s.(kv.LookaheadSession)
+	for {
+		select {
+		case <-m.lookStop:
+			return
+		case keys := <-m.lookCh:
+			if _, err := ls.Lookahead(keys); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// enqueueLookahead hands keys to the worker, starting it on first use;
+// hints beyond the queue capacity drop (and are counted). A hint racing
+// Close is dropped — start and close are ordered under lookMu.
+func (m *remoteModel) enqueueLookahead(keys []uint64) {
+	m.lookMu.Lock()
+	if m.lookClosed {
+		m.lookMu.Unlock()
+		return
+	}
+	if !m.lookStarted {
+		m.lookStarted = true
+		go m.lookaheadWorker()
+	}
+	m.lookMu.Unlock()
+	cp := append([]uint64(nil), keys...) // caller reuses its slice
+	select {
+	case m.lookCh <- cp:
+	default:
+		m.lookDropped.Add(1)
+	}
+}
+
+// remoteSession adapts a wire session to the float32 seam, adding
+// client-side first-touch initialization — the paper's
+// "framework + plain KV store" integration pattern, with the initializer
+// seeded per key so every worker initializes an embedding identically.
+type remoteSession struct {
+	m   *remoteModel
+	s   *client.Session
+	buf []byte // one value, scalar-path staging
+
+	// Batch-path scratch, grown on demand and reused across steps.
+	bbuf     []byte
+	found    []bool
+	missKeys []uint64
+	missVals []byte
+}
+
+func (s *remoteSession) initInto(key uint64, dst []float32) {
+	if s.m.init != nil {
+		s.m.init(key, dst)
+		return
+	}
+	clear(dst)
+}
+
+func (s *remoteSession) Get(ctx context.Context, key uint64, dst []float32) error {
+	if len(dst) != s.m.Dim() {
+		return fmt.Errorf("driver: dst length %d != dim %d", len(dst), s.m.Dim())
+	}
+	found, err := s.s.GetCtx(ctx, key, s.buf)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// First touch: initialize client-side and write back, so later
+		// reads (from any worker) see the same embedding. The fresh
+		// record's clock starts balanced — a miss acquired no token, and
+		// a Put on a zero-staleness record is floored, not underflowed.
+		s.initInto(key, dst)
+		tensor.F32sToBytes(dst, s.buf)
+		return s.s.PutCtx(ctx, key, s.buf)
+	}
+	tensor.BytesToF32s(s.buf, dst)
+	return nil
+}
+
+// GetBatch issues one batched read, then initializes and writes back the
+// missing keys with one batched write — the first-touch protocol of the
+// scalar path, paid once per step instead of once per key.
+func (s *remoteSession) GetBatch(ctx context.Context, keys []uint64, dst []float32) error {
+	dim := s.m.Dim()
+	if len(dst) != len(keys)*dim {
+		return fmt.Errorf("driver: dst length %d != %d keys × dim %d", len(dst), len(keys), dim)
+	}
+	vs := dim * 4
+	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
+	s.found = growSlice(s.found, len(keys))
+	if err := s.s.GetBatchCtx(ctx, keys, s.bbuf, s.found); err != nil {
+		return err
+	}
+	s.missKeys = s.missKeys[:0]
+	s.missVals = s.missVals[:0]
+	for i, ok := range s.found {
+		seg := dst[i*dim : (i+1)*dim]
+		if ok {
+			tensor.BytesToF32s(s.bbuf[i*vs:], seg)
+			continue
+		}
+		s.initInto(keys[i], seg)
+		s.missKeys = append(s.missKeys, keys[i])
+		n := len(s.missVals)
+		s.missVals = append(s.missVals, make([]byte, vs)...)
+		tensor.F32sToBytes(seg, s.missVals[n:])
+	}
+	if len(s.missKeys) == 0 {
+		return nil
+	}
+	return s.s.PutBatchCtx(ctx, s.missKeys, s.missVals)
+}
+
+func (s *remoteSession) Put(ctx context.Context, key uint64, val []float32) error {
+	if len(val) != s.m.Dim() {
+		return fmt.Errorf("driver: val length %d != dim %d", len(val), s.m.Dim())
+	}
+	tensor.F32sToBytes(val, s.buf)
+	return s.s.PutCtx(ctx, key, s.buf)
+}
+
+func (s *remoteSession) PutBatch(ctx context.Context, keys []uint64, vals []float32) error {
+	dim := s.m.Dim()
+	if len(vals) != len(keys)*dim {
+		return fmt.Errorf("driver: vals length %d != %d keys × dim %d", len(vals), len(keys), dim)
+	}
+	vs := dim * 4
+	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
+	tensor.F32sToBytes(vals, s.bbuf)
+	return s.s.PutBatchCtx(ctx, keys, s.bbuf[:len(keys)*vs])
+}
+
+// RMW emulates the storage-side read-modify-write over the wire: a
+// clocked read (initializing on first touch), the gradient step applied
+// client-side, and the balancing write.
+func (s *remoteSession) RMW(ctx context.Context, key uint64, grad []float32, lr float32) error {
+	dim := s.m.Dim()
+	if len(grad) != dim {
+		return fmt.Errorf("driver: grad length %d != dim %d", len(grad), dim)
+	}
+	cur := make([]float32, dim)
+	if err := s.Get(ctx, key, cur); err != nil {
+		return err
+	}
+	for i := range cur {
+		cur[i] -= lr * grad[i]
+	}
+	return s.Put(ctx, key, cur)
+}
+
+func (s *remoteSession) Peek(ctx context.Context, key uint64, dst []float32) (bool, error) {
+	if len(dst) != s.m.Dim() {
+		return false, fmt.Errorf("driver: dst length %d != dim %d", len(dst), s.m.Dim())
+	}
+	found, err := s.s.PeekCtx(ctx, key, s.buf)
+	if found {
+		tensor.BytesToF32s(s.buf, dst)
+	}
+	return found, err
+}
+
+func (s *remoteSession) Delete(ctx context.Context, key uint64) error {
+	return s.s.DeleteCtx(ctx, key)
+}
+
+func (s *remoteSession) Lookahead(keys []uint64) error {
+	if len(keys) > 0 {
+		s.m.enqueueLookahead(keys)
+	}
+	return nil
+}
+
+func (s *remoteSession) Close() { s.s.Close() }
+
+// growSlice resizes a reusable scratch slice to n elements without
+// preserving contents (callers overwrite the whole slice).
+func growSlice[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// DialKV opens the named model on a remote server as a byte-level
+// kv.Store — the escape hatch for harnesses that work on raw values (the
+// YCSB benchmark, the network sweep). Closing the returned store closes
+// its connection pool.
+func DialKV(addr, model string, dim, conns int) (kv.Store, error) {
+	c, err := client.Dial(addr, client.Options{Conns: conns})
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.OpenModel(context.Background(), client.OpenSpec{
+		ID: model, Dim: dim, Bound: wire.BoundUnset,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &dialedStore{Model: m, c: c}, nil
+}
+
+// dialedStore pairs a remote model with ownership of its pool.
+type dialedStore struct {
+	*client.Model
+	c *client.Client
+}
+
+func (d *dialedStore) Close() error { return d.c.Close() }

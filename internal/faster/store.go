@@ -1,6 +1,7 @@
 package faster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -286,6 +287,16 @@ var ErrValueSize = errors.New("faster: buffer length must equal ValueSize")
 // copied to the mutable tail with their vector clock preserved.
 // Returns found=false for absent or deleted keys.
 func (s *Session) Get(key uint64, dst []byte) (bool, error) {
+	return s.GetCtx(context.Background(), key, dst)
+}
+
+// GetCtx is Get with cancellation: a read stalled on the staleness bound
+// (another session's token not yet released by its Put) gives up with
+// ctx.Err() when ctx is cancelled or its deadline passes, instead of
+// spinning until the releasing write arrives. The clock is untouched on a
+// cancelled read — no token was acquired — so a caller that times out owes
+// no balancing Put.
+func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
 	if len(dst) != s.st.cfg.ValueSize {
 		return false, ErrValueSize
 	}
@@ -294,6 +305,11 @@ func (s *Session) Get(key uint64, dst []byte) (bool, error) {
 	s.es.Protect()
 	defer s.es.Unprotect()
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		hit, err := s.findKey(key, false)
 		if err != nil {
 			return false, err

@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"context"
 	"sync"
 
 	"github.com/llm-db/mlkv-go/internal/bptree"
@@ -51,10 +52,18 @@ func (w fkStore) Close() error                { return w.s.Close() }
 func (w fkStore) Checkpoint() error           { return w.s.Checkpoint() }
 func (w fkStore) Stats() faster.StatsSnapshot { return w.s.Stats() }
 func (w fkStore) Shards() int                 { return 1 }
+func (w fkStore) StalenessBound() int64       { return w.s.StalenessBound() }
+func (w fkStore) SetStalenessBound(b int64)   { w.s.SetStalenessBound(b) }
 
 type fkSession struct{ s *faster.Session }
 
-func (se fkSession) Get(key uint64, dst []byte) (bool, error)  { return se.s.Get(key, dst) }
+func (se fkSession) Get(key uint64, dst []byte) (bool, error) { return se.s.Get(key, dst) }
+
+// GetCtx implements CtxSession: a clocked read stalled on the staleness
+// bound gives up with ctx.Err() when ctx ends.
+func (se fkSession) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
+	return se.s.GetCtx(ctx, key, dst)
+}
 func (se fkSession) Put(key uint64, val []byte) error          { return se.s.Put(key, val) }
 func (se fkSession) Delete(key uint64) error                   { return se.s.Delete(key) }
 func (se fkSession) Prefetch(key uint64) (bool, error)         { return se.s.Prefetch(key) }
@@ -97,6 +106,16 @@ func (w fkShardStore) NewSession() (Session, error) {
 func (w fkShardStore) ValueSize() int { return w.stores[0].ValueSize() }
 func (w fkShardStore) Name() string   { return w.name }
 func (w fkShardStore) Shards() int    { return len(w.stores) }
+
+// StalenessBound reports the bound all shards share.
+func (w fkShardStore) StalenessBound() int64 { return w.stores[0].StalenessBound() }
+
+// SetStalenessBound changes the bound on every shard.
+func (w fkShardStore) SetStalenessBound(b int64) {
+	for _, st := range w.stores {
+		st.SetStalenessBound(b)
+	}
+}
 
 func (w fkShardStore) Close() error {
 	var first error
@@ -151,6 +170,11 @@ func (se *fkShardSession) route(key uint64) *faster.Session {
 func (se *fkShardSession) Get(key uint64, dst []byte) (bool, error) {
 	return se.route(key).Get(key, dst)
 }
+
+// GetCtx implements CtxSession (see fkSession.GetCtx).
+func (se *fkShardSession) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
+	return se.route(key).GetCtx(ctx, key, dst)
+}
 func (se *fkShardSession) Put(key uint64, val []byte) error  { return se.route(key).Put(key, val) }
 func (se *fkShardSession) Delete(key uint64) error           { return se.route(key).Delete(key) }
 func (se *fkShardSession) Prefetch(key uint64) (bool, error) { return se.route(key).Prefetch(key) }
@@ -172,6 +196,13 @@ const batchFanoutMin = 16
 // shard's faster session is driven by exactly one goroutine, preserving
 // the engine's single-goroutine session contract.
 func (se *fkShardSession) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	return se.GetBatchCtx(context.Background(), keys, vals, found)
+}
+
+// GetBatchCtx implements CtxBatchSession: ctx is checked on every clocked
+// read, so a batch stalled on the staleness bound gives up at the
+// caller's deadline.
+func (se *fkShardSession) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -184,7 +215,7 @@ func (se *fkShardSession) GetBatch(keys []uint64, vals []byte, found []bool) err
 	if faster.BlockingBound(se.st0.StalenessBound()) {
 		for i, k := range keys {
 			slot := vals[i*vs : (i+1)*vs]
-			ok, err := se.route(k).Get(k, slot)
+			ok, err := se.route(k).GetCtx(ctx, k, slot)
 			if err != nil {
 				return err
 			}
@@ -199,7 +230,7 @@ func (se *fkShardSession) GetBatch(keys []uint64, vals []byte, found []bool) err
 		s := se.ss[sh]
 		for _, i := range idxs {
 			slot := vals[i*vs : (i+1)*vs]
-			ok, err := s.Get(keys[i], slot)
+			ok, err := s.GetCtx(ctx, keys[i], slot)
 			if err != nil {
 				return err
 			}

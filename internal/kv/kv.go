@@ -6,6 +6,7 @@
 package kv
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
@@ -93,6 +94,34 @@ type Sharded interface {
 	Shards() int
 }
 
+// CtxSession is an optional Session extension for engines whose reads
+// can block (MLKV's clocked Gets waiting on the staleness bound): GetCtx
+// gives up with ctx.Err() when ctx ends, without acquiring a token. The
+// serving layer uses it to honor a remote client's deadline server-side,
+// so an abandoned request cannot strand a staleness token.
+type CtxSession interface {
+	Session
+	// GetCtx is Get bounded by ctx.
+	GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error)
+}
+
+// CtxBatchSession is the batch counterpart of CtxSession.
+type CtxBatchSession interface {
+	BatchSession
+	// GetBatchCtx is GetBatch bounded by ctx, checked on every key.
+	GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error
+}
+
+// Bounded is an optional Store extension for engines with MLKV's
+// bounded-staleness clock: the serving layer reports the bound in OPEN
+// responses and applies a client-requested bound at open time.
+type Bounded interface {
+	// StalenessBound returns the current bound (shared by all shards).
+	StalenessBound() int64
+	// SetStalenessBound changes the bound at runtime, on every shard.
+	SetStalenessBound(int64)
+}
+
 // SessionPeek reads key without consistency effects when s supports it,
 // falling back to a plain Get — which, for the clock-free engines that
 // lack Peek (LSM, B+tree), is the same thing.
@@ -123,20 +152,38 @@ func SessionLookahead(s Session, keys []uint64) (int, error) {
 	return n, nil
 }
 
+// SessionGetCtx reads key under ctx when s supports cancellation, falling
+// back to a plain Get (engines whose reads never block).
+func SessionGetCtx(ctx context.Context, s Session, key uint64, dst []byte) (bool, error) {
+	if cs, ok := s.(CtxSession); ok {
+		return cs.GetCtx(ctx, key, dst)
+	}
+	return s.Get(key, dst)
+}
+
 // SessionGetBatch reads len(keys) values into vals (len(keys)×valueSize)
 // through s's native batch path when it has one, else key by key. Missing
 // keys get found[i]=false and a zeroed value slot either way.
 func SessionGetBatch(s Session, valueSize int, keys []uint64, vals []byte, found []bool) error {
+	return SessionGetBatchCtx(context.Background(), s, valueSize, keys, vals, found)
+}
+
+// SessionGetBatchCtx is SessionGetBatch bounded by ctx where the engine
+// supports it.
+func SessionGetBatchCtx(ctx context.Context, s Session, valueSize int, keys []uint64, vals []byte, found []bool) error {
 	if len(vals) != len(keys)*valueSize || len(found) != len(keys) {
 		return fmt.Errorf("kv: GetBatch buffers sized %d/%d for %d keys × %d bytes",
 			len(vals), len(found), len(keys), valueSize)
+	}
+	if bs, ok := s.(CtxBatchSession); ok {
+		return bs.GetBatchCtx(ctx, keys, vals, found)
 	}
 	if bs, ok := s.(BatchSession); ok {
 		return bs.GetBatch(keys, vals, found)
 	}
 	for i, k := range keys {
 		slot := vals[i*valueSize : (i+1)*valueSize]
-		ok, err := s.Get(k, slot)
+		ok, err := SessionGetCtx(ctx, s, k, slot)
 		if err != nil {
 			return err
 		}

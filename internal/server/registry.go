@@ -1,0 +1,333 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// Registry is the server's model table: the named embedding models it
+// serves, opened lazily on the first OPEN frame naming them — the server
+// half of the paper's Open(model_id, dim, staleness_bound) interface.
+// Handles are registry-global: every connection addresses a model by the
+// same uint32, and an OPEN of an already-open model returns the existing
+// handle.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu         sync.Mutex
+	closed     bool
+	byName     map[string]*Model
+	byHandle   map[uint32]*Model
+	nextHandle uint32
+}
+
+// RegistryConfig parameterizes a Registry.
+type RegistryConfig struct {
+	// Opener opens the backing store for a model on its first OPEN. The
+	// id is validated (see validateModelID) before Opener runs, so it is
+	// safe to use as a directory name. Required unless every model is
+	// pre-registered with Add.
+	Opener func(id string, dim, shards int, bound int64) (kv.Store, error)
+	// DefaultShards is the shard count applied when an OPEN requests 0.
+	// Defaults to 1.
+	DefaultShards int
+	// DefaultBound is the staleness bound applied when an OPEN carries
+	// wire.BoundUnset and the model does not exist yet. Zero value means
+	// BSP; set it deliberately.
+	DefaultBound int64
+	// Name identifies the server in HELLO responses (default "mlkv").
+	Name string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.DefaultShards <= 0 {
+		cfg.DefaultShards = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "mlkv"
+	}
+	return &Registry{
+		cfg:      cfg,
+		byName:   make(map[string]*Model),
+		byHandle: make(map[uint32]*Model),
+	}
+}
+
+// Name identifies the server in HELLO responses.
+func (r *Registry) Name() string { return r.cfg.Name }
+
+// maxModelID bounds model identifiers; they become directory names.
+const maxModelID = 128
+
+// validateModelID refuses identifiers that could escape the data
+// directory or collide with the shard layout: only letters, digits, '.',
+// '_' and '-' are allowed, and the first character must not be '.'.
+func validateModelID(id string) error {
+	if id == "" {
+		return errors.New("server: model id is required")
+	}
+	if len(id) > maxModelID {
+		return fmt.Errorf("server: model id longer than %d bytes", maxModelID)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("server: model id %q may not start with '.'", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("server: model id %q contains %q (allowed: letters, digits, '.', '_', '-')", id, c)
+		}
+	}
+	return nil
+}
+
+// Open returns the model named id, opening it through the configured
+// Opener on first use. dim must match an existing model. shards 0 takes
+// the registry default (and is advisory for an existing model: the store
+// keeps the count it was created with). A bound other than wire.BoundUnset
+// is applied to the model — at creation for a new one, via
+// kv.Bounded.SetStalenessBound for an existing one, matching the paper's
+// interface where the trainer declares the consistency it needs.
+//
+// The Opener runs outside the registry lock (store opens do directory
+// creation and log recovery I/O), so one tenant's slow cold open never
+// stalls other connections' OPEN/ATTACH/STATS; concurrent opens of the
+// same name wait on one pending entry instead of double-opening.
+func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error) {
+	if err := validateModelID(id); err != nil {
+		return nil, err
+	}
+	if dim <= 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("server: model %q: dim %d out of range", id, dim)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("server: model %q: negative shard count %d", id, shards)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errors.New("server: registry closed")
+	}
+	if m, ok := r.byName[id]; ok {
+		r.mu.Unlock()
+		<-m.ready
+		if m.openErr != nil {
+			return nil, m.openErr
+		}
+		if m.dim != dim {
+			return nil, fmt.Errorf("server: model %q has dim %d, requested %d", id, m.dim, dim)
+		}
+		if bound != wire.BoundUnset {
+			if bd, ok := m.store.(kv.Bounded); ok {
+				bd.SetStalenessBound(bound)
+			}
+		}
+		return m, nil
+	}
+	if r.cfg.Opener == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("server: unknown model %q (server opens no new models)", id)
+	}
+	if shards == 0 {
+		shards = r.cfg.DefaultShards
+	}
+	if bound == wire.BoundUnset {
+		bound = r.cfg.DefaultBound
+	}
+	// Publish a pending entry, open outside the lock, then resolve it.
+	m := &Model{id: id, dim: dim, ready: make(chan struct{})}
+	r.byName[id] = m
+	r.mu.Unlock()
+
+	store, err := r.cfg.Opener(id, dim, shards, bound)
+	if err == nil {
+		if vs := store.ValueSize(); vs != dim*4 {
+			store.Close()
+			err = fmt.Errorf("store value size %d != dim %d × 4", vs, dim)
+		}
+	}
+
+	r.mu.Lock()
+	switch {
+	case err != nil:
+		delete(r.byName, id) // a later Open may retry
+		m.openErr = fmt.Errorf("server: open model %q: %w", id, err)
+	case r.closed:
+		delete(r.byName, id)
+		m.openErr = errors.New("server: registry closed")
+		store.Close()
+	default:
+		m.store = store
+		r.nextHandle++
+		m.handle = r.nextHandle
+		r.byHandle[m.handle] = m
+	}
+	close(m.ready)
+	r.mu.Unlock()
+	if m.openErr != nil {
+		return nil, m.openErr
+	}
+	return m, nil
+}
+
+// Add pre-registers an already-open store as the model named id (embedded
+// servers and tests). The registry takes ownership: Close closes it.
+func (r *Registry) Add(id string, dim int, store kv.Store) (*Model, error) {
+	if err := validateModelID(id); err != nil {
+		return nil, err
+	}
+	if store.ValueSize() != dim*4 {
+		return nil, fmt.Errorf("server: model %q: store value size %d != dim %d × 4", id, store.ValueSize(), dim)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("server: registry closed")
+	}
+	if _, ok := r.byName[id]; ok {
+		return nil, fmt.Errorf("server: model %q already registered", id)
+	}
+	r.nextHandle++
+	m := &Model{id: id, handle: r.nextHandle, dim: dim, store: store, ready: make(chan struct{})}
+	close(m.ready)
+	r.byName[id] = m
+	r.byHandle[m.handle] = m
+	return m, nil
+}
+
+// lookup resolves a handle carried by a data frame.
+func (r *Registry) lookup(handle uint32) (*Model, error) {
+	r.mu.Lock()
+	m, ok := r.byHandle[handle]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown model handle %d (OPEN first)", handle)
+	}
+	return m, nil
+}
+
+// Models snapshots the registered models in handle order (shutdown and
+// expvar iterate it).
+func (r *Registry) Models() []*Model {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Model, 0, len(r.byHandle))
+	for h := uint32(1); h <= r.nextHandle; h++ {
+		if m, ok := r.byHandle[h]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Checkpoint makes every model that can checkpoint durable, returning the
+// first error.
+func (r *Registry) Checkpoint() error {
+	var first error
+	for _, m := range r.Models() {
+		if cp, ok := m.store.(kv.Checkpointer); ok {
+			if err := cp.Checkpoint(); err != nil && first == nil {
+				first = fmt.Errorf("model %q: %w", m.id, err)
+			}
+		}
+	}
+	return first
+}
+
+// Close closes every model's store, returning the first error. A model
+// whose open is still pending resolves as "registry closed" and its
+// store is closed by the opener when it lands.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	models := make([]*Model, 0, len(r.byHandle))
+	for _, m := range r.byHandle {
+		models = append(models, m)
+	}
+	r.byName = make(map[string]*Model)
+	r.byHandle = make(map[uint32]*Model)
+	r.mu.Unlock()
+	var first error
+	for _, m := range models {
+		if err := m.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Model is one served embedding model: a named store plus the serving
+// counters the engine cannot see (frames, remote sessions).
+type Model struct {
+	id     string
+	handle uint32
+	dim    int
+	store  kv.Store
+	// ready is closed once store/openErr are resolved; concurrent opens
+	// of the same name wait on it instead of double-opening.
+	ready   chan struct{}
+	openErr error
+
+	requests        atomic.Int64
+	batchGets       atomic.Int64
+	batchPuts       atomic.Int64
+	batchKeys       atomic.Int64
+	lookaheadFrames atomic.Int64
+	activeSessions  atomic.Int64
+}
+
+// ID returns the model name.
+func (m *Model) ID() string { return m.id }
+
+// Handle returns the registry-global handle.
+func (m *Model) Handle() uint32 { return m.handle }
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// Store exposes the backing store.
+func (m *Model) Store() kv.Store { return m.store }
+
+// ActiveSessions reports the attach-minus-detach balance: how many remote
+// client sessions are currently open on the model.
+func (m *Model) ActiveSessions() int64 { return m.activeSessions.Load() }
+
+// shards reports the store's hash-partition count.
+func (m *Model) shards() int {
+	if sh, ok := m.store.(kv.Sharded); ok {
+		return sh.Shards()
+	}
+	return 1
+}
+
+// bound reports the store's staleness bound (-1 when the engine has none).
+func (m *Model) bound() int64 {
+	if bd, ok := m.store.(kv.Bounded); ok {
+		return bd.StalenessBound()
+	}
+	return -1
+}
+
+// Stats merges the engine's counters with the serving layer's per-model
+// counters into the STATS payload.
+func (m *Model) Stats() wire.ModelStats {
+	s := wire.ModelStats{
+		BatchGets:       m.batchGets.Load(),
+		BatchPuts:       m.batchPuts.Load(),
+		LookaheadFrames: m.lookaheadFrames.Load(),
+		ActiveSessions:  m.activeSessions.Load(),
+	}
+	if sr, ok := m.store.(kv.StatsReporter); ok {
+		s.StatsSnapshot = sr.Stats()
+	}
+	return s
+}

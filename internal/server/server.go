@@ -1,10 +1,12 @@
 // Package server is mlkv's network front-end: a TCP listener speaking the
-// internal/wire framed protocol over any kv.Store. Each connection gets
-// its own store session (the per-worker handle the engine expects) and is
-// handled by one goroutine, so a remote client maps onto the store exactly
-// like a local worker thread; batch frames fan into the sharded store as
-// one batched operation. Shutdown drains: in-flight requests finish and
-// their responses flush before connections close.
+// internal/wire framed protocol over a registry of named models. Each
+// connection is handled by one goroutine and holds, per model it has
+// attached, its own store session (the per-worker handle the engine
+// expects) — so a remote client maps onto a model exactly like a local
+// worker thread, and one connection can drive many models. Batch frames
+// fan into the sharded stores as one batched operation. Shutdown drains:
+// in-flight requests finish and their responses flush before connections
+// close.
 package server
 
 import (
@@ -32,18 +34,19 @@ func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, connBuf
 
 // Config parameterizes a Server.
 type Config struct {
-	// Store is the backing store. Batch frames use its native batch path
-	// when it has one (kv.BatchSession); CHECKPOINT and STATS require
-	// kv.Checkpointer / kv.StatsReporter and answer an error otherwise.
-	Store kv.Store
+	// Registry holds the named models the server serves. Models open
+	// lazily on OPEN frames (when the registry has an Opener) or are
+	// pre-registered with Registry.Add. The registry's lifecycle belongs
+	// to the caller: Shutdown drains connections but does not close it.
+	Registry *Registry
 	// MaxFrame bounds incoming frame sizes (default wire.DefaultMaxFrame).
 	MaxFrame uint32
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
 
-// Stats is a snapshot of the server's own counters (the store's operation
-// counters travel separately, over the STATS op).
+// Stats is a snapshot of the server's own counters (per-model counters
+// travel separately, over the STATS op).
 type Stats struct {
 	ConnsAccepted int64
 	ConnsActive   int64
@@ -52,7 +55,7 @@ type Stats struct {
 	Errors        int64 // requests answered with RespErr
 }
 
-// Server serves one kv.Store over TCP.
+// Server serves a model registry over TCP.
 type Server struct {
 	cfg Config
 
@@ -189,14 +192,24 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// connState carries one connection's reusable buffers so steady-state
-// request handling does not allocate per frame beyond the frame body.
-type connState struct {
+// connModel is one connection's state on one attached model: the engine
+// session (driven serially by this connection's handler goroutine), the
+// attach refcount, and reusable buffers so steady-state request handling
+// does not allocate per frame beyond the frame body.
+type connModel struct {
+	m       *Model
 	sess    kv.Session
+	refs    int // client sessions attached through this connection
 	vs      int
 	keys    []uint64
 	found   []bool
 	scratch []byte // vs bytes, single-key GET staging
+}
+
+// connState is one connection's handler state: the models it has touched,
+// by handle.
+type connState struct {
+	models map[uint32]*connModel
 }
 
 func (s *Server) handleConn(c net.Conn) {
@@ -204,14 +217,19 @@ func (s *Server) handleConn(c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // responses are latency-bound, like the client's requests
 	}
-	sess, err := s.cfg.Store.NewSession()
-	if err != nil {
-		s.cfg.Logf("server: %s: session: %v", c.RemoteAddr(), err)
-		return
-	}
-	defer sess.Close()
-	vs := s.cfg.Store.ValueSize()
-	st := &connState{sess: sess, vs: vs, scratch: make([]byte, vs)}
+	st := &connState{models: make(map[uint32]*connModel)}
+	defer func() {
+		// Connection teardown releases everything it still holds: engine
+		// sessions close and the models' remote-session gauges drop by the
+		// un-detached attach balance, so a dropped client cannot leak
+		// sessions into the drain accounting.
+		for _, cm := range st.models {
+			if cm.sess != nil {
+				cm.sess.Close()
+			}
+			cm.m.activeSessions.Add(int64(-cm.refs))
+		}
+	}()
 	br := newReader(c)
 	bw := newWriter(c)
 	defer bw.Flush()
@@ -244,12 +262,23 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// attached resolves a data frame's handle to this connection's session
+// state, requiring a prior ATTACH so session accounting stays truthful.
+func (st *connState) attached(handle uint32) (*connModel, error) {
+	cm := st.models[handle]
+	if cm == nil || cm.sess == nil {
+		return nil, fmt.Errorf("server: model handle %d not attached on this connection", handle)
+	}
+	return cm, nil
+}
+
 // handle services one request frame. fatal marks protocol violations that
 // should end the connection after the error response is sent.
 func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, payload []byte, fatal bool) {
 	fail := func(err error) (wire.Op, []byte, bool) {
 		return wire.RespErr, []byte(err.Error()), false
 	}
+	reg := s.cfg.Registry
 	switch op {
 	case wire.OpHello:
 		v, err := wire.DecodeHello(p)
@@ -257,75 +286,173 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		if v != wire.Version {
-			op, pl, _ := fail(fmt.Errorf("server: protocol version %d, want %d", v, wire.Version))
+			op, pl, _ := fail(fmt.Errorf("server: protocol version %d, want %d (upgrade the older side)", v, wire.Version))
 			return op, pl, true
 		}
-		shards := 1
-		if sh, ok := s.cfg.Store.(kv.Sharded); ok {
-			shards = sh.Shards()
-		}
-		return wire.RespOK, wire.EncodeHelloResp(st.vs, shards, s.cfg.Store.Name()), false
+		return wire.RespOK, wire.EncodeHelloResp(reg.Name()), false
 
+	case wire.OpOpen:
+		id, dim, shards, bound, err := wire.DecodeOpen(p)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := reg.Open(id, dim, shards, bound)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, wire.EncodeOpenResp(m.handle, m.dim, m.shards(), m.bound(), m.store.Name()), false
+
+	case wire.OpAttach:
+		h, rest, err := wire.DecodeHandle(p)
+		if err != nil || len(rest) != 0 {
+			return fail(fmt.Errorf("%w: ATTACH wants a bare handle", wire.ErrShortPayload))
+		}
+		m, err := reg.lookup(h)
+		if err != nil {
+			return fail(err)
+		}
+		cm := st.models[h]
+		if cm == nil {
+			cm = &connModel{m: m, vs: m.dim * 4}
+			cm.scratch = make([]byte, cm.vs)
+			st.models[h] = cm
+		}
+		if cm.sess == nil {
+			sess, err := m.store.NewSession()
+			if err != nil {
+				return fail(err)
+			}
+			cm.sess = sess
+		}
+		cm.refs++
+		m.activeSessions.Add(1)
+		return wire.RespOK, nil, false
+
+	case wire.OpDetach:
+		h, rest, err := wire.DecodeHandle(p)
+		if err != nil || len(rest) != 0 {
+			return fail(fmt.Errorf("%w: DETACH wants a bare handle", wire.ErrShortPayload))
+		}
+		cm := st.models[h]
+		if cm == nil || cm.refs == 0 {
+			return fail(fmt.Errorf("server: model handle %d has no attached session to detach", h))
+		}
+		cm.refs--
+		cm.m.activeSessions.Add(-1)
+		if cm.refs == 0 && cm.sess != nil {
+			cm.sess.Close()
+			cm.sess = nil
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpCheckpoint:
+		h, _, err := wire.DecodeHandle(p)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := reg.lookup(h)
+		if err != nil {
+			return fail(err)
+		}
+		cp, ok := m.store.(kv.Checkpointer)
+		if !ok {
+			return fail(fmt.Errorf("server: engine %s cannot checkpoint", m.store.Name()))
+		}
+		if err := cp.Checkpoint(); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
+
+	case wire.OpStats:
+		h, _, err := wire.DecodeHandle(p)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := reg.lookup(h)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, wire.EncodeStatsResp(m.Stats()), false
+	}
+
+	// Everything below is a data op: handle-prefixed and session-bound.
+	h, rest, err := wire.DecodeHandle(p)
+	if err != nil {
+		return fail(err)
+	}
+	cm, err := st.attached(h)
+	if err != nil {
+		return fail(err)
+	}
+	cm.m.requests.Add(1)
+	switch op {
 	case wire.OpGet:
-		key, err := wire.DecodeKey(p)
+		key, waitMs, err := wire.DecodeGet(rest)
 		if err != nil {
 			return fail(err)
 		}
-		found, err := st.sess.Get(key, st.scratch)
+		ctx, cancel := waitCtx(waitMs)
+		found, err := kv.SessionGetCtx(ctx, cm.sess, key, cm.scratch)
+		cancel()
 		if err != nil {
 			return fail(err)
 		}
-		return wire.RespOK, wire.EncodeGetResp(found, st.scratch), false
+		return wire.RespOK, wire.EncodeGetResp(found, cm.scratch), false
 
 	case wire.OpPeek:
-		key, err := wire.DecodeKey(p)
+		key, err := wire.DecodeKey(rest)
 		if err != nil {
 			return fail(err)
 		}
-		found, err := kv.SessionPeek(st.sess, key, st.scratch)
+		found, err := kv.SessionPeek(cm.sess, key, cm.scratch)
 		if err != nil {
 			return fail(err)
 		}
-		return wire.RespOK, wire.EncodeGetResp(found, st.scratch), false
+		return wire.RespOK, wire.EncodeGetResp(found, cm.scratch), false
 
 	case wire.OpPut:
-		key, val, err := wire.DecodePut(p, st.vs)
+		key, val, err := wire.DecodePut(rest, cm.vs)
 		if err != nil {
 			return fail(err)
 		}
-		if err := st.sess.Put(key, val); err != nil {
+		if err := cm.sess.Put(key, val); err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false
 
 	case wire.OpDelete:
-		key, err := wire.DecodeKey(p)
+		key, err := wire.DecodeKey(rest)
 		if err != nil {
 			return fail(err)
 		}
-		if err := st.sess.Delete(key); err != nil {
+		if err := cm.sess.Delete(key); err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false
 
 	case wire.OpGetBatch:
-		keys, err := wire.DecodeKeys(p, st.keys)
+		keys, waitMs, err := wire.DecodeGetBatch(rest, cm.keys)
 		if err != nil {
 			return fail(err)
 		}
-		st.keys = keys
+		cm.keys = keys
 		n := len(keys)
 		s.batchKeys.Add(int64(n))
+		cm.m.batchGets.Add(1)
+		cm.m.batchKeys.Add(int64(n))
 		// Build the response in place: found flags and values land
 		// directly in the outgoing payload, one batched store call.
-		out := make([]byte, 4+n+n*st.vs)
+		out := make([]byte, 4+n+n*cm.vs)
 		binary.LittleEndian.PutUint32(out, uint32(n))
 		vals := out[4+n:]
-		st.found = grow(st.found, n)
-		if err := kv.SessionGetBatch(st.sess, st.vs, keys, vals, st.found); err != nil {
+		cm.found = grow(cm.found, n)
+		ctx, cancel := waitCtx(waitMs)
+		err = kv.SessionGetBatchCtx(ctx, cm.sess, cm.vs, keys, vals, cm.found)
+		cancel()
+		if err != nil {
 			return fail(err)
 		}
-		for i, f := range st.found {
+		for i, f := range cm.found {
 			if f {
 				out[4+i] = 1
 			}
@@ -333,26 +460,29 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		return wire.RespOK, out, false
 
 	case wire.OpPutBatch:
-		keys, vals, err := wire.DecodePutBatch(p, st.vs, st.keys)
+		keys, vals, err := wire.DecodePutBatch(rest, cm.vs, cm.keys)
 		if err != nil {
 			return fail(err)
 		}
-		st.keys = keys
+		cm.keys = keys
 		s.batchKeys.Add(int64(len(keys)))
-		if err := kv.SessionPutBatch(st.sess, st.vs, keys, vals); err != nil {
+		cm.m.batchPuts.Add(1)
+		cm.m.batchKeys.Add(int64(len(keys)))
+		if err := kv.SessionPutBatch(cm.sess, cm.vs, keys, vals); err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false
 
 	case wire.OpLookahead:
-		keys, err := wire.DecodeKeys(p, st.keys)
+		keys, err := wire.DecodeKeys(rest, cm.keys)
 		if err != nil {
 			return fail(err)
 		}
-		st.keys = keys
+		cm.keys = keys
+		cm.m.lookaheadFrames.Add(1)
 		var copied uint32
 		for _, k := range keys {
-			ok, err := st.sess.Prefetch(k)
+			ok, err := cm.sess.Prefetch(k)
 			if err != nil {
 				return fail(err)
 			}
@@ -361,25 +491,19 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			}
 		}
 		return wire.RespOK, wire.EncodeUint32(copied), false
-
-	case wire.OpCheckpoint:
-		cp, ok := s.cfg.Store.(kv.Checkpointer)
-		if !ok {
-			return fail(fmt.Errorf("server: engine %s cannot checkpoint", s.cfg.Store.Name()))
-		}
-		if err := cp.Checkpoint(); err != nil {
-			return fail(err)
-		}
-		return wire.RespOK, nil, false
-
-	case wire.OpStats:
-		sr, ok := s.cfg.Store.(kv.StatsReporter)
-		if !ok {
-			return fail(fmt.Errorf("server: engine %s reports no stats", s.cfg.Store.Name()))
-		}
-		return wire.RespOK, wire.EncodeStatsResp(sr.Stats()), false
 	}
 	return fail(fmt.Errorf("server: unknown opcode %d", uint8(op)))
+}
+
+// waitCtx turns a frame's wait budget into a context: a clocked read
+// stalled on the staleness bound gives up server-side at the client's
+// deadline instead of stranding a token on an abandoned request (and
+// wedging this connection's handler).
+func waitCtx(waitMs uint32) (context.Context, context.CancelFunc) {
+	if waitMs == 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), time.Duration(waitMs)*time.Millisecond)
 }
 
 func grow(b []bool, n int) []bool {

@@ -17,21 +17,26 @@ import (
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
-// startServer opens a 4-shard store under dir and serves it on loopback,
-// returning the dial address and a shutdown func.
-func startServer(t *testing.T, dir string, vs int) (string, *Server, func()) {
+// startServer builds a registry that lazily opens 4-shard stores under
+// dir and serves it on loopback, returning the dial address and a
+// shutdown func.
+func startServer(t *testing.T, dir string) (string, *Server, func()) {
 	t.Helper()
-	store, err := kv.OpenFasterShards(kv.ShardedConfig{
-		Dir: dir, Shards: 4, ValueSize: vs, RecordsPerPage: 64,
-		MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12, StalenessBound: -1,
-	}, "mlkv-test")
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := New(Config{Store: store})
+	reg := NewRegistry(RegistryConfig{
+		DefaultShards: 4,
+		DefaultBound:  -1,
+		Name:          "mlkv-test",
+		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
+			return kv.OpenFasterShards(kv.ShardedConfig{
+				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+				RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
+				StalenessBound: bound,
+			}, "mlkv-test")
+		},
+	})
+	srv := New(Config{Registry: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		store.Close()
 		t.Fatal(err)
 	}
 	serveErr := make(chan error, 1)
@@ -45,16 +50,28 @@ func startServer(t *testing.T, dir string, vs int) (string, *Server, func()) {
 		if err := <-serveErr; err != nil {
 			t.Errorf("serve: %v", err)
 		}
-		store.Close()
+		reg.Close()
 	}
 	return ln.Addr().String(), srv, stop
 }
 
+// openModel opens a model on the test server with the given dimension.
+func openModel(t *testing.T, cl *client.Client, id string, dim int) *client.Model {
+	t.Helper()
+	m, err := cl.OpenModel(context.Background(), client.OpenSpec{ID: id, Dim: dim, Bound: wire.BoundUnset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // TestRemoteRoundTrip drives the whole single-key surface through a real
-// TCP connection: handshake, put, get, delete, prefetch, value-size guard.
+// TCP connection: handshake, open, put, get, delete, prefetch, value-size
+// guard.
 func TestRemoteRoundTrip(t *testing.T) {
-	const vs = 32
-	addr, _, stop := startServer(t, t.TempDir(), vs)
+	const dim = 8
+	const vs = dim * 4
+	addr, _, stop := startServer(t, t.TempDir())
 	defer stop()
 
 	cl, err := client.Dial(addr, client.Options{Conns: 1})
@@ -62,17 +79,22 @@ func TestRemoteRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if cl.ValueSize() != vs {
-		t.Fatalf("ValueSize = %d, want %d", cl.ValueSize(), vs)
-	}
-	if cl.Shards() != 4 {
-		t.Fatalf("Shards = %d, want 4", cl.Shards())
-	}
-	if !strings.Contains(cl.Name(), "mlkv-test") {
-		t.Fatalf("Name = %q", cl.Name())
+	if cl.ServerName() != "mlkv-test" {
+		t.Fatalf("ServerName = %q", cl.ServerName())
 	}
 
-	s, err := cl.NewSession()
+	m := openModel(t, cl, "roundtrip", dim)
+	if m.ValueSize() != vs {
+		t.Fatalf("ValueSize = %d, want %d", m.ValueSize(), vs)
+	}
+	if m.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", m.Shards())
+	}
+	if !strings.Contains(m.Name(), "mlkv-test") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+
+	s, err := m.NewSession()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +124,118 @@ func TestRemoteRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMultiModel serves two models with different dimensions over one
+// connection pool: keys are independent, value sizes differ, and the
+// registry deduplicates by name while refusing a dim mismatch.
+func TestMultiModel(t *testing.T) {
+	addr, _, stop := startServer(t, t.TempDir())
+	defer stop()
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	a := openModel(t, cl, "model-a", 8)
+	b := openModel(t, cl, "model-b", 4)
+	if a.ValueSize() == b.ValueSize() {
+		t.Fatal("models share a value size; want distinct dims")
+	}
+
+	sa, err := a.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := b.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	va := bytes.Repeat([]byte{1}, a.ValueSize())
+	vb := bytes.Repeat([]byte{2}, b.ValueSize())
+	if err := sa.Put(7, va); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Put(7, vb); err != nil {
+		t.Fatal(err)
+	}
+	da := make([]byte, a.ValueSize())
+	db := make([]byte, b.ValueSize())
+	if found, err := sa.Get(7, da); err != nil || !found || !bytes.Equal(da, va) {
+		t.Fatalf("model-a key 7: found=%v err=%v val=%v", found, err, da)
+	}
+	if found, err := sb.Get(7, db); err != nil || !found || !bytes.Equal(db, vb) {
+		t.Fatalf("model-b key 7: found=%v err=%v val=%v", found, err, db)
+	}
+
+	// Same name, same dim: deduplicated. Same name, other dim: refused.
+	if again := openModel(t, cl, "model-a", 8); again.ValueSize() != a.ValueSize() {
+		t.Fatal("reopen returned a different model")
+	}
+	if _, err := cl.OpenModel(context.Background(), client.OpenSpec{ID: "model-a", Dim: 16, Bound: wire.BoundUnset}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	// Unsafe ids are refused before they touch the filesystem.
+	for _, id := range []string{"", "../escape", "a/b", ".hidden", "white space"} {
+		if _, err := cl.OpenModel(context.Background(), client.OpenSpec{ID: id, Dim: 8, Bound: wire.BoundUnset}); err == nil {
+			t.Fatalf("unsafe model id %q accepted", id)
+		}
+	}
+}
+
+// TestSessionAccounting pins the attach/detach protocol: the server's
+// per-model session gauge follows client sessions, and a connection torn
+// down without detaching releases its balance.
+func TestSessionAccounting(t *testing.T) {
+	addr, srv, stop := startServer(t, t.TempDir())
+	defer stop()
+	cl, err := client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := openModel(t, cl, "sessions", 4)
+
+	reg := srv.cfg.Registry
+	model := reg.Models()[0]
+	if n := model.ActiveSessions(); n != 0 {
+		t.Fatalf("fresh model has %d sessions", n)
+	}
+	s1, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := model.ActiveSessions(); n != 2 {
+		t.Fatalf("ActiveSessions = %d after two attaches, want 2", n)
+	}
+	s1.Close()
+	s1.Close() // idempotent: must not double-detach
+	if n := model.ActiveSessions(); n != 1 {
+		t.Fatalf("ActiveSessions = %d after detach, want 1", n)
+	}
+	_ = s2 // left attached: the connection teardown must release it
+	cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for model.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveSessions = %d after connection close, want 0", model.ActiveSessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestRemoteBatchConcurrent runs many sessions over a small pool (forcing
 // pipelining) doing disjoint batched writes and reads, then checks the
 // server's view of the data and its batch counters.
 func TestRemoteBatchConcurrent(t *testing.T) {
-	const vs, workers, batch, rounds = 16, 8, 256, 5
-	addr, srv, stop := startServer(t, t.TempDir(), vs)
+	const dim, workers, batch, rounds = 4, 8, 256, 5
+	const vs = dim * 4
+	addr, srv, stop := startServer(t, t.TempDir())
 	defer stop()
 
 	cl, err := client.Dial(addr, client.Options{Conns: 3})
@@ -115,6 +243,7 @@ func TestRemoteBatchConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	m := openModel(t, cl, "batch", dim)
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
@@ -122,7 +251,7 @@ func TestRemoteBatchConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s, err := cl.NewSession()
+			s, err := m.NewSession()
 			if err != nil {
 				errCh <- err
 				return
@@ -174,15 +303,24 @@ func TestRemoteBatchConcurrent(t *testing.T) {
 	if st.Errors != 0 {
 		t.Fatalf("server answered %d errors", st.Errors)
 	}
+	ms, err := m.ModelStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := int64(workers * rounds)
+	if ms.BatchGets != wantFrames || ms.BatchPuts != wantFrames {
+		t.Fatalf("model batch frames = %d/%d, want %d/%d", ms.BatchGets, ms.BatchPuts, wantFrames, wantFrames)
+	}
 }
 
 // TestRemoteStatsAndCheckpoint exercises the STATS and CHECKPOINT ops:
 // counters reflect remote traffic and a checkpoint lands metadata in
-// every shard directory.
+// every shard directory of the model.
 func TestRemoteStatsAndCheckpoint(t *testing.T) {
-	const vs = 8
+	const dim = 2
+	const vs = dim * 4
 	dir := t.TempDir()
-	addr, _, stop := startServer(t, dir, vs)
+	addr, _, stop := startServer(t, dir)
 	defer stop()
 
 	cl, err := client.Dial(addr, client.Options{Conns: 1})
@@ -190,7 +328,11 @@ func TestRemoteStatsAndCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	s, _ := cl.NewSession()
+	m := openModel(t, cl, "ckpt", dim)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	val := make([]byte, vs)
 	for k := uint64(0); k < 100; k++ {
@@ -204,15 +346,15 @@ func TestRemoteStatsAndCheckpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := cl.Stats()
+	snap := m.Stats()
 	if snap.Puts < 100 || snap.Gets < 100 {
 		t.Fatalf("remote stats missed traffic: %+v", snap)
 	}
-	if err := cl.Checkpoint(); err != nil {
+	if err := m.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		p := filepath.Join(dir, "shard-00"+string(rune('0'+i)), "CHECKPOINT")
+		p := filepath.Join(dir, "ckpt", "shard-00"+string(rune('0'+i)), "CHECKPOINT")
 		if _, err := os.Stat(p); err != nil {
 			t.Fatalf("shard %d checkpoint missing: %v", i, err)
 		}
@@ -223,16 +365,20 @@ func TestRemoteStatsAndCheckpoint(t *testing.T) {
 // their responses before connections close, and that the server refuses
 // new work afterward.
 func TestGracefulShutdownDrains(t *testing.T) {
-	const vs = 16
-	addr, srv, stop := startServer(t, t.TempDir(), vs)
-	defer stop() // Shutdown is idempotent; this releases the store
+	const dim = 4
+	addr, srv, stop := startServer(t, t.TempDir())
+	defer stop() // Shutdown is idempotent; this releases the registry
 	cl, err := client.Dial(addr, client.Options{Conns: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	s, _ := cl.NewSession()
-	val := make([]byte, vs)
+	m := openModel(t, cl, "drain", dim)
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, dim*4)
 	// Lay down traffic so the drain has something in flight, then shut
 	// down concurrently with a writer.
 	done := make(chan error, 1)
@@ -261,12 +407,12 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
-// TestProtocolErrorPaths talks raw frames to the server: bad opcodes and
-// oversized batches must answer RespErr without killing the connection;
-// a version mismatch must answer RespErr and then close it.
+// TestProtocolErrorPaths talks raw frames to the server: bad opcodes,
+// oversized batches, and unattached handles must answer RespErr without
+// killing the connection; a version mismatch (an old client's HELLO) must
+// answer RespErr with a clear message and then close it.
 func TestProtocolErrorPaths(t *testing.T) {
-	const vs = 8
-	addr, _, stop := startServer(t, t.TempDir(), vs)
+	addr, _, stop := startServer(t, t.TempDir())
 	defer stop()
 
 	nc, err := net.Dial("tcp", addr)
@@ -276,7 +422,7 @@ func TestProtocolErrorPaths(t *testing.T) {
 	defer nc.Close()
 
 	// Unknown opcode → RespErr, connection lives.
-	if err := wire.WriteFrame(nc, 1, wire.Op(99), nil); err != nil {
+	if err := wire.WriteFrame(nc, 1, wire.Op(99), wire.EncodeHandle(1)); err != nil {
 		t.Fatal(err)
 	}
 	f, err := wire.ReadFrame(nc, 0)
@@ -284,28 +430,66 @@ func TestProtocolErrorPaths(t *testing.T) {
 		t.Fatalf("unknown op: %+v err=%v", f, err)
 	}
 
-	// Oversized batch count → RespErr, connection lives.
-	huge := make([]byte, 4)
-	huge[0], huge[1], huge[2] = 0xff, 0xff, 0xff
-	if err := wire.WriteFrame(nc, 2, wire.OpGetBatch, huge); err != nil {
+	// Open a real model so data frames have a live handle.
+	if err := wire.WriteFrame(nc, 2, wire.OpOpen, wire.EncodeOpen("raw", 2, 0, wire.BoundUnset)); err != nil {
 		t.Fatal(err)
 	}
 	f, err = wire.ReadFrame(nc, 0)
-	if err != nil || f.Op != wire.RespErr || f.CorrID != 2 {
+	if err != nil || f.Op != wire.RespOK {
+		t.Fatalf("open: %+v err=%v", f, err)
+	}
+	handle, _, _, _, _, err := wire.DecodeOpenResp(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A data frame before ATTACH → RespErr, connection lives.
+	if err := wire.WriteFrame(nc, 3, wire.OpGet, wire.EncodeGet(handle, 7, 0)); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr || !strings.Contains(string(f.Payload), "not attached") {
+		t.Fatalf("unattached get: %+v err=%v", f, err)
+	}
+
+	// ATTACH, then exercise the error paths on a live session.
+	if err := wire.WriteFrame(nc, 4, wire.OpAttach, wire.EncodeHandle(handle)); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = wire.ReadFrame(nc, 0); err != nil || f.Op != wire.RespOK {
+		t.Fatalf("attach: %+v err=%v", f, err)
+	}
+
+	// Oversized batch count → RespErr, connection lives.
+	huge := append(wire.EncodeHandle(handle), 0xff, 0xff, 0xff, 0x00)
+	if err := wire.WriteFrame(nc, 5, wire.OpGetBatch, huge); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr || f.CorrID != 5 {
 		t.Fatalf("oversized batch: %+v err=%v", f, err)
 	}
 
 	// Mis-sized PUT → RespErr, connection lives.
-	if err := wire.WriteFrame(nc, 3, wire.OpPut, []byte{1, 2, 3}); err != nil {
+	if err := wire.WriteFrame(nc, 6, wire.OpPut, append(wire.EncodeHandle(handle), 1, 2, 3)); err != nil {
 		t.Fatal(err)
 	}
 	f, err = wire.ReadFrame(nc, 0)
-	if err != nil || f.Op != wire.RespErr || f.CorrID != 3 {
+	if err != nil || f.Op != wire.RespErr || f.CorrID != 6 {
 		t.Fatalf("short put: %+v err=%v", f, err)
 	}
 
+	// Unknown handle → RespErr, connection lives.
+	if err := wire.WriteFrame(nc, 7, wire.OpGet, wire.EncodeGet(99, 7, 0)); err != nil {
+		t.Fatal(err)
+	}
+	f, err = wire.ReadFrame(nc, 0)
+	if err != nil || f.Op != wire.RespErr {
+		t.Fatalf("unknown handle: %+v err=%v", f, err)
+	}
+
 	// The connection still works.
-	if err := wire.WriteFrame(nc, 4, wire.OpGet, wire.EncodeKey(7)); err != nil {
+	if err := wire.WriteFrame(nc, 8, wire.OpGet, wire.EncodeGet(handle, 7, 0)); err != nil {
 		t.Fatal(err)
 	}
 	f, err = wire.ReadFrame(nc, 0)
@@ -313,14 +497,14 @@ func TestProtocolErrorPaths(t *testing.T) {
 		t.Fatalf("get after errors: %+v err=%v", f, err)
 	}
 
-	// Version mismatch → RespErr then close.
-	bad := wire.EncodeHello()
-	bad[0] = 99
-	if err := wire.WriteFrame(nc, 5, wire.OpHello, bad); err != nil {
+	// An old client's HELLO (version 1) → a clear RespErr, then close.
+	old := wire.EncodeHello()
+	old[0] = 1
+	if err := wire.WriteFrame(nc, 9, wire.OpHello, old); err != nil {
 		t.Fatal(err)
 	}
 	f, err = wire.ReadFrame(nc, 0)
-	if err != nil || f.Op != wire.RespErr {
+	if err != nil || f.Op != wire.RespErr || !strings.Contains(string(f.Payload), "version 1") {
 		t.Fatalf("version mismatch: %+v err=%v", f, err)
 	}
 	nc.SetReadDeadline(time.Now().Add(2 * time.Second))

@@ -42,8 +42,9 @@ func confBackends(t *testing.T) map[string]Backend {
 	return out
 }
 
-// remoteBackend serves a fresh sharded store on loopback and dials it.
-// maxSessions sizes the connection pool (0 = a small default).
+// remoteBackend serves a fresh sharded store on loopback and dials it
+// through the public API. conns sizes the connection pool (0 = a small
+// default).
 func remoteBackend(t *testing.T, dim, conns int, bound int64) *RemoteBackend {
 	t.Helper()
 	if conns <= 0 {
@@ -56,14 +57,18 @@ func remoteBackend(t *testing.T, dim, conns int, bound int64) *RemoteBackend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(server.Config{Store: store})
+	reg := server.NewRegistry(server.RegistryConfig{})
+	if _, err := reg.Add("conformance", dim, store); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Registry: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	rb, err := DialRemote(ln.Addr().String(), dim, confInit, conns)
+	rb, err := DialRemote(ln.Addr().String(), "conformance", dim, confInit, conns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +78,7 @@ func remoteBackend(t *testing.T, dim, conns int, bound int64) *RemoteBackend {
 		defer cancel()
 		srv.Shutdown(ctx)
 		<-serveErr
-		store.Close()
+		reg.Close()
 	})
 	return rb
 }

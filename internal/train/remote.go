@@ -1,122 +1,106 @@
 package train
 
 import (
-	"fmt"
-
-	"github.com/llm-db/mlkv-go/internal/client"
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/core"
-	"github.com/llm-db/mlkv-go/internal/kv"
 )
 
-// RemoteBackend trains against a live mlkv-server: every handle is a
-// session of an internal/client connection pool speaking the pipelined
-// wire protocol, so a worker's per-step gather and scatter travel as one
-// GETBATCH and one PUTBATCH frame, Lookahead hints as one LOOKAHEAD
-// frame, and evaluation reads as clock-free PEEKs. First-touch
-// initialization runs on the trainer side (the server stores raw bytes),
-// seeded per key so every worker initializes a given embedding
-// identically.
-type RemoteBackend struct {
-	*KVBackend
-	c *client.Client
+// ModelBackend adapts a public mlkv.Model to the trainer seam — the same
+// backend for an in-process table and a remote mlkv-server, because the
+// public API hides the target behind its driver. A worker's per-step
+// gather and scatter travel as one GetBatch and one PutBatch (one framed
+// round trip each on a remote model), Lookahead hints are asynchronous on
+// both targets, and evaluation reads are clock-free Peeks.
+type ModelBackend struct {
+	M            *mlkv.Model
+	UseLookahead bool
+}
 
-	// Lookahead hints are fire-and-forget on a local table but a blocking
-	// round trip on the wire, so remote handles hand them to a background
-	// worker with its own session; a full queue drops the hint, matching
-	// core.Table's prefetch-pool semantics. lookCh is never closed —
-	// handles may race Lookahead against Close, and a hint sent after
-	// shutdown simply sits in (or falls off) the queue.
-	lookCh   chan []uint64
-	lookStop chan struct{}
-	lookDone chan struct{}
+// NewModelBackend wraps a model. useLookahead enables Lookahead hints
+// (MLKV's prefetch interface); when false Lookahead is a no-op (the
+// plain-FASTER baseline, which has no such interface).
+func NewModelBackend(m *mlkv.Model, useLookahead bool) *ModelBackend {
+	return &ModelBackend{M: m, UseLookahead: useLookahead}
+}
+
+// Name identifies the engine ("mlkv", "faster", or "remote(<engine>)").
+func (b *ModelBackend) Name() string { return b.M.EngineName() }
+
+// Dim returns the embedding dimension.
+func (b *ModelBackend) Dim() int { return b.M.Dim() }
+
+// NewHandle registers a session on the model.
+func (b *ModelBackend) NewHandle() (Handle, error) {
+	s, err := b.M.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return &modelHandle{b: b, s: s}, nil
+}
+
+type modelHandle struct {
+	b *ModelBackend
+	s *mlkv.Session
+}
+
+func (h *modelHandle) Get(key uint64, dst []float32) error { return h.s.Get(key, dst) }
+func (h *modelHandle) GetBatch(keys []uint64, dst []float32) error {
+	return h.s.GetBatch(keys, dst)
+}
+func (h *modelHandle) Put(key uint64, val []float32) error { return h.s.Put(key, val) }
+func (h *modelHandle) PutBatch(keys []uint64, vals []float32) error {
+	return h.s.PutBatch(keys, vals)
+}
+func (h *modelHandle) Peek(key uint64, dst []float32) (bool, error) {
+	return h.s.Peek(key, dst)
+}
+func (h *modelHandle) Lookahead(keys []uint64) {
+	if h.b.UseLookahead {
+		h.s.Lookahead(keys) //nolint:errcheck // best-effort hint
+	}
+}
+func (h *modelHandle) Close() { h.s.Close() }
+
+// RemoteBackend trains against a live mlkv-server through the public API:
+// a ModelBackend over a model opened from an mlkv.Connect("mlkv://...")
+// DB that the backend owns.
+type RemoteBackend struct {
+	*ModelBackend
+	db *mlkv.DB
 }
 
 // DialRemote connects conns pooled connections to a mlkv-server at addr
-// and validates that the server's value size matches dim float32s.
+// and opens (or creates) the named model with the given dimension.
+// First-touch initialization runs on the trainer side with init, seeded
+// per key so every worker initializes a given embedding identically.
 //
 // conns must be at least the number of concurrently training handles.
 // Under a blocking staleness bound (BSP or finite SSP) a clocked read can
 // wait for another worker's write; two workers sharing one connection
 // would also share the server's per-connection handler goroutine, and the
 // blocked worker's frame would stall the very write that unblocks it.
-func DialRemote(addr string, dim int, init core.Initializer, conns int) (*RemoteBackend, error) {
-	c, err := client.Dial(addr, client.Options{Conns: conns})
+func DialRemote(addr, model string, dim int, init core.Initializer, conns int) (*RemoteBackend, error) {
+	db, err := mlkv.Connect(mlkv.Scheme+addr, mlkv.WithConns(conns))
 	if err != nil {
 		return nil, err
 	}
-	if vs := c.ValueSize(); vs != dim*4 {
-		c.Close()
-		return nil, fmt.Errorf("train: server value size %d B != dim %d × 4 B (start mlkv-server with -valuesize %d)",
-			vs, dim, dim*4)
-	}
-	b := &RemoteBackend{
-		KVBackend: NewKVBackend(c, dim, init),
-		c:         c,
-		lookCh:    make(chan []uint64, 1024),
-		lookStop:  make(chan struct{}),
-		lookDone:  make(chan struct{}),
-	}
-	go b.lookaheadWorker()
-	return b, nil
-}
-
-func (b *RemoteBackend) lookaheadWorker() {
-	defer close(b.lookDone)
-	s, err := b.c.NewSession()
+	m, err := db.Open(model, dim, mlkv.WithInitializer(init))
 	if err != nil {
-		return
-	}
-	defer s.Close()
-	for {
-		select {
-		case <-b.lookStop:
-			return
-		case keys := <-b.lookCh:
-			// Hints are best-effort: a transient server error drops this
-			// hint, not the whole prefetch pipeline. Once the pool closes,
-			// lookStop is already closed and the next iteration exits.
-			if _, err := kv.SessionLookahead(s, keys); err != nil {
-				continue
-			}
-		}
-	}
-}
-
-// NewHandle returns a remote session whose Lookahead is asynchronous.
-func (b *RemoteBackend) NewHandle() (Handle, error) {
-	h, err := b.KVBackend.NewHandle()
-	if err != nil {
+		db.Close()
 		return nil, err
 	}
-	return &remoteHandle{Handle: h, b: b}, nil
+	return &RemoteBackend{ModelBackend: NewModelBackend(m, true), db: db}, nil
 }
 
-type remoteHandle struct {
-	Handle
-	b *RemoteBackend
-}
+// Model exposes the underlying public model (stats, checkpoint).
+func (b *RemoteBackend) Model() *mlkv.Model { return b.M }
 
-// Lookahead enqueues the hint for the backend's prefetch worker, which
-// ships it as one LOOKAHEAD frame; hints beyond the queue capacity drop.
-func (h *remoteHandle) Lookahead(keys []uint64) {
-	if len(keys) == 0 {
-		return
-	}
-	cp := append([]uint64(nil), keys...) // caller reuses its slice
-	select {
-	case h.b.lookCh <- cp:
-	default:
-	}
-}
-
-// Client exposes the underlying connection pool (stats, checkpoint).
-func (b *RemoteBackend) Client() *client.Client { return b.c }
-
-// Close stops the prefetch worker and tears down the connection pool;
-// open handles fail afterwards (and their Lookahead hints drop).
+// Close releases the model and tears down the connection pool; open
+// handles fail afterwards (and their Lookahead hints drop).
 func (b *RemoteBackend) Close() error {
-	close(b.lookStop)
-	err := b.c.Close()
-	<-b.lookDone
+	err := b.M.Close()
+	if cerr := b.db.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }

@@ -55,6 +55,18 @@ const (
 	// and keep the connection usable; the request ops above keep their
 	// values.)
 	OpPeek
+	// OpOpen creates or looks up a named model on the server — the wire
+	// face of the paper's Open(model_id, dim, staleness_bound) — and
+	// returns the model handle every subsequent data frame carries.
+	OpOpen
+	// OpAttach registers one client session on a model for this
+	// connection. The server lazily opens its engine session on the first
+	// attach and counts attaches minus detaches as the model's active
+	// remote sessions, so drain tracking stays truthful.
+	OpAttach
+	// OpDetach releases one client session (the counterpart of OpAttach).
+	// The engine session closes when the connection's last attach detaches.
+	OpDetach
 )
 
 // Response opcodes.
@@ -88,6 +100,12 @@ func (o Op) String() string {
 		return "STATS"
 	case OpPeek:
 		return "PEEK"
+	case OpOpen:
+		return "OPEN"
+	case OpAttach:
+		return "ATTACH"
+	case OpDetach:
+		return "DETACH"
 	case RespOK:
 		return "OK"
 	case RespErr:
@@ -98,7 +116,14 @@ func (o Op) String() string {
 
 // Version is the protocol revision carried in HELLO. A server refuses a
 // mismatched client rather than guessing at payload layouts.
-const Version = 1
+//
+// Version 2 made the server multi-model: OPEN/ATTACH/DETACH were added,
+// every data frame gained a uint32 model-handle prefix, the HELLO
+// response dropped the single store's geometry (each OPEN response now
+// carries its model's), and the STATS response grew batch/lookahead/
+// session counters. Version-1 frames would misparse, so a v1 HELLO is
+// answered with a clear RespErr and the connection closed.
+const Version = 2
 
 const (
 	// minLength is the smallest legal length field: corrID + op.

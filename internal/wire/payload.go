@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 )
@@ -11,6 +12,15 @@ import (
 // exactly — a payload with trailing or missing bytes is an error, never a
 // silent truncation — and returns ErrShortPayload-wrapped errors so the
 // server can answer RespErr without dropping the connection.
+//
+// Since protocol version 2 every data-op payload starts with the uint32
+// model handle returned by OPEN; servers strip it with DecodeHandle and
+// hand the rest to the per-op decoder.
+
+// BoundUnset is the staleness-bound sentinel in an OPEN request meaning
+// "the caller did not specify a bound": the server applies its default to
+// a new model and leaves an existing model's bound untouched.
+const BoundUnset = int64(math.MinInt64)
 
 // EncodeHello builds the HELLO request: uint32 version.
 func EncodeHello() []byte {
@@ -27,34 +37,119 @@ func DecodeHello(p []byte) (version uint32, err error) {
 	return binary.LittleEndian.Uint32(p), nil
 }
 
-// EncodeHelloResp builds the HELLO response: uint32 valueSize | uint32
-// shards | name bytes.
-func EncodeHelloResp(valueSize, shards int, name string) []byte {
-	p := make([]byte, 8+len(name))
-	binary.LittleEndian.PutUint32(p[0:], uint32(valueSize))
-	binary.LittleEndian.PutUint32(p[4:], uint32(shards))
-	copy(p[8:], name)
+// EncodeHelloResp builds the HELLO response: uint32 version | server name
+// bytes. Store geometry moved to the OPEN response in version 2 — a
+// multi-model server has no single value size or shard count to report.
+func EncodeHelloResp(name string) []byte {
+	p := make([]byte, 4+len(name))
+	binary.LittleEndian.PutUint32(p[0:], Version)
+	copy(p[4:], name)
 	return p
 }
 
 // DecodeHelloResp parses a HELLO response.
-func DecodeHelloResp(p []byte) (valueSize, shards int, name string, err error) {
-	if len(p) < 8 {
-		return 0, 0, "", fmt.Errorf("%w: HELLO response wants >= 8 bytes, got %d", ErrShortPayload, len(p))
+func DecodeHelloResp(p []byte) (version uint32, name string, err error) {
+	if len(p) < 4 {
+		return 0, "", fmt.Errorf("%w: HELLO response wants >= 4 bytes, got %d", ErrShortPayload, len(p))
 	}
-	return int(binary.LittleEndian.Uint32(p[0:])),
-		int(binary.LittleEndian.Uint32(p[4:])),
-		string(p[8:]), nil
+	return binary.LittleEndian.Uint32(p[0:]), string(p[4:]), nil
 }
 
-// EncodeKey builds a single-key request payload (GET, DELETE).
-func EncodeKey(key uint64) []byte {
-	p := make([]byte, 8)
-	binary.LittleEndian.PutUint64(p, key)
+// EncodeOpen builds an OPEN request: uint32 dim | uint32 shards (0 lets
+// the server choose) | int64 staleness bound (BoundUnset for the server
+// default) | model id bytes.
+func EncodeOpen(id string, dim, shards int, bound int64) []byte {
+	p := make([]byte, 16+len(id))
+	binary.LittleEndian.PutUint32(p[0:], uint32(dim))
+	binary.LittleEndian.PutUint32(p[4:], uint32(shards))
+	binary.LittleEndian.PutUint64(p[8:], uint64(bound))
+	copy(p[16:], id)
 	return p
 }
 
-// DecodeKey parses a single-key request.
+// DecodeOpen parses an OPEN request.
+func DecodeOpen(p []byte) (id string, dim, shards int, bound int64, err error) {
+	if len(p) < 17 {
+		return "", 0, 0, 0, fmt.Errorf("%w: OPEN wants >= 17 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return string(p[16:]),
+		int(binary.LittleEndian.Uint32(p[0:])),
+		int(binary.LittleEndian.Uint32(p[4:])),
+		int64(binary.LittleEndian.Uint64(p[8:])), nil
+}
+
+// EncodeOpenResp builds an OPEN response: uint32 handle | uint32 dim |
+// uint32 shards | int64 staleness bound in effect | engine name bytes.
+func EncodeOpenResp(handle uint32, dim, shards int, bound int64, name string) []byte {
+	p := make([]byte, 20+len(name))
+	binary.LittleEndian.PutUint32(p[0:], handle)
+	binary.LittleEndian.PutUint32(p[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(p[8:], uint32(shards))
+	binary.LittleEndian.PutUint64(p[12:], uint64(bound))
+	copy(p[20:], name)
+	return p
+}
+
+// DecodeOpenResp parses an OPEN response.
+func DecodeOpenResp(p []byte) (handle uint32, dim, shards int, bound int64, name string, err error) {
+	if len(p) < 20 {
+		return 0, 0, 0, 0, "", fmt.Errorf("%w: OPEN response wants >= 20 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint32(p[0:]),
+		int(binary.LittleEndian.Uint32(p[4:])),
+		int(binary.LittleEndian.Uint32(p[8:])),
+		int64(binary.LittleEndian.Uint64(p[12:])),
+		string(p[20:]), nil
+}
+
+// EncodeHandle builds a bare-handle payload (ATTACH, DETACH, CHECKPOINT,
+// STATS) or the handle prefix of a data op.
+func EncodeHandle(handle uint32) []byte {
+	p := make([]byte, 4)
+	binary.LittleEndian.PutUint32(p, handle)
+	return p
+}
+
+// DecodeHandle strips the uint32 model handle every data payload starts
+// with, returning the remainder for the per-op decoder.
+func DecodeHandle(p []byte) (handle uint32, rest []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("%w: handle wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint32(p), p[4:], nil
+}
+
+// EncodeKey builds a single-key request payload (PEEK, DELETE):
+// uint32 handle | uint64 key.
+func EncodeKey(handle uint32, key uint64) []byte {
+	p := make([]byte, 12)
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint64(p[4:], key)
+	return p
+}
+
+// EncodeGet builds a GET request: uint32 handle | uint64 key | uint32
+// waitMs. waitMs carries the client's remaining context budget (0 = wait
+// forever): a clocked read stalled on the staleness bound gives up
+// server-side at the deadline instead of stranding a token on a request
+// the client has already abandoned.
+func EncodeGet(handle uint32, key uint64, waitMs uint32) []byte {
+	p := make([]byte, 16)
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint64(p[4:], key)
+	binary.LittleEndian.PutUint32(p[12:], waitMs)
+	return p
+}
+
+// DecodeGet parses a GET request (after DecodeHandle).
+func DecodeGet(p []byte) (key uint64, waitMs uint32, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("%w: GET wants 12 bytes, got %d", ErrShortPayload, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint32(p[8:]), nil
+}
+
+// DecodeKey parses a single-key request (after DecodeHandle).
 func DecodeKey(p []byte) (uint64, error) {
 	if len(p) != 8 {
 		return 0, fmt.Errorf("%w: key wants 8 bytes, got %d", ErrShortPayload, len(p))
@@ -62,15 +157,17 @@ func DecodeKey(p []byte) (uint64, error) {
 	return binary.LittleEndian.Uint64(p), nil
 }
 
-// EncodePut builds a PUT request: uint64 key | valueSize value bytes.
-func EncodePut(key uint64, val []byte) []byte {
-	p := make([]byte, 8+len(val))
-	binary.LittleEndian.PutUint64(p, key)
-	copy(p[8:], val)
+// EncodePut builds a PUT request: uint32 handle | uint64 key | valueSize
+// value bytes.
+func EncodePut(handle uint32, key uint64, val []byte) []byte {
+	p := make([]byte, 12+len(val))
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint64(p[4:], key)
+	copy(p[12:], val)
 	return p
 }
 
-// DecodePut parses a PUT request; val aliases p.
+// DecodePut parses a PUT request (after DecodeHandle); val aliases p.
 func DecodePut(p []byte, valueSize int) (key uint64, val []byte, err error) {
 	if len(p) != 8+valueSize {
 		return 0, nil, fmt.Errorf("%w: PUT wants %d bytes, got %d", ErrShortPayload, 8+valueSize, len(p))
@@ -108,19 +205,45 @@ func DecodeGetResp(p []byte, dst []byte) (bool, error) {
 	return true, nil
 }
 
-// EncodeKeys builds a key-list request (GETBATCH, LOOKAHEAD): uint32 n |
-// n×uint64 keys.
-func EncodeKeys(keys []uint64) []byte {
-	p := make([]byte, 4+8*len(keys))
-	binary.LittleEndian.PutUint32(p, uint32(len(keys)))
+// EncodeGetBatch builds a GETBATCH request: uint32 handle | uint32
+// waitMs (see EncodeGet) | uint32 n | n×uint64 keys.
+func EncodeGetBatch(handle uint32, waitMs uint32, keys []uint64) []byte {
+	p := make([]byte, 12+8*len(keys))
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint32(p[4:], waitMs)
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(keys)))
 	for i, k := range keys {
-		binary.LittleEndian.PutUint64(p[4+8*i:], k)
+		binary.LittleEndian.PutUint64(p[12+8*i:], k)
 	}
 	return p
 }
 
-// DecodeKeys parses a key-list request, appending into buf (which may be
-// nil) to let callers reuse one slice across frames.
+// DecodeGetBatch parses a GETBATCH request (after DecodeHandle),
+// appending keys into buf like DecodeKeys.
+func DecodeGetBatch(p []byte, buf []uint64) (keys []uint64, waitMs uint32, err error) {
+	if len(p) < 4 {
+		return nil, 0, fmt.Errorf("%w: GETBATCH wants >= 4 bytes, got %d", ErrShortPayload, len(p))
+	}
+	waitMs = binary.LittleEndian.Uint32(p)
+	keys, err = DecodeKeys(p[4:], buf)
+	return keys, waitMs, err
+}
+
+// EncodeKeys builds a key-list request (LOOKAHEAD): uint32
+// handle | uint32 n | n×uint64 keys.
+func EncodeKeys(handle uint32, keys []uint64) []byte {
+	p := make([]byte, 8+8*len(keys))
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint32(p[4:], uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(p[8+8*i:], k)
+	}
+	return p
+}
+
+// DecodeKeys parses a key-list request (after DecodeHandle), appending
+// into buf (which may be nil) to let callers reuse one slice across
+// frames.
 func DecodeKeys(p []byte, buf []uint64) ([]uint64, error) {
 	if len(p) < 4 {
 		return nil, fmt.Errorf("%w: key list wants >= 4 bytes, got %d", ErrShortPayload, len(p))
@@ -139,19 +262,21 @@ func DecodeKeys(p []byte, buf []uint64) ([]uint64, error) {
 	return buf, nil
 }
 
-// EncodePutBatch builds a PUTBATCH request: uint32 n | n×uint64 keys |
-// n×valueSize values.
-func EncodePutBatch(keys []uint64, vals []byte) []byte {
-	p := make([]byte, 4+8*len(keys)+len(vals))
-	binary.LittleEndian.PutUint32(p, uint32(len(keys)))
+// EncodePutBatch builds a PUTBATCH request: uint32 handle | uint32 n |
+// n×uint64 keys | n×valueSize values.
+func EncodePutBatch(handle uint32, keys []uint64, vals []byte) []byte {
+	p := make([]byte, 8+8*len(keys)+len(vals))
+	binary.LittleEndian.PutUint32(p, handle)
+	binary.LittleEndian.PutUint32(p[4:], uint32(len(keys)))
 	for i, k := range keys {
-		binary.LittleEndian.PutUint64(p[4+8*i:], k)
+		binary.LittleEndian.PutUint64(p[8+8*i:], k)
 	}
-	copy(p[4+8*len(keys):], vals)
+	copy(p[8+8*len(keys):], vals)
 	return p
 }
 
-// DecodePutBatch parses a PUTBATCH request; vals aliases p.
+// DecodePutBatch parses a PUTBATCH request (after DecodeHandle); vals
+// aliases p.
 func DecodePutBatch(p []byte, valueSize int, buf []uint64) (keys []uint64, vals []byte, err error) {
 	if len(p) < 4 {
 		return nil, nil, fmt.Errorf("%w: PUTBATCH wants >= 4 bytes, got %d", ErrShortPayload, len(p))
@@ -222,21 +347,37 @@ func DecodeUint32(p []byte) (uint32, error) {
 	return binary.LittleEndian.Uint32(p), nil
 }
 
-// statsFields lists the snapshot's counters in wire order. Appending new
-// counters at the end keeps old readers working: the response carries its
-// own field count and each side reads the prefix both understand.
-func statsFields(s *faster.StatsSnapshot) []*int64 {
+// ModelStats is the STATS payload for one model: the engine's merged
+// counters plus the serving layer's batch/lookahead frame counts and the
+// model's active remote-session gauge.
+type ModelStats struct {
+	faster.StatsSnapshot
+	// BatchGets / BatchPuts count GETBATCH / PUTBATCH frames served.
+	BatchGets int64
+	BatchPuts int64
+	// LookaheadFrames counts LOOKAHEAD frames served.
+	LookaheadFrames int64
+	// ActiveSessions is the attach-minus-detach balance: how many remote
+	// client sessions are currently open on the model.
+	ActiveSessions int64
+}
+
+// statsFields lists the counters in wire order. Appending new counters at
+// the end keeps old readers working: the response carries its own field
+// count and each side reads the prefix both understand.
+func statsFields(s *ModelStats) []*int64 {
 	return []*int64{
 		&s.Gets, &s.Puts, &s.RMWs, &s.Deletes, &s.MemHits, &s.DiskReads,
 		&s.InPlaceUpdates, &s.RCUAppends, &s.PrefetchCopies,
 		&s.AbandonedAppends, &s.StalenessWaits, &s.FlushedPages,
 		&s.BytesFlushed,
+		&s.BatchGets, &s.BatchPuts, &s.LookaheadFrames, &s.ActiveSessions,
 	}
 }
 
 // EncodeStatsResp builds a STATS response: uint32 field count | count
 // int64 counters in statsFields order.
-func EncodeStatsResp(s faster.StatsSnapshot) []byte {
+func EncodeStatsResp(s ModelStats) []byte {
 	fields := statsFields(&s)
 	p := make([]byte, 4+8*len(fields))
 	binary.LittleEndian.PutUint32(p, uint32(len(fields)))
@@ -248,8 +389,8 @@ func EncodeStatsResp(s faster.StatsSnapshot) []byte {
 
 // DecodeStatsResp parses a STATS response, tolerating a server that
 // reports more trailing counters than this client knows.
-func DecodeStatsResp(p []byte) (faster.StatsSnapshot, error) {
-	var s faster.StatsSnapshot
+func DecodeStatsResp(p []byte) (ModelStats, error) {
+	var s ModelStats
 	if len(p) < 4 {
 		return s, fmt.Errorf("%w: STATS response wants >= 4 bytes, got %d", ErrShortPayload, len(p))
 	}

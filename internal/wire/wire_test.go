@@ -87,11 +87,26 @@ func TestFrameLimits(t *testing.T) {
 	}
 }
 
+// stripHandle asserts the payload's handle prefix and returns the per-op
+// remainder, mirroring what the server does on every data frame.
+func stripHandle(t *testing.T, p []byte, want uint32) []byte {
+	t.Helper()
+	h, rest, err := DecodeHandle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != want {
+		t.Fatalf("handle = %d, want %d", h, want)
+	}
+	return rest
+}
+
 // TestPayloadRoundTrips drives every op payload through encode/decode with
 // randomized contents.
 func TestPayloadRoundTrips(t *testing.T) {
 	r := util.NewRNG(2)
 	const vs = 24
+	const hdl = uint32(7)
 	randVal := func(n int) []byte {
 		b := make([]byte, n)
 		for i := range b {
@@ -110,15 +125,34 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if v, err := DecodeHello(EncodeHello()); err != nil || v != Version {
 		t.Fatalf("hello: v=%d err=%v", v, err)
 	}
-	if vsz, sh, name, err := DecodeHelloResp(EncodeHelloResp(vs, 4, "mlkv")); err != nil || vsz != vs || sh != 4 || name != "mlkv" {
-		t.Fatalf("hello resp: %d %d %q %v", vsz, sh, name, err)
+	if v, name, err := DecodeHelloResp(EncodeHelloResp("mlkv")); err != nil || v != Version || name != "mlkv" {
+		t.Fatalf("hello resp: %d %q %v", v, name, err)
 	}
-	if k, err := DecodeKey(EncodeKey(0xdeadbeef)); err != nil || k != 0xdeadbeef {
+
+	id, dim, sh, bound, err := DecodeOpen(EncodeOpen("ctr-model", 16, 4, 8))
+	if err != nil || id != "ctr-model" || dim != 16 || sh != 4 || bound != 8 {
+		t.Fatalf("open: %q %d %d %d %v", id, dim, sh, bound, err)
+	}
+	if _, _, _, b, err := DecodeOpen(EncodeOpen("m", 8, 0, BoundUnset)); err != nil || b != BoundUnset {
+		t.Fatalf("open unset bound: %d %v", b, err)
+	}
+	oh, odim, osh, ob, oname, err := DecodeOpenResp(EncodeOpenResp(3, 16, 4, -1, "mlkv"))
+	if err != nil || oh != 3 || odim != 16 || osh != 4 || ob != -1 || oname != "mlkv" {
+		t.Fatalf("open resp: %d %d %d %d %q %v", oh, odim, osh, ob, oname, err)
+	}
+
+	if h, rest, err := DecodeHandle(EncodeHandle(hdl)); err != nil || h != hdl || len(rest) != 0 {
+		t.Fatalf("handle: %d %d %v", h, len(rest), err)
+	}
+	if k, err := DecodeKey(stripHandle(t, EncodeKey(hdl, 0xdeadbeef), hdl)); err != nil || k != 0xdeadbeef {
 		t.Fatalf("key: %x %v", k, err)
+	}
+	if k, w, err := DecodeGet(stripHandle(t, EncodeGet(hdl, 0xfeed, 1500), hdl)); err != nil || k != 0xfeed || w != 1500 {
+		t.Fatalf("get: %x wait=%d %v", k, w, err)
 	}
 
 	val := randVal(vs)
-	k2, v2, err := DecodePut(EncodePut(42, val), vs)
+	k2, v2, err := DecodePut(stripHandle(t, EncodePut(hdl, 42, val), hdl), vs)
 	if err != nil || k2 != 42 || !bytes.Equal(v2, val) {
 		t.Fatalf("put: %d %v", k2, err)
 	}
@@ -133,7 +167,7 @@ func TestPayloadRoundTrips(t *testing.T) {
 
 	for _, n := range []int{0, 1, 7, 256} {
 		keys := randKeys(n)
-		got, err := DecodeKeys(EncodeKeys(keys), nil)
+		got, err := DecodeKeys(stripHandle(t, EncodeKeys(hdl, keys), hdl), nil)
 		if err != nil || len(got) != n {
 			t.Fatalf("keys n=%d: len=%d %v", n, len(got), err)
 		}
@@ -143,8 +177,13 @@ func TestPayloadRoundTrips(t *testing.T) {
 			}
 		}
 
+		gb, gw, err := DecodeGetBatch(stripHandle(t, EncodeGetBatch(hdl, 250, keys), hdl), nil)
+		if err != nil || len(gb) != n || gw != 250 {
+			t.Fatalf("getbatch n=%d: len=%d wait=%d %v", n, len(gb), gw, err)
+		}
+
 		vals := randVal(n * vs)
-		gk, gv, err := DecodePutBatch(EncodePutBatch(keys, vals), vs, nil)
+		gk, gv, err := DecodePutBatch(stripHandle(t, EncodePutBatch(hdl, keys, vals), hdl), vs, nil)
 		if err != nil || len(gk) != n || !bytes.Equal(gv, vals) {
 			t.Fatalf("putbatch n=%d: %v", n, err)
 		}
@@ -171,10 +210,12 @@ func TestPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("uint32: %d %v", v, err)
 	}
 
-	snap := faster.StatsSnapshot{Gets: 1, Puts: 2, RMWs: 3, Deletes: 4,
+	snap := ModelStats{StatsSnapshot: faster.StatsSnapshot{
+		Gets: 1, Puts: 2, RMWs: 3, Deletes: 4,
 		MemHits: 5, DiskReads: 6, InPlaceUpdates: 7, RCUAppends: 8,
 		PrefetchCopies: 9, AbandonedAppends: 10, StalenessWaits: 11,
-		FlushedPages: 12, BytesFlushed: 13}
+		FlushedPages: 12, BytesFlushed: 13},
+		BatchGets: 14, BatchPuts: 15, LookaheadFrames: 16, ActiveSessions: 17}
 	got, err := DecodeStatsResp(EncodeStatsResp(snap))
 	if err != nil || got != snap {
 		t.Fatalf("stats: %+v %v", got, err)
@@ -188,41 +229,51 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	keys := []uint64{1, 2, 3}
 	vals := bytes.Repeat([]byte{9}, 3*vs)
 	found := []bool{true, false, true}
+	// Variable-length string tails: a shorter tail is still a valid payload.
+	varTail := map[string]int{"helloResp": 4, "open": 16, "openResp": 20}
 	cases := []struct {
 		name    string
 		payload []byte
 		decode  func([]byte) error
 	}{
 		{"hello", EncodeHello(), func(p []byte) error { _, err := DecodeHello(p); return err }},
-		{"helloResp", EncodeHelloResp(vs, 2, "x"), func(p []byte) error { _, _, _, err := DecodeHelloResp(p); return err }},
-		{"key", EncodeKey(5), func(p []byte) error { _, err := DecodeKey(p); return err }},
-		{"put", EncodePut(5, vals[:vs]), func(p []byte) error { _, _, err := DecodePut(p, vs); return err }},
+		{"helloResp", EncodeHelloResp("x"), func(p []byte) error { _, _, err := DecodeHelloResp(p); return err }},
+		{"open", EncodeOpen("m", 8, 2, 4), func(p []byte) error { _, _, _, _, err := DecodeOpen(p); return err }},
+		{"openResp", EncodeOpenResp(1, 8, 2, 4, "x"), func(p []byte) error { _, _, _, _, _, err := DecodeOpenResp(p); return err }},
+		{"handle", EncodeHandle(5), func(p []byte) error { _, _, err := DecodeHandle(p); return err }},
+		{"key", stripHandle(t, EncodeKey(1, 5), 1), func(p []byte) error { _, err := DecodeKey(p); return err }},
+		{"get", stripHandle(t, EncodeGet(1, 5, 9), 1), func(p []byte) error { _, _, err := DecodeGet(p); return err }},
+		{"getBatch", stripHandle(t, EncodeGetBatch(1, 9, keys), 1), func(p []byte) error { _, _, err := DecodeGetBatch(p, nil); return err }},
+		{"put", stripHandle(t, EncodePut(1, 5, vals[:vs]), 1), func(p []byte) error { _, _, err := DecodePut(p, vs); return err }},
 		{"getRespHit", EncodeGetResp(true, vals[:vs]), func(p []byte) error {
 			_, err := DecodeGetResp(p, make([]byte, vs))
 			return err
 		}},
-		{"keys", EncodeKeys(keys), func(p []byte) error { _, err := DecodeKeys(p, nil); return err }},
-		{"putBatch", EncodePutBatch(keys, vals), func(p []byte) error { _, _, err := DecodePutBatch(p, vs, nil); return err }},
+		{"keys", stripHandle(t, EncodeKeys(1, keys), 1), func(p []byte) error { _, err := DecodeKeys(p, nil); return err }},
+		{"putBatch", stripHandle(t, EncodePutBatch(1, keys, vals), 1), func(p []byte) error { _, _, err := DecodePutBatch(p, vs, nil); return err }},
 		{"getBatchResp", EncodeGetBatchResp(found, vals), func(p []byte) error {
 			return DecodeGetBatchResp(p, vs, make([]bool, 3), make([]byte, 3*vs))
 		}},
 		{"uint32", EncodeUint32(9), func(p []byte) error { _, err := DecodeUint32(p); return err }},
-		{"stats", EncodeStatsResp(faster.StatsSnapshot{Gets: 1}), func(p []byte) error { _, err := DecodeStatsResp(p); return err }},
+		{"stats", EncodeStatsResp(ModelStats{BatchGets: 1}), func(p []byte) error { _, err := DecodeStatsResp(p); return err }},
 	}
 	for _, tc := range cases {
 		if err := tc.decode(tc.payload); err != nil {
 			t.Fatalf("%s: valid payload rejected: %v", tc.name, err)
 		}
+		minLen, hasTail := varTail[tc.name]
 		for cut := 0; cut < len(tc.payload); cut++ {
-			if tc.name == "helloResp" && cut >= 8 {
-				continue // a shorter name tail is still a valid response
+			if hasTail && cut >= minLen {
+				continue // a shorter string tail is still a valid payload
 			}
 			if err := tc.decode(tc.payload[:cut]); err == nil {
 				t.Fatalf("%s: accepted %d/%d-byte prefix", tc.name, cut, len(tc.payload))
 			}
 		}
-		if err := tc.decode(append(append([]byte{}, tc.payload...), 0)); err == nil && tc.name != "helloResp" {
-			// helloResp legitimately carries a variable-length name tail.
+		if tc.name == "handle" {
+			continue // the handle prefix legitimately carries the op payload
+		}
+		if err := tc.decode(append(append([]byte{}, tc.payload...), 0)); err == nil && !hasTail {
 			t.Fatalf("%s: accepted payload with a trailing byte", tc.name)
 		}
 	}

@@ -9,9 +9,14 @@
 // asynchronous interface that moves disk-resident embeddings into the
 // mutable memory buffer beyond the staleness window).
 //
-// Mirroring Figure 3 of the paper:
+// A DB is one storage target — a local data directory, or a shared
+// mlkv-server reached as "mlkv://host:port" — from which any number of
+// named models are opened, the Open(model_id, dim, staleness_bound)
+// interface of §III-A. The same program runs against either target:
 //
-//	model, _ := mlkv.Open("ctr-model", dim, mlkv.WithStalenessBound(4))
+//	db, _ := mlkv.Connect(target)               // "/data/mlkv" or "mlkv://host:7070"
+//	defer db.Close()
+//	model, _ := db.Open("ctr-model", dim, mlkv.WithStalenessBound(4))
 //	defer model.Close()
 //	sess, _ := model.NewSession()
 //	defer sess.Close()
@@ -25,15 +30,20 @@
 //	        sess.Put(k, updated)                // backward pass write
 //	    }
 //	}
+//
+// Every session operation has a context-taking variant (GetCtx, PutCtx,
+// ...): the context bounds staleness waits on a local model and network
+// round trips on a remote one.
 package mlkv
 
 import (
+	"context"
 	"errors"
 	"math"
-	"os"
-	"path/filepath"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/driver"
 )
 
 // Staleness bounds with paper-aligned names (§III-C1).
@@ -48,38 +58,120 @@ const (
 	Disabled = int64(-1)
 )
 
-// Option customizes Open.
+// Scheme prefixes a remote Connect target: "mlkv://host:port".
+const Scheme = "mlkv://"
+
+// Initializer produces the initial embedding for a key seen for the first
+// time; dst arrives zeroed with the model's dimension. It must be
+// deterministic in key: on a remote model it runs client-side on every
+// worker that first touches a key.
+type Initializer = core.Initializer
+
+// initSeed seeds the default uniform initializer ("mlkv" in ASCII).
+const initSeed = 0x6d6c6b76
+
+// ConnectOption customizes Connect.
+type ConnectOption func(*connectConfig)
+
+type connectConfig struct {
+	conns       int
+	dialTimeout time.Duration
+}
+
+// WithConns sizes the connection pool of a remote target (default 2).
+// Size it to the number of concurrently blocking sessions: under BSP or a
+// finite SSP bound, a blocked remote read must not queue behind the write
+// that unblocks it on a shared connection. Local targets ignore it.
+func WithConns(n int) ConnectOption { return func(c *connectConfig) { c.conns = n } }
+
+// WithDialTimeout bounds each TCP connect of a remote target (default 5s).
+func WithDialTimeout(d time.Duration) ConnectOption {
+	return func(c *connectConfig) { c.dialTimeout = d }
+}
+
+// DB is one storage target serving named models: a local data directory
+// or a remote mlkv-server.
+type DB struct {
+	d      driver.DB
+	remote bool
+}
+
+// Connect opens a target. A target of the form "mlkv://host:port" dials a
+// running mlkv-server; anything else is a local directory (created on the
+// first Open).
+func Connect(target string, opts ...ConnectOption) (*DB, error) {
+	var cfg connectConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, err := driver.Connect(target, driver.ConnectOptions{
+		Conns:       cfg.conns,
+		DialTimeout: cfg.dialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{d: d, remote: driver.IsRemote(target)}, nil
+}
+
+// Target echoes the Connect target string.
+func (db *DB) Target() string { return db.d.Target() }
+
+// Remote reports whether the DB is backed by a remote server.
+func (db *DB) Remote() bool { return db.remote }
+
+// Close releases the target: open models of a local DB, the connection
+// pool of a remote one (whose models then fail).
+func (db *DB) Close() error { return db.d.Close() }
+
+// Option customizes DB.Open.
 type Option func(*config)
 
 type config struct {
-	dir       string
+	dir       string // compat: mlkv.Open's connect target
 	bound     int64
+	boundSet  bool
 	memory    int64
 	keys      uint64
 	initScale float32
+	init      Initializer
 	workers   int
 	shards    int
 }
 
 // WithDir places the model's storage under dir (default: ./mlkv-data).
+// It applies to the compatibility entry point Open; with Connect the DB
+// already names the target and the option is ignored.
 func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
 
 // WithStalenessBound sets the consistency bound: BSP, ASP, Disabled, or any
-// positive SSP bound.
-func WithStalenessBound(b int64) Option { return func(c *config) { c.bound = b } }
+// positive SSP bound. Unset, a local model defaults to SSP(4) and a remote
+// model keeps the server's bound for it.
+func WithStalenessBound(b int64) Option {
+	return func(c *config) { c.bound, c.boundSet = b, true }
+}
 
 // WithMemory sets the in-memory buffer budget in bytes (the paper's
-// "buffer size"; default 256 MiB).
+// "buffer size"; default 256 MiB). Remote models ignore it: the server
+// owns its sizing.
 func WithMemory(bytes int64) Option { return func(c *config) { c.memory = bytes } }
 
-// WithExpectedKeys sizes the hash index for the expected embedding count.
+// WithExpectedKeys sizes the hash index for the expected embedding count
+// (local models).
 func WithExpectedKeys(n uint64) Option { return func(c *config) { c.keys = n } }
 
 // WithInitScale sets the uniform first-touch initialization range
-// [-scale, scale) (default 0.05; 0 keeps zeros).
+// [-scale, scale) (default 0.05; 0 keeps zeros). The initializer is
+// seeded per key, so local and remote workers all derive the same
+// embedding for a given key.
 func WithInitScale(s float32) Option { return func(c *config) { c.initScale = s } }
 
-// WithPrefetchWorkers sizes the Lookahead worker pool (default 2).
+// WithInitializer installs a custom first-touch initializer, overriding
+// WithInitScale. It must be deterministic in key (see Initializer).
+func WithInitializer(fn Initializer) Option { return func(c *config) { c.init = fn } }
+
+// WithPrefetchWorkers sizes the Lookahead worker pool of a local model
+// (default 2).
 func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithShards hash-partitions the embedding table across n independent
@@ -88,24 +180,27 @@ func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n 
 // and fan out across shards in parallel, and concurrent sessions contend
 // on n log tails instead of one. The memory budget is split evenly across
 // shards. Default 1 (unsharded, the paper's configuration). A table must
-// be reopened with the shard count it was created with.
+// be reopened with the shard count it was created with; for a remote
+// model the count is advisory — it applies only if the server creates the
+// model on this Open.
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
-// Model is one embedding model: a named, disk-backed embedding table.
-type Model struct {
-	table *core.Table
-	id    string
+// Open creates or looks up the named model with the given embedding
+// dimension. Opening the same name twice on one DB returns the same
+// underlying model (a server additionally deduplicates across clients).
+func (db *DB) Open(id string, dim int, opts ...Option) (*Model, error) {
+	return db.OpenCtx(context.Background(), id, dim, opts...)
 }
 
-// Open creates or recovers the embedding model id with the given embedding
-// dimension — the Open(model_id, dim, staleness_bound) interface of §III-A.
-func Open(id string, dim int, opts ...Option) (*Model, error) {
+// OpenCtx is Open bounded by ctx.
+func (db *DB) OpenCtx(ctx context.Context, id string, dim int, opts ...Option) (*Model, error) {
 	if id == "" {
 		return nil, errors.New("mlkv: model id is required")
 	}
+	if dim <= 0 {
+		return nil, errors.New("mlkv: dim must be positive")
+	}
 	cfg := config{
-		dir:       "mlkv-data",
-		bound:     4,
 		memory:    256 << 20,
 		initScale: 0.05,
 		workers:   2,
@@ -113,131 +208,282 @@ func Open(id string, dim int, opts ...Option) (*Model, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	dir := filepath.Join(cfg.dir, id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	var init core.Initializer
-	if cfg.initScale > 0 {
-		init = core.UniformInit(cfg.initScale, 0x6d6c6b76)
-	}
-	t, err := core.OpenTable(core.Options{
-		Dir:             dir,
+	dcfg := driver.Config{
 		Dim:             dim,
 		Shards:          cfg.shards,
-		StalenessBound:  cfg.bound,
+		Bound:           cfg.bound,
+		BoundSet:        cfg.boundSet,
 		MemoryBytes:     cfg.memory,
 		ExpectedKeys:    cfg.keys,
 		PrefetchWorkers: cfg.workers,
-		Init:            init,
-	})
+		Init:            cfg.init,
+	}
+	if dcfg.Init == nil && cfg.initScale > 0 {
+		dcfg.Init = core.UniformInit(cfg.initScale, initSeed)
+	}
+	if !db.remote && !dcfg.BoundSet {
+		// Local models keep mlkv.Open's historical default, SSP(4); a
+		// remote unset bound defers to the server.
+		dcfg.Bound, dcfg.BoundSet = 4, true
+	}
+	m, err := db.d.Open(ctx, id, dcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{table: t, id: id}, nil
+	return &Model{m: m, id: id}, nil
+}
+
+// Open creates or recovers the embedding model id under a local directory
+// (WithDir, default ./mlkv-data) — the one-call form of
+// Connect(dir).Open(id, dim, ...). Closing the model also closes the DB
+// it implicitly connected.
+func Open(id string, dim int, opts ...Option) (*Model, error) {
+	cfg := config{dir: "mlkv-data"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db, err := Connect(cfg.dir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.Open(id, dim, opts...)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	m.ownsDB = db
+	return m, nil
+}
+
+// Model is one embedding model: a named, disk-backed embedding table,
+// served in-process or by a remote server.
+type Model struct {
+	m      driver.Model
+	id     string
+	ownsDB *DB // set by the package-level Open
 }
 
 // ID returns the model identifier.
 func (m *Model) ID() string { return m.id }
 
 // Dim returns the embedding dimension.
-func (m *Model) Dim() int { return m.table.Dim() }
+func (m *Model) Dim() int { return m.m.Dim() }
 
 // Shards returns the number of hash partitions backing the model (see
 // WithShards).
-func (m *Model) Shards() int { return m.table.Shards() }
+func (m *Model) Shards() int { return m.m.Shards() }
 
-// SetStalenessBound adjusts the consistency bound at runtime.
-func (m *Model) SetStalenessBound(b int64) { m.table.SetStalenessBound(b) }
+// EngineName identifies the backing engine: "mlkv", "faster" (clock
+// disabled), or "remote(<engine>)".
+func (m *Model) EngineName() string { return m.m.EngineName() }
+
+// StalenessBound returns the consistency bound in effect when the model
+// was opened (or last set through this handle).
+func (m *Model) StalenessBound() int64 { return m.m.StalenessBound() }
+
+// SetStalenessBound adjusts the consistency bound at runtime, best
+// effort; use SetStalenessBoundCtx to observe a remote error.
+func (m *Model) SetStalenessBound(b int64) { m.m.SetStalenessBound(context.Background(), b) } //nolint:errcheck
+
+// SetStalenessBoundCtx adjusts the consistency bound at runtime. On a
+// remote model this re-opens the model with an explicit bound.
+func (m *Model) SetStalenessBoundCtx(ctx context.Context, b int64) error {
+	return m.m.SetStalenessBound(ctx, b)
+}
 
 // Checkpoint persists the model durably; call it at a training barrier
 // (the paper checkpoints local NVMe state to durable storage periodically).
-func (m *Model) Checkpoint() error { return m.table.Checkpoint() }
+func (m *Model) Checkpoint() error { return m.m.Checkpoint(context.Background()) }
+
+// CheckpointCtx is Checkpoint bounded by ctx.
+func (m *Model) CheckpointCtx(ctx context.Context) error { return m.m.Checkpoint(ctx) }
 
 // Stats reports storage counters useful for diagnosing data stalls.
 type Stats struct {
-	Gets           int64
-	Puts           int64
-	DiskReads      int64
-	MemHits        int64
+	// Per-operation counts.
+	Gets    int64
+	Puts    int64
+	RMWs    int64
+	Deletes int64
+	// Where clocked reads were served.
+	DiskReads int64
+	MemHits   int64
+	// Consistency and write-path behavior.
 	StalenessWaits int64
-	PrefetchCopies int64
+	InPlaceUpdates int64
+	RCUAppends     int64
+	// Look-ahead activity: records copied into the memory buffer and
+	// hints dropped on a full queue.
+	PrefetchCopies  int64
+	PrefetchDropped int64
+	// Batch amortization: GetBatch/PutBatch calls (each may cover
+	// thousands of keys) and Lookahead calls.
+	BatchGets      int64
+	BatchPuts      int64
+	LookaheadCalls int64
+	// Flush volume.
+	FlushedPages int64
+	BytesFlushed int64
 }
 
-// Stats returns a snapshot of storage counters, summed across shards.
+// Stats returns a snapshot of storage counters, summed across shards —
+// best effort on a remote model (zero value if the server is unreachable;
+// use StatsCtx to observe the error).
 func (m *Model) Stats() Stats {
-	s := m.table.StoreStats()
-	return Stats{
-		Gets:           s.Gets,
-		Puts:           s.Puts,
-		DiskReads:      s.DiskReads,
-		MemHits:        s.MemHits,
-		StalenessWaits: s.StalenessWaits,
-		PrefetchCopies: s.PrefetchCopies,
+	s, _ := m.StatsCtx(context.Background())
+	return s
+}
+
+// StatsCtx returns a snapshot of storage counters, summed across shards.
+func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
+	s, err := m.m.Stats(ctx)
+	if err != nil {
+		return Stats{}, err
 	}
+	return Stats{
+		Gets: s.Gets, Puts: s.Puts, RMWs: s.RMWs, Deletes: s.Deletes,
+		DiskReads: s.DiskReads, MemHits: s.MemHits,
+		StalenessWaits: s.StalenessWaits,
+		InPlaceUpdates: s.InPlaceUpdates, RCUAppends: s.RCUAppends,
+		PrefetchCopies: s.PrefetchCopies, PrefetchDropped: s.PrefetchDropped,
+		BatchGets: s.BatchGets, BatchPuts: s.BatchPuts,
+		LookaheadCalls: s.LookaheadCalls,
+		FlushedPages:   s.FlushedPages, BytesFlushed: s.BytesFlushed,
+	}, nil
 }
 
 // ActiveSessions reports how many sessions are currently open on the
-// model (serving front-ends use it to track drains and load).
-func (m *Model) ActiveSessions() int64 { return m.table.ActiveSessions() }
-
-// Close releases the model.
-func (m *Model) Close() error { return m.table.Close() }
-
-// Session is one goroutine's handle. Sessions are cheap; create one per
-// worker and close it when done.
-type Session struct {
-	s *core.Session
+// model (serving front-ends use it to track drains and load). On a remote
+// model it is the server's count across every client, fetched best effort.
+func (m *Model) ActiveSessions() int64 {
+	n, _ := m.m.ActiveSessions(context.Background())
+	return n
 }
 
-// NewSession registers a session.
+// Close releases the model (and, for a model opened with the package-level
+// Open, its implicit DB).
+func (m *Model) Close() error {
+	err := m.m.Close()
+	if m.ownsDB != nil {
+		if cerr := m.ownsDB.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewSession registers a session. Sessions are cheap; create one per
+// worker goroutine and close it when done.
 func (m *Model) NewSession() (*Session, error) {
-	s, err := m.table.NewSession()
+	return m.NewSessionCtx(context.Background())
+}
+
+// NewSessionCtx is NewSession bounded by ctx.
+func (m *Model) NewSessionCtx(ctx context.Context) (*Session, error) {
+	s, err := m.m.NewSession(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{s: s}, nil
 }
 
-// Close unregisters the session.
+// Session is one goroutine's handle. Sessions are cheap; create one per
+// worker and close it when done.
+type Session struct {
+	s driver.Session
+}
+
+// Close unregisters the session (on a remote model, the server is told so
+// its per-model session accounting stays truthful).
 func (s *Session) Close() { s.s.Close() }
 
 // Get reads the embedding for key into dst (len == Dim), initializing on
 // first touch, under the bounded-staleness protocol: it waits until the
 // record's outstanding-update count is within the bound, then atomically
 // increments it.
-func (s *Session) Get(key uint64, dst []float32) error { return s.s.Get(key, dst) }
+func (s *Session) Get(key uint64, dst []float32) error {
+	return s.s.Get(context.Background(), key, dst)
+}
+
+// GetCtx is Get bounded by ctx: a read stalled on the staleness bound (or
+// a remote round trip) returns ctx.Err() when ctx ends. A read that ends
+// this way holds no staleness token, so it owes no balancing Put. On a
+// remote model the guarantee rides on the context's *deadline*, which
+// travels in the frame so the server abandons the stalled read too;
+// cancelling a deadline-free context returns early but leaves the
+// server-side read running — prefer deadlines for remote reads.
+func (s *Session) GetCtx(ctx context.Context, key uint64, dst []float32) error {
+	return s.s.Get(ctx, key, dst)
+}
 
 // GetBatch reads len(keys) embeddings into dst (len == len(keys)*Dim).
 func (s *Session) GetBatch(keys []uint64, dst []float32) error {
-	return s.s.GetBatch(keys, dst)
+	return s.s.GetBatch(context.Background(), keys, dst)
+}
+
+// GetBatchCtx is GetBatch bounded by ctx (checked on every clocked read
+// locally, per frame remotely).
+func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, dst []float32) error {
+	return s.s.GetBatch(ctx, keys, dst)
 }
 
 // Put upserts the embedding for key, decrementing the record's
 // outstanding-update count. Puts never wait.
-func (s *Session) Put(key uint64, val []float32) error { return s.s.Put(key, val) }
+func (s *Session) Put(key uint64, val []float32) error {
+	return s.s.Put(context.Background(), key, val)
+}
+
+// PutCtx is Put bounded by ctx.
+func (s *Session) PutCtx(ctx context.Context, key uint64, val []float32) error {
+	return s.s.Put(ctx, key, val)
+}
 
 // PutBatch upserts len(keys) embeddings from vals.
 func (s *Session) PutBatch(keys []uint64, vals []float32) error {
-	return s.s.PutBatch(keys, vals)
+	return s.s.PutBatch(context.Background(), keys, vals)
 }
 
-// RMW applies emb ← emb − lr·grad atomically in storage.
+// PutBatchCtx is PutBatch bounded by ctx.
+func (s *Session) PutBatchCtx(ctx context.Context, keys []uint64, vals []float32) error {
+	return s.s.PutBatch(ctx, keys, vals)
+}
+
+// RMW applies emb ← emb − lr·grad atomically in storage (remotely: a
+// clocked read, the step applied client-side, and the balancing write).
 func (s *Session) RMW(key uint64, grad []float32, lr float32) error {
-	return s.s.ApplyGradient(key, grad, lr)
+	return s.s.RMW(context.Background(), key, grad, lr)
+}
+
+// RMWCtx is RMW bounded by ctx.
+func (s *Session) RMWCtx(ctx context.Context, key uint64, grad []float32, lr float32) error {
+	return s.s.RMW(ctx, key, grad, lr)
 }
 
 // Peek reads without consistency effects (for evaluation/inference).
 func (s *Session) Peek(key uint64, dst []float32) (bool, error) {
-	return s.s.Peek(key, dst)
+	return s.s.Peek(context.Background(), key, dst)
+}
+
+// PeekCtx is Peek bounded by ctx.
+func (s *Session) PeekCtx(ctx context.Context, key uint64, dst []float32) (bool, error) {
+	return s.s.Peek(ctx, key, dst)
 }
 
 // Delete removes key's embedding.
-func (s *Session) Delete(key uint64) error { return s.s.Delete(key) }
+func (s *Session) Delete(key uint64) error {
+	return s.s.Delete(context.Background(), key)
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (s *Session) DeleteCtx(ctx context.Context, key uint64) error {
+	return s.s.Delete(ctx, key)
+}
 
 // Lookahead asynchronously copies the given keys' embeddings from disk into
 // MLKV's mutable memory buffer ahead of use (§III-C2). Unlike conventional
-// prefetching it is not limited by the staleness bound. It never blocks.
+// prefetching it is not limited by the staleness bound. It never blocks:
+// on a remote model the hint travels on a background session, and hints
+// beyond the queue capacity are dropped (and counted in Stats).
 func (s *Session) Lookahead(keys []uint64) error {
-	return s.s.Lookahead(keys, core.DestStorageBuffer, nil)
+	return s.s.Lookahead(keys)
 }
