@@ -1,0 +1,56 @@
+package mlkv_test
+
+import (
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// remoteGetBatchAllocBudget is the committed allocs/op ceiling for the
+// remote 256-key GetBatch hot path, client and loopback server combined.
+// The steady state after the zero-allocation work is 5 allocs/op (one
+// response channel, the pooled-buffer box, and map churn — see
+// BENCH_allocs.json); the budget leaves headroom for scheduler noise
+// while still failing loudly if per-frame or per-batch allocations creep
+// back in (the pre-pooling path was 13).
+const remoteGetBatchAllocBudget = 8
+
+// TestRemoteGetBatchAllocBudget is the allocation-regression gate wired
+// into CI's bench-smoke step: it fails when the remote hot read path
+// allocates more than the committed budget per 256-key GetBatch. It
+// shares its harness (and thus its exact configuration — single-shard
+// loopback server, 2^16 first-touched keys) with
+// BenchmarkRemoteGetBatch256, the benchmark BENCH_allocs.json tracks.
+func TestRemoteGetBatchAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs a steady loopback server")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	const batch = 256
+	s, keys, dst := newRemoteBenchSession(t, batch, 0)
+	zipf := util.NewScrambledZipf(util.NewRNG(7), remoteBenchRecords, 0.99)
+	// A few untimed rounds settle the pools and scratch growth.
+	for i := 0; i < 16; i++ {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("remote GetBatch(%d): %.1f allocs/op (budget %d)", batch, avg, remoteGetBatchAllocBudget)
+	if avg > remoteGetBatchAllocBudget {
+		t.Fatalf("remote GetBatch(%d) allocates %.1f/op, budget %d — the hot path regressed",
+			batch, avg, remoteGetBatchAllocBudget)
+	}
+}

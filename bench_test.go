@@ -7,13 +7,17 @@ package mlkv_test
 // EXPERIMENTS.md records representative output.
 
 import (
+	"context"
 	"io"
+	"net"
 	"testing"
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/bench"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/server"
+	"github.com/llm-db/mlkv-go/internal/util"
 	"github.com/llm-db/mlkv-go/internal/ycsb"
 
 	mlkv "github.com/llm-db/mlkv-go"
@@ -129,6 +133,113 @@ func BenchmarkZipfUnsharded(b *testing.B) { benchShardedZipf(b, 1) }
 // BenchmarkZipfSharded4 runs the same workload hash-partitioned across 4
 // store instances under the same total memory budget.
 func BenchmarkZipfSharded4(b *testing.B) { benchShardedZipf(b, 4) }
+
+// remoteBenchRecords/Dim fix the configuration the remote hot-path
+// harness measures; the CI allocation gate and the benchmarks share it,
+// so the committed budget and the tracked trajectory describe the same
+// setup.
+const (
+	remoteBenchRecords = 1 << 16
+	remoteBenchDim     = 16
+)
+
+// newRemoteBenchSession starts a single-shard loopback mlkv-server,
+// opens one model through the public API (with a client-side hot tier
+// when cacheEntries > 0), and first-touches the whole key space so the
+// caller's measured loop is pure steady-state reads (the first-touch
+// init/write-back path allocates by design — per-key RNG seeding and a
+// write-back round trip). Everything tears down via tb.Cleanup.
+func newRemoteBenchSession(tb testing.TB, batch, cacheEntries int) (*mlkv.Session, []uint64, []float32) {
+	tb.Helper()
+	dir := tb.TempDir()
+	reg := server.NewRegistry(server.RegistryConfig{
+		DefaultBound: faster.BoundAsync,
+		Opener: func(id string, d, shards int, bound int64) (kv.Store, error) {
+			return kv.OpenFasterShards(kv.ShardedConfig{
+				Dir: dir + "/" + id, Shards: shards, ValueSize: d * 4,
+				MemoryBytes: 32 << 20, ExpectedKeys: remoteBenchRecords,
+				StalenessBound: bound,
+			}, "mlkv")
+		},
+	})
+	tb.Cleanup(func() { reg.Close() })
+	srv := server.New(server.Config{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	})
+
+	db, err := mlkv.Connect(mlkv.Scheme + ln.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	opts := []mlkv.Option{mlkv.WithStalenessBound(mlkv.ASP)}
+	if cacheEntries > 0 {
+		opts = append(opts, mlkv.WithCache(cacheEntries))
+	}
+	m, err := db.Open("allocbench", remoteBenchDim, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { m.Close() })
+	s, err := m.NewSession()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+
+	keys := make([]uint64, batch)
+	dst := make([]float32, batch*remoteBenchDim)
+	for base := uint64(0); base < remoteBenchRecords; base += uint64(batch) {
+		for i := range keys {
+			keys[i] = base + uint64(i)
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s, keys, dst
+}
+
+// benchRemoteGetBatch measures the remote hot read path end to end: a
+// loopback mlkv-server and a public-API session issuing Zipf-skewed
+// GetBatch calls of the given batch size. ReportAllocs makes it the
+// allocation trajectory for the whole client+server path (both run in
+// this process), which BENCH_allocs.json and the CI allocation gate
+// track.
+func benchRemoteGetBatch(b *testing.B, batch int, cacheEntries int) {
+	b.Helper()
+	s, keys, dst := newRemoteBenchSession(b, batch, cacheEntries)
+	zipf := util.NewScrambledZipf(util.NewRNG(7), remoteBenchRecords, 0.99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// BenchmarkRemoteGetBatch256 is the remote 256-key hot read path the
+// allocation-regression gate budgets (see TestRemoteGetBatchAllocBudget).
+func BenchmarkRemoteGetBatch256(b *testing.B) { benchRemoteGetBatch(b, 256, 0) }
+
+// BenchmarkRemoteGetBatch256Cached is the same path with the client-side
+// hot tier enabled, at a capacity covering the whole key space.
+func BenchmarkRemoteGetBatch256Cached(b *testing.B) { benchRemoteGetBatch(b, 256, 1<<16) }
 
 // BenchmarkYCSBZipfian measures raw KV throughput under YCSB-A skew
 // (micro-benchmark feeding Figure 10's shape).

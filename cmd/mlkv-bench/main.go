@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
 		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")
+		jsonDir    = flag.String("json", "", "directory to write machine-readable BENCH_<experiment>.json results into (empty disables)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	fmt.Printf("mlkv-bench: scale=%s workdir=%s shards=%d\n", scale.Name, dir, *shards)
 	env := bench.NewEnv(scale, dir, os.Stdout)
 	env.Shards = *shards
+	env.JSONDir = *jsonDir
 	if err := env.Run(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mlkv-bench:", err)
 		os.Exit(1)

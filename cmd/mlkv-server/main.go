@@ -56,6 +56,7 @@ func main() {
 		records   = flag.Uint64("records", 1<<20, "expected key count per model (sizes the hash indexes)")
 		engine    = flag.String("engine", "mlkv", "engine semantics (mlkv|faster)")
 		staleness = flag.Int64("staleness", -2, "default staleness bound for new models: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
+		cache     = flag.Int("cache", 0, "per-model server-side hot-tier capacity in entries (0 disables); cached reads are served only within each model's staleness bound")
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
 	)
@@ -87,6 +88,7 @@ func main() {
 	reg := server.NewRegistry(server.RegistryConfig{
 		DefaultShards: *shards,
 		DefaultBound:  defaultBound,
+		CacheEntries:  *cache,
 		Name:          *engine,
 		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
 			if *engine == "faster" {
@@ -108,8 +110,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("mlkv-server: serving %s models (default shards=%d buffer=%dMB/model staleness=%s sync=%v) on %s",
-		*engine, *shards, *bufferMB, boundName(defaultBound), *sync, ln.Addr())
+	log.Printf("mlkv-server: serving %s models (default shards=%d buffer=%dMB/model staleness=%s cache=%d sync=%v) on %s",
+		*engine, *shards, *bufferMB, boundName(defaultBound), *cache, *sync, ln.Addr())
 
 	if *debugAddr != "" {
 		expvar.Publish("mlkv_models", expvar.Func(func() any {

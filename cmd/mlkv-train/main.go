@@ -48,6 +48,7 @@ func main() {
 		keys      = flag.Uint64("keys", 1_000_000, "entity / key-space size")
 		lookahead = flag.Int("lookahead", 16, "look-ahead depth (0 disables)")
 		scalar    = flag.Bool("scalar", false, "use the per-key access path instead of batched gather/scatter")
+		cache     = flag.Int("cache", 0, "staleness-aware hot-tier capacity in entries on the model's read path (0 disables; under SSP a remote tier bounds staleness against this trainer's own writes — use mlkv-server -cache when other clients' writes matter)")
 		modeN     = flag.String("mode", "async", "pipeline structure for dlrm (async|sync); sync barriers every minibatch (BSP)")
 		dir       = flag.String("dir", "", "data directory (default: temp)")
 	)
@@ -85,7 +86,11 @@ func main() {
 		if model == "" {
 			model = *task
 		}
-		rb, err := train.DialRemote(*addr, model, *dim, init, nc)
+		var mopts []mlkv.Option
+		if *cache > 0 {
+			mopts = append(mopts, mlkv.WithCache(*cache))
+		}
+		rb, err := train.DialRemote(*addr, model, *dim, init, nc, mopts...)
 		if err != nil {
 			fail(err)
 		}
@@ -122,7 +127,8 @@ func main() {
 				mlkv.WithStalenessBound(bound),
 				mlkv.WithMemory(int64(*bufferMB)<<20),
 				mlkv.WithExpectedKeys(*keys),
-				mlkv.WithInitializer(init))
+				mlkv.WithInitializer(init),
+				mlkv.WithCache(*cache))
 			if err != nil {
 				fail(err)
 			}

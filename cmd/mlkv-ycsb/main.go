@@ -46,6 +46,7 @@ func main() {
 		sync     = flag.Bool("sync", false, "fsync every flushed log page; checkpoint at the end")
 		addr     = flag.String("addr", "", "run against a remote mlkv-server at this address instead of in-process")
 		model    = flag.String("model", "ycsb", "model name to open on the remote server")
+		cache    = flag.Int("cache", 0, "staleness-aware hot-tier capacity in entries, layered client-side over the store (0 disables)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -109,6 +110,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cache > 0 {
+		// The tier sits above whichever store the flags picked — local
+		// shards or a remote model — and serves hot keys within the
+		// staleness bound without touching it.
+		store = kv.WrapCached(store, *cache)
+	}
 	defer store.Close()
 
 	// Graceful interrupt: close the stop channel so workers wind down and
@@ -153,6 +160,16 @@ func main() {
 		s := sr.Stats()
 		fmt.Printf("store: gets=%d puts=%d memhits=%d diskreads=%d inplace=%d rcu=%d flushed=%dB\n",
 			s.Gets, s.Puts, s.MemHits, s.DiskReads, s.InPlaceUpdates, s.RCUAppends, s.BytesFlushed)
+	}
+	if cr, ok := store.(kv.CacheStatsReporter); ok {
+		cs := cr.CacheStats()
+		total := cs.Hits + cs.Misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(cs.Hits) / float64(total)
+		}
+		fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
+			cs.Hits, cs.Misses, cs.Evictions, pct)
 	}
 }
 

@@ -90,7 +90,12 @@ type Env struct {
 	// (0 or 1 = unsharded). The "shards" experiment sweeps shard counts
 	// itself and ignores this.
 	Shards int
-	n      int
+	// JSONDir, when set, makes Run write each experiment's recorded
+	// measurements to BENCH_<experiment>.json under it (the repo's tracked
+	// perf trajectory).
+	JSONDir string
+	n       int
+	results []Result
 }
 
 // NewEnv builds an Env writing results to out and data under workDir.

@@ -519,36 +519,49 @@ func (e *Env) runShardedYCSB(shards, threads, vs, bufKB int) (float64, error) {
 	return res.Throughput, nil
 }
 
-// Run dispatches one experiment by name.
+// Run dispatches one experiment by name. With Env.JSONDir set, the
+// measurements the experiment records land in BENCH_<name>.json.
 func (e *Env) Run(name string) error {
-	switch name {
-	case "fig2":
-		return e.Fig2()
-	case "fig6":
-		return e.Fig6()
-	case "fig7":
-		return e.Fig7()
-	case "fig8":
-		return e.Fig8()
-	case "fig9":
-		return e.Fig9()
-	case "fig10":
-		return e.Fig10()
-	case "fig11":
-		return e.Fig11()
-	case "shards":
-		return e.ShardSweep()
-	case "network":
-		return e.NetworkSweep()
-	case "trainbatch":
-		return e.TrainBatchSweep()
-	case "all":
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch"} {
+	if name == "all" {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch", "cache", "allocs"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|all)", name)
+	e.results = e.results[:0]
+	var err error
+	switch name {
+	case "fig2":
+		err = e.Fig2()
+	case "fig6":
+		err = e.Fig6()
+	case "fig7":
+		err = e.Fig7()
+	case "fig8":
+		err = e.Fig8()
+	case "fig9":
+		err = e.Fig9()
+	case "fig10":
+		err = e.Fig10()
+	case "fig11":
+		err = e.Fig11()
+	case "shards":
+		err = e.ShardSweep()
+	case "network":
+		err = e.NetworkSweep()
+	case "trainbatch":
+		err = e.TrainBatchSweep()
+	case "cache":
+		err = e.CacheSweep()
+	case "allocs":
+		err = e.AllocSweep()
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|all)", name)
+	}
+	if err != nil {
+		return err
+	}
+	return e.writeJSON(name)
 }

@@ -90,6 +90,12 @@ func (e *Env) NetworkSweep() error {
 			return err
 		}
 		e.printf("%-8d %14.0f %14.0f %7.2fx\n", batch, local, remote, local/remote)
+		cfg := map[string]any{
+			"records": records, "shards": shards, "workers": workers,
+			"valuesize": vs, "buffer_kb": e.Scale.BufferKBs[0], "batch": batch,
+		}
+		e.Record(Result{Name: fmt.Sprintf("getbatch/batch=%d/local", batch), OpsPerSec: local, Config: cfg})
+		e.Record(Result{Name: fmt.Sprintf("getbatch/batch=%d/remote", batch), OpsPerSec: remote, Config: cfg})
 	}
 	return nil
 }

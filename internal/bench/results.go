@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Result is one machine-readable measurement: the unit every BENCH_*.json
+// file is built from, so the perf trajectory of the repo is diffable
+// across commits instead of living in prose. OpsPerSec is the
+// experiment's headline rate (keys/s for read sweeps, samples/s for
+// training); NsPerOp/AllocsPerOp/BytesPerOp come from testing.Benchmark
+// where the experiment runs one (zero otherwise); Config records the
+// knobs that produced the number.
+type Result struct {
+	Name        string         `json:"name"`
+	OpsPerSec   float64        `json:"ops_per_sec,omitempty"`
+	NsPerOp     float64        `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64          `json:"allocs_per_op"`
+	BytesPerOp  int64          `json:"bytes_per_op"`
+	Config      map[string]any `json:"config,omitempty"`
+}
+
+// resultFile is the BENCH_<experiment>.json layout.
+type resultFile struct {
+	Experiment string   `json:"experiment"`
+	Scale      string   `json:"scale"`
+	Results    []Result `json:"results"`
+}
+
+// Record appends one measurement to the running experiment's result set.
+func (e *Env) Record(r Result) {
+	e.results = append(e.results, r)
+}
+
+// writeJSON writes the results recorded since the experiment started to
+// BENCH_<experiment>.json under e.JSONDir (no-op when JSONDir is unset or
+// nothing was recorded).
+func (e *Env) writeJSON(experiment string) error {
+	if e.JSONDir == "" || len(e.results) == 0 {
+		return nil
+	}
+	out := resultFile{Experiment: experiment, Scale: e.Scale.Name, Results: e.results}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(e.JSONDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(e.JSONDir, fmt.Sprintf("BENCH_%s.json", experiment))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	e.printf("wrote %s (%d results)\n", path, len(e.results))
+	return nil
+}

@@ -91,6 +91,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	_, name, err := wire.DecodeHelloResp(p)
+	c.conns[0].release(p)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
@@ -137,11 +138,13 @@ type OpenSpec struct {
 // its handle. Opening the same name twice returns equivalent models — the
 // server deduplicates by name.
 func (c *Client) OpenModel(ctx context.Context, spec OpenSpec) (*Model, error) {
-	p, err := c.pick().roundTripCtx(ctx, wire.OpOpen, wire.EncodeOpen(spec.ID, spec.Dim, spec.Shards, spec.Bound))
+	cn := c.pick()
+	p, err := cn.roundTripCtx(ctx, wire.OpOpen, wire.EncodeOpen(spec.ID, spec.Dim, spec.Shards, spec.Bound))
 	if err != nil {
 		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
 	}
 	handle, dim, shards, bound, engine, err := wire.DecodeOpenResp(p)
+	cn.release(p)
 	if err != nil {
 		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
 	}
@@ -192,7 +195,9 @@ func (m *Model) Checkpoint() error { return m.CheckpointCtx(context.Background()
 
 // CheckpointCtx is Checkpoint bounded by ctx.
 func (m *Model) CheckpointCtx(ctx context.Context) error {
-	_, err := m.c.pick().roundTripCtx(ctx, wire.OpCheckpoint, wire.EncodeHandle(m.handle))
+	cn := m.c.pick()
+	p, err := cn.roundTripCtx(ctx, wire.OpCheckpoint, wire.EncodeHandle(m.handle))
+	cn.release(p)
 	return err
 }
 
@@ -208,11 +213,14 @@ func (m *Model) Stats() faster.StatsSnapshot {
 // ModelStats fetches the full per-model counter set: engine counters plus
 // the server's batch/lookahead frame counts and active-session gauge.
 func (m *Model) ModelStats(ctx context.Context) (wire.ModelStats, error) {
-	p, err := m.c.pick().roundTripCtx(ctx, wire.OpStats, wire.EncodeHandle(m.handle))
+	cn := m.c.pick()
+	p, err := cn.roundTripCtx(ctx, wire.OpStats, wire.EncodeHandle(m.handle))
 	if err != nil {
 		return wire.ModelStats{}, err
 	}
-	return wire.DecodeStatsResp(p)
+	s, err := wire.DecodeStatsResp(p)
+	cn.release(p)
+	return s, err
 }
 
 // NewSession returns a session bound to one pooled connection, announced
@@ -237,6 +245,11 @@ type Session struct {
 	cn     *conn
 	vs     int
 	closed bool
+	// enc is the session's reusable request-encode scratch. A session is
+	// single-goroutine and a round trip returns only after its frame is
+	// written, so reuse across requests is safe and the steady-state
+	// request path allocates nothing.
+	enc []byte
 }
 
 func (s *Session) Get(key uint64, dst []byte) (bool, error) {
@@ -251,7 +264,8 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, err
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
-	p, err := s.cn.roundTripCtx(ctx, wire.OpGet, wire.EncodeGet(s.m.handle, key, waitMsFrom(ctx)))
+	s.enc = wire.AppendGet(s.enc[:0], s.m.handle, key, waitMsFrom(ctx))
+	p, err := s.cn.roundTripCtx(ctx, wire.OpGet, s.enc)
 	if err != nil {
 		// Near the deadline the server's "gave up" error and our own
 		// timer race; the caller asked for ctx semantics either way.
@@ -260,7 +274,9 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, err
 		}
 		return false, err
 	}
-	return wire.DecodeGetResp(p, dst)
+	found, err := wire.DecodeGetResp(p, dst)
+	s.cn.release(p)
+	return found, err
 }
 
 // waitMsFrom converts ctx's remaining budget to the wire's wait field
@@ -292,11 +308,14 @@ func (s *Session) PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, er
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
-	p, err := s.cn.roundTripCtx(ctx, wire.OpPeek, wire.EncodeKey(s.m.handle, key))
+	s.enc = wire.AppendKey(s.enc[:0], s.m.handle, key)
+	p, err := s.cn.roundTripCtx(ctx, wire.OpPeek, s.enc)
 	if err != nil {
 		return false, err
 	}
-	return wire.DecodeGetResp(p, dst)
+	found, err := wire.DecodeGetResp(p, dst)
+	s.cn.release(p)
+	return found, err
 }
 
 func (s *Session) Put(key uint64, val []byte) error {
@@ -308,7 +327,9 @@ func (s *Session) PutCtx(ctx context.Context, key uint64, val []byte) error {
 	if len(val) != s.vs {
 		return fmt.Errorf("client: val length %d != value size %d", len(val), s.vs)
 	}
-	_, err := s.cn.roundTripCtx(ctx, wire.OpPut, wire.EncodePut(s.m.handle, key, val))
+	s.enc = wire.AppendPut(s.enc[:0], s.m.handle, key, val)
+	p, err := s.cn.roundTripCtx(ctx, wire.OpPut, s.enc)
+	s.cn.release(p)
 	return err
 }
 
@@ -318,7 +339,9 @@ func (s *Session) Delete(key uint64) error {
 
 // DeleteCtx is Delete bounded by ctx.
 func (s *Session) DeleteCtx(ctx context.Context, key uint64) error {
-	_, err := s.cn.roundTripCtx(ctx, wire.OpDelete, wire.EncodeKey(s.m.handle, key))
+	s.enc = wire.AppendKey(s.enc[:0], s.m.handle, key)
+	p, err := s.cn.roundTripCtx(ctx, wire.OpDelete, s.enc)
+	s.cn.release(p)
 	return err
 }
 
@@ -344,11 +367,13 @@ func (s *Session) LookaheadCtx(ctx context.Context, keys []uint64) (int, error) 
 			chunk = chunk[:s.m.c.opts.MaxKeysPerFrame]
 		}
 		keys = keys[len(chunk):]
-		p, err := s.cn.roundTripCtx(ctx, wire.OpLookahead, wire.EncodeKeys(s.m.handle, chunk))
+		s.enc = wire.AppendKeys(s.enc[:0], s.m.handle, chunk)
+		p, err := s.cn.roundTripCtx(ctx, wire.OpLookahead, s.enc)
 		if err != nil {
 			return total, err
 		}
 		n, err := wire.DecodeUint32(p)
+		s.cn.release(p)
 		if err != nil {
 			return total, err
 		}
@@ -374,14 +399,17 @@ func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, f
 		if n > s.m.c.opts.MaxKeysPerFrame {
 			n = s.m.c.opts.MaxKeysPerFrame
 		}
-		p, err := s.cn.roundTripCtx(ctx, wire.OpGetBatch, wire.EncodeGetBatch(s.m.handle, waitMsFrom(ctx), keys[:n]))
+		s.enc = wire.AppendGetBatch(s.enc[:0], s.m.handle, waitMsFrom(ctx), keys[:n])
+		p, err := s.cn.roundTripCtx(ctx, wire.OpGetBatch, s.enc)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
 			return err
 		}
-		if err := wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs]); err != nil {
+		err = wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs])
+		s.cn.release(p)
+		if err != nil {
 			return err
 		}
 		keys, found, vals = keys[n:], found[n:], vals[n*vs:]
@@ -402,7 +430,10 @@ func (s *Session) PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) e
 		if n > s.m.c.opts.MaxKeysPerFrame {
 			n = s.m.c.opts.MaxKeysPerFrame
 		}
-		if _, err := s.cn.roundTripCtx(ctx, wire.OpPutBatch, wire.EncodePutBatch(s.m.handle, keys[:n], vals[:n*vs])); err != nil {
+		s.enc = wire.AppendPutBatch(s.enc[:0], s.m.handle, keys[:n], vals[:n*vs])
+		p, err := s.cn.roundTripCtx(ctx, wire.OpPutBatch, s.enc)
+		s.cn.release(p)
+		if err != nil {
 			return err
 		}
 		keys, vals = keys[n:], vals[n*vs:]
@@ -419,13 +450,15 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
-	s.cn.roundTrip(wire.OpDetach, wire.EncodeHandle(s.m.handle))
+	p, _ := s.cn.roundTrip(wire.OpDetach, wire.EncodeHandle(s.m.handle))
+	s.cn.release(p)
 }
 
 // conn is one pooled connection with a demultiplexing reader goroutine.
 type conn struct {
 	c  net.Conn
 	bw *bufio.Writer
+	fw *wire.FrameWriter // over bw; guarded by wmu
 
 	wmu sync.Mutex // serializes frame writes across sessions
 
@@ -436,6 +469,34 @@ type conn struct {
 
 	nextID atomic.Uint32
 	done   chan struct{}
+
+	// bufs recycles response payload buffers: the read loop copies each
+	// frame's payload out of its reusable frame buffer into a pooled one,
+	// and the round-trip caller releases it back after parsing. Callers
+	// that abandon a round trip simply leak their buffer to the GC.
+	bufs sync.Pool
+}
+
+// getBuf returns a pooled buffer of length n (allocating if the pooled
+// one is too small).
+func (cn *conn) getBuf(n int) []byte {
+	if v := cn.bufs.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// release returns a round trip's payload to the pool. Safe on nil and
+// zero-capacity slices.
+func (cn *conn) release(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	cn.bufs.Put(&b)
 }
 
 type response struct {
@@ -457,6 +518,7 @@ func dialConn(addr string, opts Options) (*conn, error) {
 		pending: make(map[uint32]chan response),
 		done:    make(chan struct{}),
 	}
+	cn.fw = wire.NewFrameWriter(cn.bw)
 	go cn.readLoop(opts.MaxFrame)
 	return cn, nil
 }
@@ -468,9 +530,13 @@ const connBufSize = 64 << 10
 func (cn *conn) readLoop(maxFrame uint32) {
 	br := bufio.NewReaderSize(cn.c, connBufSize)
 	var err error
+	// One reusable frame buffer for the loop; each payload is copied into
+	// a pooled buffer before handoff, so neither side of the exchange
+	// allocates in steady state.
+	var frameBuf []byte
 	for {
 		var f wire.Frame
-		f, err = wire.ReadFrame(br, maxFrame)
+		f, frameBuf, err = wire.ReadFrameBuf(br, maxFrame, frameBuf)
 		if err != nil {
 			break
 		}
@@ -479,9 +545,14 @@ func (cn *conn) readLoop(maxFrame uint32) {
 		delete(cn.pending, f.CorrID)
 		cn.pmu.Unlock()
 		if ok {
+			var p []byte
+			if len(f.Payload) > 0 {
+				p = cn.getBuf(len(f.Payload))
+				copy(p, f.Payload)
+			}
 			// Buffered (cap 1): a caller that gave up on ctx is not
 			// reading, and the response must not stall the loop.
-			ch <- response{op: f.Op, payload: f.Payload}
+			ch <- response{op: f.Op, payload: p}
 		}
 	}
 	cn.pmu.Lock()
@@ -506,6 +577,9 @@ func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 // roundTripCtx is roundTrip bounded by ctx: if ctx ends first the caller
 // gets ctx.Err() and the eventual response is dropped by the read loop.
 // The request itself is not retracted — the server will still process it.
+//
+// A non-empty success payload is a pooled buffer: the caller must hand it
+// back with cn.release once parsed (forgetting to merely costs the reuse).
 func (cn *conn) roundTripCtx(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -525,7 +599,7 @@ func (cn *conn) roundTripCtx(ctx context.Context, op wire.Op, payload []byte) ([
 	cn.pmu.Unlock()
 
 	cn.wmu.Lock()
-	err := wire.WriteFrame(cn.bw, id, op, payload)
+	err := cn.fw.Write(id, op, payload)
 	if err == nil {
 		err = cn.bw.Flush()
 	}
@@ -556,8 +630,11 @@ func (cn *conn) roundTripCtx(ctx context.Context, op wire.Op, payload []byte) ([
 	case wire.RespOK:
 		return r.payload, nil
 	case wire.RespErr:
-		return nil, respError(string(r.payload))
+		err := respError(string(r.payload))
+		cn.release(r.payload)
+		return nil, err
 	}
+	cn.release(r.payload)
 	return nil, fmt.Errorf("client: unexpected response opcode %s", r.op)
 }
 

@@ -1,41 +1,29 @@
 package core
 
 import (
-	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/hotcache"
 )
 
-// Cache is an application-side embedding cache — the other Lookahead
-// destination in Figure 5(b). Frameworks with their own caching policies
-// (e.g. PERSIA's LRU, BETA's partition buffer) prefetch into it and consult
-// it before calling Get, trading staleness-tracking for zero storage calls.
-//
-// It is a sharded LRU keyed by embedding ID.
+// Cache is the application-side embedding hot tier — the other Lookahead
+// destination in Figure 5(b), and since the hot-tier wiring the cache the
+// production read path consults before touching the store. It is a
+// staleness-aware sharded LRU keyed by embedding ID: every entry records
+// the table's write clock at fill time, and Get serves a hit only when
+// the entry is admissible under the caller's staleness bound (always
+// under ASP, never under BSP, within `bound` table writes under SSP — see
+// hotcache.Admissible). Frameworks with their own caching policies (e.g.
+// PERSIA's LRU, BETA's partition buffer) prefetch into it via
+// Lookahead(DestAppCache) and a background fill worker.
 type Cache struct {
-	shards []cacheShard
-	mask   uint64
-	dim    int
-
-	hits   atomic.Int64
-	misses atomic.Int64
+	hc  *hotcache.Cache[float32]
+	dim int
 
 	fillCh   chan fillReq
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
-}
-
-type cacheShard struct {
-	mu    sync.Mutex
-	cap   int
-	items map[uint64]*list.Element
-	order *list.List
-}
-
-type cacheEntry struct {
-	key uint64
-	val []float32
 }
 
 type fillReq struct {
@@ -47,21 +35,12 @@ type fillReq struct {
 // spread over 16 shards, with a background fill worker serving
 // Lookahead(DestAppCache) requests.
 func NewCache(capacity, dim int) *Cache {
-	const nShards = 16
-	perShard := capacity / nShards
-	if perShard < 1 {
-		perShard = 1
-	}
 	c := &Cache{
-		shards: make([]cacheShard, nShards),
-		mask:   nShards - 1,
+		hc:     hotcache.New[float32](capacity, dim),
 		dim:    dim,
 		fillCh: make(chan fillReq, 1024),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
-	}
-	for i := range c.shards {
-		c.shards[i] = cacheShard{cap: perShard, items: make(map[uint64]*list.Element), order: list.New()}
 	}
 	go c.fillLoop()
 	return c
@@ -75,68 +54,32 @@ func (c *Cache) Close() {
 	})
 }
 
-// Get returns the cached embedding, copying into dst.
-func (c *Cache) Get(key uint64, dst []float32) bool {
-	sh := &c.shards[key&c.mask]
-	sh.mu.Lock()
-	el, ok := sh.items[key]
-	if !ok {
-		sh.mu.Unlock()
-		c.misses.Add(1)
-		return false
-	}
-	sh.order.MoveToFront(el)
-	copy(dst, el.Value.(*cacheEntry).val)
-	sh.mu.Unlock()
-	c.hits.Add(1)
-	return true
+// Get copies the cached embedding into dst if the entry is admissible
+// under bound given the table's current write clock now: its fill stamp
+// may trail now by at most the bound (hotcache.Admissible). A dst whose
+// length differs from the cache dimension never hits.
+func (c *Cache) Get(key uint64, dst []float32, now, bound int64) bool {
+	return c.hc.Get(key, dst, now, bound)
 }
 
-// Put inserts or refreshes an embedding.
-func (c *Cache) Put(key uint64, val []float32) {
-	sh := &c.shards[key&c.mask]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.items[key]; ok {
-		copy(el.Value.(*cacheEntry).val, val)
-		sh.order.MoveToFront(el)
-		return
-	}
-	e := &cacheEntry{key: key, val: append([]float32(nil), val...)}
-	sh.items[key] = sh.order.PushFront(e)
-	for sh.order.Len() > sh.cap {
-		tail := sh.order.Back()
-		sh.order.Remove(tail)
-		delete(sh.items, tail.Value.(*cacheEntry).key)
-	}
+// Put inserts or refreshes an embedding, stamped with the write-clock
+// value clock. A refresh carrying an older stamp than the resident entry
+// is dropped (a stale read-side fill must not regress a fresher
+// write-through). Values whose length differs from the cache dimension
+// are ignored.
+func (c *Cache) Put(key uint64, val []float32, clock int64) {
+	c.hc.Put(key, val, clock)
 }
 
-// Invalidate drops a key (call after updating its embedding in the store).
-func (c *Cache) Invalidate(key uint64) {
-	sh := &c.shards[key&c.mask]
-	sh.mu.Lock()
-	if el, ok := sh.items[key]; ok {
-		sh.order.Remove(el)
-		delete(sh.items, key)
-	}
-	sh.mu.Unlock()
-}
+// Invalidate drops a key (call after updating its embedding in the store
+// without the new value at hand: RMW, Delete).
+func (c *Cache) Invalidate(key uint64) { c.hc.Invalidate(key) }
 
-// Stats reports hit/miss counters.
-func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
-}
+// Stats reports hit/miss/eviction counters.
+func (c *Cache) Stats() hotcache.Stats { return c.hc.Stats() }
 
 // Len returns the number of cached embeddings.
-func (c *Cache) Len() int {
-	n := 0
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-		n += c.shards[i].order.Len()
-		c.shards[i].mu.Unlock()
-	}
-	return n
-}
+func (c *Cache) Len() int { return c.hc.Len() }
 
 // requestFill enqueues an asynchronous cache fill (Lookahead/DestAppCache).
 func (c *Cache) requestFill(t *Table, keys []uint64) {
@@ -174,9 +117,13 @@ func (c *Cache) fillLoop() {
 				sessTable = req.t
 			}
 			for _, k := range req.keys {
-				// Peek: cache fills must not perturb the vector clock.
+				// Stamp with the clock read before the Peek: any write that
+				// lands during the read only widens the entry's apparent
+				// gap, so admissibility stays conservative. Peek: cache
+				// fills must not perturb the vector clock.
+				clock := req.t.WriteClock()
 				if found, err := sess.Peek(k, dst); err == nil && found {
-					c.Put(k, dst)
+					c.Put(k, dst, clock)
 				}
 			}
 		}

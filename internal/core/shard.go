@@ -60,9 +60,10 @@ func (t *Table) StoreStats() faster.StatsSnapshot {
 // serially: goroutine spawn costs more than a handful of routed operations.
 const batchFanoutMin = 16
 
-// groupByShard buckets the indices of keys by owning shard into the
-// session's reusable group buffers.
-func (s *Session) groupByShard(keys []uint64) [][]int {
+// groupByShard buckets indices of keys by owning shard into the session's
+// reusable group buffers. idxs selects a subset of key positions (the
+// hot-tier miss set); nil means every key.
+func (s *Session) groupByShard(keys []uint64, idxs []int) [][]int {
 	n := len(s.t.stores)
 	if s.groups == nil {
 		s.groups = make([][]int, n)
@@ -70,8 +71,15 @@ func (s *Session) groupByShard(keys []uint64) [][]int {
 	for i := range s.groups {
 		s.groups[i] = s.groups[i][:0]
 	}
-	for i, k := range keys {
-		sh := util.ShardOf(k, n)
+	if idxs == nil {
+		for i, k := range keys {
+			sh := util.ShardOf(k, n)
+			s.groups[sh] = append(s.groups[sh], i)
+		}
+		return s.groups
+	}
+	for _, i := range idxs {
+		sh := util.ShardOf(keys[i], n)
 		s.groups[sh] = append(s.groups[sh], i)
 	}
 	return s.groups
@@ -85,8 +93,12 @@ func (s *Session) groupByShard(keys []uint64) [][]int {
 // contract per shard.
 func (s *Session) fanOut(groups [][]int, op func(shard int, idxs []int) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, len(groups))
+	if s.errs == nil {
+		s.errs = make([]error, len(groups))
+	}
+	errs := s.errs
 	for sh, idxs := range groups {
+		errs[sh] = nil
 		if len(idxs) == 0 {
 			continue
 		}

@@ -76,6 +76,12 @@ type Options struct {
 	PrefetchWorkers int
 	// PrefetchQueue is the Lookahead queue capacity. Default 4096.
 	PrefetchQueue int
+	// CacheEntries attaches a staleness-aware hot tier (a table-owned
+	// Cache) of this capacity in front of the read path: Get/GetBatch
+	// consult it before the store and serve a hit only within the staleness
+	// bound, reads fill it, Put/PutBatch update it in place, and RMW/Delete
+	// invalidate. 0 (the default) disables it.
+	CacheEntries int
 	// Init initializes first-touch embeddings. Default: zeros.
 	Init Initializer
 	// RecordsPerPage overrides the log page granularity (power of two).
@@ -91,6 +97,14 @@ type Table struct {
 	dim    int
 	vs     int
 	init   Initializer
+	cache  *Cache // optional hot tier (Options.CacheEntries)
+
+	// writeClock counts key writes (Put, RMW, Delete, first-touch init)
+	// table-wide. Hot-tier entries are stamped with it at fill time; the
+	// gap between the current clock and an entry's stamp bounds from above
+	// how many versions stale the entry can be, which is what makes a
+	// cached read admissible under a finite staleness bound.
+	writeClock atomic.Int64
 
 	prefetchCh      chan uint64
 	prefetchStop    chan struct{}
@@ -197,9 +211,20 @@ func OpenTable(opts Options) (*Table, error) {
 		prefetchStop: make(chan struct{}),
 		prefetchDone: make(chan struct{}),
 	}
+	if opts.CacheEntries > 0 {
+		t.cache = NewCache(opts.CacheEntries, opts.Dim)
+	}
 	go t.prefetchPool(opts.PrefetchWorkers)
 	return t, nil
 }
+
+// Cache returns the table-owned hot tier, nil unless Options.CacheEntries
+// was set.
+func (t *Table) Cache() *Cache { return t.cache }
+
+// WriteClock returns the table-wide write counter hot-tier entries are
+// stamped with.
+func (t *Table) WriteClock() int64 { return t.writeClock.Load() }
 
 // Dim returns the embedding dimension.
 func (t *Table) Dim() int { return t.dim }
@@ -247,6 +272,9 @@ func (t *Table) Checkpoint() error {
 func (t *Table) Close() error {
 	close(t.prefetchStop)
 	<-t.prefetchDone
+	if t.cache != nil {
+		t.cache.Close()
+	}
 	var first error
 	for _, st := range t.stores {
 		if err := st.Close(); err != nil && first == nil {
@@ -275,17 +303,28 @@ type TableStats struct {
 	LookaheadCalls int64
 	// PrefetchDropped counts Lookahead keys dropped on a full queue.
 	PrefetchDropped int64
+	// CacheHits / CacheMisses / CacheEvictions are the hot tier's counters
+	// (zero without Options.CacheEntries). A miss includes entries present
+	// but inadmissible under the staleness bound.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // TableStats returns the full table-level counter snapshot.
 func (t *Table) TableStats() TableStats {
-	return TableStats{
+	ts := TableStats{
 		StatsSnapshot:   t.StoreStats(),
 		BatchGets:       t.batchGets.Load(),
 		BatchPuts:       t.batchPuts.Load(),
 		LookaheadCalls:  t.lookaheadCalls.Load(),
 		PrefetchDropped: t.prefetchDropped.Load(),
 	}
+	if t.cache != nil {
+		cs := t.cache.Stats()
+		ts.CacheHits, ts.CacheMisses, ts.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+	return ts
 }
 
 // prefetchPool runs the Lookahead workers. Each worker holds a session on
@@ -335,11 +374,13 @@ func (t *Table) prefetchPool(workers int) {
 // drives its shards from parallel goroutines, but each shard's session and
 // scratch are touched by exactly one of them.)
 type Session struct {
-	t      *Table
-	ss     []*faster.Session // one per shard, in shard order
-	bufs   [][]byte          // per-shard scratch, t.vs bytes each
-	groups [][]int           // reusable per-shard index groups for batches
-	closed bool
+	t       *Table
+	ss      []*faster.Session // one per shard, in shard order
+	bufs    [][]byte          // per-shard scratch, t.vs bytes each
+	groups  [][]int           // reusable per-shard index groups for batches
+	errs    []error           // reusable per-shard fan-out results
+	missIdx []int             // reusable hot-tier miss indices for batches
+	closed  bool
 }
 
 // NewSession registers a session on every shard.
@@ -392,11 +433,32 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []float32) error {
 	if len(dst) != s.t.dim {
 		return fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
 	}
-	return s.getOn(ctx, s.t.shardOf(key), key, dst)
+	c := s.t.cache
+	bound := int64(BoundBSP)
+	if c != nil {
+		bound = s.t.stores[0].StalenessBound()
+	}
+	// Under BSP every read must synchronize through the store, so the tier
+	// is neither consulted nor filled; writes still keep it coherent.
+	if c == nil || bound == BoundBSP {
+		return s.getOn(ctx, s.t.shardOf(key), key, dst)
+	}
+	now := s.t.writeClock.Load()
+	if c.Get(key, dst, now, bound) {
+		return nil
+	}
+	if err := s.getOn(ctx, s.t.shardOf(key), key, dst); err != nil {
+		return err
+	}
+	// Fill with the pre-read stamp: writes racing the read only widen the
+	// entry's apparent gap, keeping admissibility conservative.
+	c.Put(key, dst, now)
+	return nil
 }
 
 // getOn runs the clocked read against one shard, using that shard's
-// session and scratch.
+// session and scratch. It goes straight to the store; hot-tier consult
+// and fill belong to the callers (GetCtx, GetBatchCtx).
 func (s *Session) getOn(ctx context.Context, sh int, key uint64, dst []float32) error {
 	fs, buf := s.ss[sh], s.bufs[sh]
 	for {
@@ -418,6 +480,7 @@ func (s *Session) getOn(ctx context.Context, sh int, key uint64, dst []float32) 
 
 // initKey writes the initial embedding if key is still absent.
 func (s *Session) initKey(fs *faster.Session, key uint64) error {
+	s.t.writeClock.Add(1)
 	return fs.RMW(key, func(cur []byte, exists bool) {
 		if exists || s.t.init == nil {
 			return
@@ -452,18 +515,61 @@ func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, dst []float32)
 	}
 	s.t.batchGets.Add(1)
 	dim := s.t.dim
-	if len(s.t.stores) == 1 || len(keys) < batchFanoutMin ||
-		faster.BlockingBound(s.t.stores[0].StalenessBound()) {
+	bound := s.t.stores[0].StalenessBound()
+
+	// Hot-tier sweep: admissible keys fill straight from the cache and
+	// only the misses go to the store. The miss subset preserves the
+	// caller's key order, so the deadlock-freedom argument for blocking
+	// bounds (unique ascending keys ⇒ acyclic wait graph) is unaffected.
+	c := s.t.cache
+	var miss []int // indices still to read; nil = all
+	var stamp int64
+	if c != nil && bound != BoundBSP {
+		stamp = s.t.writeClock.Load()
+		s.missIdx = s.missIdx[:0]
 		for i, k := range keys {
-			if err := s.getOn(ctx, s.t.shardOf(k), k, dst[i*dim:(i+1)*dim]); err != nil {
+			if !c.Get(k, dst[i*dim:(i+1)*dim], stamp, bound) {
+				s.missIdx = append(s.missIdx, i)
+			}
+		}
+		if len(s.missIdx) == 0 {
+			return nil
+		}
+		miss = s.missIdx
+	}
+	readOne := func(sh, i int) error {
+		seg := dst[i*dim : (i+1)*dim]
+		if err := s.getOn(ctx, sh, keys[i], seg); err != nil {
+			return err
+		}
+		if c != nil && bound != BoundBSP {
+			c.Put(keys[i], seg, stamp)
+		}
+		return nil
+	}
+	n := len(keys)
+	if miss != nil {
+		n = len(miss)
+	}
+	if len(s.t.stores) == 1 || n < batchFanoutMin || faster.BlockingBound(bound) {
+		if miss == nil {
+			for i, k := range keys {
+				if err := readOne(s.t.shardOf(k), i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, i := range miss {
+			if err := readOne(s.t.shardOf(keys[i]), i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return s.fanOut(s.groupByShard(keys), func(sh int, idxs []int) error {
+	return s.fanOut(s.groupByShard(keys, miss), func(sh int, idxs []int) error {
 		for _, i := range idxs {
-			if err := s.getOn(ctx, sh, keys[i], dst[i*dim:(i+1)*dim]); err != nil {
+			if err := readOne(sh, i); err != nil {
 				return err
 			}
 		}
@@ -494,10 +600,19 @@ func (s *Session) Put(key uint64, val []float32) error {
 }
 
 // putOn runs the upsert against one shard, using that shard's session and
-// scratch.
+// scratch, then advances the write clock and writes the hot tier through:
+// the entry it leaves is the value just written, stamped with the write's
+// own clock tick, so the tier never lags a Put.
 func (s *Session) putOn(sh int, key uint64, val []float32) error {
 	tensor.F32sToBytes(val, s.bufs[sh])
-	return s.ss[sh].Put(key, s.bufs[sh])
+	if err := s.ss[sh].Put(key, s.bufs[sh]); err != nil {
+		return err
+	}
+	clock := s.t.writeClock.Add(1)
+	if c := s.t.cache; c != nil {
+		c.Put(key, val, clock)
+	}
+	return nil
 }
 
 // PutBatch upserts len(keys) embeddings from vals (len == len(keys)*Dim),
@@ -516,7 +631,7 @@ func (s *Session) PutBatch(keys []uint64, vals []float32) error {
 		}
 		return nil
 	}
-	return s.fanOut(s.groupByShard(keys), func(sh int, idxs []int) error {
+	return s.fanOut(s.groupByShard(keys, nil), func(sh int, idxs []int) error {
 		for _, i := range idxs {
 			if err := s.putOn(sh, keys[i], vals[i*dim:(i+1)*dim]); err != nil {
 				return err
@@ -532,18 +647,34 @@ func (s *Session) ApplyGradient(key uint64, grad []float32, lr float32) error {
 	if len(grad) != s.t.dim {
 		return fmt.Errorf("core: grad length %d != dim %d", len(grad), s.t.dim)
 	}
-	return s.ss[s.t.shardOf(key)].RMW(key, func(cur []byte, exists bool) {
+	err := s.ss[s.t.shardOf(key)].RMW(key, func(cur []byte, exists bool) {
 		for i := 0; i < s.t.dim; i++ {
 			v := math.Float32frombits(binary.LittleEndian.Uint32(cur[i*4:]))
 			v -= lr * grad[i]
 			binary.LittleEndian.PutUint32(cur[i*4:], math.Float32bits(v))
 		}
 	})
+	if err != nil {
+		return err
+	}
+	// The new value materialized inside storage; drop the tier's copy.
+	s.t.writeClock.Add(1)
+	if c := s.t.cache; c != nil {
+		c.Invalidate(key)
+	}
+	return nil
 }
 
 // Delete removes key's embedding.
 func (s *Session) Delete(key uint64) error {
-	return s.ss[s.t.shardOf(key)].Delete(key)
+	if err := s.ss[s.t.shardOf(key)].Delete(key); err != nil {
+		return err
+	}
+	s.t.writeClock.Add(1)
+	if c := s.t.cache; c != nil {
+		c.Invalidate(key)
+	}
+	return nil
 }
 
 // LookaheadDest selects where Lookahead materializes embeddings (Fig. 5b).
@@ -575,6 +706,9 @@ func (s *Session) Lookahead(keys []uint64, dest LookaheadDest, cache *Cache) err
 		}
 		return nil
 	case DestAppCache:
+		if cache == nil {
+			cache = s.t.cache // default to the table-owned hot tier
+		}
 		if cache == nil {
 			return errors.New("core: DestAppCache requires a cache")
 		}

@@ -221,7 +221,7 @@ func TestLookaheadAppCache(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	got := make([]float32, 8)
-	if !cache.Get(5, got) {
+	if !cache.Get(5, got, tbl.WriteClock(), BoundASP) {
 		t.Fatal("key 5 not in app cache after Lookahead")
 	}
 	if got[0] != 5 {
@@ -236,14 +236,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(16, 2) // 16 slots over 16 shards => 1 per shard
 	defer c.Close()
 	for k := uint64(0); k < 64; k++ {
-		c.Put(k, []float32{float32(k), 0})
+		c.Put(k, []float32{float32(k), 0}, 0)
 	}
 	if c.Len() > 16 {
 		t.Fatalf("cache exceeded capacity: %d", c.Len())
 	}
 	// Most recent key per shard must be resident.
 	got := make([]float32, 2)
-	if !c.Get(63, got) {
+	if !c.Get(63, got, 0, BoundASP) {
 		t.Fatal("most recent key evicted")
 	}
 }
@@ -251,9 +251,9 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheInvalidate(t *testing.T) {
 	c := NewCache(32, 2)
 	defer c.Close()
-	c.Put(1, []float32{1, 2})
+	c.Put(1, []float32{1, 2}, 0)
 	c.Invalidate(1)
-	if c.Get(1, make([]float32, 2)) {
+	if c.Get(1, make([]float32, 2), 0, BoundASP) {
 		t.Fatal("invalidated key still cached")
 	}
 }

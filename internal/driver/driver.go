@@ -54,6 +54,10 @@ type Config struct {
 	MemoryBytes     int64
 	ExpectedKeys    uint64
 	PrefetchWorkers int
+	// CacheEntries attaches a staleness-aware hot tier of this capacity in
+	// front of the model's read path: above the local engine, or
+	// client-side for a remote model. 0 disables it.
+	CacheEntries int
 	// Init produces first-touch embeddings. The local engine runs it
 	// inside storage; the remote driver runs it client-side on a miss and
 	// writes the result back, so a given key initializes identically on
@@ -71,6 +75,9 @@ type Stats struct {
 	FlushedPages, BytesFlushed      int64
 	BatchGets, BatchPuts            int64
 	LookaheadCalls                  int64
+	// Hot-tier counters (WithCache). For a remote model they merge the
+	// client-side tier with the server's shared per-model tier.
+	CacheHits, CacheMisses, CacheEvictions int64
 }
 
 // DB is one target: a local data directory or a remote server.

@@ -55,6 +55,7 @@ func (db *localDB) Open(ctx context.Context, id string, cfg Config) (Model, erro
 		MemoryBytes:     cfg.MemoryBytes,
 		ExpectedKeys:    cfg.ExpectedKeys,
 		PrefetchWorkers: cfg.PrefetchWorkers,
+		CacheEntries:    cfg.CacheEntries,
 		Init:            cfg.Init,
 	})
 	if err != nil {
@@ -150,6 +151,8 @@ func (m *localModel) Stats(ctx context.Context) (Stats, error) {
 		FlushedPages: ts.FlushedPages, BytesFlushed: ts.BytesFlushed,
 		BatchGets: ts.BatchGets, BatchPuts: ts.BatchPuts,
 		LookaheadCalls: ts.LookaheadCalls,
+		CacheHits:      ts.CacheHits, CacheMisses: ts.CacheMisses,
+		CacheEvictions: ts.CacheEvictions,
 	}, nil
 }
 

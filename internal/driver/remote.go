@@ -8,6 +8,7 @@ import (
 
 	"github.com/llm-db/mlkv-go/internal/client"
 	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/hotcache"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/tensor"
 	"github.com/llm-db/mlkv-go/internal/wire"
@@ -47,14 +48,19 @@ func (db *remoteDB) Open(ctx context.Context, id string, cfg Config) (Model, err
 	if err != nil {
 		return nil, err
 	}
-	return &remoteModel{
+	m := &remoteModel{
 		db:       db,
 		m:        cm,
 		init:     cfg.Init,
 		lookCh:   make(chan []uint64, 1024),
 		lookStop: make(chan struct{}),
 		lookDone: make(chan struct{}),
-	}, nil
+	}
+	m.bound.Store(cm.StalenessBound())
+	if cfg.CacheEntries > 0 {
+		m.cache = hotcache.New[float32](cfg.CacheEntries, cfg.Dim)
+	}
+	return m, nil
 }
 
 // Close tears down the connection pool; models and sessions opened from
@@ -71,6 +77,20 @@ type remoteModel struct {
 	m    *client.Model
 	init core.Initializer
 
+	// cache is the client-side hot tier (Config.CacheEntries), shared by
+	// every session of this model handle. clock counts this process's
+	// writes to the model — the stamp source for tier entries — and bound
+	// tracks the staleness bound in effect (updated by SetStalenessBound,
+	// which the wire otherwise reports only at open time). The tier's gap
+	// check therefore bounds staleness relative to this process's writes;
+	// other clients' writes are invisible to it, exactly as they are to a
+	// PERSIA-style application-side cache. Workloads where foreign writes
+	// must bound cached reads belong on the server-side tier (-cache),
+	// whose clock sees every client.
+	cache *hotcache.Cache[float32]
+	clock atomic.Int64
+	bound atomic.Int64
+
 	// lookMu orders worker start against Close, so a hint racing a Close
 	// can never start a worker Close no longer sees.
 	lookMu      sync.Mutex
@@ -86,14 +106,19 @@ func (m *remoteModel) ID() string            { return m.m.ID() }
 func (m *remoteModel) Dim() int              { return m.m.Dim() }
 func (m *remoteModel) Shards() int           { return m.m.Shards() }
 func (m *remoteModel) EngineName() string    { return m.m.Name() }
-func (m *remoteModel) StalenessBound() int64 { return m.m.StalenessBound() }
+func (m *remoteModel) StalenessBound() int64 { return m.bound.Load() }
 
 // SetStalenessBound re-opens the model with an explicit bound — the wire
-// protocol's way to adjust an existing model's consistency.
+// protocol's way to adjust an existing model's consistency. The local
+// bound mirror (which the hot tier's admissibility checks read) updates
+// only on success.
 func (m *remoteModel) SetStalenessBound(ctx context.Context, b int64) error {
 	_, err := m.db.c.OpenModel(ctx, client.OpenSpec{
 		ID: m.m.ID(), Dim: m.m.Dim(), Bound: b,
 	})
+	if err == nil {
+		m.bound.Store(b)
+	}
 	return err
 }
 
@@ -104,6 +129,12 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	// The hot-tier view merges the server's shared per-model tier with
+	// this handle's client-side tier: both sit in front of the same store.
+	cache := hotcache.Stats{Hits: ms.CacheHits, Misses: ms.CacheMisses, Evictions: ms.CacheEvictions}
+	if m.cache != nil {
+		cache = cache.Add(m.cache.Stats())
+	}
 	return Stats{
 		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
 		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
@@ -113,6 +144,8 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 		FlushedPages: ms.FlushedPages, BytesFlushed: ms.BytesFlushed,
 		BatchGets: ms.BatchGets, BatchPuts: ms.BatchPuts,
 		LookaheadCalls: ms.LookaheadFrames,
+		CacheHits:      cache.Hits, CacheMisses: cache.Misses,
+		CacheEvictions: cache.Evictions,
 	}, nil
 }
 
@@ -212,6 +245,12 @@ type remoteSession struct {
 	found    []bool
 	missKeys []uint64
 	missVals []byte
+	// Hot-tier scratch: positions the tier missed and their compacted
+	// keys (what actually goes on the wire).
+	cacheMiss []int
+	fetchKeys []uint64
+	// rmw is the read-modify-write staging value.
+	rmw []float32
 }
 
 func (s *remoteSession) initInto(key uint64, dst []float32) {
@@ -222,9 +261,31 @@ func (s *remoteSession) initInto(key uint64, dst []float32) {
 	clear(dst)
 }
 
+// tier returns the model's hot tier when it may be consulted: present and
+// not under BSP, where every read must synchronize through the store.
+func (s *remoteSession) tier() (*hotcache.Cache[float32], int64, bool) {
+	c := s.m.cache
+	if c == nil {
+		return nil, 0, false
+	}
+	bound := s.m.bound.Load()
+	if bound == 0 {
+		return nil, 0, false
+	}
+	return c, bound, true
+}
+
 func (s *remoteSession) Get(ctx context.Context, key uint64, dst []float32) error {
 	if len(dst) != s.m.Dim() {
 		return fmt.Errorf("driver: dst length %d != dim %d", len(dst), s.m.Dim())
+	}
+	c, bound, on := s.tier()
+	var stamp int64
+	if on {
+		stamp = s.m.clock.Load()
+		if c.Get(key, dst, stamp, bound) {
+			return nil
+		}
 	}
 	found, err := s.s.GetCtx(ctx, key, s.buf)
 	if err != nil {
@@ -237,44 +298,92 @@ func (s *remoteSession) Get(ctx context.Context, key uint64, dst []float32) erro
 		// a Put on a zero-staleness record is floored, not underflowed.
 		s.initInto(key, dst)
 		tensor.F32sToBytes(dst, s.buf)
-		return s.s.PutCtx(ctx, key, s.buf)
+		if err := s.s.PutCtx(ctx, key, s.buf); err != nil {
+			return err
+		}
+		if on {
+			c.Put(key, dst, s.m.clock.Add(1))
+		}
+		return nil
 	}
 	tensor.BytesToF32s(s.buf, dst)
+	if on {
+		// Pre-read stamp: concurrent writes only widen the apparent gap.
+		c.Put(key, dst, stamp)
+	}
 	return nil
 }
 
-// GetBatch issues one batched read, then initializes and writes back the
-// missing keys with one batched write — the first-touch protocol of the
-// scalar path, paid once per step instead of once per key.
+// GetBatch serves admissible keys from the hot tier, issues one batched
+// read for the rest, then initializes and writes back the missing keys
+// with one batched write — the first-touch protocol of the scalar path,
+// paid once per step instead of once per key.
 func (s *remoteSession) GetBatch(ctx context.Context, keys []uint64, dst []float32) error {
 	dim := s.m.Dim()
 	if len(dst) != len(keys)*dim {
 		return fmt.Errorf("driver: dst length %d != %d keys × dim %d", len(dst), len(keys), dim)
 	}
 	vs := dim * 4
-	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
-	s.found = growSlice(s.found, len(keys))
-	if err := s.s.GetBatchCtx(ctx, keys, s.bbuf, s.found); err != nil {
+	c, bound, on := s.tier()
+	fetch := keys
+	var idx []int // position of fetch[j] in keys; nil = identity
+	var stamp int64
+	if on {
+		stamp = s.m.clock.Load()
+		s.cacheMiss = s.cacheMiss[:0]
+		s.fetchKeys = s.fetchKeys[:0]
+		for i, k := range keys {
+			if c.Get(k, dst[i*dim:(i+1)*dim], stamp, bound) {
+				continue
+			}
+			s.cacheMiss = append(s.cacheMiss, i)
+			s.fetchKeys = append(s.fetchKeys, k)
+		}
+		if len(s.fetchKeys) == 0 {
+			return nil
+		}
+		fetch, idx = s.fetchKeys, s.cacheMiss
+	}
+	n := len(fetch)
+	s.bbuf = growSlice(s.bbuf, n*vs)
+	s.found = growSlice(s.found, n)
+	if err := s.s.GetBatchCtx(ctx, fetch, s.bbuf, s.found); err != nil {
 		return err
 	}
 	s.missKeys = s.missKeys[:0]
 	s.missVals = s.missVals[:0]
-	for i, ok := range s.found {
+	for j, ok := range s.found {
+		i := j
+		if idx != nil {
+			i = idx[j]
+		}
 		seg := dst[i*dim : (i+1)*dim]
 		if ok {
-			tensor.BytesToF32s(s.bbuf[i*vs:], seg)
-			continue
+			tensor.BytesToF32s(s.bbuf[j*vs:], seg)
+		} else {
+			// First touch. The tier fill below is safe even if the
+			// write-back fails: the initializer is deterministic in key, so
+			// any later read would materialize the same value.
+			s.initInto(fetch[j], seg)
+			s.missKeys = append(s.missKeys, fetch[j])
+			nv := len(s.missVals)
+			s.missVals = extendBytes(s.missVals, vs)
+			tensor.F32sToBytes(seg, s.missVals[nv:])
 		}
-		s.initInto(keys[i], seg)
-		s.missKeys = append(s.missKeys, keys[i])
-		n := len(s.missVals)
-		s.missVals = append(s.missVals, make([]byte, vs)...)
-		tensor.F32sToBytes(seg, s.missVals[n:])
+		if on {
+			c.Put(keys[i], seg, stamp)
+		}
 	}
 	if len(s.missKeys) == 0 {
 		return nil
 	}
-	return s.s.PutBatchCtx(ctx, s.missKeys, s.missVals)
+	if err := s.s.PutBatchCtx(ctx, s.missKeys, s.missVals); err != nil {
+		return err
+	}
+	if on {
+		s.m.clock.Add(int64(len(s.missKeys)))
+	}
+	return nil
 }
 
 func (s *remoteSession) Put(ctx context.Context, key uint64, val []float32) error {
@@ -282,7 +391,13 @@ func (s *remoteSession) Put(ctx context.Context, key uint64, val []float32) erro
 		return fmt.Errorf("driver: val length %d != dim %d", len(val), s.m.Dim())
 	}
 	tensor.F32sToBytes(val, s.buf)
-	return s.s.PutCtx(ctx, key, s.buf)
+	if err := s.s.PutCtx(ctx, key, s.buf); err != nil {
+		return err
+	}
+	if c := s.m.cache; c != nil {
+		c.Put(key, val, s.m.clock.Add(1))
+	}
+	return nil
 }
 
 func (s *remoteSession) PutBatch(ctx context.Context, keys []uint64, vals []float32) error {
@@ -293,18 +408,31 @@ func (s *remoteSession) PutBatch(ctx context.Context, keys []uint64, vals []floa
 	vs := dim * 4
 	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
 	tensor.F32sToBytes(vals, s.bbuf)
-	return s.s.PutBatchCtx(ctx, keys, s.bbuf[:len(keys)*vs])
+	if err := s.s.PutBatchCtx(ctx, keys, s.bbuf[:len(keys)*vs]); err != nil {
+		return err
+	}
+	if c := s.m.cache; c != nil {
+		clock := s.m.clock.Add(int64(len(keys)))
+		for i, k := range keys {
+			c.Put(k, vals[i*dim:(i+1)*dim], clock)
+		}
+	}
+	return nil
 }
 
 // RMW emulates the storage-side read-modify-write over the wire: a
 // clocked read (initializing on first touch), the gradient step applied
-// client-side, and the balancing write.
+// client-side, and the balancing write. With a hot tier the read may be
+// served from it — the step then applies to a value at most the staleness
+// bound behind, which is exactly the guarantee bounded-staleness training
+// grants — and the write refreshes the tier through Put.
 func (s *remoteSession) RMW(ctx context.Context, key uint64, grad []float32, lr float32) error {
 	dim := s.m.Dim()
 	if len(grad) != dim {
 		return fmt.Errorf("driver: grad length %d != dim %d", len(grad), dim)
 	}
-	cur := make([]float32, dim)
+	s.rmw = growSlice(s.rmw, dim)
+	cur := s.rmw
 	if err := s.Get(ctx, key, cur); err != nil {
 		return err
 	}
@@ -326,7 +454,14 @@ func (s *remoteSession) Peek(ctx context.Context, key uint64, dst []float32) (bo
 }
 
 func (s *remoteSession) Delete(ctx context.Context, key uint64) error {
-	return s.s.DeleteCtx(ctx, key)
+	if err := s.s.DeleteCtx(ctx, key); err != nil {
+		return err
+	}
+	if c := s.m.cache; c != nil {
+		s.m.clock.Add(1)
+		c.Invalidate(key)
+	}
+	return nil
 }
 
 func (s *remoteSession) Lookahead(keys []uint64) error {
@@ -345,6 +480,19 @@ func growSlice[T any](b []T, n int) []T {
 		return make([]T, n)
 	}
 	return b[:n]
+}
+
+// extendBytes grows b by n bytes in place, preserving its contents —
+// the reusable replacement for appending a fresh zero slab per missing
+// key: steady state extends within capacity and allocates nothing.
+func extendBytes(b []byte, n int) []byte {
+	want := len(b) + n
+	if cap(b) >= want {
+		return b[:want]
+	}
+	nb := make([]byte, want, 2*want)
+	copy(nb, b)
+	return nb
 }
 
 // DialKV opens the named model on a remote server as a byte-level

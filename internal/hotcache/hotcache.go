@@ -1,0 +1,240 @@
+// Package hotcache is the staleness-aware hot tier behind MLKV's
+// application-side embedding cache (Figure 5(b)) and the server's shared
+// per-model cache: a sharded LRU whose entries are stamped with the value
+// of a write clock at fill time. A read is served from the tier only when
+// the entry is provably within the caller's staleness bound — always
+// under ASP, never under BSP, and only while at most `bound` writes have
+// landed since the fill under a finite SSP bound — so the tier can sit in
+// front of a bounded-staleness store without weakening the guarantee the
+// bound spells out.
+//
+// The tier is generic over the element type so the same structure serves
+// float32 embeddings (core.Table, the remote driver) and raw value bytes
+// (the kv wrapper the server uses). Entries recycle in place once a shard
+// reaches capacity, so the steady-state hot path — hit, refresh, or
+// eviction-reusing fill — performs no allocation.
+package hotcache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// BoundAsync mirrors faster.BoundAsync: the ASP staleness bound
+// (INT64_MAX), under which a cached entry is always admissible.
+const BoundAsync = int64(math.MaxInt64)
+
+// nShards spreads lock contention; must be a power of two.
+const nShards = 16
+
+// Stats is a snapshot of the tier's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Add returns the element-wise sum (for merging client- and server-side
+// tiers into one view).
+func (a Stats) Add(b Stats) Stats {
+	return Stats{Hits: a.Hits + b.Hits, Misses: a.Misses + b.Misses, Evictions: a.Evictions + b.Evictions}
+}
+
+// Admissible reports whether an entry whose clock stamp trails the
+// current write clock by gap may be served under bound. The rule encodes
+// the consistency ladder: with the clock disabled (bound < 0) there is no
+// staleness contract and the tier behaves like any cache; BSP (bound 0)
+// requires every read to synchronize through the store, so nothing is
+// admissible; ASP admits everything; a finite SSP bound admits an entry
+// while no more than bound writes have landed since its fill — a
+// conservative table-wide over-count of the record's own staleness, so a
+// served value is never more than bound versions behind.
+func Admissible(bound, gap int64) bool {
+	switch {
+	case bound < 0:
+		return true
+	case bound == 0:
+		return false
+	case bound == BoundAsync:
+		return true
+	default:
+		return gap <= bound
+	}
+}
+
+// Cache is one staleness-aware hot tier over fixed-length []T values.
+// All methods are safe for concurrent use.
+type Cache[T any] struct {
+	shards [nShards]shard[T]
+	valLen int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// entry is one cached value on a shard's intrusive LRU list. Evicted
+// entries are reused for the incoming key, so a full shard churns with
+// zero allocation.
+type entry[T any] struct {
+	key        uint64
+	clock      int64
+	val        []T
+	prev, next *entry[T]
+}
+
+type shard[T any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[uint64]*entry[T]
+	head  *entry[T] // most recently used
+	tail  *entry[T] // least recently used
+}
+
+// New builds a tier holding up to capacity values of valLen elements,
+// spread over 16 shards.
+func New[T any](capacity, valLen int) *Cache[T] {
+	perShard := capacity / nShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[T]{valLen: valLen}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].items = make(map[uint64]*entry[T], perShard)
+	}
+	return c
+}
+
+// ValLen returns the fixed value length the tier was built for.
+func (c *Cache[T]) ValLen() int { return c.valLen }
+
+func (c *Cache[T]) shardOf(key uint64) *shard[T] {
+	return &c.shards[util.Mix64(key)&(nShards-1)]
+}
+
+// Get copies the cached value for key into dst if an entry exists and is
+// admissible: its clock stamp must trail now by no more than bound allows
+// (see Admissible). An inadmissible or absent entry counts as a miss. A
+// dst of the wrong length never hits.
+func (c *Cache[T]) Get(key uint64, dst []T, now, bound int64) bool {
+	if len(dst) != c.valLen {
+		return false
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.items[key]
+	if !ok || !Admissible(bound, now-e.clock) {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	copy(dst, e.val)
+	sh.moveToFront(e)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// Put inserts or refreshes key's value, stamped with clock. A refresh
+// carrying an older stamp than the resident entry is dropped: a stale
+// read-side fill racing a write-through must not regress the entry, whose
+// invariant is "val reflects the table at or after clock". Values of the
+// wrong length are ignored.
+func (c *Cache[T]) Put(key uint64, val []T, clock int64) {
+	if len(val) != c.valLen {
+		return
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		if clock >= e.clock {
+			copy(e.val, val)
+			e.clock = clock
+			sh.moveToFront(e)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	var e *entry[T]
+	if len(sh.items) >= sh.cap {
+		// Recycle the LRU tail in place for the incoming key.
+		e = sh.tail
+		sh.unlink(e)
+		delete(sh.items, e.key)
+		c.evictions.Add(1)
+	} else {
+		e = &entry[T]{val: make([]T, c.valLen)}
+	}
+	e.key = key
+	e.clock = clock
+	copy(e.val, val)
+	sh.items[key] = e
+	sh.pushFront(e)
+	sh.mu.Unlock()
+}
+
+// Invalidate drops key's entry (after an update whose new value is not at
+// hand, e.g. a storage-side RMW, or a delete).
+func (c *Cache[T]) Invalidate(key uint64) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		sh.unlink(e)
+		delete(sh.items, key)
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[T]) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].items)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache[T]) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+}
+
+func (sh *shard[T]) pushFront(e *entry[T]) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard[T]) unlink(e *entry[T]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard[T]) moveToFront(e *entry[T]) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

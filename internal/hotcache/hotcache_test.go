@@ -1,0 +1,59 @@
+package hotcache
+
+import "testing"
+
+func TestAdmissible(t *testing.T) {
+	cases := []struct {
+		bound, gap int64
+		want       bool
+	}{
+		{-1, 1 << 40, true},         // clock disabled: no contract
+		{0, 0, false},               // BSP: never
+		{BoundAsync, 1 << 40, true}, // ASP: always
+		{4, 4, true},                // SSP at the bound
+		{4, 5, false},               // SSP beyond the bound
+		{1, 0, true},
+	}
+	for _, c := range cases {
+		if got := Admissible(c.bound, c.gap); got != c.want {
+			t.Errorf("Admissible(bound=%d, gap=%d) = %v, want %v", c.bound, c.gap, got, c.want)
+		}
+	}
+}
+
+// TestByteCacheRoundTrip pins the byte instantiation the kv wrapper and
+// server tier use.
+func TestByteCacheRoundTrip(t *testing.T) {
+	c := New[byte](64, 4)
+	c.Put(9, []byte{1, 2, 3, 4}, 5)
+	dst := make([]byte, 4)
+	if !c.Get(9, dst, 5, BoundAsync) {
+		t.Fatal("miss on resident key")
+	}
+	if dst[2] != 3 {
+		t.Fatalf("wrong bytes: %v", dst)
+	}
+	if c.Get(9, dst, 100, 4) { // gap 95 > bound 4
+		t.Fatal("beyond-bound byte entry served")
+	}
+	c.Invalidate(9)
+	if c.Len() != 0 {
+		t.Fatalf("len after invalidate: %d", c.Len())
+	}
+}
+
+// TestEntryRecycling pins the zero-allocation eviction path: a full shard
+// reuses the evicted entry's storage for the incoming key.
+func TestEntryRecycling(t *testing.T) {
+	c := New[float32](16, 1) // one slot per shard
+	for k := uint64(0); k < 1024; k++ {
+		c.Put(k, []float32{float32(k)}, 0)
+	}
+	if c.Len() > 16 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}

@@ -160,6 +160,7 @@ func (w fkShardStore) Stats() faster.StatsSnapshot {
 type fkShardSession struct {
 	ss     []*faster.Session
 	groups [][]int       // reusable per-shard index groups for batches
+	errs   []error       // reusable per-shard fan-out results
 	st0    *faster.Store // representative for the shared staleness bound
 }
 
@@ -286,8 +287,12 @@ func (se *fkShardSession) fanOut(keys []uint64, op func(shard int, idxs []int) e
 		return nil
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, n)
+	if se.errs == nil {
+		se.errs = make([]error, n)
+	}
+	errs := se.errs
 	for sh, idxs := range groups {
+		errs[sh] = nil
 		if len(idxs) == 0 {
 			continue
 		}

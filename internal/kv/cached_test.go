@@ -1,0 +1,173 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+)
+
+// openCachedPair opens one sharded FASTER store raw and one wrapped in
+// the hot tier, both under the given bound.
+func openCachedPair(t *testing.T, bound int64, entries int) (raw, cached Store) {
+	t.Helper()
+	open := func(dir string) Store {
+		st, err := OpenFasterShards(ShardedConfig{
+			Dir: dir, Shards: 2, ValueSize: 16, RecordsPerPage: 64,
+			MemoryBytes: 1 << 20, ExpectedKeys: 1 << 10, StalenessBound: bound,
+		}, "mlkv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	raw = open(t.TempDir())
+	cached = WrapCached(open(t.TempDir()), entries)
+	return raw, cached
+}
+
+// TestCachedStoreEquivalence drives an identical operation sequence
+// through a raw store and a hot-tier-wrapped one and requires identical
+// observable results — the cache must be invisible except for speed.
+func TestCachedStoreEquivalence(t *testing.T) {
+	raw, cached := openCachedPair(t, faster.BoundAsync, 256)
+	rs, err := raw.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	cs, err := cached.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	val := func(k uint64, gen byte) []byte {
+		v := make([]byte, 16)
+		for i := range v {
+			v[i] = byte(k) + gen
+		}
+		return v
+	}
+	for k := uint64(1); k <= 64; k++ {
+		if err := rs.Put(k, val(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Put(k, val(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := make([]byte, 16), make([]byte, 16)
+	for round := 0; round < 3; round++ {
+		for k := uint64(1); k <= 64; k++ {
+			fa, erra := rs.Get(k, a)
+			fb, errb := cs.Get(k, b)
+			if erra != nil || errb != nil || fa != fb || !bytes.Equal(a, b) {
+				t.Fatalf("round %d key %d diverged: %v/%v %v/%v", round, k, fa, fb, erra, errb)
+			}
+		}
+		// Overwrite half the keys: write-through must keep reads fresh.
+		for k := uint64(1); k <= 32; k++ {
+			if err := rs.Put(k, val(k, byte(round+1))); err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.Put(k, val(k, byte(round+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Delete invalidates.
+	if err := rs.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := rs.Get(7, a)
+	fb, _ := cs.Get(7, b)
+	if fa || fb {
+		t.Fatalf("deleted key found: raw=%v cached=%v", fa, fb)
+	}
+	if cr, ok := cached.(CacheStatsReporter); !ok {
+		t.Fatal("cached store does not report cache stats")
+	} else if cr.CacheStats().Hits == 0 {
+		t.Fatal("no reads were served from the tier")
+	}
+}
+
+// TestCachedStoreBatchPartialHits pins the sweep/compact/scatter path:
+// a batch where some keys are tier-resident, some engine-resident, and
+// some absent must land every value and found flag in the right slot.
+func TestCachedStoreBatchPartialHits(t *testing.T) {
+	_, cached := openCachedPair(t, faster.BoundAsync, 256)
+	s, err := cached.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v := make([]byte, 16)
+	// Keys 1..12 are tier-resident via write-through; 100/101 are absent,
+	// so the batch mixes tier hits with engine misses and the compacted
+	// engine read must scatter back to the right slots.
+	for k := uint64(1); k <= 12; k++ {
+		for i := range v {
+			v[i] = byte(k)
+		}
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []uint64{3, 100, 7, 101, 12, 1}
+	vals := make([]byte, len(keys)*16)
+	found := make([]bool, len(keys))
+	if err := SessionGetBatch(s, 16, keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		slot := vals[i*16 : (i+1)*16]
+		if k >= 100 {
+			if found[i] {
+				t.Fatalf("absent key %d reported found", k)
+			}
+			for _, bv := range slot {
+				if bv != 0 {
+					t.Fatalf("absent key %d slot not zeroed: %v", k, slot)
+				}
+			}
+			continue
+		}
+		if !found[i] {
+			t.Fatalf("present key %d reported missing", k)
+		}
+		if slot[0] != byte(k) {
+			t.Fatalf("key %d got value %d (misrouted scatter)", k, slot[0])
+		}
+	}
+}
+
+// TestCachedStoreBSPBypasses pins the consistency rule at the kv layer:
+// under BSP (bound 0) the tier must never serve a read.
+func TestCachedStoreBSPBypasses(t *testing.T) {
+	_, cached := openCachedPair(t, 0, 256)
+	s, err := cached.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v := make([]byte, 16)
+	for k := uint64(1); k <= 8; k++ {
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(k, v); err != nil { // balance the clocked read
+			t.Fatal(err)
+		}
+	}
+	if hits := cached.(CacheStatsReporter).CacheStats().Hits; hits != 0 {
+		t.Fatalf("BSP served %d reads from the tier", hits)
+	}
+}

@@ -40,6 +40,10 @@ type RegistryConfig struct {
 	// wire.BoundUnset and the model does not exist yet. Zero value means
 	// BSP; set it deliberately.
 	DefaultBound int64
+	// CacheEntries layers a server-side staleness-aware hot tier of this
+	// capacity (kv.WrapCached) over every model the Opener opens, shared by
+	// all connections serving that model. 0 disables it.
+	CacheEntries int
 	// Name identifies the server in HELLO responses (default "mlkv").
 	Name string
 }
@@ -153,6 +157,8 @@ func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error)
 		if vs := store.ValueSize(); vs != dim*4 {
 			store.Close()
 			err = fmt.Errorf("store value size %d != dim %d × 4", vs, dim)
+		} else if r.cfg.CacheEntries > 0 {
+			store = kv.WrapCached(store, r.cfg.CacheEntries)
 		}
 	}
 
@@ -328,6 +334,10 @@ func (m *Model) Stats() wire.ModelStats {
 	}
 	if sr, ok := m.store.(kv.StatsReporter); ok {
 		s.StatsSnapshot = sr.Stats()
+	}
+	if cr, ok := m.store.(kv.CacheStatsReporter); ok {
+		cs := cr.CacheStats()
+		s.CacheHits, s.CacheMisses, s.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
 	return s
 }

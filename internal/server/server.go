@@ -204,6 +204,8 @@ type connModel struct {
 	keys    []uint64
 	found   []bool
 	scratch []byte // vs bytes, single-key GET staging
+	resp    []byte // reusable GET/PEEK response payload (1+vs bytes)
+	out     []byte // reusable GETBATCH response payload
 }
 
 // connState is one connection's handler state: the models it has touched,
@@ -233,8 +235,13 @@ func (s *Server) handleConn(c net.Conn) {
 	br := newReader(c)
 	bw := newWriter(c)
 	defer bw.Flush()
+	fw := wire.NewFrameWriter(bw)
+	// One frame body buffer per connection: each request is fully handled
+	// and its response written before the next ReadFrameBuf reuses it.
+	var frameBuf []byte
 	for {
-		f, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		f, fb, err := wire.ReadFrameBuf(br, s.cfg.MaxFrame, frameBuf)
+		frameBuf = fb
 		if err != nil {
 			// io.EOF: client hung up. Deadline errors: Shutdown nudged us.
 			// Anything else is a framing violation; either way the
@@ -246,7 +253,7 @@ func (s *Server) handleConn(c net.Conn) {
 		if respOp == wire.RespErr {
 			s.errorsSent.Add(1)
 		}
-		if err := wire.WriteFrame(bw, f.CorrID, respOp, payload); err != nil {
+		if err := fw.Write(f.CorrID, respOp, payload); err != nil {
 			return
 		}
 		// Flush when the pipeline drains (no bytes waiting) so pipelined
@@ -397,7 +404,8 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
-		return wire.RespOK, wire.EncodeGetResp(found, cm.scratch), false
+		cm.resp = wire.AppendGetResp(cm.resp[:0], found, cm.scratch)
+		return wire.RespOK, cm.resp, false
 
 	case wire.OpPeek:
 		key, err := wire.DecodeKey(rest)
@@ -408,7 +416,8 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
-		return wire.RespOK, wire.EncodeGetResp(found, cm.scratch), false
+		cm.resp = wire.AppendGetResp(cm.resp[:0], found, cm.scratch)
+		return wire.RespOK, cm.resp, false
 
 	case wire.OpPut:
 		key, val, err := wire.DecodePut(rest, cm.vs)
@@ -441,8 +450,12 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		cm.m.batchGets.Add(1)
 		cm.m.batchKeys.Add(int64(n))
 		// Build the response in place: found flags and values land
-		// directly in the outgoing payload, one batched store call.
-		out := make([]byte, 4+n+n*cm.vs)
+		// directly in the outgoing payload, one batched store call. The
+		// payload buffer is per-connection and reused across frames (the
+		// response is flushed before the next frame is read).
+		out := growBytes(cm.out, 4+n+n*cm.vs)
+		cm.out = out
+		clear(out[4 : 4+n])
 		binary.LittleEndian.PutUint32(out, uint32(n))
 		vals := out[4+n:]
 		cm.found = grow(cm.found, n)
@@ -513,4 +526,13 @@ func grow(b []bool, n int) []bool {
 	b = b[:n]
 	clear(b)
 	return b
+}
+
+// growBytes resizes a reusable byte buffer to n without preserving
+// contents.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
 }

@@ -73,18 +73,21 @@ type RemoteBackend struct {
 // and opens (or creates) the named model with the given dimension.
 // First-touch initialization runs on the trainer side with init, seeded
 // per key so every worker initializes a given embedding identically.
+// Extra model options (e.g. mlkv.WithCache for a trainer-side hot tier)
+// append after the initializer.
 //
 // conns must be at least the number of concurrently training handles.
 // Under a blocking staleness bound (BSP or finite SSP) a clocked read can
 // wait for another worker's write; two workers sharing one connection
 // would also share the server's per-connection handler goroutine, and the
 // blocked worker's frame would stall the very write that unblocks it.
-func DialRemote(addr, model string, dim int, init core.Initializer, conns int) (*RemoteBackend, error) {
+func DialRemote(addr, model string, dim int, init core.Initializer, conns int, opts ...mlkv.Option) (*RemoteBackend, error) {
 	db, err := mlkv.Connect(mlkv.Scheme+addr, mlkv.WithConns(conns))
 	if err != nil {
 		return nil, err
 	}
-	m, err := db.Open(model, dim, mlkv.WithInitializer(init))
+	mopts := append([]mlkv.Option{mlkv.WithInitializer(init)}, opts...)
+	m, err := db.Open(model, dim, mopts...)
 	if err != nil {
 		db.Close()
 		return nil, err

@@ -160,19 +160,36 @@ type Frame struct {
 }
 
 // WriteFrame writes one frame. The caller batches frames by passing a
-// buffered writer and flushing when its pipeline drains.
+// buffered writer and flushing when its pipeline drains. The header
+// staging escapes to the heap through the io.Writer interface, so
+// per-frame writers (connection loops) should hold a FrameWriter instead.
 func WriteFrame(w io.Writer, corrID uint32, op Op, payload []byte) error {
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(minLength+len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], corrID)
-	hdr[8] = byte(op)
-	if _, err := w.Write(hdr[:]); err != nil {
+	fw := FrameWriter{w: w}
+	return fw.Write(corrID, op, payload)
+}
+
+// FrameWriter writes frames to one writer with a reusable header buffer,
+// so a connection's write path allocates nothing per frame.
+type FrameWriter struct {
+	w   io.Writer
+	hdr [headerSize]byte
+}
+
+// NewFrameWriter wraps w (normally a bufio.Writer owned by a connection).
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// Write writes one frame (see WriteFrame).
+func (fw *FrameWriter) Write(corrID uint32, op Op, payload []byte) error {
+	binary.LittleEndian.PutUint32(fw.hdr[0:], uint32(minLength+len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[4:], corrID)
+	fw.hdr[8] = byte(op)
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
 		return err
 	}
 	if len(payload) == 0 {
 		return nil
 	}
-	_, err := w.Write(payload)
+	_, err := fw.w.Write(payload)
 	return err
 }
 
@@ -180,33 +197,47 @@ func WriteFrame(w io.Writer, corrID uint32, op Op, payload []byte) error {
 // (DefaultMaxFrame if 0) before allocating the body. A clean EOF between
 // frames returns io.EOF; EOF inside a frame returns io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, maxFrame uint32) (Frame, error) {
+	f, _, err := ReadFrameBuf(r, maxFrame, nil)
+	return f, err
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned body buffer: the frame is
+// read into buf when it fits (growing it otherwise) and the possibly
+// grown buffer is returned for the next call, so a connection loop reads
+// every frame with zero steady-state allocation. The returned
+// Frame.Payload aliases the buffer and is valid only until the next use
+// of it.
+func ReadFrameBuf(r io.Reader, maxFrame uint32, buf []byte) (Frame, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Frame{}, io.ErrUnexpectedEOF
+			return Frame{}, buf, io.ErrUnexpectedEOF
 		}
-		return Frame{}, err
+		return Frame{}, buf, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n < minLength {
-		return Frame{}, fmt.Errorf("%w: length %d < %d", ErrMalformed, n, minLength)
+		return Frame{}, buf, fmt.Errorf("%w: length %d < %d", ErrMalformed, n, minLength)
 	}
 	if maxFrame == 0 {
 		maxFrame = DefaultMaxFrame
 	}
 	if n > maxFrame {
-		return Frame{}, fmt.Errorf("%w: length %d > limit %d", ErrFrameTooLarge, n, maxFrame)
+		return Frame{}, buf, fmt.Errorf("%w: length %d > limit %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	body := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if errors.Is(err, io.EOF) {
-			return Frame{}, io.ErrUnexpectedEOF
+			return Frame{}, buf, io.ErrUnexpectedEOF
 		}
-		return Frame{}, err
+		return Frame{}, buf, err
 	}
 	return Frame{
 		CorrID:  binary.LittleEndian.Uint32(body[0:]),
 		Op:      Op(body[4]),
 		Payload: body[minLength:],
-	}, nil
+	}, buf, nil
 }

@@ -119,13 +119,29 @@ func DecodeHandle(p []byte) (handle uint32, rest []byte, err error) {
 	return binary.LittleEndian.Uint32(p), p[4:], nil
 }
 
+// The Append* builders are the zero-allocation faces of their Encode*
+// counterparts: they append the payload to dst (usually a caller-owned
+// scratch sliced to [:0]) and return the extended slice, so a session
+// issuing millions of requests reuses one buffer instead of allocating
+// per frame. Encode* remains for cold paths and tests.
+
+// AppendKey appends a single-key request payload (PEEK, DELETE).
+func AppendKey(dst []byte, handle uint32, key uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	return binary.LittleEndian.AppendUint64(dst, key)
+}
+
 // EncodeKey builds a single-key request payload (PEEK, DELETE):
 // uint32 handle | uint64 key.
 func EncodeKey(handle uint32, key uint64) []byte {
-	p := make([]byte, 12)
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint64(p[4:], key)
-	return p
+	return AppendKey(make([]byte, 0, 12), handle, key)
+}
+
+// AppendGet appends a GET request payload (see EncodeGet).
+func AppendGet(dst []byte, handle uint32, key uint64, waitMs uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint64(dst, key)
+	return binary.LittleEndian.AppendUint32(dst, waitMs)
 }
 
 // EncodeGet builds a GET request: uint32 handle | uint64 key | uint32
@@ -134,11 +150,7 @@ func EncodeKey(handle uint32, key uint64) []byte {
 // server-side at the deadline instead of stranding a token on a request
 // the client has already abandoned.
 func EncodeGet(handle uint32, key uint64, waitMs uint32) []byte {
-	p := make([]byte, 16)
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint64(p[4:], key)
-	binary.LittleEndian.PutUint32(p[12:], waitMs)
-	return p
+	return AppendGet(make([]byte, 0, 16), handle, key, waitMs)
 }
 
 // DecodeGet parses a GET request (after DecodeHandle).
@@ -157,14 +169,17 @@ func DecodeKey(p []byte) (uint64, error) {
 	return binary.LittleEndian.Uint64(p), nil
 }
 
+// AppendPut appends a PUT request payload (see EncodePut).
+func AppendPut(dst []byte, handle uint32, key uint64, val []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint64(dst, key)
+	return append(dst, val...)
+}
+
 // EncodePut builds a PUT request: uint32 handle | uint64 key | valueSize
 // value bytes.
 func EncodePut(handle uint32, key uint64, val []byte) []byte {
-	p := make([]byte, 12+len(val))
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint64(p[4:], key)
-	copy(p[12:], val)
-	return p
+	return AppendPut(make([]byte, 0, 12+len(val)), handle, key, val)
 }
 
 // DecodePut parses a PUT request (after DecodeHandle); val aliases p.
@@ -175,16 +190,19 @@ func DecodePut(p []byte, valueSize int) (key uint64, val []byte, err error) {
 	return binary.LittleEndian.Uint64(p), p[8:], nil
 }
 
+// AppendGetResp appends a GET response payload (see EncodeGetResp).
+func AppendGetResp(dst []byte, found bool, val []byte) []byte {
+	if !found {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return append(dst, val...)
+}
+
 // EncodeGetResp builds a GET response: uint8 found | value (present only
 // when found).
 func EncodeGetResp(found bool, val []byte) []byte {
-	if !found {
-		return []byte{0}
-	}
-	p := make([]byte, 1+len(val))
-	p[0] = 1
-	copy(p[1:], val)
-	return p
+	return AppendGetResp(make([]byte, 0, 1+len(val)), found, val)
 }
 
 // DecodeGetResp parses a GET response into dst (len == valueSize).
@@ -205,17 +223,21 @@ func DecodeGetResp(p []byte, dst []byte) (bool, error) {
 	return true, nil
 }
 
+// AppendGetBatch appends a GETBATCH request payload (see EncodeGetBatch).
+func AppendGetBatch(dst []byte, handle uint32, waitMs uint32, keys []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint32(dst, waitMs)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
 // EncodeGetBatch builds a GETBATCH request: uint32 handle | uint32
 // waitMs (see EncodeGet) | uint32 n | n×uint64 keys.
 func EncodeGetBatch(handle uint32, waitMs uint32, keys []uint64) []byte {
-	p := make([]byte, 12+8*len(keys))
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint32(p[4:], waitMs)
-	binary.LittleEndian.PutUint32(p[8:], uint32(len(keys)))
-	for i, k := range keys {
-		binary.LittleEndian.PutUint64(p[12+8*i:], k)
-	}
-	return p
+	return AppendGetBatch(make([]byte, 0, 12+8*len(keys)), handle, waitMs, keys)
 }
 
 // DecodeGetBatch parses a GETBATCH request (after DecodeHandle),
@@ -229,16 +251,20 @@ func DecodeGetBatch(p []byte, buf []uint64) (keys []uint64, waitMs uint32, err e
 	return keys, waitMs, err
 }
 
+// AppendKeys appends a key-list request payload (see EncodeKeys).
+func AppendKeys(dst []byte, handle uint32, keys []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
 // EncodeKeys builds a key-list request (LOOKAHEAD): uint32
 // handle | uint32 n | n×uint64 keys.
 func EncodeKeys(handle uint32, keys []uint64) []byte {
-	p := make([]byte, 8+8*len(keys))
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint32(p[4:], uint32(len(keys)))
-	for i, k := range keys {
-		binary.LittleEndian.PutUint64(p[8+8*i:], k)
-	}
-	return p
+	return AppendKeys(make([]byte, 0, 8+8*len(keys)), handle, keys)
 }
 
 // DecodeKeys parses a key-list request (after DecodeHandle), appending
@@ -262,17 +288,20 @@ func DecodeKeys(p []byte, buf []uint64) ([]uint64, error) {
 	return buf, nil
 }
 
+// AppendPutBatch appends a PUTBATCH request payload (see EncodePutBatch).
+func AppendPutBatch(dst []byte, handle uint32, keys []uint64, vals []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return append(dst, vals...)
+}
+
 // EncodePutBatch builds a PUTBATCH request: uint32 handle | uint32 n |
 // n×uint64 keys | n×valueSize values.
 func EncodePutBatch(handle uint32, keys []uint64, vals []byte) []byte {
-	p := make([]byte, 8+8*len(keys)+len(vals))
-	binary.LittleEndian.PutUint32(p, handle)
-	binary.LittleEndian.PutUint32(p[4:], uint32(len(keys)))
-	for i, k := range keys {
-		binary.LittleEndian.PutUint64(p[8+8*i:], k)
-	}
-	copy(p[8+8*len(keys):], vals)
-	return p
+	return AppendPutBatch(make([]byte, 0, 8+8*len(keys)+len(vals)), handle, keys, vals)
 }
 
 // DecodePutBatch parses a PUTBATCH request (after DecodeHandle); vals
@@ -360,6 +389,11 @@ type ModelStats struct {
 	// ActiveSessions is the attach-minus-detach balance: how many remote
 	// client sessions are currently open on the model.
 	ActiveSessions int64
+	// CacheHits / CacheMisses / CacheEvictions are the server-side hot
+	// tier's counters (zero unless the server runs with -cache).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // statsFields lists the counters in wire order. Appending new counters at
@@ -372,6 +406,7 @@ func statsFields(s *ModelStats) []*int64 {
 		&s.AbandonedAppends, &s.StalenessWaits, &s.FlushedPages,
 		&s.BytesFlushed,
 		&s.BatchGets, &s.BatchPuts, &s.LookaheadFrames, &s.ActiveSessions,
+		&s.CacheHits, &s.CacheMisses, &s.CacheEvictions,
 	}
 }
 

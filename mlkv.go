@@ -128,15 +128,16 @@ func (db *DB) Close() error { return db.d.Close() }
 type Option func(*config)
 
 type config struct {
-	dir       string // compat: mlkv.Open's connect target
-	bound     int64
-	boundSet  bool
-	memory    int64
-	keys      uint64
-	initScale float32
-	init      Initializer
-	workers   int
-	shards    int
+	dir          string // compat: mlkv.Open's connect target
+	bound        int64
+	boundSet     bool
+	memory       int64
+	keys         uint64
+	initScale    float32
+	init         Initializer
+	workers      int
+	shards       int
+	cacheEntries int
 }
 
 // WithDir places the model's storage under dir (default: ./mlkv-data).
@@ -173,6 +174,27 @@ func WithInitializer(fn Initializer) Option { return func(c *config) { c.init = 
 // WithPrefetchWorkers sizes the Lookahead worker pool of a local model
 // (default 2).
 func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithCache attaches a staleness-aware hot tier holding up to entries
+// embeddings in front of the model's read path (Figure 5(b)'s
+// application-side cache). Entries are stamped with the model's write
+// clock when they are filled, and a cached read is served only when the
+// entry is provably within the staleness bound in effect: always under
+// ASP, never under BSP (bound 0), and only while no more than bound
+// writes have landed since the fill under a finite SSP bound. Writes
+// update the tier in place (Put/PutBatch) or invalidate it (RMW,
+// Delete). On a local model the tier sits above the store and its clock
+// counts every writer of the table, so a served value is never more than
+// the bound allows. On a remote model the tier lives client-side and
+// saves the network round trip on a hit — but its clock counts only this
+// process's writes, so under a finite SSP bound the gap check bounds
+// staleness relative to this client alone; other clients' writes are
+// invisible to it (as they are to any application-side cache), and a
+// bound changed by another client's re-open is not seen either. When
+// foreign writes must bound cached reads, use the server's shared tier
+// (mlkv-server -cache), whose clock sees every client. Default 0 (no
+// cache).
+func WithCache(entries int) Option { return func(c *config) { c.cacheEntries = entries } }
 
 // WithShards hash-partitions the embedding table across n independent
 // FASTER store instances, each with its own hybrid log, hash index, and
@@ -216,6 +238,7 @@ func (db *DB) OpenCtx(ctx context.Context, id string, dim int, opts ...Option) (
 		MemoryBytes:     cfg.memory,
 		ExpectedKeys:    cfg.keys,
 		PrefetchWorkers: cfg.workers,
+		CacheEntries:    cfg.cacheEntries,
 		Init:            cfg.init,
 	}
 	if dcfg.Init == nil && cfg.initScale > 0 {
@@ -321,6 +344,12 @@ type Stats struct {
 	BatchGets      int64
 	BatchPuts      int64
 	LookaheadCalls int64
+	// Hot-tier activity (WithCache, and a server's -cache tier for remote
+	// models): reads served from the staleness-aware cache, reads it could
+	// not serve (absent or beyond the bound), and LRU evictions.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 	// Flush volume.
 	FlushedPages int64
 	BytesFlushed int64
@@ -348,6 +377,8 @@ func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
 		PrefetchCopies: s.PrefetchCopies, PrefetchDropped: s.PrefetchDropped,
 		BatchGets: s.BatchGets, BatchPuts: s.BatchPuts,
 		LookaheadCalls: s.LookaheadCalls,
+		CacheHits:      s.CacheHits, CacheMisses: s.CacheMisses,
+		CacheEvictions: s.CacheEvictions,
 		FlushedPages:   s.FlushedPages, BytesFlushed: s.BytesFlushed,
 	}, nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package mlkv_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation gate skips under it (instrumentation perturbs counts).
+const raceEnabled = false
