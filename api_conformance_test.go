@@ -6,6 +6,7 @@ import (
 	"math"
 	"net"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,20 +15,37 @@ import (
 	"github.com/llm-db/mlkv-go/internal/server"
 )
 
+// engineCases are the engine axis of the conformance matrix: every
+// storage engine the public API can select, and whether it carries the
+// vector clock the staleness ladder needs.
+var engineCases = []struct {
+	name      string
+	clockFree bool
+}{
+	{"mlkv", false},
+	{"lsm", true},
+	{"bptree", true},
+}
+
 // startTestServer serves a lazily-opening model registry on loopback and
-// returns an "mlkv://" target for it.
+// returns an "mlkv://" target for it. The opener honors the engine each
+// OPEN frame requests, exactly like cmd/mlkv-server.
 func startTestServer(t *testing.T, bound int64) string {
 	t.Helper()
 	dir := t.TempDir()
 	reg := server.NewRegistry(server.RegistryConfig{
 		DefaultShards: 2,
 		DefaultBound:  bound,
-		Opener: func(id string, dim, shards int, b int64) (kv.Store, error) {
-			return kv.OpenFasterShards(kv.ShardedConfig{
+		Opener: func(id string, dim, shards int, b int64, engine string) (kv.Store, error) {
+			name := engine
+			if eng, err := kv.NormalizeEngine(engine); err == nil && eng == kv.EngineFaster {
+				name = "mlkv"
+			}
+			return kv.OpenEngine(engine, kv.ShardedConfig{
 				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
 				RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
 				StalenessBound: b,
-			}, "mlkv")
+			}, name)
 		},
 	})
 	srv := server.New(server.Config{Registry: reg})
@@ -52,8 +70,8 @@ func startTestServer(t *testing.T, bound int64) string {
 }
 
 // withTargets runs fn once against a local directory DB and once against
-// a live loopback mlkv-server — the conformance harness: the public API
-// must behave identically over both drivers.
+// a live loopback mlkv-server — the driver axis of the conformance
+// harness: the public API must behave identically over both.
 func withTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB)) {
 	t.Run("local", func(t *testing.T) {
 		db, err := mlkv.Connect(t.TempDir())
@@ -73,6 +91,22 @@ func withTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB)) {
 	})
 }
 
+// withEngineTargets runs fn over the full conformance matrix: every
+// engine (mlkv, lsm, bptree) behind both drivers (local, remote). The
+// same API calls must observe the same behavior in all six cells, except
+// where a staleness-ladder case names a capability an engine genuinely
+// lacks (and then the test documents the skip).
+func withEngineTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB, engine string, clockFree bool)) {
+	for _, ec := range engineCases {
+		ec := ec
+		t.Run(ec.name, func(t *testing.T) {
+			withTargets(t, func(t *testing.T, db *mlkv.DB) {
+				fn(t, db, ec.name, ec.clockFree)
+			})
+		})
+	}
+}
+
 func f32sEq(a, b []float32) bool {
 	if len(a) != len(b) {
 		return false
@@ -86,16 +120,19 @@ func f32sEq(a, b []float32) bool {
 }
 
 // TestAPITwoModels opens two models with differing dimensions on one DB
-// and drives the full session surface on both: first-touch Get,
-// batch round trips, Peek, Lookahead, Delete, Checkpoint, and stats.
+// and drives the full session surface on both: first-touch Get, batch
+// round trips, Peek, Lookahead, RMW, Delete, Checkpoint, and stats —
+// on every engine, over both drivers.
 func TestAPITwoModels(t *testing.T) {
-	withTargets(t, func(t *testing.T, db *mlkv.DB) {
-		a, err := db.Open("conf-a", 8, mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
+	withEngineTargets(t, func(t *testing.T, db *mlkv.DB, engine string, _ bool) {
+		a, err := db.Open("conf-a", 8, mlkv.WithEngine(engine),
+			mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer a.Close()
-		b, err := db.Open("conf-b", 4, mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
+		b, err := db.Open("conf-b", 4, mlkv.WithEngine(engine),
+			mlkv.WithStalenessBound(mlkv.ASP), mlkv.WithMemory(4<<20))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +198,7 @@ func TestAPITwoModels(t *testing.T) {
 			t.Fatal("batch round trip mismatch")
 		}
 
-		// Lookahead is asynchronous and safe on both drivers.
+		// Lookahead is asynchronous (or a no-op) and safe on every cell.
 		if err := sa.Lookahead(keys); err != nil {
 			t.Fatal(err)
 		}
@@ -201,12 +238,12 @@ func TestAPITwoModels(t *testing.T) {
 }
 
 // TestAPIFirstTouchParity pins the property the CI quickstart-divergence
-// check relies on: the same key initializes to the same embedding whether
-// the model is local or remote (the remote driver runs the same seeded
-// initializer client-side).
+// check relies on, widened across the engine matrix: the same key
+// initializes to the same embedding on every engine, local or remote
+// (every cell runs the same seeded initializer).
 func TestAPIFirstTouchParity(t *testing.T) {
-	read := func(t *testing.T, db *mlkv.DB) []float32 {
-		m, err := db.Open("parity", 8, mlkv.WithStalenessBound(mlkv.ASP))
+	read := func(t *testing.T, db *mlkv.DB, engine string) []float32 {
+		m, err := db.Open("parity", 8, mlkv.WithEngine(engine), mlkv.WithStalenessBound(mlkv.ASP))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,20 +262,28 @@ func TestAPIFirstTouchParity(t *testing.T) {
 		}
 		return out
 	}
-	local, err := mlkv.Connect(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer local.Close()
-	remote, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer remote.Close()
-	lv := read(t, local)
-	rv := read(t, remote)
-	if !f32sEq(lv, rv) {
-		t.Fatalf("first-touch values diverge: local=%v remote=%v", lv, rv)
+	var want []float32
+	for _, ec := range engineCases {
+		local, err := mlkv.Connect(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
+		if err != nil {
+			local.Close()
+			t.Fatal(err)
+		}
+		lv := read(t, local, ec.name)
+		rv := read(t, remote, ec.name)
+		local.Close()
+		remote.Close()
+		if want == nil {
+			want = lv
+		}
+		if !f32sEq(lv, want) || !f32sEq(rv, want) {
+			t.Fatalf("first-touch values diverge on %s: local=%v remote=%v want=%v",
+				ec.name, lv, rv, want)
+		}
 	}
 }
 
@@ -246,7 +291,9 @@ func TestAPIFirstTouchParity(t *testing.T) {
 // clocked read stalled on the staleness bound (BSP, token held by another
 // session) returns ctx.Err() at the deadline instead of waiting, holds no
 // token afterward, and the stalled key becomes readable once the
-// releasing write lands.
+// releasing write lands. Only the hybrid log carries the vector clock
+// this ladder exercises; the clock-free engines reject BSP at open (see
+// TestAPIEngineValidation), so their cells skip rather than fake a stall.
 func TestAPICtxCancellation(t *testing.T) {
 	run := func(t *testing.T, db *mlkv.DB) {
 		m, err := db.Open("cancel", 4, mlkv.WithStalenessBound(mlkv.BSP), mlkv.WithMemory(4<<20))
@@ -304,70 +351,84 @@ func TestAPICtxCancellation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	t.Run("local", func(t *testing.T) {
-		db, err := mlkv.Connect(t.TempDir())
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer db.Close()
-		run(t, db)
-	})
-	t.Run("remote", func(t *testing.T) {
-		// Two conns: the stalled read's connection handler blocks on the
-		// server until the releasing write arrives on the other one.
-		db, err := mlkv.Connect(startTestServer(t, mlkv.BSP), mlkv.WithConns(2))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer db.Close()
-		run(t, db)
-	})
+	for _, ec := range engineCases {
+		ec := ec
+		t.Run(ec.name, func(t *testing.T) {
+			if ec.clockFree {
+				t.Skipf("engine %q has no vector clock: it rejects the BSP bound this ladder needs, so there is no staleness wait to cancel", ec.name)
+			}
+			t.Run("local", func(t *testing.T) {
+				db, err := mlkv.Connect(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer db.Close()
+				run(t, db)
+			})
+			t.Run("remote", func(t *testing.T) {
+				// Two conns: the stalled read's connection handler blocks on
+				// the server until the releasing write arrives on the other.
+				db, err := mlkv.Connect(startTestServer(t, mlkv.BSP), mlkv.WithConns(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer db.Close()
+				run(t, db)
+			})
+		})
+	}
 }
 
 // TestAPIRemoteSessionRelease verifies the public remote driver detaches
-// sessions: the server's per-model gauge follows Session.Close.
+// sessions on every engine: the server's per-model gauge follows
+// Session.Close regardless of what backs the model.
 func TestAPIRemoteSessionRelease(t *testing.T) {
-	db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db.Close()
-	m, err := db.Open("release", 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer m.Close()
-	s1, err := m.NewSession()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s2, err := m.NewSession()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n := m.ActiveSessions(); n != 2 {
-		t.Fatalf("ActiveSessions = %d, want 2", n)
-	}
-	s1.Close()
-	if n := m.ActiveSessions(); n != 1 {
-		t.Fatalf("ActiveSessions = %d after one close, want 1", n)
-	}
-	s2.Close()
-	if n := m.ActiveSessions(); n != 0 {
-		t.Fatalf("ActiveSessions = %d after both closed, want 0", n)
+	for _, ec := range engineCases {
+		ec := ec
+		t.Run(ec.name, func(t *testing.T) {
+			db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			m, err := db.Open("release", 4, mlkv.WithEngine(ec.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			s1, err := m.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := m.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := m.ActiveSessions(); n != 2 {
+				t.Fatalf("ActiveSessions = %d, want 2", n)
+			}
+			s1.Close()
+			if n := m.ActiveSessions(); n != 1 {
+				t.Fatalf("ActiveSessions = %d after one close, want 1", n)
+			}
+			s2.Close()
+			if n := m.ActiveSessions(); n != 0 {
+				t.Fatalf("ActiveSessions = %d after both closed, want 0", n)
+			}
+		})
 	}
 }
 
-// TestAPISharedModelClose pins handle semantics: opening a name twice
-// shares the model, and double-closing one handle releases its reference
-// exactly once — the sibling handle keeps working.
+// TestAPISharedModelClose pins handle semantics across the matrix:
+// opening a name twice shares the model, and double-closing one handle
+// releases its reference exactly once — the sibling handle keeps working.
 func TestAPISharedModelClose(t *testing.T) {
-	withTargets(t, func(t *testing.T, db *mlkv.DB) {
-		m1, err := db.Open("shared", 4, mlkv.WithStalenessBound(mlkv.ASP))
+	withEngineTargets(t, func(t *testing.T, db *mlkv.DB, engine string, _ bool) {
+		m1, err := db.Open("shared", 4, mlkv.WithEngine(engine), mlkv.WithStalenessBound(mlkv.ASP))
 		if err != nil {
 			t.Fatal(err)
 		}
-		m2, err := db.Open("shared", 4, mlkv.WithStalenessBound(mlkv.ASP))
+		m2, err := db.Open("shared", 4, mlkv.WithEngine(engine), mlkv.WithStalenessBound(mlkv.ASP))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -391,6 +452,114 @@ func TestAPISharedModelClose(t *testing.T) {
 		s.Close()
 		if err := m2.Close(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// TestAPIEngineSelection pins what WithEngine means end to end: the
+// engine a model opens with is the engine that serves it, is reported by
+// EngineName on both drivers, and sticks to the model — a conflicting
+// reopen is refused while the model is live and again from its on-disk
+// marker after it closes.
+func TestAPIEngineSelection(t *testing.T) {
+	t.Run("local", func(t *testing.T) {
+		dir := t.TempDir()
+		db, err := mlkv.Connect(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		want := map[string]string{"mlkv": "mlkv", "lsm": "lsm", "bptree": "bptree"}
+		for _, ec := range engineCases {
+			m, err := db.Open("sel-"+ec.name, 4, mlkv.WithEngine(ec.name))
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if got := m.EngineName(); got != want[ec.name] {
+				t.Fatalf("%s: EngineName = %q, want %q", ec.name, got, want[ec.name])
+			}
+			if ec.clockFree {
+				if b := m.StalenessBound(); b != mlkv.Disabled {
+					t.Fatalf("%s: StalenessBound = %d, want Disabled", ec.name, b)
+				}
+			} else if b := m.StalenessBound(); b != 4 {
+				t.Fatalf("mlkv local default bound = %d, want SSP(4)", b)
+			}
+			// A live model refuses a conflicting engine...
+			if _, err := db.Open("sel-"+ec.name, 4, mlkv.WithEngine(otherEngine(ec.name))); err == nil {
+				t.Fatalf("%s: live engine conflict accepted", ec.name)
+			}
+			// ...and an engine-less reopen shares it as-is.
+			m2, err := db.Open("sel-"+ec.name, 4)
+			if err != nil {
+				t.Fatalf("%s: engine-less reopen: %v", ec.name, err)
+			}
+			m2.Close()
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Closed and on disk, the directory still pins the engine.
+			if _, err := db.Open("sel-"+ec.name, 4, mlkv.WithEngine(otherEngine(ec.name))); err == nil {
+				t.Fatalf("%s: on-disk engine conflict accepted", ec.name)
+			}
+		}
+	})
+	t.Run("remote", func(t *testing.T) {
+		db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		for _, ec := range engineCases {
+			m, err := db.Open("sel-"+ec.name, 4, mlkv.WithEngine(ec.name))
+			if err != nil {
+				t.Fatalf("%s: %v", ec.name, err)
+			}
+			if got, want := m.EngineName(), "remote("+ec.name+")"; got != want {
+				t.Fatalf("%s: EngineName = %q, want %q", ec.name, got, want)
+			}
+			// The server refuses to swap a live model's engine.
+			if _, err := db.Open("sel-"+ec.name, 4, mlkv.WithEngine(otherEngine(ec.name))); err == nil {
+				t.Fatalf("%s: remote engine conflict accepted", ec.name)
+			}
+			m.Close()
+		}
+	})
+}
+
+// otherEngine returns an engine different from name, for conflict tests.
+func otherEngine(name string) string {
+	if name == "lsm" {
+		return "bptree"
+	}
+	return "lsm"
+}
+
+// TestAPIEngineValidation pins the engine-seam error surface on both
+// drivers: unknown engines are rejected, and the clock-free engines
+// refuse the blocking bounds (BSP, finite SSP) they cannot honor while
+// accepting the non-blocking ones.
+func TestAPIEngineValidation(t *testing.T) {
+	withTargets(t, func(t *testing.T, db *mlkv.DB) {
+		if _, err := db.Open("bad-engine", 4, mlkv.WithEngine("rocksdb")); err == nil {
+			t.Fatal("unknown engine accepted")
+		} else if !strings.Contains(err.Error(), "rocksdb") {
+			t.Fatalf("unknown-engine error does not name the engine: %v", err)
+		}
+		for _, engine := range []string{"lsm", "bptree"} {
+			for _, bound := range []int64{mlkv.BSP, 4} {
+				if _, err := db.Open("cf-"+engine, 4, mlkv.WithEngine(engine),
+					mlkv.WithStalenessBound(bound)); err == nil {
+					t.Fatalf("engine %s accepted blocking bound %d", engine, bound)
+				}
+			}
+			// Non-blocking bounds are no-ops, not errors.
+			m, err := db.Open("cf-ok-"+engine, 4, mlkv.WithEngine(engine),
+				mlkv.WithStalenessBound(mlkv.ASP))
+			if err != nil {
+				t.Fatalf("engine %s rejected ASP: %v", engine, err)
+			}
+			m.Close()
 		}
 	})
 }

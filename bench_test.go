@@ -66,6 +66,11 @@ func BenchmarkFig10YCSB(b *testing.B) { runFigure(b, "fig10") }
 // BenchmarkFig11EBay regenerates Figure 11 (eBay-like case studies).
 func BenchmarkFig11EBay(b *testing.B) { runFigure(b, "fig11") }
 
+// BenchmarkEngines runs the engine bake-off (faster vs lsm vs bptree on
+// YCSB mixes, batched DLRM training, and public-API batched reads — the
+// tracked BENCH_engines.json sweep).
+func BenchmarkEngines(b *testing.B) { runFigure(b, "engines") }
+
 // BenchmarkGetPut measures raw single-key Get+Put latency through the
 // public API with the clock enabled (micro-benchmark, not a paper figure).
 func BenchmarkGetPut(b *testing.B) {
@@ -154,7 +159,7 @@ func newRemoteBenchSession(tb testing.TB, batch, cacheEntries int) (*mlkv.Sessio
 	dir := tb.TempDir()
 	reg := server.NewRegistry(server.RegistryConfig{
 		DefaultBound: faster.BoundAsync,
-		Opener: func(id string, d, shards int, bound int64) (kv.Store, error) {
+		Opener: func(id string, d, shards int, bound int64, engine string) (kv.Store, error) {
 			return kv.OpenFasterShards(kv.ShardedConfig{
 				Dir: dir + "/" + id, Shards: shards, ValueSize: d * 4,
 				MemoryBytes: 32 << 20, ExpectedKeys: remoteBenchRecords,

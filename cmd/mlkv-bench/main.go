@@ -7,14 +7,17 @@
 //	mlkv-bench -experiment shards -scale small
 //	mlkv-bench -experiment network -scale small
 //	mlkv-bench -experiment trainbatch -scale small
+//	mlkv-bench -experiment engines -scale small -json .
 //
 // Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards network
-// trainbatch all. Scales: tiny (seconds), small (minutes, default), paper
-// (hours). -shards partitions every table the figX experiments open (the
-// "shards" experiment sweeps shard counts itself; "network" compares
-// in-process against a loopback mlkv-server at batch sizes 1/32/256;
-// "trainbatch" compares scalar vs batched gather/scatter DLRM training,
-// locally and over loopback).
+// trainbatch cache allocs engines all. Scales: tiny (seconds), small
+// (minutes, default), paper (hours). -shards partitions every table the
+// figX experiments open (the "shards" experiment sweeps shard counts
+// itself; "network" compares in-process against a loopback mlkv-server at
+// batch sizes 1/32/256; "trainbatch" compares scalar vs batched
+// gather/scatter DLRM training, locally and over loopback; "engines"
+// races the faster/lsm/bptree engines behind one seam on YCSB mixes,
+// batched training, and public-API batched reads).
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
 		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")

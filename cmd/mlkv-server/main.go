@@ -11,11 +11,19 @@
 //
 //	mlkv-server -addr 127.0.0.1:7070 -dir /data/mlkv -shards 4 \
 //	            -buffer-mb 64 -records 1000000 -sync \
+//	            -engine mlkv -model-engine eval-model=bptree \
 //	            -debug-addr 127.0.0.1:7071
 //
 // Flags size each model the server opens: -shards, -buffer-mb, -records,
 // and -staleness are per-model defaults (an OPEN may request its own shard
 // count and staleness bound; dimensions always come from the client).
+//
+// The storage engine behind each model resolves in precedence order: a
+// -model-engine id=engine pin, then the engine the client's OPEN frame
+// requested (mlkv.WithEngine), then the -engine default. A pinned model
+// refuses OPENs requesting a different engine. The clock-free engines
+// (lsm, bptree) have no staleness clock, so models they back always open
+// with the bound off.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
 // requests finish and flush, sessions drain, every model is checkpointed
@@ -23,8 +31,9 @@
 // signal exits immediately.
 //
 // With -debug-addr set, an HTTP listener exposes expvar at /debug/vars,
-// including per-model counters (mlkv_models) and the server's
-// connection/request counters (mlkv_server).
+// including per-model counters (mlkv_models), per-engine aggregates
+// (mlkv_engines), and the server's connection/request counters
+// (mlkv_server).
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,15 +64,33 @@ func main() {
 		shards    = flag.Int("shards", 1, "default hash partitions per model (an OPEN may request its own)")
 		bufferMB  = flag.Int("buffer-mb", 64, "per-model in-memory buffer budget (total, split across its shards)")
 		records   = flag.Uint64("records", 1<<20, "expected key count per model (sizes the hash indexes)")
-		engine    = flag.String("engine", "mlkv", "engine semantics (mlkv|faster)")
+		engine    = flag.String("engine", "mlkv", "default storage engine for new models (mlkv|faster|lsm|bptree); faster is the hybrid log with the clock off")
 		staleness = flag.Int64("staleness", -2, "default staleness bound for new models: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
 		cache     = flag.Int("cache", 0, "per-model server-side hot-tier capacity in entries (0 disables); cached reads are served only within each model's staleness bound")
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
 	)
+	modelEngines := map[string]string{}
+	flag.Func("model-engine", "pin a model to an engine as id=engine (repeatable); a pinned model refuses OPENs requesting another engine", func(v string) error {
+		id, eng, ok := strings.Cut(v, "=")
+		if !ok || id == "" {
+			return fmt.Errorf("want id=engine, got %q", v)
+		}
+		canonical, err := kv.NormalizeEngine(eng)
+		if err != nil {
+			return err
+		}
+		modelEngines[id] = canonical
+		return nil
+	})
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	defaultEngine, err := kv.NormalizeEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-engine: %v\n", err)
 		os.Exit(2)
 	}
 	defaultBound := *staleness
@@ -72,7 +100,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-staleness must be -2 (asp) or >= 0 (bsp/ssp), got %d\n", defaultBound)
 		os.Exit(2)
 	}
-	if *engine == "faster" {
+	if *engine == "faster" || kv.ClockFree(defaultEngine) {
 		defaultBound = -1 // clock off entirely
 	}
 	d := *dir
@@ -90,17 +118,30 @@ func main() {
 		DefaultBound:  defaultBound,
 		CacheEntries:  *cache,
 		Name:          *engine,
-		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
-			if *engine == "faster" {
+		Opener: func(id string, dim, shards int, bound int64, reqEngine string) (kv.Store, error) {
+			eng := reqEngine
+			if pinned, ok := modelEngines[id]; ok {
+				if reqEngine != "" && reqEngine != pinned {
+					return nil, fmt.Errorf("model %q is pinned to engine %q, client requested %q", id, pinned, reqEngine)
+				}
+				eng = pinned
+			} else if eng == "" {
+				eng = defaultEngine
+			}
+			if *engine == "faster" || kv.ClockFree(eng) {
 				bound = -1
 			}
-			log.Printf("mlkv-server: opening model %q (dim=%d shards=%d staleness=%s)",
-				id, dim, shards, boundName(bound))
-			return kv.OpenFasterShards(kv.ShardedConfig{
+			log.Printf("mlkv-server: opening model %q (engine=%s dim=%d shards=%d staleness=%s)",
+				id, eng, dim, shards, boundName(bound))
+			name := eng
+			if eng == kv.EngineFaster {
+				name = *engine // keep the mlkv/faster naming the flag chose
+			}
+			return kv.OpenEngine(eng, kv.ShardedConfig{
 				Dir: filepath.Join(d, id), Shards: shards, ValueSize: dim * 4,
 				RecordsPerPage: 256, MemoryBytes: int64(*bufferMB) << 20,
 				ExpectedKeys: *records, StalenessBound: bound, SyncWrites: *sync,
-			}, *engine)
+			}, name)
 		},
 	})
 	defer reg.Close()
@@ -118,6 +159,32 @@ func main() {
 			out := map[string]any{}
 			for _, m := range reg.Models() {
 				out[m.ID()] = m.Stats()
+			}
+			return out
+		}))
+		expvar.Publish("mlkv_engines", expvar.Func(func() any {
+			type engineAgg struct {
+				Models                           int
+				Gets, Puts, BatchGets, BatchPuts int64
+				MemHits, DiskReads               int64
+				ActiveSessions                   int64
+			}
+			out := map[string]*engineAgg{}
+			for _, m := range reg.Models() {
+				agg := out[m.Engine()]
+				if agg == nil {
+					agg = &engineAgg{}
+					out[m.Engine()] = agg
+				}
+				s := m.Stats()
+				agg.Models++
+				agg.Gets += s.Gets
+				agg.Puts += s.Puts
+				agg.BatchGets += s.BatchGets
+				agg.BatchPuts += s.BatchPuts
+				agg.MemHits += s.MemHits
+				agg.DiskReads += s.DiskReads
+				agg.ActiveSessions += s.ActiveSessions
 			}
 			return out
 		}))

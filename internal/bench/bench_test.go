@@ -204,3 +204,26 @@ func TestNetworkSweepRunsAtTinyScale(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineSweepRunsAtTinyScale covers the bake-off experiment: every
+// engine must complete both YCSB mixes and the public-API read leg, and
+// the report must carry one row per engine in each table.
+func TestEngineSweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	if err := e.Run("engines"); err != nil {
+		t.Fatalf("engines: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"read-heavy", "update-heavy", "public API",
+		"faster", "lsm", "bptree", "vs-faster",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

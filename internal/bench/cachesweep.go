@@ -110,7 +110,7 @@ func (e *Env) cacheSweepRemote() error {
 
 	reg := server.NewRegistry(server.RegistryConfig{
 		DefaultBound: faster.BoundAsync,
-		Opener: func(id string, d, shards int, bound int64) (kv.Store, error) {
+		Opener: func(id string, d, shards int, bound int64, engine string) (kv.Store, error) {
 			return kv.OpenFasterShards(kv.ShardedConfig{
 				Dir: e.dir("cache-remote"), Shards: shards, ValueSize: d * 4,
 				MemoryBytes: int64(bufKB) << 10, RecordsPerPage: 256,

@@ -523,7 +523,7 @@ func (e *Env) runShardedYCSB(shards, threads, vs, bufKB int) (float64, error) {
 // measurements the experiment records land in BENCH_<name>.json.
 func (e *Env) Run(name string) error {
 	if name == "all" {
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch", "cache", "allocs"} {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch", "cache", "allocs", "engines"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -557,8 +557,10 @@ func (e *Env) Run(name string) error {
 		err = e.CacheSweep()
 	case "allocs":
 		err = e.AllocSweep()
+	case "engines":
+		err = e.EngineSweep()
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|all)", name)
+		return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|all)", name)
 	}
 	if err != nil {
 		return err

@@ -196,10 +196,24 @@ func (s *Store) put(key uint64, val []byte, tomb bool) error {
 		meta = metaTombstone
 	}
 	s.treeMu.RLock()
+	full, err := s.putShared(key, meta, val)
+	s.treeMu.RUnlock()
+	if err != nil || !full {
+		return err
+	}
+	// Leaf is full: restart with the exclusive structure lock.
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	return s.insertExclusive(key, meta, val)
+}
+
+// putShared attempts the fast-path upsert (existing key, or room in the
+// leaf) with a leaf write latch. It returns full=true when the leaf needs a
+// split, which requires the exclusive lock. Caller holds treeMu shared.
+func (s *Store) putShared(key, meta uint64, val []byte) (full bool, err error) {
 	f, err := s.descendToLeaf(key)
 	if err != nil {
-		s.treeMu.RUnlock()
-		return err
+		return false, err
 	}
 	f.latch.Lock()
 	n := node{data: f.data, vs: s.cfg.ValueSize}
@@ -207,23 +221,73 @@ func (s *Store) put(key uint64, val []byte, tomb bool) error {
 		n.setLeafEntry(i, key, meta, val)
 		f.latch.Unlock()
 		s.pager.unpin(f, true)
-		s.treeMu.RUnlock()
-		return nil
+		return false, nil
 	} else if n.count() < s.maxLeaf {
 		n.leafInsertAt(i, key, meta, val)
 		f.latch.Unlock()
 		s.pager.unpin(f, true)
-		s.treeMu.RUnlock()
-		return nil
+		return false, nil
 	}
-	// Leaf is full: restart with the exclusive structure lock.
 	f.latch.Unlock()
 	s.pager.unpin(f, false)
-	s.treeMu.RUnlock()
+	return true, nil
+}
 
+// getBatch reads keys[i] into vals[i*vs:(i+1)*vs] under one acquisition of
+// the shared tree lock.
+func (s *Store) getBatch(keys []uint64, vals []byte, found []bool) error {
+	vs := s.cfg.ValueSize
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	for bi, key := range keys {
+		f, err := s.descendToLeaf(key)
+		if err != nil {
+			return err
+		}
+		f.latch.RLock()
+		n := node{data: f.data, vs: vs}
+		i, ok := n.leafSearch(key)
+		if ok && n.leafMeta(i)&metaTombstone == 0 {
+			copy(vals[bi*vs:(bi+1)*vs], n.leafVal(i))
+			found[bi] = true
+		} else {
+			found[bi] = false
+		}
+		f.latch.RUnlock()
+		s.pager.unpin(f, false)
+	}
+	return nil
+}
+
+// putBatch upserts all keys: the fast path runs for every key under one
+// shared-lock acquisition; keys that landed on full leaves are retried
+// under one exclusive-lock acquisition, splitting as needed.
+func (s *Store) putBatch(keys []uint64, vals []byte) error {
+	vs := s.cfg.ValueSize
+	var overflow []int
+	s.treeMu.RLock()
+	for i, key := range keys {
+		full, err := s.putShared(key, 0, vals[i*vs:(i+1)*vs])
+		if err != nil {
+			s.treeMu.RUnlock()
+			return err
+		}
+		if full {
+			overflow = append(overflow, i)
+		}
+	}
+	s.treeMu.RUnlock()
+	if len(overflow) == 0 {
+		return nil
+	}
 	s.treeMu.Lock()
 	defer s.treeMu.Unlock()
-	return s.insertExclusive(key, meta, val)
+	for _, i := range overflow {
+		if err := s.insertExclusive(keys[i], 0, vals[i*vs:(i+1)*vs]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // insertExclusive inserts under the exclusive tree lock, splitting as
@@ -367,6 +431,23 @@ func (s *Store) insertExclusive(key, meta uint64, val []byte) error {
 	return nil
 }
 
+// Sync flushes dirty pages and the metadata to the file without closing,
+// making everything written so far recoverable — the engine's checkpoint.
+func (s *Store) Sync() error {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if err := s.pager.flushAll(); err != nil {
+		return err
+	}
+	s.metaMu.Lock()
+	err := s.writeMeta()
+	s.metaMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
 // Close flushes dirty pages and the metadata.
 func (s *Store) Close() error {
 	s.treeMu.Lock()
@@ -432,6 +513,26 @@ func (se *Session) Put(key uint64, val []byte) error {
 // Delete removes key (tombstone; space is reused on reinsert).
 func (se *Session) Delete(key uint64) error {
 	return se.s.put(key, make([]byte, se.s.cfg.ValueSize), true)
+}
+
+// GetBatch reads keys[i] into vals[i*vs:(i+1)*vs], setting found[i], under
+// one acquisition of the shared tree lock.
+func (se *Session) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	vs := se.s.cfg.ValueSize
+	if len(vals) != len(keys)*vs || len(found) != len(keys) {
+		return errors.New("bptree: batch buffer lengths must match len(keys)")
+	}
+	return se.s.getBatch(keys, vals, found)
+}
+
+// PutBatch upserts keys[i] = vals[i*vs:(i+1)*vs]; fast-path inserts share
+// one lock acquisition, overflowing leaves split under one exclusive pass.
+func (se *Session) PutBatch(keys []uint64, vals []byte) error {
+	vs := se.s.cfg.ValueSize
+	if len(vals) != len(keys)*vs {
+		return errors.New("bptree: batch buffer lengths must match len(keys)")
+	}
+	return se.s.putBatch(keys, vals)
 }
 
 // Prefetch pulls key's leaf page into the buffer pool.

@@ -70,20 +70,23 @@ func (p *pager) fetch(id uint64) (*pframe, error) {
 	f.pins = 1
 	f.ref = true
 	f.dirty = false
+	// Take the content latch BEFORE the frame becomes visible in the page
+	// table: a concurrent fetcher of the same id returns the frame from the
+	// map and then blocks on the latch until the disk read below completes.
+	// Published unlatched, that fetcher could win the latch race and read —
+	// or worse, update — the evicted previous tenant's bytes still sitting
+	// in the recycled frame. Acquiring here cannot block: eviction requires
+	// pins == 0, and every caller releases the latch before unpinning.
+	f.latch.Lock()
 	p.frames[id] = f
 	p.reads++
 	p.mu.Unlock()
-	// Read outside the pool lock; the frame is invisible to others only
-	// through the map, and it is pinned, so nobody can evict it. Concurrent
-	// fetchers of the same id could observe partially read data, so the read
-	// happens under the frame's write latch.
-	f.latch.Lock()
 	_, err = p.file.ReadAt(f.data, int64(id)*int64(p.pageSize))
 	f.latch.Unlock()
 	if err != nil {
 		p.mu.Lock()
 		delete(p.frames, id)
-		f.pins = 0
+		f.pins-- // only this fetch's pin; concurrent fetchers drop their own
 		p.mu.Unlock()
 		return nil, fmt.Errorf("bptree: read page %d: %w", id, err)
 	}

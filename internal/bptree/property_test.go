@@ -1,0 +1,327 @@
+package bptree
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// openPropTree opens a store with pages small enough that a few thousand
+// distinct keys build a deep tree through many leaf and internal splits.
+// No cleanup is registered: property runs close and reopen the store
+// themselves.
+func openPropTree(t *testing.T, dir string, vs int) *Store {
+	t.Helper()
+	s, err := Open(Config{
+		Dir:       dir,
+		ValueSize: vs,
+		PageSize:  512,
+		PoolPages: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// propBatchKeys fills keys with a run of consecutive keys starting at a
+// random point. Consecutive keys keep every batch duplicate-free, which
+// the map model needs, and putBatch's overflow retry path re-applies the
+// first occurrence of a key — last-wins only holds for distinct keys.
+func propBatchKeys(r *util.RNG, keys []uint64, keySpace uint64) {
+	start := r.Uint64n(keySpace) + 1
+	for i := range keys {
+		keys[i] = start + uint64(i)
+	}
+}
+
+// TestBPTreePropertyAcrossSplitsAndReopen runs long random operation
+// sequences — scalar and batch — against the tree and a reference map
+// simultaneously, over a key space wide enough to split leaves and
+// internal nodes repeatedly, closing and reopening the store twice
+// mid-run. The surviving tree must agree with the map exactly, including
+// after the final reopen.
+func TestBPTreePropertyAcrossSplitsAndReopen(t *testing.T) {
+	const (
+		vs       = 12
+		keySpace = 3000
+		ops      = 20000
+		batch    = 8
+	)
+	dir := t.TempDir()
+	st := openPropTree(t, dir, vs)
+	defer func() { st.Close() }()
+	se, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := make(map[uint64][]byte)
+	r := util.NewRNG(0xb9713)
+	dst := make([]byte, vs)
+	bkeys := make([]uint64, batch)
+	bvals := make([]byte, batch*vs)
+	bfound := make([]bool, batch)
+
+	for i := 0; i < ops; i++ {
+		// Boundary events: a checkpoint at the midpoint, a full
+		// close/reopen at the quarter points. Everything the model holds
+		// must survive each.
+		switch i {
+		case ops / 4, 3 * ops / 4:
+			se.Close()
+			if err := st.Close(); err != nil {
+				t.Fatalf("op %d: close: %v", i, err)
+			}
+			st = openPropTree(t, dir, vs)
+			if se, err = st.NewSession(); err != nil {
+				t.Fatal(err)
+			}
+		case ops / 2:
+			if err := st.Sync(); err != nil {
+				t.Fatalf("op %d: sync: %v", i, err)
+			}
+		}
+
+		k := r.Uint64n(keySpace) + 1
+		switch r.Uint64n(12) {
+		case 0, 1, 2, 3: // Put
+			v := bval(vs, r.Uint64())
+			if err := se.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 4: // Delete
+			if err := se.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case 5: // PutBatch over a consecutive key run
+			propBatchKeys(r, bkeys, keySpace)
+			for j, bk := range bkeys {
+				v := bval(vs, r.Uint64())
+				copy(bvals[j*vs:(j+1)*vs], v)
+				model[bk] = v
+			}
+			if err := se.PutBatch(bkeys, bvals); err != nil {
+				t.Fatal(err)
+			}
+		case 6: // GetBatch, checked slot by slot
+			propBatchKeys(r, bkeys, keySpace)
+			if err := se.GetBatch(bkeys, bvals, bfound); err != nil {
+				t.Fatal(err)
+			}
+			for j, bk := range bkeys {
+				mv, ok := model[bk]
+				if bfound[j] != ok {
+					t.Fatalf("op %d: GetBatch(%d) found=%v, model=%v", i, bk, bfound[j], ok)
+				}
+				if ok && !bytes.Equal(bvals[j*vs:(j+1)*vs], mv) {
+					t.Fatalf("op %d: GetBatch(%d) value mismatch", i, bk)
+				}
+			}
+		case 7: // Prefetch must never change visible state
+			if _, err := se.Prefetch(k); err != nil {
+				t.Fatal(err)
+			}
+		default: // Get
+			found, err := se.Get(k, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv, ok := model[k]
+			if found != ok {
+				t.Fatalf("op %d: Get(%d) found=%v, model=%v", i, k, found, ok)
+			}
+			if found && !bytes.Equal(dst, mv) {
+				t.Fatalf("op %d: Get(%d) = %x, want %x", i, k, dst, mv)
+			}
+		}
+	}
+
+	// The run must actually have crossed the structural boundary it
+	// claims to test: this many distinct keys on 512-byte pages splits
+	// the root at least twice.
+	if st.Height() < 3 {
+		t.Fatalf("run never split past height %d; widen the key space", st.Height())
+	}
+
+	// Final reopen, then verify the entire key space against the model.
+	se.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = openPropTree(t, dir, vs)
+	se, err = st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= keySpace+batch; k++ {
+		found, err := se.Get(k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, ok := model[k]
+		if found != ok {
+			t.Fatalf("final: key %d found=%v model=%v", k, found, ok)
+		}
+		if found && !bytes.Equal(dst, mv) {
+			t.Fatalf("final: key %d mismatch", k)
+		}
+	}
+}
+
+// TestBPTreeCrashAfterSyncMatchesModel abandons the store without Close
+// after a Sync — the checkpoint the engine promises is recoverable — and
+// demands the reopened file agree with the model at the sync point.
+func TestBPTreeCrashAfterSyncMatchesModel(t *testing.T) {
+	const (
+		vs       = 12
+		keySpace = 1500
+		ops      = 6000
+	)
+	dir := t.TempDir()
+	st := openPropTree(t, dir, vs)
+	se, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[uint64][]byte)
+	r := util.NewRNG(0xc4a55)
+	for i := 0; i < ops; i++ {
+		k := r.Uint64n(keySpace) + 1
+		if r.Uint64n(5) == 0 {
+			if err := se.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		} else {
+			v := bval(vs, r.Uint64())
+			if err := se.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	// Checkpoint, then crash: walk away without Close. The file alone
+	// must reconstruct the model.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openPropTree(t, dir, vs)
+	defer st2.Close()
+	se2, err := st2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, vs)
+	for k := uint64(1); k <= keySpace; k++ {
+		found, err := se2.Get(k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, ok := model[k]
+		if found != ok {
+			t.Fatalf("after crash: key %d found=%v model=%v", k, found, ok)
+		}
+		if found && !bytes.Equal(dst, mv) {
+			t.Fatalf("after crash: key %d mismatch", k)
+		}
+	}
+	st.file.Close() // release the abandoned handle
+}
+
+// TestBPTreeColdFetchUnderConcurrency hammers the pager's miss path with
+// same-page collisions: every worker reads and writes a hot key range
+// spanning a handful of leaf pages, while periodic cold scans evict those
+// pages from the 16-frame pool — so the hot pages are constantly being
+// refetched from disk by several goroutines at once. A frame published in
+// the page table before its disk read completes surfaces here as tree
+// corruption (reads of the recycled frame's previous tenant) — a logical
+// latch-ordering race the race detector cannot flag, so this stress test
+// is the gate.
+func TestBPTreeColdFetchUnderConcurrency(t *testing.T) {
+	const (
+		vs       = 64
+		hotKeys  = 256   // a few leaf pages all workers share
+		coldKeys = 50000 // far beyond the pool: scans evict the hot pages
+		workers  = 8
+		ops      = 20000
+	)
+	dir := t.TempDir()
+	st := openPropTree(t, dir, vs)
+	defer st.Close()
+
+	se, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= coldKeys; k += 2 {
+		if err := se.Put(k, bval(vs, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ses, err := st.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ses.Close()
+			r := util.NewRNG(uint64(w)*77 + 5)
+			dst := make([]byte, vs)
+			for i := 0; i < ops; i++ {
+				if r.Uint64n(8) == 0 {
+					// Cold burst: churn the pool so the hot pages evict.
+					for j := 0; j < 16; j++ {
+						k := r.Uint64n(coldKeys) + 1
+						found, err := ses.Get(k, dst)
+						if err != nil {
+							t.Errorf("cold get: %v", err)
+							return
+						}
+						// Odd keys are preloaded and never deleted: a miss
+						// means the reader walked a corrupt (recycled) page.
+						if k%2 == 1 && !found {
+							t.Errorf("cold key %d vanished", k)
+							return
+						}
+					}
+					continue
+				}
+				k := r.Uint64n(hotKeys) + 1
+				if r.Uint64n(4) == 0 {
+					if err := ses.Put(k, bval(vs, k)); err != nil {
+						t.Errorf("put %d: %v", k, err)
+						return
+					}
+				} else {
+					found, err := ses.Get(k, dst)
+					if err != nil {
+						t.Errorf("get %d: %v", k, err)
+						return
+					}
+					if k%2 == 1 && !found {
+						t.Errorf("hot key %d vanished", k)
+						return
+					}
+					if found && !bytes.Equal(dst, bval(vs, k)) {
+						t.Errorf("key %d: torn or foreign value", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -132,14 +132,22 @@ type OpenSpec struct {
 	// Bound is the staleness bound to apply; wire.BoundUnset keeps the
 	// server's default (new model) or the current bound (existing model).
 	Bound int64
+	// Engine requests a storage engine ("faster", "lsm", "bptree") for a
+	// newly created model; "" takes the server's choice. An existing model
+	// opened with a different engine is refused by the server.
+	Engine string
 }
 
 // OpenModel creates or looks up the named model on the server and returns
 // its handle. Opening the same name twice returns equivalent models — the
 // server deduplicates by name.
 func (c *Client) OpenModel(ctx context.Context, spec OpenSpec) (*Model, error) {
+	req, err := wire.EncodeOpen(spec.ID, spec.Dim, spec.Shards, spec.Bound, spec.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
+	}
 	cn := c.pick()
-	p, err := cn.roundTripCtx(ctx, wire.OpOpen, wire.EncodeOpen(spec.ID, spec.Dim, spec.Shards, spec.Bound))
+	p, err := cn.roundTripCtx(ctx, wire.OpOpen, req)
 	if err != nil {
 		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
 	}

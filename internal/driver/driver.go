@@ -44,6 +44,11 @@ type ConnectOptions struct {
 type Config struct {
 	// Dim is the embedding dimension.
 	Dim int
+	// Engine selects the storage engine behind the model: "" lets the
+	// target choose (locally the clocked hybrid log; remotely the server's
+	// default), otherwise "mlkv"/"faster" (the hybrid log), "lsm", or
+	// "bptree". The clock-free engines reject blocking staleness bounds.
+	Engine string
 	// Shards is the hash-partition count (0 = target default).
 	Shards int
 	// Bound is the staleness bound; applied only when BoundSet.
@@ -96,8 +101,8 @@ type Model interface {
 	ID() string
 	Dim() int
 	Shards() int
-	// EngineName identifies the backing engine ("mlkv", "faster", or
-	// "remote(<engine>)").
+	// EngineName identifies the backing engine ("mlkv", "faster", "lsm",
+	// "bptree", or "remote(<engine>)").
 	EngineName() string
 	StalenessBound() int64
 	SetStalenessBound(ctx context.Context, b int64) error

@@ -1,0 +1,275 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/tensor"
+)
+
+// kvBackend serves a local model from a lifted clock-free engine (LSM or
+// B+tree) — the paper's "framework + conventional KV store" deployment
+// behind the same public API as the hybrid log. The engines speak bytes,
+// so the float32 codec and deterministic first-touch initialization run on
+// this side of the seam, exactly like the remote driver and the training
+// pipeline's KV adapter: a key reads identically no matter which engine
+// materializes it.
+type kvBackend struct {
+	store    kv.Store // possibly a hot-tier wrapper over base
+	base     kv.Store
+	engine   string // canonical: kv.EngineLSM or kv.EngineBPTree
+	dim      int
+	init     core.Initializer
+	sessions atomic.Int64
+}
+
+func openKVBackend(dir, engine string, cfg Config) (*kvBackend, error) {
+	bound := int64(-1) // clock-free engines default to the bound off
+	if cfg.BoundSet {
+		bound = cfg.Bound // OpenEngine rejects blocking bounds
+	}
+	base, err := kv.OpenEngine(engine, kv.ShardedConfig{
+		Dir:            dir,
+		Shards:         cfg.Shards,
+		ValueSize:      cfg.Dim * 4,
+		MemoryBytes:    cfg.MemoryBytes,
+		ExpectedKeys:   cfg.ExpectedKeys,
+		StalenessBound: bound,
+	}, engine)
+	if err != nil {
+		return nil, err
+	}
+	store := base
+	if cfg.CacheEntries > 0 {
+		store = kv.WrapCached(base, cfg.CacheEntries)
+	}
+	return &kvBackend{store: store, base: base, engine: engine, dim: cfg.Dim, init: cfg.Init}, nil
+}
+
+func (b *kvBackend) Dim() int { return b.dim }
+
+func (b *kvBackend) Shards() int {
+	if sh, ok := b.base.(kv.Sharded); ok {
+		return sh.Shards()
+	}
+	return 1
+}
+
+func (b *kvBackend) EngineName() string { return b.engine }
+
+// StalenessBound is always -1: these engines have no vector clock.
+func (b *kvBackend) StalenessBound() int64 { return -1 }
+
+func (b *kvBackend) SetStalenessBound(bound int64) error {
+	if faster.BlockingBound(bound) {
+		return fmt.Errorf("driver: engine %q has no vector clock and cannot honor blocking staleness bound %d", b.engine, bound)
+	}
+	return nil // ASP / disabled are what the engine already does
+}
+
+func (b *kvBackend) Checkpoint() error {
+	if cp, ok := b.store.(kv.Checkpointer); ok {
+		return cp.Checkpoint()
+	}
+	return fmt.Errorf("driver: engine %q cannot checkpoint", b.engine)
+}
+
+func (b *kvBackend) Stats() Stats {
+	st := Stats{}
+	if sr, ok := b.store.(kv.StatsReporter); ok {
+		ss := sr.Stats()
+		st.Gets, st.Puts, st.RMWs, st.Deletes = ss.Gets, ss.Puts, ss.RMWs, ss.Deletes
+		st.MemHits, st.DiskReads = ss.MemHits, ss.DiskReads
+		st.FlushedPages, st.BytesFlushed = ss.FlushedPages, ss.BytesFlushed
+	}
+	if bc, ok := b.base.(kv.BatchCallReporter); ok {
+		st.BatchGets, st.BatchPuts = bc.BatchCalls()
+	}
+	if cr, ok := b.store.(kv.CacheStatsReporter); ok {
+		cs := cr.CacheStats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+	return st
+}
+
+func (b *kvBackend) ActiveSessions() int64 { return b.sessions.Load() }
+
+func (b *kvBackend) NewSession() (Session, error) {
+	s, err := b.store.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	b.sessions.Add(1)
+	return &kvSession{b: b, s: s, buf: make([]byte, b.dim*4)}, nil
+}
+
+func (b *kvBackend) Close() error { return b.store.Close() }
+
+// kvSession adapts a byte-level kv.Session to the driver seam: float32
+// conversion, first-touch initialization with write-back, and RMW as
+// get+step+put (these engines have no native read-modify-write).
+type kvSession struct {
+	b   *kvBackend
+	s   kv.Session
+	buf []byte // one value, scalar-path staging
+
+	// Batch-path scratch, grown on demand and reused across calls.
+	bbuf     []byte
+	found    []bool
+	missKeys []uint64
+	missVals []byte
+	rmw      []float32
+}
+
+func (s *kvSession) initInto(key uint64, dst []float32) {
+	if s.b.init != nil {
+		s.b.init(key, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func (s *kvSession) Get(ctx context.Context, key uint64, dst []float32) error {
+	if len(dst) != s.b.dim {
+		return fmt.Errorf("driver: dst length %d != dim %d", len(dst), s.b.dim)
+	}
+	found, err := kv.SessionGetCtx(ctx, s.s, key, s.buf)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// First touch: initialize deterministically and persist, so every
+		// session (and every engine) materializes the same embedding.
+		s.initInto(key, dst)
+		tensor.F32sToBytes(dst, s.buf)
+		return s.s.Put(key, s.buf)
+	}
+	tensor.BytesToF32s(s.buf, dst)
+	return nil
+}
+
+// GetBatch issues one batched read, then initializes and writes back the
+// missing keys with one batched write — the scalar first-touch protocol
+// paid once per batch instead of once per key.
+func (s *kvSession) GetBatch(ctx context.Context, keys []uint64, dst []float32) error {
+	dim := s.b.dim
+	if len(dst) != len(keys)*dim {
+		return fmt.Errorf("driver: dst length %d != %d keys × dim %d", len(dst), len(keys), dim)
+	}
+	vs := dim * 4
+	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
+	s.found = growSlice(s.found, len(keys))
+	if err := kv.SessionGetBatchCtx(ctx, s.s, vs, keys, s.bbuf, s.found); err != nil {
+		return err
+	}
+	s.missKeys = s.missKeys[:0]
+	s.missVals = s.missVals[:0]
+	for i, ok := range s.found {
+		seg := dst[i*dim : (i+1)*dim]
+		if ok {
+			tensor.BytesToF32s(s.bbuf[i*vs:], seg)
+			continue
+		}
+		s.initInto(keys[i], seg)
+		s.missKeys = append(s.missKeys, keys[i])
+		n := len(s.missVals)
+		s.missVals = append(s.missVals, make([]byte, vs)...)
+		tensor.F32sToBytes(seg, s.missVals[n:])
+	}
+	if len(s.missKeys) == 0 {
+		return nil
+	}
+	return kv.SessionPutBatch(s.s, vs, s.missKeys, s.missVals)
+}
+
+func (s *kvSession) Put(ctx context.Context, key uint64, val []float32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(val) != s.b.dim {
+		return fmt.Errorf("driver: val length %d != dim %d", len(val), s.b.dim)
+	}
+	tensor.F32sToBytes(val, s.buf)
+	return s.s.Put(key, s.buf)
+}
+
+func (s *kvSession) PutBatch(ctx context.Context, keys []uint64, vals []float32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dim := s.b.dim
+	if len(vals) != len(keys)*dim {
+		return fmt.Errorf("driver: vals length %d != %d keys × dim %d", len(vals), len(keys), dim)
+	}
+	vs := dim * 4
+	s.bbuf = growSlice(s.bbuf, len(keys)*vs)
+	tensor.F32sToBytes(vals, s.bbuf)
+	return kv.SessionPutBatch(s.s, vs, keys, s.bbuf[:len(keys)*vs])
+}
+
+// RMW reads, steps, and writes back. Unlike the hybrid log's in-storage
+// RMW this is not atomic across sessions; concurrent updaters of one key
+// should batch their gradients the way the trainers do.
+func (s *kvSession) RMW(ctx context.Context, key uint64, grad []float32, lr float32) error {
+	dim := s.b.dim
+	if len(grad) != dim {
+		return fmt.Errorf("driver: grad length %d != dim %d", len(grad), dim)
+	}
+	s.rmw = growSlice(s.rmw, dim)
+	if err := s.Get(ctx, key, s.rmw); err != nil {
+		return err
+	}
+	for i := range s.rmw {
+		s.rmw[i] -= lr * grad[i]
+	}
+	tensor.F32sToBytes(s.rmw, s.buf)
+	return s.s.Put(key, s.buf)
+}
+
+// Peek reads without first-touch side effects; missing keys leave dst
+// zeroed.
+func (s *kvSession) Peek(ctx context.Context, key uint64, dst []float32) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if len(dst) != s.b.dim {
+		return false, fmt.Errorf("driver: dst length %d != dim %d", len(dst), s.b.dim)
+	}
+	found, err := kv.SessionPeek(s.s, key, s.buf)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false, nil
+	}
+	tensor.BytesToF32s(s.buf, dst)
+	return true, nil
+}
+
+func (s *kvSession) Delete(ctx context.Context, key uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.s.Delete(key)
+}
+
+// Lookahead is best-effort: these engines have no prefetch pipeline, so
+// the hint resolves synchronously (or not at all) and never blocks reads.
+func (s *kvSession) Lookahead(keys []uint64) error {
+	_, err := kv.SessionLookahead(s.s, keys)
+	return err
+}
+
+func (s *kvSession) Close() {
+	s.s.Close()
+	s.b.sessions.Add(-1)
+}

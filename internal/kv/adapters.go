@@ -10,25 +10,14 @@ import (
 	"github.com/llm-db/mlkv-go/internal/util"
 )
 
-// WrapLSM adapts an LSM store to the Store interface.
-func WrapLSM(s *lsm.Store) Store { return lsmStore{s} }
+// WrapLSM adapts an LSM store to the Store interface, with the full
+// optional surface (BatchSession/PeekSession/Checkpointer/StatsReporter)
+// lifted onto it — see liftLSM in engines.go.
+func WrapLSM(s *lsm.Store) Store { return liftLSM(s, s.Name()) }
 
-type lsmStore struct{ s *lsm.Store }
-
-func (w lsmStore) NewSession() (Session, error) { return w.s.NewSession() }
-func (w lsmStore) ValueSize() int               { return w.s.ValueSize() }
-func (w lsmStore) Name() string                 { return w.s.Name() }
-func (w lsmStore) Close() error                 { return w.s.Close() }
-
-// WrapBPTree adapts a B+tree store to the Store interface.
-func WrapBPTree(s *bptree.Store) Store { return btStore{s} }
-
-type btStore struct{ s *bptree.Store }
-
-func (w btStore) NewSession() (Session, error) { return w.s.NewSession() }
-func (w btStore) ValueSize() int               { return w.s.ValueSize() }
-func (w btStore) Name() string                 { return w.s.Name() }
-func (w btStore) Close() error                 { return w.s.Close() }
+// WrapBPTree adapts a B+tree store to the Store interface, with the full
+// optional surface lifted onto it — see liftBPTree in engines.go.
+func WrapBPTree(s *bptree.Store) Store { return liftBPTree(s, s.Name()) }
 
 // WrapFaster adapts a FASTER store to the Store interface (used by the
 // YCSB harness, which works on raw bytes).

@@ -295,6 +295,12 @@ func (s *Store) get(key uint64, dst []byte) (bool, error) {
 	imm := make([]*memtable, len(s.imm))
 	copy(imm, s.imm)
 	s.mu.Unlock()
+	return s.getSnapshot(key, dst, mem, imm, s.ver.Load())
+}
+
+// getSnapshot resolves one key against an already-captured view of the
+// store, so batch reads pay the snapshot lock once rather than per key.
+func (s *Store) getSnapshot(key uint64, dst []byte, mem *memtable, imm []*memtable, v *version) (bool, error) {
 	// 1. Active memtable.
 	if ok, tomb := mem.get(key, dst); ok {
 		return !tomb, nil
@@ -306,7 +312,6 @@ func (s *Store) get(key uint64, dst []byte) (bool, error) {
 		}
 	}
 	// 3. Tables.
-	v := s.ver.Load()
 	for i := len(v.levels[0]) - 1; i >= 0; i-- { // L0 newest first
 		ok, tomb, err := v.levels[0][i].get(key, dst, s.cache)
 		if err != nil {
@@ -331,6 +336,63 @@ func (s *Store) get(key uint64, dst []byte) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// getBatch reads keys[i] into vals[i*vs:(i+1)*vs], capturing the
+// memtable/version snapshot once for the whole batch.
+func (s *Store) getBatch(keys []uint64, vals []byte, found []bool) error {
+	if err, _ := s.bgErr.Load().(error); err != nil {
+		return err
+	}
+	vs := s.cfg.ValueSize
+	s.mu.Lock()
+	mem := s.mem
+	imm := make([]*memtable, len(s.imm))
+	copy(imm, s.imm)
+	s.mu.Unlock()
+	v := s.ver.Load()
+	for i, key := range keys {
+		ok, err := s.getSnapshot(key, vals[i*vs:(i+1)*vs], mem, imm, v)
+		if err != nil {
+			return err
+		}
+		found[i] = ok
+	}
+	return nil
+}
+
+// putBatch upserts all keys under one lock acquisition with a single WAL
+// write. The memtable may overshoot MemtableBytes by at most one batch;
+// rotation is checked once at the end.
+func (s *Store) putBatch(keys []uint64, vals []byte) error {
+	if err, _ := s.bgErr.Load().(error); err != nil {
+		return err
+	}
+	vs := s.cfg.ValueSize
+	rec := make([]byte, len(keys)*(16+vs))
+	for i, key := range keys {
+		off := i * (16 + vs)
+		binary.LittleEndian.PutUint64(rec[off:], key)
+		binary.LittleEndian.PutUint64(rec[off+8:], 0)
+		copy(rec[off+16:], vals[i*vs:(i+1)*vs])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.wal.Write(rec); err != nil {
+		return err
+	}
+	if s.cfg.SyncWAL {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	for i, key := range keys {
+		s.mem.put(key, vals[i*vs:(i+1)*vs], false)
+	}
+	if s.mem.bytes() >= s.cfg.MemtableBytes {
+		s.rotateMemtableLocked()
+	}
+	return nil
 }
 
 // background runs flushes and compactions.
@@ -484,6 +546,27 @@ func (se *Session) Put(key uint64, val []byte) error {
 // Delete removes key.
 func (se *Session) Delete(key uint64) error {
 	return se.s.put(key, make([]byte, se.s.cfg.ValueSize), true)
+}
+
+// GetBatch reads keys[i] into vals[i*vs:(i+1)*vs], setting found[i]. The
+// memtable/version snapshot is captured once for the whole batch instead of
+// once per key.
+func (se *Session) GetBatch(keys []uint64, vals []byte, found []bool) error {
+	vs := se.s.cfg.ValueSize
+	if len(vals) != len(keys)*vs || len(found) != len(keys) {
+		return errors.New("lsm: batch buffer lengths must match len(keys)")
+	}
+	return se.s.getBatch(keys, vals, found)
+}
+
+// PutBatch upserts keys[i] = vals[i*vs:(i+1)*vs] under one lock
+// acquisition with a single WAL write.
+func (se *Session) PutBatch(keys []uint64, vals []byte) error {
+	vs := se.s.cfg.ValueSize
+	if len(vals) != len(keys)*vs {
+		return errors.New("lsm: batch buffer lengths must match len(keys)")
+	}
+	return se.s.putBatch(keys, vals)
 }
 
 // Prefetch pulls key's block into the block cache.

@@ -1,0 +1,242 @@
+package lsm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// openPropLSM opens a store with thresholds small enough that a run of a
+// few thousand operations crosses many memtable rotations and several
+// compactions. No cleanup is registered: property runs close and reopen
+// the store themselves.
+func openPropLSM(t *testing.T, dir string, vs int) *Store {
+	t.Helper()
+	s, err := Open(Config{
+		Dir:           dir,
+		ValueSize:     vs,
+		MemtableBytes: 8 << 10,
+		CacheBytes:    32 << 10,
+		L0Limit:       3,
+		TableEntries:  256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// propBatchKeys fills keys with a run of consecutive keys starting at a
+// random point. Consecutive keys keep every batch duplicate-free, which
+// the map model needs: a batch with an internal duplicate has no single
+// "the" value for that key.
+func propBatchKeys(r *util.RNG, keys []uint64, keySpace uint64) {
+	start := r.Uint64n(keySpace) + 1
+	for i := range keys {
+		keys[i] = start + uint64(i)
+	}
+}
+
+// TestLSMPropertyAcrossFlushCompactionReopen runs long random operation
+// sequences — scalar and batch — against the store and a reference map
+// simultaneously, forcing flushes and compactions along the way and
+// closing and reopening the store twice mid-run. The surviving store must
+// agree with the map exactly, including after the final reopen.
+func TestLSMPropertyAcrossFlushCompactionReopen(t *testing.T) {
+	const (
+		vs       = 12
+		keySpace = 800
+		ops      = 20000
+		batch    = 8
+	)
+	dir := t.TempDir()
+	st := openPropLSM(t, dir, vs)
+	defer func() { st.Close() }()
+	se, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := make(map[uint64][]byte)
+	r := util.NewRNG(0x15a15a)
+	dst := make([]byte, vs)
+	bkeys := make([]uint64, batch)
+	bvals := make([]byte, batch*vs)
+	bfound := make([]bool, batch)
+
+	for i := 0; i < ops; i++ {
+		// Boundary events: an explicit flush+compaction at the midpoint,
+		// and a full close/reopen at the quarter points. Everything the
+		// model holds must survive each.
+		switch i {
+		case ops / 4, 3 * ops / 4:
+			se.Close()
+			if err := st.Close(); err != nil {
+				t.Fatalf("op %d: close: %v", i, err)
+			}
+			st = openPropLSM(t, dir, vs)
+			if se, err = st.NewSession(); err != nil {
+				t.Fatal(err)
+			}
+		case ops / 2:
+			if err := st.Flush(); err != nil {
+				t.Fatalf("op %d: flush: %v", i, err)
+			}
+		}
+
+		k := r.Uint64n(keySpace) + 1
+		switch r.Uint64n(12) {
+		case 0, 1, 2, 3: // Put
+			v := lval(vs, r.Uint64())
+			if err := se.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 4: // Delete
+			if err := se.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case 5: // PutBatch over a consecutive key run
+			propBatchKeys(r, bkeys, keySpace)
+			for j, bk := range bkeys {
+				v := lval(vs, r.Uint64())
+				copy(bvals[j*vs:(j+1)*vs], v)
+				model[bk] = v
+			}
+			if err := se.PutBatch(bkeys, bvals); err != nil {
+				t.Fatal(err)
+			}
+		case 6: // GetBatch, checked slot by slot
+			propBatchKeys(r, bkeys, keySpace)
+			if err := se.GetBatch(bkeys, bvals, bfound); err != nil {
+				t.Fatal(err)
+			}
+			for j, bk := range bkeys {
+				mv, ok := model[bk]
+				if bfound[j] != ok {
+					t.Fatalf("op %d: GetBatch(%d) found=%v, model=%v", i, bk, bfound[j], ok)
+				}
+				if ok && !bytes.Equal(bvals[j*vs:(j+1)*vs], mv) {
+					t.Fatalf("op %d: GetBatch(%d) value mismatch", i, bk)
+				}
+			}
+		case 7: // Prefetch must never change visible state
+			if _, err := se.Prefetch(k); err != nil {
+				t.Fatal(err)
+			}
+		default: // Get
+			found, err := se.Get(k, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv, ok := model[k]
+			if found != ok {
+				t.Fatalf("op %d: Get(%d) found=%v, model=%v", i, k, found, ok)
+			}
+			if found && !bytes.Equal(dst, mv) {
+				t.Fatalf("op %d: Get(%d) = %x, want %x", i, k, dst, mv)
+			}
+		}
+	}
+
+	// The run must actually have crossed the structural boundaries it
+	// claims to test: compaction has built levels below L0 by now.
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v := st.ver.Load(); len(v.levels) < 2 {
+		t.Fatalf("run never compacted beyond L0 (levels=%d); shrink MemtableBytes", len(v.levels))
+	}
+
+	// Final reopen, then verify the entire key space against the model.
+	se.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = openPropLSM(t, dir, vs)
+	se, err = st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= keySpace+batch; k++ {
+		found, err := se.Get(k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, ok := model[k]
+		if found != ok {
+			t.Fatalf("final: key %d found=%v model=%v", k, found, ok)
+		}
+		if found && !bytes.Equal(dst, mv) {
+			t.Fatalf("final: key %d mismatch", k)
+		}
+	}
+}
+
+// TestLSMCrashRecoveryMatchesModel abandons the store without Close after
+// a WAL sync — the crash the WAL exists for — and demands the reopened
+// store agree with the model exactly, including deletions that only ever
+// lived in the WAL.
+func TestLSMCrashRecoveryMatchesModel(t *testing.T) {
+	const (
+		vs       = 12
+		keySpace = 400
+		ops      = 6000
+	)
+	dir := t.TempDir()
+	st := openPropLSM(t, dir, vs)
+	se, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[uint64][]byte)
+	r := util.NewRNG(0xc4a54)
+	for i := 0; i < ops; i++ {
+		k := r.Uint64n(keySpace) + 1
+		if r.Uint64n(5) == 0 {
+			if err := se.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		} else {
+			v := lval(vs, r.Uint64())
+			if err := se.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+	}
+	// Crash: sync the WAL, stop the background worker where it stands (a
+	// real crash does both at once — nothing flushes after this point),
+	// and walk away without Close. Flushed tables, the manifest, and the
+	// WAL tail together must reconstruct the model.
+	if err := st.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	close(st.done)
+	st.bg.Wait()
+
+	st2 := openPropLSM(t, dir, vs)
+	defer st2.Close()
+	se2, err := st2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, vs)
+	for k := uint64(1); k <= keySpace; k++ {
+		found, err := se2.Get(k, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, ok := model[k]
+		if found != ok {
+			t.Fatalf("after crash: key %d found=%v model=%v", k, found, ok)
+		}
+		if found && !bytes.Equal(dst, mv) {
+			t.Fatalf("after crash: key %d mismatch", k)
+		}
+	}
+	st.wal.Close() // release the abandoned handle
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
@@ -30,9 +31,10 @@ type Registry struct {
 type RegistryConfig struct {
 	// Opener opens the backing store for a model on its first OPEN. The
 	// id is validated (see validateModelID) before Opener runs, so it is
-	// safe to use as a directory name. Required unless every model is
-	// pre-registered with Add.
-	Opener func(id string, dim, shards int, bound int64) (kv.Store, error)
+	// safe to use as a directory name. engine is the canonical engine name
+	// the client requested, or "" for the server's choice. Required unless
+	// every model is pre-registered with Add.
+	Opener func(id string, dim, shards int, bound int64, engine string) (kv.Store, error)
 	// DefaultShards is the shard count applied when an OPEN requests 0.
 	// Defaults to 1.
 	DefaultShards int
@@ -100,13 +102,16 @@ func validateModelID(id string) error {
 // keeps the count it was created with). A bound other than wire.BoundUnset
 // is applied to the model — at creation for a new one, via
 // kv.Bounded.SetStalenessBound for an existing one, matching the paper's
-// interface where the trainer declares the consistency it needs.
+// interface where the trainer declares the consistency it needs. engine
+// "" takes the server's choice for a new model and is never a mismatch
+// for an existing one; a named engine must match an existing model's and
+// is passed to the Opener for a new one.
 //
 // The Opener runs outside the registry lock (store opens do directory
 // creation and log recovery I/O), so one tenant's slow cold open never
 // stalls other connections' OPEN/ATTACH/STATS; concurrent opens of the
 // same name wait on one pending entry instead of double-opening.
-func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error) {
+func (r *Registry) Open(id string, dim, shards int, bound int64, engine string) (*Model, error) {
 	if err := validateModelID(id); err != nil {
 		return nil, err
 	}
@@ -115,6 +120,15 @@ func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error)
 	}
 	if shards < 0 {
 		return nil, fmt.Errorf("server: model %q: negative shard count %d", id, shards)
+	}
+	if engine != "" {
+		var err error
+		if engine, err = kv.NormalizeEngine(engine); err != nil {
+			return nil, fmt.Errorf("server: model %q: %w", id, err)
+		}
+		if kv.ClockFree(engine) && bound != wire.BoundUnset && faster.BlockingBound(bound) {
+			return nil, fmt.Errorf("server: model %q: engine %q has no vector clock and cannot honor blocking staleness bound %d", id, engine, bound)
+		}
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -130,9 +144,14 @@ func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error)
 		if m.dim != dim {
 			return nil, fmt.Errorf("server: model %q has dim %d, requested %d", id, m.dim, dim)
 		}
+		if engine != "" && engine != m.engine {
+			return nil, fmt.Errorf("server: model %q runs engine %q, requested %q", id, m.engine, engine)
+		}
 		if bound != wire.BoundUnset {
 			if bd, ok := m.store.(kv.Bounded); ok {
 				bd.SetStalenessBound(bound)
+			} else if faster.BlockingBound(bound) {
+				return nil, fmt.Errorf("server: model %q: engine %q has no vector clock and cannot honor blocking staleness bound %d", id, m.engine, bound)
 			}
 		}
 		return m, nil
@@ -146,13 +165,20 @@ func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error)
 	}
 	if bound == wire.BoundUnset {
 		bound = r.cfg.DefaultBound
+		if kv.ClockFree(engine) {
+			// A clock-free engine cannot run the server's default bound if
+			// that bound blocks; open it unbounded instead of failing.
+			if faster.BlockingBound(bound) {
+				bound = -1
+			}
+		}
 	}
 	// Publish a pending entry, open outside the lock, then resolve it.
 	m := &Model{id: id, dim: dim, ready: make(chan struct{})}
 	r.byName[id] = m
 	r.mu.Unlock()
 
-	store, err := r.cfg.Opener(id, dim, shards, bound)
+	store, err := r.cfg.Opener(id, dim, shards, bound, engine)
 	if err == nil {
 		if vs := store.ValueSize(); vs != dim*4 {
 			store.Close()
@@ -173,6 +199,7 @@ func (r *Registry) Open(id string, dim, shards int, bound int64) (*Model, error)
 		store.Close()
 	default:
 		m.store = store
+		m.engine = storeEngine(store)
 		r.nextHandle++
 		m.handle = r.nextHandle
 		r.byHandle[m.handle] = m
@@ -203,7 +230,7 @@ func (r *Registry) Add(id string, dim int, store kv.Store) (*Model, error) {
 		return nil, fmt.Errorf("server: model %q already registered", id)
 	}
 	r.nextHandle++
-	m := &Model{id: id, handle: r.nextHandle, dim: dim, store: store, ready: make(chan struct{})}
+	m := &Model{id: id, handle: r.nextHandle, dim: dim, store: store, engine: storeEngine(store), ready: make(chan struct{})}
 	close(m.ready)
 	r.byName[id] = m
 	r.byHandle[m.handle] = m
@@ -271,12 +298,24 @@ func (r *Registry) Close() error {
 	return first
 }
 
+// storeEngine derives a store's canonical engine name from its Name()
+// (the adapters name themselves after their engine); anything
+// unrecognized — custom store names, embedded tests — is the hybrid-log
+// engine, the only one with a vector clock.
+func storeEngine(s kv.Store) string {
+	if eng, err := kv.NormalizeEngine(s.Name()); err == nil {
+		return eng
+	}
+	return kv.EngineFaster
+}
+
 // Model is one served embedding model: a named store plus the serving
 // counters the engine cannot see (frames, remote sessions).
 type Model struct {
 	id     string
 	handle uint32
 	dim    int
+	engine string // canonical engine name (kv.EngineFaster/LSM/BPTree)
 	store  kv.Store
 	// ready is closed once store/openErr are resolved; concurrent opens
 	// of the same name wait on it instead of double-opening.
@@ -299,6 +338,10 @@ func (m *Model) Handle() uint32 { return m.handle }
 
 // Dim returns the embedding dimension.
 func (m *Model) Dim() int { return m.dim }
+
+// Engine returns the canonical name of the engine backing the model
+// (expvar groups per-engine aggregates by it).
+func (m *Model) Engine() string { return m.engine }
 
 // Store exposes the backing store.
 func (m *Model) Store() kv.Store { return m.store }

@@ -26,8 +26,8 @@ func startServer(t *testing.T, dir string) (string, *Server, func()) {
 		DefaultShards: 4,
 		DefaultBound:  -1,
 		Name:          "mlkv-test",
-		Opener: func(id string, dim, shards int, bound int64) (kv.Store, error) {
-			return kv.OpenFasterShards(kv.ShardedConfig{
+		Opener: func(id string, dim, shards int, bound int64, engine string) (kv.Store, error) {
+			return kv.OpenEngine(engine, kv.ShardedConfig{
 				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
 				RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
 				StalenessBound: bound,
@@ -431,7 +431,11 @@ func TestProtocolErrorPaths(t *testing.T) {
 	}
 
 	// Open a real model so data frames have a live handle.
-	if err := wire.WriteFrame(nc, 2, wire.OpOpen, wire.EncodeOpen("raw", 2, 0, wire.BoundUnset)); err != nil {
+	openReq, err := wire.EncodeOpen("raw", 2, 0, wire.BoundUnset, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(nc, 2, wire.OpOpen, openReq); err != nil {
 		t.Fatal(err)
 	}
 	f, err = wire.ReadFrame(nc, 0)

@@ -11,6 +11,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/data"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/lsm"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/server"
 )
@@ -20,9 +21,11 @@ const confDim = 8
 var confInit = core.UniformInit(0.05, 1)
 
 // confBackends builds one instance of every Handle implementation: MLKV
-// table (clock on), plain FASTER (clock off), B+tree through the KV
-// adapter, sharded memory, and a remote backend speaking the wire
-// protocol to a loopback mlkv-server. Each comes fresh (empty store).
+// table (clock on), plain FASTER (clock off), LSM and B+tree through the
+// lifted KV adapters, sharded memory, and remote backends speaking the
+// wire protocol to loopback mlkv-servers — one per engine, so the remote
+// matrix covers every engine an OPEN frame can request. Each comes fresh
+// (empty store).
 func confBackends(t *testing.T) map[string]Backend {
 	t.Helper()
 	out := map[string]Backend{
@@ -31,6 +34,16 @@ func confBackends(t *testing.T) map[string]Backend {
 		"mem":    NewMemBackend("mem", confDim, confInit),
 	}
 
+	ls, err := lsm.Open(lsm.Config{
+		Dir: t.TempDir(), ValueSize: confDim * 4,
+		MemtableBytes: 64 << 10, CacheBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ls.Close() })
+	out["lsm"] = NewKVBackend(kv.WrapLSM(ls), confDim, confInit)
+
 	bt, err := bptree.Open(bptree.Config{Dir: t.TempDir(), ValueSize: confDim * 4, PoolPages: 64})
 	if err != nil {
 		t.Fatal(err)
@@ -38,22 +51,25 @@ func confBackends(t *testing.T) map[string]Backend {
 	t.Cleanup(func() { bt.Close() })
 	out["bptree"] = NewKVBackend(kv.WrapBPTree(bt), confDim, confInit)
 
-	out["remote"] = remoteBackend(t, confDim, 0, core.BoundASP)
+	out["remote"] = remoteBackend(t, confDim, 0, core.BoundASP, "mlkv")
+	out["remote-lsm"] = remoteBackend(t, confDim, 0, core.BoundASP, "lsm")
+	out["remote-bptree"] = remoteBackend(t, confDim, 0, core.BoundASP, "bptree")
 	return out
 }
 
-// remoteBackend serves a fresh sharded store on loopback and dials it
-// through the public API. conns sizes the connection pool (0 = a small
-// default).
-func remoteBackend(t *testing.T, dim, conns int, bound int64) *RemoteBackend {
+// remoteBackend serves a fresh sharded store of the named engine on
+// loopback and dials it through the public API. conns sizes the
+// connection pool (0 = a small default). The clock-free engines must be
+// paired with a non-blocking bound.
+func remoteBackend(t *testing.T, dim, conns int, bound int64, engine string) *RemoteBackend {
 	t.Helper()
 	if conns <= 0 {
 		conns = 4
 	}
-	store, err := kv.OpenFasterShards(kv.ShardedConfig{
+	store, err := kv.OpenEngine(engine, kv.ShardedConfig{
 		Dir: t.TempDir(), Shards: 4, ValueSize: dim * 4, RecordsPerPage: 64,
 		MemoryBytes: 1 << 20, StalenessBound: bound,
-	}, "mlkv")
+	}, engine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +279,7 @@ func TestTrainCTRScalarPath(t *testing.T) {
 // across steps, clock-free PEEK evaluation.
 func TestTrainCTRRemoteBSP(t *testing.T) {
 	const workers = 2
-	rb := remoteBackend(t, confDim, workers+2, core.BoundBSP)
+	rb := remoteBackend(t, confDim, workers+2, core.BoundBSP, "mlkv")
 	gen := data.NewCTRGen(data.CTRConfig{Fields: 3, DenseDim: 2, FieldCard: 200, Seed: 7})
 	model := models.NewDLRM(models.FFNN, 3, confDim, 2, []int{8}, 9)
 	res, err := TrainCTR(CTROptions{

@@ -55,27 +55,101 @@ func DecodeHelloResp(p []byte) (version uint32, name string, err error) {
 	return binary.LittleEndian.Uint32(p[0:]), string(p[4:]), nil
 }
 
+// engineMarker introduces the optional engine extension in an OPEN
+// request. Model ids are restricted to ASCII letters, digits, '.', '_',
+// and '-' (see the server's validation), so 0xFF can never be an id's
+// first byte: its presence at the id position unambiguously signals the
+// extension without a protocol version bump. An OPEN with no engine
+// requested is byte-identical to the version-2 layout, so pre-engine
+// clients keep getting the server's default (FASTER), and an
+// engine-requesting OPEN sent to a pre-engine server fails its model-id
+// validation with a clean RespErr rather than misparsing.
+const engineMarker = 0xFF
+
+// Engine codes carried in the OPEN extension byte.
+const (
+	engineCodeUnset  = 0 // no engine requested (same as omitting the extension)
+	engineCodeFaster = 1
+	engineCodeLSM    = 2
+	engineCodeBPTree = 3
+)
+
+func engineCode(engine string) (byte, error) {
+	switch engine {
+	case "":
+		return engineCodeUnset, nil
+	case "faster":
+		return engineCodeFaster, nil
+	case "lsm":
+		return engineCodeLSM, nil
+	case "bptree":
+		return engineCodeBPTree, nil
+	}
+	return 0, fmt.Errorf("wire: unknown engine %q in OPEN", engine)
+}
+
+func engineName(code byte) (string, error) {
+	switch code {
+	case engineCodeUnset:
+		return "", nil
+	case engineCodeFaster:
+		return "faster", nil
+	case engineCodeLSM:
+		return "lsm", nil
+	case engineCodeBPTree:
+		return "bptree", nil
+	}
+	return "", fmt.Errorf("wire: unknown engine code %d in OPEN", code)
+}
+
 // EncodeOpen builds an OPEN request: uint32 dim | uint32 shards (0 lets
 // the server choose) | int64 staleness bound (BoundUnset for the server
-// default) | model id bytes.
-func EncodeOpen(id string, dim, shards int, bound int64) []byte {
-	p := make([]byte, 16+len(id))
+// default) | [0xFF marker | engine code, when an engine is requested] |
+// model id bytes. engine "" omits the extension entirely, keeping the
+// frame byte-identical to protocol version 2.
+func EncodeOpen(id string, dim, shards int, bound int64, engine string) ([]byte, error) {
+	code, err := engineCode(engine)
+	if err != nil {
+		return nil, err
+	}
+	ext := 0
+	if code != engineCodeUnset {
+		ext = 2
+	}
+	p := make([]byte, 16+ext+len(id))
 	binary.LittleEndian.PutUint32(p[0:], uint32(dim))
 	binary.LittleEndian.PutUint32(p[4:], uint32(shards))
 	binary.LittleEndian.PutUint64(p[8:], uint64(bound))
-	copy(p[16:], id)
-	return p
+	if ext != 0 {
+		p[16] = engineMarker
+		p[17] = code
+	}
+	copy(p[16+ext:], id)
+	return p, nil
 }
 
-// DecodeOpen parses an OPEN request.
-func DecodeOpen(p []byte) (id string, dim, shards int, bound int64, err error) {
+// DecodeOpen parses an OPEN request. engine is "" when the client did not
+// request one (the server applies its default to a new model and leaves an
+// existing model's engine untouched).
+func DecodeOpen(p []byte) (id string, dim, shards int, bound int64, engine string, err error) {
 	if len(p) < 17 {
-		return "", 0, 0, 0, fmt.Errorf("%w: OPEN wants >= 17 bytes, got %d", ErrShortPayload, len(p))
+		return "", 0, 0, 0, "", fmt.Errorf("%w: OPEN wants >= 17 bytes, got %d", ErrShortPayload, len(p))
 	}
-	return string(p[16:]),
+	idb := p[16:]
+	if idb[0] == engineMarker {
+		if len(idb) < 3 {
+			return "", 0, 0, 0, "", fmt.Errorf("%w: OPEN engine extension truncated", ErrShortPayload)
+		}
+		engine, err = engineName(idb[1])
+		if err != nil {
+			return "", 0, 0, 0, "", err
+		}
+		idb = idb[2:]
+	}
+	return string(idb),
 		int(binary.LittleEndian.Uint32(p[0:])),
 		int(binary.LittleEndian.Uint32(p[4:])),
-		int64(binary.LittleEndian.Uint64(p[8:])), nil
+		int64(binary.LittleEndian.Uint64(p[8:])), engine, nil
 }
 
 // EncodeOpenResp builds an OPEN response: uint32 handle | uint32 dim |

@@ -129,12 +129,27 @@ func TestPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("hello resp: %d %q %v", v, name, err)
 	}
 
-	id, dim, sh, bound, err := DecodeOpen(EncodeOpen("ctr-model", 16, 4, 8))
-	if err != nil || id != "ctr-model" || dim != 16 || sh != 4 || bound != 8 {
-		t.Fatalf("open: %q %d %d %d %v", id, dim, sh, bound, err)
+	id, dim, sh, bound, eng, err := DecodeOpen(mustEncodeOpen(t, "ctr-model", 16, 4, 8, ""))
+	if err != nil || id != "ctr-model" || dim != 16 || sh != 4 || bound != 8 || eng != "" {
+		t.Fatalf("open: %q %d %d %d %q %v", id, dim, sh, bound, eng, err)
 	}
-	if _, _, _, b, err := DecodeOpen(EncodeOpen("m", 8, 0, BoundUnset)); err != nil || b != BoundUnset {
+	if _, _, _, b, _, err := DecodeOpen(mustEncodeOpen(t, "m", 8, 0, BoundUnset, "")); err != nil || b != BoundUnset {
 		t.Fatalf("open unset bound: %d %v", b, err)
+	}
+	// The engine extension survives a round trip for every engine, and an
+	// engine-less frame stays byte-identical to the pre-engine layout.
+	for _, wantEng := range []string{"faster", "lsm", "bptree"} {
+		id, _, _, _, eng, err := DecodeOpen(mustEncodeOpen(t, "m-1", 8, 2, 4, wantEng))
+		if err != nil || id != "m-1" || eng != wantEng {
+			t.Fatalf("open engine %q: id=%q eng=%q err=%v", wantEng, id, eng, err)
+		}
+	}
+	if _, err := EncodeOpen("m", 8, 0, 4, "rocksdb"); err == nil {
+		t.Fatal("EncodeOpen accepted unknown engine")
+	}
+	plain := mustEncodeOpen(t, "m", 8, 2, 4, "")
+	if len(plain) != 16+1 {
+		t.Fatalf("engine-less OPEN grew to %d bytes (must stay v2-identical)", len(plain))
 	}
 	oh, odim, osh, ob, oname, err := DecodeOpenResp(EncodeOpenResp(3, 16, 4, -1, "mlkv"))
 	if err != nil || oh != 3 || odim != 16 || osh != 4 || ob != -1 || oname != "mlkv" {
@@ -222,6 +237,16 @@ func TestPayloadRoundTrips(t *testing.T) {
 	}
 }
 
+// mustEncodeOpen is EncodeOpen for known-good engines in tests.
+func mustEncodeOpen(t *testing.T, id string, dim, shards int, bound int64, engine string) []byte {
+	t.Helper()
+	p, err := EncodeOpen(id, dim, shards, bound, engine)
+	if err != nil {
+		t.Fatalf("EncodeOpen(%q): %v", engine, err)
+	}
+	return p
+}
+
 // TestDecodeRejectsTruncation feeds every decoder every proper prefix of a
 // valid payload: each must error (never panic, never accept).
 func TestDecodeRejectsTruncation(t *testing.T) {
@@ -230,7 +255,7 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	vals := bytes.Repeat([]byte{9}, 3*vs)
 	found := []bool{true, false, true}
 	// Variable-length string tails: a shorter tail is still a valid payload.
-	varTail := map[string]int{"helloResp": 4, "open": 16, "openResp": 20}
+	varTail := map[string]int{"helloResp": 4, "open": 16, "openEngine": 18, "openResp": 20}
 	cases := []struct {
 		name    string
 		payload []byte
@@ -238,7 +263,8 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	}{
 		{"hello", EncodeHello(), func(p []byte) error { _, err := DecodeHello(p); return err }},
 		{"helloResp", EncodeHelloResp("x"), func(p []byte) error { _, _, err := DecodeHelloResp(p); return err }},
-		{"open", EncodeOpen("m", 8, 2, 4), func(p []byte) error { _, _, _, _, err := DecodeOpen(p); return err }},
+		{"open", mustEncodeOpen(t, "m", 8, 2, 4, ""), func(p []byte) error { _, _, _, _, _, err := DecodeOpen(p); return err }},
+		{"openEngine", mustEncodeOpen(t, "m", 8, 2, 4, "lsm"), func(p []byte) error { _, _, _, _, _, err := DecodeOpen(p); return err }},
 		{"openResp", EncodeOpenResp(1, 8, 2, 4, "x"), func(p []byte) error { _, _, _, _, _, err := DecodeOpenResp(p); return err }},
 		{"handle", EncodeHandle(5), func(p []byte) error { _, _, err := DecodeHandle(p); return err }},
 		{"key", stripHandle(t, EncodeKey(1, 5), 1), func(p []byte) error { _, err := DecodeKey(p); return err }},

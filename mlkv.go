@@ -129,6 +129,7 @@ type Option func(*config)
 
 type config struct {
 	dir          string // compat: mlkv.Open's connect target
+	engine       string
 	bound        int64
 	boundSet     bool
 	memory       int64
@@ -145,9 +146,23 @@ type config struct {
 // already names the target and the option is ignored.
 func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
 
+// WithEngine selects the storage engine behind the model: "mlkv" (or
+// "faster" — the clocked hybrid log, the default), "lsm" (a write-optimized
+// log-structured merge tree), or "bptree" (a read-optimized on-disk
+// B+tree). On a remote DB the engine travels in the OPEN frame, so the
+// same option picks the engine server-side; a server may pin a model to an
+// engine, in which case a conflicting request fails. The clock-free
+// engines (lsm, bptree) have no staleness clock: they reject BSP and
+// finite SSP bounds, always run effectively unbounded, and a model opens
+// with the engine it was created with — reopening under a different one is
+// refused. Unset (or ""), the target chooses: locally the hybrid log,
+// remotely the server's default engine.
+func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
+
 // WithStalenessBound sets the consistency bound: BSP, ASP, Disabled, or any
-// positive SSP bound. Unset, a local model defaults to SSP(4) and a remote
-// model keeps the server's bound for it.
+// positive SSP bound. Unset, a local model on the hybrid log defaults to
+// SSP(4), a local model on a clock-free engine (WithEngine "lsm"/"bptree")
+// runs unbounded, and a remote model keeps the server's bound for it.
 func WithStalenessBound(b int64) Option {
 	return func(c *config) { c.bound, c.boundSet = b, true }
 }
@@ -232,6 +247,7 @@ func (db *DB) OpenCtx(ctx context.Context, id string, dim int, opts ...Option) (
 	}
 	dcfg := driver.Config{
 		Dim:             dim,
+		Engine:          cfg.engine,
 		Shards:          cfg.shards,
 		Bound:           cfg.bound,
 		BoundSet:        cfg.boundSet,
@@ -243,11 +259,6 @@ func (db *DB) OpenCtx(ctx context.Context, id string, dim int, opts ...Option) (
 	}
 	if dcfg.Init == nil && cfg.initScale > 0 {
 		dcfg.Init = core.UniformInit(cfg.initScale, initSeed)
-	}
-	if !db.remote && !dcfg.BoundSet {
-		// Local models keep mlkv.Open's historical default, SSP(4); a
-		// remote unset bound defers to the server.
-		dcfg.Bound, dcfg.BoundSet = 4, true
 	}
 	m, err := db.d.Open(ctx, id, dcfg)
 	if err != nil {
@@ -297,7 +308,7 @@ func (m *Model) Dim() int { return m.m.Dim() }
 func (m *Model) Shards() int { return m.m.Shards() }
 
 // EngineName identifies the backing engine: "mlkv", "faster" (clock
-// disabled), or "remote(<engine>)".
+// disabled), "lsm", "bptree", or "remote(<engine>)".
 func (m *Model) EngineName() string { return m.m.EngineName() }
 
 // StalenessBound returns the consistency bound in effect when the model
