@@ -71,6 +71,11 @@ func BenchmarkFig11EBay(b *testing.B) { runFigure(b, "fig11") }
 // tracked BENCH_engines.json sweep).
 func BenchmarkEngines(b *testing.B) { runFigure(b, "engines") }
 
+// BenchmarkLatency runs the tail-latency sweep (Zipf reads across
+// workers × batch on the in-process and loopback tiers, hot tier off and
+// on — the tracked BENCH_latency.json sweep).
+func BenchmarkLatency(b *testing.B) { runFigure(b, "latency") }
+
 // BenchmarkGetPut measures raw single-key Get+Put latency through the
 // public API with the clock enabled (micro-benchmark, not a paper figure).
 func BenchmarkGetPut(b *testing.B) {

@@ -30,10 +30,12 @@
 // when -sync is set, and the final per-model counters print. A second
 // signal exits immediately.
 //
-// With -debug-addr set, an HTTP listener exposes expvar at /debug/vars,
-// including per-model counters (mlkv_models), per-engine aggregates
-// (mlkv_engines), and the server's connection/request counters
-// (mlkv_server).
+// With -debug-addr set, an HTTP listener exposes expvar at /debug/vars —
+// per-model counters (mlkv_models), per-model per-op-class latency
+// percentiles (mlkv_latency), per-engine aggregates (mlkv_engines), and
+// the server's connection/request counters (mlkv_server) — plus the
+// net/http/pprof profiling endpoints under /debug/pprof/ on the same
+// listener, so a CPU or heap profile of a live server is one curl away.
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof/ on the -debug-addr listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,13 +56,14 @@ import (
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/server"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
-		debugAddr = flag.String("debug-addr", "", "optional HTTP listen address for expvar (/debug/vars)")
+		debugAddr = flag.String("debug-addr", "", "optional HTTP listen address for expvar (/debug/vars, incl. mlkv_latency percentiles) and pprof (/debug/pprof/)")
 		dir       = flag.String("dir", "", "data directory, one subdirectory per model (default: temp, deleted on exit)")
 		shards    = flag.Int("shards", 1, "default hash partitions per model (an OPEN may request its own)")
 		bufferMB  = flag.Int("buffer-mb", 64, "per-model in-memory buffer budget (total, split across its shards)")
@@ -185,6 +189,32 @@ func main() {
 				agg.MemHits += s.MemHits
 				agg.DiskReads += s.DiskReads
 				agg.ActiveSessions += s.ActiveSessions
+			}
+			return out
+		}))
+		expvar.Publish("mlkv_latency", expvar.Func(func() any {
+			// model → op class → percentile summary (µs), from the
+			// always-on per-model histograms. Op classes with no traffic
+			// are omitted so the JSON stays readable.
+			type opLat struct {
+				Count                       int64
+				P50us, P99us, P999us, Maxus float64
+			}
+			out := map[string]map[string]opLat{}
+			for _, m := range reg.Models() {
+				snaps := m.Latency().Snapshot()
+				ops := map[string]opLat{}
+				for op, s := range snaps {
+					if s.Count == 0 {
+						continue
+					}
+					ops[latency.Op(op).String()] = opLat{
+						Count: s.Count,
+						P50us: latency.Us(s.P50), P99us: latency.Us(s.P99),
+						P999us: latency.Us(s.P999), Maxus: latency.Us(s.Max),
+					}
+				}
+				out[m.ID()] = ops
 			}
 			return out
 		}))

@@ -11,10 +11,14 @@
 //	          -valuesize 64 -buffer-mb 64 -engine mlkv -shards 4
 //	mlkv-ycsb -addr 127.0.0.1:7070 -records 100000 -ops 1000000 -threads 8
 //
+// Results include per-op-class latency percentiles (read and update
+// p50/p99/p999 in microseconds) alongside throughput, recorded across
+// every client thread by the always-on histograms.
+//
 // SIGINT/SIGTERM end the run gracefully: workers finish their current
-// operation, the partial result and engine counters print, and (locally,
-// with -sync) the store is checkpointed. A second signal exits
-// immediately.
+// operation, the partial result — counters and latency lines covering
+// the partial run — and engine counters print, and (locally, with -sync)
+// the store is checkpointed. A second signal exits immediately.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/driver"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/ycsb"
 )
 
@@ -156,6 +161,8 @@ func main() {
 		store.Name(), dist, *threads, store.ValueSize(), storeShards(store, *shards))
 	fmt.Printf("ops=%d reads=%d updates=%d elapsed=%s throughput=%.0f ops/s\n",
 		res.Ops, res.Reads, res.Updates, res.Elapsed.Round(1e6), res.Throughput)
+	printLatency("read", res.ReadLat)
+	printLatency("update", res.UpdateLat)
 	if sr, ok := store.(kv.StatsReporter); ok {
 		s := sr.Stats()
 		fmt.Printf("store: gets=%d puts=%d memhits=%d diskreads=%d inplace=%d rcu=%d flushed=%dB\n",
@@ -171,6 +178,18 @@ func main() {
 		fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
 			cs.Hits, cs.Misses, cs.Evictions, pct)
 	}
+}
+
+// printLatency renders one op class's percentile line in microseconds.
+// On a graceful early stop the snapshot covers the partial run, so the
+// line still prints; a class with no operations is skipped.
+func printLatency(class string, s latency.Snapshot) {
+	if s.Count == 0 {
+		return
+	}
+	fmt.Printf("%s latency (µs): p50=%.1f p99=%.1f p999=%.1f max=%.1f (n=%d)\n",
+		class, latency.Us(s.P50), latency.Us(s.P99), latency.Us(s.P999),
+		latency.Us(s.Max), s.Count)
 }
 
 // storeShards reports the store's actual partition count (the server's,

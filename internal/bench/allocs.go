@@ -10,6 +10,7 @@ import (
 	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/server"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
@@ -51,7 +52,7 @@ func (e *Env) AllocSweep() error {
 		serveErr := make(chan error, 1)
 		go func() { serveErr <- srv.Serve(ln) }()
 
-		res, rate, err := measureRemoteAllocs(ln.Addr().String(), records, dim, batch, entries)
+		res, rate, lat, err := measureRemoteAllocs(ln.Addr().String(), records, dim, batch, entries)
 
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		srv.Shutdown(ctx)
@@ -65,7 +66,7 @@ func (e *Env) AllocSweep() error {
 		name := fmt.Sprintf("remote-getbatch%d/cache=%d", batch, entries)
 		e.printf("%-28s %12d %12d %10d %14.0f\n",
 			name, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp(), rate)
-		e.Record(Result{
+		r := Result{
 			Name:        name,
 			OpsPerSec:   rate,
 			NsPerOp:     float64(res.NsPerOp()),
@@ -75,18 +76,22 @@ func (e *Env) AllocSweep() error {
 				"records": records, "dim": dim, "batch": batch,
 				"bound": "asp", "cache_entries": entries, "zipf": 0.99,
 			},
-		})
+		}
+		r.SetLatency(lat)
+		e.Record(r)
 	}
 	return nil
 }
 
 // measureRemoteAllocs opens the model over loopback, first-touches the
 // whole key space (so the measured loop is pure steady-state reads), and
-// benchmarks the Zipf GetBatch loop.
-func measureRemoteAllocs(addr string, records uint64, dim, batch, cacheEntries int) (testing.BenchmarkResult, float64, error) {
+// benchmarks the Zipf GetBatch loop, recording per-call latency as it
+// goes (Record is allocation-free, so the allocs/op number is unchanged
+// by the measurement).
+func measureRemoteAllocs(addr string, records uint64, dim, batch, cacheEntries int) (testing.BenchmarkResult, float64, latency.Snapshot, error) {
 	db, err := mlkv.Connect(mlkv.Scheme + addr)
 	if err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, latency.Snapshot{}, err
 	}
 	defer db.Close()
 	opts := []mlkv.Option{mlkv.WithStalenessBound(mlkv.ASP)}
@@ -95,12 +100,12 @@ func measureRemoteAllocs(addr string, records uint64, dim, batch, cacheEntries i
 	}
 	m, err := db.Open("allocs", dim, opts...)
 	if err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, latency.Snapshot{}, err
 	}
 	defer m.Close()
 	sess, err := m.NewSession()
 	if err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, latency.Snapshot{}, err
 	}
 	defer sess.Close()
 
@@ -111,12 +116,14 @@ func measureRemoteAllocs(addr string, records uint64, dim, batch, cacheEntries i
 			keys[i] = base + uint64(i)
 		}
 		if err := sess.GetBatch(keys, dst); err != nil {
-			return testing.BenchmarkResult{}, 0, err
+			return testing.BenchmarkResult{}, 0, latency.Snapshot{}, err
 		}
 	}
 
+	var lat latency.Histogram
 	var benchErr error
 	res := testing.Benchmark(func(b *testing.B) {
+		lat.Reset() // keep only the final (longest) benchmark round
 		zipf := util.NewScrambledZipf(util.NewRNG(7), records, 0.99)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -124,15 +131,17 @@ func measureRemoteAllocs(addr string, records uint64, dim, batch, cacheEntries i
 			for j := range keys {
 				keys[j] = zipf.Next()
 			}
+			opStart := time.Now()
 			if err := sess.GetBatch(keys, dst); err != nil {
 				benchErr = err
 				b.FailNow()
 			}
+			lat.Since(opStart)
 		}
 	})
 	if benchErr != nil {
-		return res, 0, benchErr
+		return res, 0, latency.Snapshot{}, benchErr
 	}
 	rate := float64(batch) * float64(res.N) / res.T.Seconds()
-	return res, rate, nil
+	return res, rate, lat.Snapshot(), nil
 }

@@ -205,6 +205,39 @@ func TestNetworkSweepRunsAtTinyScale(t *testing.T) {
 	}
 }
 
+// TestLatencySweepRunsAtTinyScale covers the tail-latency experiment:
+// every (tier, cache, batch, workers) cell must run end to end, and every
+// recorded result must carry non-zero percentiles — the invariant the
+// committed BENCH_latency.json depends on.
+func TestLatencySweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	sc := Tiny
+	sc.Duration = 200 * time.Millisecond
+	e := NewEnv(sc, t.TempDir(), &out)
+	if err := e.Run("latency"); err != nil {
+		t.Fatalf("latency: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"local", "remote", "p99-µs", "p999-µs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// 2 tiers × 2 cache settings × 2 batch sizes × len(Threads) workers.
+	if want := 2 * 2 * 2 * len(sc.Threads); len(e.results) != want {
+		t.Fatalf("recorded %d results, want %d", len(e.results), want)
+	}
+	for _, r := range e.results {
+		if r.P50Us <= 0 || r.P99Us <= 0 || r.P999Us <= 0 || r.P99Us < r.P50Us {
+			t.Fatalf("%s: implausible percentiles p50=%v p90=%v p99=%v p999=%v",
+				r.Name, r.P50Us, r.P90Us, r.P99Us, r.P999Us)
+		}
+	}
+}
+
 // TestEngineSweepRunsAtTinyScale covers the bake-off experiment: every
 // engine must complete both YCSB mixes and the public-API read leg, and
 // the report must carry one row per engine in each table.

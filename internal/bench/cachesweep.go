@@ -12,6 +12,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/server"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
@@ -60,7 +61,7 @@ func (e *Env) CacheSweep() error {
 				tbl.Close()
 				return err
 			}
-			rate, err := measureZipf(tableSess, records, dim, batch, workers, dur, 131)
+			rate, lat, err := measureZipf(tableSess, records, dim, batch, workers, dur, 131)
 			if err != nil {
 				tbl.Close()
 				return err
@@ -71,7 +72,7 @@ func (e *Env) CacheSweep() error {
 				hitPct = 100 * float64(ts.CacheHits) / float64(lookups)
 			}
 			tbl.Close()
-			e.Record(Result{
+			r := Result{
 				Name:      fmt.Sprintf("zipf-read/batch=%d/cache=%d", batch, cacheEntries),
 				OpsPerSec: rate,
 				Config: map[string]any{
@@ -81,7 +82,9 @@ func (e *Env) CacheSweep() error {
 					"cache_hits": ts.CacheHits, "cache_misses": ts.CacheMisses,
 					"cache_evictions": ts.CacheEvictions,
 				},
-			})
+			}
+			r.SetLatency(lat)
+			e.Record(r)
 		}
 		e.printf("%-10d %14.0f %14.0f %7.2fx %7.1f%%\n",
 			batch, rates[0], rates[1], rates[1]/rates[0], hitPct)
@@ -157,7 +160,7 @@ func (e *Env) cacheSweepRemote() error {
 				m.Close()
 				return err
 			}
-			rate, err := measureZipf(modelSess, records, dim, batch, workers, dur, 211)
+			rate, lat, err := measureZipf(modelSess, records, dim, batch, workers, dur, 211)
 			if err != nil {
 				m.Close()
 				return err
@@ -168,7 +171,7 @@ func (e *Env) cacheSweepRemote() error {
 				hitPct = 100 * float64(st.CacheHits) / float64(lookups)
 			}
 			m.Close()
-			e.Record(Result{
+			r := Result{
 				Name:      fmt.Sprintf("zipf-read-remote/batch=%d/cache=%d", batch, cacheEntries),
 				OpsPerSec: rate,
 				Config: map[string]any{
@@ -177,7 +180,9 @@ func (e *Env) cacheSweepRemote() error {
 					"batch": batch, "zipf": 0.99, "remote": true,
 					"cache_hits": st.CacheHits, "cache_misses": st.CacheMisses,
 				},
-			})
+			}
+			r.SetLatency(lat)
+			e.Record(r)
 		}
 		e.printf("%-10d %14.0f %14.0f %7.2fx %7.1f%%\n",
 			batch, rates[0], rates[1], rates[1]/rates[0], hitPct)
@@ -223,9 +228,12 @@ func loadKeys(newSess func() (sweepSession, error), records uint64, dim int) err
 }
 
 // measureZipf runs workers sessions issuing Zipf(0.99) reads of the given
-// batch size for roughly dur, returning keys read per second. batch 1
-// uses the scalar Get path. seed0 varies the key streams between legs.
-func measureZipf(newSess func() (sweepSession, error), records uint64, dim, batch, workers int, dur time.Duration, seed0 uint64) (float64, error) {
+// batch size for roughly dur, returning keys read per second and the
+// per-operation (one Get or one whole GetBatch) latency distribution
+// recorded across every worker. batch 1 uses the scalar Get path. seed0
+// varies the key streams between legs.
+func measureZipf(newSess func() (sweepSession, error), records uint64, dim, batch, workers int, dur time.Duration, seed0 uint64) (float64, latency.Snapshot, error) {
+	var lat latency.Histogram
 	var keysRead atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
@@ -252,6 +260,7 @@ func measureZipf(newSess func() (sweepSession, error), records uint64, dim, batc
 			keys := make([]uint64, batch)
 			dst := make([]float32, batch*dim)
 			for time.Since(start) < dur {
+				opStart := time.Now()
 				if batch == 1 {
 					if err := sess.Get(zipf.Next(), dst); err != nil {
 						fail(err)
@@ -266,13 +275,14 @@ func measureZipf(newSess func() (sweepSession, error), records uint64, dim, batc
 						return
 					}
 				}
+				lat.Since(opStart)
 				keysRead.Add(int64(batch))
 			}
 		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, fmt.Errorf("bench: cache measure: %w", firstErr)
+		return 0, latency.Snapshot{}, fmt.Errorf("bench: cache measure: %w", firstErr)
 	}
-	return float64(keysRead.Load()) / time.Since(start).Seconds(), nil
+	return float64(keysRead.Load()) / time.Since(start).Seconds(), lat.Snapshot(), nil
 }

@@ -73,7 +73,7 @@ func (e *Env) EngineSweep() error {
 				base = res.Throughput
 			}
 			e.printf("%-8s %14.0f %9.2fx\n", eng, res.Throughput, res.Throughput/base)
-			e.Record(Result{
+			r := Result{
 				Name:      fmt.Sprintf("ycsb/%s/engine=%s", wl.name, eng),
 				OpsPerSec: res.Throughput,
 				Config: map[string]any{
@@ -81,7 +81,9 @@ func (e *Env) EngineSweep() error {
 					"threads": threads, "shards": 4, "read_fraction": wl.readFrac,
 					"dist": "zipfian", "ops": res.Ops,
 				},
-			})
+			}
+			r.SetLatency(res.OpLat)
+			e.Record(r)
 		}
 	}
 	if err := e.engineSweepTrain(); err != nil {
@@ -126,7 +128,9 @@ func (e *Env) engineSweepTrain() error {
 			base = res.Throughput
 		}
 		e.printf("%-8s %14.0f %9.2fx\n", eng, res.Throughput, res.Throughput/base)
-		e.Record(Result{
+		// Percentiles here are per-minibatch embedding time (gather +
+		// scatter), the storage-facing slice of each training step.
+		r := Result{
 			Name:      fmt.Sprintf("train-ctr/engine=%s", eng),
 			OpsPerSec: res.Throughput,
 			Config: map[string]any{
@@ -134,7 +138,9 @@ func (e *Env) engineSweepTrain() error {
 				"workers": s.Workers, "batch": 32, "mode": "async",
 				"samples": res.Samples,
 			},
-		})
+		}
+		r.SetLatency(res.EmbLat)
+		e.Record(r)
 	}
 	return nil
 }
@@ -178,7 +184,7 @@ func (e *Env) engineSweepAPI() error {
 			m.Close()
 			return err
 		}
-		rate, err := measureZipf(sess, records, dim, batch, workers, dur, 307)
+		rate, lat, err := measureZipf(sess, records, dim, batch, workers, dur, 307)
 		if cerr := m.Close(); err == nil {
 			err = cerr
 		}
@@ -189,14 +195,16 @@ func (e *Env) engineSweepAPI() error {
 			base = rate
 		}
 		e.printf("%-8s %14.0f %9.2fx\n", eng, rate, rate/base)
-		e.Record(Result{
+		r := Result{
 			Name:      fmt.Sprintf("api-read/engine=%s", eng),
 			OpsPerSec: rate,
 			Config: map[string]any{
 				"records": records, "dim": dim, "workers": workers,
 				"batch": batch, "zipf": 0.99, "bound": "asp",
 			},
-		})
+		}
+		r.SetLatency(lat)
+		e.Record(r)
 	}
 	return nil
 }

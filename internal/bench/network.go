@@ -11,6 +11,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/driver"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/server"
 	"github.com/llm-db/mlkv-go/internal/util"
 	"github.com/llm-db/mlkv-go/internal/ycsb"
@@ -81,29 +82,37 @@ func (e *Env) NetworkSweep() error {
 
 	e.printf("%-8s %14s %14s %8s\n", "batch", "local-keys/s", "remote-keys/s", "ratio")
 	for _, batch := range []int{1, 32, 256} {
-		local, err := measureGetBatch(store, records, batch, workers, dur)
+		local, localLat, err := measureGetBatch(store, records, batch, workers, dur)
 		if err != nil {
 			return err
 		}
-		remote, err := measureGetBatch(cl, records, batch, workers, dur)
+		remote, remoteLat, err := measureGetBatch(cl, records, batch, workers, dur)
 		if err != nil {
 			return err
 		}
-		e.printf("%-8d %14.0f %14.0f %7.2fx\n", batch, local, remote, local/remote)
+		e.printf("%-8d %14.0f %14.0f %7.2fx  (p99 %6.0fµs vs %6.0fµs)\n",
+			batch, local, remote, local/remote,
+			latency.Us(localLat.P99), latency.Us(remoteLat.P99))
 		cfg := map[string]any{
 			"records": records, "shards": shards, "workers": workers,
 			"valuesize": vs, "buffer_kb": e.Scale.BufferKBs[0], "batch": batch,
 		}
-		e.Record(Result{Name: fmt.Sprintf("getbatch/batch=%d/local", batch), OpsPerSec: local, Config: cfg})
-		e.Record(Result{Name: fmt.Sprintf("getbatch/batch=%d/remote", batch), OpsPerSec: remote, Config: cfg})
+		lr := Result{Name: fmt.Sprintf("getbatch/batch=%d/local", batch), OpsPerSec: local, Config: cfg}
+		lr.SetLatency(localLat)
+		e.Record(lr)
+		rr := Result{Name: fmt.Sprintf("getbatch/batch=%d/remote", batch), OpsPerSec: remote, Config: cfg}
+		rr.SetLatency(remoteLat)
+		e.Record(rr)
 	}
 	return nil
 }
 
 // measureGetBatch runs workers sessions issuing zipfian GetBatch calls of
-// the given batch size for roughly dur, returning keys read per second.
-func measureGetBatch(store kv.Store, records uint64, batch, workers int, dur time.Duration) (float64, error) {
+// the given batch size for roughly dur, returning keys read per second
+// and the per-call latency distribution across every worker.
+func measureGetBatch(store kv.Store, records uint64, batch, workers int, dur time.Duration) (float64, latency.Snapshot, error) {
 	vs := store.ValueSize()
+	var lat latency.Histogram
 	var keysRead atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
@@ -134,18 +143,20 @@ func measureGetBatch(store kv.Store, records uint64, batch, workers int, dur tim
 				for i := range keys {
 					keys[i] = zipf.Next()
 				}
+				opStart := time.Now()
 				if err := kv.SessionGetBatch(s, vs, keys, vals, found); err != nil {
 					fail(err)
 					return
 				}
+				lat.Since(opStart)
 				keysRead.Add(int64(batch))
 			}
 		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, fmt.Errorf("bench: network measure: %w", firstErr)
+		return 0, latency.Snapshot{}, fmt.Errorf("bench: network measure: %w", firstErr)
 	}
 	elapsed := time.Since(start).Seconds()
-	return float64(keysRead.Load()) / elapsed, nil
+	return float64(keysRead.Load()) / elapsed, lat.Snapshot(), nil
 }

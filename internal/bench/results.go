@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"github.com/llm-db/mlkv-go/internal/latency"
 )
 
 // Result is one machine-readable measurement: the unit every BENCH_*.json
@@ -15,12 +17,29 @@ import (
 // where the experiment runs one (zero otherwise); Config records the
 // knobs that produced the number.
 type Result struct {
-	Name        string         `json:"name"`
-	OpsPerSec   float64        `json:"ops_per_sec,omitempty"`
-	NsPerOp     float64        `json:"ns_per_op,omitempty"`
-	AllocsPerOp int64          `json:"allocs_per_op"`
-	BytesPerOp  int64          `json:"bytes_per_op"`
-	Config      map[string]any `json:"config,omitempty"`
+	Name        string  `json:"name"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Per-operation latency percentiles in microseconds, from the
+	// measurement loop's own latency.Histogram (one "operation" is
+	// whatever the experiment measures per iteration: a Get, a whole
+	// GetBatch, a training step). Zero when the experiment's op count is
+	// zero — use SetLatency so a recorded histogram fills all four.
+	P50Us  float64        `json:"p50_us"`
+	P90Us  float64        `json:"p90_us"`
+	P99Us  float64        `json:"p99_us"`
+	P999Us float64        `json:"p999_us"`
+	Config map[string]any `json:"config,omitempty"`
+}
+
+// SetLatency fills the percentile fields from a histogram snapshot.
+func (r *Result) SetLatency(s latency.Snapshot) {
+	r.P50Us = latency.Us(s.P50)
+	r.P90Us = latency.Us(s.P90)
+	r.P99Us = latency.Us(s.P99)
+	r.P999Us = latency.Us(s.P999)
 }
 
 // resultFile is the BENCH_<experiment>.json layout.

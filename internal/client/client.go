@@ -31,6 +31,7 @@ import (
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
@@ -59,7 +60,17 @@ type Client struct {
 	conns      []*conn
 	next       atomic.Uint64
 	serverName string
+
+	// lat holds per-op-class round-trip histograms shared by every
+	// connection in the pool: wall time from just before the frame write
+	// to response receipt, so it includes queueing in the pipelined
+	// demux — the end-to-end tail a caller actually experiences.
+	lat latency.OpSet
 }
+
+// Latency exposes the pool's round-trip histograms. The driver folds
+// them into Stats; the composite remote RMW records into OpRMW here.
+func (c *Client) Latency() *latency.OpSet { return &c.lat }
 
 // Dial connects the pool and performs the HELLO handshake, failing fast
 // on a protocol-version mismatch.
@@ -78,7 +89,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	}
 	c := &Client{opts: opts}
 	for i := 0; i < opts.Conns; i++ {
-		cn, err := dialConn(addr, opts)
+		cn, err := dialConn(addr, opts, &c.lat)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -483,6 +494,10 @@ type conn struct {
 	// and the round-trip caller releases it back after parsing. Callers
 	// that abandon a round trip simply leak their buffer to the GC.
 	bufs sync.Pool
+
+	// lat points at the owning Client's pool-wide histograms; data-op
+	// round trips record into it (nil on test-only bare conns).
+	lat *latency.OpSet
 }
 
 // getBuf returns a pooled buffer of length n (allocating if the pooled
@@ -512,7 +527,7 @@ type response struct {
 	payload []byte
 }
 
-func dialConn(addr string, opts Options) (*conn, error) {
+func dialConn(addr string, opts Options, lat *latency.OpSet) (*conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -525,6 +540,7 @@ func dialConn(addr string, opts Options) (*conn, error) {
 		bw:      bufio.NewWriterSize(nc, connBufSize),
 		pending: make(map[uint32]chan response),
 		done:    make(chan struct{}),
+		lat:     lat,
 	}
 	cn.fw = wire.NewFrameWriter(cn.bw)
 	go cn.readLoop(opts.MaxFrame)
@@ -589,6 +605,38 @@ func (cn *conn) roundTrip(op wire.Op, payload []byte) ([]byte, error) {
 // A non-empty success payload is a pooled buffer: the caller must hand it
 // back with cn.release once parsed (forgetting to merely costs the reuse).
 func (cn *conn) roundTripCtx(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+	cls, timed := opClass(op)
+	if !timed || cn.lat == nil {
+		return cn.doRoundTrip(ctx, op, payload)
+	}
+	start := time.Now()
+	p, err := cn.doRoundTrip(ctx, op, payload)
+	cn.lat.Since(cls, start)
+	return p, err
+}
+
+// opClass maps a request opcode to its latency class; control-plane ops
+// (HELLO, OPEN, ATTACH, STATS, ...) are not timed. PEEK shares the Get
+// histogram and DELETE the Put one, matching the server's folding.
+func opClass(op wire.Op) (latency.Op, bool) {
+	switch op {
+	case wire.OpGet, wire.OpPeek:
+		return latency.OpGet, true
+	case wire.OpGetBatch:
+		return latency.OpGetBatch, true
+	case wire.OpPut, wire.OpDelete:
+		return latency.OpPut, true
+	case wire.OpPutBatch:
+		return latency.OpPutBatch, true
+	case wire.OpLookahead:
+		// Prefetch hints ride the Get class: they contend for the same
+		// store shards and their stalls surface as read tail.
+		return latency.OpGet, true
+	}
+	return 0, false
+}
+
+func (cn *conn) doRoundTrip(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -16,8 +16,10 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/tensor"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
@@ -86,6 +88,13 @@ type Options struct {
 	Init Initializer
 	// RecordsPerPage overrides the log page granularity (power of two).
 	RecordsPerPage int
+	// TrackLatency attaches per-op-class latency histograms to the table:
+	// session Get/GetBatch/Put/PutBatch/ApplyGradient record their wall
+	// time (wait-free, no allocation) and TableStats reports the
+	// percentile summaries. Off by default for direct core users; the
+	// public-API local driver turns it on so both drivers expose the same
+	// latency fields.
+	TrackLatency bool
 }
 
 // Table is one embedding table, hash-partitioned across one or more FASTER
@@ -115,6 +124,10 @@ type Table struct {
 	batchGets       atomic.Int64
 	batchPuts       atomic.Int64
 	lookaheadCalls  atomic.Int64
+
+	// lat is the optional per-op-class histogram set (Options.TrackLatency);
+	// nil when tracking is off, so the hot path pays one nil check.
+	lat *latency.OpSet
 }
 
 // OpenTable creates or recovers an embedding table.
@@ -214,6 +227,9 @@ func OpenTable(opts Options) (*Table, error) {
 	if opts.CacheEntries > 0 {
 		t.cache = NewCache(opts.CacheEntries, opts.Dim)
 	}
+	if opts.TrackLatency {
+		t.lat = new(latency.OpSet)
+	}
 	go t.prefetchPool(opts.PrefetchWorkers)
 	return t, nil
 }
@@ -309,6 +325,13 @@ type TableStats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// Per-op-class latency summaries in nanoseconds (all zero without
+	// Options.TrackLatency). LatRMW covers ApplyGradient.
+	LatGet      latency.Snapshot
+	LatGetBatch latency.Snapshot
+	LatPut      latency.Snapshot
+	LatPutBatch latency.Snapshot
+	LatRMW      latency.Snapshot
 }
 
 // TableStats returns the full table-level counter snapshot.
@@ -323,6 +346,13 @@ func (t *Table) TableStats() TableStats {
 	if t.cache != nil {
 		cs := t.cache.Stats()
 		ts.CacheHits, ts.CacheMisses, ts.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+	if t.lat != nil {
+		ts.LatGet = t.lat[latency.OpGet].Snapshot()
+		ts.LatGetBatch = t.lat[latency.OpGetBatch].Snapshot()
+		ts.LatPut = t.lat[latency.OpPut].Snapshot()
+		ts.LatPutBatch = t.lat[latency.OpPutBatch].Snapshot()
+		ts.LatRMW = t.lat[latency.OpRMW].Snapshot()
 	}
 	return ts
 }
@@ -433,6 +463,11 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []float32) error {
 	if len(dst) != s.t.dim {
 		return fmt.Errorf("core: dst length %d != dim %d", len(dst), s.t.dim)
 	}
+	if s.t.lat != nil {
+		// Deferred with the start time evaluated here: records on every
+		// return path, including a read stalled on the staleness bound.
+		defer s.t.lat.Since(latency.OpGet, time.Now())
+	}
 	c := s.t.cache
 	bound := int64(BoundBSP)
 	if c != nil {
@@ -512,6 +547,9 @@ func (s *Session) GetBatch(keys []uint64, dst []float32) error {
 func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, dst []float32) error {
 	if len(dst) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: dst length %d != %d keys × dim %d", len(dst), len(keys), s.t.dim)
+	}
+	if s.t.lat != nil {
+		defer s.t.lat.Since(latency.OpGetBatch, time.Now())
 	}
 	s.t.batchGets.Add(1)
 	dim := s.t.dim
@@ -596,6 +634,9 @@ func (s *Session) Put(key uint64, val []float32) error {
 	if len(val) != s.t.dim {
 		return fmt.Errorf("core: val length %d != dim %d", len(val), s.t.dim)
 	}
+	if s.t.lat != nil {
+		defer s.t.lat.Since(latency.OpPut, time.Now())
+	}
 	return s.putOn(s.t.shardOf(key), key, val)
 }
 
@@ -620,6 +661,9 @@ func (s *Session) putOn(sh int, key uint64, val []float32) error {
 func (s *Session) PutBatch(keys []uint64, vals []float32) error {
 	if len(vals) != len(keys)*s.t.dim {
 		return fmt.Errorf("core: vals length %d != %d keys × dim %d", len(vals), len(keys), s.t.dim)
+	}
+	if s.t.lat != nil {
+		defer s.t.lat.Since(latency.OpPutBatch, time.Now())
 	}
 	s.t.batchPuts.Add(1)
 	dim := s.t.dim
@@ -646,6 +690,9 @@ func (s *Session) PutBatch(keys []uint64, vals []float32) error {
 func (s *Session) ApplyGradient(key uint64, grad []float32, lr float32) error {
 	if len(grad) != s.t.dim {
 		return fmt.Errorf("core: grad length %d != dim %d", len(grad), s.t.dim)
+	}
+	if s.t.lat != nil {
+		defer s.t.lat.Since(latency.OpRMW, time.Now())
 	}
 	err := s.ss[s.t.shardOf(key)].RMW(key, func(cur []byte, exists bool) {
 		for i := 0; i < s.t.dim; i++ {

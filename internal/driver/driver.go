@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/core"
+	"github.com/llm-db/mlkv-go/internal/latency"
 )
 
 // Scheme prefixes a remote target: "mlkv://host:port". Anything else is
@@ -83,6 +84,11 @@ type Stats struct {
 	// Hot-tier counters (WithCache). For a remote model they merge the
 	// client-side tier with the server's shared per-model tier.
 	CacheHits, CacheMisses, CacheEvictions int64
+	// Per-op-class latency summaries (nanoseconds). A local model reports
+	// the core table's op timings; a remote model reports the connection
+	// pool's round-trip timings — end to end, including queueing in the
+	// pipelined demux — which is the tail a caller actually experiences.
+	LatGet, LatGetBatch, LatPut, LatPutBatch, LatRMW latency.Snapshot
 }
 
 // DB is one target: a local data directory or a remote server.

@@ -226,6 +226,9 @@ func openCoreBackend(dir string, cfg Config) (*coreBackend, error) {
 		PrefetchWorkers: cfg.PrefetchWorkers,
 		CacheEntries:    cfg.CacheEntries,
 		Init:            cfg.Init,
+		// Always on through the public API: both drivers report the same
+		// latency fields in Stats, so local-vs-remote comparisons hold.
+		TrackLatency: true,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +268,8 @@ func (b *coreBackend) Stats() Stats {
 		LookaheadCalls: ts.LookaheadCalls,
 		CacheHits:      ts.CacheHits, CacheMisses: ts.CacheMisses,
 		CacheEvictions: ts.CacheEvictions,
+		LatGet:         ts.LatGet, LatGetBatch: ts.LatGetBatch,
+		LatPut: ts.LatPut, LatPutBatch: ts.LatPutBatch, LatRMW: ts.LatRMW,
 	}
 }
 

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/client"
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/hotcache"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/tensor"
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
@@ -143,6 +145,12 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 	if m.cache != nil {
 		cache = cache.Add(m.cache.Stats())
 	}
+	// Latency is this pool's round-trip view — end to end, including
+	// demux queueing — not the server-side store timings in ms.Lat* (those
+	// stay visible through the mlkv_latency expvar and raw STATS frames).
+	// The pool is per-DB, so the summaries cover every model opened from
+	// this Connect; RMW is the composite client-side Get+step+Put.
+	lat := m.db.c.Latency()
 	return Stats{
 		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
 		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
@@ -154,6 +162,11 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 		LookaheadCalls: ms.LookaheadFrames,
 		CacheHits:      cache.Hits, CacheMisses: cache.Misses,
 		CacheEvictions: cache.Evictions,
+		LatGet:         lat[latency.OpGet].Snapshot(),
+		LatGetBatch:    lat[latency.OpGetBatch].Snapshot(),
+		LatPut:         lat[latency.OpPut].Snapshot(),
+		LatPutBatch:    lat[latency.OpPutBatch].Snapshot(),
+		LatRMW:         lat[latency.OpRMW].Snapshot(),
 	}, nil
 }
 
@@ -439,6 +452,10 @@ func (s *remoteSession) RMW(ctx context.Context, key uint64, grad []float32, lr 
 	if len(grad) != dim {
 		return fmt.Errorf("driver: grad length %d != dim %d", len(grad), dim)
 	}
+	// The composite is what a trainer waits on, so record its full span —
+	// up to two round trips — into the pool's RMW class (the wire has no
+	// RMW frame for the per-frame histograms to see).
+	defer s.m.db.c.Latency().Since(latency.OpRMW, time.Now())
 	s.rmw = growSlice(s.rmw, dim)
 	cur := s.rmw
 	if err := s.Get(ctx, key, cur); err != nil {

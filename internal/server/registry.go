@@ -8,6 +8,7 @@ import (
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
@@ -328,6 +329,11 @@ type Model struct {
 	batchKeys       atomic.Int64
 	lookaheadFrames atomic.Int64
 	activeSessions  atomic.Int64
+
+	// lat holds the always-on per-op-class latency histograms, recorded
+	// around the store calls in the conn handler (wait-free, shared by
+	// every connection serving the model).
+	lat latency.OpSet
 }
 
 // ID returns the model name.
@@ -382,5 +388,14 @@ func (m *Model) Stats() wire.ModelStats {
 		cs := cr.CacheStats()
 		s.CacheHits, s.CacheMisses, s.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
+	s.LatGet = m.lat[latency.OpGet].Snapshot()
+	s.LatGetBatch = m.lat[latency.OpGetBatch].Snapshot()
+	s.LatPut = m.lat[latency.OpPut].Snapshot()
+	s.LatPutBatch = m.lat[latency.OpPutBatch].Snapshot()
+	s.LatRMW = m.lat[latency.OpRMW].Snapshot()
 	return s
 }
+
+// Latency exposes the model's per-op-class histograms (the mlkv_latency
+// expvar reads through this).
+func (m *Model) Latency() *latency.OpSet { return &m.lat }

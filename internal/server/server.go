@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
@@ -399,7 +400,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		ctx, cancel := waitCtx(waitMs)
+		start := time.Now()
 		found, err := kv.SessionGetCtx(ctx, cm.sess, key, cm.scratch)
+		cm.m.lat.Since(latency.OpGet, start)
 		cancel()
 		if err != nil {
 			return fail(err)
@@ -412,7 +415,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		start := time.Now()
 		found, err := kv.SessionPeek(cm.sess, key, cm.scratch)
+		cm.m.lat.Since(latency.OpGet, start)
 		if err != nil {
 			return fail(err)
 		}
@@ -424,7 +429,10 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
-		if err := cm.sess.Put(key, val); err != nil {
+		start := time.Now()
+		err = cm.sess.Put(key, val)
+		cm.m.lat.Since(latency.OpPut, start)
+		if err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false
@@ -434,7 +442,11 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
-		if err := cm.sess.Delete(key); err != nil {
+		// Deletes are write-class traffic: they share the Put histogram.
+		start := time.Now()
+		err = cm.sess.Delete(key)
+		cm.m.lat.Since(latency.OpPut, start)
+		if err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false
@@ -460,7 +472,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		vals := out[4+n:]
 		cm.found = grow(cm.found, n)
 		ctx, cancel := waitCtx(waitMs)
+		start := time.Now()
 		err = kv.SessionGetBatchCtx(ctx, cm.sess, cm.vs, keys, vals, cm.found)
+		cm.m.lat.Since(latency.OpGetBatch, start)
 		cancel()
 		if err != nil {
 			return fail(err)
@@ -481,7 +495,10 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		s.batchKeys.Add(int64(len(keys)))
 		cm.m.batchPuts.Add(1)
 		cm.m.batchKeys.Add(int64(len(keys)))
-		if err := kv.SessionPutBatch(cm.sess, cm.vs, keys, vals); err != nil {
+		start := time.Now()
+		err = kv.SessionPutBatch(cm.sess, cm.vs, keys, vals)
+		cm.m.lat.Since(latency.OpPutBatch, start)
+		if err != nil {
 			return fail(err)
 		}
 		return wire.RespOK, nil, false

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/data"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
@@ -51,6 +52,12 @@ type Result struct {
 	Stage       StageTimes
 	Curve       []CurvePoint
 	FinalMetric float64
+	// EmbLat is the distribution of per-step embedding-access time (one
+	// observation per minibatch: batched gather + batched scatter),
+	// recorded across every worker. Stage.Emb is its sum; the percentiles
+	// expose the tail — a flush or staleness stall shows up in p99 here
+	// long before it moves the mean.
+	EmbLat latency.Snapshot
 }
 
 // CTROptions configures DLRM CTR training (the paper's PERSIA workload).
@@ -97,6 +104,7 @@ func TrainCTR(opts CTROptions) (*Result, error) {
 	res := &Result{Backend: opts.Backend.Name()}
 	var sampleCount atomic.Int64
 	var embNS, fwdNS, bwdNS atomic.Int64
+	var embLat latency.Histogram
 	stop := make(chan struct{})
 	start := time.Now()
 
@@ -237,6 +245,7 @@ func TrainCTR(opts CTROptions) (*Result, error) {
 				}
 				t3 := time.Now()
 				embNS.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
+				embLat.Record(t1.Sub(t0) + t3.Sub(t2))
 				fwdNS.Add(int64(fwdD))
 				bwdNS.Add(int64(bwdD))
 				worker.Apply(opts.DenseLR)
@@ -274,6 +283,7 @@ func TrainCTR(opts CTROptions) (*Result, error) {
 		Forward:  time.Duration(fwdNS.Load()),
 		Backward: time.Duration(bwdNS.Load()),
 	}
+	res.EmbLat = embLat.Snapshot()
 	// Final quality measurement.
 	h, err := opts.Backend.NewHandle()
 	if err == nil {

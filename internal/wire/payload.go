@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/latency"
 )
 
 // Payload layouts, one section per op. Every decoder checks lengths
@@ -468,13 +469,27 @@ type ModelStats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// Per-op-class latency summaries (nanoseconds), recorded around the
+	// store calls in the conn handler. LatRMW stays zero on the wire
+	// today — the protocol has no RMW frame — but the slot keeps the
+	// class set uniform across server, client, and core reporting.
+	LatGet      latency.Snapshot
+	LatGetBatch latency.Snapshot
+	LatPut      latency.Snapshot
+	LatPutBatch latency.Snapshot
+	LatRMW      latency.Snapshot
+}
+
+// latFields appends one latency summary's fields in wire order.
+func latFields(dst []*int64, s *latency.Snapshot) []*int64 {
+	return append(dst, &s.Count, &s.Sum, &s.Max, &s.P50, &s.P90, &s.P99, &s.P999)
 }
 
 // statsFields lists the counters in wire order. Appending new counters at
 // the end keeps old readers working: the response carries its own field
 // count and each side reads the prefix both understand.
 func statsFields(s *ModelStats) []*int64 {
-	return []*int64{
+	fields := []*int64{
 		&s.Gets, &s.Puts, &s.RMWs, &s.Deletes, &s.MemHits, &s.DiskReads,
 		&s.InPlaceUpdates, &s.RCUAppends, &s.PrefetchCopies,
 		&s.AbandonedAppends, &s.StalenessWaits, &s.FlushedPages,
@@ -482,6 +497,12 @@ func statsFields(s *ModelStats) []*int64 {
 		&s.BatchGets, &s.BatchPuts, &s.LookaheadFrames, &s.ActiveSessions,
 		&s.CacheHits, &s.CacheMisses, &s.CacheEvictions,
 	}
+	for _, l := range []*latency.Snapshot{
+		&s.LatGet, &s.LatGetBatch, &s.LatPut, &s.LatPutBatch, &s.LatRMW,
+	} {
+		fields = latFields(fields, l)
+	}
+	return fields
 }
 
 // EncodeStatsResp builds a STATS response: uint32 field count | count

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/util"
 )
 
@@ -59,6 +60,12 @@ type Result struct {
 	NotFound   int64
 	Elapsed    time.Duration
 	Throughput float64 // ops/s
+	// Per-op-class latency distributions recorded across every thread
+	// (nanoseconds): reads, updates, and the two merged. On a graceful
+	// early stop they cover the partial run, like the counters above.
+	ReadLat   latency.Snapshot
+	UpdateLat latency.Snapshot
+	OpLat     latency.Snapshot
 }
 
 // loadBatch is the load phase's batch granularity: large enough that a
@@ -130,6 +137,7 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	res := &Result{}
+	var readLat, updateLat latency.Histogram
 	var ops, reads, updates, notFound atomic.Int64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -174,7 +182,9 @@ func Run(opts Options) (*Result, error) {
 					key = r.Uint64n(opts.Records)
 				}
 				if r.Float64() < opts.ReadFraction {
+					opStart := time.Now()
 					found, err := s.Get(key, buf)
+					readLat.Since(opStart)
 					if err != nil {
 						errCh <- err
 						return
@@ -185,7 +195,10 @@ func Run(opts Options) (*Result, error) {
 					reads.Add(1)
 				} else {
 					fillValue(buf, key, opts.Seed+uint64(i))
-					if err := s.Put(key, buf); err != nil {
+					opStart := time.Now()
+					err := s.Put(key, buf)
+					updateLat.Since(opStart)
+					if err != nil {
 						errCh <- err
 						return
 					}
@@ -211,6 +224,12 @@ func Run(opts Options) (*Result, error) {
 	res.NotFound = notFound.Load()
 	res.Elapsed = time.Since(start)
 	res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	res.ReadLat = readLat.Snapshot()
+	res.UpdateLat = updateLat.Snapshot()
+	var all latency.Histogram
+	all.Merge(&readLat)
+	all.Merge(&updateLat)
+	res.OpLat = all.Snapshot()
 	return res, nil
 }
 

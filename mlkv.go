@@ -44,6 +44,7 @@ import (
 
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/driver"
+	"github.com/llm-db/mlkv-go/internal/latency"
 )
 
 // Staleness bounds with paper-aligned names (§III-C1).
@@ -364,6 +365,44 @@ type Stats struct {
 	// Flush volume.
 	FlushedPages int64
 	BytesFlushed int64
+	// Per-op-class latency, always on. A local model times the table's
+	// store operations; a remote model times this process's network round
+	// trips (per connection pool, so every model opened from the same
+	// Connect shares the summaries), which includes queueing in the
+	// pipelined client — the tail your callers actually see. LatRMW is
+	// the full RMW span: storage-side locally, Get+step+Put remotely.
+	LatGet      LatencySummary
+	LatGetBatch LatencySummary
+	LatPut      LatencySummary
+	LatPutBatch LatencySummary
+	LatRMW      LatencySummary
+}
+
+// LatencySummary is a percentile digest of one op class's latency
+// histogram. Quantiles come from an HDR-style log-bucketed histogram
+// with under 1% relative error; Max is exact. A zero Count means the
+// class has not been exercised.
+type LatencySummary struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+}
+
+// summaryOf converts the driver's nanosecond snapshot to the public type.
+func summaryOf(s latency.Snapshot) LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  time.Duration(s.Mean()),
+		P50:   time.Duration(s.P50),
+		P90:   time.Duration(s.P90),
+		P99:   time.Duration(s.P99),
+		P999:  time.Duration(s.P999),
+		Max:   time.Duration(s.Max),
+	}
 }
 
 // Stats returns a snapshot of storage counters, summed across shards —
@@ -391,6 +430,9 @@ func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
 		CacheHits:      s.CacheHits, CacheMisses: s.CacheMisses,
 		CacheEvictions: s.CacheEvictions,
 		FlushedPages:   s.FlushedPages, BytesFlushed: s.BytesFlushed,
+		LatGet:         summaryOf(s.LatGet), LatGetBatch: summaryOf(s.LatGetBatch),
+		LatPut: summaryOf(s.LatPut), LatPutBatch: summaryOf(s.LatPutBatch),
+		LatRMW: summaryOf(s.LatRMW),
 	}, nil
 }
 

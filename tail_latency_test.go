@@ -1,0 +1,65 @@
+package mlkv_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/latency"
+	"github.com/llm-db/mlkv-go/internal/util"
+)
+
+// remoteGetBatchP99Budget is the committed tail ceiling for the remote
+// 256-key GetBatch hot path, client and loopback server combined. The
+// steady-state p99 on a loaded CI runner sits well under a millisecond;
+// the budget is deliberately two orders of magnitude above that so it
+// only trips on structural regressions — a lock convoy, a flush stall on
+// the hot path, an accidental per-call sleep — not on scheduler noise.
+const remoteGetBatchP99Budget = 100 * time.Millisecond
+
+// TestRemoteGetBatchTailBudget is the tail-latency gate wired into CI
+// next to the allocation gate: it fails when the remote hot read path's
+// p99 exceeds the committed budget. It shares its harness (single-shard
+// loopback server, 2^16 first-touched keys) with the allocation gate and
+// BenchmarkRemoteGetBatch256, so all three watch the same path.
+func TestRemoteGetBatchTailBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail gate needs a steady loopback server")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates latency unpredictably")
+	}
+	const (
+		batch  = 256
+		warmup = 64
+		ops    = 2000
+	)
+	s, keys, dst := newRemoteBenchSession(t, batch, 0)
+	zipf := util.NewScrambledZipf(util.NewRNG(7), remoteBenchRecords, 0.99)
+	for i := 0; i < warmup; i++ {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lat latency.Histogram
+	for i := 0; i < ops; i++ {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		start := time.Now()
+		if err := s.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+		lat.Since(start)
+	}
+	snap := lat.Snapshot()
+	t.Logf("remote GetBatch(%d) over %d ops: p50=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs (budget p99 < %s)",
+		batch, snap.Count, latency.Us(snap.P50), latency.Us(snap.P99),
+		latency.Us(snap.P999), latency.Us(snap.Max), remoteGetBatchP99Budget)
+	if p99 := time.Duration(snap.P99); p99 > remoteGetBatchP99Budget {
+		t.Fatalf("remote GetBatch(%d) p99 = %s, budget %s — the tail regressed structurally",
+			batch, p99, remoteGetBatchP99Budget)
+	}
+}
