@@ -72,6 +72,7 @@ func main() {
 		staleness = flag.Int64("staleness", -2, "default staleness bound for new models: -2=asp (never blocks, default), 0=bsp, n>0=ssp")
 		cache     = flag.Int("cache", 0, "per-model server-side hot-tier capacity in entries (0 disables); cached reads are served only within each model's staleness bound")
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
+		flushPace = flag.Duration("flush-pace", 0, "minimum gap between background flush writes per model shard, smearing flush bursts away from the read tail (0 = unpaced); adjacent frozen pages still merge into group-commit writes")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
 	)
 	modelEngines := map[string]string{}
@@ -145,6 +146,7 @@ func main() {
 				Dir: filepath.Join(d, id), Shards: shards, ValueSize: dim * 4,
 				RecordsPerPage: 256, MemoryBytes: int64(*bufferMB) << 20,
 				ExpectedKeys: *records, StalenessBound: bound, SyncWrites: *sync,
+				FlushPace: *flushPace,
 			}, name)
 		},
 	})

@@ -52,6 +52,8 @@ func main() {
 		addr     = flag.String("addr", "", "run against a remote mlkv-server at this address instead of in-process")
 		model    = flag.String("model", "ycsb", "model name to open on the remote server")
 		cache    = flag.Int("cache", 0, "staleness-aware hot-tier capacity in entries, layered client-side over the store (0 disables)")
+		hedge    = flag.Duration("hedge", 0, "remote only: re-issue reads slower than this as clock-free duplicates on a second connection (0 disables; requires -hedge-adaptive or a positive delay)")
+		hedgeAda = flag.Bool("hedge-adaptive", false, "remote only: hedge reads slower than the pool's own observed p99 (-hedge then caps the warmup fallback)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -81,14 +83,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-valuesize must be a multiple of 4 for a remote model, got %d\n", *vs)
 			os.Exit(2)
 		}
-		cl, err := driver.DialKV(*addr, *model, *vs/4, *threads)
+		cl, err := driver.DialKVHedged(*addr, *model, *vs/4, *threads, *hedge, *hedgeAda)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		store = cl
-		fmt.Printf("remote store %s model %q at %s: valuesize=%d shards=%d\n",
-			cl.Name(), *model, *addr, cl.ValueSize(), storeShards(cl, 1))
+		fmt.Printf("remote store %s model %q at %s: valuesize=%d shards=%d hedge=%s adaptive=%v\n",
+			cl.Name(), *model, *addr, cl.ValueSize(), storeShards(cl, 1), *hedge, *hedgeAda)
 	} else {
 		bound := faster.BoundAsync // MLKV: clock maintained, never blocks
 		if *engine == "faster" {
@@ -167,6 +169,14 @@ func main() {
 		s := sr.Stats()
 		fmt.Printf("store: gets=%d puts=%d memhits=%d diskreads=%d inplace=%d rcu=%d flushed=%dB\n",
 			s.Gets, s.Puts, s.MemHits, s.DiskReads, s.InPlaceUpdates, s.RCUAppends, s.BytesFlushed)
+	}
+	if hr, ok := store.(interface {
+		HedgeStats() (issued, won, wasted, suppressed int64)
+	}); ok {
+		if issued, won, wasted, suppressed := hr.HedgeStats(); issued+suppressed > 0 {
+			fmt.Printf("hedge: issued=%d won=%d wasted=%d suppressed=%d\n",
+				issued, won, wasted, suppressed)
+		}
 	}
 	if cr, ok := store.(kv.CacheStatsReporter); ok {
 		cs := cr.CacheStats()

@@ -1,0 +1,97 @@
+package mlkv_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	mlkv "github.com/llm-db/mlkv-go"
+)
+
+// TestHedgeStatsEndToEnd drives read hedging through the public API
+// against a live loopback server and checks the counters surface in
+// mlkv.Stats: an ASP model with an aggressive fixed delay attempts a
+// hedge on essentially every read (issued or suppressed by the token
+// bucket), while a BSP model on the same connection pool — whose clocked
+// reads a clock-free duplicate would weaken — moves the counters not at
+// all.
+func TestHedgeStatsEndToEnd(t *testing.T) {
+	const dim = 4
+	target := startTestServer(t, mlkv.ASP)
+	// A nanosecond delay means every read outlives the trigger: maximal
+	// hedging pressure, bounded only by the token bucket.
+	db, err := mlkv.Connect(target, mlkv.WithConns(2), mlkv.WithHedge(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	asp, err := db.Open("hedge-asp", dim, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asp.Close()
+	s, err := asp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	dst := make([]float32, len(keys)*dim)
+	for round := 0; round < 8; round++ {
+		if err := s.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := asp.StatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := st.HedgedReads + st.HedgeSuppressed
+	if attempts == 0 {
+		t.Fatalf("no hedge attempts surfaced in Stats: %+v", st)
+	}
+	if st.HedgedReads != st.HedgeWins+st.HedgeWasted {
+		t.Fatalf("issued hedges (%d) != wins (%d) + wasted (%d); a hedge outcome went uncounted",
+			st.HedgedReads, st.HedgeWins, st.HedgeWasted)
+	}
+
+	// BSP model on the same pool: its clocked reads must not hedge, so
+	// the pool-wide counters stay where the ASP traffic left them.
+	bsp, err := db.Open("hedge-bsp", dim, mlkv.WithStalenessBound(mlkv.BSP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsp.Close()
+	bs, err := bsp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	before, err := bsp.StatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced clock: each clocked read acquires a token its paired write
+	// releases, so the BSP rounds never stall on the bound.
+	for round := 0; round < 4; round++ {
+		if err := bs.GetBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.PutBatch(keys, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := bsp.StatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.HedgedReads != before.HedgedReads || after.HedgeSuppressed != before.HedgeSuppressed {
+		t.Fatalf("BSP reads hedged: %d/%d attempts before, %d/%d after",
+			before.HedgedReads, before.HedgeSuppressed, after.HedgedReads, after.HedgeSuppressed)
+	}
+}

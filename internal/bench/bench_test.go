@@ -226,8 +226,10 @@ func TestLatencySweepRunsAtTinyScale(t *testing.T) {
 			t.Fatalf("output missing %q:\n%s", want, s)
 		}
 	}
-	// 2 tiers × 2 cache settings × 2 batch sizes × len(Threads) workers.
-	if want := 2 * 2 * 2 * len(sc.Threads); len(e.results) != want {
+	// 7 legs — local and remote × 2 cache settings each, the flush-pace
+	// pair (unpaced vs paced), and the hedged remote leg — each swept
+	// over 2 batch sizes × len(Threads) workers.
+	if want := 7 * 2 * len(sc.Threads); len(e.results) != want {
 		t.Fatalf("recorded %d results, want %d", len(e.results), want)
 	}
 	for _, r := range e.results {

@@ -12,6 +12,7 @@ import (
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/latency"
 	"github.com/llm-db/mlkv-go/internal/server"
+	"github.com/llm-db/mlkv-go/internal/util"
 )
 
 // LatencySweep is the tail-latency map of the read path: the same
@@ -38,7 +39,7 @@ func (e *Env) LatencySweep() error {
 	e.printf("records=%d dim=%d buffer=%dKB tier=%d entries dur=%s/cell\n",
 		records, dim, bufKB, entries, dur)
 
-	measure := func(tier string, cacheEntries int, newSess func() (sweepSession, error), seed0 uint64) error {
+	measure := func(tier string, cacheEntries int, newSess func() (sweepSession, error), seed0 uint64, extra map[string]any) error {
 		e.printf("-- %s cache=%d --\n", tier, cacheEntries)
 		e.printf("%-8s %-8s %14s %10s %10s %10s\n",
 			"workers", "batch", "keys/s", "p50-µs", "p99-µs", "p999-µs")
@@ -51,15 +52,19 @@ func (e *Env) LatencySweep() error {
 				e.printf("%-8d %-8d %14.0f %10.1f %10.1f %10.1f\n",
 					workers, batch, rate,
 					latency.Us(lat.P50), latency.Us(lat.P99), latency.Us(lat.P999))
+				cfg := map[string]any{
+					"records": records, "dim": dim, "buffer_kb": bufKB,
+					"workers": workers, "batch": batch, "bound": "asp",
+					"cache_entries": cacheEntries, "zipf": 0.99,
+					"remote": tier == "remote" || tier == "remote-hedge", "ops": lat.Count,
+				}
+				for k, v := range extra {
+					cfg[k] = v
+				}
 				r := Result{
 					Name:      fmt.Sprintf("latency/%s/cache=%d/batch=%d/workers=%d", tier, cacheEntries, batch, workers),
 					OpsPerSec: rate,
-					Config: map[string]any{
-						"records": records, "dim": dim, "buffer_kb": bufKB,
-						"workers": workers, "batch": batch, "bound": "asp",
-						"cache_entries": cacheEntries, "zipf": 0.99,
-						"remote": tier == "remote", "ops": lat.Count,
-					},
+					Config:    cfg,
 				}
 				r.SetLatency(lat)
 				e.Record(r)
@@ -83,11 +88,15 @@ func (e *Env) LatencySweep() error {
 			tbl.Close()
 			return err
 		}
-		err = measure("local", cacheEntries, tableSess, 401)
+		err = measure("local", cacheEntries, tableSess, 401, nil)
 		tbl.Close()
 		if err != nil {
 			return err
 		}
+	}
+
+	if err := e.flushPaceLeg(measure); err != nil {
+		return err
 	}
 
 	// Remote tier: loopback mlkv-server, client-side tier off then on.
@@ -137,11 +146,129 @@ func (e *Env) LatencySweep() error {
 			m.Close()
 			return err
 		}
-		err = measure("remote", cacheEntries, modelSess, 701)
+		err = measure("remote", cacheEntries, modelSess, 701, nil)
 		m.Close()
 		if err != nil {
 			return err
 		}
 	}
+
+	// Hedged remote leg: the exact harness of the cache=0 remote rows —
+	// same server, same workload, same seeds — with read hedging on, so
+	// the remote/cache=0 vs remote-hedge/cache=0 delta is attributable to
+	// hedging (plus the coalesced write path both legs share). The model
+	// runs ASP, so every read is hedge-admissible.
+	hedgeOpts := []mlkv.ConnectOption{mlkv.WithConns(maxWorkers), mlkv.WithAdaptiveHedge()}
+	hedgeCfg := map[string]any{"hedge": "adaptive"}
+	if e.HedgeDelay > 0 {
+		hedgeOpts = []mlkv.ConnectOption{mlkv.WithConns(maxWorkers), mlkv.WithHedge(e.HedgeDelay)}
+		hedgeCfg = map[string]any{"hedge": e.HedgeDelay.String()}
+	}
+	hdb, err := mlkv.Connect(mlkv.Scheme+ln.Addr().String(), hedgeOpts...)
+	if err != nil {
+		return err
+	}
+	defer hdb.Close()
+	hm, err := hdb.Open("latency-c0", dim, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		return err
+	}
+	defer hm.Close()
+	hedgeSess := func() (sweepSession, error) { return hm.NewSession() }
+	if err := measure("remote-hedge", 0, hedgeSess, 701, hedgeCfg); err != nil {
+		return err
+	}
+	if st, err := hm.StatsCtx(context.Background()); err == nil {
+		e.printf("hedges: issued=%d won=%d wasted=%d suppressed=%d\n",
+			st.HedgedReads, st.HedgeWins, st.HedgeWasted, st.HedgeSuppressed)
+	}
 	return nil
+}
+
+// flushPaceLeg maps the read tail under concurrent flush pressure: the
+// same Zipf read workload, but with a background writer continuously
+// pushing fresh pages at a table whose buffer is too small to hold them,
+// so the log flusher runs throughout the measurement. Measured twice —
+// flusher unpaced, then paced — the p99 delta is what FlushPace buys:
+// flush writes smeared over time instead of bursting under the reads.
+func (e *Env) flushPaceLeg(measure func(tier string, cacheEntries int, newSess func() (sweepSession, error), seed0 uint64, extra map[string]any) error) error {
+	s := e.Scale
+	records := s.YCSBRecords
+	dim := s.Dim
+	// A deliberately tight buffer: an eighth of the normal sweep point,
+	// so the writer's appends spill pages continuously.
+	bufKB := s.BufferKBs[0] / 8
+	if bufKB < 64 {
+		bufKB = 64
+	}
+	const pace = 500 * time.Microsecond
+	for _, flushPace := range []time.Duration{0, pace} {
+		tbl, err := core.OpenTable(core.Options{
+			Dir: e.dir("latency-flush"), Dim: dim, StalenessBound: core.BoundASP,
+			MemoryBytes: int64(bufKB) << 10, RecordsPerPage: 256,
+			ExpectedKeys: records, FlushPace: flushPace,
+		})
+		if err != nil {
+			return err
+		}
+		tableSess := func() (sweepSession, error) { return tbl.NewSession() }
+		if err := loadKeys(tableSess, records, dim); err != nil {
+			tbl.Close()
+			return err
+		}
+		stop := make(chan struct{})
+		writerDone := make(chan error, 1)
+		go func() {
+			writerDone <- flushWriter(tableSess, records, dim, stop)
+		}()
+		tag := fmt.Sprintf("local-flush/pace=%dus", flushPace.Microseconds())
+		err = measure(tag, 0, tableSess, 877, map[string]any{
+			"flush_pace_us": flushPace.Microseconds(), "concurrent_writer": true,
+		})
+		close(stop)
+		werr := <-writerDone
+		ts := tbl.TableStats()
+		e.printf("flush: pages=%d group-commits=%d pace-stalls=%d\n",
+			ts.FlushedPages, ts.GroupCommits, ts.FlushPaceStalls)
+		tbl.Close()
+		if err != nil {
+			return err
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// flushWriter streams PutBatch traffic across the key space until stop
+// closes, keeping the log tail moving and the flusher busy.
+func flushWriter(newSess func() (sweepSession, error), records uint64, dim int, stop <-chan struct{}) error {
+	sess, err := newSess()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	const chunk = 256
+	keys := make([]uint64, chunk)
+	vals := make([]float32, chunk*dim)
+	r := util.NewRNG(911)
+	for i := range vals {
+		vals[i] = r.Float32()
+	}
+	next := uint64(0)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		for i := range keys {
+			keys[i] = next % records
+			next++
+		}
+		if err := sess.PutBatch(keys, vals); err != nil {
+			return err
+		}
+	}
 }

@@ -51,7 +51,45 @@ type Options struct {
 	// MaxKeysPerFrame splits larger batches into multiple frames (default
 	// 4096, capped at wire.MaxBatchKeys).
 	MaxKeysPerFrame int
+	// HedgeDelay, when positive, re-issues an admissible read (GET or
+	// GETBATCH on a model whose staleness bound cannot block) as a
+	// clock-free duplicate on a second pooled connection if the first
+	// response has not arrived within the delay; whichever response
+	// arrives first wins. Zero disables hedging unless HedgeAdaptive.
+	HedgeDelay time.Duration
+	// HedgeAdaptive derives the hedge delay from the pool's own observed
+	// round-trip histogram (the op class's p99, floored), so the trigger
+	// tracks the workload instead of a guessed constant. HedgeDelay, when
+	// also set, is the fallback until enough samples accumulate.
+	HedgeAdaptive bool
+
+	// dial overrides the TCP dial for tests (write-counting conns).
+	dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
+
+// Hedge pacing: a token bucket in tenths of a hedge. Every admissible
+// read deposits one tenth (capped at the burst), a hedge withdraws ten —
+// so hedges are capped at ~10% of admissible reads with a small burst,
+// and a server melting down (every request slow ⇒ every request wants a
+// hedge) sees at most 1.1× its offered load instead of 2×.
+const (
+	hedgeCostTenths  = 10
+	hedgeBurstTenths = 100
+	// hedgeAdaptiveMinSamples gates the adaptive delay: below this many
+	// observations the histogram's tail is noise, so the fixed fallback
+	// applies.
+	hedgeAdaptiveMinSamples = 64
+	// hedgeMinDelay floors the adaptive delay so a very fast loopback
+	// does not hedge every read that hits one scheduler hiccup.
+	hedgeMinDelay = 200 * time.Microsecond
+	// hedgeDefaultDelay is the adaptive mode's fallback before enough
+	// samples exist (when no fixed HedgeDelay was given).
+	hedgeDefaultDelay = 2 * time.Millisecond
+	// hedgeDelayRefresh is how many hedgeable reads share one cached
+	// adaptive-delay computation (a histogram scan per read would tax the
+	// hot path for a value that moves slowly).
+	hedgeDelayRefresh = 256
+)
 
 // Client is a connection pool onto one mlkv-server. Models are opened
 // from it with OpenModel; the Client itself carries no store state.
@@ -66,6 +104,100 @@ type Client struct {
 	// to response receipt, so it includes queueing in the pipelined
 	// demux — the end-to-end tail a caller actually experiences.
 	lat latency.OpSet
+
+	// Hedge state. The credit bucket and cached adaptive delay are shared
+	// by every session on the pool; counters feed HedgeStats.
+	hedgeCredit     atomic.Int64
+	hedgeDelayNS    atomic.Int64  // cached adaptive delay (ns)
+	hedgeDelayTick  atomic.Uint32 // reads since the cache was refreshed
+	hedgeIssued     atomic.Int64
+	hedgeWon        atomic.Int64
+	hedgeWasted     atomic.Int64
+	hedgeSuppressed atomic.Int64
+}
+
+// HedgeStats is a point-in-time copy of the pool's hedging counters.
+type HedgeStats struct {
+	// Issued counts hedge duplicates actually put on the wire.
+	Issued int64
+	// Won counts hedges whose response arrived before the primary's.
+	Won int64
+	// Wasted counts hedges beaten by their primary (the duplicate's work
+	// bought nothing).
+	Wasted int64
+	// Suppressed counts hedges the token bucket refused — reads that
+	// crossed the delay but stayed single-shot to cap duplicate load.
+	Suppressed int64
+}
+
+// HedgeStats snapshots the pool's hedging counters.
+func (c *Client) HedgeStats() HedgeStats {
+	return HedgeStats{
+		Issued:     c.hedgeIssued.Load(),
+		Won:        c.hedgeWon.Load(),
+		Wasted:     c.hedgeWasted.Load(),
+		Suppressed: c.hedgeSuppressed.Load(),
+	}
+}
+
+// hedging reports whether any hedge configuration is active on the pool.
+func (c *Client) hedging() bool {
+	return c.opts.HedgeDelay > 0 || c.opts.HedgeAdaptive
+}
+
+// hedgeDelay resolves the delay before a read hedges. Fixed mode returns
+// the configured constant; adaptive mode tracks the pool's own observed
+// p99 for the op class (floored), recomputed every hedgeDelayRefresh
+// hedgeable reads so the hot path never scans a histogram.
+func (c *Client) hedgeDelay(cls latency.Op) time.Duration {
+	if !c.opts.HedgeAdaptive {
+		return c.opts.HedgeDelay
+	}
+	if c.hedgeDelayTick.Add(1)%hedgeDelayRefresh != 1 {
+		if d := c.hedgeDelayNS.Load(); d > 0 {
+			return time.Duration(d)
+		}
+	}
+	s := c.lat[cls].Snapshot()
+	d := c.opts.HedgeDelay
+	if d <= 0 {
+		d = hedgeDefaultDelay
+	}
+	if s.Count >= hedgeAdaptiveMinSamples {
+		d = time.Duration(s.P99)
+		if d < hedgeMinDelay {
+			d = hedgeMinDelay
+		}
+	}
+	c.hedgeDelayNS.Store(int64(d))
+	return d
+}
+
+// depositHedgeCredit banks one tenth of a hedge for an admissible read.
+func (c *Client) depositHedgeCredit() {
+	for {
+		cur := c.hedgeCredit.Load()
+		if cur >= hedgeBurstTenths {
+			return
+		}
+		if c.hedgeCredit.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
+// takeHedgeToken withdraws one hedge's worth of credit, reporting whether
+// the bucket could afford it.
+func (c *Client) takeHedgeToken() bool {
+	for {
+		cur := c.hedgeCredit.Load()
+		if cur < hedgeCostTenths {
+			return false
+		}
+		if c.hedgeCredit.CompareAndSwap(cur, cur-hedgeCostTenths) {
+			return true
+		}
+	}
 }
 
 // Latency exposes the pool's round-trip histograms. The driver folds
@@ -88,12 +220,14 @@ func Dial(addr string, opts Options) (*Client, error) {
 		opts.MaxKeysPerFrame = 4096
 	}
 	c := &Client{opts: opts}
+	c.hedgeCredit.Store(hedgeBurstTenths) // start with a full burst banked
 	for i := 0; i < opts.Conns; i++ {
 		cn, err := dialConn(addr, opts, &c.lat)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
+		cn.idx = i
 		c.conns = append(c.conns, cn)
 	}
 	p, err := c.conns[0].roundTrip(wire.OpHello, wire.EncodeHello())
@@ -129,6 +263,16 @@ func (c *Client) Close() error {
 // pick returns the next pooled connection round-robin.
 func (c *Client) pick() *conn {
 	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// pickNot returns a pooled connection other than avoid (avoid itself when
+// the pool has only one). Hedges use it: a duplicate on the primary's own
+// connection would queue behind the very frame it is trying to outrun.
+func (c *Client) pickNot(avoid *conn) *conn {
+	if len(c.conns) < 2 {
+		return avoid
+	}
+	return c.conns[(avoid.idx+1)%len(c.conns)]
 }
 
 // OpenSpec names the model an OpenModel call wants.
@@ -170,7 +314,9 @@ func (c *Client) OpenModel(ctx context.Context, spec OpenSpec) (*Model, error) {
 	if dim != spec.Dim {
 		return nil, fmt.Errorf("client: model %q: server dim %d != requested %d", spec.ID, dim, spec.Dim)
 	}
-	return &Model{c: c, handle: handle, id: spec.ID, dim: dim, shards: shards, bound: bound, engine: engine}, nil
+	m := &Model{c: c, handle: handle, id: spec.ID, dim: dim, shards: shards, engine: engine}
+	m.bound.Store(bound)
+	return m, nil
 }
 
 // Model is one named model on the server: a remote kv.Store. It also
@@ -182,7 +328,11 @@ type Model struct {
 	id     string
 	dim    int
 	shards int
-	bound  int64
+	// bound is the staleness bound the server reported, kept current by
+	// SetBoundHint when the caller re-opens with a new bound. Atomic
+	// because hedge admissibility reads it on every read while another
+	// goroutine may be retuning the bound.
+	bound  atomic.Int64
 	engine string
 }
 
@@ -198,8 +348,15 @@ func (m *Model) ValueSize() int { return m.dim * 4 }
 // Shards returns the server store's hash-partition count.
 func (m *Model) Shards() int { return m.shards }
 
-// StalenessBound returns the bound in effect when the model was opened.
-func (m *Model) StalenessBound() int64 { return m.bound }
+// StalenessBound returns the bound currently in effect (as of the last
+// open or SetBoundHint).
+func (m *Model) StalenessBound() int64 { return m.bound.Load() }
+
+// SetBoundHint records a bound change made through a fresh OPEN of the
+// same model, so hedge admissibility tracks the runtime bound: a model
+// retuned from ASP to BSP must stop hedging immediately — a clocked read
+// re-issued clock-free would silently weaken its consistency.
+func (m *Model) SetBoundHint(bound int64) { m.bound.Store(bound) }
 
 // Name identifies the remote engine in benchmark output.
 func (m *Model) Name() string { return "remote(" + m.engine + ")" }
@@ -269,6 +426,98 @@ type Session struct {
 	// written, so reuse across requests is safe and the steady-state
 	// request path allocates nothing.
 	enc []byte
+	// henc is the hedge duplicate's encode scratch: the hedge frame (a
+	// clock-free PEEK/PEEKBATCH) has a different payload layout than its
+	// primary, and enc's bytes were already claimed by the primary's write.
+	henc []byte
+}
+
+// hedgeable reports whether this session's reads may hedge right now:
+// hedging configured, a second connection to duplicate onto, and the
+// model's current bound unable to block (ASP or disabled — never BSP/SSP,
+// whose reads wait on clock tokens a duplicate must not touch).
+func (s *Session) hedgeable() bool {
+	c := s.m.c
+	return c.hedging() && len(c.conns) > 1 && !faster.BlockingBound(s.m.bound.Load())
+}
+
+// hedgedRead is a read round trip that re-issues itself if the response
+// lags: the primary (op, s.enc) goes to the session's own connection; if
+// no response arrives within the pool's hedge delay and the token bucket
+// admits it, the clock-free duplicate (hedgeOp, encoded by encodeHedge
+// into s.henc) goes to a neighboring connection, and whichever response
+// arrives first wins. The loser is reaped in the background — its pending
+// entry is deleted by the read loop on arrival and its payload returned
+// to the pool, so abandoned hedges leak nothing.
+//
+// A hedge that answers with an error never wins: the primary is still in
+// flight and authoritative (this also keeps hedging safe against servers
+// predating PEEKBATCH, which answer RespErr). The returned conn is the
+// winner; release the payload to it.
+func (s *Session) hedgedRead(ctx context.Context, op, hedgeOp wire.Op, cls latency.Op, encodeHedge func(dst []byte) []byte) ([]byte, *conn, error) {
+	c := s.m.c
+	if err := ctx.Err(); err != nil {
+		return nil, s.cn, err
+	}
+	c.depositHedgeCredit()
+	start := time.Now()
+	defer func() { c.lat.Since(cls, start) }()
+
+	ch1, err := s.cn.begin(op, s.enc)
+	if err != nil {
+		return nil, s.cn, err
+	}
+	timer := time.NewTimer(c.hedgeDelay(cls))
+	var cn2 *conn
+	var ch2 chan response
+	select {
+	case r, ok := <-ch1:
+		timer.Stop()
+		p, err := s.cn.finish(r, ok)
+		return p, s.cn, err
+	case <-ctx.Done():
+		timer.Stop()
+		return nil, s.cn, ctx.Err()
+	case <-timer.C:
+		if c.takeHedgeToken() {
+			cn2 = c.pickNot(s.cn)
+			s.henc = encodeHedge(s.henc[:0])
+			if ch2, err = cn2.begin(hedgeOp, s.henc); err != nil {
+				cn2, ch2 = nil, nil // hedge conn broken; primary carries on
+			} else {
+				c.hedgeIssued.Add(1)
+			}
+		} else {
+			c.hedgeSuppressed.Add(1)
+		}
+	}
+	for {
+		select {
+		case r, ok := <-ch1:
+			if ch2 != nil {
+				c.hedgeWasted.Add(1)
+				cn2.reap(ch2)
+			}
+			p, err := s.cn.finish(r, ok)
+			return p, s.cn, err
+		case r, ok := <-ch2: // nil (blocks forever) when no hedge went out
+			p, err := cn2.finish(r, ok)
+			if err != nil {
+				// Failed hedges defer to the still-pending primary.
+				c.hedgeWasted.Add(1)
+				ch2 = nil
+				continue
+			}
+			c.hedgeWon.Add(1)
+			s.cn.reap(ch1)
+			return p, cn2, nil
+		case <-ctx.Done():
+			if ch2 != nil {
+				cn2.reap(ch2)
+			}
+			return nil, s.cn, ctx.Err()
+		}
+	}
 }
 
 func (s *Session) Get(key uint64, dst []byte) (bool, error) {
@@ -284,7 +533,19 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, err
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
 	s.enc = wire.AppendGet(s.enc[:0], s.m.handle, key, waitMsFrom(ctx))
-	p, err := s.cn.roundTripCtx(ctx, wire.OpGet, s.enc)
+	var p []byte
+	var err error
+	winner := s.cn
+	if s.hedgeable() {
+		// The duplicate is a PEEK: same read, clock-free by construction,
+		// so a straggling primary can be outrun without consistency cost
+		// (the bound already admits unbounded staleness here).
+		p, winner, err = s.hedgedRead(ctx, wire.OpGet, wire.OpPeek, latency.OpGet, func(dst []byte) []byte {
+			return wire.AppendKey(dst, s.m.handle, key)
+		})
+	} else {
+		p, err = s.cn.roundTripCtx(ctx, wire.OpGet, s.enc)
+	}
 	if err != nil {
 		// Near the deadline the server's "gave up" error and our own
 		// timer race; the caller asked for ctx semantics either way.
@@ -294,7 +555,7 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, err
 		return false, err
 	}
 	found, err := wire.DecodeGetResp(p, dst)
-	s.cn.release(p)
+	winner.release(p)
 	return found, err
 }
 
@@ -419,7 +680,18 @@ func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, f
 			n = s.m.c.opts.MaxKeysPerFrame
 		}
 		s.enc = wire.AppendGetBatch(s.enc[:0], s.m.handle, waitMsFrom(ctx), keys[:n])
-		p, err := s.cn.roundTripCtx(ctx, wire.OpGetBatch, s.enc)
+		var p []byte
+		var err error
+		winner := s.cn
+		if s.hedgeable() {
+			// Duplicate as PEEKBATCH: identical response layout, clock-free
+			// by construction (see GetCtx).
+			p, winner, err = s.hedgedRead(ctx, wire.OpGetBatch, wire.OpPeekBatch, latency.OpGetBatch, func(dst []byte) []byte {
+				return wire.AppendKeys(dst, s.m.handle, keys[:n])
+			})
+		} else {
+			p, err = s.cn.roundTripCtx(ctx, wire.OpGetBatch, s.enc)
+		}
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -427,7 +699,7 @@ func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, f
 			return err
 		}
 		err = wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs])
-		s.cn.release(p)
+		winner.release(p)
 		if err != nil {
 			return err
 		}
@@ -475,11 +747,17 @@ func (s *Session) Close() {
 
 // conn is one pooled connection with a demultiplexing reader goroutine.
 type conn struct {
-	c  net.Conn
-	bw *bufio.Writer
-	fw *wire.FrameWriter // over bw; guarded by wmu
+	c   net.Conn
+	idx int // position in the owning pool (hedges pick a neighbor)
+	bw  *bufio.Writer
+	fw  *wire.FrameWriter // over bw; guarded by wmu
 
 	wmu sync.Mutex // serializes frame writes across sessions
+	// writers counts round trips between "committed to write" and "frame
+	// written": the last one out flushes, so concurrent pipelined requests
+	// coalesce into one syscall (the server's flush-on-idle pattern,
+	// mirrored client-side).
+	writers atomic.Int32
 
 	pmu     sync.Mutex
 	pending map[uint32]chan response
@@ -528,7 +806,13 @@ type response struct {
 }
 
 func dialConn(addr string, opts Options, lat *latency.OpSet) (*conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	dial := opts.dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -622,7 +906,7 @@ func opClass(op wire.Op) (latency.Op, bool) {
 	switch op {
 	case wire.OpGet, wire.OpPeek:
 		return latency.OpGet, true
-	case wire.OpGetBatch:
+	case wire.OpGetBatch, wire.OpPeekBatch:
 		return latency.OpGetBatch, true
 	case wire.OpPut, wire.OpDelete:
 		return latency.OpPut, true
@@ -640,6 +924,25 @@ func (cn *conn) doRoundTrip(ctx context.Context, op wire.Op, payload []byte) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ch, err := cn.begin(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case r, ok := <-ch:
+		return cn.finish(r, ok)
+	case <-ctx.Done():
+		// Abandon the round trip. Leave the pending entry for the read
+		// loop: the buffered channel absorbs the late response.
+		return nil, ctx.Err()
+	}
+}
+
+// begin registers a pending slot and writes the request frame; the
+// response will arrive on the returned buffered channel (closed if the
+// connection dies first). It is the send half of a round trip, split out
+// so a hedged read can have two requests in flight and wait on both.
+func (cn *conn) begin(op wire.Op, payload []byte) (chan response, error) {
 	id := cn.nextID.Add(1)
 	ch := make(chan response, 1)
 	cn.pmu.Lock()
@@ -654,28 +957,52 @@ func (cn *conn) doRoundTrip(ctx context.Context, op wire.Op, payload []byte) ([]
 	cn.pending[id] = ch
 	cn.pmu.Unlock()
 
-	cn.wmu.Lock()
-	err := cn.fw.Write(id, op, payload)
-	if err == nil {
-		err = cn.bw.Flush()
-	}
-	cn.wmu.Unlock()
-	if err != nil {
+	if err := cn.send(id, op, payload); err != nil {
 		cn.pmu.Lock()
 		delete(cn.pending, id)
 		cn.pmu.Unlock()
 		return nil, err
 	}
+	return ch, nil
+}
 
-	var r response
-	var ok bool
-	select {
-	case r, ok = <-ch:
-	case <-ctx.Done():
-		// Abandon the round trip. Leave the pending entry for the read
-		// loop: the buffered channel absorbs the late response.
-		return nil, ctx.Err()
+// send writes one frame, flushing only when this is the last counted
+// writer: N concurrent pipelined requests coalesce into ~1 syscall.
+// Correctness of the skipped flush: the writer it yielded to has already
+// incremented the counter and will hold wmu after us, so every buffered
+// byte is flushed by whichever counted writer leaves last.
+func (cn *conn) send(id uint32, op wire.Op, payload []byte) error {
+	cn.writers.Add(1)
+	cn.wmu.Lock()
+	err := cn.fw.Write(id, op, payload)
+	if cn.writers.Add(-1) == 0 && err == nil {
+		err = cn.bw.Flush()
 	}
+	cn.wmu.Unlock()
+	if err != nil {
+		// A failed write or flush leaves the stream framing unknown (and
+		// may strand another writer's coalesced bytes); poison the
+		// connection so everything pending fails fast instead of waiting
+		// on responses that can never arrive.
+		cn.fail(err)
+	}
+	return err
+}
+
+// fail marks the connection broken and closes it, which unblocks the
+// read loop to fail every pending round trip. First error wins.
+func (cn *conn) fail(err error) {
+	cn.pmu.Lock()
+	if cn.failure == nil {
+		cn.failure = fmt.Errorf("client: write failed: %w", err)
+	}
+	cn.pmu.Unlock()
+	cn.c.Close()
+}
+
+// finish interprets a delivered response (or the closed channel of a dead
+// connection). It is the receive half of a round trip.
+func (cn *conn) finish(r response, ok bool) ([]byte, error) {
 	if !ok {
 		cn.pmu.Lock()
 		err := cn.failure
@@ -692,6 +1019,19 @@ func (cn *conn) doRoundTrip(ctx context.Context, op wire.Op, payload []byte) ([]
 	}
 	cn.release(r.payload)
 	return nil, fmt.Errorf("client: unexpected response opcode %s", r.op)
+}
+
+// reap drains an abandoned round trip's channel in the background and
+// returns the late payload to the pool. The read loop deletes the
+// pending entry when the response lands (so no map leak either way);
+// connection death closes the channel, ending the wait. Hedged reads use
+// it for the losing attempt.
+func (cn *conn) reap(ch chan response) {
+	go func() {
+		if r, ok := <-ch; ok {
+			cn.release(r.payload)
+		}
+	}()
 }
 
 // respError rebuilds a server error. Deadline/cancellation errors — a

@@ -1,0 +1,597 @@
+package client
+
+// Tests for the pool's two tail optimizations: coalesced frame flushing
+// (many pipelined writers, ~one syscall) and hedged reads (a straggling
+// admissible read re-issued clock-free on a second connection). The
+// hedge lifecycle tests run against a scripted in-test wire server so
+// response timing is controlled exactly; the coalescing test runs
+// against the real server through a write-counting net.Conn.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/kv"
+	"github.com/llm-db/mlkv-go/internal/latency"
+	"github.com/llm-db/mlkv-go/internal/server"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// fakeServer speaks just enough of the wire protocol to open a model and
+// answer reads, with per-opcode scripted behavior: an added delay, a
+// forced RespErr, or a muted (never answered) op. Each request is handled
+// on its own goroutine so a delayed GETBATCH does not block the PEEKBATCH
+// pipelined behind it — the property hedging depends on server-side.
+type fakeServer struct {
+	ln  net.Listener
+	dim int
+
+	mu    sync.Mutex
+	delay map[wire.Op]time.Duration
+	errOn map[wire.Op]string
+	muted map[wire.Op]bool
+}
+
+func newFakeServer(t *testing.T, dim int) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeServer{
+		ln: ln, dim: dim,
+		delay: map[wire.Op]time.Duration{},
+		errOn: map[wire.Op]string{},
+		muted: map[wire.Op]bool{},
+	}
+	go s.accept()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *fakeServer) setDelay(op wire.Op, d time.Duration) {
+	s.mu.Lock()
+	s.delay[op] = d
+	s.mu.Unlock()
+}
+
+func (s *fakeServer) setErr(op wire.Op, msg string) {
+	s.mu.Lock()
+	s.errOn[op] = msg
+	s.mu.Unlock()
+}
+
+func (s *fakeServer) mute(op wire.Op) {
+	s.mu.Lock()
+	s.muted[op] = true
+	s.mu.Unlock()
+}
+
+func (s *fakeServer) accept() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(c)
+	}
+}
+
+func (s *fakeServer) serve(c net.Conn) {
+	defer c.Close()
+	var wmu sync.Mutex // handler goroutines interleave responses
+	for {
+		f, err := wire.ReadFrame(c, 0) // fresh payload per frame; goroutine-safe
+		if err != nil {
+			return
+		}
+		go s.handle(c, &wmu, f)
+	}
+}
+
+func (s *fakeServer) handle(c net.Conn, wmu *sync.Mutex, f wire.Frame) {
+	s.mu.Lock()
+	d, muted, errMsg := s.delay[f.Op], s.muted[f.Op], s.errOn[f.Op]
+	s.mu.Unlock()
+	if muted {
+		return
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	op := wire.RespOK
+	var resp []byte
+	if errMsg != "" {
+		op, resp = wire.RespErr, []byte(errMsg)
+	} else {
+		switch f.Op {
+		case wire.OpHello:
+			resp = wire.EncodeHelloResp("fake")
+		case wire.OpOpen:
+			_, dim, _, bound, _, err := wire.DecodeOpen(f.Payload)
+			if err != nil {
+				op, resp = wire.RespErr, []byte(err.Error())
+				break
+			}
+			if bound == wire.BoundUnset {
+				bound = faster.BoundAsync
+			}
+			resp = wire.EncodeOpenResp(1, dim, 1, bound, "fake")
+		case wire.OpAttach, wire.OpDetach:
+		case wire.OpGet:
+			_, rest, _ := wire.DecodeHandle(f.Payload)
+			key, _, _ := wire.DecodeGet(rest)
+			resp = wire.EncodeGetResp(true, fakeVal(s.dim, key))
+		case wire.OpPeek:
+			_, rest, _ := wire.DecodeHandle(f.Payload)
+			key, _ := wire.DecodeKey(rest)
+			resp = wire.EncodeGetResp(true, fakeVal(s.dim, key))
+		case wire.OpGetBatch:
+			_, rest, _ := wire.DecodeHandle(f.Payload)
+			keys, _, _ := wire.DecodeGetBatch(rest, nil)
+			resp = fakeBatchResp(s.dim, keys)
+		case wire.OpPeekBatch:
+			_, rest, _ := wire.DecodeHandle(f.Payload)
+			keys, _ := wire.DecodeKeys(rest, nil)
+			resp = fakeBatchResp(s.dim, keys)
+		default:
+			op, resp = wire.RespErr, []byte("fake: unhandled op")
+		}
+	}
+	wmu.Lock()
+	wire.WriteFrame(c, f.CorrID, op, resp)
+	wmu.Unlock()
+}
+
+// fakeVal is the deterministic value the fake serves for a key: every
+// byte is byte(key), so winners' payloads are checkable.
+func fakeVal(dim int, key uint64) []byte {
+	v := make([]byte, dim*4)
+	for i := range v {
+		v[i] = byte(key)
+	}
+	return v
+}
+
+func fakeBatchResp(dim int, keys []uint64) []byte {
+	vs := dim * 4
+	found := make([]bool, len(keys))
+	vals := make([]byte, len(keys)*vs)
+	for i, k := range keys {
+		found[i] = true
+		for j := 0; j < vs; j++ {
+			vals[i*vs+j] = byte(k)
+		}
+	}
+	return wire.EncodeGetBatchResp(found, vals)
+}
+
+func fakeClient(t *testing.T, s *fakeServer, opts Options) *Client {
+	t.Helper()
+	cl, err := Dial(s.ln.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func fakeSession(t *testing.T, cl *Client, id string, dim int, bound int64) (*Model, *Session) {
+	t.Helper()
+	m, err := cl.OpenModel(context.Background(), OpenSpec{ID: id, Dim: dim, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSessionCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return m, s
+}
+
+func pendingTotal(cl *Client) int {
+	n := 0
+	for _, cn := range cl.conns {
+		cn.pmu.Lock()
+		n += len(cn.pending)
+		cn.pmu.Unlock()
+	}
+	return n
+}
+
+// waitDrained waits for every in-flight correlation entry across the pool
+// to be consumed — the no-leak invariant for abandoned hedge losers.
+func waitDrained(t *testing.T, cl *Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for pendingTotal(cl) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pending entries never drained", pendingTotal(cl))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func checkBatchVals(t *testing.T, keys []uint64, vals []byte, found []bool, vs int) {
+	t.Helper()
+	for i, k := range keys {
+		if !found[i] {
+			t.Fatalf("key %d not found", k)
+		}
+		for j := 0; j < vs; j++ {
+			if vals[i*vs+j] != byte(k) {
+				t.Fatalf("key %d byte %d = %d, want %d", k, j, vals[i*vs+j], byte(k))
+			}
+		}
+	}
+}
+
+// TestHedgeWinsOnSlowPrimary pins the happy hedge path: a GETBATCH whose
+// primary is scripted slow returns via the clock-free PEEKBATCH duplicate
+// well before the primary's delay, the payload is the duplicate's, and
+// the straggling primary drains without leaking its pending entry.
+func TestHedgeWinsOnSlowPrimary(t *testing.T) {
+	const dim = 2
+	fs := newFakeServer(t, dim)
+	fs.setDelay(wire.OpGetBatch, 80*time.Millisecond)
+	cl := fakeClient(t, fs, Options{Conns: 2, HedgeDelay: 2 * time.Millisecond})
+	_, s := fakeSession(t, cl, "m", dim, wire.BoundUnset) // fake answers ASP
+
+	keys := []uint64{1, 2, 3}
+	vals := make([]byte, len(keys)*dim*4)
+	found := make([]bool, len(keys))
+	start := time.Now()
+	if err := s.GetBatch(keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	checkBatchVals(t, keys, vals, found, dim*4)
+	if hs := cl.HedgeStats(); hs.Issued != 1 || hs.Won != 1 {
+		t.Fatalf("hedge stats %+v, want exactly one issued and won", hs)
+	}
+	if elapsed >= 80*time.Millisecond {
+		t.Fatalf("hedged read took %s, no faster than the 80ms primary", elapsed)
+	}
+	// The late primary's response must be reaped: pending entry deleted by
+	// the read loop, payload returned — no leak from the abandoned loser.
+	waitDrained(t, cl)
+}
+
+// TestHedgeErrorDefersToPrimary pins the compatibility rule: a hedge
+// answered with RespErr (e.g. a server predating PEEKBATCH) never wins —
+// the caller still gets the primary's successful answer and the hedge is
+// counted wasted.
+func TestHedgeErrorDefersToPrimary(t *testing.T) {
+	const dim = 2
+	fs := newFakeServer(t, dim)
+	fs.setDelay(wire.OpGetBatch, 40*time.Millisecond)
+	fs.setErr(wire.OpPeekBatch, "fake: unknown opcode PEEKBATCH")
+	cl := fakeClient(t, fs, Options{Conns: 2, HedgeDelay: 2 * time.Millisecond})
+	_, s := fakeSession(t, cl, "m", dim, wire.BoundUnset)
+
+	keys := []uint64{7, 8}
+	vals := make([]byte, len(keys)*dim*4)
+	found := make([]bool, len(keys))
+	if err := s.GetBatch(keys, vals, found); err != nil {
+		t.Fatalf("read failed even though the primary succeeded: %v", err)
+	}
+	checkBatchVals(t, keys, vals, found, dim*4)
+	hs := cl.HedgeStats()
+	if hs.Issued != 1 || hs.Won != 0 || hs.Wasted != 1 {
+		t.Fatalf("hedge stats %+v, want the failed hedge issued and wasted, never won", hs)
+	}
+	waitDrained(t, cl)
+}
+
+// TestHedgeCtxCancelsBothAttempts pins cancellation: with both the
+// primary and the hedge muted server-side, the caller's deadline ends the
+// round trip (both attempts abandoned to the read loop) and closing the
+// client does not hang on the orphaned entries.
+func TestHedgeCtxCancelsBothAttempts(t *testing.T) {
+	const dim = 2
+	fs := newFakeServer(t, dim)
+	fs.mute(wire.OpGetBatch)
+	fs.mute(wire.OpPeekBatch)
+	cl := fakeClient(t, fs, Options{Conns: 2, HedgeDelay: 2 * time.Millisecond})
+	_, s := fakeSession(t, cl, "m", dim, wire.BoundUnset)
+
+	keys := []uint64{1}
+	vals := make([]byte, dim*4)
+	found := make([]bool, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.GetBatchCtx(ctx, keys, vals, found)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+	if hs := cl.HedgeStats(); hs.Issued != 1 {
+		t.Fatalf("hedge stats %+v, want the hedge issued before the deadline", hs)
+	}
+	// Both attempts are in flight forever (the fake never answers); their
+	// entries stay pending until Close fails them — the t.Cleanup Close
+	// doubles as the no-hang check.
+	if n := pendingTotal(cl); n != 2 {
+		t.Fatalf("pending entries after cancel = %d, want both attempts", n)
+	}
+}
+
+// TestClockedReadsNeverHedge pins admissibility: reads on a BSP (or any
+// clocked) model must never hedge — a clocked read re-issued clock-free
+// would weaken its consistency — and a bound retuned via SetBoundHint
+// stops hedging immediately.
+func TestClockedReadsNeverHedge(t *testing.T) {
+	const dim = 2
+	fs := newFakeServer(t, dim)
+	fs.setDelay(wire.OpGet, 8*time.Millisecond)
+	fs.setDelay(wire.OpGetBatch, 8*time.Millisecond)
+	cl := fakeClient(t, fs, Options{Conns: 2, HedgeDelay: time.Millisecond})
+
+	dst := make([]byte, dim*4)
+	keys := []uint64{1, 2}
+	vals := make([]byte, len(keys)*dim*4)
+	found := make([]bool, len(keys))
+
+	// BSP model: every read is slow enough to want a hedge; none may.
+	_, bsp := fakeSession(t, cl, "bsp", dim, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := bsp.Get(uint64(i), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bsp.GetBatch(keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	if hs := cl.HedgeStats(); hs != (HedgeStats{}) {
+		t.Fatalf("clocked reads hedged: %+v", hs)
+	}
+
+	// ASP model on the same pool: the same reads hedge (or are at least
+	// counted suppressed when the bucket is dry).
+	asp, aspSess := fakeSession(t, cl, "asp", dim, faster.BoundAsync)
+	for i := 0; i < 3; i++ {
+		if _, err := aspSess.Get(uint64(i), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := cl.HedgeStats()
+	if hs.Issued+hs.Suppressed == 0 {
+		t.Fatalf("admissible slow reads never attempted a hedge: %+v", hs)
+	}
+
+	// Retune the model to BSP: hedging stops at once.
+	asp.SetBoundHint(0)
+	before := cl.HedgeStats()
+	for i := 0; i < 3; i++ {
+		if _, err := aspSess.Get(uint64(i), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := cl.HedgeStats(); after != before {
+		t.Fatalf("reads after a BSP bound hint still hedged: %+v -> %+v", before, after)
+	}
+}
+
+// TestHedgeTokenBucketCapsDuplicates pins the pacing contract: when every
+// admissible read wants a hedge, the bucket admits the burst plus ~10% of
+// reads and suppresses the rest, so a melting-down server sees at most
+// ~1.1x its offered load.
+func TestHedgeTokenBucketCapsDuplicates(t *testing.T) {
+	const dim = 2
+	const workers, perWorker = 8, 12
+	fs := newFakeServer(t, dim)
+	fs.setDelay(wire.OpGet, 20*time.Millisecond) // PEEK stays instant: hedges win fast
+	cl := fakeClient(t, fs, Options{Conns: 2, HedgeDelay: time.Millisecond})
+	m, err := cl.OpenModel(context.Background(), OpenSpec{ID: "m", Dim: dim, Bound: wire.BoundUnset})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := m.NewSessionCtx(context.Background())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			dst := make([]byte, dim*4)
+			for i := 0; i < perWorker; i++ {
+				if _, err := s.Get(uint64(w*perWorker+i), dst); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	const reads = workers * perWorker
+	hs := cl.HedgeStats()
+	if hs.Issued+hs.Suppressed != reads {
+		t.Fatalf("attempts = %d (%+v), want every one of %d slow reads to cross the delay", hs.Issued+hs.Suppressed, hs, reads)
+	}
+	// Bucket math: a full burst (hedgeBurstTenths) plus one tenth banked
+	// per read bounds the issuable hedges.
+	maxIssued := int64((hedgeBurstTenths + reads) / hedgeCostTenths)
+	if hs.Issued > maxIssued {
+		t.Fatalf("issued %d hedges, bucket admits at most %d", hs.Issued, maxIssued)
+	}
+	if hs.Issued < hedgeBurstTenths/hedgeCostTenths {
+		t.Fatalf("issued %d hedges, the burst alone covers %d", hs.Issued, hedgeBurstTenths/hedgeCostTenths)
+	}
+	if hs.Suppressed == 0 {
+		t.Fatalf("no hedge suppressed across %d over-budget reads: %+v", reads, hs)
+	}
+	waitDrained(t, cl)
+}
+
+// TestAdaptiveHedgeDelayTracksTail pins the adaptive trigger: before any
+// samples the fallback applies; once the pool's histogram holds a tail,
+// the delay tracks its p99 (floored at hedgeMinDelay).
+func TestAdaptiveHedgeDelayTracksTail(t *testing.T) {
+	c := &Client{opts: Options{HedgeAdaptive: true}}
+	if d := c.hedgeDelay(latency.OpGet); d != hedgeDefaultDelay {
+		t.Fatalf("sampleless adaptive delay = %s, want fallback %s", d, hedgeDefaultDelay)
+	}
+	c = &Client{opts: Options{HedgeAdaptive: true, HedgeDelay: 7 * time.Millisecond}}
+	if d := c.hedgeDelay(latency.OpGet); d != 7*time.Millisecond {
+		t.Fatalf("sampleless adaptive delay = %s, want configured fallback 7ms", d)
+	}
+	for i := 0; i < 4*hedgeAdaptiveMinSamples; i++ {
+		c.lat.Record(latency.OpGet, 5*time.Millisecond)
+	}
+	c.hedgeDelayTick.Store(0) // force a recompute on the next call
+	d := c.hedgeDelay(latency.OpGet)
+	if d < 4*time.Millisecond || d > 8*time.Millisecond {
+		t.Fatalf("adaptive delay = %s, want ~p99 of the 5ms samples", d)
+	}
+	// A uniformly fast pool floors at hedgeMinDelay instead of hedging
+	// every read that hits one scheduler hiccup.
+	c = &Client{opts: Options{HedgeAdaptive: true}}
+	for i := 0; i < 4*hedgeAdaptiveMinSamples; i++ {
+		c.lat.Record(latency.OpGet, 5*time.Microsecond)
+	}
+	c.hedgeDelayTick.Store(0)
+	if d := c.hedgeDelay(latency.OpGet); d != hedgeMinDelay {
+		t.Fatalf("fast-pool adaptive delay = %s, want the %s floor", d, hedgeMinDelay)
+	}
+}
+
+// countingConn counts Write calls on the underlying connection — with a
+// bufio layer above it, exactly the flush syscalls. Each Write also
+// sleeps ~a millisecond, modeling a network where the syscall is not
+// free: while one flusher sleeps, the other writers pile up behind the
+// frame lock, which is exactly the contention coalescing exists for (and
+// it makes the test deterministic on a single-CPU runner, where zero-cost
+// writes let every round trip finish before the next goroutine starts).
+type countingConn struct {
+	net.Conn
+	writes *atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	time.Sleep(time.Millisecond)
+	return c.Conn.Write(p)
+}
+
+// TestCoalescedClientWrites pins the tentpole write-path property against
+// the real server: 64 concurrent pipelined requests on one connection
+// coalesce their flushes — the connection sees far fewer Write calls than
+// requests, instead of one flush per request.
+func TestCoalescedClientWrites(t *testing.T) {
+	const dim = 4
+	const requests = 64
+	dir := t.TempDir()
+	reg := server.NewRegistry(server.RegistryConfig{
+		DefaultShards: 1,
+		DefaultBound:  -1,
+		Name:          "coalesce-test",
+		Opener: func(id string, dim, shards int, bound int64, engine string) (kv.Store, error) {
+			return kv.OpenEngine(engine, kv.ShardedConfig{
+				Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+				RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
+				StalenessBound: bound,
+			}, "coalesce-test")
+		},
+	})
+	defer reg.Close()
+	srv := server.New(server.Config{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+
+	var writes atomic.Int64
+	cl, err := Dial(ln.Addr().String(), Options{
+		Conns: 1,
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return &countingConn{Conn: nc, writes: &writes}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m, err := cl.OpenModel(context.Background(), OpenSpec{ID: "coalesce", Dim: dim, Bound: wire.BoundUnset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, requests)
+	for i := range sessions {
+		if sessions[i], err = m.NewSessionCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := writes.Load()
+	startCh := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, requests)
+	val := make([]byte, dim*4)
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-startCh
+			errCh <- sessions[i].Put(uint64(i), val)
+		}(i)
+	}
+	close(startCh)
+	wg.Wait()
+	burst := writes.Load() - before
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+
+	t.Logf("%d pipelined puts cost %d conn writes", requests, burst)
+	if burst < 1 {
+		t.Fatal("no connection writes counted; the counting conn is not wired")
+	}
+	// The contended window guarantees coalescing: while one writer holds
+	// the frame lock, every queued writer has already announced itself, so
+	// all but the last skip their flush. Half the request count is a loose
+	// ceiling; in practice the burst costs a handful of writes.
+	if burst >= requests/2 {
+		t.Fatalf("%d pipelined puts cost %d conn writes; want them coalesced well below %d",
+			requests, burst, requests/2)
+	}
+}

@@ -88,6 +88,11 @@ type Options struct {
 	Init Initializer
 	// RecordsPerPage overrides the log page granularity (power of two).
 	RecordsPerPage int
+	// FlushPace paces each shard's background log flusher: when positive,
+	// consecutive flush writes are separated by at least this gap so a
+	// flush burst is smeared instead of stalling concurrent reads (see
+	// faster.Config.FlushPace). Zero disables pacing.
+	FlushPace time.Duration
 	// TrackLatency attaches per-op-class latency histograms to the table:
 	// session Get/GetBatch/Put/PutBatch/ApplyGradient record their wall
 	// time (wait-free, no allocation) and TableStats reports the
@@ -196,6 +201,7 @@ func OpenTable(opts Options) (*Table, error) {
 			MutablePages:   mutPages,
 			ExpectedKeys:   keysPerShard,
 			StalenessBound: opts.StalenessBound,
+			FlushPace:      opts.FlushPace,
 		})
 		if err != nil {
 			for _, prev := range stores {

@@ -39,6 +39,16 @@ type ConnectOptions struct {
 	Conns int
 	// DialTimeout bounds each TCP connect (default 5s).
 	DialTimeout time.Duration
+	// HedgeDelay, when positive, re-issues admissible reads (GET/GETBATCH
+	// on models whose staleness bound cannot block) as clock-free
+	// duplicates on a second pooled connection when the first response is
+	// slower than the delay; first response wins. Zero disables hedging
+	// unless HedgeAdaptive.
+	HedgeDelay time.Duration
+	// HedgeAdaptive derives the hedge delay from the pool's own observed
+	// tail (per-op-class p99, floored) instead of a fixed constant;
+	// HedgeDelay then serves as the fallback until enough samples exist.
+	HedgeAdaptive bool
 }
 
 // Config carries one model's open parameters across the seam.
@@ -64,6 +74,12 @@ type Config struct {
 	// front of the model's read path: above the local engine, or
 	// client-side for a remote model. 0 disables it.
 	CacheEntries int
+	// FlushPace rate-limits the local hybrid log's background flusher: a
+	// minimum gap between flush writes, smearing a burst of frozen pages
+	// over time instead of saturating the device under foreground reads.
+	// 0 flushes as fast as the device allows. Remote servers own their own
+	// pacing (-flush-pace) and ignore it.
+	FlushPace time.Duration
 	// Init produces first-touch embeddings. The local engine runs it
 	// inside storage; the remote driver runs it client-side on a miss and
 	// writes the result back, so a given key initializes identically on
@@ -79,8 +95,17 @@ type Stats struct {
 	StalenessWaits                  int64
 	PrefetchCopies, PrefetchDropped int64
 	FlushedPages, BytesFlushed      int64
-	BatchGets, BatchPuts            int64
-	LookaheadCalls                  int64
+	// GroupCommits counts multi-page flush writes (adjacent frozen pages
+	// merged into one write); FlushPaceStalls counts pacing sleeps the
+	// flusher took between writes (Config.FlushPace / server -flush-pace).
+	GroupCommits, FlushPaceStalls int64
+	BatchGets, BatchPuts          int64
+	LookaheadCalls                int64
+	// Hedged-read counters (remote models with ConnectOptions hedging):
+	// duplicates issued, duplicates that beat their primary, duplicates
+	// the primary beat, and hedges the token bucket suppressed. The pool
+	// is per-Connect, so they cover every model opened from this DB.
+	HedgedReads, HedgeWins, HedgeWasted, HedgeSuppressed int64
 	// Hot-tier counters (WithCache). For a remote model they merge the
 	// client-side tier with the server's shared per-model tier.
 	CacheHits, CacheMisses, CacheEvictions int64

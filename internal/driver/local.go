@@ -225,6 +225,7 @@ func openCoreBackend(dir string, cfg Config) (*coreBackend, error) {
 		ExpectedKeys:    cfg.ExpectedKeys,
 		PrefetchWorkers: cfg.PrefetchWorkers,
 		CacheEntries:    cfg.CacheEntries,
+		FlushPace:       cfg.FlushPace,
 		Init:            cfg.Init,
 		// Always on through the public API: both drivers report the same
 		// latency fields in Stats, so local-vs-remote comparisons hold.
@@ -264,6 +265,7 @@ func (b *coreBackend) Stats() Stats {
 		StalenessWaits: ts.StalenessWaits,
 		PrefetchCopies: ts.PrefetchCopies, PrefetchDropped: ts.PrefetchDropped,
 		FlushedPages: ts.FlushedPages, BytesFlushed: ts.BytesFlushed,
+		GroupCommits: ts.GroupCommits, FlushPaceStalls: ts.FlushPaceStalls,
 		BatchGets: ts.BatchGets, BatchPuts: ts.BatchPuts,
 		LookaheadCalls: ts.LookaheadCalls,
 		CacheHits:      ts.CacheHits, CacheMisses: ts.CacheMisses,

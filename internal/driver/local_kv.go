@@ -39,6 +39,7 @@ func openKVBackend(dir, engine string, cfg Config) (*kvBackend, error) {
 		MemoryBytes:    cfg.MemoryBytes,
 		ExpectedKeys:   cfg.ExpectedKeys,
 		StalenessBound: bound,
+		FlushPace:      cfg.FlushPace, // honored by the hybrid log; clock-free engines ignore it
 	}, engine)
 	if err != nil {
 		return nil, err

@@ -28,8 +28,10 @@ type remoteDB struct {
 
 func connectRemote(target, addr string, opts ConnectOptions) (DB, error) {
 	c, err := client.Dial(addr, client.Options{
-		Conns:       opts.Conns,
-		DialTimeout: opts.DialTimeout,
+		Conns:         opts.Conns,
+		DialTimeout:   opts.DialTimeout,
+		HedgeDelay:    opts.HedgeDelay,
+		HedgeAdaptive: opts.HedgeAdaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +130,9 @@ func (m *remoteModel) SetStalenessBound(ctx context.Context, b int64) error {
 	})
 	if err == nil {
 		m.bound.Store(b)
+		// The wire model's own mirror gates hedge admissibility; a model
+		// retuned to a blocking bound must stop hedging immediately.
+		m.m.SetBoundHint(b)
 	}
 	return err
 }
@@ -151,6 +156,7 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 	// The pool is per-DB, so the summaries cover every model opened from
 	// this Connect; RMW is the composite client-side Get+step+Put.
 	lat := m.db.c.Latency()
+	hs := m.db.c.HedgeStats()
 	return Stats{
 		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
 		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
@@ -158,10 +164,13 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 		StalenessWaits: ms.StalenessWaits,
 		PrefetchCopies: ms.PrefetchCopies, PrefetchDropped: m.lookDropped.Load(),
 		FlushedPages: ms.FlushedPages, BytesFlushed: ms.BytesFlushed,
+		GroupCommits: ms.GroupCommits, FlushPaceStalls: ms.FlushPaceStalls,
 		BatchGets: ms.BatchGets, BatchPuts: ms.BatchPuts,
 		LookaheadCalls: ms.LookaheadFrames,
 		CacheHits:      cache.Hits, CacheMisses: cache.Misses,
 		CacheEvictions: cache.Evictions,
+		HedgedReads:    hs.Issued, HedgeWins: hs.Won,
+		HedgeWasted: hs.Wasted, HedgeSuppressed: hs.Suppressed,
 		LatGet:         lat[latency.OpGet].Snapshot(),
 		LatGetBatch:    lat[latency.OpGetBatch].Snapshot(),
 		LatPut:         lat[latency.OpPut].Snapshot(),
@@ -525,7 +534,16 @@ func extendBytes(b []byte, n int) []byte {
 // YCSB benchmark, the network sweep). Closing the returned store closes
 // its connection pool.
 func DialKV(addr, model string, dim, conns int) (kv.Store, error) {
-	c, err := client.Dial(addr, client.Options{Conns: conns})
+	return DialKVHedged(addr, model, dim, conns, 0, false)
+}
+
+// DialKVHedged is DialKV with read hedging: hedge > 0 re-issues slow
+// admissible reads after that fixed delay, adaptive derives the delay
+// from the pool's observed tail instead (see ConnectOptions).
+func DialKVHedged(addr, model string, dim, conns int, hedge time.Duration, adaptive bool) (kv.Store, error) {
+	c, err := client.Dial(addr, client.Options{
+		Conns: conns, HedgeDelay: hedge, HedgeAdaptive: adaptive,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -546,3 +564,10 @@ type dialedStore struct {
 }
 
 func (d *dialedStore) Close() error { return d.c.Close() }
+
+// HedgeStats reports the pool's hedging counters (issued, won, wasted,
+// suppressed) for harness summaries; all zero when hedging is off.
+func (d *dialedStore) HedgeStats() (issued, won, wasted, suppressed int64) {
+	hs := d.c.HedgeStats()
+	return hs.Issued, hs.Won, hs.Wasted, hs.Suppressed
+}

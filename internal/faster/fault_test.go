@@ -1,0 +1,164 @@
+package faster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// errInjected is the fault the failing log writer returns.
+var errInjected = errors.New("injected log device failure")
+
+// faultWriter wraps the real log writer and, once armed, fails every
+// write and sync — a log device dying mid-run.
+type faultWriter struct {
+	mu    sync.Mutex
+	armed bool
+	inner logWriter
+}
+
+func (w *faultWriter) failing() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.armed
+}
+
+func (w *faultWriter) arm() {
+	w.mu.Lock()
+	w.armed = true
+	w.mu.Unlock()
+}
+
+func (w *faultWriter) WriteAt(p []byte, off int64) (int, error) {
+	if w.failing() {
+		return 0, errInjected
+	}
+	return w.inner.WriteAt(p, off)
+}
+
+func (w *faultWriter) Sync() error {
+	if w.failing() {
+		return errInjected
+	}
+	return w.inner.Sync()
+}
+
+// TestFlushFailurePropagatesToCallers injects a failing log writer and
+// drives the store until page turnover needs a flushed victim: the
+// background flush error must surface as an error from Put (through
+// allocate → waitFlushed), not hang the allocator or panic the flusher
+// goroutine, and Checkpoint and Close must fail cleanly afterward.
+func TestFlushFailurePropagatesToCallers(t *testing.T) {
+	st, err := Open(Config{
+		Dir:            t.TempDir(),
+		ValueSize:      32,
+		RecordsPerPage: 8,
+		MemPages:       4,
+		MutablePages:   1,
+		StalenessBound: -1,
+		ExpectedKeys:   1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &faultWriter{inner: st.log.w}
+	fw.arm()
+	st.log.w = fw
+
+	s, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 4 pages x 8 records fit in memory; well past that, a frame recycle
+	// must wait on a flush that can never succeed — and must return the
+	// flush error instead of spinning or panicking.
+	var putErr error
+	v := val(32, 1)
+	for k := uint64(1); k <= 1<<10; k++ {
+		if putErr = s.Put(k, v); putErr != nil {
+			break
+		}
+	}
+	if putErr == nil {
+		t.Fatal("every Put succeeded with a dead log device")
+	}
+	if !errors.Is(putErr, errInjected) {
+		t.Fatalf("Put error %v does not wrap the injected device failure", putErr)
+	}
+
+	// The store is append-dead but must stay crash-free: more writes keep
+	// failing with the same error, and durability ops fail cleanly.
+	if err := s.Put(1, v); !errors.Is(err, errInjected) {
+		t.Fatalf("Put after failure = %v, want the injected failure", err)
+	}
+	if err := st.Checkpoint(); !errors.Is(err, errInjected) {
+		t.Fatalf("Checkpoint = %v, want the injected failure", err)
+	}
+	s.Close()
+	if err := st.Close(); !errors.Is(err, errInjected) {
+		t.Fatalf("Close = %v, want the injected failure", err)
+	}
+}
+
+// TestFlushFailureUnblocksWaiters pins the multi-waiter path: sessions
+// blocked in waitPageReady (they did not win the page-opening slot) must
+// also observe the flush error instead of spinning forever.
+func TestFlushFailureUnblocksWaiters(t *testing.T) {
+	st, err := Open(Config{
+		Dir:            t.TempDir(),
+		ValueSize:      32,
+		RecordsPerPage: 8,
+		MemPages:       4,
+		MutablePages:   1,
+		StalenessBound: -1,
+		ExpectedKeys:   1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &faultWriter{inner: st.log.w}
+	fw.arm()
+	st.log.w = fw
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := st.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer s.Close()
+			v := val(32, uint64(w))
+			for k := uint64(1); k <= 1<<10; k++ {
+				if err := s.Put(uint64(w)<<32|k, v); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	failures := 0
+	for err := range errCh {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("worker error %v does not wrap the injected failure", err)
+		}
+		failures++
+	}
+	if failures == 0 {
+		t.Fatal("no worker observed the dead log device")
+	}
+	st.Close()
+}

@@ -7,9 +7,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/epoch"
 )
+
+// logWriter is the write side of the log file. It is an interface so tests
+// can inject a failing writer and exercise the flush-error path without
+// touching the filesystem; production always uses the *os.File itself.
+type logWriter interface {
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+}
+
+// maxGroupPages caps how many adjacent frozen pages one flush write may
+// merge. The cap bounds the flusher's scratch buffer and keeps a single
+// write from monopolizing the device for long bursts.
+const maxGroupPages = 8
 
 // hybridLog is FASTER's hybrid log: a logical address space of fixed-size
 // records backed by a circular buffer of in-memory page frames and a single
@@ -34,6 +48,7 @@ type hybridLog struct {
 	mutPages  int
 
 	file *os.File
+	w    logWriter // write seam (== file outside fault-injection tests)
 	em   *epoch.Manager
 
 	nextAddr   atomic.Uint64 // next record index to allocate
@@ -54,6 +69,7 @@ type hybridLog struct {
 	flushErr    error
 	flushDone   chan struct{}
 	syncWrites  bool
+	flushPace   time.Duration // minimum gap between flush writes (0 = none)
 
 	frameMu   sync.Mutex
 	frameCond *sync.Cond
@@ -73,7 +89,7 @@ type frame struct {
 	vals  []byte
 }
 
-func newHybridLog(path string, valueSize, recsPerPage, memPages, mutPages int, syncWrites bool, em *epoch.Manager, stats *Stats) (*hybridLog, error) {
+func newHybridLog(path string, valueSize, recsPerPage, memPages, mutPages int, syncWrites bool, flushPace time.Duration, em *epoch.Manager, stats *Stats) (*hybridLog, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("faster: open log: %w", err)
@@ -85,10 +101,12 @@ func newHybridLog(path string, valueSize, recsPerPage, memPages, mutPages int, s
 		memPages:   memPages,
 		mutPages:   mutPages,
 		file:       f,
+		w:          f,
 		em:         em,
 		flushCh:    make(chan int64, 4*memPages),
 		flushDone:  make(chan struct{}),
 		syncWrites: syncWrites,
+		flushPace:  flushPace,
 		stats:      stats,
 	}
 	for s := uint(0); 1<<s < recsPerPage; s++ {
@@ -136,22 +154,27 @@ func (l *hybridLog) frameFor(p int64) *frame {
 // allocate reserves one record slot and returns its address. The calling
 // session must be protected; allocate may Refresh the session while waiting
 // on page turnover, so callers must not hold frame references across it.
-func (l *hybridLog) allocate(s *epoch.Session) uint64 {
+// It fails (instead of blocking forever) once a background flush has
+// failed: no further page can ever be recycled, so the append side of the
+// log is permanently down and every caller must see the error.
+func (l *hybridLog) allocate(s *epoch.Session) (uint64, error) {
 	addr := l.nextAddr.Add(1) - 1
 	p := l.pageOf(addr)
 	if l.slotOf(addr) == 0 {
-		l.openPage(p, s)
-	} else {
-		l.waitPageReady(p, s)
+		if err := l.openPage(p, s); err != nil {
+			return 0, err
+		}
+	} else if err := l.waitPageReady(p, s); err != nil {
+		return 0, err
 	}
-	return addr
+	return addr, nil
 }
 
 // openPage is run by the allocator that received the first slot of page p.
 // It freezes pages that leave the mutable window, waits for the frame's
 // previous occupant to be flushed and epoch-released, resets the frame, and
 // publishes it.
-func (l *hybridLog) openPage(p int64, s *epoch.Session) {
+func (l *hybridLog) openPage(p int64, s *epoch.Session) error {
 	// 1. Advance the read-only boundary so the mutable window ends at p.
 	if frozen := p - int64(l.mutPages); frozen >= 0 {
 		newRO := uint64(frozen+1) << l.pageShift
@@ -172,7 +195,9 @@ func (l *hybridLog) openPage(p int64, s *epoch.Session) {
 	f := l.frameFor(p)
 	victim := p - int64(l.memPages)
 	if victim >= 0 {
-		l.waitFlushed(victim, s)
+		if err := l.waitFlushed(victim, s); err != nil {
+			return err
+		}
 
 		newHead := uint64(victim+1) << l.pageShift
 		for {
@@ -204,6 +229,7 @@ func (l *hybridLog) openPage(p int64, s *epoch.Session) {
 	f.freed.Store(false)
 	f.holds.Store(p)
 	l.broadcastFrames()
+	return nil
 }
 
 func clearUint64(s []uint64) {
@@ -242,78 +268,154 @@ func (l *hybridLog) broadcastFrames() {
 }
 
 // waitPageReady blocks until page p is materialized, refreshing the
-// caller's epoch so drains can proceed.
-func (l *hybridLog) waitPageReady(p int64, s *epoch.Session) {
+// caller's epoch so drains can proceed. If a background flush has failed,
+// the allocator that should publish p may have bailed out with that error,
+// so waiters must observe it too instead of spinning forever.
+func (l *hybridLog) waitPageReady(p int64, s *epoch.Session) error {
 	f := l.frameFor(p)
 	for f.holds.Load() != p {
+		l.flushMu.Lock()
+		err := l.flushErr
+		l.flushMu.Unlock()
+		if err != nil && f.holds.Load() != p {
+			return fmt.Errorf("faster: log flush failed: %w", err)
+		}
 		s.Refresh()
 		runtime.Gosched()
 	}
+	return nil
 }
 
-// waitFlushed blocks until page p has been written to disk.
-func (l *hybridLog) waitFlushed(p int64, s *epoch.Session) {
+// waitFlushed blocks until page p has been written to disk. A background
+// flush failure is returned (not panicked): the caller propagates it up
+// through Get/Put/RMW so the application decides what to do with a store
+// whose log device died.
+func (l *hybridLog) waitFlushed(p int64, s *epoch.Session) error {
 	for {
 		l.flushMu.Lock()
 		done := l.flushedPage >= p
 		err := l.flushErr
 		l.flushMu.Unlock()
 		if err != nil {
-			panic(fmt.Sprintf("faster: log flush failed: %v", err))
+			return fmt.Errorf("faster: log flush failed: %w", err)
 		}
 		if done {
-			return
+			return nil
 		}
 		s.Refresh()
 		runtime.Gosched()
 	}
 }
 
-// flusher serializes frozen pages to the log file in page order.
+// flusher serializes frozen pages to the log file in page order. Adjacent
+// frozen pages already waiting in flushCh are merged into one contiguous
+// write (group commit) — a checkpoint or eviction burst of k pages costs
+// ~k/maxGroupPages writes and one sync instead of k of each — and when
+// flushPace is set, consecutive writes are separated by at least that gap
+// so flush I/O is smeared across time instead of monopolizing the device
+// while reads queue behind it.
 func (l *hybridLog) flusher() {
 	defer close(l.flushDone)
-	buf := make([]byte, l.rpp*l.recSize)
+	pageBytes := l.rpp * l.recSize
+	buf := make([]byte, maxGroupPages*pageBytes)
 	for p := range l.flushCh {
 		if p < 0 { // shutdown sentinel
 			return
 		}
-		f := l.frameFor(p)
-		if f.holds.Load() != p {
-			l.failFlush(fmt.Errorf("flush page %d: frame holds %d", p, f.holds.Load()))
+		// Group commit: greedily take pages p+1, p+2, ... that are already
+		// enqueued. onROBoundaryDrained enqueues page numbers in order, so
+		// buffered successors are always contiguous with p.
+		n := 1
+	drain:
+		for n < maxGroupPages {
+			select {
+			case q := <-l.flushCh:
+				if q < 0 {
+					// Flush what we have, then honor the shutdown sentinel.
+					l.writeGroup(p, n, buf[:n*pageBytes])
+					return
+				}
+				n++
+			default:
+				break drain
+			}
+		}
+		if err := l.writeGroup(p, n, buf[:n*pageBytes]); err != nil {
+			l.drainUntilSentinel()
 			return
 		}
+		if l.flushPace > 0 {
+			// Inter-write yield: smear the next write out by the pace gap.
+			l.stats.FlushPaceStalls.Add(1)
+			time.Sleep(l.flushPace)
+		}
+	}
+}
+
+// writeGroup serializes pages [p, p+n) into buf and commits them with one
+// positional write (and at most one sync). On error it fails the flush
+// pipeline and returns the error.
+func (l *hybridLog) writeGroup(p int64, n int, buf []byte) error {
+	pageBytes := l.rpp * l.recSize
+	for g := 0; g < n; g++ {
+		f := l.frameFor(p + int64(g))
+		if f.holds.Load() != p+int64(g) {
+			err := fmt.Errorf("flush page %d: frame holds %d", p+int64(g), f.holds.Load())
+			l.failFlush(err)
+			return err
+		}
+		base := g * pageBytes
 		for i := 0; i < l.rpp; i++ {
-			off := i * l.recSize
+			off := base + i*l.recSize
 			h := f.hdrs[i].Load() &^ lockedBit
 			binary.LittleEndian.PutUint64(buf[off:], h)
 			binary.LittleEndian.PutUint64(buf[off+8:], f.keys[i])
 			binary.LittleEndian.PutUint64(buf[off+16:], f.prevs[i])
 			copy(buf[off+24:off+l.recSize], f.vals[i*l.valueSize:(i+1)*l.valueSize])
 		}
-		if _, err := l.file.WriteAt(buf, p*int64(len(buf))); err != nil {
-			l.failFlush(fmt.Errorf("flush page %d: %w", p, err))
-			return
-		}
-		if l.syncWrites {
-			if err := l.file.Sync(); err != nil {
-				l.failFlush(fmt.Errorf("sync page %d: %w", p, err))
-				return
-			}
-		}
-		l.stats.FlushedPages.Add(1)
-		l.stats.BytesFlushed.Add(int64(len(buf)))
-		l.flushMu.Lock()
-		l.flushedPage = p
-		l.flushCond.Broadcast()
-		l.flushMu.Unlock()
 	}
+	if _, err := l.w.WriteAt(buf, p*int64(pageBytes)); err != nil {
+		err = fmt.Errorf("flush pages %d..%d: %w", p, p+int64(n)-1, err)
+		l.failFlush(err)
+		return err
+	}
+	if l.syncWrites {
+		if err := l.w.Sync(); err != nil {
+			err = fmt.Errorf("sync pages %d..%d: %w", p, p+int64(n)-1, err)
+			l.failFlush(err)
+			return err
+		}
+	}
+	l.stats.FlushedPages.Add(int64(n))
+	l.stats.BytesFlushed.Add(int64(len(buf)))
+	if n > 1 {
+		l.stats.GroupCommits.Add(1)
+	}
+	l.flushMu.Lock()
+	l.flushedPage = p + int64(n) - 1
+	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+	return nil
 }
 
 func (l *hybridLog) failFlush(err error) {
 	l.flushMu.Lock()
-	l.flushErr = err
+	if l.flushErr == nil {
+		l.flushErr = err
+	}
 	l.flushCond.Broadcast()
 	l.flushMu.Unlock()
+}
+
+// drainUntilSentinel keeps consuming (and discarding) enqueued page numbers
+// after a flush failure so onROBoundaryDrained senders and close() never
+// block on a dead flusher; it returns when the shutdown sentinel arrives.
+func (l *hybridLog) drainUntilSentinel() {
+	for p := range l.flushCh {
+		if p < 0 {
+			return
+		}
+	}
 }
 
 // diskRecord is a parsed on-disk record.
@@ -383,11 +485,11 @@ func (l *hybridLog) flushAll() error {
 			binary.LittleEndian.PutUint64(buf[off+16:], f.prevs[i])
 			copy(buf[off+24:off+l.recSize], f.vals[i*l.valueSize:(i+1)*l.valueSize])
 		}
-		if _, err := l.file.WriteAt(buf, p*int64(len(buf))); err != nil {
+		if _, err := l.w.WriteAt(buf, p*int64(len(buf))); err != nil {
 			return fmt.Errorf("faster: flushAll page %d: %w", p, err)
 		}
 	}
-	return l.file.Sync()
+	return l.w.Sync()
 }
 
 // close stops the flusher and closes the file.

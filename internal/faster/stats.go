@@ -18,6 +18,8 @@ type Stats struct {
 	StalenessWaits   atomic.Int64
 	FlushedPages     atomic.Int64
 	BytesFlushed     atomic.Int64
+	GroupCommits     atomic.Int64 // multi-page flush writes (group commit)
+	FlushPaceStalls  atomic.Int64 // pacing sleeps taken between flush writes
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -35,6 +37,8 @@ type StatsSnapshot struct {
 	StalenessWaits   int64
 	FlushedPages     int64
 	BytesFlushed     int64
+	GroupCommits     int64
+	FlushPaceStalls  int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -52,6 +56,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		StalenessWaits:   s.StalenessWaits.Load(),
 		FlushedPages:     s.FlushedPages.Load(),
 		BytesFlushed:     s.BytesFlushed.Load(),
+		GroupCommits:     s.GroupCommits.Load(),
+		FlushPaceStalls:  s.FlushPaceStalls.Load(),
 	}
 }
 
@@ -72,6 +78,8 @@ func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
 		StalenessWaits:   a.StalenessWaits + b.StalenessWaits,
 		FlushedPages:     a.FlushedPages + b.FlushedPages,
 		BytesFlushed:     a.BytesFlushed + b.BytesFlushed,
+		GroupCommits:     a.GroupCommits + b.GroupCommits,
+		FlushPaceStalls:  a.FlushPaceStalls + b.FlushPaceStalls,
 	}
 }
 
@@ -91,5 +99,7 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 		StalenessWaits:   a.StalenessWaits - b.StalenessWaits,
 		FlushedPages:     a.FlushedPages - b.FlushedPages,
 		BytesFlushed:     a.BytesFlushed - b.BytesFlushed,
+		GroupCommits:     a.GroupCommits - b.GroupCommits,
+		FlushPaceStalls:  a.FlushPaceStalls - b.FlushPaceStalls,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/epoch"
 	"github.com/llm-db/mlkv-go/internal/util"
@@ -44,6 +45,12 @@ type Config struct {
 	// SyncWrites fsyncs every flushed page (off for benchmarks, as in the
 	// paper's NVMe setup).
 	SyncWrites bool
+	// FlushPace, when positive, is the minimum gap the background flusher
+	// leaves between consecutive flush writes, smearing flush I/O across
+	// time instead of letting an eviction or checkpoint burst monopolize
+	// the device while concurrent reads queue behind it. Zero disables
+	// pacing (writes go back-to-back, merged by group commit).
+	FlushPace time.Duration
 	// MaxSessions bounds concurrent sessions (default 512).
 	MaxSessions int
 }
@@ -113,7 +120,7 @@ func Open(cfg Config) (*Store, error) {
 	st.ix = newIndex(cfg.IndexBuckets)
 	var err error
 	st.log, err = newHybridLog(filepath.Join(cfg.Dir, "hlog.dat"), cfg.ValueSize,
-		cfg.RecordsPerPage, cfg.MemPages, cfg.MutablePages, cfg.SyncWrites, st.em, &st.stats)
+		cfg.RecordsPerPage, cfg.MemPages, cfg.MutablePages, cfg.SyncWrites, cfg.FlushPace, st.em, &st.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +383,9 @@ func (s *Session) getOnce(key uint64, hit chainHit, dst []byte, bound int64) (do
 			return false, false, nil
 		}
 		copy(s.scratch, hit.f.vals[hit.slot*st.cfg.ValueSize:(hit.slot+1)*st.cfg.ValueSize])
-		s.copyToTail(key, h&^lockedBit, s.scratch, hit)
+		if _, err := s.copyToTail(key, h&^lockedBit, s.scratch, hit); err != nil {
+			return false, false, err
+		}
 		return false, false, nil
 
 	case regionDisk:
@@ -391,7 +400,9 @@ func (s *Session) getOnce(key uint64, hit chainHit, dst []byte, bound int64) (do
 			return false, false, nil
 		}
 		// diskRec.val aliases s.scratch (findKey read into it).
-		s.copyToTail(key, h&^lockedBit, hit.diskRec.val, hit)
+		if _, err := s.copyToTail(key, h&^lockedBit, hit.diskRec.val, hit); err != nil {
+			return false, false, err
+		}
 		return false, false, nil
 	}
 	return false, false, nil
@@ -530,7 +541,11 @@ func (s *Session) updateOnce(key uint64, hit chainHit, fn func([]byte, bool), bo
 		}
 		newHdr = PackHeader(false, false, (Generation(oldHdr)+1)&genMask, stal)
 	}
-	if s.copyToTail(key, newHdr, s.scratch, hit) {
+	ok, err := s.copyToTail(key, newHdr, s.scratch, hit)
+	if err != nil {
+		return false, err
+	}
+	if ok {
 		st.stats.RCUAppends.Add(1)
 		return true, nil
 	}
@@ -551,7 +566,11 @@ func (s *Session) Delete(key uint64) error {
 			return nil // nothing to delete
 		}
 		clearBytes(s.scratch)
-		if s.appendRecord(key, PackHeader(false, false, 0, 0), s.scratch, hit, true) {
+		ok, err := s.appendRecord(key, PackHeader(false, false, 0, 0), s.scratch, hit, true)
+		if err != nil {
+			return err
+		}
+		if ok {
 			return nil
 		}
 		s.backoff(attempt)
@@ -574,7 +593,11 @@ func (s *Session) Prefetch(key uint64) (bool, error) {
 	if hit.addr == InvalidAddr || hit.tomb || hit.reg != regionDisk {
 		return false, nil
 	}
-	if s.copyToTail(key, hit.diskRec.hdr&^lockedBit, hit.diskRec.val, hit) {
+	ok, err := s.copyToTail(key, hit.diskRec.hdr&^lockedBit, hit.diskRec.val, hit)
+	if err != nil {
+		return false, err
+	}
+	if ok {
 		s.st.stats.PrefetchCopies.Add(1)
 		return true, nil
 	}
@@ -583,21 +606,25 @@ func (s *Session) Prefetch(key uint64) (bool, error) {
 
 // copyToTail appends a record carrying hdr/val for key with the chain head
 // captured in hit as its predecessor, then CASes the index entry. Returns
-// false if the chain moved (caller retries or abandons).
-func (s *Session) copyToTail(key uint64, hdr uint64, val []byte, hit chainHit) bool {
+// false if the chain moved (caller retries or abandons); a non-nil error
+// means the log can no longer allocate (background flush failed).
+func (s *Session) copyToTail(key uint64, hdr uint64, val []byte, hit chainHit) (bool, error) {
 	return s.appendRecordHdr(key, hdr, val, hit, false)
 }
 
-func (s *Session) appendRecord(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) bool {
+func (s *Session) appendRecord(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) (bool, error) {
 	return s.appendRecordHdr(key, hdr, val, hit, tomb)
 }
 
-func (s *Session) appendRecordHdr(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) bool {
+func (s *Session) appendRecordHdr(key uint64, hdr uint64, val []byte, hit chainHit, tomb bool) (bool, error) {
 	st := s.st
 	// allocate may Refresh the session; hit.entryVal remains a valid CAS
 	// expectation (addresses are stable), but frame pointers in hit must
 	// not be dereferenced after this point.
-	addr := st.log.allocate(s.es)
+	addr, err := st.log.allocate(s.es)
+	if err != nil {
+		return false, err
+	}
 	f, slot := st.memRecord(addr)
 	if f == nil {
 		panic("faster: fresh tail record not in memory")
@@ -627,11 +654,11 @@ func (s *Session) appendRecordHdr(key uint64, hdr uint64, val []byte, hit chainH
 				}
 			}
 		}
-		return true
+		return true, nil
 	}
 	// Lost the race: abandon the allocated record (it is unreachable).
 	st.stats.AbandonedAppends.Add(1)
-	return false
+	return false, nil
 }
 
 // backoff refreshes the session's epoch and yields, bounding live-lock in

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/util"
@@ -34,6 +35,9 @@ type ShardedConfig struct {
 	StalenessBound int64
 	// SyncWrites fsyncs every flushed log page.
 	SyncWrites bool
+	// FlushPace paces each shard's background flusher (see
+	// faster.Config.FlushPace); zero disables pacing.
+	FlushPace time.Duration
 }
 
 // OpenFasterShards opens cfg.Shards FASTER stores under cfg.Dir and wraps
@@ -83,6 +87,7 @@ func OpenFasterShards(cfg ShardedConfig, name string) (Store, error) {
 			ExpectedKeys:   cfg.ExpectedKeys / uint64(cfg.Shards),
 			StalenessBound: cfg.StalenessBound,
 			SyncWrites:     cfg.SyncWrites,
+			FlushPace:      cfg.FlushPace,
 		})
 		if err != nil {
 			for _, prev := range stores[:i] {

@@ -486,6 +486,41 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		}
 		return wire.RespOK, out, false
 
+	case wire.OpPeekBatch:
+		// The batched PEEK a hedged read re-issues: same response layout as
+		// GETBATCH, but clock-free per key — no staleness tokens, no
+		// copy-to-tail, never blocks — so a duplicate of an in-flight batch
+		// is harmless no matter which copy the client keeps.
+		keys, err := wire.DecodeKeys(rest, cm.keys)
+		if err != nil {
+			return fail(err)
+		}
+		cm.keys = keys
+		n := len(keys)
+		s.batchKeys.Add(int64(n))
+		cm.m.batchGets.Add(1)
+		cm.m.batchKeys.Add(int64(n))
+		out := growBytes(cm.out, 4+n+n*cm.vs)
+		cm.out = out
+		clear(out[4 : 4+n])
+		binary.LittleEndian.PutUint32(out, uint32(n))
+		vals := out[4+n:]
+		start := time.Now()
+		for i, k := range keys {
+			found, err := kv.SessionPeek(cm.sess, k, vals[i*cm.vs:(i+1)*cm.vs])
+			if err != nil {
+				cm.m.lat.Since(latency.OpGetBatch, start)
+				return fail(err)
+			}
+			if found {
+				out[4+i] = 1
+			} else {
+				clear(vals[i*cm.vs : (i+1)*cm.vs]) // keep offsets fixed, like GETBATCH
+			}
+		}
+		cm.m.lat.Since(latency.OpGetBatch, start)
+		return wire.RespOK, out, false
+
 	case wire.OpPutBatch:
 		keys, vals, err := wire.DecodePutBatch(rest, cm.vs, cm.keys)
 		if err != nil {

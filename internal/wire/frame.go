@@ -67,6 +67,14 @@ const (
 	// OpDetach releases one client session (the counterpart of OpAttach).
 	// The engine session closes when the connection's last attach detaches.
 	OpDetach
+	// OpPeekBatch reads up to MaxBatchKeys keys in one frame with PEEK
+	// semantics: no vector-clock participation, no copy-to-tail, never
+	// blocks on a staleness bound. It is the idempotent duplicate the
+	// client's hedged reads re-issue — a hedge must never acquire clock
+	// tokens or block, or the duplicate could deadlock with its primary.
+	// Request payload is AppendKeys (handle|n|keys — no wait budget, peeks
+	// cannot block); the response reuses the GETBATCH layout.
+	OpPeekBatch
 )
 
 // Response opcodes.
@@ -106,6 +114,8 @@ func (o Op) String() string {
 		return "ATTACH"
 	case OpDetach:
 		return "DETACH"
+	case OpPeekBatch:
+		return "PEEKBATCH"
 	case RespOK:
 		return "OK"
 	case RespErr:

@@ -487,7 +487,9 @@ func latFields(dst []*int64, s *latency.Snapshot) []*int64 {
 
 // statsFields lists the counters in wire order. Appending new counters at
 // the end keeps old readers working: the response carries its own field
-// count and each side reads the prefix both understand.
+// count and each side reads the prefix both understand. (GroupCommits and
+// FlushPaceStalls arrived after the latency block, so they sit at the tail
+// even though their struct fields live in the engine snapshot.)
 func statsFields(s *ModelStats) []*int64 {
 	fields := []*int64{
 		&s.Gets, &s.Puts, &s.RMWs, &s.Deletes, &s.MemHits, &s.DiskReads,
@@ -502,7 +504,7 @@ func statsFields(s *ModelStats) []*int64 {
 	} {
 		fields = latFields(fields, l)
 	}
-	return fields
+	return append(fields, &s.GroupCommits, &s.FlushPaceStalls)
 }
 
 // EncodeStatsResp builds a STATS response: uint32 field count | count
@@ -517,8 +519,10 @@ func EncodeStatsResp(s ModelStats) []byte {
 	return p
 }
 
-// DecodeStatsResp parses a STATS response, tolerating a server that
-// reports more trailing counters than this client knows.
+// DecodeStatsResp parses a STATS response, reading the field prefix both
+// sides understand: a server that reports more trailing counters than this
+// client knows is fine (the extras are skipped), and a server predating
+// the newest tail counters leaves them zero instead of failing the call.
 func DecodeStatsResp(p []byte) (ModelStats, error) {
 	var s ModelStats
 	if len(p) < 4 {
@@ -530,7 +534,7 @@ func DecodeStatsResp(p []byte) (ModelStats, error) {
 	}
 	fields := statsFields(&s)
 	if n < len(fields) {
-		return s, fmt.Errorf("wire: STATS response has %d fields, need %d", n, len(fields))
+		fields = fields[:n]
 	}
 	for i, f := range fields {
 		*f = int64(binary.LittleEndian.Uint64(p[4+8*i:]))

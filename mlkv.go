@@ -75,8 +75,10 @@ const initSeed = 0x6d6c6b76
 type ConnectOption func(*connectConfig)
 
 type connectConfig struct {
-	conns       int
-	dialTimeout time.Duration
+	conns         int
+	dialTimeout   time.Duration
+	hedgeDelay    time.Duration
+	hedgeAdaptive bool
 }
 
 // WithConns sizes the connection pool of a remote target (default 2).
@@ -88,6 +90,37 @@ func WithConns(n int) ConnectOption { return func(c *connectConfig) { c.conns = 
 // WithDialTimeout bounds each TCP connect of a remote target (default 5s).
 func WithDialTimeout(d time.Duration) ConnectOption {
 	return func(c *connectConfig) { c.dialTimeout = d }
+}
+
+// WithHedge attacks the read tail of a remote target: when a GET or
+// GETBATCH response has not arrived within delay, the read is re-issued
+// as a clock-free duplicate (PEEK/PEEKBATCH) on a second pooled
+// connection, and whichever response arrives first wins — one slow
+// server thread, GC pause, or lost-in-queue frame no longer decides the
+// p99. Hedging applies only to reads that cannot block on the staleness
+// bound (ASP or a disabled clock — never BSP or finite SSP, whose reads
+// wait on clock tokens a duplicate must not touch), so a hedged read
+// returns exactly what the primary would have. A token bucket caps
+// duplicates at ~10% of admissible reads (with a small burst), so a
+// uniformly slow server sees at most 1.1× its offered load. Counted in
+// Stats (HedgedReads / HedgeWins / HedgeWasted / HedgeSuppressed).
+// delay <= 0 is ignored. Local targets ignore the option.
+func WithHedge(delay time.Duration) ConnectOption {
+	return func(c *connectConfig) {
+		if delay > 0 {
+			c.hedgeDelay = delay
+		}
+	}
+}
+
+// WithAdaptiveHedge is WithHedge with the trigger derived from the
+// connection pool's own latency histograms: the delay tracks the
+// observed per-op-class p99 (floored at 200µs), so reads hedge exactly
+// when they are slower than 99% of their recent peers, with no constant
+// to tune. Until enough samples accumulate the pool falls back to the
+// WithHedge delay if one was given, else 2ms.
+func WithAdaptiveHedge() ConnectOption {
+	return func(c *connectConfig) { c.hedgeAdaptive = true }
 }
 
 // DB is one storage target serving named models: a local data directory
@@ -106,8 +139,10 @@ func Connect(target string, opts ...ConnectOption) (*DB, error) {
 		o(&cfg)
 	}
 	d, err := driver.Connect(target, driver.ConnectOptions{
-		Conns:       cfg.conns,
-		DialTimeout: cfg.dialTimeout,
+		Conns:         cfg.conns,
+		DialTimeout:   cfg.dialTimeout,
+		HedgeDelay:    cfg.hedgeDelay,
+		HedgeAdaptive: cfg.hedgeAdaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -140,6 +175,7 @@ type config struct {
 	workers      int
 	shards       int
 	cacheEntries int
+	flushPace    time.Duration
 }
 
 // WithDir places the model's storage under dir (default: ./mlkv-data).
@@ -212,6 +248,22 @@ func WithPrefetchWorkers(n int) Option { return func(c *config) { c.workers = n 
 // cache).
 func WithCache(entries int) Option { return func(c *config) { c.cacheEntries = entries } }
 
+// WithFlushPace rate-limits a local model's background log flusher: at
+// most one flush write per pace interval, smearing a burst of frozen
+// pages over time instead of letting it saturate the device under
+// foreground reads — flush bandwidth traded for read-tail latency. The
+// flusher still merges adjacent frozen pages into single group-commit
+// writes, so pacing delays durability by at most a few intervals even
+// under write bursts. 0 (the default) flushes as fast as the device
+// allows. Remote models ignore it: pace the server with -flush-pace.
+func WithFlushPace(pace time.Duration) Option {
+	return func(c *config) {
+		if pace > 0 {
+			c.flushPace = pace
+		}
+	}
+}
+
 // WithShards hash-partitions the embedding table across n independent
 // FASTER store instances, each with its own hybrid log, hash index, and
 // epoch domain. Batch operations (GetBatch, PutBatch) group keys by shard
@@ -256,6 +308,7 @@ func (db *DB) OpenCtx(ctx context.Context, id string, dim int, opts ...Option) (
 		ExpectedKeys:    cfg.keys,
 		PrefetchWorkers: cfg.workers,
 		CacheEntries:    cfg.cacheEntries,
+		FlushPace:       cfg.flushPace,
 		Init:            cfg.init,
 	}
 	if dcfg.Init == nil && cfg.initScale > 0 {
@@ -362,9 +415,23 @@ type Stats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
-	// Flush volume.
-	FlushedPages int64
-	BytesFlushed int64
+	// Flush volume and shaping: pages and bytes written by the background
+	// flusher, multi-page group-commit writes (adjacent frozen pages
+	// merged into one write), and pacing sleeps taken between writes
+	// (WithFlushPace / mlkv-server -flush-pace).
+	FlushedPages    int64
+	BytesFlushed    int64
+	GroupCommits    int64
+	FlushPaceStalls int64
+	// Hedged-read activity of a remote model's connection pool
+	// (WithHedge/WithAdaptiveHedge; shared by every model opened from the
+	// same Connect): duplicates issued, duplicates that beat their
+	// primary, duplicates the primary beat, and hedges suppressed by the
+	// token bucket.
+	HedgedReads     int64
+	HedgeWins       int64
+	HedgeWasted     int64
+	HedgeSuppressed int64
 	// Per-op-class latency, always on. A local model times the table's
 	// store operations; a remote model times this process's network round
 	// trips (per connection pool, so every model opened from the same
@@ -429,8 +496,11 @@ func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
 		LookaheadCalls: s.LookaheadCalls,
 		CacheHits:      s.CacheHits, CacheMisses: s.CacheMisses,
 		CacheEvictions: s.CacheEvictions,
-		FlushedPages:   s.FlushedPages, BytesFlushed: s.BytesFlushed,
-		LatGet:         summaryOf(s.LatGet), LatGetBatch: summaryOf(s.LatGetBatch),
+		FlushedPages: s.FlushedPages, BytesFlushed: s.BytesFlushed,
+		GroupCommits: s.GroupCommits, FlushPaceStalls: s.FlushPaceStalls,
+		HedgedReads:  s.HedgedReads, HedgeWins: s.HedgeWins,
+		HedgeWasted: s.HedgeWasted, HedgeSuppressed: s.HedgeSuppressed,
+		LatGet: summaryOf(s.LatGet), LatGetBatch: summaryOf(s.LatGetBatch),
 		LatPut: summaryOf(s.LatPut), LatPutBatch: summaryOf(s.LatPutBatch),
 		LatRMW: summaryOf(s.LatRMW),
 	}, nil
