@@ -11,8 +11,10 @@ import (
 	"time"
 
 	mlkv "github.com/llm-db/mlkv-go"
+	"github.com/llm-db/mlkv-go/internal/cluster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/server"
+	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
 // engineCases are the engine axis of the conformance matrix: every
@@ -69,9 +71,95 @@ func startTestServer(t *testing.T, bound int64) string {
 	return mlkv.Scheme + ln.Addr().String()
 }
 
-// withTargets runs fn once against a local directory DB and once against
-// a live loopback mlkv-server — the driver axis of the conformance
-// harness: the public API must behave identically over both.
+// startTestCluster serves a three-node loopback cluster — primaries n0,
+// n1, n2, or (withReplica) primaries n0, n1 plus n2 replicating n0 — and
+// returns the full seed-list target, the per-node registries keyed by node
+// id (for asserting which server actually served an op), and the topology
+// map clients will discover.
+func startTestCluster(t *testing.T, bound int64, withReplica bool) (string, map[string]*server.Registry, *cluster.Map) {
+	t.Helper()
+	ids := []string{"n0", "n1", "n2"}
+	lns := make([]net.Listener, len(ids))
+	specs := make([]cluster.Node, len(ids))
+	addrs := make([]string, len(ids))
+	for i := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+		specs[i] = cluster.Node{ID: ids[i], Addr: addrs[i], Role: cluster.RolePrimary}
+	}
+	if withReplica {
+		specs[2].Role = cluster.RoleReplica
+		specs[2].PrimaryID = ids[0]
+	}
+	m, err := cluster.BuildMap(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make(map[string]*server.Registry, len(ids))
+	for i := range ids {
+		dir := t.TempDir()
+		reg := server.NewRegistry(server.RegistryConfig{
+			DefaultShards: 2,
+			DefaultBound:  bound,
+			Name:          ids[i],
+			Opener: func(id string, dim, shards int, b int64, engine string) (kv.Store, error) {
+				name := engine
+				if eng, err := kv.NormalizeEngine(engine); err == nil && eng == kv.EngineFaster {
+					name = "mlkv"
+				}
+				return kv.OpenEngine(engine, kv.ShardedConfig{
+					Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+					RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
+					StalenessBound: b,
+				}, name)
+			},
+		})
+		st, err := cluster.NewState(ids[i], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.EnableReplication()
+		srv := server.New(server.Config{Registry: reg, Cluster: st})
+		serveErr := make(chan error, 1)
+		go func(ln net.Listener) { serveErr <- srv.Serve(ln) }(lns[i])
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+			st.Close()
+			reg.Close()
+		})
+		regs[ids[i]] = reg
+	}
+	return mlkv.Scheme + strings.Join(addrs, ","), regs, m
+}
+
+// clusterModelStats returns the named model's server-side stats on one
+// node of the cluster. The router eager-opens models on every node, so a
+// missing model is a harness failure, not an assertable condition.
+func clusterModelStats(t *testing.T, reg *server.Registry, id string) wire.ModelStats {
+	t.Helper()
+	for _, m := range reg.Models() {
+		if m.ID() == id {
+			return m.Stats()
+		}
+	}
+	t.Fatalf("node %s has no model %q", reg.Name(), id)
+	return wire.ModelStats{}
+}
+
+// withTargets runs fn against a local directory DB, a live loopback
+// mlkv-server, and a three-node loopback cluster — the driver axis of the
+// conformance harness: the public API must behave identically over all
+// three.
 func withTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB)) {
 	t.Run("local", func(t *testing.T) {
 		db, err := mlkv.Connect(t.TempDir())
@@ -83,6 +171,15 @@ func withTargets(t *testing.T, fn func(t *testing.T, db *mlkv.DB)) {
 	})
 	t.Run("remote", func(t *testing.T) {
 		db, err := mlkv.Connect(startTestServer(t, mlkv.ASP), mlkv.WithConns(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		fn(t, db)
+	})
+	t.Run("cluster", func(t *testing.T) {
+		target, _, _ := startTestCluster(t, mlkv.ASP, false)
+		db, err := mlkv.Connect(target, mlkv.WithConns(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -562,6 +659,184 @@ func TestAPIEngineValidation(t *testing.T) {
 			m.Close()
 		}
 	})
+}
+
+// TestClusterOwnerRouting pins the partitioning invariant end to end:
+// every key written through the cluster driver lands on exactly the node
+// the topology map names as its owner — counted server-side, per node.
+func TestClusterOwnerRouting(t *testing.T) {
+	target, regs, mp := startTestCluster(t, mlkv.ASP, false)
+	db, err := mlkv.Connect(target, mlkv.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := db.Open("route", 4, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	emb := []float32{1, 2, 3, 4}
+	const keys = 96
+	want := map[string]int64{}
+	for k := uint64(0); k < keys; k++ {
+		if err := s.Put(k, emb); err != nil {
+			t.Fatal(err)
+		}
+		want[mp.Owner(k).ID]++
+	}
+	spread := 0
+	for id, reg := range regs {
+		st := clusterModelStats(t, reg, "route")
+		if st.Puts != want[id] {
+			t.Fatalf("node %s served %d puts, want %d: keys did not route to exactly their owner", id, st.Puts, want[id])
+		}
+		if want[id] > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("all %d keys landed on %d node(s); the topology was not exercised", keys, spread)
+	}
+}
+
+// TestClusterReplicaRouting pins staleness-aware read routing against a
+// two-primaries-plus-replica topology: BSP reads never touch the replica
+// (a clocked read must see the primary's vector clock), while ASP reads on
+// the same keys do — counted both server-side (the replica's GET-class
+// latency counter) and client-side (Stats.ReplicaReads).
+func TestClusterReplicaRouting(t *testing.T) {
+	target, regs, mp := startTestCluster(t, mlkv.ASP, true)
+	db, err := mlkv.Connect(target, mlkv.WithConns(2), mlkv.WithReadReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Only keys owned by n0 — the replica's primary — can ever be
+	// replica-served, so the test drives exactly those.
+	var keys []uint64
+	for k := uint64(0); len(keys) < 8; k++ {
+		if mp.Owner(k).ID == "n0" {
+			keys = append(keys, k)
+		}
+	}
+	emb := make([]float32, 4)
+
+	// BSP first (the router's replica-read counter is pool-wide, so the
+	// zero assertion must precede any ASP traffic).
+	bsp, err := db.Open("repl-bsp", 4, mlkv.WithStalenessBound(mlkv.BSP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bsp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := sb.Get(k, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := clusterModelStats(t, regs["n2"], "repl-bsp"); st.LatGet.Count != 0 {
+		t.Fatalf("BSP reads reached the replica %d times; a clocked read must stay on the primary", st.LatGet.Count)
+	}
+	bst, err := bsp.StatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.ReplicaReads != 0 {
+		t.Fatalf("client counted %d replica reads under BSP, want 0", bst.ReplicaReads)
+	}
+	sb.Close()
+	bsp.Close()
+
+	// ASP: the same keys are admissible on the replica regardless of lag.
+	asp, err := db.Open("repl-asp", 4, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asp.Close()
+	sa, err := asp.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	for _, k := range keys {
+		if err := sa.Put(k, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if err := sa.Get(k, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := clusterModelStats(t, regs["n2"], "repl-asp"); st.LatGet.Count == 0 {
+		t.Fatal("ASP reads of replica-covered keys never reached the replica")
+	}
+	ast, err := asp.StatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.ReplicaReads == 0 {
+		t.Fatal("client counted no replica reads under ASP")
+	}
+}
+
+// TestClusterAnySeedBootstrap pins discovery: a client pointed at any
+// single member — not the full seed list — learns the whole topology from
+// that member's CLUSTERMAP and routes writes to every node.
+func TestClusterAnySeedBootstrap(t *testing.T) {
+	target, regs, _ := startTestCluster(t, mlkv.ASP, false)
+	addrs := strings.Split(strings.TrimPrefix(target, mlkv.Scheme), ",")
+	emb := make([]float32, 4)
+	for i, addr := range addrs {
+		db, err := mlkv.Connect(mlkv.Scheme+addr, mlkv.WithConns(2))
+		if err != nil {
+			t.Fatalf("seed %s: %v", addr, err)
+		}
+		m, err := db.Open("seed", 4, mlkv.WithStalenessBound(mlkv.ASP))
+		if err != nil {
+			t.Fatalf("seed %s: %v", addr, err)
+		}
+		st, err := m.StatsCtx(context.Background())
+		if err != nil {
+			t.Fatalf("seed %s: %v", addr, err)
+		}
+		if st.ClusterNodes != 3 {
+			t.Fatalf("seed %s discovered %d nodes, want 3", addr, st.ClusterNodes)
+		}
+		if st.ClusterEpoch == 0 {
+			t.Fatalf("seed %s reports epoch 0", addr)
+		}
+		if i == 0 {
+			// Enough keys that an even hash split leaves no node silent.
+			s, err := m.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(0); k < 64; k++ {
+				if err := s.Put(k, emb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+		}
+		m.Close()
+		db.Close()
+	}
+	for id, reg := range regs {
+		if st := clusterModelStats(t, reg, "seed"); st.Puts == 0 {
+			t.Fatalf("node %s never saw a put from the single-seed client", id)
+		}
+	}
 }
 
 // TestAPIOpenValidation pins the public-surface validation errors.

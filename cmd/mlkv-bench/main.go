@@ -10,16 +10,18 @@
 //	mlkv-bench -experiment engines -scale small -json .
 //
 // Experiments: fig2 fig6 fig7 fig8 fig9 fig10 fig11 shards network
-// trainbatch cache allocs engines latency all. Scales: tiny (seconds),
-// small (minutes, default), paper (hours). -shards partitions every table
-// the figX experiments open (the "shards" experiment sweeps shard counts
-// itself; "network" compares in-process against a loopback mlkv-server at
-// batch sizes 1/32/256; "trainbatch" compares scalar vs batched
-// gather/scatter DLRM training, locally and over loopback; "engines"
-// races the faster/lsm/bptree engines behind one seam on YCSB mixes,
-// batched training, and public-API batched reads; "latency" maps the
-// read path's p50/p99/p999 tail across offered load — workers × batch,
-// in-process and loopback, hot tier off and on).
+// trainbatch cache allocs engines latency cluster all. Scales: tiny
+// (seconds), small (minutes, default), paper (hours). -shards partitions
+// every table the figX experiments open (the "shards" experiment sweeps
+// shard counts itself; "network" compares in-process against a loopback
+// mlkv-server at batch sizes 1/32/256; "trainbatch" compares scalar vs
+// batched gather/scatter DLRM training, locally and over loopback;
+// "engines" races the faster/lsm/bptree engines behind one seam on YCSB
+// mixes, batched training, and public-API batched reads; "latency" maps
+// the read path's p50/p99/p999 tail across offered load — workers ×
+// batch, in-process and loopback, hot tier off and on; "cluster" runs the
+// Zipf workload against one loopback node vs a three-node cluster — two
+// primaries plus a read replica — at batch 1/256 under ASP and SSP).
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|latency|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|latency|cluster|all)")
 		scaleName  = flag.String("scale", "small", "workload scale (tiny|small|paper)")
 		workdir    = flag.String("workdir", "", "scratch directory for store data (default: a temp dir)")
 		shards     = flag.Int("shards", 1, "hash partitions for every MLKV/FASTER table opened by figX experiments")

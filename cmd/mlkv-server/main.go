@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/llm-db/mlkv-go/internal/cluster"
 	"github.com/llm-db/mlkv-go/internal/faster"
 	"github.com/llm-db/mlkv-go/internal/kv"
 	"github.com/llm-db/mlkv-go/internal/latency"
@@ -74,6 +75,10 @@ func main() {
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
 		flushPace = flag.Duration("flush-pace", 0, "minimum gap between background flush writes per model shard, smearing flush bursts away from the read tail (0 = unpaced); adjacent frozen pages still merge into group-commit writes")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
+		clusterID = flag.String("cluster", "", "run as one node of a cluster, with this node id; clients connect with mlkv://host1,host2,... and route by hash range")
+		joinAddr  = flag.String("join", "", "host:port of any existing cluster node to join through (requires -cluster); omitted, this node seeds a new cluster")
+		replicaOf = flag.String("replica-of", "", "serve as a read replica of the named primary node instead of owning ranges (requires -cluster and -join)")
+		advertise = flag.String("advertise", "", "address other nodes and clients dial to reach this node (default: the bound -addr)")
 	)
 	modelEngines := map[string]string{}
 	flag.Func("model-engine", "pin a model to an engine as id=engine (repeatable); a pinned model refuses OPENs requesting another engine", func(v string) error {
@@ -152,11 +157,70 @@ func main() {
 	})
 	defer reg.Close()
 
-	srv := server.New(server.Config{Registry: reg, Logf: log.Printf})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var clusterState *cluster.State
+	if *replicaOf != "" && (*clusterID == "" || *joinAddr == "") {
+		log.Fatal("mlkv-server: -replica-of requires -cluster and -join (a replica cannot seed a cluster)")
+	}
+	if *joinAddr != "" && *clusterID == "" {
+		log.Fatal("mlkv-server: -join requires -cluster <node-id>")
+	}
+	if *clusterID != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		self := cluster.Node{ID: *clusterID, Addr: adv, Role: cluster.RolePrimary, PrimaryID: *replicaOf}
+		if *replicaOf != "" {
+			self.Role = cluster.RoleReplica
+		}
+		if *joinAddr == "" {
+			m, err := cluster.BuildMap([]cluster.Node{self})
+			if err != nil {
+				log.Fatalf("mlkv-server: -cluster: %v", err)
+			}
+			clusterState, err = cluster.NewState(*clusterID, m)
+			if err != nil {
+				log.Fatalf("mlkv-server: -cluster: %v", err)
+			}
+			log.Printf("mlkv-server: cluster node %q seeding a new cluster (epoch %d)", *clusterID, m.Epoch)
+		} else {
+			m, err := cluster.JoinCluster(*joinAddr, self, 5*time.Second)
+			if err != nil {
+				log.Fatalf("mlkv-server: -join %s: %v", *joinAddr, err)
+			}
+			clusterState, err = cluster.NewState(*clusterID, m)
+			if err != nil {
+				log.Fatalf("mlkv-server: -join: %v", err)
+			}
+			// Gossip the merged map to the members the seed knew about, so
+			// every node redirects with the same epoch without waiting for a
+			// client to wander by.
+			for i := range m.Nodes {
+				n := &m.Nodes[i]
+				if n.ID == *clusterID || n.Addr == *joinAddr {
+					continue
+				}
+				if _, err := cluster.PushMap(n.Addr, m, 5*time.Second); err != nil {
+					log.Printf("mlkv-server: gossip to %s (%s): %v", n.ID, n.Addr, err)
+				}
+			}
+			log.Printf("mlkv-server: cluster node %q joined via %s (%d nodes, epoch %d)",
+				*clusterID, *joinAddr, len(m.Nodes), m.Epoch)
+		}
+		clusterState.EnableReplication()
+		defer clusterState.Close()
+	}
+
+	srvCfg := server.Config{Registry: reg, Logf: log.Printf}
+	if clusterState != nil { // a typed nil must not become a non-nil interface
+		srvCfg.Cluster = clusterState
+	}
+	srv := server.New(srvCfg)
 	log.Printf("mlkv-server: serving %s models (default shards=%d buffer=%dMB/model staleness=%s cache=%d sync=%v) on %s",
 		*engine, *shards, *bufferMB, boundName(defaultBound), *cache, *sync, ln.Addr())
 

@@ -2,13 +2,16 @@ package bench
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
+	mlkv "github.com/llm-db/mlkv-go"
 	"github.com/llm-db/mlkv-go/internal/data"
 	"github.com/llm-db/mlkv-go/internal/models"
 	"github.com/llm-db/mlkv-go/internal/train"
-	"time"
+	"github.com/llm-db/mlkv-go/internal/util"
 )
 
 // TestAllFiguresRunAtTinyScale is the harness integration test: every
@@ -236,6 +239,82 @@ func TestLatencySweepRunsAtTinyScale(t *testing.T) {
 		if r.P50Us <= 0 || r.P99Us <= 0 || r.P999Us <= 0 || r.P99Us < r.P50Us {
 			t.Fatalf("%s: implausible percentiles p50=%v p90=%v p99=%v p999=%v",
 				r.Name, r.P50Us, r.P90Us, r.P99Us, r.P999Us)
+		}
+	}
+}
+
+// TestClusterSweepRunsAtTinyScale covers the routing-layer experiment:
+// both node counts must run both bounds and batch sizes end to end, every
+// recorded row must carry real percentiles, and the three-node rows must
+// actually have used the replica (the ASP leg reads through it).
+func TestClusterSweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	sc := Tiny
+	sc.Duration = 200 * time.Millisecond
+	e := NewEnv(sc, t.TempDir(), &out)
+	if err := e.Run("cluster"); err != nil {
+		t.Fatalf("cluster: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Cluster", "nodes", "asp", "ssp", "replica-reads", "p99-µs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// 2 node counts × 2 bounds × 2 batch sizes.
+	if want := 2 * 2 * 2; len(e.results) != want {
+		t.Fatalf("recorded %d results, want %d", len(e.results), want)
+	}
+	for _, r := range e.results {
+		if r.OpsPerSec <= 0 || r.P50Us <= 0 || r.P99Us <= 0 || r.P99Us < r.P50Us {
+			t.Fatalf("%s: implausible row rate=%v p50=%v p99=%v", r.Name, r.OpsPerSec, r.P50Us, r.P99Us)
+		}
+	}
+}
+
+// BenchmarkCluster backs the CI bench-smoke for the routing layer: each
+// iteration is one batch-256 ASP GetBatch routed across a three-node
+// loopback cluster with read replicas on.
+func BenchmarkCluster(b *testing.B) {
+	e := NewEnv(Tiny, b.TempDir(), io.Discard)
+	const records, dim, batch = 1 << 10, 8, 256
+	target, teardown, err := e.clusterNodes(3, records, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer teardown()
+	db, err := mlkv.Connect(target, mlkv.WithConns(2), mlkv.WithReadReplicas())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	m, err := db.Open("bench", dim, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	sess := func() (sweepSession, error) { return m.NewSession() }
+	if err := loadKeys(sess, records, dim); err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]uint64, batch)
+	dst := make([]float32, batch*dim)
+	zipf := util.NewScrambledZipf(util.NewRNG(17), records, 0.99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = zipf.Next()
+		}
+		if err := s.GetBatch(keys, dst); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

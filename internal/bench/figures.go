@@ -523,7 +523,7 @@ func (e *Env) runShardedYCSB(shards, threads, vs, bufKB int) (float64, error) {
 // measurements the experiment records land in BENCH_<name>.json.
 func (e *Env) Run(name string) error {
 	if name == "all" {
-		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch", "cache", "allocs", "engines", "latency"} {
+		for _, n := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "shards", "network", "trainbatch", "cache", "allocs", "engines", "latency", "cluster"} {
 			if err := e.Run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -561,8 +561,10 @@ func (e *Env) Run(name string) error {
 		err = e.EngineSweep()
 	case "latency":
 		err = e.LatencySweep()
+	case "cluster":
+		err = e.ClusterSweep()
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|latency|all)", name)
+		return fmt.Errorf("bench: unknown experiment %q (fig2|fig6|fig7|fig8|fig9|fig10|fig11|shards|network|trainbatch|cache|allocs|engines|latency|cluster|all)", name)
 	}
 	if err != nil {
 		return err

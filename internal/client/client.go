@@ -94,8 +94,15 @@ const (
 // Client is a connection pool onto one mlkv-server. Models are opened
 // from it with OpenModel; the Client itself carries no store state.
 type Client struct {
-	opts       Options
+	opts Options
+	addr string
+	// connMu guards the conns slice's elements: a pooled connection that
+	// died is evicted and replaced on the next checkout, so one mid-pipeline
+	// failure costs the requests in flight, not every later request on the
+	// slot. The slice itself never changes length after Dial.
+	connMu     sync.RWMutex
 	conns      []*conn
+	poolClosed bool
 	next       atomic.Uint64
 	serverName string
 
@@ -219,7 +226,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.MaxKeysPerFrame <= 0 || opts.MaxKeysPerFrame > wire.MaxBatchKeys {
 		opts.MaxKeysPerFrame = 4096
 	}
-	c := &Client{opts: opts}
+	c := &Client{opts: opts, addr: addr}
 	c.hedgeCredit.Store(hedgeBurstTenths) // start with a full burst banked
 	for i := 0; i < opts.Conns; i++ {
 		cn, err := dialConn(addr, opts, &c.lat)
@@ -248,11 +255,45 @@ func Dial(addr string, opts Options) (*Client, error) {
 // ServerName identifies the server (from the HELLO response).
 func (c *Client) ServerName() string { return c.serverName }
 
+// NotOwnerError reports a data op the server refused because another
+// cluster node owns the key's hash range. Map is the server's current
+// encoded cluster topology (internal/cluster's codec — this package cannot
+// import it, since the cluster router imports this package), so the caller
+// refreshes and re-routes without an extra round trip.
+type NotOwnerError struct{ Map []byte }
+
+// Error describes the redirect.
+func (e *NotOwnerError) Error() string {
+	return "client: server does not own the key's hash range (cluster map attached)"
+}
+
+// ClusterMapRaw fetches the server's encoded cluster map — the bootstrap
+// probe. A server not running in cluster mode (or predating the op)
+// answers RespErr, which comes back as an ordinary error with the
+// connection still usable.
+func (c *Client) ClusterMapRaw(ctx context.Context) ([]byte, error) {
+	cn, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	p, err := cn.roundTripCtx(ctx, wire.OpClusterMap, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), p...)
+	cn.release(p)
+	return out, nil
+}
+
 // Close tears down every pooled connection; outstanding requests and all
 // models opened from this client fail afterwards.
 func (c *Client) Close() error {
+	c.connMu.Lock()
+	c.poolClosed = true
+	conns := append([]*conn(nil), c.conns...)
+	c.connMu.Unlock()
 	var first error
-	for _, cn := range c.conns {
+	for _, cn := range conns {
 		if err := cn.close(); err != nil && first == nil {
 			first = err
 		}
@@ -260,9 +301,43 @@ func (c *Client) Close() error {
 	return first
 }
 
-// pick returns the next pooled connection round-robin.
-func (c *Client) pick() *conn {
-	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+// connAt returns the healthy connection at slot, evicting and re-dialing a
+// dead one: a connection poisoned mid-pipeline fails only the requests that
+// were in flight on it, and the slot heals on its next checkout.
+func (c *Client) connAt(slot int) (*conn, error) {
+	c.connMu.RLock()
+	cn := c.conns[slot]
+	c.connMu.RUnlock()
+	if !cn.broken() {
+		return cn, nil
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.poolClosed {
+		return nil, errors.New("client: closed")
+	}
+	cn = c.conns[slot]
+	if !cn.broken() {
+		return cn, nil
+	}
+	fresh, err := dialConn(c.addr, c.opts, &c.lat)
+	if err != nil {
+		return nil, fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	p, err := fresh.roundTrip(wire.OpHello, wire.EncodeHello())
+	if err != nil {
+		fresh.close()
+		return nil, fmt.Errorf("client: redial %s: handshake: %w", c.addr, err)
+	}
+	fresh.release(p)
+	fresh.idx = slot
+	c.conns[slot] = fresh
+	return fresh, nil
+}
+
+// pick returns the next pooled connection round-robin, healing dead slots.
+func (c *Client) pick() (*conn, error) {
+	return c.connAt(int(c.next.Add(1) % uint64(len(c.conns))))
 }
 
 // pickNot returns a pooled connection other than avoid (avoid itself when
@@ -272,7 +347,11 @@ func (c *Client) pickNot(avoid *conn) *conn {
 	if len(c.conns) < 2 {
 		return avoid
 	}
-	return c.conns[(avoid.idx+1)%len(c.conns)]
+	cn, err := c.connAt((avoid.idx + 1) % len(c.conns))
+	if err != nil {
+		return avoid // hedge conn unavailable; caller's begin will no-op it
+	}
+	return cn
 }
 
 // OpenSpec names the model an OpenModel call wants.
@@ -301,7 +380,10 @@ func (c *Client) OpenModel(ctx context.Context, spec OpenSpec) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
 	}
-	cn := c.pick()
+	cn, err := c.pick()
+	if err != nil {
+		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
+	}
 	p, err := cn.roundTripCtx(ctx, wire.OpOpen, req)
 	if err != nil {
 		return nil, fmt.Errorf("client: open model %q: %w", spec.ID, err)
@@ -371,7 +453,10 @@ func (m *Model) Checkpoint() error { return m.CheckpointCtx(context.Background()
 
 // CheckpointCtx is Checkpoint bounded by ctx.
 func (m *Model) CheckpointCtx(ctx context.Context) error {
-	cn := m.c.pick()
+	cn, err := m.c.pick()
+	if err != nil {
+		return err
+	}
 	p, err := cn.roundTripCtx(ctx, wire.OpCheckpoint, wire.EncodeHandle(m.handle))
 	cn.release(p)
 	return err
@@ -389,7 +474,10 @@ func (m *Model) Stats() faster.StatsSnapshot {
 // ModelStats fetches the full per-model counter set: engine counters plus
 // the server's batch/lookahead frame counts and active-session gauge.
 func (m *Model) ModelStats(ctx context.Context) (wire.ModelStats, error) {
-	cn := m.c.pick()
+	cn, err := m.c.pick()
+	if err != nil {
+		return wire.ModelStats{}, err
+	}
 	p, err := cn.roundTripCtx(ctx, wire.OpStats, wire.EncodeHandle(m.handle))
 	if err != nil {
 		return wire.ModelStats{}, err
@@ -408,17 +496,24 @@ func (m *Model) NewSession() (kv.Session, error) {
 
 // NewSessionCtx is NewSession bounded by ctx.
 func (m *Model) NewSessionCtx(ctx context.Context) (*Session, error) {
-	cn := m.c.pick()
+	cn, err := m.c.pick()
+	if err != nil {
+		return nil, fmt.Errorf("client: attach to model %q: %w", m.id, err)
+	}
 	if _, err := cn.roundTripCtx(ctx, wire.OpAttach, wire.EncodeHandle(m.handle)); err != nil {
 		return nil, fmt.Errorf("client: attach to model %q: %w", m.id, err)
 	}
-	return &Session{m: m, cn: cn, vs: m.dim * 4}, nil
+	return &Session{m: m, cn: cn, slot: cn.idx, vs: m.dim * 4}, nil
 }
 
 // Session is one worker's remote handle onto a model.
 type Session struct {
-	m      *Model
-	cn     *conn
+	m  *Model
+	cn *conn
+	// slot is the pool position the session rides: when its connection dies
+	// and the slot heals with a fresh one, checkout follows the slot and
+	// re-attaches there instead of failing every later request.
+	slot   int
 	vs     int
 	closed bool
 	// enc is the session's reusable request-encode scratch. A session is
@@ -430,6 +525,29 @@ type Session struct {
 	// clock-free PEEK/PEEKBATCH) has a different payload layout than its
 	// primary, and enc's bytes were already claimed by the primary's write.
 	henc []byte
+}
+
+// checkout returns the session's connection, following the pool slot to a
+// fresh one (and re-ATTACHing the model there) if the old connection died.
+// The dead connection's server side already released the session's attach
+// when it disconnected, so the re-attach keeps accounting truthful.
+func (s *Session) checkout(ctx context.Context) (*conn, error) {
+	if !s.cn.broken() {
+		return s.cn, nil
+	}
+	cn, err := s.m.c.connAt(s.slot)
+	if err != nil {
+		return nil, err
+	}
+	if cn != s.cn {
+		p, err := cn.roundTripCtx(ctx, wire.OpAttach, wire.EncodeHandle(s.m.handle))
+		if err != nil {
+			return nil, fmt.Errorf("client: re-attach to model %q: %w", s.m.id, err)
+		}
+		cn.release(p)
+		s.cn = cn
+	}
+	return s.cn, nil
 }
 
 // hedgeable reports whether this session's reads may hedge right now:
@@ -532,6 +650,9 @@ func (s *Session) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, err
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
+	if _, err := s.checkout(ctx); err != nil {
+		return false, err
+	}
 	s.enc = wire.AppendGet(s.enc[:0], s.m.handle, key, waitMsFrom(ctx))
 	var p []byte
 	var err error
@@ -588,6 +709,9 @@ func (s *Session) PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, er
 	if len(dst) != s.vs {
 		return false, fmt.Errorf("client: dst length %d != value size %d", len(dst), s.vs)
 	}
+	if _, err := s.checkout(ctx); err != nil {
+		return false, err
+	}
 	s.enc = wire.AppendKey(s.enc[:0], s.m.handle, key)
 	p, err := s.cn.roundTripCtx(ctx, wire.OpPeek, s.enc)
 	if err != nil {
@@ -607,6 +731,9 @@ func (s *Session) PutCtx(ctx context.Context, key uint64, val []byte) error {
 	if len(val) != s.vs {
 		return fmt.Errorf("client: val length %d != value size %d", len(val), s.vs)
 	}
+	if _, err := s.checkout(ctx); err != nil {
+		return err
+	}
 	s.enc = wire.AppendPut(s.enc[:0], s.m.handle, key, val)
 	p, err := s.cn.roundTripCtx(ctx, wire.OpPut, s.enc)
 	s.cn.release(p)
@@ -619,6 +746,9 @@ func (s *Session) Delete(key uint64) error {
 
 // DeleteCtx is Delete bounded by ctx.
 func (s *Session) DeleteCtx(ctx context.Context, key uint64) error {
+	if _, err := s.checkout(ctx); err != nil {
+		return err
+	}
 	s.enc = wire.AppendKey(s.enc[:0], s.m.handle, key)
 	p, err := s.cn.roundTripCtx(ctx, wire.OpDelete, s.enc)
 	s.cn.release(p)
@@ -640,6 +770,9 @@ func (s *Session) Lookahead(keys []uint64) (int, error) {
 
 // LookaheadCtx is Lookahead bounded by ctx.
 func (s *Session) LookaheadCtx(ctx context.Context, keys []uint64) (int, error) {
+	if _, err := s.checkout(ctx); err != nil {
+		return 0, err
+	}
 	total := 0
 	for len(keys) > 0 {
 		chunk := keys
@@ -673,6 +806,9 @@ func (s *Session) GetBatch(keys []uint64, vals []byte, found []bool) error {
 // the round trip, and carried in each frame so a stalled batch gives up
 // on the server at the deadline (see GetCtx).
 func (s *Session) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
+	if _, err := s.checkout(ctx); err != nil {
+		return err
+	}
 	vs := s.vs
 	for len(keys) > 0 {
 		n := len(keys)
@@ -715,6 +851,9 @@ func (s *Session) PutBatch(keys []uint64, vals []byte) error {
 
 // PutBatchCtx is PutBatch bounded by ctx, checked per frame.
 func (s *Session) PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) error {
+	if _, err := s.checkout(ctx); err != nil {
+		return err
+	}
 	vs := s.vs
 	for len(keys) > 0 {
 		n := len(keys)
@@ -741,8 +880,46 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
+	if s.cn.broken() {
+		return // the dead connection already released the attach server-side
+	}
 	p, _ := s.cn.roundTrip(wire.OpDetach, wire.EncodeHandle(s.m.handle))
 	s.cn.release(p)
+}
+
+// PeekBatch reads a batch with PEEK semantics (see Peek): clock-free, so
+// it never blocks on a staleness bound.
+func (s *Session) PeekBatch(keys []uint64, vals []byte, found []bool) error {
+	return s.PeekBatchCtx(context.Background(), keys, vals, found)
+}
+
+// PeekBatchCtx is PeekBatch bounded by ctx, checked per frame. The cluster
+// router reads replicas through it — a peek acquires no clock tokens, so a
+// lagging replica can answer it without consistency cost, and a miss falls
+// back to the primary.
+func (s *Session) PeekBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
+	if _, err := s.checkout(ctx); err != nil {
+		return err
+	}
+	vs := s.vs
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > s.m.c.opts.MaxKeysPerFrame {
+			n = s.m.c.opts.MaxKeysPerFrame
+		}
+		s.enc = wire.AppendKeys(s.enc[:0], s.m.handle, keys[:n])
+		p, err := s.cn.roundTripCtx(ctx, wire.OpPeekBatch, s.enc)
+		if err != nil {
+			return err
+		}
+		err = wire.DecodeGetBatchResp(p, vs, found[:n], vals[:n*vs])
+		s.cn.release(p)
+		if err != nil {
+			return err
+		}
+		keys, found, vals = keys[n:], found[n:], vals[n*vs:]
+	}
+	return nil
 }
 
 // conn is one pooled connection with a demultiplexing reader goroutine.
@@ -776,6 +953,15 @@ type conn struct {
 	// lat points at the owning Client's pool-wide histograms; data-op
 	// round trips record into it (nil on test-only bare conns).
 	lat *latency.OpSet
+}
+
+// broken reports whether the connection has been poisoned by a failure or
+// closed: its slot should be re-checked out, not written to.
+func (cn *conn) broken() bool {
+	cn.pmu.Lock()
+	b := cn.closed || cn.failure != nil
+	cn.pmu.Unlock()
+	return b
 }
 
 // getBuf returns a pooled buffer of length n (allocating if the pooled
@@ -1016,6 +1202,10 @@ func (cn *conn) finish(r response, ok bool) ([]byte, error) {
 		err := respError(string(r.payload))
 		cn.release(r.payload)
 		return nil, err
+	case wire.RespNotOwner:
+		m := append([]byte(nil), r.payload...)
+		cn.release(r.payload)
+		return nil, &NotOwnerError{Map: m}
 	}
 	cn.release(r.payload)
 	return nil, fmt.Errorf("client: unexpected response opcode %s", r.op)
@@ -1034,6 +1224,16 @@ func (cn *conn) reap(ch chan response) {
 	}()
 }
 
+// ServerError is an application-level refusal: the server processed the
+// request and answered RespErr over a healthy connection. Anything else a
+// round trip returns is transport trouble (a dead connection, a timeout) —
+// callers that probe capabilities (the cluster bootstrap) branch on the
+// distinction with errors.As.
+type ServerError struct{ Msg string }
+
+// Error returns the server's message verbatim.
+func (e *ServerError) Error() string { return e.Msg }
+
 // respError rebuilds a server error. Deadline/cancellation errors — a
 // read that gave up server-side at the wait budget this client put on the
 // wire — come back as the canonical context errors so errors.Is works
@@ -1045,7 +1245,7 @@ func respError(msg string) error {
 	case strings.Contains(msg, context.Canceled.Error()):
 		return fmt.Errorf("client: server gave up: %w", context.Canceled)
 	}
-	return errors.New(msg)
+	return &ServerError{Msg: msg}
 }
 
 func (cn *conn) close() error {

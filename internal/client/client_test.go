@@ -37,6 +37,10 @@ type fakeServer struct {
 	delay map[wire.Op]time.Duration
 	errOn map[wire.Op]string
 	muted map[wire.Op]bool
+
+	// attaches counts ATTACH frames served — the reconnect test asserts a
+	// healed connection re-attaches its session exactly once.
+	attaches atomic.Int64
 }
 
 func newFakeServer(t *testing.T, dim int) *fakeServer {
@@ -124,7 +128,9 @@ func (s *fakeServer) handle(c net.Conn, wmu *sync.Mutex, f wire.Frame) {
 				bound = faster.BoundAsync
 			}
 			resp = wire.EncodeOpenResp(1, dim, 1, bound, "fake")
-		case wire.OpAttach, wire.OpDetach:
+		case wire.OpAttach:
+			s.attaches.Add(1)
+		case wire.OpDetach:
 		case wire.OpGet:
 			_, rest, _ := wire.DecodeHandle(f.Payload)
 			key, _, _ := wire.DecodeGet(rest)
@@ -474,6 +480,63 @@ func TestAdaptiveHedgeDelayTracksTail(t *testing.T) {
 	c.hedgeDelayTick.Store(0)
 	if d := c.hedgeDelay(latency.OpGet); d != hedgeMinDelay {
 		t.Fatalf("fast-pool adaptive delay = %s, want the %s floor", d, hedgeMinDelay)
+	}
+}
+
+// TestSessionRecoversFromDeadConnection is the reconnect regression test:
+// a session whose connection dies mid-life must heal transparently on its
+// next operation — the pool slot redials (HELLO) and the session
+// re-ATTACHes on the fresh connection — instead of failing every later
+// request the way a session pinned to the dead *conn would.
+func TestSessionRecoversFromDeadConnection(t *testing.T) {
+	const dim = 2
+	fs := newFakeServer(t, dim)
+	cl := fakeClient(t, fs, Options{Conns: 1})
+	_, s := fakeSession(t, cl, "m", dim, wire.BoundUnset)
+
+	dst := make([]byte, dim*4)
+	if _, err := s.Get(1, dst); err != nil {
+		t.Fatal(err)
+	}
+	attachesBefore := fs.attaches.Load()
+
+	// Kill the transport out from under the session and wait for the read
+	// loop to notice: the conn is now poisoned, not merely idle.
+	old := cl.conns[0]
+	old.c.Close()
+	<-old.done
+	if !old.broken() {
+		t.Fatal("closed connection not marked broken")
+	}
+
+	// The next read must succeed via redial + re-attach, not error.
+	if _, err := s.Get(2, dst); err != nil {
+		t.Fatalf("read after connection death: %v", err)
+	}
+	for j := range dst {
+		if dst[j] != 2 {
+			t.Fatalf("healed read byte %d = %d, want %d", j, dst[j], 2)
+		}
+	}
+	if cl.conns[0] == old {
+		t.Fatal("dead connection still occupies its pool slot")
+	}
+	if got := fs.attaches.Load(); got != attachesBefore+1 {
+		t.Fatalf("server saw %d attaches, want %d (one re-ATTACH on the healed connection)",
+			got, attachesBefore+1)
+	}
+
+	// Steady state on the healed connection: further ops reuse it without
+	// another attach round trip.
+	keys := []uint64{5, 6}
+	vals := make([]byte, len(keys)*dim*4)
+	found := make([]bool, len(keys))
+	if err := s.GetBatch(keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	checkBatchVals(t, keys, vals, found, dim*4)
+	if got := fs.attaches.Load(); got != attachesBefore+1 {
+		t.Fatalf("healed session attached again: %d attaches", got)
 	}
 }
 

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// Map wire encoding, carried by CLUSTERMAP/CLUSTERJOIN/CLUSTERSYNC
+// responses and NOT_OWNER redirects:
+//
+//	uint64  epoch
+//	uint32  node count
+//	per node:
+//	  uint32  record length (bytes that follow for this node)
+//	  uint8   role
+//	  uint16  id length      | id bytes
+//	  uint16  addr length    | addr bytes
+//	  uint16  primary length | primary id bytes
+//	  uint32  range count    | count × (uint64 start | uint64 end)
+//	  [unknown trailing bytes — skipped]
+//
+// All integers little-endian, matching the rest of the wire package. The
+// per-node record length is the forward-compat seam: a future field
+// appended inside a record is skipped by old decoders, the same way the
+// STATS field count lets both sides read the prefix they understand.
+// Decoders check every length exactly against the record envelope and
+// reject anything over the topology caps before allocating.
+
+const mapHeaderSize = 12 // epoch + node count
+
+// EncodeNode serializes one node as a length-prefixed record — the
+// CLUSTERJOIN request payload (a joining node is not a valid map on its
+// own: a joining replica has no primary beside it).
+func EncodeNode(n Node) []byte {
+	recLen := 1 + 2 + len(n.ID) + 2 + len(n.Addr) + 2 + len(n.PrimaryID) + 4 + 16*len(n.Ranges)
+	p := make([]byte, 0, 4+recLen)
+	return appendNode(p, &n)
+}
+
+// DecodeNode parses one length-prefixed node record, checking only
+// per-node invariants (map-level validation happens after the merge).
+func DecodeNode(p []byte) (Node, error) {
+	n, rest, err := decodeNode(p, 0)
+	if err != nil {
+		return Node{}, err
+	}
+	if len(rest) != 0 {
+		return Node{}, fmt.Errorf("%w: cluster node record carries %d trailing bytes", wire.ErrShortPayload, len(rest))
+	}
+	if n.ID == "" || len(n.ID) > MaxNodeID {
+		return Node{}, fmt.Errorf("cluster: bad node id %q", n.ID)
+	}
+	if n.Addr == "" {
+		return Node{}, fmt.Errorf("cluster: node %q has no address", n.ID)
+	}
+	if n.Role != RolePrimary && n.Role != RoleReplica {
+		return Node{}, fmt.Errorf("cluster: node %q has unknown role %d", n.ID, n.Role)
+	}
+	return n, nil
+}
+
+// appendNode appends one node's length-prefixed record.
+func appendNode(p []byte, n *Node) []byte {
+	recLen := 1 + 2 + len(n.ID) + 2 + len(n.Addr) + 2 + len(n.PrimaryID) + 4 + 16*len(n.Ranges)
+	p = binary.LittleEndian.AppendUint32(p, uint32(recLen))
+	p = append(p, byte(n.Role))
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(n.ID)))
+	p = append(p, n.ID...)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(n.Addr)))
+	p = append(p, n.Addr...)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(n.PrimaryID)))
+	p = append(p, n.PrimaryID...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(n.Ranges)))
+	for _, r := range n.Ranges {
+		p = binary.LittleEndian.AppendUint64(p, r.Start)
+		p = binary.LittleEndian.AppendUint64(p, r.End)
+	}
+	return p
+}
+
+// decodeNode parses one length-prefixed node record from rest, returning
+// the node and the remainder. i labels the node in errors.
+func decodeNode(rest []byte, i int) (Node, []byte, error) {
+	if len(rest) < 4 {
+		return Node{}, nil, fmt.Errorf("%w: cluster node %d record length wants 4 bytes, got %d", wire.ErrShortPayload, i, len(rest))
+	}
+	recLen := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if recLen > len(rest) {
+		return Node{}, nil, fmt.Errorf("%w: cluster node %d record wants %d bytes, got %d", wire.ErrShortPayload, i, recLen, len(rest))
+	}
+	rec := rest[:recLen]
+	rest = rest[recLen:]
+
+	if len(rec) < 1 {
+		return Node{}, nil, fmt.Errorf("%w: cluster node %d record is empty", wire.ErrShortPayload, i)
+	}
+	n := Node{Role: Role(rec[0])}
+	rec = rec[1:]
+	var err error
+	if n.ID, rec, err = decodeString(rec, "id", MaxNodeID); err != nil {
+		return Node{}, nil, err
+	}
+	if n.Addr, rec, err = decodeString(rec, "address", MaxNodeAddr); err != nil {
+		return Node{}, nil, err
+	}
+	if n.PrimaryID, rec, err = decodeString(rec, "primary id", MaxNodeID); err != nil {
+		return Node{}, nil, err
+	}
+	if len(rec) < 4 {
+		return Node{}, nil, fmt.Errorf("%w: cluster node %q range count wants 4 bytes, got %d", wire.ErrShortPayload, n.ID, len(rec))
+	}
+	ranges := int(binary.LittleEndian.Uint32(rec))
+	rec = rec[4:]
+	if ranges > MaxRangesPerNode {
+		return Node{}, nil, fmt.Errorf("cluster: node %q with %d ranges exceeds limit %d", n.ID, ranges, MaxRangesPerNode)
+	}
+	if len(rec) < 16*ranges {
+		return Node{}, nil, fmt.Errorf("%w: cluster node %q wants %d range bytes, got %d", wire.ErrShortPayload, n.ID, 16*ranges, len(rec))
+	}
+	if ranges > 0 {
+		n.Ranges = make([]Range, ranges)
+		for j := range n.Ranges {
+			n.Ranges[j].Start = binary.LittleEndian.Uint64(rec[16*j:])
+			n.Ranges[j].End = binary.LittleEndian.Uint64(rec[16*j+8:])
+		}
+	}
+	// Bytes past the ranges are fields from a newer encoder: skipped,
+	// because the record envelope already told us where this node ends.
+	return n, rest, nil
+}
+
+// EncodeMap serializes m.
+func EncodeMap(m *Map) []byte {
+	p := make([]byte, 0, mapHeaderSize+64*len(m.Nodes))
+	p = binary.LittleEndian.AppendUint64(p, m.Epoch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(m.Nodes)))
+	for i := range m.Nodes {
+		p = appendNode(p, &m.Nodes[i])
+	}
+	return p
+}
+
+// decodeString reads a uint16-length-prefixed string from rec, returning
+// the remainder.
+func decodeString(rec []byte, what string, max int) (string, []byte, error) {
+	if len(rec) < 2 {
+		return "", nil, fmt.Errorf("%w: cluster node %s length wants 2 bytes, got %d", wire.ErrShortPayload, what, len(rec))
+	}
+	n := int(binary.LittleEndian.Uint16(rec))
+	if n > max {
+		return "", nil, fmt.Errorf("cluster: node %s of %d bytes exceeds limit %d", what, n, max)
+	}
+	if len(rec) < 2+n {
+		return "", nil, fmt.Errorf("%w: cluster node %s wants %d bytes, got %d", wire.ErrShortPayload, what, n, len(rec)-2)
+	}
+	return string(rec[2 : 2+n]), rec[2+n:], nil
+}
+
+// DecodeMap parses an encoded map and validates it.
+func DecodeMap(p []byte) (*Map, error) {
+	if len(p) < mapHeaderSize {
+		return nil, fmt.Errorf("%w: cluster map wants >= %d bytes, got %d", wire.ErrShortPayload, mapHeaderSize, len(p))
+	}
+	m := &Map{Epoch: binary.LittleEndian.Uint64(p)}
+	count := int(binary.LittleEndian.Uint32(p[8:]))
+	if count > MaxNodes {
+		return nil, fmt.Errorf("cluster: map of %d nodes exceeds limit %d", count, MaxNodes)
+	}
+	rest := p[mapHeaderSize:]
+	m.Nodes = make([]Node, 0, count)
+	for i := 0; i < count; i++ {
+		n, r, err := decodeNode(rest, i)
+		if err != nil {
+			return nil, err
+		}
+		rest = r
+		m.Nodes = append(m.Nodes, n)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: cluster map carries %d trailing bytes", wire.ErrShortPayload, len(rest))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testMap builds the canonical three-primaries-plus-replica topology the
+// suite round-trips.
+func testMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := BuildMap([]Node{
+		{ID: "a", Addr: "127.0.0.1:7070", Role: RolePrimary},
+		{ID: "b", Addr: "127.0.0.1:7071", Role: RolePrimary},
+		{ID: "c", Addr: "127.0.0.1:7072", Role: RolePrimary},
+		{ID: "r1", Addr: "127.0.0.1:7073", Role: RoleReplica, PrimaryID: "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	m := testMap(t)
+	m.Epoch = 42
+	got, err := DecodeMap(EncodeMap(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+// TestMapTruncation decodes every strict prefix of a valid encoding: all
+// must error (the codec checks each length before reading), none may
+// panic or succeed.
+func TestMapTruncation(t *testing.T) {
+	enc := EncodeMap(testMap(t))
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeMap(enc[:i]); err == nil {
+			t.Fatalf("DecodeMap accepted a %d/%d-byte prefix", i, len(enc))
+		}
+	}
+}
+
+func TestMapTrailingBytesRejected(t *testing.T) {
+	enc := append(EncodeMap(testMap(t)), 0xEE)
+	if _, err := DecodeMap(enc); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("DecodeMap(enc+junk) = %v, want trailing-bytes error", err)
+	}
+}
+
+// TestMapOversizeRejected corrupts each length field past its topology cap
+// and expects a refusal before any giant allocation.
+func TestMapOversizeRejected(t *testing.T) {
+	base := EncodeMap(testMap(t))
+	mutate := func(f func(p []byte)) []byte {
+		p := append([]byte(nil), base...)
+		f(p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    []byte
+		want string
+	}{
+		{"node count over cap", mutate(func(p []byte) {
+			binary.LittleEndian.PutUint32(p[8:], MaxNodes+1)
+		}), "exceeds limit"},
+		{"id length over cap", mutate(func(p []byte) {
+			// First node record: recLen at 12, role at 16, id len at 17.
+			binary.LittleEndian.PutUint16(p[17:], MaxNodeID+1)
+		}), "exceeds limit"},
+		{"range count over cap", mutate(func(p []byte) {
+			// Node "a": role(1) + idlen(2)+1 + addrlen(2)+14 + prilen(2)+0,
+			// so the range count sits 22 bytes into the record.
+			binary.LittleEndian.PutUint32(p[12+4+22:], MaxRangesPerNode+1)
+		}), "exceeds limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeMap(tc.p); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeMap = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMapUnknownFieldForwardCompat appends bytes a future encoder might
+// add inside a node record (bumping its envelope length): today's decoder
+// must skip them and still produce the same map.
+func TestMapUnknownFieldForwardCompat(t *testing.T) {
+	m := testMap(t)
+	enc := EncodeMap(m)
+	// Splice 4 unknown bytes at the end of the first node's record and
+	// grow its recLen envelope to cover them.
+	recLen := binary.LittleEndian.Uint32(enc[12:])
+	recEnd := 12 + 4 + int(recLen)
+	grown := append([]byte(nil), enc[:recEnd]...)
+	grown = append(grown, 0xDE, 0xAD, 0xBE, 0xEF)
+	grown = append(grown, enc[recEnd:]...)
+	binary.LittleEndian.PutUint32(grown[12:], recLen+4)
+	got, err := DecodeMap(grown)
+	if err != nil {
+		t.Fatalf("decode with unknown trailing field: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("unknown-field decode mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestNodeRoundTripAndValidation(t *testing.T) {
+	n := Node{ID: "r9", Addr: "10.0.0.9:7070", Role: RoleReplica, PrimaryID: "a"}
+	got, err := DecodeNode(EncodeNode(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, n) {
+		t.Fatalf("node round trip: got %+v want %+v", got, n)
+	}
+	for _, bad := range []Node{
+		{ID: "", Addr: "x:1", Role: RolePrimary},
+		{ID: "a", Addr: "", Role: RolePrimary},
+		{ID: "a", Addr: "x:1", Role: Role(9)},
+	} {
+		if _, err := DecodeNode(EncodeNode(bad)); err == nil {
+			t.Fatalf("DecodeNode accepted invalid node %+v", bad)
+		}
+	}
+	enc := append(EncodeNode(n), 0x01)
+	if _, err := DecodeNode(enc); err == nil {
+		t.Fatal("DecodeNode accepted trailing bytes")
+	}
+}
+
+// TestOwnershipPartitionsRing checks the routing invariant everything
+// rests on: every slot — boundaries included — has exactly one owning
+// primary, and replicas own nothing directly.
+func TestOwnershipPartitionsRing(t *testing.T) {
+	m := testMap(t)
+	slots := []uint64{0, 1, math.MaxUint64, math.MaxUint64 - 1}
+	for _, p := range m.Primaries() {
+		for _, r := range p.Ranges {
+			slots = append(slots, r.Start, r.End)
+			if r.End < math.MaxUint64 {
+				slots = append(slots, r.End+1)
+			}
+		}
+	}
+	for _, slot := range slots {
+		owners := 0
+		for _, p := range m.Primaries() {
+			for _, r := range p.Ranges {
+				if r.Contains(slot) {
+					owners++
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("slot %#x has %d owners, want exactly 1", slot, owners)
+		}
+	}
+	for key := uint64(0); key < 4096; key++ {
+		if m.Owner(key) == nil {
+			t.Fatalf("key %d has no owner", key)
+		}
+	}
+	if rep := m.Node("r1"); len(rep.Ranges) != 0 {
+		t.Fatalf("replica owns ranges directly: %+v", rep.Ranges)
+	}
+}
+
+// TestWithNodeRebalances: adding a primary bumps the epoch and reassigns
+// ranges deterministically; the old map is untouched.
+func TestWithNodeRebalances(t *testing.T) {
+	m := testMap(t)
+	before := EncodeMap(m)
+	grown, err := m.WithNode(Node{ID: "d", Addr: "127.0.0.1:7074", Role: RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", grown.Epoch, m.Epoch+1)
+	}
+	if got := len(grown.Primaries()); got != 4 {
+		t.Fatalf("primaries = %d, want 4", got)
+	}
+	if !reflect.DeepEqual(EncodeMap(m), before) {
+		t.Fatal("WithNode mutated its receiver")
+	}
+	// Deterministic assignment: rebuilding from scratch with the same
+	// membership yields identical ranges.
+	rebuilt, err := BuildMap(grown.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range grown.Primaries() {
+		if !reflect.DeepEqual(p.Ranges, rebuilt.Node(p.ID).Ranges) {
+			t.Fatalf("node %q ranges differ from deterministic rebuild", p.ID)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// Replicator streams a primary's committed writes to its replicas,
+// asynchronously: the server's write path only enqueues a copied event and
+// returns, so replication never sits on a client's latency path. Each
+// replica gets its own stream goroutine with a bounded queue; when a
+// replica falls behind the queue, events are dropped and counted — the
+// stream head keeps advancing, so the replica's advertised lag (head −
+// last applied sequence) stays truthful and SSP admissibility keeps
+// holding it out of rotation until it catches up.
+type Replicator struct {
+	st *State
+
+	mu      sync.Mutex
+	streams map[string]*replStream // replica node id → stream
+	models  map[string]*replModel  // model id → sequence head
+	closed  bool
+
+	dropped atomic.Int64
+}
+
+// replModel numbers one model's replication stream.
+type replModel struct {
+	dim  int
+	head atomic.Uint64
+}
+
+// replEvent is one copied write, fanned to every replica stream.
+type replEvent struct {
+	model string
+	dim   int
+	kind  byte
+	keys  []uint64
+	vals  []byte
+	seq   uint64
+	head  *atomic.Uint64
+}
+
+// replStream is one replica's queue and sender goroutine.
+type replStream struct {
+	addr string
+	ch   chan replEvent
+	stop chan struct{}
+	done chan struct{}
+}
+
+// replQueueCap bounds each replica stream's in-flight queue. Overflow
+// drops (counted) rather than blocking the primary's write path.
+const replQueueCap = 1024
+
+// replRedialDelay paces reconnect attempts to an unreachable replica.
+const replRedialDelay = 50 * time.Millisecond
+
+// replDialTimeout bounds each dial/round-trip to a replica.
+const replDialTimeout = 5 * time.Second
+
+func newReplicator(st *State) *Replicator {
+	return &Replicator{
+		st:      st,
+		streams: map[string]*replStream{},
+		models:  map[string]*replModel{},
+	}
+}
+
+// refresh reconciles the stream set with the current map: a stream per
+// replica of this node, none for anyone else.
+func (r *Replicator) refresh() {
+	m := r.st.Map()
+	want := map[string]string{} // replica id → addr
+	if self := m.Node(r.st.Self()); self != nil && self.Role == RolePrimary {
+		for _, rep := range m.ReplicasOf(self.ID) {
+			want[rep.ID] = rep.Addr
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	for id, s := range r.streams {
+		if addr, ok := want[id]; !ok || addr != s.addr {
+			close(s.stop)
+			delete(r.streams, id)
+		}
+	}
+	for id, addr := range want {
+		if _, ok := r.streams[id]; ok {
+			continue
+		}
+		s := &replStream{
+			addr: addr,
+			ch:   make(chan replEvent, replQueueCap),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		r.streams[id] = s
+		go r.run(s)
+	}
+}
+
+// replicate copies one committed write and enqueues it on every stream.
+func (r *Replicator) replicate(model string, dim int, kind byte, keys []uint64, vals []byte) {
+	r.mu.Lock()
+	if r.closed || len(r.streams) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	rm := r.models[model]
+	if rm == nil {
+		rm = &replModel{dim: dim}
+		r.models[model] = rm
+	}
+	targets := make([]*replStream, 0, len(r.streams))
+	for _, s := range r.streams {
+		targets = append(targets, s)
+	}
+	r.mu.Unlock()
+
+	ev := replEvent{
+		model: model,
+		dim:   dim,
+		kind:  kind,
+		keys:  append([]uint64(nil), keys...),
+		seq:   rm.head.Add(1),
+		head:  &rm.head,
+	}
+	if kind == wire.ReplPut {
+		ev.vals = append([]byte(nil), vals...)
+	}
+	for _, s := range targets {
+		select {
+		case s.ch <- ev:
+		default:
+			r.dropped.Add(1)
+		}
+	}
+}
+
+// run drains one replica's queue over a synchronous wire connection,
+// reconnecting (and re-opening models) after transport failures. An
+// application-level refusal drops the event — retrying a frame the replica
+// rejects would wedge the stream forever.
+func (r *Replicator) run(s *replStream) {
+	defer close(s.done)
+	var (
+		rc      *rawConn
+		handles map[string]uint32
+		frame   []byte
+	)
+	defer func() {
+		if rc != nil {
+			rc.close()
+		}
+	}()
+	reset := func() {
+		if rc != nil {
+			rc.close()
+			rc = nil
+		}
+		handles = nil
+	}
+	for {
+		var ev replEvent
+		select {
+		case <-s.stop:
+			return
+		case ev = <-s.ch:
+		}
+		for {
+			if rc == nil {
+				c, err := dialRaw(s.addr, replDialTimeout)
+				if err != nil {
+					select {
+					case <-s.stop:
+						return
+					case <-time.After(replRedialDelay):
+					}
+					continue
+				}
+				rc = c
+				handles = map[string]uint32{}
+			}
+			handle, ok := handles[ev.model]
+			if !ok {
+				h, err := r.openModel(rc, ev.model, ev.dim)
+				if err != nil {
+					if IsRemoteRefusal(err) {
+						r.dropped.Add(1)
+						break // this event is undeliverable; keep the stream alive
+					}
+					reset()
+					continue
+				}
+				handle = h
+				handles[ev.model] = handle
+			}
+			frame = wire.AppendReplWrite(frame[:0], handle, ev.seq, ev.head.Load(), ev.kind, ev.keys, ev.vals)
+			if _, err := rc.roundTrip(wire.OpReplWrite, frame, replDialTimeout); err != nil {
+				if IsRemoteRefusal(err) {
+					r.dropped.Add(1)
+					break
+				}
+				reset()
+				continue
+			}
+			break
+		}
+	}
+}
+
+// openModel opens and attaches ev's model on the replica, returning its
+// handle there (handles are per-server, not cluster-wide).
+func (r *Replicator) openModel(rc *rawConn, model string, dim int) (uint32, error) {
+	req, err := wire.EncodeOpen(model, dim, 0, wire.BoundUnset, "")
+	if err != nil {
+		return 0, err
+	}
+	p, err := rc.roundTrip(wire.OpOpen, req, replDialTimeout)
+	if err != nil {
+		return 0, err
+	}
+	handle, _, _, _, _, err := wire.DecodeOpenResp(p)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := rc.roundTrip(wire.OpAttach, wire.EncodeHandle(handle), replDialTimeout); err != nil {
+		return 0, err
+	}
+	return handle, nil
+}
+
+// close stops every stream and waits for the senders to exit.
+func (r *Replicator) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	streams := make([]*replStream, 0, len(r.streams))
+	for _, s := range r.streams {
+		streams = append(streams, s)
+	}
+	r.streams = map[string]*replStream{}
+	r.mu.Unlock()
+	for _, s := range streams {
+		close(s.stop)
+	}
+	for _, s := range streams {
+		<-s.done
+	}
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/hotcache"
+	"github.com/llm-db/mlkv-go/internal/latency"
+)
+
+// Router is the client side of the cluster: one connection pool per node,
+// a cached Map, and routing that lifts internal/core's shard fan-out one
+// level up — group keys by owning server, fan batches out in parallel,
+// keep the blocking-bound serial gate. Reads are staleness-bound-aware
+// when RouterOptions.ReadReplicas is set: ASP reads may hit any replica,
+// BSP always hits the primary, and SSP hits a replica only while its
+// advertised lag passes hotcache.Admissible. A NOT_OWNER redirect carries
+// the server's newer map; the router adopts it and retries.
+type Router struct {
+	opts RouterOptions
+	cur  atomic.Pointer[Map]
+
+	mu     sync.Mutex
+	pools  map[string]*client.Client // node address → pool
+	closed bool
+
+	// lat times whole routed operations — including redirects, fan-out
+	// joins, and replica fallbacks — the latency a cluster caller actually
+	// experiences. Each node pool keeps its own per-hop histograms below.
+	lat latency.OpSet
+
+	redirects    atomic.Int64
+	replicaReads atomic.Int64
+}
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Client configures every node pool (conns, hedging, timeouts); hedges
+	// ride each node's own pool, so PR 8's hedge machinery applies per node.
+	Client client.Options
+	// ReadReplicas routes admissible reads to replicas; off, every
+	// operation goes to owning primaries.
+	ReadReplicas bool
+	// LagRefresh is how long a replica's advertised lag is trusted before
+	// the router re-fetches it (default 100ms). Only SSP reads consult lag.
+	LagRefresh time.Duration
+}
+
+// maxRedirects bounds NOT_OWNER retries per operation: each retry adopts
+// the redirecting server's map, so more than a few means the topology is
+// flapping faster than a client can follow.
+const maxRedirects = 3
+
+// NewRouter wraps an already-dialed seed pool and the map it served.
+func NewRouter(m *Map, seedAddr string, seed *client.Client, opts RouterOptions) *Router {
+	if opts.LagRefresh <= 0 {
+		opts.LagRefresh = 100 * time.Millisecond
+	}
+	r := &Router{opts: opts, pools: map[string]*client.Client{seedAddr: seed}}
+	r.cur.Store(m.Clone())
+	return r
+}
+
+// Map returns the router's current topology (immutable).
+func (r *Router) Map() *Map { return r.cur.Load() }
+
+// Latency exposes the router-level histograms (the driver folds them into
+// Stats and records composite RMWs into OpRMW here).
+func (r *Router) Latency() *latency.OpSet { return &r.lat }
+
+// Redirects counts NOT_OWNER redirects followed.
+func (r *Router) Redirects() int64 { return r.redirects.Load() }
+
+// ReplicaReads counts keys served by replicas instead of primaries.
+func (r *Router) ReplicaReads() int64 { return r.replicaReads.Load() }
+
+// HedgeStats sums hedging counters across the node pools.
+func (r *Router) HedgeStats() client.HedgeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out client.HedgeStats
+	for _, p := range r.pools {
+		hs := p.HedgeStats()
+		out.Issued += hs.Issued
+		out.Won += hs.Won
+		out.Wasted += hs.Wasted
+		out.Suppressed += hs.Suppressed
+	}
+	return out
+}
+
+// Close tears down every node pool.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	pools := make([]*client.Client, 0, len(r.pools))
+	for _, p := range r.pools {
+		pools = append(pools, p)
+	}
+	r.pools = map[string]*client.Client{}
+	r.mu.Unlock()
+	var first error
+	for _, p := range pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pool returns (dialing if needed) the connection pool for one node.
+func (r *Router) pool(addr string) (*client.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("cluster: router closed")
+	}
+	if p, ok := r.pools[addr]; ok {
+		return p, nil
+	}
+	p, err := client.Dial(addr, r.opts.Client)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial node %s: %w", addr, err)
+	}
+	r.pools[addr] = p
+	return p, nil
+}
+
+// adopt installs a map carried by a NOT_OWNER redirect if it is newer
+// than the router's current one.
+func (r *Router) adopt(payload []byte) {
+	m, err := DecodeMap(payload)
+	if err != nil {
+		return // a corrupt redirect map is ignored; the retry re-asks
+	}
+	r.mu.Lock()
+	if m.Epoch > r.cur.Load().Epoch {
+		r.cur.Store(m)
+	}
+	r.mu.Unlock()
+}
+
+// redirected handles one operation error: if it is a NOT_OWNER redirect
+// and the attempt budget allows, the attached map is adopted and the
+// caller should retry. Anything else is final.
+func (r *Router) redirected(err error, attempt int) bool {
+	var noe *client.NotOwnerError
+	if !errors.As(err, &noe) || attempt >= maxRedirects {
+		return false
+	}
+	r.adopt(noe.Map)
+	r.redirects.Add(1)
+	return true
+}
+
+// OpenModel opens the model on every node in the current map (so a bound
+// change propagates cluster-wide) and returns the routed model. Calling it
+// again with the same ID re-opens with the new spec on every node.
+func (r *Router) OpenModel(ctx context.Context, spec client.OpenSpec) (*RModel, error) {
+	m := &RModel{r: r, spec: spec, models: map[string]*client.Model{}, lags: map[string]*lagEntry{}}
+	mp := r.Map()
+	for i := range mp.Nodes {
+		if _, err := m.model(ctx, &mp.Nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RModel is one model routed across the cluster.
+type RModel struct {
+	r    *Router
+	spec client.OpenSpec
+
+	mu     sync.Mutex
+	models map[string]*client.Model // node id → per-node model
+	lags   map[string]*lagEntry     // replica node id → cached lag
+
+	dim    int
+	shards int
+	engine string
+	bound  atomic.Int64
+	once   sync.Once // latches geometry from the first successful open
+}
+
+// lagEntry caches one replica's advertised lag between refreshes.
+type lagEntry struct {
+	lag atomic.Int64
+	at  atomic.Int64 // mono nanos of the last refresh
+}
+
+// model returns (opening if needed) this model on one node.
+func (m *RModel) model(ctx context.Context, n *Node) (*client.Model, error) {
+	m.mu.Lock()
+	if cm, ok := m.models[n.ID]; ok {
+		m.mu.Unlock()
+		return cm, nil
+	}
+	m.mu.Unlock()
+	p, err := m.r.pool(n.Addr)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := p.OpenModel(ctx, m.spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open %q on node %s: %w", m.spec.ID, n.ID, err)
+	}
+	m.mu.Lock()
+	if prev, ok := m.models[n.ID]; ok { // lost a race; keep the first
+		m.mu.Unlock()
+		return prev, nil
+	}
+	m.models[n.ID] = cm
+	m.mu.Unlock()
+	m.once.Do(func() {
+		m.dim = cm.Dim()
+		m.shards = cm.Shards()
+		m.engine = cm.Name()
+		m.bound.Store(cm.StalenessBound())
+	})
+	return cm, nil
+}
+
+// ID returns the model name.
+func (m *RModel) ID() string { return m.spec.ID }
+
+// Dim returns the embedding dimension.
+func (m *RModel) Dim() int { return m.dim }
+
+// Shards returns one node's hash-partition count (the intra-node layer —
+// cluster ranges partition above it).
+func (m *RModel) Shards() int { return m.shards }
+
+// Name identifies the routed engine in benchmark output.
+func (m *RModel) Name() string {
+	return fmt.Sprintf("cluster(%d×%s)", len(m.r.Map().Nodes), m.engine)
+}
+
+// StalenessBound returns the bound in effect.
+func (m *RModel) StalenessBound() int64 { return m.bound.Load() }
+
+// SetBoundHint records a bound change on the routed model and every
+// per-node model, so hedge and replica admissibility react immediately.
+func (m *RModel) SetBoundHint(bound int64) {
+	m.bound.Store(bound)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, cm := range m.models {
+		cm.SetBoundHint(bound)
+	}
+}
+
+// CheckpointCtx checkpoints the model on every primary.
+func (m *RModel) CheckpointCtx(ctx context.Context) error {
+	mp := m.r.Map()
+	for _, p := range mp.Primaries() {
+		cm, err := m.model(ctx, p)
+		if err != nil {
+			return err
+		}
+		if err := cm.CheckpointCtx(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModelStats merges every node's counters: scalars sum, latency summaries
+// fold (counts and sums add, percentiles take the worst node — a merged
+// percentile without the raw histograms would be a guess), and ReplicaLag
+// reports the laggiest replica.
+func (m *RModel) ModelStats(ctx context.Context) (wireStats, error) {
+	mp := m.r.Map()
+	var out wireStats
+	for i := range mp.Nodes {
+		cm, err := m.model(ctx, &mp.Nodes[i])
+		if err != nil {
+			return out, err
+		}
+		s, err := cm.ModelStats(ctx)
+		if err != nil {
+			return out, err
+		}
+		addStats(&out, s)
+	}
+	return out, nil
+}
+
+// lagOf returns one replica's advertised replication lag, refreshed at
+// most every LagRefresh. Unreachable replicas report an infinite lag, so
+// admissibility holds them out of rotation instead of guessing.
+func (m *RModel) lagOf(ctx context.Context, rep *Node) int64 {
+	m.mu.Lock()
+	e := m.lags[rep.ID]
+	if e == nil {
+		e = &lagEntry{}
+		e.lag.Store(int64(^uint64(0) >> 1)) // unknown = infinite until fetched
+		m.lags[rep.ID] = e
+	}
+	m.mu.Unlock()
+	now := time.Now().UnixNano()
+	last := e.at.Load()
+	if last != 0 && now-last < int64(m.r.opts.LagRefresh) {
+		return e.lag.Load()
+	}
+	if !e.at.CompareAndSwap(last, now) {
+		return e.lag.Load() // someone else is refreshing
+	}
+	cm, err := m.model(ctx, rep)
+	if err != nil {
+		return e.lag.Load()
+	}
+	s, err := cm.ModelStats(ctx)
+	if err != nil {
+		return e.lag.Load()
+	}
+	e.lag.Store(s.ReplicaLag)
+	return s.ReplicaLag
+}
+
+// replicaAdmissible decides whether a read under bound may be served by
+// rep right now — the cluster face of the staleness ladder: ASP (and a
+// disabled clock) always admissible, BSP never, SSP only while the
+// replica's advertised lag passes the same Admissible predicate the hot
+// cache uses.
+func (m *RModel) replicaAdmissible(ctx context.Context, bound int64, rep *Node) bool {
+	if bound == 0 {
+		return false
+	}
+	if !faster.BlockingBound(bound) {
+		return true
+	}
+	return hotcache.Admissible(bound, m.lagOf(ctx, rep))
+}
+
+// NewSession opens a routed session (kv.Session shape, one goroutine).
+func (m *RModel) NewSession(ctx context.Context) (*RSession, error) {
+	return &RSession{m: m, sess: map[string]*client.Session{}}, nil
+}

@@ -1,0 +1,504 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/faster"
+	"github.com/llm-db/mlkv-go/internal/latency"
+)
+
+// errNoOwner reports a key that falls outside every primary's ranges — a
+// malformed map, since a valid one partitions the whole ring.
+var errNoOwner = errors.New("cluster: key has no owner in the current map")
+
+// RSession is one worker's routed session: a lazy per-node client session
+// behind each node the worker's keys touch. Like every kv.Session it is
+// single-goroutine from the caller's side; batch fan-out below spawns one
+// goroutine per node group, each owning that node's session for the call.
+type RSession struct {
+	m      *RModel
+	sess   map[string]*client.Session // node id → session
+	rr     uint32                     // replica round-robin cursor
+	closed bool
+}
+
+// node returns (attaching if needed) this session on one node.
+func (s *RSession) node(ctx context.Context, n *Node) (*client.Session, error) {
+	if ss, ok := s.sess[n.ID]; ok {
+		return ss, nil
+	}
+	cm, err := s.m.model(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := cm.NewSessionCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.sess[n.ID] = ss
+	return ss, nil
+}
+
+// readTarget picks where a read of p's range goes under bound: an
+// admissible replica (round-robin when several) with its session, else the
+// primary. Replica failures fall back to the primary rather than erroring.
+func (s *RSession) readTarget(ctx context.Context, mp *Map, p *Node, bound int64) (*Node, *client.Session, error) {
+	if s.m.r.opts.ReadReplicas {
+		reps := mp.ReplicasOf(p.ID)
+		for i := 0; i < len(reps); i++ {
+			rep := reps[int(s.rr)%len(reps)]
+			s.rr++
+			if !s.m.replicaAdmissible(ctx, bound, rep) {
+				continue
+			}
+			if ss, err := s.node(ctx, rep); err == nil {
+				return rep, ss, nil
+			}
+		}
+	}
+	ss, err := s.node(ctx, p)
+	return p, ss, err
+}
+
+// GetCtx reads one key through the cluster: replica when the staleness
+// bound admits it (a clock-free PEEK — a replica holds no clock), primary
+// otherwise; a replica miss re-reads authoritatively from the primary.
+func (s *RSession) GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpGet, start)
+	return s.getCtx(ctx, key, dst, false)
+}
+
+// PeekCtx is the clock-free read, routed like GetCtx (the bound still
+// gates replica use, so BSP peeks stay on the primary too).
+func (s *RSession) PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, error) {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpGet, start)
+	return s.getCtx(ctx, key, dst, true)
+}
+
+func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		mp := s.m.r.Map()
+		p := mp.Owner(key)
+		if p == nil {
+			return false, errNoOwner
+		}
+		bound := s.m.bound.Load()
+		rn, ss, err := s.readTarget(ctx, mp, p, bound)
+		if err != nil {
+			return false, err
+		}
+		if rn != p {
+			found, err := ss.PeekCtx(ctx, key, dst)
+			if err != nil {
+				if s.m.r.redirected(err, attempt) {
+					continue
+				}
+				return false, err
+			}
+			if found {
+				s.m.r.replicaReads.Add(1)
+				return true, nil
+			}
+			// Replica miss: maybe lag, maybe truly absent — ask the owner.
+			if ss, err = s.node(ctx, p); err != nil {
+				return false, err
+			}
+		}
+		var found bool
+		if peek {
+			found, err = ss.PeekCtx(ctx, key, dst)
+		} else {
+			found, err = ss.GetCtx(ctx, key, dst)
+		}
+		if err != nil {
+			if s.m.r.redirected(err, attempt) {
+				continue
+			}
+			return false, err
+		}
+		return found, nil
+	}
+}
+
+// PutCtx writes one key to its owning primary.
+func (s *RSession) PutCtx(ctx context.Context, key uint64, val []byte) error {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpPut, start)
+	for attempt := 0; ; attempt++ {
+		mp := s.m.r.Map()
+		p := mp.Owner(key)
+		if p == nil {
+			return errNoOwner
+		}
+		ss, err := s.node(ctx, p)
+		if err != nil {
+			return err
+		}
+		if err := ss.PutCtx(ctx, key, val); err != nil {
+			if s.m.r.redirected(err, attempt) {
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// DeleteCtx removes one key on its owning primary.
+func (s *RSession) DeleteCtx(ctx context.Context, key uint64) error {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpPut, start)
+	for attempt := 0; ; attempt++ {
+		mp := s.m.r.Map()
+		p := mp.Owner(key)
+		if p == nil {
+			return errNoOwner
+		}
+		ss, err := s.node(ctx, p)
+		if err != nil {
+			return err
+		}
+		if err := ss.DeleteCtx(ctx, key); err != nil {
+			if s.m.r.redirected(err, attempt) {
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// GetBatchCtx reads a batch through the cluster: keys group by read node
+// (internal/core's shard grouping, one level up) and the groups fan out in
+// parallel — except under a blocking bound, where the serial gate applies:
+// multi-node blocking reads go one key at a time in caller order, exactly
+// like the core table serializes blocking batch reads, so token
+// acquisition order stays deterministic.
+func (s *RSession) GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpGetBatch, start)
+	return s.batchRead(ctx, keys, vals, found, false)
+}
+
+// PeekBatchCtx is the clock-free batch read, routed like GetBatchCtx.
+func (s *RSession) PeekBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpGetBatch, start)
+	return s.batchRead(ctx, keys, vals, found, true)
+}
+
+func (s *RSession) batchRead(ctx context.Context, keys []uint64, vals []byte, found []bool, peek bool) error {
+	for attempt := 0; ; attempt++ {
+		err := s.batchReadOnce(ctx, keys, vals, found, peek)
+		if err == nil || !s.m.r.redirected(err, attempt) {
+			return err
+		}
+	}
+}
+
+// readGroup is one node's slice of a batch: gather, read (PEEK on
+// replicas), scatter. It returns the caller-space indices a replica
+// missed, for the authoritative primary re-read.
+func (s *RSession) readGroup(ctx context.Context, ss *client.Session, replica bool, idxs []int, keys []uint64, vals []byte, found []bool, peek bool) ([]int, error) {
+	vs := s.m.dim * 4
+	gkeys := make([]uint64, len(idxs))
+	gvals := make([]byte, len(idxs)*vs)
+	gfound := make([]bool, len(idxs))
+	for j, i := range idxs {
+		gkeys[j] = keys[i]
+	}
+	var err error
+	if replica || peek {
+		err = ss.PeekBatchCtx(ctx, gkeys, gvals, gfound)
+	} else {
+		err = ss.GetBatchCtx(ctx, gkeys, gvals, gfound)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var miss []int
+	served := 0
+	for j, i := range idxs {
+		found[i] = gfound[j]
+		if gfound[j] {
+			copy(vals[i*vs:(i+1)*vs], gvals[j*vs:(j+1)*vs])
+			served++
+		} else if replica {
+			miss = append(miss, i)
+		}
+	}
+	if replica {
+		s.m.r.replicaReads.Add(int64(served))
+	}
+	return miss, nil
+}
+
+func (s *RSession) batchReadOnce(ctx context.Context, keys []uint64, vals []byte, found []bool, peek bool) error {
+	mp := s.m.r.Map()
+	bound := s.m.bound.Load()
+
+	// Group caller indices by read node, choosing each primary's read
+	// target once per batch so one batch never straddles a primary and its
+	// replica for the same range.
+	type group struct {
+		node    *Node
+		sess    *client.Session
+		replica bool
+		idxs    []int
+	}
+	byPrimary := map[string]*group{}
+	var groups []*group
+	for i, k := range keys {
+		p := mp.Owner(k)
+		if p == nil {
+			return errNoOwner
+		}
+		g, ok := byPrimary[p.ID]
+		if !ok {
+			rn, ss, err := s.readTarget(ctx, mp, p, bound)
+			if err != nil {
+				return err
+			}
+			g = &group{node: rn, sess: ss, replica: rn != p}
+			byPrimary[p.ID] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+
+	if len(groups) == 1 {
+		// One node serves the whole batch: forward it whole and let the
+		// server-side gate handle blocking bounds.
+		g := groups[0]
+		miss, err := s.readGroup(ctx, g.sess, g.replica, g.idxs, keys, vals, found, peek)
+		if err != nil {
+			return err
+		}
+		return s.primaryRefetch(ctx, mp, keys, vals, found, peek, miss)
+	}
+
+	if faster.BlockingBound(bound) {
+		// The serial gate, one level up: blocking multi-node reads go one
+		// key at a time in caller order.
+		vs := s.m.dim * 4
+		for i, k := range keys {
+			f, err := s.getCtx(ctx, k, vals[i*vs:(i+1)*vs], peek)
+			if err != nil {
+				return err
+			}
+			found[i] = f
+		}
+		return nil
+	}
+
+	// Parallel fan-out: one goroutine per node group, each owning that
+	// node's session for the duration (the single-goroutine session
+	// contract holds per node).
+	misses := make([][]int, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			misses[gi], errs[gi] = s.readGroup(ctx, g.sess, g.replica, g.idxs, keys, vals, found, peek)
+		}(gi, g)
+	}
+	wg.Wait()
+	var noe *client.NotOwnerError
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.As(err, &noe) {
+			return err // redirects outrank other failures: retrying may fix them all
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	var miss []int
+	for gi := range groups {
+		miss = append(miss, misses[gi]...)
+	}
+	return s.primaryRefetch(ctx, mp, keys, vals, found, peek, miss)
+}
+
+// primaryRefetch re-reads replica misses from their owning primaries: a
+// miss on a lagging replica is not authoritative. Serial — the fan-out has
+// joined, so every session is free again.
+func (s *RSession) primaryRefetch(ctx context.Context, mp *Map, keys []uint64, vals []byte, found []bool, peek bool, miss []int) error {
+	if len(miss) == 0 {
+		return nil
+	}
+	vs := s.m.dim * 4
+	byPrimary := map[string][]int{}
+	prim := map[string]*Node{}
+	for _, i := range miss {
+		p := mp.Owner(keys[i])
+		if p == nil {
+			return errNoOwner
+		}
+		prim[p.ID] = p
+		byPrimary[p.ID] = append(byPrimary[p.ID], i)
+	}
+	for id, idxs := range byPrimary {
+		ss, err := s.node(ctx, prim[id])
+		if err != nil {
+			return err
+		}
+		gkeys := make([]uint64, len(idxs))
+		gvals := make([]byte, len(idxs)*vs)
+		gfound := make([]bool, len(idxs))
+		for j, i := range idxs {
+			gkeys[j] = keys[i]
+		}
+		if peek {
+			err = ss.PeekBatchCtx(ctx, gkeys, gvals, gfound)
+		} else {
+			err = ss.GetBatchCtx(ctx, gkeys, gvals, gfound)
+		}
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			found[i] = gfound[j]
+			if gfound[j] {
+				copy(vals[i*vs:(i+1)*vs], gvals[j*vs:(j+1)*vs])
+			}
+		}
+	}
+	return nil
+}
+
+// PutBatchCtx writes a batch through the cluster, grouped by owning
+// primary and fanned out in parallel — the shard fan-out pattern lifted to
+// the node level. Writes never see replicas.
+func (s *RSession) PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) error {
+	start := time.Now()
+	defer s.m.r.lat.Since(latency.OpPutBatch, start)
+	for attempt := 0; ; attempt++ {
+		err := s.putBatchOnce(ctx, keys, vals)
+		if err == nil || !s.m.r.redirected(err, attempt) {
+			return err
+		}
+	}
+}
+
+func (s *RSession) putBatchOnce(ctx context.Context, keys []uint64, vals []byte) error {
+	mp := s.m.r.Map()
+	vs := s.m.dim * 4
+	byPrimary := map[string][]int{}
+	prim := map[string]*Node{}
+	var order []string
+	for i, k := range keys {
+		p := mp.Owner(k)
+		if p == nil {
+			return errNoOwner
+		}
+		if _, ok := byPrimary[p.ID]; !ok {
+			prim[p.ID] = p
+			order = append(order, p.ID)
+		}
+		byPrimary[p.ID] = append(byPrimary[p.ID], i)
+	}
+	if len(order) == 1 {
+		ss, err := s.node(ctx, prim[order[0]])
+		if err != nil {
+			return err
+		}
+		return ss.PutBatchCtx(ctx, keys, vals)
+	}
+	// Sessions are created serially (the session map is single-goroutine);
+	// only the already-bound round trips run in parallel.
+	sessions := make([]*client.Session, len(order))
+	for gi, id := range order {
+		ss, err := s.node(ctx, prim[id])
+		if err != nil {
+			return err
+		}
+		sessions[gi] = ss
+	}
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, id := range order {
+		wg.Add(1)
+		go func(gi int, ss *client.Session, idxs []int) {
+			defer wg.Done()
+			gkeys := make([]uint64, len(idxs))
+			gvals := make([]byte, len(idxs)*vs)
+			for j, i := range idxs {
+				gkeys[j] = keys[i]
+				copy(gvals[j*vs:(j+1)*vs], vals[i*vs:(i+1)*vs])
+			}
+			errs[gi] = ss.PutBatchCtx(ctx, gkeys, gvals)
+		}(gi, sessions[gi], byPrimary[id])
+	}
+	wg.Wait()
+	var noe *client.NotOwnerError
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.As(err, &noe) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LookaheadCtx forwards the prefetch hint to each key's owning primary
+// (serially — lookahead is advisory, not latency-critical) and sums the
+// accepted counts.
+func (s *RSession) LookaheadCtx(ctx context.Context, keys []uint64) (int, error) {
+	mp := s.m.r.Map()
+	byPrimary := map[string][]uint64{}
+	prim := map[string]*Node{}
+	for _, k := range keys {
+		p := mp.Owner(k)
+		if p == nil {
+			return 0, errNoOwner
+		}
+		prim[p.ID] = p
+		byPrimary[p.ID] = append(byPrimary[p.ID], k)
+	}
+	total := 0
+	for id, gkeys := range byPrimary {
+		ss, err := s.node(ctx, prim[id])
+		if err != nil {
+			return total, err
+		}
+		n, err := ss.LookaheadCtx(ctx, gkeys)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close releases every per-node session.
+func (s *RSession) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ss := range s.sess {
+		ss.Close()
+	}
+	s.sess = map[string]*client.Session{}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"github.com/llm-db/mlkv-go/internal/latency"
+	"github.com/llm-db/mlkv-go/internal/wire"
+)
+
+// wireStats aliases the STATS payload struct so router signatures stay
+// readable.
+type wireStats = wire.ModelStats
+
+// addStats folds one node's counters into the merged view: scalars sum,
+// latency summaries fold (counts/sums add, max and percentiles take the
+// worst node — merged percentiles without raw histograms would be a
+// guess), and ReplicaLag keeps the laggiest replica.
+func addStats(dst *wireStats, s wireStats) {
+	dst.Gets += s.Gets
+	dst.Puts += s.Puts
+	dst.RMWs += s.RMWs
+	dst.Deletes += s.Deletes
+	dst.MemHits += s.MemHits
+	dst.DiskReads += s.DiskReads
+	dst.InPlaceUpdates += s.InPlaceUpdates
+	dst.RCUAppends += s.RCUAppends
+	dst.PrefetchCopies += s.PrefetchCopies
+	dst.AbandonedAppends += s.AbandonedAppends
+	dst.StalenessWaits += s.StalenessWaits
+	dst.FlushedPages += s.FlushedPages
+	dst.BytesFlushed += s.BytesFlushed
+	dst.GroupCommits += s.GroupCommits
+	dst.FlushPaceStalls += s.FlushPaceStalls
+	dst.BatchGets += s.BatchGets
+	dst.BatchPuts += s.BatchPuts
+	dst.LookaheadFrames += s.LookaheadFrames
+	dst.ActiveSessions += s.ActiveSessions
+	dst.CacheHits += s.CacheHits
+	dst.CacheMisses += s.CacheMisses
+	dst.CacheEvictions += s.CacheEvictions
+	foldLat(&dst.LatGet, &s.LatGet)
+	foldLat(&dst.LatGetBatch, &s.LatGetBatch)
+	foldLat(&dst.LatPut, &s.LatPut)
+	foldLat(&dst.LatPutBatch, &s.LatPutBatch)
+	foldLat(&dst.LatRMW, &s.LatRMW)
+	if s.ReplicaLag > dst.ReplicaLag {
+		dst.ReplicaLag = s.ReplicaLag
+	}
+}
+
+func foldLat(dst *latency.Snapshot, s *latency.Snapshot) {
+	dst.Count += s.Count
+	dst.Sum += s.Sum
+	for _, p := range []struct{ d, s *int64 }{
+		{&dst.Max, &s.Max}, {&dst.P50, &s.P50}, {&dst.P90, &s.P90},
+		{&dst.P99, &s.P99}, {&dst.P999, &s.P999},
+	} {
+		if *p.s > *p.d {
+			*p.d = *p.s
+		}
+	}
+}

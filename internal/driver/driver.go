@@ -14,7 +14,9 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"time"
 
@@ -22,9 +24,13 @@ import (
 	"github.com/llm-db/mlkv-go/internal/latency"
 )
 
-// Scheme prefixes a remote target: "mlkv://host:port". Anything else is
-// a local directory.
+// Scheme prefixes a remote target: "mlkv://host:port", or a comma-
+// separated seed list "mlkv://host1,host2,host3" for a cluster. Anything
+// else is a local directory.
 const Scheme = "mlkv://"
+
+// DefaultPort is assumed when a remote target's host omits its port.
+const DefaultPort = "7070"
 
 // IsRemote reports whether target names a remote mlkv-server.
 func IsRemote(target string) bool { return strings.HasPrefix(target, Scheme) }
@@ -49,6 +55,11 @@ type ConnectOptions struct {
 	// tail (per-op-class p99, floored) instead of a fixed constant;
 	// HedgeDelay then serves as the fallback until enough samples exist.
 	HedgeAdaptive bool
+	// ReadReplicas lets a cluster target route admissible reads to
+	// replicas: ASP reads may hit any replica, SSP reads a replica whose
+	// advertised lag passes the bound, BSP always the primary. Off, every
+	// operation goes to owning primaries. Ignored by non-cluster targets.
+	ReadReplicas bool
 }
 
 // Config carries one model's open parameters across the seam.
@@ -109,6 +120,11 @@ type Stats struct {
 	// Hot-tier counters (WithCache). For a remote model they merge the
 	// client-side tier with the server's shared per-model tier.
 	CacheHits, CacheMisses, CacheEvictions int64
+	// Cluster topology counters (cluster targets; zero elsewhere):
+	// node count and map epoch the router currently holds, NOT_OWNER
+	// redirects it followed, and keys served by replicas instead of
+	// primaries.
+	ClusterNodes, ClusterEpoch, ClusterRedirects, ReplicaReads int64
 	// Per-op-class latency summaries (nanoseconds). A local model reports
 	// the core table's op timings; a remote model reports the connection
 	// pool's round-trip timings — end to end, including queueing in the
@@ -159,18 +175,68 @@ type Session interface {
 	Close()
 }
 
-// Connect opens a target. "mlkv://host:port" dials a server; anything
+// ParseTarget splits a remote target into dialable host:port addresses:
+// "mlkv://host:port" yields one, "mlkv://a,b,c" one per seed. A host
+// without a port takes DefaultPort; IPv6 hosts must be bracketed
+// ("mlkv://[::1]:7070"). Empty targets and empty list entries are
+// descriptive errors, not dial failures.
+func ParseTarget(target string) ([]string, error) {
+	if !IsRemote(target) {
+		return nil, fmt.Errorf("driver: target %q is not remote (missing %q prefix)", target, Scheme)
+	}
+	raw := strings.TrimPrefix(target, Scheme)
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("driver: target %q names no server address", target)
+	}
+	parts := strings.Split(raw, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("driver: target %q has an empty host entry", target)
+		}
+		addr, err := withDefaultPort(p)
+		if err != nil {
+			return nil, fmt.Errorf("driver: target %q: %w", target, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, nil
+}
+
+// withDefaultPort normalizes one host entry to host:port.
+func withDefaultPort(hostport string) (string, error) {
+	_, _, err := net.SplitHostPort(hostport)
+	if err == nil {
+		return hostport, nil
+	}
+	var ae *net.AddrError
+	if !errors.As(err, &ae) || !strings.Contains(ae.Err, "missing port") {
+		return "", err // e.g. an unbracketed IPv6 literal: "too many colons"
+	}
+	host := hostport
+	if strings.HasPrefix(host, "[") && strings.HasSuffix(host, "]") {
+		host = host[1 : len(host)-1]
+	}
+	if host == "" {
+		return "", errors.New("empty host")
+	}
+	return net.JoinHostPort(host, DefaultPort), nil
+}
+
+// Connect opens a target. "mlkv://host[:port][,host...]" dials a server
+// (or bootstraps a cluster router from the first reachable seed); anything
 // else is a local directory (created on first Open).
 func Connect(target string, opts ConnectOptions) (DB, error) {
 	if target == "" {
 		return nil, fmt.Errorf("driver: empty target")
 	}
 	if IsRemote(target) {
-		addr := strings.TrimPrefix(target, Scheme)
-		if addr == "" {
-			return nil, fmt.Errorf("driver: target %q has no address", target)
+		addrs, err := ParseTarget(target)
+		if err != nil {
+			return nil, err
 		}
-		return connectRemote(target, addr, opts)
+		return connectRemote(target, addrs, opts)
 	}
 	return &localDB{dir: target, models: make(map[string]*localModel)}, nil
 }

@@ -2,12 +2,14 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/llm-db/mlkv-go/internal/client"
+	"github.com/llm-db/mlkv-go/internal/cluster"
 	"github.com/llm-db/mlkv-go/internal/core"
 	"github.com/llm-db/mlkv-go/internal/hotcache"
 	"github.com/llm-db/mlkv-go/internal/kv"
@@ -16,27 +18,151 @@ import (
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
-// remoteDB is a connection pool onto one mlkv-server; models open over
-// the wire with OPEN frames and all data moves through internal/tensor's
-// float32 codecs. This package is the only one that may import
-// internal/client — everything else reaches a server through the public
-// API (or DialKV below).
-type remoteDB struct {
-	target string
-	c      *client.Client
+// wireSession is one worker's byte-level handle on a remote target,
+// satisfied by both *client.Session (one server) and *cluster.RSession
+// (routed across a cluster). Not safe for concurrent use.
+type wireSession interface {
+	GetCtx(ctx context.Context, key uint64, dst []byte) (bool, error)
+	PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, error)
+	PutCtx(ctx context.Context, key uint64, val []byte) error
+	DeleteCtx(ctx context.Context, key uint64) error
+	GetBatchCtx(ctx context.Context, keys []uint64, vals []byte, found []bool) error
+	PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) error
+	LookaheadCtx(ctx context.Context, keys []uint64) (int, error)
+	Close()
 }
 
-func connectRemote(target, addr string, opts ConnectOptions) (DB, error) {
-	c, err := client.Dial(addr, client.Options{
+// wireModel is one named model behind either remote backend.
+type wireModel interface {
+	ID() string
+	Dim() int
+	Shards() int
+	Name() string
+	StalenessBound() int64
+	SetBoundHint(bound int64)
+	CheckpointCtx(ctx context.Context) error
+	ModelStats(ctx context.Context) (wire.ModelStats, error)
+	NewWireSession(ctx context.Context) (wireSession, error)
+}
+
+// wireBackend is what remoteDB sits on: one server's connection pool or a
+// cluster router fanning over many.
+type wireBackend interface {
+	OpenWireModel(ctx context.Context, spec client.OpenSpec) (wireModel, error)
+	Latency() *latency.OpSet
+	HedgeStats() client.HedgeStats
+	// ClusterInfo reports (nodes, epoch, redirects, replicaReads); all
+	// zero for a single-server backend.
+	ClusterInfo() (int64, int64, int64, int64)
+	Close() error
+}
+
+// singleBackend is the plain one-server pool.
+type singleBackend struct{ c *client.Client }
+
+// singleModel adapts *client.Model's concrete session type to the seam.
+type singleModel struct{ *client.Model }
+
+func (m singleModel) NewWireSession(ctx context.Context) (wireSession, error) {
+	return m.Model.NewSessionCtx(ctx)
+}
+
+func (b singleBackend) OpenWireModel(ctx context.Context, spec client.OpenSpec) (wireModel, error) {
+	m, err := b.c.OpenModel(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return singleModel{m}, nil
+}
+func (b singleBackend) Latency() *latency.OpSet                 { return b.c.Latency() }
+func (b singleBackend) HedgeStats() client.HedgeStats           { return b.c.HedgeStats() }
+func (b singleBackend) ClusterInfo() (int64, int64, int64, int64) { return 0, 0, 0, 0 }
+func (b singleBackend) Close() error                            { return b.c.Close() }
+
+// clusterBackend is the cluster router behind the same seam.
+type clusterBackend struct{ r *cluster.Router }
+
+// clusterModel adapts *cluster.RModel's concrete session type to the seam.
+type clusterModel struct{ *cluster.RModel }
+
+func (m clusterModel) NewWireSession(ctx context.Context) (wireSession, error) {
+	return m.RModel.NewSession(ctx)
+}
+
+func (b clusterBackend) OpenWireModel(ctx context.Context, spec client.OpenSpec) (wireModel, error) {
+	m, err := b.r.OpenModel(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return clusterModel{m}, nil
+}
+func (b clusterBackend) Latency() *latency.OpSet       { return b.r.Latency() }
+func (b clusterBackend) HedgeStats() client.HedgeStats { return b.r.HedgeStats() }
+func (b clusterBackend) ClusterInfo() (int64, int64, int64, int64) {
+	m := b.r.Map()
+	return int64(len(m.Nodes)), int64(m.Epoch), b.r.Redirects(), b.r.ReplicaReads()
+}
+func (b clusterBackend) Close() error { return b.r.Close() }
+
+// remoteDB is a backend onto one or many mlkv-servers; models open over
+// the wire with OPEN frames and all data moves through internal/tensor's
+// float32 codecs. This package is the only one that may import
+// internal/client and internal/cluster — everything else reaches a server
+// through the public API (or DialKV below).
+type remoteDB struct {
+	target string
+	c      wireBackend
+}
+
+// connectRemote bootstraps from the first reachable seed: every server is
+// probed with CLUSTERMAP. A map answer builds the cluster router (so a
+// client bootstrapped from any single seed discovers all nodes); a refusal
+// from a single-host target is the plain one-server backend; a refusal
+// from a multi-host target is a configuration error — a seed list promises
+// a cluster.
+func connectRemote(target string, addrs []string, opts ConnectOptions) (DB, error) {
+	copts := client.Options{
 		Conns:         opts.Conns,
 		DialTimeout:   opts.DialTimeout,
 		HedgeDelay:    opts.HedgeDelay,
 		HedgeAdaptive: opts.HedgeAdaptive,
-	})
-	if err != nil {
-		return nil, err
 	}
-	return &remoteDB{target: target, c: c}, nil
+	probeTimeout := opts.DialTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 5 * time.Second
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := client.Dial(addr, copts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+		raw, err := c.ClusterMapRaw(ctx)
+		cancel()
+		if err == nil {
+			m, derr := cluster.DecodeMap(raw)
+			if derr != nil {
+				c.Close()
+				return nil, fmt.Errorf("driver: node %s served a bad cluster map: %w", addr, derr)
+			}
+			ropts := cluster.RouterOptions{Client: copts, ReadReplicas: opts.ReadReplicas}
+			return &remoteDB{target: target, c: clusterBackend{r: cluster.NewRouter(m, addr, c, ropts)}}, nil
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			// The server answered: reachable, just not clustered.
+			if len(addrs) > 1 {
+				c.Close()
+				return nil, fmt.Errorf("driver: target %q names %d servers but %s is not clustered: %s", target, len(addrs), addr, se.Msg)
+			}
+			return &remoteDB{target: target, c: singleBackend{c: c}}, nil
+		}
+		c.Close()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("driver: no reachable server in %q: %w", target, lastErr)
 }
 
 func (db *remoteDB) Target() string { return db.target }
@@ -53,7 +179,7 @@ func (db *remoteDB) Open(ctx context.Context, id string, cfg Config) (Model, err
 			return nil, err
 		}
 	}
-	cm, err := db.c.OpenModel(ctx, client.OpenSpec{
+	cm, err := db.c.OpenWireModel(ctx, client.OpenSpec{
 		ID: id, Dim: cfg.Dim, Shards: cfg.Shards, Bound: bound,
 		Engine: engine,
 	})
@@ -86,7 +212,7 @@ func (db *remoteDB) Close() error { return db.c.Close() }
 // core.Table's prefetch-pool semantics.
 type remoteModel struct {
 	db   *remoteDB
-	m    *client.Model
+	m    wireModel
 	init core.Initializer
 
 	// cache is the client-side hot tier (Config.CacheEntries), shared by
@@ -125,7 +251,7 @@ func (m *remoteModel) StalenessBound() int64 { return m.bound.Load() }
 // bound mirror (which the hot tier's admissibility checks read) updates
 // only on success.
 func (m *remoteModel) SetStalenessBound(ctx context.Context, b int64) error {
-	_, err := m.db.c.OpenModel(ctx, client.OpenSpec{
+	_, err := m.db.c.OpenWireModel(ctx, client.OpenSpec{
 		ID: m.m.ID(), Dim: m.m.Dim(), Bound: b,
 	})
 	if err == nil {
@@ -157,7 +283,10 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 	// this Connect; RMW is the composite client-side Get+step+Put.
 	lat := m.db.c.Latency()
 	hs := m.db.c.HedgeStats()
+	nodes, epoch, redirects, replicaReads := m.db.c.ClusterInfo()
 	return Stats{
+		ClusterNodes: nodes, ClusterEpoch: epoch,
+		ClusterRedirects: redirects, ReplicaReads: replicaReads,
 		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
 		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
 		InPlaceUpdates: ms.InPlaceUpdates, RCUAppends: ms.RCUAppends,
@@ -190,7 +319,7 @@ func (m *remoteModel) ActiveSessions(ctx context.Context) (int64, error) {
 }
 
 func (m *remoteModel) NewSession(ctx context.Context) (Session, error) {
-	s, err := m.m.NewSessionCtx(ctx)
+	s, err := m.m.NewWireSession(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +350,17 @@ func (m *remoteModel) Close() error {
 // hint, not the pipeline.
 func (m *remoteModel) lookaheadWorker() {
 	defer close(m.lookDone)
-	s, err := m.m.NewSession()
+	s, err := m.m.NewWireSession(context.Background())
 	if err != nil {
 		return
 	}
 	defer s.Close()
-	ls := s.(kv.LookaheadSession)
 	for {
 		select {
 		case <-m.lookStop:
 			return
 		case keys := <-m.lookCh:
-			if _, err := ls.Lookahead(keys); err != nil {
+			if _, err := s.LookaheadCtx(context.Background(), keys); err != nil {
 				continue
 			}
 		}
@@ -267,7 +395,7 @@ func (m *remoteModel) enqueueLookahead(keys []uint64) {
 // seeded per key so every worker initializes an embedding identically.
 type remoteSession struct {
 	m   *remoteModel
-	s   *client.Session
+	s   wireSession
 	buf []byte // one value, scalar-path staging
 
 	// Batch-path scratch, grown on demand and reused across steps.

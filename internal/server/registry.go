@@ -329,6 +329,9 @@ type Model struct {
 	batchKeys       atomic.Int64
 	lookaheadFrames atomic.Int64
 	activeSessions  atomic.Int64
+	// replicaLag is the primary's stream head minus the last REPLWRITE
+	// sequence applied here — zero on primaries and non-clustered servers.
+	replicaLag atomic.Int64
 
 	// lat holds the always-on per-op-class latency histograms, recorded
 	// around the store calls in the conn handler (wait-free, shared by
@@ -388,6 +391,7 @@ func (m *Model) Stats() wire.ModelStats {
 		cs := cr.CacheStats()
 		s.CacheHits, s.CacheMisses, s.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
+	s.ReplicaLag = m.replicaLag.Load()
 	s.LatGet = m.lat[latency.OpGet].Snapshot()
 	s.LatGetBatch = m.lat[latency.OpGetBatch].Snapshot()
 	s.LatPut = m.lat[latency.OpPut].Snapshot()

@@ -25,6 +25,26 @@ import (
 	"github.com/llm-db/mlkv-go/internal/wire"
 )
 
+// ClusterState is the server's view of its cluster node state, satisfied
+// by *cluster.State. It is an interface here (payloads crossing it stay
+// encoded) so the server does not import internal/cluster — whose router
+// half imports internal/client, which this package's tests drive.
+type ClusterState interface {
+	// Encoded returns the current map's wire encoding, cached per epoch.
+	Encoded() []byte
+	// ReadOwned / WriteOwned gate data frames by the key's hash range.
+	ReadOwned(key uint64) bool
+	WriteOwned(key uint64) bool
+	// Replicate streams one committed write to this node's replicas.
+	Replicate(model string, dim int, kind byte, keys []uint64, vals []byte)
+	// HandleJoin merges a CLUSTERJOIN node record into the membership and
+	// returns the merged map, encoded.
+	HandleJoin(payload []byte) ([]byte, error)
+	// HandleSync adopts a gossiped CLUSTERSYNC map if newer and returns
+	// the node's current map, encoded.
+	HandleSync(payload []byte) ([]byte, error)
+}
+
 // connBufSize sizes the per-connection read/write buffers: large enough
 // that a typical batch frame needs one syscall, small enough that a
 // thousand idle connections stay cheap.
@@ -42,6 +62,12 @@ type Config struct {
 	Registry *Registry
 	// MaxFrame bounds incoming frame sizes (default wire.DefaultMaxFrame).
 	MaxFrame uint32
+	// Cluster, when set, makes this server one node of a cluster: data
+	// frames are ownership-checked against the node's hash ranges (a miss
+	// answers NOT_OWNER with the current map), CLUSTERMAP/CLUSTERJOIN/
+	// CLUSTERSYNC are served, committed writes stream to replicas, and
+	// REPLWRITE frames are accepted. Nil serves a plain single-node store.
+	Cluster ClusterState
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -381,6 +407,34 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		return wire.RespOK, wire.EncodeStatsResp(m.Stats()), false
+
+	case wire.OpClusterMap:
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		return wire.RespOK, s.cfg.Cluster.Encoded(), false
+
+	case wire.OpClusterJoin:
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		merged, err := s.cfg.Cluster.HandleJoin(p)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, merged, false
+
+	case wire.OpClusterSync:
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		// Adoption keeps the newer epoch either way; the response always
+		// carries this node's current map, so sync doubles as an exchange.
+		cur, err := s.cfg.Cluster.HandleSync(p)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, cur, false
 	}
 
 	// Everything below is a data op: handle-prefixed and session-bound.
@@ -399,6 +453,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		if !s.mayRead(key) {
+			return s.notOwner()
+		}
 		ctx, cancel := waitCtx(waitMs)
 		start := time.Now()
 		found, err := kv.SessionGetCtx(ctx, cm.sess, key, cm.scratch)
@@ -415,6 +472,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		if !s.mayRead(key) {
+			return s.notOwner()
+		}
 		start := time.Now()
 		found, err := kv.SessionPeek(cm.sess, key, cm.scratch)
 		cm.m.lat.Since(latency.OpGet, start)
@@ -429,18 +489,25 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		if !s.mayWrite(key) {
+			return s.notOwner()
+		}
 		start := time.Now()
 		err = cm.sess.Put(key, val)
 		cm.m.lat.Since(latency.OpPut, start)
 		if err != nil {
 			return fail(err)
 		}
+		s.replicate(cm, wire.ReplPut, []uint64{key}, val)
 		return wire.RespOK, nil, false
 
 	case wire.OpDelete:
 		key, err := wire.DecodeKey(rest)
 		if err != nil {
 			return fail(err)
+		}
+		if !s.mayWrite(key) {
+			return s.notOwner()
 		}
 		// Deletes are write-class traffic: they share the Put histogram.
 		start := time.Now()
@@ -449,6 +516,7 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		s.replicate(cm, wire.ReplDelete, []uint64{key}, nil)
 		return wire.RespOK, nil, false
 
 	case wire.OpGetBatch:
@@ -457,6 +525,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		cm.keys = keys
+		if !s.mayReadAll(keys) {
+			return s.notOwner()
+		}
 		n := len(keys)
 		s.batchKeys.Add(int64(n))
 		cm.m.batchGets.Add(1)
@@ -496,6 +567,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		cm.keys = keys
+		if !s.mayReadAll(keys) {
+			return s.notOwner()
+		}
 		n := len(keys)
 		s.batchKeys.Add(int64(n))
 		cm.m.batchGets.Add(1)
@@ -527,6 +601,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		cm.keys = keys
+		if !s.mayWriteAll(keys) {
+			return s.notOwner()
+		}
 		s.batchKeys.Add(int64(len(keys)))
 		cm.m.batchPuts.Add(1)
 		cm.m.batchKeys.Add(int64(len(keys)))
@@ -536,6 +613,7 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
+		s.replicate(cm, wire.ReplPut, keys, vals)
 		return wire.RespOK, nil, false
 
 	case wire.OpLookahead:
@@ -544,6 +622,9 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		cm.keys = keys
+		if !s.mayReadAll(keys) {
+			return s.notOwner()
+		}
 		cm.m.lookaheadFrames.Add(1)
 		var copied uint32
 		for _, k := range keys {
@@ -556,8 +637,92 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			}
 		}
 		return wire.RespOK, wire.EncodeUint32(copied), false
+
+	case wire.OpReplWrite:
+		// The replication stream from this range's primary. Bypasses the
+		// ownership check — a replica rejects client writes but must accept
+		// these — and never re-replicates (replicas have no replicas).
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		seq, head, kind, keys, vals, err := wire.DecodeReplWrite(rest, cm.vs, cm.keys[:0])
+		if err != nil {
+			return fail(err)
+		}
+		cm.keys = keys
+		start := time.Now()
+		if kind == wire.ReplPut {
+			err = kv.SessionPutBatch(cm.sess, cm.vs, keys, vals)
+			cm.m.lat.Since(latency.OpPutBatch, start)
+		} else {
+			for _, k := range keys {
+				if err = cm.sess.Delete(k); err != nil {
+					break
+				}
+			}
+			cm.m.lat.Since(latency.OpPut, start)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		// head − seq is how far the primary's stream has advanced past
+		// this frame: the lag a router checks for SSP admissibility.
+		cm.m.replicaLag.Store(int64(head - seq))
+		return wire.RespOK, nil, false
 	}
 	return fail(fmt.Errorf("server: unknown opcode %d", uint8(op)))
+}
+
+// notOwner answers a mis-routed data frame: the client's map is stale (or
+// it guessed a seed), so the response carries this node's current map for
+// the router to adopt before retrying.
+func (s *Server) notOwner() (wire.Op, []byte, bool) {
+	return wire.RespNotOwner, s.cfg.Cluster.Encoded(), false
+}
+
+// mayRead reports whether this node serves reads for key: primaries for
+// their ranges, replicas for their primary's. A non-clustered server owns
+// everything.
+func (s *Server) mayRead(key uint64) bool {
+	return s.cfg.Cluster == nil || s.cfg.Cluster.ReadOwned(key)
+}
+
+func (s *Server) mayReadAll(keys []uint64) bool {
+	if s.cfg.Cluster == nil {
+		return true
+	}
+	for _, k := range keys {
+		if !s.cfg.Cluster.ReadOwned(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// mayWrite reports whether this node accepts client writes for key: only
+// the owning primary (replicas take writes solely over REPLWRITE).
+func (s *Server) mayWrite(key uint64) bool {
+	return s.cfg.Cluster == nil || s.cfg.Cluster.WriteOwned(key)
+}
+
+func (s *Server) mayWriteAll(keys []uint64) bool {
+	if s.cfg.Cluster == nil {
+		return true
+	}
+	for _, k := range keys {
+		if !s.cfg.Cluster.WriteOwned(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// replicate streams a committed client write to this node's replicas
+// (async — the event is copied and queued, never on this request's path).
+func (s *Server) replicate(cm *connModel, kind byte, keys []uint64, vals []byte) {
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Replicate(cm.m.id, cm.m.dim, kind, keys, vals)
+	}
 }
 
 // waitCtx turns a frame's wait budget into a context: a clocked read

@@ -75,6 +75,30 @@ const (
 	// Request payload is AppendKeys (handle|n|keys — no wait budget, peeks
 	// cannot block); the response reuses the GETBATCH layout.
 	OpPeekBatch
+	// OpClusterMap fetches the server's cluster topology: an epoch-numbered
+	// map of node id → address → hash ranges → role (internal/cluster's
+	// codec). Empty request payload. A server not running in cluster mode
+	// answers RespErr and keeps the connection usable, which is also what
+	// pre-cluster servers do for the unknown opcode — so a client may probe
+	// any server with it to discover whether it fronts a cluster.
+	OpClusterMap
+	// OpClusterJoin announces a new node to a cluster member: the request
+	// carries the joining node encoded as a single-node cluster map (epoch
+	// ignored), the response carries the merged map at its new epoch. The
+	// joiner then pushes that map to the remaining members with CLUSTERSYNC.
+	OpClusterJoin
+	// OpClusterSync gossips a cluster map between nodes: the request carries
+	// an encoded map, the receiver adopts it if its epoch is newer than the
+	// receiver's own, and the response carries the receiver's current map
+	// (so a pusher with a stale map learns the newer one).
+	OpClusterSync
+	// OpReplWrite is the primary→replica replication frame: a batch of
+	// upserts or deletes applied verbatim on the replica, stamped with the
+	// stream's sequence number and the primary's head so the replica can
+	// advertise its lag (head − seq) in the STATS ReplicaLag field. It
+	// bypasses cluster ownership checks — it is how a replica legitimately
+	// receives writes for ranges it does not own.
+	OpReplWrite
 )
 
 // Response opcodes.
@@ -83,6 +107,11 @@ const (
 	RespOK Op = 0x80
 	// RespErr carries a UTF-8 error message; the connection stays usable.
 	RespErr Op = 0x81
+	// RespNotOwner rejects a data op whose key range belongs to another
+	// cluster node. The payload is the server's current encoded cluster map,
+	// so the client refreshes its topology and re-routes in one round trip
+	// instead of probing for the owner. The connection stays usable.
+	RespNotOwner Op = 0x82
 )
 
 // String names the opcode for diagnostics.
@@ -116,10 +145,20 @@ func (o Op) String() string {
 		return "DETACH"
 	case OpPeekBatch:
 		return "PEEKBATCH"
+	case OpClusterMap:
+		return "CLUSTERMAP"
+	case OpClusterJoin:
+		return "CLUSTERJOIN"
+	case OpClusterSync:
+		return "CLUSTERSYNC"
+	case OpReplWrite:
+		return "REPLWRITE"
 	case RespOK:
 		return "OK"
 	case RespErr:
 		return "ERR"
+	case RespNotOwner:
+		return "NOTOWNER"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }

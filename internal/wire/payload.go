@@ -478,6 +478,12 @@ type ModelStats struct {
 	LatPut      latency.Snapshot
 	LatPutBatch latency.Snapshot
 	LatRMW      latency.Snapshot
+	// ReplicaLag is how far this model's replication stream trails its
+	// primary, in write events (primary head − last applied sequence). Zero
+	// on primaries and non-clustered servers. The cluster router reads it to
+	// decide whether an SSP read may be served from this replica:
+	// hotcache.Admissible(bound, ReplicaLag).
+	ReplicaLag int64
 }
 
 // latFields appends one latency summary's fields in wire order.
@@ -504,7 +510,7 @@ func statsFields(s *ModelStats) []*int64 {
 	} {
 		fields = latFields(fields, l)
 	}
-	return append(fields, &s.GroupCommits, &s.FlushPaceStalls)
+	return append(fields, &s.GroupCommits, &s.FlushPaceStalls, &s.ReplicaLag)
 }
 
 // EncodeStatsResp builds a STATS response: uint32 field count | count
@@ -540,4 +546,62 @@ func DecodeStatsResp(p []byte) (ModelStats, error) {
 		*f = int64(binary.LittleEndian.Uint64(p[4+8*i:]))
 	}
 	return s, nil
+}
+
+// Replication write kinds carried in a REPLWRITE frame.
+const (
+	// ReplPut upserts every key with its value.
+	ReplPut byte = 0
+	// ReplDelete removes every key (the frame carries no values).
+	ReplDelete byte = 1
+)
+
+// AppendReplWrite appends a REPLWRITE request payload: uint32 handle |
+// uint64 seq | uint64 head | uint8 kind | uint32 n | n×uint64 keys |
+// [n×valueSize values, ReplPut only]. seq numbers this event in the
+// primary's per-model replication stream; head is the newest sequence the
+// primary had assigned when the frame was sent, so the replica advertises
+// head−seq as its lag.
+func AppendReplWrite(dst []byte, handle uint32, seq, head uint64, kind byte, keys []uint64, vals []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, handle)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, head)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return append(dst, vals...)
+}
+
+// DecodeReplWrite parses a REPLWRITE request (after DecodeHandle),
+// appending keys into buf like DecodeKeys; vals aliases p and is empty for
+// ReplDelete.
+func DecodeReplWrite(p []byte, valueSize int, buf []uint64) (seq, head uint64, kind byte, keys []uint64, vals []byte, err error) {
+	if len(p) < 21 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: REPLWRITE wants >= 21 bytes, got %d", ErrShortPayload, len(p))
+	}
+	seq = binary.LittleEndian.Uint64(p)
+	head = binary.LittleEndian.Uint64(p[8:])
+	kind = p[16]
+	if kind != ReplPut && kind != ReplDelete {
+		return 0, 0, 0, nil, nil, fmt.Errorf("wire: unknown REPLWRITE kind %d", kind)
+	}
+	n := int(binary.LittleEndian.Uint32(p[17:]))
+	if n > MaxBatchKeys {
+		return 0, 0, 0, nil, nil, fmt.Errorf("wire: batch of %d keys exceeds limit %d", n, MaxBatchKeys)
+	}
+	vs := 0
+	if kind == ReplPut {
+		vs = valueSize
+	}
+	want := 21 + n*(8+vs)
+	if len(p) != want {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: %d-key REPLWRITE wants %d bytes, got %d", ErrShortPayload, n, want, len(p))
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, binary.LittleEndian.Uint64(p[21+8*i:]))
+	}
+	return seq, head, kind, buf, p[21+8*n:], nil
 }

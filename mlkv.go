@@ -79,6 +79,7 @@ type connectConfig struct {
 	dialTimeout   time.Duration
 	hedgeDelay    time.Duration
 	hedgeAdaptive bool
+	readReplicas  bool
 }
 
 // WithConns sizes the connection pool of a remote target (default 2).
@@ -123,6 +124,18 @@ func WithAdaptiveHedge() ConnectOption {
 	return func(c *connectConfig) { c.hedgeAdaptive = true }
 }
 
+// WithReadReplicas lets a cluster target ("mlkv://a,b,c") serve reads
+// from replicas, staleness-bound-aware: ASP reads may hit any replica of
+// the key's range, BSP reads always go to the owning primary, and an SSP
+// read uses a replica only while its advertised replication lag passes
+// the model's bound — the same admissibility rule the hot cache applies,
+// one network hop earlier. Writes always go to primaries. Keys served by
+// replicas are counted in Stats.ReplicaReads. Non-cluster targets ignore
+// the option.
+func WithReadReplicas() ConnectOption {
+	return func(c *connectConfig) { c.readReplicas = true }
+}
+
 // DB is one storage target serving named models: a local data directory
 // or a remote mlkv-server.
 type DB struct {
@@ -143,6 +156,7 @@ func Connect(target string, opts ...ConnectOption) (*DB, error) {
 		DialTimeout:   cfg.dialTimeout,
 		HedgeDelay:    cfg.hedgeDelay,
 		HedgeAdaptive: cfg.hedgeAdaptive,
+		ReadReplicas:  cfg.readReplicas,
 	})
 	if err != nil {
 		return nil, err
@@ -432,6 +446,14 @@ type Stats struct {
 	HedgeWins       int64
 	HedgeWasted     int64
 	HedgeSuppressed int64
+	// Cluster activity (targets of the form "mlkv://a,b,c"; zero
+	// elsewhere): nodes and map epoch the client's router currently holds,
+	// NOT_OWNER redirects it followed (each adopting the server's newer
+	// map), and keys served by read replicas (WithReadReplicas).
+	ClusterNodes     int64
+	ClusterEpoch     int64
+	ClusterRedirects int64
+	ReplicaReads     int64
 	// Per-op-class latency, always on. A local model times the table's
 	// store operations; a remote model times this process's network round
 	// trips (per connection pool, so every model opened from the same
@@ -500,6 +522,8 @@ func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
 		GroupCommits: s.GroupCommits, FlushPaceStalls: s.FlushPaceStalls,
 		HedgedReads:  s.HedgedReads, HedgeWins: s.HedgeWins,
 		HedgeWasted: s.HedgeWasted, HedgeSuppressed: s.HedgeSuppressed,
+		ClusterNodes: s.ClusterNodes, ClusterEpoch: s.ClusterEpoch,
+		ClusterRedirects: s.ClusterRedirects, ReplicaReads: s.ReplicaReads,
 		LatGet: summaryOf(s.LatGet), LatGetBatch: summaryOf(s.LatGetBatch),
 		LatPut: summaryOf(s.LatPut), LatPutBatch: summaryOf(s.LatPutBatch),
 		LatRMW: summaryOf(s.LatRMW),
