@@ -790,6 +790,162 @@ func TestClusterReplicaRouting(t *testing.T) {
 	}
 }
 
+// TestClusterReplicaDeathFallback pins read availability: a replica dying
+// mid-session turns its reads into primary reads, not errors. The cluster
+// is two primaries plus a replica of n0; after the replica is shut down,
+// single gets and batch gets over both primaries' key ranges — the paths
+// that previously routed to the replica — must still return every value.
+func TestClusterReplicaDeathFallback(t *testing.T) {
+	ids := []string{"n0", "n1", "n2"}
+	lns := make([]net.Listener, len(ids))
+	specs := make([]cluster.Node, len(ids))
+	addrs := make([]string, len(ids))
+	for i := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+		specs[i] = cluster.Node{ID: ids[i], Addr: addrs[i], Role: cluster.RolePrimary}
+	}
+	specs[2].Role = cluster.RoleReplica
+	specs[2].PrimaryID = ids[0]
+	mp, err := cluster.BuildMap(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := map[string]*server.Registry{}
+	stops := map[string]func(){}
+	for i := range ids {
+		dir := t.TempDir()
+		reg := server.NewRegistry(server.RegistryConfig{
+			DefaultShards: 2,
+			DefaultBound:  mlkv.ASP,
+			Name:          ids[i],
+			Opener: func(id string, dim, shards int, b int64, engine string) (kv.Store, error) {
+				return kv.OpenEngine(engine, kv.ShardedConfig{
+					Dir: filepath.Join(dir, id), Shards: shards, ValueSize: dim * 4,
+					RecordsPerPage: 64, MemoryBytes: 1 << 20, ExpectedKeys: 1 << 12,
+					StalenessBound: b,
+				}, ids[i])
+			},
+		})
+		st, err := cluster.NewState(ids[i], mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.EnableReplication()
+		srv := server.New(server.Config{Registry: reg, Cluster: st})
+		serveErr := make(chan error, 1)
+		go func(ln net.Listener) { serveErr <- srv.Serve(ln) }(lns[i])
+		stopped := false
+		stop := func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+			st.Close()
+			reg.Close()
+		}
+		stops[ids[i]] = stop
+		t.Cleanup(stop)
+		regs[ids[i]] = reg
+	}
+
+	db, err := mlkv.Connect(mlkv.Scheme+strings.Join(addrs[:2], ","), mlkv.WithConns(2), mlkv.WithReadReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := db.Open("repl-death", 4, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Keys spanning both primaries, values tagged by key.
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i)
+		emb := []float32{float32(i), 1, 2, 3}
+		if err := s.Put(keys[i], emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm the replica route so the session holds live replica state
+	// (ASP admits the replica unconditionally), then prove the replica
+	// actually served something — otherwise the fallback below is vacuous.
+	emb := make([]float32, 4)
+	for _, k := range keys {
+		if err := s.Get(k, emb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := clusterModelStats(t, regs["n2"], "repl-death"); st.LatGet.Count == 0 {
+		t.Fatal("ASP reads never reached the replica; the fallback path is not being exercised")
+	}
+
+	stops["n2"]() // the replica dies mid-session
+
+	// Single reads: every key must still resolve, n0's via fallback.
+	for i, k := range keys {
+		if err := s.Get(k, emb); err != nil {
+			t.Fatalf("get key %d after replica death: %v", k, err)
+		}
+		if emb[0] != float32(i) {
+			t.Fatalf("key %d after replica death: got %v", k, emb[0])
+		}
+	}
+
+	// Batch read across both primaries: the dead replica's group must be
+	// re-served by its primary inside the same call.
+	batch := make([]float32, len(keys)*4)
+	if err := s.GetBatch(keys, batch); err != nil {
+		t.Fatalf("batch after replica death: %v", err)
+	}
+	for i := range keys {
+		if v := batch[i*4]; v != float32(i) {
+			t.Fatalf("key %d after replica death: got %v", keys[i], v)
+		}
+	}
+
+	// Opening a model after the replica died must also succeed: replicas
+	// are a read optimization, not an availability dependency.
+	late, err := db.Open("repl-death-late", 4, mlkv.WithStalenessBound(mlkv.ASP))
+	if err != nil {
+		t.Fatalf("open after replica death: %v", err)
+	}
+	defer late.Close()
+	sl, err := late.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	if err := sl.Put(1, []float32{9, 9, 9, 9}); err != nil {
+		t.Fatalf("put on late-opened model: %v", err)
+	}
+	if err := sl.Get(1, emb); err != nil {
+		t.Fatalf("get on late-opened model: %v", err)
+	}
+	if emb[0] != 9 {
+		t.Fatalf("late-opened model read back %v, want 9", emb[0])
+	}
+}
+
 // TestClusterAnySeedBootstrap pins discovery: a client pointed at any
 // single member — not the full seed list — learns the whole topology from
 // that member's CLUSTERMAP and routes writes to every node.

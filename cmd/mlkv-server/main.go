@@ -173,6 +173,14 @@ func main() {
 		adv := *advertise
 		if adv == "" {
 			adv = ln.Addr().String()
+			// A wildcard bind ("-addr :7070" → "[::]:7070") is not dialable
+			// from other machines, and the advertised address is gossiped in
+			// the cluster map — a silent misroute waiting to happen.
+			if host, _, err := net.SplitHostPort(adv); err == nil {
+				if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+					log.Fatalf("mlkv-server: bound address %s has no routable host to gossip; set -advertise host:port", adv)
+				}
+			}
 		}
 		self := cluster.Node{ID: *clusterID, Addr: adv, Role: cluster.RolePrimary, PrimaryID: *replicaOf}
 		if *replicaOf != "" {

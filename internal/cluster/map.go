@@ -107,7 +107,9 @@ type Map struct {
 }
 
 // Validate checks structural invariants: caps, sorted unique ids, at least
-// one primary, and replicas naming existing primaries.
+// one primary, replicas naming existing primaries, and — because Owner
+// must be total — that the primaries' ranges exactly partition the full
+// ring, with no gaps and no overlaps.
 func (m *Map) Validate() error {
 	if len(m.Nodes) == 0 {
 		return fmt.Errorf("cluster: map has no nodes")
@@ -149,6 +151,38 @@ func (m *Map) Validate() error {
 		if n.Role == RoleReplica && !primaries[n.PrimaryID] {
 			return fmt.Errorf("cluster: replica %q names unknown primary %q", n.ID, n.PrimaryID)
 		}
+	}
+	// Owner is total only if the primaries' ranges partition the whole
+	// ring: a structurally-plausible map from a peer with a gap would make
+	// the gapped keys permanently unroutable, an overlap would make
+	// ownership ambiguous.
+	var ranges []Range
+	for _, n := range m.Nodes {
+		if n.Role != RolePrimary {
+			continue
+		}
+		for _, r := range n.Ranges {
+			if r.Start > r.End {
+				return fmt.Errorf("cluster: node %q has inverted range [%#x, %#x]", n.ID, r.Start, r.End)
+			}
+			ranges = append(ranges, r)
+		}
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+	if len(ranges) == 0 || ranges[0].Start != 0 {
+		return fmt.Errorf("cluster: primary ranges do not cover the ring start")
+	}
+	for i := 1; i < len(ranges); i++ {
+		prev, cur := ranges[i-1], ranges[i]
+		if cur.Start <= prev.End {
+			return fmt.Errorf("cluster: primary ranges overlap at slot %#x", cur.Start)
+		}
+		if cur.Start != prev.End+1 {
+			return fmt.Errorf("cluster: ring gap between slots %#x and %#x", prev.End, cur.Start)
+		}
+	}
+	if end := ranges[len(ranges)-1].End; end != math.MaxUint64 {
+		return fmt.Errorf("cluster: ring gap after slot %#x", end)
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// twoPrimaries builds a valid two-primary map by hand: n0 owns the lower
+// half of the ring, n1 the upper.
+func twoPrimaries() *Map {
+	return &Map{Epoch: 1, Nodes: []Node{
+		{ID: "n0", Addr: "a:1", Role: RolePrimary, Ranges: []Range{{Start: 0, End: math.MaxUint64 / 2}}},
+		{ID: "n1", Addr: "b:1", Role: RolePrimary, Ranges: []Range{{Start: math.MaxUint64/2 + 1, End: math.MaxUint64}}},
+	}}
+}
+
+// TestValidateRingCoverage pins the partition check: Validate must reject
+// any map whose primary ranges do not exactly cover [0, 2^64) — a gappy
+// map makes keys permanently unroutable, an overlapping one makes
+// ownership ambiguous — while accepting exact partitions regardless of
+// which primary holds which piece.
+func TestValidateRingCoverage(t *testing.T) {
+	if err := twoPrimaries().Validate(); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(m *Map)
+		want   string
+	}{
+		{"gap in the middle", func(m *Map) {
+			m.Nodes[1].Ranges[0].Start += 2
+		}, "gap"},
+		{"gap at ring start", func(m *Map) {
+			m.Nodes[0].Ranges[0].Start = 1
+		}, "ring start"},
+		{"gap at ring end", func(m *Map) {
+			m.Nodes[1].Ranges[0].End--
+		}, "gap"},
+		{"overlap", func(m *Map) {
+			m.Nodes[1].Ranges[0].Start--
+		}, "overlap"},
+		{"inverted range", func(m *Map) {
+			r := &m.Nodes[0].Ranges[0]
+			r.Start, r.End = r.End, r.Start
+		}, "inverted"},
+		{"primary without ranges", func(m *Map) {
+			m.Nodes[0].Ranges = nil
+			m.Nodes[1].Ranges = nil
+		}, "ring start"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := twoPrimaries()
+			tc.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a map that does not partition the ring")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildMapPartitions pins that BuildMap's deterministic range
+// assignment always passes the (stricter) partition validation, for any
+// primary count and with replicas mixed in.
+func TestBuildMapPartitions(t *testing.T) {
+	for _, primaries := range []int{1, 2, 3, 5, 7} {
+		nodes := make([]Node, 0, primaries+1)
+		for i := 0; i < primaries; i++ {
+			nodes = append(nodes, Node{ID: string(rune('a' + i)), Addr: "x:1", Role: RolePrimary})
+		}
+		nodes = append(nodes, Node{ID: "z-rep", Addr: "y:1", Role: RoleReplica, PrimaryID: "a"})
+		m, err := BuildMap(nodes)
+		if err != nil {
+			t.Fatalf("%d primaries: %v", primaries, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%d primaries: built map fails validation: %v", primaries, err)
+		}
+		// Spot-check totality directly: a spread of slots all resolve.
+		for slot := uint64(0); ; slot += math.MaxUint64 / 17 {
+			if m.OwnerOfSlot(slot) == nil {
+				t.Fatalf("%d primaries: slot %#x has no owner", primaries, slot)
+			}
+			if slot > math.MaxUint64-math.MaxUint64/17 {
+				break
+			}
+		}
+		if m.OwnerOfSlot(math.MaxUint64) == nil {
+			t.Fatalf("%d primaries: last slot has no owner", primaries)
+		}
+	}
+}

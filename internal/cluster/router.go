@@ -161,12 +161,19 @@ func (r *Router) redirected(err error, attempt int) bool {
 
 // OpenModel opens the model on every node in the current map (so a bound
 // change propagates cluster-wide) and returns the routed model. Calling it
-// again with the same ID re-opens with the new spec on every node.
+// again with the same ID re-opens with the new spec on every node. An
+// unreachable replica does not fail the open — replicas are a read
+// optimization, so the model opens there lazily when a read first routes
+// to it, and readTarget falls back to the primary until then. Primaries
+// stay strict: every range owner must accept the spec.
 func (r *Router) OpenModel(ctx context.Context, spec client.OpenSpec) (*RModel, error) {
 	m := &RModel{r: r, spec: spec, models: map[string]*client.Model{}, lags: map[string]*lagEntry{}}
 	mp := r.Map()
 	for i := range mp.Nodes {
 		if _, err := m.model(ctx, &mp.Nodes[i]); err != nil {
+			if mp.Nodes[i].Role == RoleReplica {
+				continue
+			}
 			return nil, err
 		}
 	}
@@ -274,20 +281,25 @@ func (m *RModel) CheckpointCtx(ctx context.Context) error {
 // ModelStats merges every node's counters: scalars sum, latency summaries
 // fold (counts and sums add, percentiles take the worst node — a merged
 // percentile without the raw histograms would be a guess), and ReplicaLag
-// reports the laggiest replica.
+// reports the laggiest replica. An unreachable replica is skipped — its
+// counters are unavailable, not zero, and a dead read optimization must
+// not take down the stats of a serving cluster. Primaries stay strict.
 func (m *RModel) ModelStats(ctx context.Context) (wireStats, error) {
 	mp := m.r.Map()
 	var out wireStats
 	for i := range mp.Nodes {
 		cm, err := m.model(ctx, &mp.Nodes[i])
-		if err != nil {
-			return out, err
+		if err == nil {
+			var s wireStats
+			if s, err = cm.ModelStats(ctx); err == nil {
+				addStats(&out, s)
+				continue
+			}
 		}
-		s, err := cm.ModelStats(ctx)
-		if err != nil {
-			return out, err
+		if mp.Nodes[i].Role == RoleReplica {
+			continue
 		}
-		addStats(&out, s)
+		return out, err
 	}
 	return out, nil
 }

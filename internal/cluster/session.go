@@ -45,7 +45,9 @@ func (s *RSession) node(ctx context.Context, n *Node) (*client.Session, error) {
 
 // readTarget picks where a read of p's range goes under bound: an
 // admissible replica (round-robin when several) with its session, else the
-// primary. Replica failures fall back to the primary rather than erroring.
+// primary. Replica session-attach failures fall back to the primary here;
+// a replica failing mid-read falls back in the callers (getCtx and the
+// batch paths re-read from the owning primary instead of erroring).
 func (s *RSession) readTarget(ctx context.Context, mp *Map, p *Node, bound int64) (*Node, *client.Session, error) {
 	if s.m.r.opts.ReadReplicas {
 		reps := mp.ReplicasOf(p.ID)
@@ -99,13 +101,17 @@ func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool
 				if s.m.r.redirected(err, attempt) {
 					continue
 				}
-				return false, err
-			}
-			if found {
+				var noe *client.NotOwnerError
+				if errors.As(err, &noe) {
+					return false, err // redirect budget spent: the map is flapping
+				}
+				// The replica died mid-read; the primary can still serve it.
+			} else if found {
 				s.m.r.replicaReads.Add(1)
 				return true, nil
 			}
-			// Replica miss: maybe lag, maybe truly absent — ask the owner.
+			// Replica miss or failure: maybe lag, maybe a dead node — the
+			// owning primary is authoritative either way.
 			if ss, err = s.node(ctx, p); err != nil {
 				return false, err
 			}
@@ -278,7 +284,13 @@ func (s *RSession) batchReadOnce(ctx context.Context, keys []uint64, vals []byte
 		g := groups[0]
 		miss, err := s.readGroup(ctx, g.sess, g.replica, g.idxs, keys, vals, found, peek)
 		if err != nil {
-			return err
+			var noe *client.NotOwnerError
+			if !g.replica || errors.As(err, &noe) {
+				return err
+			}
+			// The replica died mid-read: the owning primary re-serves the
+			// whole group instead of surfacing the error.
+			miss = g.idxs
 		}
 		return s.primaryRefetch(ctx, mp, keys, vals, found, peek, miss)
 	}
@@ -313,12 +325,18 @@ func (s *RSession) batchReadOnce(ctx context.Context, keys []uint64, vals []byte
 	wg.Wait()
 	var noe *client.NotOwnerError
 	var first error
-	for _, err := range errs {
+	for gi, err := range errs {
 		if err == nil {
 			continue
 		}
 		if errors.As(err, &noe) {
 			return err // redirects outrank other failures: retrying may fix them all
+		}
+		if groups[gi].replica {
+			// A replica died mid-read: its owning primary re-serves the
+			// whole group below instead of failing the batch.
+			misses[gi] = groups[gi].idxs
+			continue
 		}
 		if first == nil {
 			first = err

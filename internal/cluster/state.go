@@ -184,9 +184,11 @@ func (st *State) Replicate(model string, dim int, kind byte, keys []uint64, vals
 	}
 }
 
-// ReplicationDropped counts write events dropped because a replica stream
-// fell too far behind (its advertised lag stays truthful: the stream head
-// keeps counting).
+// ReplicationDropped counts write records lost to a replica for good:
+// evicted from the replay ring before a sender could deliver them, or
+// refused by the replica. The replica sees the sequence gap and pins its
+// advertised lag at the last contiguously applied sequence, so it stays
+// out of SSP rotation rather than serving values staler than the bound.
 func (st *State) ReplicationDropped() int64 {
 	if r := st.repl.Load(); r != nil {
 		return r.dropped.Load()

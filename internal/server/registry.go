@@ -329,9 +329,14 @@ type Model struct {
 	batchKeys       atomic.Int64
 	lookaheadFrames atomic.Int64
 	activeSessions  atomic.Int64
-	// replicaLag is the primary's stream head minus the last REPLWRITE
-	// sequence applied here — zero on primaries and non-clustered servers.
-	replicaLag atomic.Int64
+	// replicaLag is the primary's stream head minus the highest REPLWRITE
+	// sequence applied here contiguously — zero on primaries and
+	// non-clustered servers. replMu orders the bookkeeping: frames normally
+	// arrive from a single stream goroutine, but a stream teardown can
+	// briefly overlap its replacement.
+	replicaLag  atomic.Int64
+	replMu      sync.Mutex
+	replApplied uint64
 
 	// lat holds the always-on per-op-class latency histograms, recorded
 	// around the store calls in the conn handler (wait-free, shared by
@@ -403,3 +408,30 @@ func (m *Model) Stats() wire.ModelStats {
 // Latency exposes the model's per-op-class histograms (the mlkv_latency
 // expvar reads through this).
 func (m *Model) Latency() *latency.OpSet { return &m.lat }
+
+// applyReplSeq folds one applied REPLWRITE frame into the replica's lag
+// bookkeeping. The advertised lag is head minus the highest CONTIGUOUSLY
+// applied sequence: an in-order frame advances the cursor, a replayed
+// frame (seq at or below it, an idempotent re-send after a stream
+// reconnect) leaves it alone, and a frame past a gap advances nothing — a
+// replica that missed writes keeps advertising the full distance back to
+// the loss, staying SSP-inadmissible, until the primary replays the gap.
+// A head below the cursor means the primary's stream restarted its
+// numbering; the cursor resets to follow the new generation.
+func (m *Model) applyReplSeq(seq, head uint64) {
+	m.replMu.Lock()
+	switch {
+	case head < m.replApplied: // new stream generation (primary restart)
+		m.replApplied = seq
+	case seq == m.replApplied+1: // in order: advance
+		m.replApplied = seq
+	case seq <= m.replApplied: // replay: already counted
+	default: // gap: hold at the last contiguous sequence
+	}
+	var lag int64
+	if head > m.replApplied {
+		lag = int64(head - m.replApplied)
+	}
+	m.replicaLag.Store(lag)
+	m.replMu.Unlock()
+}

@@ -665,9 +665,11 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 		if err != nil {
 			return fail(err)
 		}
-		// head − seq is how far the primary's stream has advanced past
-		// this frame: the lag a router checks for SSP admissibility.
-		cm.m.replicaLag.Store(int64(head - seq))
+		// Advance the contiguous-application cursor: the replica
+		// advertises head − highest-contiguous-seq as the lag a router
+		// checks for SSP admissibility, so a sequence gap (lost records)
+		// keeps the advertised lag pinned instead of draining to zero.
+		cm.m.applyReplSeq(seq, head)
 		return wire.RespOK, nil, false
 	}
 	return fail(fmt.Errorf("server: unknown opcode %d", uint8(op)))

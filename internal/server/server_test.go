@@ -516,3 +516,67 @@ func TestProtocolErrorPaths(t *testing.T) {
 		t.Fatal("connection survived version mismatch")
 	}
 }
+
+// TestReplicaLagContiguity pins the replica's lag bookkeeping: the
+// advertised lag is stream head minus the highest CONTIGUOUSLY applied
+// sequence, so lost records keep the lag pinned (a replica missing writes
+// must never look fresh to an SSP router), replays after a reconnect are
+// absorbed, and a primary restart resets the cursor to the new numbering.
+func TestReplicaLagContiguity(t *testing.T) {
+	m := &Model{}
+	apply := func(seq, head uint64) int64 {
+		t.Helper()
+		m.applyReplSeq(seq, head)
+		return m.replicaLag.Load()
+	}
+
+	// In-order frames: lag is simply head − seq.
+	if lag := apply(1, 1); lag != 0 {
+		t.Fatalf("after (1,1): lag = %d, want 0", lag)
+	}
+	if lag := apply(2, 5); lag != 3 {
+		t.Fatalf("after (2,5): lag = %d, want 3", lag)
+	}
+	if lag := apply(3, 5); lag != 2 {
+		t.Fatalf("after (3,5): lag = %d, want 2", lag)
+	}
+
+	// A gap: sequences 4 and 5 never arrive. Applying 6 must NOT advance
+	// the cursor — the advertised lag stays pinned at the distance back to
+	// the last contiguous sequence (3) even as later frames drain.
+	if lag := apply(6, 6); lag != 3 {
+		t.Fatalf("after gapped (6,6): lag = %d, want 3 (pinned at the loss)", lag)
+	}
+	if lag := apply(7, 7); lag != 4 {
+		t.Fatalf("after gapped (7,7): lag = %d, want 4 (gap + new backlog)", lag)
+	}
+
+	// The primary replays the gap from its ring: contiguity is restored
+	// and the cursor catches all the way up through the already-seen 6,7.
+	if lag := apply(4, 7); lag != 3 {
+		t.Fatalf("after replayed (4,7): lag = %d, want 3", lag)
+	}
+	if lag := apply(5, 7); lag != 2 {
+		t.Fatalf("after replayed (5,7): lag = %d, want 2", lag)
+	}
+	if lag := apply(6, 7); lag != 1 {
+		t.Fatalf("after replayed (6,7): lag = %d, want 1", lag)
+	}
+	if lag := apply(7, 7); lag != 0 {
+		t.Fatalf("after replayed (7,7): lag = %d, want 0", lag)
+	}
+
+	// Replays of frames at or below the cursor are idempotent no-ops.
+	if lag := apply(6, 7); lag != 0 {
+		t.Fatalf("after duplicate (6,7): lag = %d, want 0", lag)
+	}
+
+	// A primary restart renumbers the stream from 1: head below the cursor
+	// resets the bookkeeping to the new generation.
+	if lag := apply(1, 1); lag != 0 {
+		t.Fatalf("after restart (1,1): lag = %d, want 0", lag)
+	}
+	if lag := apply(2, 4); lag != 2 {
+		t.Fatalf("after restart (2,4): lag = %d, want 2", lag)
+	}
+}
