@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -75,10 +76,12 @@ func main() {
 		sync      = flag.Bool("sync", false, "fsync every flushed log page; also checkpoint all models on shutdown")
 		flushPace = flag.Duration("flush-pace", 0, "minimum gap between background flush writes per model shard, smearing flush bursts away from the read tail (0 = unpaced); adjacent frozen pages still merge into group-commit writes")
 		drainSecs = flag.Int("drain-timeout", 10, "seconds to wait for connections to drain on shutdown")
-		clusterID = flag.String("cluster", "", "run as one node of a cluster, with this node id; clients connect with mlkv://host1,host2,... and route by hash range")
-		joinAddr  = flag.String("join", "", "host:port of any existing cluster node to join through (requires -cluster); omitted, this node seeds a new cluster")
-		replicaOf = flag.String("replica-of", "", "serve as a read replica of the named primary node instead of owning ranges (requires -cluster and -join)")
-		advertise = flag.String("advertise", "", "address other nodes and clients dial to reach this node (default: the bound -addr)")
+		clusterID    = flag.String("cluster", "", "run as one node of a cluster, with this node id; clients connect with mlkv://host1,host2,... and route by hash range")
+		joinAddr     = flag.String("join", "", "host:port of any existing cluster node to join through (requires -cluster); omitted, this node seeds a new cluster")
+		replicaOf    = flag.String("replica-of", "", "serve as a read replica of the named primary node instead of owning ranges (requires -cluster and -join)")
+		advertise    = flag.String("advertise", "", "address other nodes and clients dial to reach this node (default: the bound -addr)")
+		heartbeat    = flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval between peers")
+		suspectAfter = flag.Duration("suspect-after", 2*time.Second, "how long a silent peer is tolerated before this node suspects it dead; a quorum of suspecting peers confirms the death and triggers replica promotion")
 	)
 	modelEngines := map[string]string{}
 	flag.Func("model-engine", "pin a model to an engine as id=engine (repeatable); a pinned model refuses OPENs requesting another engine", func(v string) error {
@@ -169,7 +172,41 @@ func main() {
 	if *joinAddr != "" && *clusterID == "" {
 		log.Fatal("mlkv-server: -join requires -cluster <node-id>")
 	}
-	if *clusterID != "" {
+	// A persisted map under the data dir means this node was already a
+	// cluster member: recover the topology from disk so a full-cluster
+	// restart needs no -cluster/-join flags at all. An explicit -join
+	// outranks the file (the operator is re-homing the node); a corrupt
+	// file is fatal rather than silently re-seeding a one-node cluster.
+	savedSelf, savedMap, loadErr := cluster.LoadMap(d)
+	if loadErr != nil && !errors.Is(loadErr, cluster.ErrNoSavedMap) {
+		log.Fatalf("mlkv-server: %v (remove the cluster-map file under %s to re-seed)", loadErr, d)
+	}
+	if savedMap != nil && *joinAddr == "" {
+		if *clusterID != "" && *clusterID != savedSelf {
+			log.Fatalf("mlkv-server: -cluster %q does not match node id %q persisted under %s", *clusterID, savedSelf, d)
+		}
+		clusterState, err = cluster.NewState(savedSelf, savedMap)
+		if err != nil {
+			log.Fatalf("mlkv-server: persisted cluster map under %s: %v", d, err)
+		}
+		log.Printf("mlkv-server: cluster node %q recovered topology from disk (%d nodes, epoch %d)",
+			savedSelf, len(savedMap.Nodes), savedMap.Epoch)
+		// The file is only as fresh as our last run: exchange maps with the
+		// other members so a promotion or join that happened while this node
+		// was down supersedes the stale epoch before we serve.
+		for i := range savedMap.Nodes {
+			n := &savedMap.Nodes[i]
+			if n.ID == savedSelf {
+				continue
+			}
+			if got, err := cluster.PushMap(n.Addr, savedMap, 2*time.Second); err == nil && got != nil {
+				if clusterState.Adopt(got) {
+					log.Printf("mlkv-server: peer %s (%s) superseded persisted map (epoch %d -> %d)",
+						n.ID, n.Addr, savedMap.Epoch, got.Epoch)
+				}
+			}
+		}
+	} else if *clusterID != "" {
 		adv := *advertise
 		if adv == "" {
 			adv = ln.Addr().String()
@@ -220,7 +257,20 @@ func main() {
 			log.Printf("mlkv-server: cluster node %q joined via %s (%d nodes, epoch %d)",
 				*clusterID, *joinAddr, len(m.Nodes), m.Epoch)
 		}
+	}
+	if clusterState != nil {
+		// Persist every adopted map under the data dir (atomic rename), so
+		// the topology this node last agreed to survives a restart.
+		if err := clusterState.EnablePersistence(d); err != nil {
+			log.Printf("mlkv-server: cluster map persistence: %v", err)
+		}
 		clusterState.EnableReplication()
+		clusterState.StartHealth(cluster.HealthConfig{
+			Interval:     *heartbeat,
+			SuspectAfter: *suspectAfter,
+			Watermark:    reg.ReplWatermark,
+			Logf:         log.Printf,
+		})
 		defer clusterState.Close()
 	}
 
@@ -313,6 +363,11 @@ func main() {
 			<-sigCh
 			log.Fatal("mlkv-server: forced exit")
 		}()
+		if clusterState != nil {
+			// Tell the peers this is a planned exit so they tombstone this
+			// node immediately instead of waiting out the suspicion timeout.
+			cluster.AnnounceLeave(clusterState.Map(), clusterState.Self(), 2*time.Second)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -319,6 +319,50 @@ func BenchmarkCluster(b *testing.B) {
 	}
 }
 
+// TestFailoverSweepRunsAtTinyScale covers the failover experiment: every
+// kill-the-primary trial must recover within its budget and the recorded
+// result must carry a real recovery-latency distribution.
+func TestFailoverSweepRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration harness; skipped in -short")
+	}
+	var out bytes.Buffer
+	e := NewEnv(Tiny, t.TempDir(), &out)
+	if err := e.Run("failover"); err != nil {
+		t.Fatalf("failover: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Failover", "kill-to-first-acked-write", "recovery-ms", "suspect-after"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if len(e.results) != 1 {
+		t.Fatalf("recorded %d results, want 1", len(e.results))
+	}
+	r := e.results[0]
+	if r.P50Us <= 0 || r.P999Us < r.P50Us {
+		t.Fatalf("%s: implausible recovery percentiles p50=%v p999=%v", r.Name, r.P50Us, r.P999Us)
+	}
+	// Recovery must beat the detector's worst case by a wide margin of the
+	// configured timeouts, not scrape the 30s trial budget.
+	if r.P999Us > 10e6 {
+		t.Fatalf("%s: recovery p999 %vµs exceeds 10s", r.Name, r.P999Us)
+	}
+}
+
+// BenchmarkFailover backs the CI bench-smoke for the failover path: each
+// iteration is one full kill-the-primary cycle — detect, promote, and ack
+// a client write on the new topology.
+func BenchmarkFailover(b *testing.B) {
+	e := NewEnv(Tiny, b.TempDir(), io.Discard)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.failoverTrial(i, failoverBenchHealth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestEngineSweepRunsAtTinyScale covers the bake-off experiment: every
 // engine must complete both YCSB mixes and the public-API read leg, and
 // the report must carry one row per engine in each table.

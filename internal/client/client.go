@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -112,6 +113,18 @@ type Client struct {
 	// demux — the end-to-end tail a caller actually experiences.
 	lat latency.OpSet
 
+	// Redial breaker state, guarded by connMu. Every slot dials the same
+	// address, so one slot's dial failure is evidence about them all:
+	// consecutive failures open a shared jittered-backoff window during
+	// which further redial attempts fail fast on the cached error instead
+	// of queueing a fresh TCP connect against a host already known dead.
+	dialFails   int       // consecutive failed redials
+	dialNext    time.Time // no redial before this instant
+	lastDialErr error     // what the breaker fast-fails with
+
+	dialRetries  atomic.Int64 // redial attempts actually made
+	dialBackoffs atomic.Int64 // redials refused by the breaker window
+
 	// Hedge state. The credit bucket and cached adaptive delay are shared
 	// by every session on the pool; counters feed HedgeStats.
 	hedgeCredit     atomic.Int64
@@ -135,6 +148,21 @@ type HedgeStats struct {
 	// Suppressed counts hedges the token bucket refused — reads that
 	// crossed the delay but stayed single-shot to cap duplicate load.
 	Suppressed int64
+}
+
+// Redial backoff: the first failed redial opens a dialBackoffMin window,
+// doubling per consecutive failure up to dialBackoffMax, each window
+// jittered ±50% so a fleet of clients does not hammer a rebooting server
+// in lockstep.
+const (
+	dialBackoffMin = 10 * time.Millisecond
+	dialBackoffMax = time.Second
+)
+
+// DialStats reports the pool's redial counters: attempts actually dialed
+// and attempts refused fast by the breaker's backoff window.
+func (c *Client) DialStats() (retries, backoffs int64) {
+	return c.dialRetries.Load(), c.dialBackoffs.Load()
 }
 
 // HedgeStats snapshots the pool's hedging counters.
@@ -237,7 +265,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 		cn.idx = i
 		c.conns = append(c.conns, cn)
 	}
-	p, err := c.conns[0].roundTrip(wire.OpHello, wire.EncodeHello())
+	// The handshake rides the dial budget: an accepting-but-silent host
+	// (half-dead, or a fault-injection blackhole) must cost one timeout,
+	// not a forever-hung Dial.
+	hctx, hcancel := context.WithTimeout(context.Background(), opts.DialTimeout)
+	p, err := c.conns[0].roundTripCtx(hctx, wire.OpHello, wire.EncodeHello())
+	hcancel()
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
@@ -320,18 +353,56 @@ func (c *Client) connAt(slot int) (*conn, error) {
 	if !cn.broken() {
 		return cn, nil
 	}
+	// The breaker: inside an open backoff window the checkout fails fast
+	// on the cached error — against a dead host, thousands of checkouts
+	// must not each queue a TCP connect.
+	now := time.Now()
+	if now.Before(c.dialNext) {
+		c.dialBackoffs.Add(1)
+		return nil, fmt.Errorf("client: redial %s: backing off: %w", c.addr, c.lastDialErr)
+	}
+	c.dialRetries.Add(1)
+	fresh, err := c.redial()
+	if err != nil {
+		c.dialFails++
+		shift := c.dialFails - 1
+		if shift > 7 {
+			shift = 7
+		}
+		backoff := dialBackoffMin << shift
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff))) // ±50% jitter
+		c.dialNext = now.Add(backoff)
+		c.lastDialErr = err
+		return nil, err
+	}
+	c.dialFails = 0
+	c.dialNext = time.Time{}
+	c.lastDialErr = nil
+	fresh.idx = slot
+	c.conns[slot] = fresh
+	return fresh, nil
+}
+
+// redial dials and handshakes one replacement connection. The HELLO is
+// bounded by DialTimeout: a blackholed host accepts the connect and then
+// says nothing, and an unbounded handshake there would hang the checkout
+// (and everyone queued on connMu) forever.
+func (c *Client) redial() (*conn, error) {
 	fresh, err := dialConn(c.addr, c.opts, &c.lat)
 	if err != nil {
 		return nil, fmt.Errorf("client: redial %s: %w", c.addr, err)
 	}
-	p, err := fresh.roundTrip(wire.OpHello, wire.EncodeHello())
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
+	p, err := fresh.roundTripCtx(ctx, wire.OpHello, wire.EncodeHello())
+	cancel()
 	if err != nil {
 		fresh.close()
 		return nil, fmt.Errorf("client: redial %s: handshake: %w", c.addr, err)
 	}
 	fresh.release(p)
-	fresh.idx = slot
-	c.conns[slot] = fresh
 	return fresh, nil
 }
 

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// failoverMap builds the canonical promotion scenario: two primaries
+// splitting the ring, with two replicas both following n0.
+func failoverMap() *Map {
+	m, err := BuildMap([]Node{
+		{ID: "n0", Addr: "127.0.0.1:1", Role: RolePrimary},
+		{ID: "n1", Addr: "127.0.0.1:2", Role: RolePrimary},
+		{ID: "n2", Addr: "127.0.0.1:3", Role: RoleReplica, PrimaryID: "n0"},
+		{ID: "n3", Addr: "127.0.0.1:4", Role: RoleReplica, PrimaryID: "n0"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestPromoteMovesRangesWholesale pins the promotion transform: the dead
+// primary's ranges move to the promoted replica as-is (no cluster-wide
+// reshuffle — surviving primaries must keep serving their keys untouched),
+// the dead node stays in-map demoted to a replica of its successor, sibling
+// replicas re-point, and the epoch bumps so the new map wins gossip.
+func TestPromoteMovesRangesWholesale(t *testing.T) {
+	m := failoverMap()
+	beforeN1 := append([]Range(nil), m.Node("n1").Ranges...)
+	deadRanges := append([]Range(nil), m.Node("n0").Ranges...)
+
+	out, err := m.Promote("n0", "n2")
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if out.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch %d, want %d", out.Epoch, m.Epoch+1)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("promoted map invalid: %v", err)
+	}
+	p := out.Node("n2")
+	if p.Role != RolePrimary || p.PrimaryID != "" || !reflect.DeepEqual(p.Ranges, deadRanges) {
+		t.Fatalf("promoted node = %+v, want primary holding the dead node's ranges verbatim", p)
+	}
+	if !reflect.DeepEqual(out.Node("n1").Ranges, beforeN1) {
+		t.Fatal("Promote reshuffled a surviving primary's ranges")
+	}
+	dead := out.Node("n0")
+	if dead == nil || dead.Role != RoleReplica || dead.PrimaryID != "n2" || len(dead.Ranges) != 0 {
+		t.Fatalf("dead primary = %+v, want in-map demoted to replica of n2", dead)
+	}
+	if sib := out.Node("n3"); sib.PrimaryID != "n2" {
+		t.Fatalf("sibling replica follows %q, want n2", sib.PrimaryID)
+	}
+	if m.Node("n0").Role != RolePrimary {
+		t.Fatal("Promote mutated the input map")
+	}
+}
+
+// TestPromoteRejections pins the guard rails: only a replica of the dead
+// primary may be promoted, and both parties must exist.
+func TestPromoteRejections(t *testing.T) {
+	m := failoverMap()
+	for _, tc := range []struct{ dead, promote, want string }{
+		{"nope", "n2", "not in map"},
+		{"n0", "nope", "not in map"},
+		{"n2", "n3", "not a primary"},
+		{"n0", "n1", "not a replica"},
+		{"n1", "n2", "not a replica of"},
+	} {
+		_, err := m.Promote(tc.dead, tc.promote)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Promote(%s, %s) = %v, want mention of %q", tc.dead, tc.promote, err, tc.want)
+		}
+	}
+}
+
+// TestPingCodecRoundTrip pins the CLUSTERPING payload format both ways,
+// including the empty-suspect-list fast path.
+func TestPingCodecRoundTrip(t *testing.T) {
+	for _, p := range []pingInfo{
+		{From: "n0", Epoch: 3, Watermark: 99},
+		{From: "a-node", Epoch: 1 << 40, Watermark: 0, Suspects: []string{"n1", "n2"}},
+	} {
+		got, err := decodePingInfo(encodePingInfo(p))
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", p, err)
+		}
+		if got.From != p.From || got.Epoch != p.Epoch || got.Watermark != p.Watermark ||
+			!reflect.DeepEqual(got.Suspects, p.Suspects) {
+			t.Fatalf("round trip %+v -> %+v", p, got)
+		}
+	}
+}
+
+// TestPingCodecRejectsMalformed pins the hostile-frame guards: short
+// payloads, anonymous senders, and trailing garbage are all errors, never
+// a zero-value pingInfo silently absorbed into peer state.
+func TestPingCodecRejectsMalformed(t *testing.T) {
+	good := encodePingInfo(pingInfo{From: "n0", Epoch: 1, Suspects: []string{"n1"}})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := decodePingInfo(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if _, err := decodePingInfo(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+	if _, err := decodePingInfo(encodePingInfo(pingInfo{From: "", Epoch: 1})); err == nil {
+		t.Fatal("anonymous ping decoded")
+	}
+}
+
+// TestLeaveCodecRoundTrip pins the CLUSTERLEAVE payload format.
+func TestLeaveCodecRoundTrip(t *testing.T) {
+	id, err := decodeLeave(encodeLeave("node-7"))
+	if err != nil || id != "node-7" {
+		t.Fatalf("round trip = %q, %v", id, err)
+	}
+	if _, err := decodeLeave(encodeLeave("")); err == nil {
+		t.Fatal("anonymous leave decoded")
+	}
+	if _, err := decodeLeave(append(encodeLeave("x"), 0)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+}
+
+// testDetector builds a detector over a fresh State without starting its
+// probe/eval goroutines, so tests can fabricate peer evidence and call
+// evaluate() deterministically.
+func testDetector(t *testing.T, self string, wm uint64) (*State, *detector) {
+	t.Helper()
+	st, err := NewState(self, failoverMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	d := newDetector(st, HealthConfig{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 50 * time.Millisecond,
+		Watermark:    func() uint64 { return wm },
+	})
+	return st, d
+}
+
+// seePeer records fabricated gossip from a peer: when it last proved
+// life, its replication watermark, and who it said it suspects.
+func (d *detector) seePeer(id string, ago time.Duration, wm uint64, suspects ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ph := &peerHealth{lastAck: time.Now().Add(-ago), watermark: wm, suspects: map[string]bool{}}
+	for _, s := range suspects {
+		ph.suspects[s] = true
+	}
+	d.peers[id] = ph
+}
+
+// TestEvaluateNeedsQuorum pins the confirmation rule in a 4-node map
+// (quorum 2 = self + one corroborating live peer): silence alone is
+// suspicion, not death. Only when a live peer's gossip corroborates does
+// the target become confirmed-dead — so a one-way partition that only
+// this node observes cannot trigger a promotion.
+func TestEvaluateNeedsQuorum(t *testing.T) {
+	_, d := testDetector(t, "n1", 0)
+	// n0 silent past SuspectAfter; n2, n3 alive and saying nothing.
+	d.seePeer("n0", time.Second, 0)
+	d.seePeer("n2", 0, 0)
+	d.seePeer("n3", 0, 0)
+	d.evaluate()
+	if n := d.confirmedDeaths.Load(); n != 0 {
+		t.Fatalf("solo suspicion confirmed %d deaths, want 0", n)
+	}
+
+	// A second vote from a live peer crosses quorum.
+	d.seePeer("n2", 0, 0, "n0")
+	d.evaluate()
+	if n := d.confirmedDeaths.Load(); n != 1 {
+		t.Fatalf("corroborated suspicion confirmed %d deaths, want 1", n)
+	}
+
+	// Suspicions gossiped by a peer that is itself silent do not count.
+	_, d2 := testDetector(t, "n1", 0)
+	d2.seePeer("n0", time.Second, 0)
+	d2.seePeer("n2", time.Second, 0, "n0") // n2 suspected n0, then went silent too
+	d2.seePeer("n3", 0, 0)
+	d2.evaluate()
+	d2.mu.Lock()
+	n0dead := d2.peers["n0"].dead
+	d2.mu.Unlock()
+	if n0dead {
+		t.Fatal("a dead peer's stale vote confirmed a death")
+	}
+}
+
+// TestEvaluateLeaveBypassesQuorum pins the graceful-shutdown path: a
+// CLUSTERLEAVE tombstone is confirmed-dead immediately, no votes needed.
+func TestEvaluateLeaveBypassesQuorum(t *testing.T) {
+	_, d := testDetector(t, "n1", 0)
+	d.seePeer("n2", 0, 0)
+	d.seePeer("n3", 0, 0)
+	if _, err := d.handlePing(encodePingInfo(pingInfo{From: "n0", Epoch: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.handleLeave(encodeLeave("n0")); err != nil {
+		t.Fatal(err)
+	}
+	d.evaluate()
+	if n := d.confirmedDeaths.Load(); n != 1 {
+		t.Fatalf("leave confirmed %d deaths, want 1", n)
+	}
+	if err := d.handleLeave(encodeLeave("n1")); err == nil {
+		t.Fatal("detector accepted its own leave announcement")
+	}
+}
+
+// TestIncomingPingIsProofOfLife pins the one-way-partition defense: a
+// peer whose acks we never see but whose pings keep arriving is alive.
+func TestIncomingPingIsProofOfLife(t *testing.T) {
+	_, d := testDetector(t, "n1", 0)
+	d.seePeer("n0", time.Second, 0) // stale by the probe's account...
+	d.seePeer("n2", 0, 0, "n0")     // ...and a live peer even corroborates
+	d.seePeer("n3", 0, 0)
+	// ...but n0's own ping just arrived: that overrides everything.
+	if _, err := d.handlePing(encodePingInfo(pingInfo{From: "n0", Epoch: 1})); err != nil {
+		t.Fatal(err)
+	}
+	d.evaluate()
+	if n := d.confirmedDeaths.Load(); n != 0 {
+		t.Fatalf("peer with arriving pings confirmed dead (%d deaths)", n)
+	}
+}
+
+// TestPromotionPicksMostCaughtUpReplica pins the volunteer rule each
+// surviving replica runs locally: highest gossiped watermark wins, ties
+// break to the lowest node ID, and rivals that are themselves silent do
+// not outrank.
+func TestPromotionPicksMostCaughtUpReplica(t *testing.T) {
+	confirm := func(d *detector) {
+		d.seePeer("n0", time.Second, 0)
+		d.seePeer("n1", 0, 0, "n0")
+		d.evaluate()
+	}
+
+	// Self (n2, watermark 5) vs live sibling n3 at watermark 3: self wins.
+	st, d := testDetector(t, "n2", 5)
+	d.seePeer("n3", 0, 3)
+	confirm(d)
+	if d.promotions.Load() != 1 {
+		t.Fatal("most-caught-up replica did not volunteer")
+	}
+	m := st.Map()
+	if m.Node("n2").Role != RolePrimary || m.Node("n0").Role != RoleReplica {
+		t.Fatalf("promotion not installed: n2=%v n0=%v", m.Node("n2").Role, m.Node("n0").Role)
+	}
+	if m.Node("n0").PrimaryID != "n2" {
+		t.Fatal("dead primary not demoted under its successor")
+	}
+
+	// Sibling further ahead: self stands down.
+	st2, d2 := testDetector(t, "n2", 5)
+	d2.seePeer("n3", 0, 9)
+	confirm(d2)
+	if d2.promotions.Load() != 0 {
+		t.Fatal("outranked replica volunteered anyway")
+	}
+	if st2.Map().Node("n2").Role != RoleReplica {
+		t.Fatal("outranked replica installed a promotion")
+	}
+
+	// Watermark tie: lowest ID (n2 < n3) wins from n2's side...
+	_, d3 := testDetector(t, "n2", 5)
+	d3.seePeer("n3", 0, 5)
+	confirm(d3)
+	if d3.promotions.Load() != 1 {
+		t.Fatal("tie-break loser: n2 should win a watermark tie against n3")
+	}
+	// ...and n3 stands down on the same evidence.
+	_, d4 := testDetector(t, "n3", 5)
+	d4.seePeer("n2", 0, 5)
+	confirm(d4)
+	if d4.promotions.Load() != 0 {
+		t.Fatal("both sides of a watermark tie volunteered")
+	}
+
+	// A silent rival with a huge watermark does not outrank: it may be
+	// dead too, and waiting on it would stall the failover forever.
+	_, d5 := testDetector(t, "n2", 5)
+	d5.seePeer("n3", time.Second, 999)
+	confirm(d5)
+	if d5.promotions.Load() != 1 {
+		t.Fatal("silent rival blocked the promotion")
+	}
+
+	// A non-replica bystander (n1) never volunteers.
+	st6, d6 := testDetector(t, "n1", 999)
+	d6.seePeer("n0", time.Second, 0)
+	d6.seePeer("n2", 0, 1, "n0")
+	d6.evaluate()
+	if d6.promotions.Load() != 0 || st6.Map().Node("n1").Ranges == nil {
+		t.Fatal("a surviving primary tried to adopt the dead node's ranges")
+	}
+}

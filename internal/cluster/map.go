@@ -288,6 +288,55 @@ func BuildMap(nodes []Node) (*Map, error) {
 	return m, nil
 }
 
+// Promote returns a new map in which promoteID (a replica of the
+// confirmed-dead primary deadID) takes over the dead primary's ranges
+// wholesale, with the epoch bumped. The receiver is unchanged.
+//
+// Unlike WithNode this must NOT rerun assignRanges: an even re-split
+// would shuffle ownership across every surviving primary, invalidating
+// data placement cluster-wide, when the only thing that changed is who
+// serves the dead node's ranges. The ranges move as a block to the node
+// that already holds a replicated copy of them.
+//
+// The dead node stays in the map, demoted to a replica of its successor:
+// when it rejoins (process restart, partition heal) it adopts the newer
+// epoch, finds itself a non-owner, refuses client writes, and receives
+// catch-up writes over the new primary's replication stream — demotion is
+// the map's default, not a separate protocol step, so a stale primary
+// cannot split-brain the range. Other replicas of the dead primary are
+// re-pointed at the successor.
+func (m *Map) Promote(deadID, promoteID string) (*Map, error) {
+	out := m.Clone()
+	out.Epoch = m.Epoch + 1
+	dead := out.Node(deadID)
+	promoted := out.Node(promoteID)
+	if dead == nil || promoted == nil {
+		return nil, fmt.Errorf("cluster: promote %q over %q: node not in map", promoteID, deadID)
+	}
+	if dead.Role != RolePrimary {
+		return nil, fmt.Errorf("cluster: cannot promote over %q: not a primary", deadID)
+	}
+	if promoted.Role != RoleReplica || promoted.PrimaryID != deadID {
+		return nil, fmt.Errorf("cluster: %q is not a replica of %q", promoteID, deadID)
+	}
+	promoted.Role = RolePrimary
+	promoted.PrimaryID = ""
+	promoted.Ranges = append([]Range(nil), dead.Ranges...)
+	dead.Role = RoleReplica
+	dead.PrimaryID = promoteID
+	dead.Ranges = nil
+	for i := range out.Nodes {
+		n := &out.Nodes[i]
+		if n.Role == RoleReplica && n.PrimaryID == deadID && n.ID != deadID {
+			n.PrimaryID = promoteID
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WithNode returns a new map with n added (or replaced, matching by ID),
 // ranges reassigned, and the epoch bumped. The receiver is unchanged.
 func (m *Map) WithNode(n Node) (*Map, error) {

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// threeNodeMap builds a valid map: two primaries splitting the ring and
+// one replica following n0.
+func threeNodeMap(epoch uint64) *Map {
+	return &Map{Epoch: epoch, Nodes: []Node{
+		{ID: "n0", Addr: "127.0.0.1:1", Role: RolePrimary, Ranges: []Range{{Start: 0, End: math.MaxUint64 / 2}}},
+		{ID: "n1", Addr: "127.0.0.1:2", Role: RolePrimary, Ranges: []Range{{Start: math.MaxUint64/2 + 1, End: math.MaxUint64}}},
+		{ID: "n2", Addr: "127.0.0.1:3", Role: RoleReplica, PrimaryID: "n0"},
+	}}
+}
+
+// TestSaveLoadRoundTrip pins the persistence format: what SaveMap writes,
+// LoadMap returns bit-identically — self id, epoch, and full topology —
+// and a re-save atomically replaces the previous file.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := threeNodeMap(7)
+	if err := SaveMap(dir, "n2", m); err != nil {
+		t.Fatalf("SaveMap: %v", err)
+	}
+	self, got, err := LoadMap(dir)
+	if err != nil {
+		t.Fatalf("LoadMap: %v", err)
+	}
+	if self != "n2" {
+		t.Fatalf("self = %q, want n2", self)
+	}
+	if got.Epoch != 7 || len(got.Nodes) != 3 {
+		t.Fatalf("loaded epoch=%d nodes=%d, want 7/3", got.Epoch, len(got.Nodes))
+	}
+	for i := range m.Nodes {
+		w, g := m.Nodes[i], got.Nodes[i]
+		if w.ID != g.ID || w.Addr != g.Addr || w.Role != g.Role || w.PrimaryID != g.PrimaryID {
+			t.Fatalf("node %d round-tripped as %+v, want %+v", i, g, w)
+		}
+	}
+
+	// Overwrite with a newer epoch: the rename must fully replace.
+	if err := SaveMap(dir, "n2", threeNodeMap(9)); err != nil {
+		t.Fatalf("re-SaveMap: %v", err)
+	}
+	if _, got, err = LoadMap(dir); err != nil || got.Epoch != 9 {
+		t.Fatalf("after re-save: epoch=%d err=%v, want 9/nil", got.Epoch, err)
+	}
+}
+
+// TestLoadMapMissing pins the sentinel: a dir with no saved map is
+// ErrNoSavedMap (a normal fresh boot), not a generic I/O error.
+func TestLoadMapMissing(t *testing.T) {
+	if _, _, err := LoadMap(t.TempDir()); !errors.Is(err, ErrNoSavedMap) {
+		t.Fatalf("LoadMap on empty dir = %v, want ErrNoSavedMap", err)
+	}
+}
+
+// TestLoadMapRejectsCorruption truncates the saved file at every byte
+// boundary and flips every byte in turn: no damaged variant may load —
+// a half-written or bit-rotted map silently re-seeding a cluster is a
+// split-brain generator.
+func TestLoadMapRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveMap(dir, "n0", threeNodeMap(3)); err != nil {
+		t.Fatalf("SaveMap: %v", err)
+	}
+	path := filepath.Join(dir, mapFileName)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(good); cut++ {
+		if err := os.WriteFile(path, good[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadMap(dir); err == nil || errors.Is(err, ErrNoSavedMap) {
+			t.Fatalf("truncation at byte %d/%d loaded (err=%v), want refusal", cut, len(good), err)
+		}
+	}
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadMap(dir); err == nil {
+			t.Fatalf("flipped byte %d/%d loaded, want refusal", i, len(good))
+		}
+	}
+
+	// And the pristine bytes still load after all that abuse.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadMap(dir); err != nil {
+		t.Fatalf("pristine file refused: %v", err)
+	}
+}
+
+// TestStatePersistsAdoptedMaps pins the write-through hook: once
+// EnablePersistence is on, every map the state adopts (e.g. a newer epoch
+// gossiped by a live peer superseding the stale on-disk one) lands on
+// disk, so the next restart recovers the freshest topology this node saw.
+func TestStatePersistsAdoptedMaps(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewState("n2", threeNodeMap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.EnablePersistence(dir); err != nil {
+		t.Fatalf("EnablePersistence: %v", err)
+	}
+	if _, got, err := LoadMap(dir); err != nil || got.Epoch != 3 {
+		t.Fatalf("initial persist: epoch=%d err=%v, want 3/nil", got.Epoch, err)
+	}
+
+	if !st.Adopt(threeNodeMap(8)) {
+		t.Fatal("Adopt of a newer epoch refused")
+	}
+	self, got, err := LoadMap(dir)
+	if err != nil || self != "n2" || got.Epoch != 8 {
+		t.Fatalf("after adopt: self=%q epoch=%d err=%v, want n2/8/nil", self, got.Epoch, err)
+	}
+
+	// A stale epoch must neither install nor clobber the file.
+	if st.Adopt(threeNodeMap(5)) {
+		t.Fatal("Adopt of a stale epoch accepted")
+	}
+	if _, got, _ := LoadMap(dir); got.Epoch != 8 {
+		t.Fatalf("stale adopt clobbered the file: epoch=%d, want 8", got.Epoch)
+	}
+}

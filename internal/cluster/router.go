@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,42 @@ type RouterOptions struct {
 // flapping faster than a client can follow.
 const maxRedirects = 3
 
+// Owner-unreachable retry: when an operation fails at the transport level
+// (the owning node may be dead), the router refetches the map from any
+// live member — a promotion shows up as a newer epoch — and retries, with
+// jittered exponential backoff while the cluster has not yet noticed the
+// death. The budget bounds the worst case: the caller's context deadline
+// still cuts every sleep short.
+const (
+	ownerRetryBudget = 8
+	ownerBackoffMin  = 25 * time.Millisecond
+	ownerBackoffMax  = 500 * time.Millisecond
+)
+
+// ErrNoLiveOwner reports a key range whose owning primary is unreachable
+// and for which no failover produced a reachable owner within the retry
+// budget — the cluster is genuinely degraded, not just slow.
+var ErrNoLiveOwner = errors.New("cluster: no live owner for key range")
+
+// transportFailure reports whether err says the peer may be dead — as
+// opposed to a server refusal (ServerError), a routing redirect
+// (NotOwnerError), the caller's own cancellation, or a malformed map.
+// Only transport failures are worth retrying against a refreshed map.
+func transportFailure(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errNoOwner) {
+		return false
+	}
+	var noe *client.NotOwnerError
+	if errors.As(err, &noe) {
+		return false
+	}
+	var se *client.ServerError
+	return !errors.As(err, &se)
+}
+
 // NewRouter wraps an already-dialed seed pool and the map it served.
 func NewRouter(m *Map, seedAddr string, seed *client.Client, opts RouterOptions) *Router {
 	if opts.LagRefresh <= 0 {
@@ -79,6 +116,19 @@ func (r *Router) Redirects() int64 { return r.redirects.Load() }
 
 // ReplicaReads counts keys served by replicas instead of primaries.
 func (r *Router) ReplicaReads() int64 { return r.replicaReads.Load() }
+
+// DialStats sums the redial counters across the node pools: retries
+// actually dialed and attempts the per-pool breaker refused fast.
+func (r *Router) DialStats() (retries, backoffs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.pools {
+		dr, db := p.DialStats()
+		retries += dr
+		backoffs += db
+	}
+	return retries, backoffs
+}
 
 // HedgeStats sums hedging counters across the node pools.
 func (r *Router) HedgeStats() client.HedgeStats {
@@ -144,6 +194,74 @@ func (r *Router) adopt(payload []byte) {
 		r.cur.Store(m)
 	}
 	r.mu.Unlock()
+}
+
+// refetchMap asks the cluster for a fresher topology than cur, probing
+// every member except excludeID (the node we just failed against — it
+// cannot absolve itself) and adopting any newer map. Reports whether a
+// newer epoch was installed.
+func (r *Router) refetchMap(ctx context.Context, cur *Map, excludeID string) bool {
+	for i := range cur.Nodes {
+		n := &cur.Nodes[i]
+		if n.ID == excludeID {
+			continue
+		}
+		p, err := r.pool(n.Addr)
+		if err != nil {
+			continue
+		}
+		payload, err := p.ClusterMapRaw(ctx)
+		if err != nil {
+			continue
+		}
+		r.adopt(payload)
+	}
+	return r.Map().Epoch > cur.Epoch
+}
+
+// retryOwner handles one transport failure against the node ownerID:
+// within the budget it refetches the map from the surviving members (a
+// replica promotion shows up as a newer epoch) and — when the topology
+// has not moved yet — sleeps a jittered exponential backoff bounded by
+// ctx, giving the failure detector time to act. Reports whether the
+// caller should retry the operation.
+func (r *Router) retryOwner(ctx context.Context, retries *int, ownerID string, err error) bool {
+	if !transportFailure(err) || *retries >= ownerRetryBudget || ctx.Err() != nil {
+		return false
+	}
+	*retries++
+	cur := r.Map()
+	if r.refetchMap(ctx, cur, ownerID) {
+		return true // new topology: retry immediately
+	}
+	shift := *retries - 1
+	if shift > 7 {
+		shift = 7
+	}
+	backoff := ownerBackoffMin << shift
+	if backoff > ownerBackoffMax {
+		backoff = ownerBackoffMax
+	}
+	backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff))) // ±50% jitter
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// finalize shapes an operation's terminal error: a transport failure that
+// survived the whole retry budget becomes the typed ErrNoLiveOwner, so
+// callers can tell "this range currently has no reachable owner" from an
+// ordinary failed request.
+func (r *Router) finalize(err error, retries int) error {
+	if retries >= ownerRetryBudget && transportFailure(err) {
+		return fmt.Errorf("%w (gave up after %d retries: %v)", ErrNoLiveOwner, retries, err)
+	}
+	return err
 }
 
 // redirected handles one operation error: if it is a NOT_OWNER redirect

@@ -84,6 +84,7 @@ func (s *RSession) PeekCtx(ctx context.Context, key uint64, dst []byte) (bool, e
 }
 
 func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool) (bool, error) {
+	var ownerRetries int
 	for attempt := 0; ; attempt++ {
 		mp := s.m.r.Map()
 		p := mp.Owner(key)
@@ -93,7 +94,10 @@ func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool
 		bound := s.m.bound.Load()
 		rn, ss, err := s.readTarget(ctx, mp, p, bound)
 		if err != nil {
-			return false, err
+			if s.m.r.retryOwner(ctx, &ownerRetries, p.ID, err) {
+				continue
+			}
+			return s.degradedOrFail(ctx, mp, p, bound, key, dst, err, ownerRetries)
 		}
 		if rn != p {
 			found, err := ss.PeekCtx(ctx, key, dst)
@@ -113,7 +117,10 @@ func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool
 			// Replica miss or failure: maybe lag, maybe a dead node — the
 			// owning primary is authoritative either way.
 			if ss, err = s.node(ctx, p); err != nil {
-				return false, err
+				if s.m.r.retryOwner(ctx, &ownerRetries, p.ID, err) {
+					continue
+				}
+				return s.degradedOrFail(ctx, mp, p, bound, key, dst, err, ownerRetries)
 			}
 		}
 		var found bool
@@ -126,16 +133,44 @@ func (s *RSession) getCtx(ctx context.Context, key uint64, dst []byte, peek bool
 			if s.m.r.redirected(err, attempt) {
 				continue
 			}
-			return false, err
+			if s.m.r.retryOwner(ctx, &ownerRetries, p.ID, err) {
+				continue
+			}
+			return s.degradedOrFail(ctx, mp, p, bound, key, dst, err, ownerRetries)
 		}
 		return found, nil
 	}
+}
+
+// degradedOrFail is a read's last resort once the owner-retry budget is
+// spent: a read whose staleness bound cannot block may still be served by
+// an admissible replica of the dead primary — graceful degradation, a
+// stale-but-bounded answer instead of an outage. Blocking bounds (and
+// reads with no admissible replica) surface the typed failure.
+func (s *RSession) degradedOrFail(ctx context.Context, mp *Map, p *Node, bound int64, key uint64, dst []byte, err error, ownerRetries int) (bool, error) {
+	if transportFailure(err) {
+		for _, rep := range mp.ReplicasOf(p.ID) {
+			if !s.m.replicaAdmissible(ctx, bound, rep) {
+				continue
+			}
+			ss, serr := s.node(ctx, rep)
+			if serr != nil {
+				continue
+			}
+			if f, perr := ss.PeekCtx(ctx, key, dst); perr == nil {
+				s.m.r.replicaReads.Add(1)
+				return f, nil
+			}
+		}
+	}
+	return false, s.m.r.finalize(err, ownerRetries)
 }
 
 // PutCtx writes one key to its owning primary.
 func (s *RSession) PutCtx(ctx context.Context, key uint64, val []byte) error {
 	start := time.Now()
 	defer s.m.r.lat.Since(latency.OpPut, start)
+	var ownerRetries int
 	for attempt := 0; ; attempt++ {
 		mp := s.m.r.Map()
 		p := mp.Owner(key)
@@ -143,16 +178,19 @@ func (s *RSession) PutCtx(ctx context.Context, key uint64, val []byte) error {
 			return errNoOwner
 		}
 		ss, err := s.node(ctx, p)
-		if err != nil {
-			return err
+		if err == nil {
+			err = ss.PutCtx(ctx, key, val)
 		}
-		if err := ss.PutCtx(ctx, key, val); err != nil {
-			if s.m.r.redirected(err, attempt) {
-				continue
-			}
-			return err
+		if err == nil {
+			return nil
 		}
-		return nil
+		if s.m.r.redirected(err, attempt) {
+			continue
+		}
+		if s.m.r.retryOwner(ctx, &ownerRetries, p.ID, err) {
+			continue
+		}
+		return s.m.r.finalize(err, ownerRetries)
 	}
 }
 
@@ -160,6 +198,7 @@ func (s *RSession) PutCtx(ctx context.Context, key uint64, val []byte) error {
 func (s *RSession) DeleteCtx(ctx context.Context, key uint64) error {
 	start := time.Now()
 	defer s.m.r.lat.Since(latency.OpPut, start)
+	var ownerRetries int
 	for attempt := 0; ; attempt++ {
 		mp := s.m.r.Map()
 		p := mp.Owner(key)
@@ -167,16 +206,19 @@ func (s *RSession) DeleteCtx(ctx context.Context, key uint64) error {
 			return errNoOwner
 		}
 		ss, err := s.node(ctx, p)
-		if err != nil {
-			return err
+		if err == nil {
+			err = ss.DeleteCtx(ctx, key)
 		}
-		if err := ss.DeleteCtx(ctx, key); err != nil {
-			if s.m.r.redirected(err, attempt) {
-				continue
-			}
-			return err
+		if err == nil {
+			return nil
 		}
-		return nil
+		if s.m.r.redirected(err, attempt) {
+			continue
+		}
+		if s.m.r.retryOwner(ctx, &ownerRetries, p.ID, err) {
+			continue
+		}
+		return s.m.r.finalize(err, ownerRetries)
 	}
 }
 
@@ -200,11 +242,22 @@ func (s *RSession) PeekBatchCtx(ctx context.Context, keys []uint64, vals []byte,
 }
 
 func (s *RSession) batchRead(ctx context.Context, keys []uint64, vals []byte, found []bool, peek bool) error {
+	var ownerRetries int
 	for attempt := 0; ; attempt++ {
 		err := s.batchReadOnce(ctx, keys, vals, found, peek)
-		if err == nil || !s.m.r.redirected(err, attempt) {
-			return err
+		if err == nil {
+			return nil
 		}
+		if s.m.r.redirected(err, attempt) {
+			continue
+		}
+		// Owner unknown at this level (any group may have failed): refetch
+		// from every member and retry the whole batch — re-reads are
+		// idempotent, and a promotion re-groups the keys on the next pass.
+		if s.m.r.retryOwner(ctx, &ownerRetries, "", err) {
+			continue
+		}
+		return s.m.r.finalize(err, ownerRetries)
 	}
 }
 
@@ -405,11 +458,22 @@ func (s *RSession) primaryRefetch(ctx context.Context, mp *Map, keys []uint64, v
 func (s *RSession) PutBatchCtx(ctx context.Context, keys []uint64, vals []byte) error {
 	start := time.Now()
 	defer s.m.r.lat.Since(latency.OpPutBatch, start)
+	var ownerRetries int
 	for attempt := 0; ; attempt++ {
 		err := s.putBatchOnce(ctx, keys, vals)
-		if err == nil || !s.m.r.redirected(err, attempt) {
-			return err
+		if err == nil {
+			return nil
 		}
+		if s.m.r.redirected(err, attempt) {
+			continue
+		}
+		// Retrying the whole batch re-puts groups that already committed —
+		// puts are idempotent upserts, so the cost is duplicate work, not
+		// duplicate state.
+		if s.m.r.retryOwner(ctx, &ownerRetries, "", err) {
+			continue
+		}
+		return s.m.r.finalize(err, ownerRetries)
 	}
 }
 

@@ -19,7 +19,12 @@ type State struct {
 	encEpoch uint64
 	enc      []byte
 
+	// persistDir, when set, receives an atomic SaveMap after every map
+	// install so a full-cluster restart recovers topology from disk.
+	persistDir string
+
 	repl atomic.Pointer[Replicator]
+	det  atomic.Pointer[detector]
 }
 
 // NewState builds a node's state from its id and an initial map, which
@@ -69,10 +74,21 @@ func (st *State) Adopt(m *Map) bool {
 	}
 	st.cur.Store(m.Clone())
 	st.mu.Unlock()
+	st.mapInstalled()
+	return true
+}
+
+// mapInstalled runs the after-install hooks shared by Adopt and Join:
+// replication streams and health probes reconcile with the new
+// membership, and the map is persisted if persistence is enabled.
+func (st *State) mapInstalled() {
 	if r := st.repl.Load(); r != nil {
 		r.refresh()
 	}
-	return true
+	if d := st.det.Load(); d != nil {
+		d.refresh()
+	}
+	st.persist()
 }
 
 // Join merges a new (or re-announcing) node into the membership, bumping
@@ -86,9 +102,7 @@ func (st *State) Join(n Node) (*Map, error) {
 	}
 	st.cur.Store(merged)
 	st.mu.Unlock()
-	if r := st.repl.Load(); r != nil {
-		r.refresh()
-	}
+	st.mapInstalled()
 	return merged, nil
 }
 
@@ -117,6 +131,72 @@ func (st *State) HandleSync(payload []byte) ([]byte, error) {
 	}
 	st.Adopt(m)
 	return st.Encoded(), nil
+}
+
+// HandlePing services a CLUSTERPING frame (server dispatch): the sender's
+// health record is absorbed, this node's is returned. Refused when no
+// detector runs — the pinger reads the refusal itself as proof of life.
+func (st *State) HandlePing(payload []byte) ([]byte, error) {
+	d := st.det.Load()
+	if d == nil {
+		return nil, fmt.Errorf("cluster: health detector not running")
+	}
+	return d.handlePing(payload)
+}
+
+// HandleLeave services a CLUSTERLEAVE frame (server dispatch): the named
+// node is marked confirmed-dead immediately, skipping the suspicion
+// timeout. Without a detector the announcement is validated and dropped —
+// leave is advisory, a node that ignores it just detects the death slowly.
+func (st *State) HandleLeave(payload []byte) ([]byte, error) {
+	if d := st.det.Load(); d != nil {
+		return nil, d.handleLeave(payload)
+	}
+	_, err := decodeLeave(payload)
+	return nil, err
+}
+
+// StartHealth starts this node's failure detector (idempotent — the
+// first configuration wins). With it running, the node heartbeats every
+// peer, gossips suspicion, confirms deaths by quorum, and — when it is
+// the most-caught-up replica of a confirmed-dead primary — promotes
+// itself and gossips the new map.
+func (st *State) StartHealth(cfg HealthConfig) {
+	d := newDetector(st, cfg)
+	if st.det.CompareAndSwap(nil, d) {
+		d.start()
+	}
+}
+
+// HealthStats reports detector decisions: deaths confirmed and
+// self-promotions performed.
+func (st *State) HealthStats() (confirmedDeaths, promotions int64) {
+	if d := st.det.Load(); d != nil {
+		return d.confirmedDeaths.Load(), d.promotions.Load()
+	}
+	return 0, 0
+}
+
+// EnablePersistence saves the current map under dir now and after every
+// future map install, so a restart can recover topology with LoadMap
+// instead of -cluster flags. The initial save's error is returned;
+// subsequent saves are best effort (the boot path re-syncs with live
+// peers anyway, so a missed save costs staleness, not correctness).
+func (st *State) EnablePersistence(dir string) error {
+	st.mu.Lock()
+	st.persistDir = dir
+	st.mu.Unlock()
+	return SaveMap(dir, st.self, st.Map())
+}
+
+// persist best-effort-saves the current map if persistence is enabled.
+func (st *State) persist() {
+	st.mu.Lock()
+	dir := st.persistDir
+	st.mu.Unlock()
+	if dir != "" {
+		_ = SaveMap(dir, st.self, st.Map())
+	}
 }
 
 // ranges returns the slot ranges this node serves reads for: its own when
@@ -196,8 +276,11 @@ func (st *State) ReplicationDropped() int64 {
 	return 0
 }
 
-// Close stops the replication streams.
+// Close stops the replication streams and the failure detector.
 func (st *State) Close() {
+	if d := st.det.Load(); d != nil {
+		d.close()
+	}
 	if r := st.repl.Load(); r != nil {
 		r.close()
 	}

@@ -125,6 +125,11 @@ type Stats struct {
 	// redirects it followed, and keys served by replicas instead of
 	// primaries.
 	ClusterNodes, ClusterEpoch, ClusterRedirects, ReplicaReads int64
+	// Redial breaker counters (remote targets; zero for local): redial
+	// attempts actually made against dead pooled connections, and checkout
+	// attempts the jittered-backoff breaker refused fast instead of
+	// re-dialing a host already known dead.
+	DialRetries, DialBackoffs int64
 	// Per-op-class latency summaries (nanoseconds). A local model reports
 	// the core table's op timings; a remote model reports the connection
 	// pool's round-trip timings — end to end, including queueing in the

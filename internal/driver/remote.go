@@ -45,6 +45,12 @@ type wireModel interface {
 	NewWireSession(ctx context.Context) (wireSession, error)
 }
 
+// ErrNoLiveOwner re-exports the cluster router's failover sentinel across
+// the seam: an operation that spent its whole owner-retry budget without
+// any reachable owner for the key wraps this, so callers can distinguish
+// "the cluster is down for this range" from a single failed round trip.
+var ErrNoLiveOwner = cluster.ErrNoLiveOwner
+
 // wireBackend is what remoteDB sits on: one server's connection pool or a
 // cluster router fanning over many.
 type wireBackend interface {
@@ -54,6 +60,9 @@ type wireBackend interface {
 	// ClusterInfo reports (nodes, epoch, redirects, replicaReads); all
 	// zero for a single-server backend.
 	ClusterInfo() (int64, int64, int64, int64)
+	// DialStats reports (redial attempts, breaker fast-fails), summed
+	// across every pool the backend holds.
+	DialStats() (int64, int64)
 	Close() error
 }
 
@@ -77,6 +86,7 @@ func (b singleBackend) OpenWireModel(ctx context.Context, spec client.OpenSpec) 
 func (b singleBackend) Latency() *latency.OpSet                 { return b.c.Latency() }
 func (b singleBackend) HedgeStats() client.HedgeStats           { return b.c.HedgeStats() }
 func (b singleBackend) ClusterInfo() (int64, int64, int64, int64) { return 0, 0, 0, 0 }
+func (b singleBackend) DialStats() (int64, int64)                 { return b.c.DialStats() }
 func (b singleBackend) Close() error                            { return b.c.Close() }
 
 // clusterBackend is the cluster router behind the same seam.
@@ -102,7 +112,8 @@ func (b clusterBackend) ClusterInfo() (int64, int64, int64, int64) {
 	m := b.r.Map()
 	return int64(len(m.Nodes)), int64(m.Epoch), b.r.Redirects(), b.r.ReplicaReads()
 }
-func (b clusterBackend) Close() error { return b.r.Close() }
+func (b clusterBackend) DialStats() (int64, int64) { return b.r.DialStats() }
+func (b clusterBackend) Close() error              { return b.r.Close() }
 
 // remoteDB is a backend onto one or many mlkv-servers; models open over
 // the wire with OPEN frames and all data moves through internal/tensor's
@@ -284,9 +295,11 @@ func (m *remoteModel) Stats(ctx context.Context) (Stats, error) {
 	lat := m.db.c.Latency()
 	hs := m.db.c.HedgeStats()
 	nodes, epoch, redirects, replicaReads := m.db.c.ClusterInfo()
+	dialRetries, dialBackoffs := m.db.c.DialStats()
 	return Stats{
 		ClusterNodes: nodes, ClusterEpoch: epoch,
 		ClusterRedirects: redirects, ReplicaReads: replicaReads,
+		DialRetries: dialRetries, DialBackoffs: dialBackoffs,
 		Gets: ms.Gets, Puts: ms.Puts, RMWs: ms.RMWs, Deletes: ms.Deletes,
 		MemHits: ms.MemHits, DiskReads: ms.DiskReads,
 		InPlaceUpdates: ms.InPlaceUpdates, RCUAppends: ms.RCUAppends,

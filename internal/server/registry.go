@@ -263,6 +263,22 @@ func (r *Registry) Models() []*Model {
 	return out
 }
 
+// ReplWatermark sums the replication sequences this node has applied
+// contiguously across its models — the "how caught up am I" number the
+// failure detector gossips in heartbeats so promotion can pick the
+// most-caught-up replica. Contiguity matters: a replica with a gap stops
+// counting at the gap, so a candidate missing acknowledged writes never
+// outranks one that has them all.
+func (r *Registry) ReplWatermark() uint64 {
+	var wm uint64
+	for _, m := range r.Models() {
+		m.replMu.Lock()
+		wm += m.replApplied
+		m.replMu.Unlock()
+	}
+	return wm
+}
+
 // Checkpoint makes every model that can checkpoint durable, returning the
 // first error.
 func (r *Registry) Checkpoint() error {

@@ -43,6 +43,13 @@ type ClusterState interface {
 	// HandleSync adopts a gossiped CLUSTERSYNC map if newer and returns
 	// the node's current map, encoded.
 	HandleSync(payload []byte) ([]byte, error)
+	// HandlePing absorbs a CLUSTERPING heartbeat and returns this node's
+	// own health record, encoded (an error when no detector runs — the
+	// resulting RespErr still proves this node alive to the pinger).
+	HandlePing(payload []byte) ([]byte, error)
+	// HandleLeave absorbs a CLUSTERLEAVE departure announcement; the named
+	// node skips the suspicion timeout and is treated as confirmed dead.
+	HandleLeave(payload []byte) ([]byte, error)
 }
 
 // connBufSize sizes the per-connection read/write buffers: large enough
@@ -423,6 +430,25 @@ func (s *Server) handle(st *connState, op wire.Op, p []byte) (respOp wire.Op, pa
 			return fail(err)
 		}
 		return wire.RespOK, merged, false
+
+	case wire.OpClusterPing:
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		info, err := s.cfg.Cluster.HandlePing(p)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, info, false
+
+	case wire.OpClusterLeave:
+		if s.cfg.Cluster == nil {
+			return fail(errors.New("server: not clustered"))
+		}
+		if _, err := s.cfg.Cluster.HandleLeave(p); err != nil {
+			return fail(err)
+		}
+		return wire.RespOK, nil, false
 
 	case wire.OpClusterSync:
 		if s.cfg.Cluster == nil {

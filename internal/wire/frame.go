@@ -99,6 +99,20 @@ const (
 	// bypasses cluster ownership checks — it is how a replica legitimately
 	// receives writes for ranges it does not own.
 	OpReplWrite
+	// OpClusterPing is the peer heartbeat: the request carries the sender's
+	// health record (map epoch, replication watermark, and the peers it
+	// currently suspects — internal/cluster's codec), the response carries
+	// the receiver's. Both sides feed their failure detectors from the
+	// exchange, so suspicion gossip rides the heartbeats themselves and
+	// confirming a death needs no extra round trips. A server not running a
+	// detector (or predating the op) answers RespErr and keeps the
+	// connection usable.
+	OpClusterPing
+	// OpClusterLeave announces a planned departure: the payload names the
+	// node shutting down, and receivers treat it as confirmed-dead
+	// immediately — a graceful restart skips the suspicion timeout that an
+	// actual crash must wait out.
+	OpClusterLeave
 )
 
 // Response opcodes.
@@ -153,6 +167,10 @@ func (o Op) String() string {
 		return "CLUSTERSYNC"
 	case OpReplWrite:
 		return "REPLWRITE"
+	case OpClusterPing:
+		return "CLUSTERPING"
+	case OpClusterLeave:
+		return "CLUSTERLEAVE"
 	case RespOK:
 		return "OK"
 	case RespErr:

@@ -62,6 +62,15 @@ const (
 // Scheme prefixes a remote Connect target: "mlkv://host:port".
 const Scheme = "mlkv://"
 
+// ErrNoLiveOwner reports a cluster operation that exhausted its retry
+// budget without reaching any live owner for the key: the owning primary
+// was unreachable and no refetched topology produced a reachable
+// successor within the caller's deadline. Test with errors.Is. Transient
+// single-node failures never surface this — the router retries against
+// refreshed maps (and a failed-over replica promotion heals mid-call), so
+// seeing it means the range is genuinely down right now.
+var ErrNoLiveOwner = driver.ErrNoLiveOwner
+
 // Initializer produces the initial embedding for a key seen for the first
 // time; dst arrives zeroed with the model's dimension. It must be
 // deterministic in key: on a remote model it runs client-side on every
@@ -454,6 +463,14 @@ type Stats struct {
 	ClusterEpoch     int64
 	ClusterRedirects int64
 	ReplicaReads     int64
+	// Redial activity of a remote target's connection pools (zero for
+	// local models): DialRetries counts redial attempts actually made
+	// against broken pooled connections; DialBackoffs counts checkouts the
+	// jittered-backoff breaker failed fast instead of re-dialing a host
+	// already known dead. A rising DialBackoffs with flat DialRetries is a
+	// pool waiting out a dead host, not hammering it.
+	DialRetries  int64
+	DialBackoffs int64
 	// Per-op-class latency, always on. A local model times the table's
 	// store operations; a remote model times this process's network round
 	// trips (per connection pool, so every model opened from the same
@@ -524,6 +541,7 @@ func (m *Model) StatsCtx(ctx context.Context) (Stats, error) {
 		HedgeWasted: s.HedgeWasted, HedgeSuppressed: s.HedgeSuppressed,
 		ClusterNodes: s.ClusterNodes, ClusterEpoch: s.ClusterEpoch,
 		ClusterRedirects: s.ClusterRedirects, ReplicaReads: s.ReplicaReads,
+		DialRetries: s.DialRetries, DialBackoffs: s.DialBackoffs,
 		LatGet: summaryOf(s.LatGet), LatGetBatch: summaryOf(s.LatGetBatch),
 		LatPut: summaryOf(s.LatPut), LatPutBatch: summaryOf(s.LatPutBatch),
 		LatRMW: summaryOf(s.LatRMW),
